@@ -1,0 +1,84 @@
+// Ablation study — contribution of each protocol mechanism.
+//
+// The paper attributes its message savings to local queueing, grants by
+// copyset children and dynamic path compression, and its fairness to mode
+// freezing (§3.3, §4.1). This benchmark re-runs the Fig. 9 setup (ratio 10)
+// with each mechanism disabled in turn and reports the message overhead,
+// the mean latency and the mean latency of whole-table W operations (the
+// writer-starvation indicator for the freezing ablation).
+#include <cstdio>
+
+#include "bench/common/experiment.hpp"
+#include "core/hier_config.hpp"
+#include "sim/network_model.hpp"
+#include "stats/table.hpp"
+
+using namespace hlock;
+using bench::ExperimentConfig;
+using bench::ExperimentResult;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  core::HierConfig config;
+};
+
+}  // namespace
+
+int main() {
+  const auto preset = sim::ibm_sp_preset();
+
+  core::HierConfig full;
+  core::HierConfig no_queueing = full;
+  no_queueing.local_queueing = false;
+  no_queueing.path_compression = false;  // its queueing would mask the flag
+  core::HierConfig no_child_grants = full;
+  no_child_grants.child_grants = false;
+  core::HierConfig no_compression = full;
+  no_compression.path_compression = false;
+  core::HierConfig no_freezing = full;
+  no_freezing.freezing = false;
+  core::HierConfig bare = full;
+  bare.local_queueing = false;
+  bare.child_grants = false;
+  bare.path_compression = false;
+
+  const Variant variants[] = {
+      {"full protocol", full},
+      {"no local queueing", no_queueing},
+      {"no child grants", no_child_grants},
+      {"no path compression", no_compression},
+      {"no freezing", no_freezing},
+      {"bare (queueing+grants+compression off)", bare},
+  };
+
+  std::printf("Ablation — Fig. 9 setup (ratio 10, %s testbed), 60 nodes\n",
+              preset.name.c_str());
+  std::printf("msgs/acq = messages per lock request; W-latency = mean "
+              "latency of whole-table write ops\n\n");
+
+  stats::TextTable table;
+  table.set_header({"configuration", "msgs/acq", "mean latency (ms)",
+                    "W latency (ms)", "max latency (ms)"});
+
+  for (const Variant& variant : variants) {
+    ExperimentConfig config;
+    config.nodes = 60;
+    config.net_latency = preset.message_latency;
+    config.cs_length = DurationDist::uniform(SimTime::ms(15), 0.5);
+    config.idle_time = DurationDist::uniform(SimTime::ms(150), 0.5);
+    config.ops_per_node = 40;
+    config.seed = 37;
+    config.hier_config = variant.config;
+    const ExperimentResult result = bench::run_averaged(config, 3);
+    table.add_row({variant.name, stats::TextTable::num(result.msgs_per_acq),
+                   stats::TextTable::num(result.mean_latency_ms, 2),
+                   stats::TextTable::num(result.w_latency_ms, 2),
+                   stats::TextTable::num(result.max_latency_ms, 2)});
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nCSV:\n%s", table.render_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 10 — Absolute Request Latency (paper §4.2).
+//
+// Mean request latency of the hierarchical protocol on the IBM SP testbed
+// model, per non-critical:critical ratio (1, 5, 10, 25; CS fixed at 15 ms),
+// as the node count grows to 120.
+//
+// Paper shape to reproduce: after an initial superlinear (queueing-
+// dominated) region, every curve grows linearly; lower ratios (higher
+// concurrency) sit far above higher ratios and bend earlier; the ratio-25
+// curve stays in single-digit milliseconds across small node counts.
+#include <cstdio>
+
+#include "bench/common/experiment.hpp"
+#include "sim/network_model.hpp"
+#include "stats/table.hpp"
+
+using namespace hlock;
+using bench::ExperimentConfig;
+using bench::ExperimentResult;
+
+int main() {
+  const auto preset = sim::ibm_sp_preset();
+  const int ratios[] = {1, 5, 10, 25};
+
+  stats::TextTable table;
+  table.set_header(
+      {"nodes", "ratio=1", "ratio=5", "ratio=10", "ratio=25"});
+
+  std::printf("Fig. 10 — mean request latency (ms) vs. number of nodes, per "
+              "non-critical:critical ratio\n");
+  std::printf("testbed: %s, latency %s, CS 15 ms, idle = ratio x 15 ms\n\n",
+              preset.name.c_str(),
+              preset.message_latency.describe().c_str());
+
+  for (std::size_t nodes : {2u, 5u, 10u, 20u, 30u, 40u, 60u, 80u, 100u,
+                            120u}) {
+    std::vector<std::string> row{std::to_string(nodes)};
+    for (int ratio : ratios) {
+      ExperimentConfig config;
+      config.nodes = nodes;
+      config.net_latency = preset.message_latency;
+      config.cs_length = DurationDist::uniform(SimTime::ms(15), 0.5);
+      config.idle_time =
+          DurationDist::uniform(SimTime::ms(15L * ratio), 0.5);
+      config.ops_per_node = 40;
+      config.seed = 29 + nodes + static_cast<std::uint64_t>(ratio);
+      const ExperimentResult result = bench::run_averaged(config, 2);
+      row.push_back(stats::TextTable::num(result.mean_request_latency_ms, 2));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nCSV:\n%s", table.render_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 8 — Request Latency Factor (paper §4.1).
+//
+// Average request latency (issue -> critical-section entry), normalized by
+// the mean one-way network latency (150 ms), as the node count grows.
+// Same testbed and workload as Fig. 7.
+//
+// Paper shape to reproduce: the hierarchical protocol and Naimi pure grow
+// roughly linearly and stay low; Naimi same-work grows superlinearly (its
+// whole-table operations serialize a chain of exclusive per-entry
+// acquisitions, each with its own queueing delay).
+#include <cstdio>
+
+#include "bench/common/experiment.hpp"
+#include "sim/network_model.hpp"
+#include "stats/table.hpp"
+
+using namespace hlock;
+using bench::AppVariant;
+using bench::ExperimentConfig;
+using bench::ExperimentResult;
+
+int main() {
+  const auto preset = sim::linux_cluster_preset();
+  const double net_ms = preset.message_latency.mean().to_ms();
+  const AppVariant variants[] = {AppVariant::kNaimiSameWork,
+                                 AppVariant::kNaimiPure,
+                                 AppVariant::kHierarchical};
+
+  stats::TextTable table;
+  table.set_header({"nodes", "naimi-same-work", "naimi-pure",
+                    "hierarchical"});
+
+  std::printf("Fig. 8 — request latency factor (mean latency / %.0f ms "
+              "network latency) vs. number of nodes\n",
+              net_ms);
+  std::printf("testbed: %s, CS 15 ms, idle 150 ms, mix 80/10/4/5/1\n\n",
+              preset.name.c_str());
+
+  for (std::size_t nodes : {2u, 4u, 6u, 8u, 10u, 15u, 20u, 25u, 30u}) {
+    std::vector<std::string> row{std::to_string(nodes)};
+    for (AppVariant variant : variants) {
+      ExperimentConfig config;
+      config.variant = variant;
+      config.nodes = nodes;
+      config.net_latency = preset.message_latency;
+      config.cs_length = DurationDist::uniform(SimTime::ms(15), 0.5);
+      config.idle_time = DurationDist::uniform(SimTime::ms(150), 0.5);
+      config.ops_per_node = 60;
+      config.seed = 19 + nodes;
+      const ExperimentResult result = bench::run_averaged(config, 3);
+      row.push_back(stats::TextTable::num(
+          bench::paper_latency_metric_ms(variant, result) / net_ms, 1));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nCSV:\n%s", table.render_csv().c_str());
+  return 0;
+}

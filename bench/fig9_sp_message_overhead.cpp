@@ -1,0 +1,57 @@
+// Figure 9 — Messages for Non-Critical : Critical Ratios (paper §4.2).
+//
+// Average messages per lock request for the hierarchical protocol on the
+// IBM SP testbed model, with the critical-section length fixed at 15 ms and
+// the non-critical (idle) time set to ratio x 15 ms for ratios 1, 5, 10
+// and 25, as the node count grows to 120.
+//
+// Paper shape to reproduce: asymptotic (logarithmic-looking) curves with
+// low asymptotes that ORDER BY RATIO — roughly 3.5, 5, 6.5 and ~9 messages
+// for ratios 1, 5, 10 and 25 (higher ratios mean lower concurrency, fewer
+// copy grants, longer propagation paths).
+#include <cstdio>
+
+#include "bench/common/experiment.hpp"
+#include "sim/network_model.hpp"
+#include "stats/table.hpp"
+
+using namespace hlock;
+using bench::ExperimentConfig;
+using bench::ExperimentResult;
+
+int main() {
+  const auto preset = sim::ibm_sp_preset();
+  const int ratios[] = {1, 5, 10, 25};
+
+  stats::TextTable table;
+  table.set_header(
+      {"nodes", "ratio=1", "ratio=5", "ratio=10", "ratio=25"});
+
+  std::printf("Fig. 9 — messages per lock request vs. number of nodes, per "
+              "non-critical:critical ratio\n");
+  std::printf("testbed: %s, latency %s, CS 15 ms, idle = ratio x 15 ms\n\n",
+              preset.name.c_str(),
+              preset.message_latency.describe().c_str());
+
+  for (std::size_t nodes : {2u, 5u, 10u, 20u, 30u, 40u, 60u, 80u, 100u,
+                            120u}) {
+    std::vector<std::string> row{std::to_string(nodes)};
+    for (int ratio : ratios) {
+      ExperimentConfig config;
+      config.nodes = nodes;
+      config.net_latency = preset.message_latency;
+      config.cs_length = DurationDist::uniform(SimTime::ms(15), 0.5);
+      config.idle_time =
+          DurationDist::uniform(SimTime::ms(15L * ratio), 0.5);
+      config.ops_per_node = 40;
+      config.seed = 23 + nodes + static_cast<std::uint64_t>(ratio);
+      const ExperimentResult result = bench::run_averaged(config, 2);
+      row.push_back(stats::TextTable::num(result.msgs_per_acq));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nCSV:\n%s", table.render_csv().c_str());
+  return 0;
+}

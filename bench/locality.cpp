@@ -1,0 +1,81 @@
+// Access locality vs. structure dynamism (paper §5, second half of the
+// Raymond comparison: the dynamic tree "results in dynamic path
+// compression" — i.e. it adapts to who actually uses a lock).
+//
+// Workload: exclusive per-entry operations where each node targets its
+// HOME entry with probability `locality` (nodes = 2 x entries, so exactly
+// two tree-distant nodes share each home). As locality rises, the dynamic
+// structures re-link the two partners adjacently and the per-request cost
+// collapses, while Raymond's static tree keeps paying the fixed tree path
+// between them.
+#include <cstdio>
+
+#include "runtime/sim_cluster.hpp"
+#include "sim/network_model.hpp"
+#include "stats/table.hpp"
+#include "workload/sim_driver.hpp"
+
+using namespace hlock;
+using runtime::Protocol;
+using runtime::SimCluster;
+using runtime::SimClusterOptions;
+using workload::SimWorkloadDriver;
+using workload::WorkloadSpec;
+
+namespace {
+
+double run(Protocol protocol, workload::AppVariant variant, double locality) {
+  constexpr std::size_t kNodes = 32;
+  SimClusterOptions cluster_options;
+  cluster_options.node_count = kNodes;
+  cluster_options.protocol = protocol;
+  cluster_options.message_latency = sim::ibm_sp_preset().message_latency;
+  cluster_options.seed = 91;
+  SimCluster cluster{cluster_options};
+
+  WorkloadSpec spec;
+  spec.variant = variant;
+  spec.node_count = kNodes;
+  spec.table_entries = kNodes / 2;  // two partners per home entry
+  spec.ops_per_node = 60;
+  spec.cs_length = DurationDist::uniform(SimTime::ms(5), 0.5);
+  spec.idle_time = DurationDist::uniform(SimTime::ms(25), 0.5);
+  // Entry ops only: IR draws map to entry reads; force all draws there.
+  spec.mix = workload::ModeMix{0.0, 0.0, 0.0, 1.0, 0.0};  // entry writes
+  spec.entry_locality = locality;
+  spec.seed = 17;
+
+  SimWorkloadDriver driver{cluster, spec};
+  driver.run();
+  return static_cast<double>(cluster.metrics().messages().total()) /
+         static_cast<double>(driver.stats().acquisitions);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Locality vs. structure dynamism — 32 nodes, exclusive "
+              "entry writes, partners share home entries\n\n");
+
+  stats::TextTable table;
+  table.set_header(
+      {"locality", "raymond msgs/req", "naimi msgs/req", "hier msgs/req"});
+
+  for (double locality : {0.0, 0.5, 0.9, 1.0}) {
+    table.add_row(
+        {stats::TextTable::num(locality, 1),
+         stats::TextTable::num(run(Protocol::kRaymond,
+                                   workload::AppVariant::kNaimiPure,
+                                   locality)),
+         stats::TextTable::num(run(Protocol::kNaimi,
+                                   workload::AppVariant::kNaimiPure,
+                                   locality)),
+         stats::TextTable::num(run(Protocol::kHierarchical,
+                                   workload::AppVariant::kHierarchical,
+                                   locality))});
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nCSV:\n%s", table.render_csv().c_str());
+  return 0;
+}

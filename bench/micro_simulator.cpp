@@ -1,0 +1,64 @@
+// Micro-benchmarks of the discrete-event simulator substrate: event-queue
+// throughput and the full cluster event loop. These establish the
+// simulation's own capacity, i.e. how large an experiment the harness can
+// run per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hlock;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  sim::EventQueue queue;
+  Rng rng{1};
+  // Keep a steady backlog of `depth` events; measure push+pop pairs.
+  for (std::size_t i = 0; i < depth; ++i) {
+    queue.push(SimTime::ns(rng.range(0, 1'000'000)), [] {});
+  }
+  std::int64_t t = 1'000'000;
+  for (auto _ : state) {
+    queue.push(SimTime::ns(t + rng.range(0, 1000)), [] {});
+    benchmark::DoNotOptimize(queue.pop());
+    ++t;
+  }
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_SimulatorEventChain(benchmark::State& state) {
+  // Self-scheduling event chains: the pattern every workload driver uses.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int remaining = 1000;
+    std::function<void()> step = [&] {
+      if (--remaining > 0) sim.schedule_in(SimTime::us(1), step);
+    };
+    sim.schedule_in(SimTime::us(1), step);
+    benchmark::DoNotOptimize(sim.run_to_completion());
+  }
+}
+BENCHMARK(BM_SimulatorEventChain);
+
+void BM_RngDraws(benchmark::State& state) {
+  Rng rng{123};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_RngDraws);
+
+void BM_RngBounded(benchmark::State& state) {
+  Rng rng{123};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(1000));
+  }
+}
+BENCHMARK(BM_RngBounded);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Analytical model vs. simulation (paper §4.2: "by modeling response times
+// in terms of network latencies and queuing delays, we analytically derived
+// complexity bounds of the protocol. The model and additional measurements
+// indicate that the superlinear behavior is due to queuing delays").
+//
+// Runs the Fig. 10 experiment alongside the closed-network response-time
+// model of src/analysis and prints both, per ratio: the model must land the
+// knee position and the linear asymptote, the two signatures the paper's
+// argument rests on.
+#include <cstdio>
+
+#include "analysis/response_model.hpp"
+#include "bench/common/experiment.hpp"
+#include "sim/network_model.hpp"
+#include "stats/table.hpp"
+
+using namespace hlock;
+using bench::ExperimentConfig;
+
+int main() {
+  const auto preset = sim::ibm_sp_preset();
+
+  std::printf("Analytical model vs. simulation — mean operation response "
+              "time (ms), IBM SP parameters\n\n");
+
+  for (int ratio : {1, 10, 25}) {
+    analysis::ModelParams params;
+    params.cs_ms = 15.0;
+    params.idle_ms = 15.0 * ratio;
+    params.net_ms = preset.message_latency.mean().to_ms();
+
+    stats::TextTable table;
+    table.set_header({"nodes", "simulated", "model", "model queueing"});
+    for (std::size_t nodes : {2u, 5u, 10u, 20u, 40u, 80u, 120u}) {
+      ExperimentConfig config;
+      config.nodes = nodes;
+      config.net_latency = preset.message_latency;
+      config.cs_length = DurationDist::uniform(SimTime::ms(15), 0.5);
+      config.idle_time =
+          DurationDist::uniform(SimTime::ms(15L * ratio), 0.5);
+      config.ops_per_node = 40;
+      config.seed = 41 + nodes;
+      const auto sim_result = bench::run_averaged(config, 2);
+
+      params.nodes = nodes;
+      const auto model = analysis::predict(params);
+      table.add_row({std::to_string(nodes),
+                     stats::TextTable::num(sim_result.mean_latency_ms, 2),
+                     stats::TextTable::num(model.response_ms, 2),
+                     stats::TextTable::num(model.queueing_ms, 2)});
+    }
+    const auto model_at_1 = analysis::predict(params);
+    std::printf("ratio = %d (conflict probability %.4f, predicted knee at "
+                "%.1f nodes)\n",
+                ratio, model_at_1.conflict_probability,
+                model_at_1.knee_nodes);
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Sensitivity analysis: the table-entry count (the one workload parameter
+// the paper does not quote) vs. the Fig. 7 metric at 24 nodes. This makes
+// the calibration in EXPERIMENTS.md transparent: the hierarchical and pure
+// variants are nearly insensitive to it, while the same-work variant's
+// cost scales with it — exactly why it had to be calibrated against the
+// published same-work curve.
+#include <cstdio>
+
+#include "bench/common/experiment.hpp"
+#include "sim/network_model.hpp"
+#include "stats/table.hpp"
+
+using namespace hlock;
+using bench::AppVariant;
+using bench::ExperimentConfig;
+using bench::ExperimentResult;
+
+int main() {
+  const auto preset = sim::linux_cluster_preset();
+  const AppVariant variants[] = {AppVariant::kNaimiSameWork,
+                                 AppVariant::kNaimiPure,
+                                 AppVariant::kHierarchical};
+
+  stats::TextTable table;
+  table.set_header({"entries", "naimi-same-work", "naimi-pure",
+                    "hierarchical"});
+
+  std::printf("Sensitivity — messages per lock request vs. table entries "
+              "(24 nodes, Fig. 7 setup)\n\n");
+
+  for (std::size_t entries : {2u, 4u, 6u, 8u, 12u, 16u}) {
+    std::vector<std::string> row{std::to_string(entries)};
+    for (AppVariant variant : variants) {
+      ExperimentConfig config;
+      config.variant = variant;
+      config.nodes = 24;
+      config.net_latency = preset.message_latency;
+      config.cs_length = DurationDist::uniform(SimTime::ms(15), 0.5);
+      config.idle_time = DurationDist::uniform(SimTime::ms(150), 0.5);
+      config.table_entries = entries;
+      config.ops_per_node = 60;
+      config.seed = 61 + entries;
+      const ExperimentResult result = bench::run_averaged(config, 2);
+      row.push_back(
+          stats::TextTable::num(bench::paper_message_metric(variant, result)));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nCSV:\n%s", table.render_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Regenerates the paper's Table 1 (rules of hierarchical locking) from the
+// implementation, for visual diffing against the publication. The unit test
+// tests/core/mode_tables_test.cpp asserts every cell; this binary renders
+// the same data the way the paper prints it.
+#include <cstdio>
+
+#include "core/mode_tables.hpp"
+
+int main() {
+  std::puts("hlock — Table 1: Rules of Hierarchical Locking for Mode M1 "
+            "relative to Mode M2");
+  std::puts("(X = incompatible / may-not-grant; Q = queue; F = forward)\n");
+  for (char which : {'a', 'b', 'c', 'd'}) {
+    std::fputs(hlock::core::render_table(which).c_str(), stdout);
+    std::puts("");
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Throughput scaling (supplementary): completed operations per simulated
+// second, total and per node, as the cluster grows — the system-level
+// consequence of the paper's message/latency curves. Under the read-heavy
+// mix total throughput should scale out (reads parallelize) while the
+// writer fraction bounds it (Amdahl, which the paper name-checks for its
+// latency discussion).
+#include <cstdio>
+
+#include "bench/common/experiment.hpp"
+#include "runtime/sim_cluster.hpp"
+#include "sim/network_model.hpp"
+#include "stats/table.hpp"
+#include "workload/sim_driver.hpp"
+
+using namespace hlock;
+using runtime::Protocol;
+using runtime::SimCluster;
+using runtime::SimClusterOptions;
+using workload::SimWorkloadDriver;
+using workload::WorkloadSpec;
+
+int main() {
+  const auto preset = sim::ibm_sp_preset();
+
+  stats::TextTable table;
+  table.set_header({"nodes", "ops/s total", "ops/s per node",
+                    "efficiency vs 2 nodes"});
+
+  std::printf("Throughput scaling — airline workload, %s testbed, "
+              "ratio 10\n\n",
+              preset.name.c_str());
+
+  double per_node_at_2 = 0;
+  for (std::size_t nodes : {2u, 4u, 8u, 16u, 32u, 64u, 96u, 120u}) {
+    SimClusterOptions cluster_options;
+    cluster_options.node_count = nodes;
+    cluster_options.protocol = Protocol::kHierarchical;
+    cluster_options.message_latency = preset.message_latency;
+    cluster_options.seed = 71 + nodes;
+    SimCluster cluster{cluster_options};
+
+    WorkloadSpec spec;
+    spec.variant = workload::AppVariant::kHierarchical;
+    spec.node_count = nodes;
+    spec.ops_per_node = 60;
+    spec.cs_length = DurationDist::uniform(SimTime::ms(15), 0.5);
+    spec.idle_time = DurationDist::uniform(SimTime::ms(150), 0.5);
+    spec.seed = 5 + nodes;
+
+    SimWorkloadDriver driver{cluster, spec};
+    driver.run();
+
+    const double seconds = cluster.simulator().now().to_sec();
+    const double total =
+        static_cast<double>(driver.stats().ops) / seconds;
+    const double per_node = total / static_cast<double>(nodes);
+    if (nodes == 2) per_node_at_2 = per_node;
+    table.add_row(
+        {std::to_string(nodes), stats::TextTable::num(total, 1),
+         stats::TextTable::num(per_node, 2),
+         stats::TextTable::num(per_node / per_node_at_2 * 100, 1) + "%"});
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nCSV:\n%s", table.render_csv().c_str());
+  return 0;
+}

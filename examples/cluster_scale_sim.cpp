@@ -1,0 +1,86 @@
+// Large-scale cluster simulation: the paper's IBM SP experiment (§4.2) as
+// a library user would run it — 120 nodes, the airline workload, and a
+// summary of the message overhead and latency the protocol delivers.
+//
+// Demonstrates the simulation half of the public API: SimCluster +
+// SimWorkloadDriver + MetricsRegistry, plus the post-run invariant sweep.
+//
+// Build & run:  ./build/examples/cluster_scale_sim
+#include <cstdio>
+
+#include "runtime/invariants.hpp"
+#include "runtime/sim_cluster.hpp"
+#include "sim/network_model.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "workload/sim_driver.hpp"
+
+using namespace hlock;
+
+int main() {
+  constexpr std::size_t kNodes = 120;
+
+  runtime::SimClusterOptions cluster_options;
+  cluster_options.node_count = kNodes;
+  cluster_options.protocol = runtime::Protocol::kHierarchical;
+  cluster_options.message_latency = sim::ibm_sp_preset().message_latency;
+  cluster_options.seed = 2026;
+  runtime::SimCluster cluster{cluster_options};
+
+  workload::WorkloadSpec spec;
+  spec.variant = workload::AppVariant::kHierarchical;
+  spec.node_count = kNodes;
+  spec.ops_per_node = 50;
+  spec.cs_length = DurationDist::uniform(SimTime::ms(15), 0.5);
+  spec.idle_time = DurationDist::uniform(SimTime::ms(150), 0.5);  // ratio 10
+  spec.seed = 7;
+
+  workload::SimWorkloadDriver driver{cluster, spec};
+
+  std::printf("simulating %zu nodes x %d operations of the airline "
+              "workload (IBM SP latency model)...\n",
+              kNodes, spec.ops_per_node);
+  driver.run();
+
+  const auto& stats = driver.stats();
+  const auto op_latency = stats.op_latency.summarize();
+  const auto request_latency = stats.acq_latency.summarize();
+
+  std::printf("\nsimulated time     : %s\n",
+              to_string(cluster.simulator().now()).c_str());
+  std::printf("events executed    : %llu\n",
+              static_cast<unsigned long long>(
+                  cluster.simulator().events_executed()));
+  std::printf("operations         : %llu\n",
+              static_cast<unsigned long long>(stats.ops));
+  std::printf("lock requests      : %llu\n",
+              static_cast<unsigned long long>(stats.acquisitions));
+  std::printf("protocol messages  : %llu  (%.2f per request)\n",
+              static_cast<unsigned long long>(
+                  cluster.metrics().messages().total()),
+              static_cast<double>(cluster.metrics().messages().total()) /
+                  static_cast<double>(stats.acquisitions));
+  std::printf("request latency    : mean %.2f ms, p90 %.2f ms, max %.2f ms\n",
+              request_latency.mean, request_latency.p90,
+              request_latency.max);
+  std::printf("operation latency  : mean %.2f ms, p90 %.2f ms\n",
+              op_latency.mean, op_latency.p90);
+  std::printf("upgrades completed : %llu (mean wait %.2f ms)\n",
+              static_cast<unsigned long long>(stats.upgrade_latency.count()),
+              stats.upgrade_latency.summarize().mean);
+
+  std::printf("\nrequest latency distribution (log-scale buckets):\n");
+  stats::HistogramOptions histogram;
+  histogram.buckets = 12;
+  histogram.log_scale = true;
+  std::fputs(
+      stats::render_histogram(stats.acq_latency.samples_ms(), histogram)
+          .c_str(),
+      stdout);
+
+  const auto report = runtime::check_quiescent_structure(
+      cluster, workload::all_locks(spec.table_entries));
+  std::printf("post-run invariants: %s\n",
+              report.ok() ? "all hold" : report.to_string().c_str());
+  return report.ok() ? 0 : 1;
+}

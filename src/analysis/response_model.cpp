@@ -1,0 +1,129 @@
+#include "analysis/response_model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "core/mode_tables.hpp"
+#include "util/check.hpp"
+#include "workload/op_plan.hpp"
+
+namespace hlock::analysis {
+
+namespace {
+
+using proto::LockMode;
+using workload::AppVariant;
+using workload::LockStep;
+using workload::OpKind;
+
+/// The five operation kinds with their mix probabilities.
+struct WeightedOp {
+  OpKind kind;
+  double probability;
+};
+
+std::array<WeightedOp, 5> weighted_ops(const workload::ModeMix& mix) {
+  return {WeightedOp{OpKind::kEntryRead, mix.ir},
+          WeightedOp{OpKind::kTableRead, mix.r},
+          WeightedOp{OpKind::kEntryUpgrade, mix.u},
+          WeightedOp{OpKind::kEntryWrite, mix.iw},
+          WeightedOp{OpKind::kTableWrite, mix.w}};
+}
+
+/// Strongest mode an operation's plan ever takes on a given lock level;
+/// upgrade operations count as W at the entry level (they will hold W).
+LockMode effective_mode(const LockStep& step) {
+  return step.upgrade_midway ? LockMode::kW : step.mode;
+}
+
+/// Probability that concrete instances of the two op kinds conflict,
+/// accounting for the 1/entries chance of hitting the same entry.
+double pair_conflict(OpKind a, OpKind b, std::size_t entries) {
+  const auto plan_a = plan_op(AppVariant::kHierarchical, a, 0, entries);
+  const auto plan_b = plan_op(AppVariant::kHierarchical, b, 0, entries);
+  double no_conflict = 1.0;
+  for (const LockStep& sa : plan_a) {
+    for (const LockStep& sb : plan_b) {
+      const bool table_a = sa.lock == workload::table_lock();
+      const bool table_b = sb.lock == workload::table_lock();
+      if (table_a != table_b) continue;  // different granularity level
+      if (!core::incompatible(effective_mode(sa), effective_mode(sb))) {
+        continue;
+      }
+      // Same level and incompatible: certain conflict at the table level,
+      // 1/entries at the entry level (independent uniform entry choices).
+      const double p =
+          table_a ? 1.0 : 1.0 / static_cast<double>(entries);
+      no_conflict *= 1.0 - p;
+    }
+  }
+  return 1.0 - no_conflict;
+}
+
+}  // namespace
+
+double conflict_probability(const workload::ModeMix& mix,
+                            std::size_t entries) {
+  HLOCK_REQUIRE(mix.valid(), "mode mix probabilities must sum to 1");
+  HLOCK_REQUIRE(entries >= 1, "the table needs at least one entry");
+  double conflict = 0.0;
+  for (const WeightedOp& a : weighted_ops(mix)) {
+    for (const WeightedOp& b : weighted_ops(mix)) {
+      conflict +=
+          a.probability * b.probability * pair_conflict(a.kind, b.kind,
+                                                        entries);
+    }
+  }
+  return conflict;
+}
+
+ModelPrediction predict(const ModelParams& params) {
+  HLOCK_REQUIRE(params.nodes >= 1, "the model needs at least one node");
+  ModelPrediction out;
+  out.conflict_probability =
+      conflict_probability(params.mix, params.entries);
+
+  // Serialized demand per operation: only the conflicting fraction of the
+  // critical section contends for the logical serialization server.
+  out.demand_ms = out.conflict_probability * params.cs_ms;
+
+  // Message transit: requests travel a compressed path (empirically 1-2
+  // hops plus the grant); 3 one-way latencies model the request/grant
+  // round trip with one forwarding hop — a fixed cost, not a shape driver.
+  out.transit_ms = 3.0 * params.net_ms;
+
+  // Think time per cycle: idle plus the non-serialized critical work.
+  out.think_ms =
+      params.idle_ms + (1.0 - out.conflict_probability) * params.cs_ms;
+
+  const double n = static_cast<double>(params.nodes);
+  if (out.demand_ms <= 0.0) {
+    out.knee_nodes = std::numeric_limits<double>::infinity();
+    out.queueing_ms = 0.0;
+  } else {
+    out.knee_nodes = (out.think_ms + out.demand_ms) / out.demand_ms;
+    // Machine-repairman approximation (smoothed closed-network MVA):
+    // a requester finds each of the other n-1 nodes contending with
+    // probability (D + W) / cycle and waits one demand behind each.
+    // The fixed point W converges in a handful of iterations and has the
+    // operational-law asymptote W -> n*D - (Z + D) built in.
+    double waiting = 0.0;
+    for (int iteration = 0; iteration < 64; ++iteration) {
+      const double cycle =
+          out.think_ms + out.transit_ms + out.demand_ms + waiting;
+      const double next =
+          (n - 1.0) * out.demand_ms * (out.demand_ms + waiting) / cycle;
+      if (std::fabs(next - waiting) < 1e-9) {
+        waiting = next;
+        break;
+      }
+      waiting = next;
+    }
+    out.queueing_ms = waiting;
+  }
+  out.response_ms = out.transit_ms + out.demand_ms + out.queueing_ms;
+  return out;
+}
+
+}  // namespace hlock::analysis

@@ -1,0 +1,31 @@
+// Outputs of one protocol-automaton step.
+//
+// Automatons are pure state machines: they never touch a transport or a
+// clock. Every API call and message delivery returns an Effects value that
+// the runtime interprets — messages to transmit and local grant events to
+// surface to the waiting application. This keeps the protocol testable in
+// isolation and identical across the simulator and the threaded transport.
+#pragma once
+
+#include <vector>
+
+#include "proto/message.hpp"
+
+namespace hlock::core {
+
+/// What one automaton step asks the runtime to do.
+struct Effects {
+  /// Messages to hand to the transport, in emission order (order matters:
+  /// transports provide per-destination FIFO channels).
+  std::vector<proto::Message> messages;
+
+  /// The node's own outstanding request was granted during this step; the
+  /// node is now inside the critical section (automaton held() gives the
+  /// mode).
+  bool entered_cs = false;
+
+  /// A Rule 7 upgrade completed during this step; held() is now kW.
+  bool upgraded = false;
+};
+
+}  // namespace hlock::core

@@ -1,0 +1,209 @@
+// The peer-to-peer hierarchical multi-mode locking automaton (paper §3).
+//
+// One HierAutomaton instance manages one node's view of one lock. All
+// instances are symmetric; exactly one holds the token at any time. The
+// automaton implements Rules 1-7 over the tables in mode_tables.hpp:
+//
+//  * Rule 2 — decide locally whether a request needs a message at all;
+//  * Rule 3 — grants: copy grants by sufficiently-strong copyset members
+//             and the token node, token transfer when the requested mode
+//             exceeds the token's owned mode;
+//  * Rule 4 — queue-or-forward for ungrantable requests (local queues at
+//             nodes with pending requests, a FIFO queue at the token);
+//  * Rule 5 — releases: local queue service at the token, owned-mode
+//             weakening notifications along the copyset tree;
+//  * Rule 6 — mode freezing for FIFO fairness / starvation avoidance;
+//  * Rule 7 — atomic U -> W upgrade at the token.
+//
+// The class is a pure state machine: every entry point returns the Effects
+// (messages + local grant events) the runtime must apply. It performs no
+// I/O, holds no clock and is single-threaded by construction; the runtime
+// serializes calls per node.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/effects.hpp"
+#include "core/hier_config.hpp"
+#include "core/mode_tables.hpp"
+#include "proto/ids.hpp"
+#include "proto/message.hpp"
+
+namespace hlock::core {
+
+using proto::LockId;
+using proto::NodeId;
+
+/// One copyset entry: a child node, the strongest mode it owns (as last
+/// reported), the epoch of the grant that created/refreshed the
+/// relationship (releases carrying an older epoch are stale and dropped),
+/// and the freeze notifications already sent to it (to avoid redundant
+/// FREEZE messages).
+struct CopysetEntry {
+  NodeId node;
+  LockMode mode = LockMode::kNL;
+  std::uint32_t epoch = 0;
+  ModeSet freeze_sent;
+};
+
+/// Per-(node, lock) protocol state machine. See file comment.
+class HierAutomaton {
+ public:
+  /// Constructs the automaton for `self` on `lock`. Exactly one node in the
+  /// system must be created with `initially_token == true`; every other
+  /// node's `initial_parent` chain must (transitively) reach it.
+  HierAutomaton(NodeId self, LockId lock, bool initially_token,
+                NodeId initial_parent, HierConfig config = {});
+
+  // ---- Application API ----
+
+  /// Requests the lock in `mode` (Rule 2). Precondition: the node neither
+  /// holds the lock nor has a request outstanding. If the effects report
+  /// entered_cs the node is inside the critical section immediately;
+  /// otherwise a later step will report it.
+  ///
+  /// `priority` orders waiting queues: higher priorities are served first,
+  /// FIFO within a level (the prioritized extension of the paper's refs
+  /// [15, 16]; all-zero priorities are the paper's pure FIFO protocol).
+  /// Rule 6 freezing still applies unchanged — a high-priority request
+  /// waits for current HOLDERS, it only overtakes queued waiters.
+  Effects request(LockMode mode, std::uint8_t priority = 0);
+
+  /// Releases the held lock (Rule 5). Precondition: holding, not upgrading.
+  Effects release();
+
+  /// Atomically upgrades U -> W without releasing (Rule 7). Precondition:
+  /// holding kU (which implies this node is the token node). Completion is
+  /// reported via Effects::upgraded, possibly in a later step.
+  Effects upgrade();
+
+  /// Delivers one protocol message addressed to this node.
+  Effects on_message(const proto::Message& message);
+
+  // ---- Introspection (tests, invariant checks, tracing) ----
+
+  NodeId self() const { return self_; }
+  LockId lock() const { return lock_; }
+  bool is_token() const { return token_; }
+  /// Parent (granter) link: the node whose copyset this node belongs to
+  /// (or last belonged to); carries releases and freeze propagation.
+  /// none iff this node is the token node.
+  NodeId parent() const { return parent_; }
+  /// Probable-owner routing hint (Naimi path reversal): where requests are
+  /// forwarded when set; falls back to parent() when none. Reversed to the
+  /// requester on every forward — this is the paper's "dynamic path
+  /// compression for request propagation".
+  NodeId route_hint() const { return hint_; }
+  /// Mode currently held (kNL outside critical sections) — Definition 2.
+  LockMode held() const { return held_; }
+  /// Mode of the node's own outstanding request (kNL if none); kW while a
+  /// Rule 7 upgrade is in flight.
+  LockMode pending() const { return pending_; }
+  /// Strongest mode held/owned in the subtree rooted here — Definition 3.
+  LockMode owned() const;
+  /// True while a Rule 7 upgrade is waiting for children to release.
+  bool upgrading() const { return upgrading_; }
+  /// Children granted by this node and their reported owned modes.
+  const std::vector<CopysetEntry>& copyset() const { return copyset_; }
+  /// The owned mode this node's parent currently records for it (kNL when
+  /// not a copyset member). Always at least as strong as owned(); it may
+  /// briefly overestimate when a weakening notification raced a re-grant
+  /// (the stale release is epoch-discarded; the next quiet release
+  /// resynchronizes).
+  LockMode reported_owned() const { return reported_owned_; }
+  /// Locally queued requests in FIFO order.
+  const std::deque<proto::QueuedRequest>& queue() const { return queue_; }
+  /// Modes this node currently refuses to grant (Rule 6).
+  ModeSet frozen() const { return frozen_; }
+  /// One-line state dump: "node3 tok=1 held=R own=R pend=NL q=2 cs={...}".
+  std::string describe() const;
+
+  /// Complete, canonical serialization of the automaton state — two
+  /// automatons behave identically from here on iff their fingerprints are
+  /// equal. Used by the model checker for visited-state deduplication.
+  std::string fingerprint() const;
+
+ private:
+  Effects step_request(LockMode mode, std::uint8_t priority);
+  /// Inserts into the local queue: after every entry with priority >= the
+  /// new entry's (priority order, FIFO within a level).
+  void enqueue(const proto::QueuedRequest& entry);
+  void handle_request(const proto::HierRequest& request, Effects& fx);
+  void handle_request_as_token(const proto::QueuedRequest& request,
+                               Effects& fx);
+  void handle_grant(NodeId from, const proto::HierGrant& grant, Effects& fx);
+  void handle_token(NodeId from, const proto::HierToken& token, Effects& fx);
+  void handle_release(NodeId from, const proto::HierRelease& release,
+                      Effects& fx);
+  void handle_freeze(const proto::HierFreeze& freeze, Effects& fx);
+
+  /// On re-parenting under a granter that is not the current parent while
+  /// still owning a mode: withdraw this subtree from the old parent's
+  /// copyset (it moves under the granter).
+  void detach_from_old_parent(NodeId granter, Effects& fx);
+
+  /// Rule 3 grant paths (precondition: the grant is legal).
+  void copy_grant(const proto::QueuedRequest& request, Effects& fx);
+  void transfer_token(const proto::QueuedRequest& request, Effects& fx);
+
+  /// Rule 5.1: walk the token's FIFO queue granting every non-frozen
+  /// compatible entry; installs freeze sets for entries that stay.
+  void service_token_queue(Effects& fx);
+  /// Drain a non-token node's local queue once its pending request
+  /// resolved: grant what Rule 3.1 allows, forward the rest.
+  void drain_local_queue(Effects& fx);
+  /// Completes a waiting Rule 7 upgrade once all children released.
+  void maybe_complete_upgrade(Effects& fx);
+
+  /// Recomputes the token's frozen set from its queue and notifies copyset
+  /// children that could otherwise grant a frozen mode (Rule 6).
+  void refresh_frozen(Effects& fx);
+  /// Sends FREEZE to children able to grant newly frozen modes.
+  void notify_frozen_children(Effects& fx);
+
+  /// Adds or strengthens the entry for `node`, stamping `epoch`; returns
+  /// the resulting entry mode.
+  LockMode copyset_add(NodeId node, LockMode mode, std::uint32_t epoch);
+  CopysetEntry* copyset_find(NodeId node);
+  /// Weakening side of Rule 5.2: notify the parent when the owned mode it
+  /// has on record (reported_owned_) overestimates the actual owned mode.
+  /// Deferred while a request is pending to avoid RELEASE/GRANT crossings.
+  void propagate_weakening(Effects& fx);
+
+  void send(NodeId to, proto::Payload payload, Effects& fx) const;
+
+  const NodeId self_;
+  const LockId lock_;
+  const HierConfig config_;
+
+  /// Request-routing target: hint_ when set, else parent_.
+  NodeId route() const { return hint_.is_none() ? parent_ : hint_; }
+
+  bool token_ = false;
+  NodeId parent_;           // granter link; none iff token_
+  NodeId hint_;             // probable-owner routing hint (may be none)
+  LockMode held_ = LockMode::kNL;
+  LockMode pending_ = LockMode::kNL;
+  bool upgrading_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::vector<CopysetEntry> copyset_;
+  std::deque<proto::QueuedRequest> queue_;
+  ModeSet frozen_;
+  /// Mirror of the parent's copyset entry for this node (see
+  /// reported_owned()); kNL while not a copyset member or when token.
+  LockMode reported_owned_ = LockMode::kNL;
+  /// Epoch of the last grant received from the current parent; stamps all
+  /// RELEASE messages (see HierGrant::epoch).
+  std::uint32_t parent_epoch_ = 0;
+  /// Times our own pending request bounced back to us (stale hint loops);
+  /// reset on every grant, bounded as a livelock guard.
+  std::uint32_t reissue_count_ = 0;
+  /// Source of grant epochs handed to children; 0 is reserved for entries
+  /// created by token transfer.
+  std::uint32_t epoch_counter_ = 0;
+};
+
+}  // namespace hlock::core

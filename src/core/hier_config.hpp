@@ -1,0 +1,48 @@
+// Feature configuration for the hierarchical protocol.
+//
+// The paper attributes its message savings to several distinct mechanisms
+// (local queueing, grants by non-token copyset members, dynamic path
+// compression) and its fairness to mode freezing. Each is independently
+// switchable so the ablation benchmark (bench/ablation_features) can
+// quantify its contribution; production use keeps all of them on.
+#pragma once
+
+namespace hlock::core {
+
+/// Protocol feature switches. Defaults reproduce the full paper protocol.
+struct HierConfig {
+  /// Rule 4.1 / Table 1(c): non-token nodes with a pending request queue
+  /// matching requests locally instead of forwarding them. Off: every
+  /// ungrantable request is forwarded toward the token.
+  bool local_queueing = true;
+
+  /// Rule 3.1 / Table 1(b): non-token copyset members grant compatible
+  /// weaker requests themselves (including Rule 2 message-free self-grants).
+  /// Off: all grants are performed by the token node.
+  bool child_grants = true;
+
+  /// Dynamic path compression for request propagation: a fully detached
+  /// forwarder (no hold, no ownership, no pending request, empty queue)
+  /// re-points its probable-owner link at the requester, Naimi-style.
+  ///
+  /// Soundness requires one amendment to Table 1(c): while a node has a
+  /// pending request it queues EVERY incoming request (the paper's table
+  /// forwards non-matching modes). In Naimi's protocol reversal is safe
+  /// because the requester becomes the tree root and absorbs traffic; here
+  /// a requester may end up a mere copyset child, and forwarding from it
+  /// along its stale parent link could cycle back through nodes that
+  /// already re-pointed at it. Queueing while pending makes requesters
+  /// absorbing, restoring the acyclicity argument: every reversal link
+  /// points to a newer requester, which either absorbs (pending) or routes
+  /// via its granter chain to the token (granted). This also serves the
+  /// paper's stated aim "to queue as many requests as possible to suppress
+  /// message passing overhead". Off: literal Table 1(c), no reversal.
+  bool path_compression = true;
+
+  /// Rule 6 / Table 1(d): freeze modes that would let late compatible
+  /// requests bypass queued incompatible ones. Off: FIFO ordering across
+  /// incompatible modes is no longer enforced and writers can starve.
+  bool freezing = true;
+};
+
+}  // namespace hlock::core

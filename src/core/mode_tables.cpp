@@ -1,0 +1,144 @@
+#include "core/mode_tables.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hlock::core {
+
+namespace {
+
+using proto::kModeCount;
+using proto::kRealModes;
+using proto::mode_index;
+
+// Table 1(a) — Incompatible. Rows: M1 (held/owned) over all six modes;
+// columns: M2 (requested) over the five real modes (requesting kNL is
+// meaningless). 1 = X in the paper = conflict.
+//
+//             M2:  IR  R  U  IW  W
+constexpr int kIncompatible[kModeCount][kModeCount] = {
+    /* NL */ {0, 0, 0, 0, 0, 0},
+    /* IR */ {0, 0, 0, 0, 0, 1},
+    /* R  */ {0, 0, 0, 0, 1, 1},
+    /* U  */ {0, 0, 0, 1, 1, 1},
+    /* IW */ {0, 0, 1, 1, 0, 1},
+    /* W  */ {0, 1, 1, 1, 1, 1},
+};
+
+// Definition 1 — strength rank = |modes| - |compatible modes|. The paper's
+// inequations NL < IR < R < U < W and IR < IW < W leave U vs IW unordered;
+// they are mutually incompatible, so the tie never influences any rule.
+constexpr int kStrength[kModeCount] = {
+    /* NL */ 0, /* IR */ 1, /* R */ 2, /* U */ 3, /* IW */ 3, /* W */ 4,
+};
+
+// Table 1(c) — Queue/Forward. Rows: M1 = this node's pending mode (kNL row
+// is the paper's "No lock" row: with no pending request a non-token node
+// must always forward). Columns: M2 = requested mode. 1 = Q, 0 = F.
+//
+//             M2:  -  IR  R  U  IW  W
+constexpr int kQueueTable[kModeCount][kModeCount] = {
+    /* NL */ {0, 0, 0, 0, 0, 0},
+    /* IR */ {0, 1, 0, 0, 0, 0},
+    /* R  */ {0, 0, 1, 0, 0, 0},
+    /* U  */ {0, 0, 0, 1, 1, 1},
+    /* IW */ {0, 0, 0, 0, 1, 0},
+    /* W  */ {0, 1, 1, 1, 1, 1},
+};
+
+}  // namespace
+
+bool incompatible(LockMode held, LockMode requested) {
+  return kIncompatible[mode_index(held)][mode_index(requested)] != 0;
+}
+
+ModeSet compatible_set(LockMode m) {
+  ModeSet out;
+  for (LockMode other : kRealModes) {
+    if (compatible(m, other)) out.insert(other);
+  }
+  return out;
+}
+
+int strength_rank(LockMode m) { return kStrength[mode_index(m)]; }
+
+bool non_token_can_grant(LockMode owned, LockMode requested) {
+  // Table 1(b): a non-token node may grant iff its owned mode is a real
+  // mode, compatible with the request, and at least as strong (Rule 3.1).
+  if (owned == LockMode::kNL || requested == LockMode::kNL) return false;
+  return compatible(owned, requested) && at_least_as_strong(owned, requested);
+}
+
+QueueOrForward queue_or_forward(LockMode pending, LockMode requested) {
+  return kQueueTable[mode_index(pending)][mode_index(requested)] != 0
+             ? QueueOrForward::kQueue
+             : QueueOrForward::kForward;
+}
+
+ModeSet freeze_set(LockMode owned, LockMode requested) {
+  // Table 1(d): freeze every mode the owner could still grant that would
+  // bypass the queued request: compat(owned) ∩ incompat(requested).
+  if (compatible(owned, requested)) return {};
+  ModeSet frozen;
+  for (LockMode m : kRealModes) {
+    if (compatible(owned, m) && incompatible(m, requested)) frozen.insert(m);
+  }
+  return frozen;
+}
+
+std::string render_table(char which) {
+  HLOCK_REQUIRE(which >= 'a' && which <= 'd', "table id must be 'a'..'d'");
+  using proto::kAllModes;
+  static constexpr const char* kTitles[] = {
+      "(a) Incompatible", "(b) No Child Grant", "(c) Queue/Forward",
+      "(d) Freezing Modes at Token"};
+
+  std::ostringstream os;
+  os << "Table 1" << kTitles[which - 'a'] << " — rows M1, columns M2\n";
+  os << "M1\\M2   ";
+  for (LockMode m2 : kRealModes) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%-10s", to_string(m2).c_str());
+    os << buf;
+  }
+  os << '\n';
+  for (LockMode m1 : kAllModes) {
+    char head[16];
+    std::snprintf(head, sizeof head, "%-8s",
+                  m1 == LockMode::kNL ? "-" : to_string(m1).c_str());
+    os << head;
+    for (LockMode m2 : kRealModes) {
+      std::string cell;
+      switch (which) {
+        case 'a':
+          cell = incompatible(m1, m2) ? "X" : ".";
+          break;
+        case 'b':
+          cell = non_token_can_grant(m1, m2) ? "." : "X";
+          break;
+        case 'c':
+          cell = queue_or_forward(m1, m2) == QueueOrForward::kQueue ? "Q"
+                                                                    : "F";
+          break;
+        case 'd': {
+          const ModeSet frozen = freeze_set(m1, m2);
+          cell = frozen.empty() ? "." : to_string(frozen);
+          // Strip braces for compactness: {IR,R} -> IR,R
+          cell = cell.substr(1, cell.size() - 2);
+          if (cell.empty()) cell = ".";
+          break;
+        }
+        default:
+          break;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%-10s", cell.c_str());
+      os << buf;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hlock::core

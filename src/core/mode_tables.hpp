@@ -1,0 +1,106 @@
+// The rule tables of the hierarchical locking protocol (paper Table 1).
+//
+// The paper specifies the entire protocol as Rules 1-7 evaluated over four
+// lookup tables:
+//
+//   (a) Incompatible        — which mode pairs conflict (Rule 1),
+//   (b) No Child Grant      — which owned modes let a NON-token node grant a
+//                             requested mode (Rule 3.1),
+//   (c) Queue/Forward       — whether a non-token node with pending mode M1
+//                             queues (Q) or forwards (F) an ungrantable
+//                             request for M2 (Rule 4.1),
+//   (d) Freezing Modes      — which modes the token node freezes when an
+//                             incompatible request for M2 arrives while it
+//                             owns M1 (Rule 6),
+//
+// plus the mode strength order NL < IR < R < U < W, IR < IW < W (Def. 1).
+// All tables are encoded verbatim below as constexpr data; unit tests assert
+// every cell against the paper and property-check the closed-form
+// derivations ((b) = incompatible OR not owned>=requested; (d) =
+// compat(M1) ∩ incompat(M2)).
+#pragma once
+
+#include "proto/lock_mode.hpp"
+
+namespace hlock::core {
+
+using proto::LockMode;
+using proto::ModeSet;
+
+/// Rule 1 / Table 1(a): true if `held` and `requested` conflict and must be
+/// serialized. Symmetric. kNL is compatible with everything.
+bool incompatible(LockMode held, LockMode requested);
+
+/// Convenience negation of incompatible().
+inline bool compatible(LockMode held, LockMode requested) {
+  return !incompatible(held, requested);
+}
+
+/// The set of real modes compatible with `m` (excludes kNL).
+ModeSet compatible_set(LockMode m);
+
+/// Definition 1: numeric strength rank. A mode is stronger when it is
+/// compatible with fewer other modes: NL=0, IR=1, R=2, U=3, IW=3, W=4.
+/// U and IW share a rank; they are mutually incompatible, so no protocol
+/// rule ever needs to order them (asserted by tests).
+int strength_rank(LockMode m);
+
+/// True if a is strictly stronger than b (Definition 1).
+inline bool stronger(LockMode a, LockMode b) {
+  return strength_rank(a) > strength_rank(b);
+}
+
+/// True if a is at least as strong as b.
+inline bool at_least_as_strong(LockMode a, LockMode b) {
+  return strength_rank(a) >= strength_rank(b);
+}
+
+/// The stronger of two modes (used to aggregate owned modes; when ranks tie
+/// the first argument wins, which only happens for identical or U/IW pairs
+/// that never co-occur in one subtree aggregate).
+inline LockMode stronger_of(LockMode a, LockMode b) {
+  return strength_rank(b) > strength_rank(a) ? b : a;
+}
+
+/// Rule 3.1 / Table 1(b): true if a NON-token node whose owned mode is
+/// `owned` may grant a request for `requested`. Equivalent to
+/// compatible(owned, requested) && owned >= requested && owned != kNL.
+bool non_token_can_grant(LockMode owned, LockMode requested);
+
+/// Rule 3.2: true if the TOKEN node owning `owned` may grant `requested`
+/// (compatibility is necessary and sufficient at the token).
+inline bool token_can_grant(LockMode owned, LockMode requested) {
+  return compatible(owned, requested);
+}
+
+/// Rule 3.2 grant flavour at the token node: if owned < requested the token
+/// itself is transferred; otherwise the requester receives a copy grant and
+/// becomes a child. Only meaningful when token_can_grant() holds.
+inline bool token_grant_transfers(LockMode owned, LockMode requested) {
+  return !at_least_as_strong(owned, requested);
+}
+
+/// Rule 4.1 / Table 1(c) outcome for a non-token node that cannot grant.
+enum class QueueOrForward {
+  kForward,  ///< F: relay the request to the parent.
+  kQueue,    ///< Q: log it in the local queue.
+};
+
+/// Rule 4.1 / Table 1(c): given this node's own pending request mode
+/// (kNL if none), decide whether an ungrantable request for `requested`
+/// is queued locally or forwarded to the parent.
+QueueOrForward queue_or_forward(LockMode pending, LockMode requested);
+
+/// Rule 6 / Table 1(d): modes frozen at a node owning `owned` when an
+/// incompatible request for `requested` is queued. Empty when the pair is
+/// compatible (nothing needs freezing). Closed form:
+/// compatible_set(owned) ∩ incompatible_set(requested).
+ModeSet freeze_set(LockMode owned, LockMode requested);
+
+/// Renders one of the four tables as fixed-width text in the paper's row/
+/// column order ('a'..'d'); used by bench/table1_rules to regenerate
+/// Table 1 for visual diffing against the publication.
+// NOLINTNEXTLINE(readability-identifier-length)
+std::string render_table(char which);
+
+}  // namespace hlock::core

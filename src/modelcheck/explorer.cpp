@@ -1,0 +1,529 @@
+#include "modelcheck/explorer.hpp"
+
+#include <deque>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "core/hier_automaton.hpp"
+#include "core/mode_tables.hpp"
+#include "naimi/naimi_automaton.hpp"
+#include "raymond/raymond_automaton.hpp"
+#include "util/check.hpp"
+
+namespace hlock::modelcheck {
+
+namespace {
+
+using core::Effects;
+using core::HierAutomaton;
+using proto::LockId;
+using proto::LockMode;
+using proto::Message;
+using proto::NodeId;
+
+constexpr LockId kLock{0};
+
+/// What a node is doing with respect to its script.
+enum class Status : std::uint8_t {
+  kIdle,        ///< ready to issue its next script op
+  kWaiting,     ///< acquire issued, grant not yet received
+  kUpgrading,   ///< upgrade issued, completion not yet received
+  kDone,        ///< script exhausted
+};
+
+/// One complete system state. Copyable; branching copies it.
+struct State {
+  std::vector<HierAutomaton> nodes;
+  /// FIFO channels keyed by (from, to); only nonempty ones are stored.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::deque<Message>>
+      channels;
+  std::vector<std::size_t> pc;       // next script index per node
+  std::vector<Status> status;
+
+  std::string fingerprint() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      os << 'N' << i << '[' << nodes[i].fingerprint() << ']' << pc[i]
+         << static_cast<int>(status[i]);
+    }
+    for (const auto& [key, queue] : channels) {
+      os << 'C' << key.first << '>' << key.second << '{';
+      for (const Message& message : queue) os << to_string(message) << ';';
+      os << '}';
+    }
+    return os.str();
+  }
+};
+
+class Explorer {
+ public:
+  Explorer(const std::vector<Script>& scripts, const ExploreOptions& options)
+      : scripts_(scripts), options_(options) {}
+
+  ExploreResult run() {
+    State initial;
+    for (std::size_t i = 0; i < scripts_.size(); ++i) {
+      const NodeId self{static_cast<std::uint32_t>(i)};
+      initial.nodes.emplace_back(self, kLock, i == 0,
+                                 i == 0 ? NodeId::none() : NodeId{0},
+                                 options_.config);
+    }
+    initial.pc.assign(scripts_.size(), 0);
+    initial.status.assign(scripts_.size(), Status::kIdle);
+    for (std::size_t i = 0; i < scripts_.size(); ++i) {
+      if (scripts_[i].empty()) initial.status[i] = Status::kDone;
+    }
+
+    dfs(initial);
+    if (result_.violation.empty()) result_.ok = true;
+    return result_;
+  }
+
+ private:
+  /// Applies one automaton step's effects to the state; returns false and
+  /// records a violation if a safety property broke.
+  bool absorb(State& state, std::size_t node, Effects&& fx) {
+    for (Message& message : fx.messages) {
+      state.channels[{message.from.value(), message.to.value()}].push_back(
+          std::move(message));
+    }
+    if (fx.entered_cs) {
+      HLOCK_INVARIANT(state.status[node] == Status::kWaiting ||
+                          state.status[node] == Status::kIdle,
+                      "grant delivered to a node that was not waiting");
+      state.status[node] = Status::kIdle;
+    }
+    if (fx.upgraded) {
+      state.status[node] = Status::kIdle;
+    }
+    if (state.status[node] == Status::kIdle &&
+        state.pc[node] >= scripts_[node].size()) {
+      state.status[node] = Status::kDone;
+    }
+    return check_safety(state);
+  }
+
+  bool check_safety(const State& state) {
+    std::size_t tokens = 0;
+    for (const HierAutomaton& node : state.nodes) {
+      if (node.is_token()) ++tokens;
+    }
+    for (const auto& [key, queue] : state.channels) {
+      for (const Message& message : queue) {
+        if (std::holds_alternative<proto::HierToken>(message.payload)) {
+          ++tokens;
+        }
+      }
+    }
+    if (tokens != 1) {
+      return fail("token conservation violated: " + std::to_string(tokens) +
+                  " tokens");
+    }
+    for (std::size_t a = 0; a < state.nodes.size(); ++a) {
+      for (std::size_t b = a + 1; b < state.nodes.size(); ++b) {
+        const LockMode ma = state.nodes[a].held();
+        const LockMode mb = state.nodes[b].held();
+        if (ma != LockMode::kNL && mb != LockMode::kNL &&
+            core::incompatible(ma, mb)) {
+          return fail("incompatible holds: node" + std::to_string(a) + "=" +
+                      to_string(ma) + " with node" + std::to_string(b) +
+                      "=" + to_string(mb));
+        }
+      }
+    }
+    return true;
+  }
+
+  bool fail(const std::string& message) {
+    if (result_.violation.empty()) {
+      result_.violation = message;
+      result_.trace = trace_;
+    }
+    return false;
+  }
+
+  void check_terminal(const State& state) {
+    ++result_.terminal_states;
+    for (std::size_t i = 0; i < state.nodes.size(); ++i) {
+      if (state.status[i] != Status::kDone) {
+        fail("terminal state with unfinished script at node" +
+             std::to_string(i) + " (deadlock or lost request): " +
+             state.nodes[i].describe());
+        return;
+      }
+    }
+    // Quiescent structure: copysets mutual and accurate.
+    for (std::size_t i = 0; i < state.nodes.size(); ++i) {
+      for (const core::CopysetEntry& entry : state.nodes[i].copyset()) {
+        const HierAutomaton& child = state.nodes[entry.node.value()];
+        if (child.parent().value() != i) {
+          fail("terminal state with non-mutual copyset at node" +
+               std::to_string(i));
+          return;
+        }
+        if (child.owned() != entry.mode) {
+          fail("terminal state with stale copyset mode at node" +
+               std::to_string(i));
+          return;
+        }
+      }
+    }
+  }
+
+  void dfs(const State& state) {
+    if (!result_.violation.empty()) return;
+    if (!visited_.insert(state.fingerprint()).second) return;
+    ++result_.states_explored;
+    if (result_.states_explored > options_.max_states) {
+      fail("state limit exceeded (" + std::to_string(options_.max_states) +
+           ")");
+      return;
+    }
+
+    bool any_action = false;
+
+    // Action class 1: deliver the head of any nonempty channel.
+    for (const auto& [key, queue] : state.channels) {
+      any_action = true;
+      State next = state;
+      auto it = next.channels.find(key);
+      const Message message = it->second.front();
+      it->second.pop_front();
+      if (it->second.empty()) next.channels.erase(it);
+
+      ++result_.transitions;
+      trace_.push_back("deliver " + to_string(message));
+      const std::size_t to = message.to.value();
+      if (absorb(next, to, next.nodes[to].on_message(message))) {
+        dfs(next);
+      }
+      trace_.pop_back();
+      if (!result_.violation.empty()) return;
+    }
+
+    // Action class 2: a node issues its next script op.
+    for (std::size_t i = 0; i < state.nodes.size(); ++i) {
+      if (state.status[i] != Status::kIdle) continue;
+      if (state.pc[i] >= scripts_[i].size()) continue;
+      const ScriptOp op = scripts_[i][state.pc[i]];
+      any_action = true;
+
+      State next = state;
+      ++next.pc[i];
+      ++result_.transitions;
+      Effects fx;
+      switch (op.kind) {
+        case ScriptOp::Kind::kAcquire:
+          trace_.push_back("node" + std::to_string(i) + " acquire " +
+                           to_string(op.mode) + "/p" +
+                           std::to_string(op.priority));
+          next.status[i] = Status::kWaiting;
+          fx = next.nodes[i].request(op.mode, op.priority);
+          break;
+        case ScriptOp::Kind::kRelease:
+          trace_.push_back("node" + std::to_string(i) + " release");
+          fx = next.nodes[i].release();
+          break;
+        case ScriptOp::Kind::kUpgrade:
+          trace_.push_back("node" + std::to_string(i) + " upgrade");
+          next.status[i] = Status::kUpgrading;
+          fx = next.nodes[i].upgrade();
+          break;
+      }
+      if (absorb(next, i, std::move(fx))) dfs(next);
+      trace_.pop_back();
+      if (!result_.violation.empty()) return;
+    }
+
+    if (!any_action) check_terminal(state);
+  }
+
+  const std::vector<Script>& scripts_;
+  const ExploreOptions& options_;
+  ExploreResult result_;
+  std::unordered_set<std::string> visited_;
+  std::vector<std::string> trace_;
+};
+
+// ---------------------------------------------------------------------------
+// Mode-less protocols (Naimi, Raymond): a smaller exhaustive explorer over
+// acquire/release scripts, parameterized by the automaton type and its
+// structural terminal check.
+// ---------------------------------------------------------------------------
+
+template <typename Automaton>
+class ModelessExplorer {
+ public:
+  using TerminalCheck = std::string (*)(const std::vector<Automaton>&);
+
+  ModelessExplorer(const std::vector<Script>& scripts,
+                   std::vector<Automaton> initial_nodes,
+                   TerminalCheck terminal_check, std::uint64_t max_states)
+      : scripts_(scripts), initial_nodes_(std::move(initial_nodes)),
+        terminal_check_(terminal_check), max_states_(max_states) {}
+
+  ExploreResult run() {
+    // Aggregate construction: the automatons have const members, so the
+    // vector must be moved in (element copy-assignment is deleted).
+    State initial{std::move(initial_nodes_),
+                  {},
+                  std::vector<std::size_t>(scripts_.size(), 0)};
+    dfs(initial);
+    if (result_.violation.empty()) result_.ok = true;
+    return result_;
+  }
+
+ private:
+  struct State {
+    std::vector<Automaton> nodes;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::deque<Message>>
+        channels;
+    std::vector<std::size_t> pc;
+
+    std::string fingerprint() const {
+      std::ostringstream os;
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        os << 'N' << i << '[' << nodes[i].fingerprint() << ']' << pc[i];
+      }
+      for (const auto& [key, queue] : channels) {
+        os << 'C' << key.first << '>' << key.second << '{';
+        for (const Message& message : queue) os << to_string(message) << ';';
+        os << '}';
+      }
+      return os.str();
+    }
+  };
+
+  bool fail(const std::string& message) {
+    if (result_.violation.empty()) {
+      result_.violation = message;
+      result_.trace = trace_;
+    }
+    return false;
+  }
+
+  bool absorb(State& state, Effects&& fx) {
+    for (Message& message : fx.messages) {
+      state.channels[{message.from.value(), message.to.value()}].push_back(
+          std::move(message));
+    }
+    // Safety: at most one node inside its critical section; exactly one
+    // token at rest or in flight.
+    std::size_t in_cs = 0;
+    std::size_t tokens = 0;
+    for (const Automaton& node : state.nodes) {
+      in_cs += node.in_cs() ? 1u : 0u;
+      tokens += node.has_token() ? 1u : 0u;
+    }
+    for (const auto& [key, queue] : state.channels) {
+      for (const Message& message : queue) {
+        if (std::holds_alternative<proto::NaimiToken>(message.payload)) {
+          ++tokens;
+        }
+      }
+    }
+    if (in_cs > 1) return fail("mutual exclusion violated");
+    if (tokens != 1) {
+      return fail("token conservation violated: " + std::to_string(tokens));
+    }
+    return true;
+  }
+
+  void check_terminal(const State& state) {
+    ++result_.terminal_states;
+    for (std::size_t i = 0; i < state.nodes.size(); ++i) {
+      if (state.pc[i] < scripts_[i].size() || state.nodes[i].requesting() ||
+          state.nodes[i].in_cs()) {
+        fail("terminal state with unfinished script at node" +
+             std::to_string(i) + ": " + state.nodes[i].describe());
+        return;
+      }
+    }
+    const std::string structural = terminal_check_(state.nodes);
+    if (!structural.empty()) fail(structural);
+  }
+
+  void dfs(const State& state) {
+    if (!result_.violation.empty()) return;
+    if (!visited_.insert(state.fingerprint()).second) return;
+    ++result_.states_explored;
+    if (result_.states_explored > max_states_) {
+      fail("state limit exceeded");
+      return;
+    }
+
+    bool any_action = false;
+    for (const auto& [key, queue] : state.channels) {
+      any_action = true;
+      State next = state;
+      auto it = next.channels.find(key);
+      const Message message = it->second.front();
+      it->second.pop_front();
+      if (it->second.empty()) next.channels.erase(it);
+      ++result_.transitions;
+      trace_.push_back("deliver " + to_string(message));
+      if (absorb(next, next.nodes[message.to.value()].on_message(message))) {
+        dfs(next);
+      }
+      trace_.pop_back();
+      if (!result_.violation.empty()) return;
+    }
+
+    for (std::size_t i = 0; i < state.nodes.size(); ++i) {
+      if (state.pc[i] >= scripts_[i].size()) continue;
+      const ScriptOp op = scripts_[i][state.pc[i]];
+      // An acquire may only be issued when idle; a release when inside.
+      if (op.kind == ScriptOp::Kind::kAcquire &&
+          (state.nodes[i].in_cs() || state.nodes[i].requesting())) {
+        continue;
+      }
+      if (op.kind == ScriptOp::Kind::kRelease && !state.nodes[i].in_cs()) {
+        continue;
+      }
+      any_action = true;
+      State next = state;
+      ++next.pc[i];
+      ++result_.transitions;
+      trace_.push_back("node" + std::to_string(i) +
+                       (op.kind == ScriptOp::Kind::kAcquire ? " acquire"
+                                                            : " release"));
+      Effects fx = op.kind == ScriptOp::Kind::kAcquire
+                       ? next.nodes[i].request()
+                       : next.nodes[i].release();
+      if (absorb(next, std::move(fx))) dfs(next);
+      trace_.pop_back();
+      if (!result_.violation.empty()) return;
+    }
+
+    if (!any_action) check_terminal(state);
+  }
+
+  const std::vector<Script>& scripts_;
+  std::vector<Automaton> initial_nodes_;
+  TerminalCheck terminal_check_;
+  std::uint64_t max_states_;
+  ExploreResult result_;
+  std::unordered_set<std::string> visited_;
+  std::vector<std::string> trace_;
+};
+
+void validate_modeless_scripts(const std::vector<Script>& scripts) {
+  HLOCK_REQUIRE(!scripts.empty(), "explore needs at least one node script");
+  for (const Script& script : scripts) {
+    bool holding = false;
+    for (const ScriptOp& op : script) {
+      switch (op.kind) {
+        case ScriptOp::Kind::kAcquire:
+          HLOCK_REQUIRE(!holding, "script acquires while holding");
+          holding = true;
+          break;
+        case ScriptOp::Kind::kRelease:
+          HLOCK_REQUIRE(holding, "script releases without holding");
+          holding = false;
+          break;
+        case ScriptOp::Kind::kUpgrade:
+          throw UsageError("mode-less protocols have no upgrade");
+      }
+    }
+  }
+}
+
+std::string naimi_terminal_check(
+    const std::vector<naimi::NaimiAutomaton>& nodes) {
+  std::size_t roots = 0;
+  std::size_t tokens = 0;
+  for (const auto& node : nodes) {
+    roots += node.probable_owner().is_none() ? 1u : 0u;
+    tokens += node.has_token() ? 1u : 0u;
+  }
+  if (roots != 1) return "terminal state with " + std::to_string(roots) +
+                         " roots";
+  if (tokens != 1) return "terminal state with " + std::to_string(tokens) +
+                          " tokens";
+  return "";
+}
+
+std::string raymond_terminal_check(
+    const std::vector<raymond::RaymondAutomaton>& nodes) {
+  std::size_t holders = 0;
+  for (const auto& node : nodes) holders += node.has_token() ? 1u : 0u;
+  if (holders != 1) {
+    return "terminal state with " + std::to_string(holders) +
+           " privilege holders";
+  }
+  // Every holder chain must reach the token holder within n hops.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::size_t walker = i;
+    std::size_t hops = 0;
+    while (!nodes[walker].has_token()) {
+      walker = nodes[walker].holder().value();
+      if (++hops > nodes.size()) {
+        return "terminal holder cycle from node" + std::to_string(i);
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+ExploreResult explore_naimi(const std::vector<Script>& scripts,
+                            std::uint64_t max_states) {
+  validate_modeless_scripts(scripts);
+  std::vector<naimi::NaimiAutomaton> nodes;
+  for (std::size_t i = 0; i < scripts.size(); ++i) {
+    nodes.emplace_back(NodeId{static_cast<std::uint32_t>(i)}, kLock, i == 0,
+                       i == 0 ? NodeId::none() : NodeId{0});
+  }
+  ModelessExplorer<naimi::NaimiAutomaton> explorer{
+      scripts, std::move(nodes), naimi_terminal_check, max_states};
+  return explorer.run();
+}
+
+ExploreResult explore_raymond(const std::vector<Script>& scripts,
+                              std::uint64_t max_states) {
+  validate_modeless_scripts(scripts);
+  const auto tree = raymond::balanced_tree(scripts.size());
+  std::vector<raymond::RaymondAutomaton> nodes;
+  for (std::size_t i = 0; i < scripts.size(); ++i) {
+    nodes.emplace_back(NodeId{static_cast<std::uint32_t>(i)}, kLock,
+                       i == 0 ? NodeId{0} : tree[i].holder,
+                       tree[i].neighbors);
+  }
+  ModelessExplorer<raymond::RaymondAutomaton> explorer{
+      scripts, std::move(nodes), raymond_terminal_check, max_states};
+  return explorer.run();
+}
+
+ExploreResult explore(const std::vector<Script>& scripts,
+                      const ExploreOptions& options) {
+  HLOCK_REQUIRE(!scripts.empty(), "explore needs at least one node script");
+  // Scripts must be locally well-formed (acquire/release alternation) or
+  // the automaton preconditions fire mid-exploration.
+  for (const Script& script : scripts) {
+    bool holding = false;
+    for (const ScriptOp& op : script) {
+      switch (op.kind) {
+        case ScriptOp::Kind::kAcquire:
+          HLOCK_REQUIRE(!holding, "script acquires while holding");
+          HLOCK_REQUIRE(op.mode != proto::LockMode::kNL,
+                        "script acquires NL");
+          holding = true;
+          break;
+        case ScriptOp::Kind::kRelease:
+          HLOCK_REQUIRE(holding, "script releases without holding");
+          holding = false;
+          break;
+        case ScriptOp::Kind::kUpgrade:
+          HLOCK_REQUIRE(holding, "script upgrades without holding");
+          break;
+      }
+    }
+  }
+  Explorer explorer{scripts, options};
+  return explorer.run();
+}
+
+}  // namespace hlock::modelcheck

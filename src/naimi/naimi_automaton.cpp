@@ -1,0 +1,127 @@
+#include "naimi/naimi_automaton.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hlock::naimi {
+
+using proto::Message;
+using proto::NaimiRequest;
+using proto::NaimiToken;
+using proto::Payload;
+
+NaimiAutomaton::NaimiAutomaton(NodeId self, LockId lock, bool initially_token,
+                               NodeId initial_owner)
+    : self_(self), lock_(lock), owner_(initial_owner),
+      next_(NodeId::none()), has_token_(initially_token) {
+  if (initially_token) {
+    HLOCK_REQUIRE(initial_owner.is_none(),
+                  "the initial token node must be the tree root");
+  } else {
+    HLOCK_REQUIRE(!initial_owner.is_none() && initial_owner != self,
+                  "non-token nodes need a probable owner other than self");
+  }
+}
+
+Effects NaimiAutomaton::request() {
+  HLOCK_REQUIRE(!in_cs_, "node is already inside the critical section");
+  HLOCK_REQUIRE(!requesting_, "a request is already outstanding");
+  Effects fx;
+  if (owner_.is_none()) {
+    // We are the root: the token is here and idle (if it were in use or
+    // promised, a previous request would have re-rooted the tree away).
+    HLOCK_INVARIANT(has_token_, "tree root without the token");
+    in_cs_ = true;
+    fx.entered_cs = true;
+    return fx;
+  }
+  requesting_ = true;
+  send(owner_, NaimiRequest{self_, next_seq_++}, fx);
+  // Path reversal: we are the new last requester, hence the new root.
+  owner_ = NodeId::none();
+  return fx;
+}
+
+Effects NaimiAutomaton::release() {
+  HLOCK_REQUIRE(in_cs_, "release without holding the lock");
+  Effects fx;
+  in_cs_ = false;
+  if (!next_.is_none()) {
+    has_token_ = false;
+    send(next_, NaimiToken{}, fx);
+    next_ = NodeId::none();
+  }
+  return fx;
+}
+
+Effects NaimiAutomaton::on_message(const Message& message) {
+  HLOCK_REQUIRE(message.to == self_, "message delivered to the wrong node");
+  HLOCK_REQUIRE(message.lock == lock_,
+                "message delivered to the wrong lock instance");
+  Effects fx;
+  if (const auto* request = std::get_if<NaimiRequest>(&message.payload)) {
+    handle_request(*request, fx);
+  } else if (std::get_if<NaimiToken>(&message.payload)) {
+    handle_token(fx);
+  } else {
+    HLOCK_INVARIANT(false,
+                    "hierarchical payload delivered to a NaimiAutomaton");
+  }
+  return fx;
+}
+
+void NaimiAutomaton::handle_request(const NaimiRequest& request, Effects& fx) {
+  HLOCK_INVARIANT(request.requester != self_,
+                  "a node's own request was routed back to it");
+  if (owner_.is_none()) {
+    // We are the root: the requester queues behind us — either it gets the
+    // idle token immediately, or it becomes our successor.
+    if (has_token_ && !in_cs_ && !requesting_) {
+      has_token_ = false;
+      send(request.requester, NaimiToken{}, fx);
+    } else {
+      HLOCK_INVARIANT(next_.is_none(),
+                      "root already promised the token to a successor");
+      next_ = request.requester;
+    }
+  } else {
+    // Not the root: relay toward the probable owner.
+    send(owner_, request, fx);
+  }
+  // Path reversal: the requester is the last requester we know of, so it
+  // becomes our probable owner — this is what compresses future paths.
+  owner_ = NodeId{request.requester};
+}
+
+void NaimiAutomaton::handle_token(Effects& fx) {
+  HLOCK_INVARIANT(requesting_, "token arrived without an outstanding request");
+  HLOCK_INVARIANT(!has_token_, "token arrived at the current token holder");
+  has_token_ = true;
+  requesting_ = false;
+  in_cs_ = true;
+  fx.entered_cs = true;
+}
+
+void NaimiAutomaton::send(NodeId to, Payload payload, Effects& fx) const {
+  HLOCK_INVARIANT(!to.is_none(), "attempted to send to the null node");
+  fx.messages.push_back(Message{self_, to, lock_, std::move(payload)});
+}
+
+std::string NaimiAutomaton::fingerprint() const {
+  std::ostringstream os;
+  os << owner_.value() << '/' << next_.value() << '/'
+     << (has_token_ ? 'T' : 't') << (in_cs_ ? 'C' : 'c')
+     << (requesting_ ? 'R' : 'r') << next_seq_;
+  return os.str();
+}
+
+std::string NaimiAutomaton::describe() const {
+  std::ostringstream os;
+  os << to_string(self_) << " owner=" << to_string(owner_)
+     << " next=" << to_string(next_) << " token=" << (has_token_ ? 1 : 0)
+     << " cs=" << (in_cs_ ? 1 : 0) << " req=" << (requesting_ ? 1 : 0);
+  return os.str();
+}
+
+}  // namespace hlock::naimi

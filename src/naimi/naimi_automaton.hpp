@@ -1,0 +1,88 @@
+// The Naimi-Tréhel-Arnold O(log n) token-based mutual exclusion protocol
+// (paper §2), used as the non-hierarchical baseline in the evaluation.
+//
+// Two distributed structures are maintained:
+//  * a dynamic logical tree of probable-owner links along which requests are
+//    routed toward the last requester, with path reversal (every node on a
+//    request's path re-points its link at the requester), which yields the
+//    O(log n) average message complexity; and
+//  * a distributed FIFO list of waiting requesters threaded through `next`
+//    pointers, starting at the current token holder.
+//
+// The protocol has a single exclusive mode: lock modes are ignored, which is
+// exactly the functional gap the paper's "same work" / "pure" workload
+// variants explore.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/effects.hpp"
+#include "proto/ids.hpp"
+#include "proto/message.hpp"
+
+namespace hlock::naimi {
+
+using core::Effects;
+using proto::LockId;
+using proto::NodeId;
+
+/// Per-(node, lock) state machine of the Naimi-Tréhel protocol. Pure state
+/// machine: all I/O is returned as Effects, exactly like HierAutomaton.
+class NaimiAutomaton {
+ public:
+  /// Constructs the automaton for `self` on `lock`. Exactly one node is
+  /// created with the token (`initially_token`); the probable-owner links of
+  /// all other nodes must transitively reach it.
+  NaimiAutomaton(NodeId self, LockId lock, bool initially_token,
+                 NodeId initial_owner);
+
+  // ---- Application API ----
+
+  /// Requests the (exclusive) lock. Precondition: not holding, not waiting.
+  /// Effects::entered_cs reports immediate entry (token already here).
+  Effects request();
+
+  /// Releases the lock; passes the token to `next` if somebody waits.
+  Effects release();
+
+  /// Delivers one protocol message addressed to this node.
+  Effects on_message(const proto::Message& message);
+
+  // ---- Introspection ----
+
+  NodeId self() const { return self_; }
+  /// True if the token currently rests at this node.
+  bool has_token() const { return has_token_; }
+  /// True while inside the critical section.
+  bool in_cs() const { return in_cs_; }
+  /// True while waiting for the token.
+  bool requesting() const { return requesting_; }
+  /// Probable owner link; none when this node believes itself the root
+  /// (i.e. it was the last requester it knows of).
+  NodeId probable_owner() const { return owner_; }
+  /// Successor in the distributed waiting list; none if no one queued here.
+  NodeId next() const { return next_; }
+  /// One-line state dump for traces and test diagnostics.
+  std::string describe() const;
+
+  /// Complete canonical state serialization (model-checker dedup).
+  std::string fingerprint() const;
+
+ private:
+  void handle_request(const proto::NaimiRequest& request, Effects& fx);
+  void handle_token(Effects& fx);
+  void send(NodeId to, proto::Payload payload, Effects& fx) const;
+
+  const NodeId self_;
+  const LockId lock_;
+
+  NodeId owner_;  ///< probable owner; none iff this node is the tree root
+  NodeId next_;   ///< successor in the distributed FIFO list
+  bool has_token_ = false;
+  bool in_cs_ = false;
+  bool requesting_ = false;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hlock::naimi

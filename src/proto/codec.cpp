@@ -1,0 +1,199 @@
+#include "proto/codec.hpp"
+
+#include <cstring>
+
+namespace hlock::proto {
+
+void WireWriter::u8(std::uint8_t v) { out_.push_back(std::byte{v}); }
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(std::byte{static_cast<std::uint8_t>(v >> (8 * i))});
+  }
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(std::byte{static_cast<std::uint8_t>(v >> (8 * i))});
+  }
+}
+
+void WireWriter::node(NodeId id) { u32(id.value()); }
+void WireWriter::lock(LockId id) { u32(id.value()); }
+void WireWriter::mode(LockMode m) {
+  u8(static_cast<std::uint8_t>(mode_index(m)));
+}
+
+std::optional<std::uint8_t> WireReader::u8() {
+  if (remaining() < 1) return std::nullopt;
+  return static_cast<std::uint8_t>(in_[pos_++]);
+}
+
+std::optional<std::uint32_t> WireReader::u32() {
+  if (remaining() < 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::optional<std::uint64_t> WireReader::u64() {
+  if (remaining() < 8) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::optional<NodeId> WireReader::node() {
+  auto v = u32();
+  if (!v) return std::nullopt;
+  return NodeId{*v};
+}
+
+std::optional<LockId> WireReader::lock() {
+  auto v = u32();
+  if (!v) return std::nullopt;
+  return LockId{*v};
+}
+
+std::optional<LockMode> WireReader::mode() {
+  auto v = u8();
+  if (!v || *v >= kModeCount) return std::nullopt;
+  return static_cast<LockMode>(*v);
+}
+
+namespace {
+
+struct PayloadEncoder {
+  WireWriter& w;
+
+  void operator()(const HierRequest& p) const {
+    w.node(p.requester);
+    w.mode(p.mode);
+    w.u64(p.seq);
+    w.u8(p.priority);
+  }
+  void operator()(const HierGrant& p) const {
+    w.mode(p.mode);
+    w.mode(p.entry_mode);
+    w.u32(p.epoch);
+  }
+  void operator()(const HierToken& p) const {
+    w.mode(p.granted_mode);
+    w.mode(p.sender_owned);
+    w.u32(static_cast<std::uint32_t>(p.queue.size()));
+    for (const QueuedRequest& q : p.queue) {
+      w.node(q.requester);
+      w.mode(q.mode);
+      w.u64(q.seq);
+      w.u8(q.priority);
+    }
+  }
+  void operator()(const HierRelease& p) const {
+    w.mode(p.new_owned);
+    w.u32(p.epoch);
+  }
+  void operator()(const HierFreeze& p) const { w.u8(p.modes.bits()); }
+  void operator()(const NaimiRequest& p) const {
+    w.node(p.requester);
+    w.u64(p.seq);
+  }
+  void operator()(const NaimiToken&) const {}
+};
+
+std::optional<Payload> decode_payload(MessageKind kind, WireReader& r) {
+  switch (kind) {
+    case MessageKind::kHierRequest: {
+      auto requester = r.node();
+      auto mode = r.mode();
+      auto seq = r.u64();
+      auto priority = r.u8();
+      if (!requester || !mode || !seq || !priority) return std::nullopt;
+      return Payload{HierRequest{*requester, *mode, *seq, *priority}};
+    }
+    case MessageKind::kHierGrant: {
+      auto mode = r.mode();
+      auto entry_mode = r.mode();
+      auto epoch = r.u32();
+      if (!mode || !entry_mode || !epoch) return std::nullopt;
+      return Payload{HierGrant{*mode, *entry_mode, *epoch}};
+    }
+    case MessageKind::kHierToken: {
+      auto granted = r.mode();
+      auto owned = r.mode();
+      auto count = r.u32();
+      if (!granted || !owned || !count) return std::nullopt;
+      // Each queue entry occupies 14 bytes; reject counts the buffer cannot
+      // possibly hold before allocating.
+      if (*count > r.remaining() / 14) return std::nullopt;
+      HierToken token{*granted, *owned, {}};
+      token.queue.reserve(*count);
+      for (std::uint32_t i = 0; i < *count; ++i) {
+        auto requester = r.node();
+        auto mode = r.mode();
+        auto seq = r.u64();
+        auto priority = r.u8();
+        if (!requester || !mode || !seq || !priority) return std::nullopt;
+        token.queue.push_back(
+            QueuedRequest{*requester, *mode, *seq, *priority});
+      }
+      return Payload{std::move(token)};
+    }
+    case MessageKind::kHierRelease: {
+      auto mode = r.mode();
+      auto epoch = r.u32();
+      if (!mode || !epoch) return std::nullopt;
+      return Payload{HierRelease{*mode, *epoch}};
+    }
+    case MessageKind::kHierFreeze: {
+      auto bits = r.u8();
+      if (!bits || (*bits & ~std::uint8_t{0x3F}) != 0) return std::nullopt;
+      return Payload{HierFreeze{ModeSet::from_bits(*bits)}};
+    }
+    case MessageKind::kNaimiRequest: {
+      auto requester = r.node();
+      auto seq = r.u64();
+      if (!requester || !seq) return std::nullopt;
+      return Payload{NaimiRequest{*requester, *seq}};
+    }
+    case MessageKind::kNaimiToken:
+      return Payload{NaimiToken{}};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode(const Message& m) {
+  std::vector<std::byte> out;
+  out.reserve(32);
+  WireWriter w{out};
+  w.node(m.from);
+  w.node(m.to);
+  w.lock(m.lock);
+  w.u8(static_cast<std::uint8_t>(kind_of(m.payload)));
+  std::visit(PayloadEncoder{w}, m.payload);
+  return out;
+}
+
+std::optional<Message> decode(std::span<const std::byte> bytes) {
+  WireReader r{bytes};
+  auto from = r.node();
+  auto to = r.node();
+  auto lock = r.lock();
+  auto kind_raw = r.u8();
+  if (!from || !to || !lock || !kind_raw) return std::nullopt;
+  if (*kind_raw >= kMessageKindCount) return std::nullopt;
+  auto payload = decode_payload(static_cast<MessageKind>(*kind_raw), r);
+  if (!payload || r.remaining() != 0) return std::nullopt;
+  return Message{*from, *to, *lock, std::move(*payload)};
+}
+
+}  // namespace hlock::proto

@@ -1,0 +1,68 @@
+// Binary wire codec for protocol messages.
+//
+// The in-process transports could pass Message structs by value, but a real
+// deployment ships bytes; encoding through this codec keeps the protocol
+// honest about what information actually crosses the network (the threaded
+// transport round-trips every message through it by default). The format is
+// a fixed little-endian layout with a length-prefixed queue section — no
+// pointers, no padding, portable across platforms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "proto/message.hpp"
+
+namespace hlock::proto {
+
+/// Appends little-endian primitives to a byte buffer.
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<std::byte>& out) : out_(out) {}
+
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void node(NodeId id);
+  void lock(LockId id);
+  void mode(LockMode m);
+
+ private:
+  std::vector<std::byte>& out_;
+};
+
+/// Consumes little-endian primitives from a byte span. All read methods
+/// return std::nullopt once the input is exhausted or malformed; decoding
+/// never throws on bad input (a hostile or truncated packet must not crash
+/// a lock server).
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::byte> in) : in_(in) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  std::optional<NodeId> node();
+  std::optional<LockId> lock();
+  std::optional<LockMode> mode();
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  std::span<const std::byte> in_;
+  std::size_t pos_ = 0;
+};
+
+/// Serializes a message; the result is self-contained (no framing needed
+/// beyond the byte count).
+std::vector<std::byte> encode(const Message& m);
+
+/// Parses a message previously produced by encode(). Returns std::nullopt
+/// for truncated or corrupt input, including trailing garbage.
+std::optional<Message> decode(std::span<const std::byte> bytes);
+
+}  // namespace hlock::proto

@@ -1,0 +1,12 @@
+#include "proto/ids.hpp"
+
+namespace hlock::proto {
+
+std::string to_string(NodeId id) {
+  if (id.is_none()) return "none";
+  return "node" + std::to_string(id.value());
+}
+
+std::string to_string(LockId id) { return "lock" + std::to_string(id.value()); }
+
+}  // namespace hlock::proto

@@ -1,0 +1,67 @@
+// Strong identifier types for protocol participants and lock objects.
+//
+// NodeId and LockId are distinct types (not raw integers) so a node index
+// can never be passed where a lock index is expected; both are cheap value
+// types usable as container keys.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace hlock::proto {
+
+/// Identifies one protocol participant (a process/machine in the paper's
+/// terminology). Dense indices [0, n) are assigned by the runtime.
+class NodeId {
+ public:
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint32_t v) : value_(v) {}
+
+  /// Sentinel meaning "no node" (e.g. the token root has no parent).
+  static constexpr NodeId none() { return NodeId{kNone}; }
+
+  constexpr bool is_none() const { return value_ == kNone; }
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr auto operator<=>(const NodeId&) const = default;
+
+ private:
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+  std::uint32_t value_ = kNone;
+};
+
+/// Identifies one lock object (one shared resource). A deployment hosts an
+/// arbitrary number of locks; each runs an independent protocol instance.
+class LockId {
+ public:
+  constexpr LockId() = default;
+  constexpr explicit LockId(std::uint32_t v) : value_(v) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr auto operator<=>(const LockId&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// "node<k>" / "none" — for logs and test diagnostics.
+std::string to_string(NodeId id);
+/// "lock<k>" — for logs and test diagnostics.
+std::string to_string(LockId id);
+
+}  // namespace hlock::proto
+
+template <>
+struct std::hash<hlock::proto::NodeId> {
+  std::size_t operator()(hlock::proto::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+
+template <>
+struct std::hash<hlock::proto::LockId> {
+  std::size_t operator()(hlock::proto::LockId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,36 @@
+#include "proto/lock_mode.hpp"
+
+namespace hlock::proto {
+
+std::string to_string(LockMode m) {
+  switch (m) {
+    case LockMode::kNL:
+      return "NL";
+    case LockMode::kIR:
+      return "IR";
+    case LockMode::kR:
+      return "R";
+    case LockMode::kU:
+      return "U";
+    case LockMode::kIW:
+      return "IW";
+    case LockMode::kW:
+      return "W";
+  }
+  return "?";
+}
+
+std::string to_string(ModeSet s) {
+  std::string out = "{";
+  bool first = true;
+  for (LockMode m : kAllModes) {
+    if (!s.contains(m)) continue;
+    if (!first) out += ',';
+    out += to_string(m);
+    first = false;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace hlock::proto

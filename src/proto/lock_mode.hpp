@@ -1,0 +1,113 @@
+// Lock access modes of the hierarchical protocol (paper §3.1).
+//
+// The five modes follow the CORBA Concurrency Service / classic
+// multi-granularity locking model: Intent Read (IR), Read (R), Upgrade (U),
+// Intent Write (IW) and Write (W), plus the "no lock" pseudo-mode NL used
+// for empty owned/held/pending fields. Mode *semantics* (compatibility,
+// strength, grant/queue/freeze tables) live in core/mode_tables.hpp; this
+// header only defines the wire-visible vocabulary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace hlock::proto {
+
+/// A lock access mode. Numeric values are wire-stable and index the rule
+/// tables; kNL sorts first so iteration over "real" modes can skip it.
+enum class LockMode : std::uint8_t {
+  kNL = 0,  ///< No lock (the empty mode, "–" in the paper's tables).
+  kIR = 1,  ///< Intent Read: announces reads at a finer granularity below.
+  kR = 2,   ///< Read: shared access.
+  kU = 3,   ///< Upgrade: exclusive read, convertible to W without release.
+  kIW = 4,  ///< Intent Write: announces writes at a finer granularity below.
+  kW = 5,   ///< Write: exclusive access.
+};
+
+/// Number of distinct LockMode values including kNL.
+inline constexpr std::size_t kModeCount = 6;
+
+/// The five real (non-NL) modes in table order; handy for sweeps and tests.
+inline constexpr std::array<LockMode, 5> kRealModes = {
+    LockMode::kIR, LockMode::kR, LockMode::kU, LockMode::kIW, LockMode::kW};
+
+/// All six modes including kNL.
+inline constexpr std::array<LockMode, 6> kAllModes = {
+    LockMode::kNL, LockMode::kIR, LockMode::kR,
+    LockMode::kU,  LockMode::kIW, LockMode::kW};
+
+/// Table/array index of a mode (its numeric value).
+constexpr std::size_t mode_index(LockMode m) {
+  return static_cast<std::size_t>(m);
+}
+
+/// "NL", "IR", "R", "U", "IW" or "W".
+std::string to_string(LockMode m);
+
+/// A small value-type set of lock modes (used for frozen-mode sets and the
+/// rule tables). Internally a 6-bit mask.
+class ModeSet {
+ public:
+  constexpr ModeSet() = default;
+
+  /// Builds a set from an explicit list, e.g. ModeSet::of({kIR, kR}).
+  static constexpr ModeSet of(std::initializer_list<LockMode> modes) {
+    ModeSet s;
+    for (LockMode m : modes) s.insert(m);
+    return s;
+  }
+
+  /// The set of all five real modes (excludes kNL).
+  static constexpr ModeSet all_real() {
+    return of({LockMode::kIR, LockMode::kR, LockMode::kU, LockMode::kIW,
+               LockMode::kW});
+  }
+
+  constexpr bool contains(LockMode m) const {
+    return (bits_ & bit(m)) != 0;
+  }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr void insert(LockMode m) { bits_ |= bit(m); }
+  constexpr void erase(LockMode m) { bits_ &= static_cast<std::uint8_t>(~bit(m)); }
+  constexpr void clear() { bits_ = 0; }
+
+  constexpr ModeSet operator|(ModeSet o) const {
+    return ModeSet{static_cast<std::uint8_t>(bits_ | o.bits_)};
+  }
+  constexpr ModeSet operator&(ModeSet o) const {
+    return ModeSet{static_cast<std::uint8_t>(bits_ & o.bits_)};
+  }
+  constexpr ModeSet& operator|=(ModeSet o) {
+    bits_ |= o.bits_;
+    return *this;
+  }
+  constexpr bool operator==(const ModeSet&) const = default;
+
+  /// Number of modes in the set.
+  constexpr int size() const {
+    int n = 0;
+    for (LockMode m : kAllModes)
+      if (contains(m)) ++n;
+    return n;
+  }
+
+  /// Raw bit mask; wire representation and hashing.
+  constexpr std::uint8_t bits() const { return bits_; }
+  /// Reconstructs a set from its wire mask (top bits ignored).
+  static constexpr ModeSet from_bits(std::uint8_t b) {
+    return ModeSet{static_cast<std::uint8_t>(b & 0x3F)};
+  }
+
+ private:
+  constexpr explicit ModeSet(std::uint8_t b) : bits_(b) {}
+  static constexpr std::uint8_t bit(LockMode m) {
+    return static_cast<std::uint8_t>(1u << mode_index(m));
+  }
+  std::uint8_t bits_ = 0;
+};
+
+/// "{IR,R,U}" — for logs and diagnostics.
+std::string to_string(ModeSet s);
+
+}  // namespace hlock::proto

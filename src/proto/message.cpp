@@ -1,0 +1,72 @@
+#include "proto/message.hpp"
+
+#include <sstream>
+
+namespace hlock::proto {
+
+MessageKind kind_of(const Payload& payload) {
+  return static_cast<MessageKind>(payload.index());
+}
+
+std::string to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kHierRequest:
+      return "REQUEST";
+    case MessageKind::kHierGrant:
+      return "GRANT";
+    case MessageKind::kHierToken:
+      return "TOKEN";
+    case MessageKind::kHierRelease:
+      return "RELEASE";
+    case MessageKind::kHierFreeze:
+      return "FREEZE";
+    case MessageKind::kNaimiRequest:
+      return "NREQUEST";
+    case MessageKind::kNaimiToken:
+      return "NTOKEN";
+  }
+  return "?";
+}
+
+namespace {
+struct PayloadPrinter {
+  std::ostringstream& os;
+
+  void operator()(const HierRequest& p) const {
+    os << "REQUEST(" << to_string(p.requester) << ", " << to_string(p.mode)
+       << ", seq=" << p.seq;
+    if (p.priority != 0) os << ", prio=" << static_cast<int>(p.priority);
+    os << ")";
+  }
+  void operator()(const HierGrant& p) const {
+    os << "GRANT(" << to_string(p.mode) << ", entry=" << to_string(p.entry_mode)
+       << ", epoch=" << p.epoch << ")";
+  }
+  void operator()(const HierToken& p) const {
+    os << "TOKEN(" << to_string(p.granted_mode)
+       << ", sender_owned=" << to_string(p.sender_owned)
+       << ", queued=" << p.queue.size() << ")";
+  }
+  void operator()(const HierRelease& p) const {
+    os << "RELEASE(" << to_string(p.new_owned) << ", epoch=" << p.epoch
+       << ")";
+  }
+  void operator()(const HierFreeze& p) const {
+    os << "FREEZE(" << to_string(p.modes) << ")";
+  }
+  void operator()(const NaimiRequest& p) const {
+    os << "NREQUEST(" << to_string(p.requester) << ", seq=" << p.seq << ")";
+  }
+  void operator()(const NaimiToken&) const { os << "NTOKEN"; }
+};
+}  // namespace
+
+std::string to_string(const Message& m) {
+  std::ostringstream os;
+  os << to_string(m.from) << "->" << to_string(m.to) << ' '
+     << to_string(m.lock) << ' ';
+  std::visit(PayloadPrinter{os}, m.payload);
+  return os.str();
+}
+
+}  // namespace hlock::proto

@@ -1,0 +1,164 @@
+// Protocol messages.
+//
+// Both protocols (the hierarchical multi-mode protocol of the paper and the
+// Naimi-Tréhel baseline) communicate exclusively through the Message
+// envelope below. Payloads are a closed std::variant so transports and the
+// simulator can route and count messages without knowing protocol details,
+// while automatons dispatch exhaustively (a new payload type is a compile
+// error in every switch).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "proto/ids.hpp"
+#include "proto/lock_mode.hpp"
+
+namespace hlock::proto {
+
+/// One request waiting in a local queue: who wants the lock, in which mode
+/// and at which priority. `seq` is the issuer-side sequence number, carried
+/// for diagnostics and FIFO-fairness checks in tests (the queue order
+/// itself defines FIFO within a priority level).
+///
+/// `priority` (0 = default, larger = more urgent) implements the prioritized
+/// token-based extension of Mueller's prior work the paper builds on
+/// (its refs [15, 16]): queues order by priority first, FIFO within equal
+/// priorities. All-zero priorities reduce to the paper's pure FIFO.
+struct QueuedRequest {
+  NodeId requester;
+  LockMode mode = LockMode::kNL;
+  std::uint64_t seq = 0;
+  std::uint8_t priority = 0;
+
+  bool operator==(const QueuedRequest&) const = default;
+};
+
+// ---- Hierarchical protocol payloads (paper §3.2-§3.4) ----
+
+/// A lock request travelling up the probable-owner (parent) chain toward a
+/// node able to grant it (Rules 2-4). `requester` is the origin, which may
+/// differ from the envelope sender when the request has been forwarded.
+/// `priority` as in QueuedRequest.
+struct HierRequest {
+  NodeId requester;
+  LockMode mode = LockMode::kNL;
+  std::uint64_t seq = 0;
+  std::uint8_t priority = 0;
+
+  bool operator==(const HierRequest&) const = default;
+};
+
+/// A copy grant (Rule 3): the sender admits the requester into its copyset
+/// in `mode`; the requester becomes a child of the sender.
+///
+/// `epoch` versions the parent-child relationship: the granter increments
+/// it on every grant and stamps its copyset entry; the child stamps all
+/// subsequent RELEASE messages with it. A release that crosses a newer
+/// grant in flight carries an older epoch and is discarded by the parent —
+/// without this, a weaken-to-NL release generated just before a re-grant
+/// would make the parent evict a child that holds the lock.
+/// `entry_mode` is the resulting copyset entry (stronger_of of the previous
+/// entry and `mode`), so the child can mirror the parent's record exactly.
+struct HierGrant {
+  LockMode mode = LockMode::kNL;
+  LockMode entry_mode = LockMode::kNL;
+  std::uint32_t epoch = 0;
+
+  bool operator==(const HierGrant&) const = default;
+};
+
+/// Token transfer (Rule 3 case 2, owned < requested): the requester becomes
+/// the new token node and the parent of the old token node.
+struct HierToken {
+  /// Mode granted to the requester (its pending mode).
+  LockMode granted_mode = LockMode::kNL;
+  /// The old token node's owned mode after the handover; kNL if it neither
+  /// holds the lock nor has holding children, in which case it does not
+  /// join the new token's copyset.
+  LockMode sender_owned = LockMode::kNL;
+  /// The old token's local queue, in FIFO order; responsibility for these
+  /// requests moves with the token.
+  std::vector<QueuedRequest> queue;
+
+  bool operator==(const HierToken&) const = default;
+};
+
+/// Release notification (Rule 5.2): the sending child's owned mode weakened
+/// to `new_owned` (kNL removes it from the parent's copyset). `epoch` is
+/// the epoch of the grant that created/refreshed the relationship (see
+/// HierGrant); the parent discards releases whose epoch does not match its
+/// current entry.
+struct HierRelease {
+  LockMode new_owned = LockMode::kNL;
+  std::uint32_t epoch = 0;
+
+  bool operator==(const HierRelease&) const = default;
+};
+
+/// Freeze notification (Rule 6): the receiver must stop granting the listed
+/// modes until its own owned mode drains to kNL (or it re-enters a copyset
+/// via a fresh grant). Propagated transitively down the copyset.
+struct HierFreeze {
+  ModeSet modes;
+
+  bool operator==(const HierFreeze&) const = default;
+};
+
+// ---- Naimi-Tréhel baseline payloads (paper §2) ----
+
+/// A mutual-exclusion request routed along probable-owner links with path
+/// reversal; `requester` queues at the current tail of the distributed list.
+struct NaimiRequest {
+  NodeId requester;
+  std::uint64_t seq = 0;
+
+  bool operator==(const NaimiRequest&) const = default;
+};
+
+/// The token: possession is the right to enter the critical section.
+struct NaimiToken {
+  bool operator==(const NaimiToken&) const = default;
+};
+
+/// All payloads a Message can carry.
+using Payload = std::variant<HierRequest, HierGrant, HierToken, HierRelease,
+                             HierFreeze, NaimiRequest, NaimiToken>;
+
+/// Payload discriminator, used by stats counters and the codec. Values are
+/// wire-stable.
+enum class MessageKind : std::uint8_t {
+  kHierRequest = 0,
+  kHierGrant = 1,
+  kHierToken = 2,
+  kHierRelease = 3,
+  kHierFreeze = 4,
+  kNaimiRequest = 5,
+  kNaimiToken = 6,
+};
+
+/// Number of distinct MessageKind values.
+inline constexpr std::size_t kMessageKindCount = 7;
+
+/// Returns the discriminator of a payload.
+MessageKind kind_of(const Payload& payload);
+
+/// "REQUEST", "GRANT", "TOKEN", "RELEASE", "FREEZE", "NREQUEST", "NTOKEN".
+std::string to_string(MessageKind kind);
+
+/// The envelope every transport routes: point-to-point, per-lock.
+struct Message {
+  NodeId from;
+  NodeId to;
+  LockId lock;
+  Payload payload;
+
+  bool operator==(const Message&) const = default;
+};
+
+/// One-line rendering for traces: "node1->node2 lock0 REQUEST(node1, R)".
+std::string to_string(const Message& m);
+
+}  // namespace hlock::proto

@@ -1,0 +1,139 @@
+#include "raymond/raymond_automaton.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hlock::raymond {
+
+using proto::Message;
+using proto::NaimiRequest;
+using proto::NaimiToken;
+using proto::Payload;
+
+// Raymond's REQUEST and PRIVILEGE messages are structurally identical to
+// the Naimi baseline's (a hop-by-hop request and a bare token), so the
+// same wire payloads are reused; the envelope sender is the requesting
+// neighbor.
+
+RaymondAutomaton::RaymondAutomaton(NodeId self, LockId lock, NodeId holder,
+                                   std::vector<NodeId> neighbors)
+    : self_(self), lock_(lock), neighbors_(std::move(neighbors)),
+      holder_(holder) {
+  HLOCK_REQUIRE(!holder.is_none(), "holder must point somewhere");
+  HLOCK_REQUIRE(holder == self || is_neighbor(holder),
+                "holder must be self or a tree neighbor");
+}
+
+bool RaymondAutomaton::is_neighbor(NodeId node) const {
+  return std::find(neighbors_.begin(), neighbors_.end(), node) !=
+         neighbors_.end();
+}
+
+Effects RaymondAutomaton::request() {
+  HLOCK_REQUIRE(!in_cs_, "node is already inside the critical section");
+  HLOCK_REQUIRE(!requesting_, "a request is already outstanding");
+  Effects fx;
+  requesting_ = true;
+  queue_.push_back(self_);
+  pump(fx);
+  return fx;
+}
+
+Effects RaymondAutomaton::release() {
+  HLOCK_REQUIRE(in_cs_, "release without holding the lock");
+  Effects fx;
+  in_cs_ = false;
+  pump(fx);
+  return fx;
+}
+
+Effects RaymondAutomaton::on_message(const Message& message) {
+  HLOCK_REQUIRE(message.to == self_, "message delivered to the wrong node");
+  HLOCK_REQUIRE(message.lock == lock_,
+                "message delivered to the wrong lock instance");
+  Effects fx;
+  if (std::get_if<NaimiRequest>(&message.payload) != nullptr) {
+    HLOCK_INVARIANT(is_neighbor(message.from),
+                    "request from a non-neighbor in the static tree");
+    queue_.push_back(message.from);
+    pump(fx);
+  } else if (std::get_if<NaimiToken>(&message.payload) != nullptr) {
+    HLOCK_INVARIANT(message.from == holder_,
+                    "privilege arrived from an unexpected direction");
+    holder_ = self_;
+    asked_ = false;
+    pump(fx);
+  } else {
+    HLOCK_INVARIANT(false,
+                    "unexpected payload delivered to a RaymondAutomaton");
+  }
+  return fx;
+}
+
+void RaymondAutomaton::pump(Effects& fx) {
+  // ASSIGN_PRIVILEGE: a free local token goes to the queue head.
+  if (holder_ == self_ && !in_cs_ && !queue_.empty()) {
+    const NodeId head = queue_.front();
+    queue_.pop_front();
+    if (head == self_) {
+      in_cs_ = true;
+      requesting_ = false;
+      fx.entered_cs = true;
+    } else {
+      holder_ = head;
+      asked_ = false;
+      send(head, NaimiToken{}, fx);
+    }
+  }
+  // MAKE_REQUEST: if the token is elsewhere and someone (possibly we)
+  // waits here, ask the holder-direction neighbor once.
+  if (holder_ != self_ && !queue_.empty() && !asked_) {
+    send(holder_, NaimiRequest{self_, next_seq_++}, fx);
+    asked_ = true;
+  }
+}
+
+void RaymondAutomaton::send(NodeId to, Payload payload, Effects& fx) const {
+  fx.messages.push_back(Message{self_, to, lock_, std::move(payload)});
+}
+
+std::string RaymondAutomaton::fingerprint() const {
+  std::ostringstream os;
+  os << holder_.value() << '/' << (asked_ ? 'A' : 'a')
+     << (in_cs_ ? 'C' : 'c') << (requesting_ ? 'R' : 'r') << next_seq_
+     << "|q";
+  for (NodeId waiter : queue_) os << waiter.value() << ',';
+  return os.str();
+}
+
+std::string RaymondAutomaton::describe() const {
+  std::ostringstream os;
+  os << to_string(self_) << " holder=" << to_string(holder_)
+     << " q=" << queue_.size() << " asked=" << (asked_ ? 1 : 0)
+     << " cs=" << (in_cs_ ? 1 : 0) << " req=" << (requesting_ ? 1 : 0);
+  return os.str();
+}
+
+std::vector<TreeNode> balanced_tree(std::size_t node_count,
+                                    std::size_t arity) {
+  HLOCK_REQUIRE(node_count >= 1, "a tree needs at least one node");
+  HLOCK_REQUIRE(arity >= 1, "tree arity must be positive");
+  std::vector<TreeNode> tree(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    if (i == 0) {
+      tree[i].holder = NodeId{0};  // the root starts with the token
+    } else {
+      const std::size_t parent = (i - 1) / arity;
+      tree[i].holder = NodeId{static_cast<std::uint32_t>(parent)};
+      tree[i].neighbors.push_back(
+          NodeId{static_cast<std::uint32_t>(parent)});
+      tree[parent].neighbors.push_back(
+          NodeId{static_cast<std::uint32_t>(i)});
+    }
+  }
+  return tree;
+}
+
+}  // namespace hlock::raymond

@@ -1,0 +1,101 @@
+// Raymond's tree-based mutual exclusion algorithm (K. Raymond, "A
+// tree-based algorithm for distributed mutual exclusion", TOCS 1989) —
+// the second related-work baseline the paper discusses (§5): "Raymond's
+// algorithm uses a fixed logical structure while we use a dynamic one,
+// which results in dynamic path compression."
+//
+// Nodes form a STATIC tree. Each node tracks `holder` — the tree neighbor
+// in whose direction the token currently lies (self at the token holder) —
+// and a local FIFO of neighbors (or self) awaiting the privilege. Requests
+// travel hop by hop toward the token; the token retraces the path, and
+// `holder` pointers flip along it. The structure never changes, so message
+// cost is bounded by the tree diameter (O(log n) on a balanced tree) but
+// cannot adapt to locality — exactly the contrast the paper draws.
+//
+// Same pure-state-machine contract as the other automatons: single
+// exclusive mode, effects returned to the caller.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/effects.hpp"
+#include "proto/ids.hpp"
+#include "proto/message.hpp"
+
+namespace hlock::raymond {
+
+using core::Effects;
+using proto::LockId;
+using proto::NodeId;
+
+/// Per-(node, lock) state machine of Raymond's algorithm.
+class RaymondAutomaton {
+ public:
+  /// `holder` points toward the initial token holder along the static
+  /// tree (self for the holder itself). `neighbors` are the node's tree
+  /// neighbors; requests may only arrive from them.
+  RaymondAutomaton(NodeId self, LockId lock, NodeId holder,
+                   std::vector<NodeId> neighbors);
+
+  // ---- Application API ----
+
+  /// Requests the (exclusive) lock. Precondition: not holding, not
+  /// waiting. Effects::entered_cs reports immediate entry.
+  Effects request();
+
+  /// Releases the lock; forwards the privilege if someone waits.
+  Effects release();
+
+  /// Delivers one protocol message addressed to this node.
+  Effects on_message(const proto::Message& message);
+
+  // ---- Introspection ----
+
+  NodeId self() const { return self_; }
+  /// True while this node possesses the token (even if not in the CS).
+  bool has_token() const { return holder_ == self_; }
+  bool in_cs() const { return in_cs_; }
+  /// True while this node waits for the privilege.
+  bool requesting() const { return requesting_; }
+  /// Tree neighbor toward the token (self at the holder).
+  NodeId holder() const { return holder_; }
+  /// Requests waiting locally, in FIFO order (self_ may appear once).
+  const std::deque<NodeId>& request_queue() const { return queue_; }
+  std::string describe() const;
+
+  /// Complete canonical state serialization (model-checker dedup).
+  std::string fingerprint() const;
+
+ private:
+  /// Raymond's ASSIGN_PRIVILEGE + MAKE_REQUEST pair, run after every
+  /// state-changing step.
+  void pump(Effects& fx);
+  void send(NodeId to, proto::Payload payload, Effects& fx) const;
+  bool is_neighbor(NodeId node) const;
+
+  const NodeId self_;
+  const LockId lock_;
+  const std::vector<NodeId> neighbors_;
+
+  NodeId holder_;
+  std::deque<NodeId> queue_;
+  bool asked_ = false;
+  bool in_cs_ = false;
+  bool requesting_ = false;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Builds the `holder` pointers and neighbor lists of a balanced k-ary
+/// tree over nodes [0, n) rooted at node 0 (the initial token holder):
+/// out[i] = {holder, neighbors}. Used by engines and tests.
+struct TreeNode {
+  NodeId holder;
+  std::vector<NodeId> neighbors;
+};
+std::vector<TreeNode> balanced_tree(std::size_t node_count,
+                                    std::size_t arity = 2);
+
+}  // namespace hlock::raymond

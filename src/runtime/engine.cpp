@@ -1,0 +1,139 @@
+#include "runtime/engine.hpp"
+
+#include "util/check.hpp"
+
+namespace hlock::runtime {
+
+std::string to_string(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kHierarchical:
+      return "hierarchical";
+    case Protocol::kNaimi:
+      return "naimi";
+    case Protocol::kRaymond:
+      return "raymond";
+  }
+  return "?";
+}
+
+HierEngine::HierEngine(NodeId self, NodeId initial_root,
+                       core::HierConfig config)
+    : self_(self), initial_root_(initial_root), config_(config) {
+  HLOCK_REQUIRE(!initial_root.is_none(), "a cluster needs an initial root");
+}
+
+core::HierAutomaton& HierEngine::automaton(LockId lock) {
+  auto it = automatons_.find(lock);
+  if (it == automatons_.end()) {
+    const bool is_root = self_ == initial_root_;
+    it = automatons_
+             .emplace(lock, core::HierAutomaton{
+                                self_, lock, is_root,
+                                is_root ? NodeId::none() : initial_root_,
+                                config_})
+             .first;
+  }
+  return it->second;
+}
+
+Effects HierEngine::request(LockId lock, LockMode mode,
+                            std::uint8_t priority) {
+  return automaton(lock).request(mode, priority);
+}
+
+Effects HierEngine::release(LockId lock) { return automaton(lock).release(); }
+
+Effects HierEngine::upgrade(LockId lock) { return automaton(lock).upgrade(); }
+
+Effects HierEngine::deliver(const proto::Message& message) {
+  return automaton(message.lock).on_message(message);
+}
+
+bool HierEngine::holds(LockId lock) const {
+  auto it = automatons_.find(lock);
+  return it != automatons_.end() &&
+         it->second.held() != proto::LockMode::kNL;
+}
+
+NaimiEngine::NaimiEngine(NodeId self, NodeId initial_root)
+    : self_(self), initial_root_(initial_root) {
+  HLOCK_REQUIRE(!initial_root.is_none(), "a cluster needs an initial root");
+}
+
+naimi::NaimiAutomaton& NaimiEngine::automaton(LockId lock) {
+  auto it = automatons_.find(lock);
+  if (it == automatons_.end()) {
+    const bool is_root = self_ == initial_root_;
+    it = automatons_
+             .emplace(lock, naimi::NaimiAutomaton{
+                                self_, lock, is_root,
+                                is_root ? NodeId::none() : initial_root_})
+             .first;
+  }
+  return it->second;
+}
+
+Effects NaimiEngine::request(LockId lock, LockMode /*mode*/,
+                             std::uint8_t /*priority*/) {
+  return automaton(lock).request();
+}
+
+Effects NaimiEngine::release(LockId lock) { return automaton(lock).release(); }
+
+Effects NaimiEngine::upgrade(LockId /*lock*/) {
+  throw UsageError("the Naimi baseline has no upgrade operation");
+}
+
+Effects NaimiEngine::deliver(const proto::Message& message) {
+  return automaton(message.lock).on_message(message);
+}
+
+bool NaimiEngine::holds(LockId lock) const {
+  auto it = automatons_.find(lock);
+  return it != automatons_.end() && it->second.in_cs();
+}
+
+RaymondEngine::RaymondEngine(NodeId self, std::size_t node_count)
+    : self_(self) {
+  HLOCK_REQUIRE(self.value() < node_count, "self must be within the tree");
+  position_ = raymond::balanced_tree(node_count)[self.value()];
+  // Non-root holders point toward node 0; the root holds the token.
+  if (self.value() == 0) position_.holder = self;
+}
+
+raymond::RaymondAutomaton& RaymondEngine::automaton(LockId lock) {
+  auto it = automatons_.find(lock);
+  if (it == automatons_.end()) {
+    it = automatons_
+             .emplace(lock,
+                      raymond::RaymondAutomaton{self_, lock,
+                                                position_.holder,
+                                                position_.neighbors})
+             .first;
+  }
+  return it->second;
+}
+
+Effects RaymondEngine::request(LockId lock, LockMode /*mode*/,
+                               std::uint8_t /*priority*/) {
+  return automaton(lock).request();
+}
+
+Effects RaymondEngine::release(LockId lock) {
+  return automaton(lock).release();
+}
+
+Effects RaymondEngine::upgrade(LockId /*lock*/) {
+  throw UsageError("Raymond's baseline has no upgrade operation");
+}
+
+Effects RaymondEngine::deliver(const proto::Message& message) {
+  return automaton(message.lock).on_message(message);
+}
+
+bool RaymondEngine::holds(LockId lock) const {
+  auto it = automatons_.find(lock);
+  return it != automatons_.end() && it->second.in_cs();
+}
+
+}  // namespace hlock::runtime

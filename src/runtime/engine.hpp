@@ -1,0 +1,132 @@
+// Per-node protocol engines.
+//
+// A LockEngine bundles all per-lock automatons of one node behind a
+// protocol-agnostic interface, so cluster harnesses and workload drivers
+// run identically over the hierarchical protocol and the Naimi baseline.
+// Automatons are created lazily on first use of a lock id; every engine in
+// a cluster must agree on the initial token holder (`initial_root`), which
+// starts as the root of every lock's probable-owner tree (a star, as in the
+// paper's "initially, the root is the token owner").
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/effects.hpp"
+#include "core/hier_automaton.hpp"
+#include "naimi/naimi_automaton.hpp"
+#include "proto/ids.hpp"
+#include "proto/message.hpp"
+#include "raymond/raymond_automaton.hpp"
+
+namespace hlock::runtime {
+
+using core::Effects;
+using proto::LockId;
+using proto::LockMode;
+using proto::NodeId;
+
+/// Which protocol a cluster of engines runs.
+enum class Protocol {
+  kHierarchical,  ///< the paper's multi-mode protocol (src/core)
+  kNaimi,         ///< the Naimi-Tréhel baseline (src/naimi)
+  kRaymond,       ///< Raymond's static-tree baseline (src/raymond)
+};
+
+/// Returns "hierarchical", "naimi" or "raymond".
+std::string to_string(Protocol protocol);
+
+/// True for single-exclusive-mode protocols (Naimi, Raymond), which ignore
+/// request modes and map any workload onto exclusive acquisitions.
+inline bool is_mode_less(Protocol protocol) {
+  return protocol != Protocol::kHierarchical;
+}
+
+/// Protocol-agnostic face of one node: issue requests, releases, upgrades
+/// and deliver incoming messages; every call returns the effects to apply.
+class LockEngine {
+ public:
+  virtual ~LockEngine() = default;
+
+  /// Requests `lock` in `mode` (mode and priority are ignored by mode-less
+  /// protocols).
+  virtual Effects request(LockId lock, LockMode mode,
+                          std::uint8_t priority = 0) = 0;
+  /// Releases the held lock.
+  virtual Effects release(LockId lock) = 0;
+  /// Upgrades U -> W (Rule 7); only meaningful for the hierarchical
+  /// protocol — mode-less engines reject it.
+  virtual Effects upgrade(LockId lock) = 0;
+  /// Delivers one incoming message to the addressed lock's automaton.
+  virtual Effects deliver(const proto::Message& message) = 0;
+  /// True if this node currently holds `lock` (in any mode).
+  virtual bool holds(LockId lock) const = 0;
+};
+
+/// Engine running the paper's hierarchical multi-mode protocol.
+class HierEngine final : public LockEngine {
+ public:
+  HierEngine(NodeId self, NodeId initial_root, core::HierConfig config = {});
+
+  Effects request(LockId lock, LockMode mode,
+                  std::uint8_t priority = 0) override;
+  Effects release(LockId lock) override;
+  Effects upgrade(LockId lock) override;
+  Effects deliver(const proto::Message& message) override;
+  bool holds(LockId lock) const override;
+
+  /// Direct access for invariant checks and tests; creates the automaton
+  /// if this node has not touched the lock yet.
+  core::HierAutomaton& automaton(LockId lock);
+
+ private:
+  const NodeId self_;
+  const NodeId initial_root_;
+  const core::HierConfig config_;
+  std::unordered_map<LockId, core::HierAutomaton> automatons_;
+};
+
+/// Engine running the Naimi-Tréhel baseline (single exclusive mode).
+class NaimiEngine final : public LockEngine {
+ public:
+  NaimiEngine(NodeId self, NodeId initial_root);
+
+  Effects request(LockId lock, LockMode mode,
+                  std::uint8_t priority = 0) override;
+  Effects release(LockId lock) override;
+  Effects upgrade(LockId lock) override;
+  Effects deliver(const proto::Message& message) override;
+  bool holds(LockId lock) const override;
+
+  /// Direct access for invariant checks and tests.
+  naimi::NaimiAutomaton& automaton(LockId lock);
+
+ private:
+  const NodeId self_;
+  const NodeId initial_root_;
+  std::unordered_map<LockId, naimi::NaimiAutomaton> automatons_;
+};
+
+/// Engine running Raymond's static-tree baseline on a balanced binary
+/// tree rooted at node 0 (the initial token holder of every lock).
+class RaymondEngine final : public LockEngine {
+ public:
+  RaymondEngine(NodeId self, std::size_t node_count);
+
+  Effects request(LockId lock, LockMode mode,
+                  std::uint8_t priority = 0) override;
+  Effects release(LockId lock) override;
+  Effects upgrade(LockId lock) override;
+  Effects deliver(const proto::Message& message) override;
+  bool holds(LockId lock) const override;
+
+  /// Direct access for invariant checks and tests.
+  raymond::RaymondAutomaton& automaton(LockId lock);
+
+ private:
+  const NodeId self_;
+  raymond::TreeNode position_;  // this node's place in the static tree
+  std::unordered_map<LockId, raymond::RaymondAutomaton> automatons_;
+};
+
+}  // namespace hlock::runtime

@@ -1,0 +1,279 @@
+#include "runtime/invariants.hpp"
+
+#include <sstream>
+
+#include "core/mode_tables.hpp"
+
+namespace hlock::runtime {
+
+using core::HierAutomaton;
+using proto::LockId;
+using proto::LockMode;
+using proto::NodeId;
+
+std::string InvariantReport::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) os << '\n';
+    os << violations[i];
+  }
+  return os.str();
+}
+
+namespace {
+
+void check_hier_safety(SimCluster& cluster, LockId lock,
+                       InvariantReport& report) {
+  std::size_t tokens = 0;
+  std::vector<std::pair<NodeId, LockMode>> held;
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    const NodeId node{static_cast<std::uint32_t>(i)};
+    HierAutomaton& automaton = cluster.hier_automaton(node, lock);
+    if (automaton.is_token()) ++tokens;
+    if (automaton.held() != LockMode::kNL) {
+      held.emplace_back(node, automaton.held());
+    }
+  }
+  // While a TOKEN message is in flight no node is the token node, so
+  // mid-run only the upper bound is checkable; check_hier_structure
+  // asserts exactly one at quiescence.
+  if (tokens > 1) {
+    report.violations.push_back(to_string(lock) + ": " +
+                                std::to_string(tokens) + " token nodes");
+  }
+  for (std::size_t a = 0; a < held.size(); ++a) {
+    for (std::size_t b = a + 1; b < held.size(); ++b) {
+      if (core::incompatible(held[a].second, held[b].second)) {
+        report.violations.push_back(
+            to_string(lock) + ": " + to_string(held[a].first) + " holds " +
+            to_string(held[a].second) + " while " +
+            to_string(held[b].first) + " holds " +
+            to_string(held[b].second) + " (incompatible)");
+      }
+    }
+  }
+}
+
+void check_raymond_safety(SimCluster& cluster, LockId lock,
+                          InvariantReport& report) {
+  std::size_t holders = 0;
+  std::size_t in_cs = 0;
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    const NodeId node{static_cast<std::uint32_t>(i)};
+    auto& automaton = cluster.raymond_automaton(node, lock);
+    if (automaton.has_token()) ++holders;
+    if (automaton.in_cs()) ++in_cs;
+  }
+  if (holders > 1) {
+    report.violations.push_back(to_string(lock) + ": " +
+                                std::to_string(holders) +
+                                " privilege holders");
+  }
+  if (in_cs > 1) {
+    report.violations.push_back(to_string(lock) + ": " +
+                                std::to_string(in_cs) +
+                                " nodes in the critical section");
+  }
+}
+
+void check_raymond_structure(SimCluster& cluster, LockId lock,
+                             InvariantReport& report) {
+  // At quiescence: exactly one privilege holder, nobody requesting, every
+  // holder chain reaches it without cycling (holder pointers follow the
+  // static tree, so n hops suffice).
+  const std::size_t n = cluster.node_count();
+  std::size_t holders = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node{static_cast<std::uint32_t>(i)};
+    auto& automaton = cluster.raymond_automaton(node, lock);
+    if (automaton.has_token()) ++holders;
+    if (automaton.requesting()) {
+      report.violations.push_back(to_string(lock) + ": " + to_string(node) +
+                                  " still requesting at rest");
+    }
+    NodeId walker = node;
+    std::size_t hops = 0;
+    while (!cluster.raymond_automaton(walker, lock).has_token()) {
+      walker = cluster.raymond_automaton(walker, lock).holder();
+      if (++hops > n) {
+        report.violations.push_back(to_string(lock) +
+                                    ": holder cycle from node" +
+                                    std::to_string(i));
+        break;
+      }
+    }
+  }
+  if (holders != 1) {
+    report.violations.push_back(to_string(lock) + ": " +
+                                std::to_string(holders) +
+                                " privilege holders (expected exactly 1)");
+  }
+}
+
+void check_naimi_safety(SimCluster& cluster, LockId lock,
+                        InvariantReport& report) {
+  std::size_t tokens = 0;
+  std::size_t in_cs = 0;
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    const NodeId node{static_cast<std::uint32_t>(i)};
+    auto& automaton = cluster.naimi_automaton(node, lock);
+    if (automaton.has_token()) ++tokens;
+    if (automaton.in_cs()) ++in_cs;
+  }
+  if (tokens > 1) {
+    report.violations.push_back(to_string(lock) + ": " +
+                                std::to_string(tokens) + " token holders");
+  }
+  if (in_cs > 1) {
+    report.violations.push_back(to_string(lock) + ": " +
+                                std::to_string(in_cs) +
+                                " nodes in the critical section");
+  }
+}
+
+void check_hier_structure(SimCluster& cluster, LockId lock,
+                          InvariantReport& report) {
+  const std::size_t n = cluster.node_count();
+
+  // At quiescence the token must be at rest at exactly one node.
+  std::size_t tokens = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cluster.hier_automaton(NodeId{static_cast<std::uint32_t>(i)}, lock)
+            .is_token()) {
+      ++tokens;
+    }
+  }
+  if (tokens != 1) {
+    report.violations.push_back(to_string(lock) + ": " +
+                                std::to_string(tokens) +
+                                " token nodes at rest (expected exactly 1)");
+  }
+
+  // Parent links must be acyclic and terminate at the (unique) token node.
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeId walker{static_cast<std::uint32_t>(i)};
+    std::size_t hops = 0;
+    while (!cluster.hier_automaton(walker, lock).is_token()) {
+      walker = cluster.hier_automaton(walker, lock).parent();
+      if (walker.is_none() || ++hops > n) {
+        report.violations.push_back(
+            to_string(lock) + ": parent chain from node" +
+            std::to_string(i) +
+            (walker.is_none() ? " hits a null parent before the token"
+                              : " has a cycle"));
+        break;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node{static_cast<std::uint32_t>(i)};
+    HierAutomaton& automaton = cluster.hier_automaton(node, lock);
+    if (automaton.pending() != LockMode::kNL) {
+      report.violations.push_back(to_string(lock) + ": " + to_string(node) +
+                                  " still has a pending request at rest");
+    }
+    if (!automaton.queue().empty()) {
+      report.violations.push_back(to_string(lock) + ": " + to_string(node) +
+                                  " still has queued requests at rest");
+    }
+    // Copyset entries must be mutual and carry the child's true owned mode.
+    for (const core::CopysetEntry& entry : automaton.copyset()) {
+      HierAutomaton& child = cluster.hier_automaton(entry.node, lock);
+      if (child.parent() != node) {
+        report.violations.push_back(
+            to_string(lock) + ": " + to_string(entry.node) +
+            " is in the copyset of " + to_string(node) +
+            " but its parent is " + to_string(child.parent()));
+      }
+      if (child.owned() != entry.mode) {
+        report.violations.push_back(
+            to_string(lock) + ": copyset of " + to_string(node) +
+            " records " + to_string(entry.node) + " at " +
+            to_string(entry.mode) + " but its owned mode is " +
+            to_string(child.owned()));
+      }
+    }
+  }
+}
+
+void check_naimi_structure(SimCluster& cluster, LockId lock,
+                           InvariantReport& report) {
+  const std::size_t n = cluster.node_count();
+  std::size_t tokens = 0;
+  std::size_t roots = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node{static_cast<std::uint32_t>(i)};
+    auto& automaton = cluster.naimi_automaton(node, lock);
+    if (automaton.has_token()) ++tokens;
+    if (automaton.probable_owner().is_none()) ++roots;
+    if (automaton.requesting()) {
+      report.violations.push_back(to_string(lock) + ": " + to_string(node) +
+                                  " still requesting at rest");
+    }
+    // Probable-owner chains must reach the root without cycling.
+    NodeId walker = node;
+    std::size_t hops = 0;
+    while (!cluster.naimi_automaton(walker, lock).probable_owner().is_none()) {
+      walker = cluster.naimi_automaton(walker, lock).probable_owner();
+      if (++hops > n) {
+        report.violations.push_back(to_string(lock) +
+                                    ": probable-owner cycle from node" +
+                                    std::to_string(i));
+        break;
+      }
+    }
+  }
+  if (tokens != 1) {
+    report.violations.push_back(to_string(lock) + ": " +
+                                std::to_string(tokens) +
+                                " token holders (expected exactly 1)");
+  }
+  if (roots != 1) {
+    report.violations.push_back(to_string(lock) + ": " +
+                                std::to_string(roots) +
+                                " tree roots (expected exactly 1)");
+  }
+}
+
+}  // namespace
+
+InvariantReport check_safety(SimCluster& cluster,
+                             const std::vector<LockId>& locks) {
+  InvariantReport report;
+  for (LockId lock : locks) {
+    switch (cluster.options().protocol) {
+      case Protocol::kHierarchical:
+        check_hier_safety(cluster, lock, report);
+        break;
+      case Protocol::kNaimi:
+        check_naimi_safety(cluster, lock, report);
+        break;
+      case Protocol::kRaymond:
+        check_raymond_safety(cluster, lock, report);
+        break;
+    }
+  }
+  return report;
+}
+
+InvariantReport check_quiescent_structure(SimCluster& cluster,
+                                          const std::vector<LockId>& locks) {
+  InvariantReport report = check_safety(cluster, locks);
+  for (LockId lock : locks) {
+    switch (cluster.options().protocol) {
+      case Protocol::kHierarchical:
+        check_hier_structure(cluster, lock, report);
+        break;
+      case Protocol::kNaimi:
+        check_naimi_structure(cluster, lock, report);
+        break;
+      case Protocol::kRaymond:
+        check_raymond_structure(cluster, lock, report);
+        break;
+    }
+  }
+  return report;
+}
+
+}  // namespace hlock::runtime

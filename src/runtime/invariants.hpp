@@ -1,0 +1,42 @@
+// Cluster-wide protocol invariant checks.
+//
+// Used by the test suite (and available to applications for debugging):
+// given a simulated cluster and the set of lock ids in use, verify the
+// safety properties the protocols guarantee. Some properties hold at every
+// instant (safety); the structural ones are only meaningful at quiescence
+// (no messages in flight), when all views have converged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "proto/ids.hpp"
+#include "runtime/sim_cluster.hpp"
+
+namespace hlock::runtime {
+
+/// Result of one invariant sweep: empty `violations` means all checks pass.
+struct InvariantReport {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// All violations joined with newlines (empty string when ok).
+  std::string to_string() const;
+};
+
+/// Safety checks that must hold at EVERY instant, messages in flight or
+/// not. For the hierarchical protocol: per lock, at most one token node and
+/// all concurrently held modes pairwise compatible (Rule 1); for Naimi: at
+/// most one token holder and at most one node in its critical section.
+InvariantReport check_safety(SimCluster& cluster,
+                             const std::vector<proto::LockId>& locks);
+
+/// Structural checks valid at quiescence (simulator drained, no pending
+/// requests): parent links acyclic and rooted at the token node; copyset
+/// entries mutual (child's parent is the recording node) and equal to the
+/// child's actual owned mode; exactly one token per lock; no leftover
+/// queued requests or pending modes.
+InvariantReport check_quiescent_structure(
+    SimCluster& cluster, const std::vector<proto::LockId>& locks);
+
+}  // namespace hlock::runtime

@@ -1,0 +1,108 @@
+// RAII helpers for the threaded client API.
+//
+// LockGuard scopes a single acquisition; HierGuard scopes the common
+// hierarchical pattern of the paper's workload — an intent lock on a
+// coarse resource (the table) plus a real lock on a fine one (an entry) —
+// acquiring coarse-to-fine and releasing in reverse, the globally
+// consistent order that rules out application-level deadlock.
+#pragma once
+
+#include "proto/ids.hpp"
+#include "proto/lock_mode.hpp"
+#include "runtime/thread_cluster.hpp"
+#include "util/check.hpp"
+
+namespace hlock::runtime {
+
+/// Scoped ownership of one lock. Movable, not copyable.
+class LockGuard {
+ public:
+  /// Blocks until `lock` is granted to `node` in `mode`.
+  LockGuard(ThreadCluster& cluster, NodeId node, LockId lock, LockMode mode)
+      : cluster_(&cluster), node_(node), lock_(lock) {
+    cluster.lock(node, lock, mode);
+    held_mode_ = mode;
+  }
+
+  LockGuard(LockGuard&& other) noexcept
+      : cluster_(other.cluster_), node_(other.node_), lock_(other.lock_),
+        held_mode_(other.held_mode_) {
+    other.cluster_ = nullptr;
+  }
+  LockGuard& operator=(LockGuard&&) = delete;
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+  ~LockGuard() { release(); }
+
+  /// Atomically upgrades a U hold to W (Rule 7); blocks until complete.
+  void upgrade() {
+    HLOCK_REQUIRE(cluster_ != nullptr && held_mode_ == proto::LockMode::kU,
+                  "upgrade requires an owned U guard");
+    cluster_->upgrade(node_, lock_);
+    held_mode_ = proto::LockMode::kW;
+  }
+
+  /// Releases early (idempotent; the destructor then does nothing).
+  void release() {
+    if (cluster_ == nullptr) return;
+    cluster_->unlock(node_, lock_);
+    cluster_ = nullptr;
+  }
+
+  /// Mode currently held by this guard.
+  proto::LockMode mode() const { return held_mode_; }
+
+ private:
+  ThreadCluster* cluster_;
+  NodeId node_;
+  LockId lock_;
+  proto::LockMode held_mode_ = proto::LockMode::kNL;
+};
+
+/// Scoped two-level hierarchical acquisition: intent on the coarse lock,
+/// a real mode on the fine one (paper §3.1's motivating pattern).
+class HierGuard {
+ public:
+  /// Blocks until both levels are granted. `fine_mode` R pairs with IR on
+  /// the coarse lock; U/W pair with IW.
+  HierGuard(ThreadCluster& cluster, NodeId node, LockId coarse, LockId fine,
+            proto::LockMode fine_mode)
+      : coarse_(cluster, node, coarse, intent_for(fine_mode)),
+        fine_(cluster, node, fine, fine_mode) {}
+
+  /// Upgrades the fine-level U hold to W (Rule 7).
+  void upgrade() { fine_.upgrade(); }
+
+  /// Releases fine before coarse (reverse acquisition order).
+  void release() {
+    fine_.release();
+    coarse_.release();
+  }
+
+  ~HierGuard() { release(); }
+  HierGuard(const HierGuard&) = delete;
+  HierGuard& operator=(const HierGuard&) = delete;
+
+  /// The intent mode the coarse level takes for a fine-level mode.
+  static proto::LockMode intent_for(proto::LockMode fine_mode) {
+    switch (fine_mode) {
+      case proto::LockMode::kIR:
+      case proto::LockMode::kR:
+        return proto::LockMode::kIR;
+      case proto::LockMode::kU:
+      case proto::LockMode::kIW:
+      case proto::LockMode::kW:
+        return proto::LockMode::kIW;
+      case proto::LockMode::kNL:
+        break;
+    }
+    throw UsageError("no intent mode corresponds to NL");
+  }
+
+ private:
+  LockGuard coarse_;  // declared first: acquired first, released last
+  LockGuard fine_;
+};
+
+}  // namespace hlock::runtime

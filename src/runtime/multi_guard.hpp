@@ -1,0 +1,86 @@
+// Deadlock-free multi-lock acquisition.
+//
+// Two nodes acquiring overlapping lock sets in different orders deadlock
+// (the paper makes Naimi's same-work variant acquire per-entry locks "in a
+// predefined order" for exactly this reason). MultiGuard generalizes that
+// discipline to the public API: it sorts the requested (lock, mode) pairs
+// into the global canonical order — ascending LockId, which puts coarse
+// locks (lower ids by the workload convention) before fine ones — acquires
+// them sequentially, and releases in reverse on destruction.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "proto/ids.hpp"
+#include "proto/lock_mode.hpp"
+#include "runtime/thread_cluster.hpp"
+#include "util/check.hpp"
+
+namespace hlock::runtime {
+
+/// One element of a multi-lock acquisition request.
+struct LockRequest {
+  LockId lock;
+  LockMode mode = proto::LockMode::kNL;
+  std::uint8_t priority = 0;
+};
+
+/// Scoped ownership of a set of locks, acquired in canonical order.
+/// Movable, not copyable.
+class MultiGuard {
+ public:
+  /// Blocks until every requested lock is granted. Duplicate lock ids are
+  /// rejected (one mode per lock per holder).
+  MultiGuard(ThreadCluster& cluster, NodeId node,
+             std::vector<LockRequest> requests)
+      : cluster_(&cluster), node_(node), requests_(std::move(requests)) {
+    HLOCK_REQUIRE(!requests_.empty(), "MultiGuard needs at least one lock");
+    std::sort(requests_.begin(), requests_.end(),
+              [](const LockRequest& a, const LockRequest& b) {
+                return a.lock < b.lock;
+              });
+    for (std::size_t i = 1; i < requests_.size(); ++i) {
+      HLOCK_REQUIRE(requests_[i - 1].lock != requests_[i].lock,
+                    "duplicate lock in a MultiGuard request");
+    }
+    for (std::size_t i = 0; i < requests_.size(); ++i) {
+      HLOCK_REQUIRE(requests_[i].mode != proto::LockMode::kNL,
+                    "cannot request the empty mode");
+      cluster.lock(node_, requests_[i].lock, requests_[i].mode,
+                   requests_[i].priority);
+      ++acquired_;
+    }
+  }
+
+  MultiGuard(MultiGuard&& other) noexcept
+      : cluster_(other.cluster_), node_(other.node_),
+        requests_(std::move(other.requests_)), acquired_(other.acquired_) {
+    other.cluster_ = nullptr;
+  }
+  MultiGuard(const MultiGuard&) = delete;
+  MultiGuard& operator=(const MultiGuard&) = delete;
+  MultiGuard& operator=(MultiGuard&&) = delete;
+
+  ~MultiGuard() { release(); }
+
+  /// Releases all locks (reverse acquisition order); idempotent.
+  void release() {
+    if (cluster_ == nullptr) return;
+    for (std::size_t i = acquired_; i-- > 0;) {
+      cluster_->unlock(node_, requests_[i].lock);
+    }
+    cluster_ = nullptr;
+  }
+
+  /// Locks held by this guard, in acquisition (canonical) order.
+  const std::vector<LockRequest>& requests() const { return requests_; }
+
+ private:
+  ThreadCluster* cluster_;
+  NodeId node_;
+  std::vector<LockRequest> requests_;
+  std::size_t acquired_ = 0;
+};
+
+}  // namespace hlock::runtime

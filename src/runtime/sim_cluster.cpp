@@ -1,0 +1,105 @@
+#include "runtime/sim_cluster.hpp"
+
+#include "util/check.hpp"
+
+namespace hlock::runtime {
+
+SimCluster::SimCluster(const SimClusterOptions& options)
+    : options_(options),
+      network_(options.message_latency, Rng{options.seed}.split(0xABCDu)),
+      loss_rng_(Rng{options.seed}.split(0x105Eu)) {
+  HLOCK_REQUIRE(options.node_count >= 1, "a cluster needs at least one node");
+  HLOCK_REQUIRE(options.message_loss_probability >= 0.0 &&
+                    options.message_loss_probability <= 1.0,
+                "loss probability must be within [0, 1]");
+  HLOCK_REQUIRE(options.initial_root.value() < options.node_count,
+                "the initial root must be one of the cluster's nodes");
+  engines_.reserve(options.node_count);
+  for (std::size_t i = 0; i < options.node_count; ++i) {
+    const NodeId self{static_cast<std::uint32_t>(i)};
+    if (options.protocol == Protocol::kHierarchical) {
+      engines_.push_back(std::make_unique<HierEngine>(
+          self, options.initial_root, options.hier_config));
+    } else if (options.protocol == Protocol::kRaymond) {
+      HLOCK_REQUIRE(options.initial_root == NodeId{0},
+                    "the Raymond tree is rooted at node 0");
+      engines_.push_back(
+          std::make_unique<RaymondEngine>(self, options.node_count));
+    } else {
+      engines_.push_back(
+          std::make_unique<NaimiEngine>(self, options.initial_root));
+    }
+  }
+}
+
+void SimCluster::set_grant_handler(GrantHandler handler) {
+  grant_handler_ = std::move(handler);
+}
+
+void SimCluster::set_message_observer(MessageObserver observer) {
+  message_observer_ = std::move(observer);
+}
+
+LockEngine& SimCluster::engine(NodeId node) {
+  HLOCK_REQUIRE(node.value() < engines_.size(), "unknown node id");
+  return *engines_[node.value()];
+}
+
+core::HierAutomaton& SimCluster::hier_automaton(NodeId node, LockId lock) {
+  HLOCK_REQUIRE(options_.protocol == Protocol::kHierarchical,
+                "cluster does not run the hierarchical protocol");
+  return static_cast<HierEngine&>(engine(node)).automaton(lock);
+}
+
+naimi::NaimiAutomaton& SimCluster::naimi_automaton(NodeId node, LockId lock) {
+  HLOCK_REQUIRE(options_.protocol == Protocol::kNaimi,
+                "cluster does not run the Naimi protocol");
+  return static_cast<NaimiEngine&>(engine(node)).automaton(lock);
+}
+
+raymond::RaymondAutomaton& SimCluster::raymond_automaton(NodeId node,
+                                                         LockId lock) {
+  HLOCK_REQUIRE(options_.protocol == Protocol::kRaymond,
+                "cluster does not run the Raymond protocol");
+  return static_cast<RaymondEngine&>(engine(node)).automaton(lock);
+}
+
+void SimCluster::request(NodeId node, LockId lock, LockMode mode,
+                         std::uint8_t priority) {
+  apply(node, lock, engine(node).request(lock, mode, priority));
+}
+
+void SimCluster::release(NodeId node, LockId lock) {
+  apply(node, lock, engine(node).release(lock));
+}
+
+void SimCluster::upgrade(NodeId node, LockId lock) {
+  apply(node, lock, engine(node).upgrade(lock));
+}
+
+void SimCluster::apply(NodeId node, LockId lock, Effects&& effects) {
+  for (const proto::Message& message : effects.messages) {
+    transmit(message);
+  }
+  if (effects.entered_cs || effects.upgraded) {
+    HLOCK_INVARIANT(static_cast<bool>(grant_handler_),
+                    "a grant fired but no grant handler is registered");
+    grant_handler_(node, lock, effects.upgraded);
+  }
+}
+
+void SimCluster::transmit(const proto::Message& message) {
+  metrics_.messages().add(proto::kind_of(message.payload));
+  if (message_observer_) message_observer_(simulator_.now(), message);
+  if (options_.message_loss_probability > 0.0 &&
+      loss_rng_.chance(options_.message_loss_probability)) {
+    return;  // injected loss: the message vanishes after being counted
+  }
+  const SimTime at =
+      network_.delivery_time(simulator_.now(), message.from, message.to);
+  simulator_.schedule_at(at, [this, message] {
+    apply(message.to, message.lock, engine(message.to).deliver(message));
+  });
+}
+
+}  // namespace hlock::runtime

@@ -1,0 +1,105 @@
+// A simulated cluster: N protocol engines wired through the discrete-event
+// simulator and a latency model, with metrics collection.
+//
+// This is the harness every evaluation experiment runs on. Application-level
+// drivers (see workload/) issue request/release/upgrade calls; the cluster
+// applies the returned effects — scheduling message deliveries on the
+// simulator with sampled network latency, counting messages, and invoking
+// the registered grant handler when a node enters its critical section.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hier_config.hpp"
+#include "runtime/engine.hpp"
+#include "sim/network_model.hpp"
+#include "sim/simulator.hpp"
+#include "stats/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace hlock::runtime {
+
+/// Construction parameters of a simulated cluster.
+struct SimClusterOptions {
+  std::size_t node_count = 2;
+  Protocol protocol = Protocol::kHierarchical;
+  /// One-way message latency model (see sim/network_model.hpp presets).
+  DurationDist message_latency = DurationDist::uniform(SimTime::ms(150), 0.5);
+  /// Seed for the network latency stream.
+  std::uint64_t seed = 1;
+  /// Feature flags for the hierarchical protocol (ignored by Naimi).
+  core::HierConfig hier_config = {};
+  /// Node that initially holds the token of every lock.
+  NodeId initial_root = NodeId{0};
+  /// FAILURE INJECTION (testing only): probability that a transmitted
+  /// message is silently dropped. The protocol assumes reliable FIFO
+  /// transport — any non-zero value eventually wedges a run; the harness's
+  /// deadlock/livelock detectors must catch it, and the chaos tests verify
+  /// they do. Dropped messages still count in the metrics (they were sent).
+  double message_loss_probability = 0.0;
+};
+
+/// See file comment.
+class SimCluster {
+ public:
+  explicit SimCluster(const SimClusterOptions& options);
+
+  /// Called when `node` enters the critical section of `lock`, or when its
+  /// Rule 7 upgrade on `lock` completes (`upgraded` = true).
+  using GrantHandler =
+      std::function<void(NodeId node, LockId lock, bool upgraded)>;
+
+  /// Registers the grant handler (typically the workload driver). Must be
+  /// set before any request is issued.
+  void set_grant_handler(GrantHandler handler);
+
+  /// Observes every transmitted message at send time (tracing, custom
+  /// statistics). Optional; called before the delivery is scheduled.
+  using MessageObserver =
+      std::function<void(SimTime sent_at, const proto::Message& message)>;
+  void set_message_observer(MessageObserver observer);
+
+  // ---- Application operations (asynchronous; grants arrive via the
+  //      handler, possibly synchronously within the call) ----
+
+  void request(NodeId node, LockId lock, LockMode mode,
+               std::uint8_t priority = 0);
+  void release(NodeId node, LockId lock);
+  void upgrade(NodeId node, LockId lock);
+
+  // ---- Accessors ----
+
+  sim::Simulator& simulator() { return simulator_; }
+  stats::MetricsRegistry& metrics() { return metrics_; }
+  const stats::MetricsRegistry& metrics() const { return metrics_; }
+  std::size_t node_count() const { return engines_.size(); }
+  const SimClusterOptions& options() const { return options_; }
+  LockEngine& engine(NodeId node);
+
+  /// The hierarchical automaton of (node, lock); precondition: the cluster
+  /// runs the hierarchical protocol. For invariant checks and tests.
+  core::HierAutomaton& hier_automaton(NodeId node, LockId lock);
+  /// The Naimi automaton of (node, lock); precondition: Naimi protocol.
+  naimi::NaimiAutomaton& naimi_automaton(NodeId node, LockId lock);
+  /// The Raymond automaton of (node, lock); precondition: Raymond protocol.
+  raymond::RaymondAutomaton& raymond_automaton(NodeId node, LockId lock);
+
+ private:
+  void apply(NodeId node, LockId lock, Effects&& effects);
+  void transmit(const proto::Message& message);
+
+  SimClusterOptions options_;
+  sim::Simulator simulator_;
+  sim::NetworkModel network_;
+  Rng loss_rng_;
+  stats::MetricsRegistry metrics_;
+  std::vector<std::unique_ptr<LockEngine>> engines_;
+  GrantHandler grant_handler_;
+  MessageObserver message_observer_;
+};
+
+}  // namespace hlock::runtime

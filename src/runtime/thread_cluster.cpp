@@ -1,0 +1,113 @@
+#include "runtime/thread_cluster.hpp"
+
+#include "util/check.hpp"
+
+namespace hlock::runtime {
+
+ThreadCluster::ThreadCluster(const ThreadClusterOptions& options) {
+  if (options.transport == TransportKind::kTcp) {
+    transport_ =
+        std::make_unique<transport::TcpTransport>(options.node_count);
+  } else {
+    transport_ = std::make_unique<transport::InProcTransport>(
+        transport::InProcOptions{options.node_count, options.message_latency,
+                                 options.seed, options.codec_roundtrip});
+  }
+  HLOCK_REQUIRE(options.node_count >= 1, "a cluster needs at least one node");
+  HLOCK_REQUIRE(options.initial_root.value() < options.node_count,
+                "the initial root must be one of the cluster's nodes");
+  nodes_.reserve(options.node_count);
+  for (std::size_t i = 0; i < options.node_count; ++i) {
+    const NodeId self{static_cast<std::uint32_t>(i)};
+    auto rt = std::make_unique<NodeRuntime>();
+    if (options.protocol == Protocol::kHierarchical) {
+      rt->engine = std::make_unique<HierEngine>(self, options.initial_root,
+                                                options.hier_config);
+    } else {
+      rt->engine = std::make_unique<NaimiEngine>(self, options.initial_root);
+    }
+    nodes_.push_back(std::move(rt));
+  }
+  for (std::size_t i = 0; i < options.node_count; ++i) {
+    const NodeId self{static_cast<std::uint32_t>(i)};
+    nodes_[i]->receiver = std::thread([this, self] { receiver_loop(self); });
+  }
+}
+
+ThreadCluster::~ThreadCluster() {
+  stopping_ = true;
+  transport_->shutdown();
+  for (auto& rt : nodes_) {
+    if (rt->receiver.joinable()) rt->receiver.join();
+    rt->cv.notify_all();
+  }
+}
+
+ThreadCluster::NodeRuntime& ThreadCluster::runtime_of(NodeId node) {
+  HLOCK_REQUIRE(node.value() < nodes_.size(), "unknown node id");
+  return *nodes_[node.value()];
+}
+
+void ThreadCluster::receiver_loop(NodeId node) {
+  NodeRuntime& rt = runtime_of(node);
+  while (auto message = transport_->recv(node)) {
+    std::unique_lock<std::mutex> guard(rt.mutex);
+    Effects effects = rt.engine->deliver(*message);
+    apply(rt, message->lock, std::move(effects));
+  }
+}
+
+void ThreadCluster::apply(NodeRuntime& rt, LockId lock, Effects&& effects) {
+  // Caller holds rt.mutex.
+  for (const proto::Message& message : effects.messages) {
+    transport_->send(message);
+  }
+  bool notify = false;
+  if (effects.entered_cs) {
+    rt.granted.insert(lock);
+    notify = true;
+  }
+  if (effects.upgraded) {
+    rt.upgraded.insert(lock);
+    notify = true;
+  }
+  if (notify) rt.cv.notify_all();
+}
+
+void ThreadCluster::lock(NodeId node, LockId lock, LockMode mode,
+                         std::uint8_t priority) {
+  NodeRuntime& rt = runtime_of(node);
+  std::unique_lock<std::mutex> guard(rt.mutex);
+  Effects effects = rt.engine->request(lock, mode, priority);
+  apply(rt, lock, std::move(effects));
+  rt.cv.wait(guard, [&] {
+    return stopping_ || rt.granted.count(lock) > 0;
+  });
+  rt.granted.erase(lock);
+}
+
+void ThreadCluster::unlock(NodeId node, LockId lock) {
+  NodeRuntime& rt = runtime_of(node);
+  std::unique_lock<std::mutex> guard(rt.mutex);
+  Effects effects = rt.engine->release(lock);
+  apply(rt, lock, std::move(effects));
+}
+
+void ThreadCluster::upgrade(NodeId node, LockId lock) {
+  NodeRuntime& rt = runtime_of(node);
+  std::unique_lock<std::mutex> guard(rt.mutex);
+  Effects effects = rt.engine->upgrade(lock);
+  apply(rt, lock, std::move(effects));
+  rt.cv.wait(guard, [&] {
+    return stopping_ || rt.upgraded.count(lock) > 0;
+  });
+  rt.upgraded.erase(lock);
+}
+
+bool ThreadCluster::holds(NodeId node, LockId lock) {
+  NodeRuntime& rt = runtime_of(node);
+  std::lock_guard<std::mutex> guard(rt.mutex);
+  return rt.engine->holds(lock);
+}
+
+}  // namespace hlock::runtime

@@ -1,0 +1,34 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hlock::sim {
+
+bool EventQueue::later(const Entry& a, const Entry& b) {
+  if (a.at != b.at) return a.at > b.at;
+  return a.seq > b.seq;
+}
+
+std::uint64_t EventQueue::push(SimTime at, std::function<void()> action) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Entry{at, seq, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  return seq;
+}
+
+SimTime EventQueue::next_time() const {
+  HLOCK_REQUIRE(!heap_.empty(), "next_time on an empty event queue");
+  return heap_.front().at;
+}
+
+Event EventQueue::pop() {
+  HLOCK_REQUIRE(!heap_.empty(), "pop on an empty event queue");
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  return Event{entry.at, entry.seq, std::move(entry.action)};
+}
+
+}  // namespace hlock::sim

@@ -1,0 +1,59 @@
+// Pending-event set of the discrete-event simulator.
+//
+// A binary min-heap ordered by (time, insertion sequence). The sequence
+// tie-break makes event ordering total and deterministic: two events
+// scheduled for the same instant always fire in scheduling order, so a run
+// is a pure function of (workload, seed) — the property every reproduction
+// experiment in this repository rests on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace hlock::sim {
+
+/// One scheduled event: an opaque action to run at a simulated instant.
+struct Event {
+  SimTime at;
+  std::uint64_t seq = 0;
+  std::function<void()> action;
+};
+
+/// Min-heap of events keyed by (at, seq). Not thread-safe; the simulator is
+/// single-threaded by design.
+class EventQueue {
+ public:
+  /// Inserts an action at time `at`; earlier-scheduled actions at the same
+  /// instant run first. Returns the event's sequence number.
+  std::uint64_t push(SimTime at, std::function<void()> action);
+
+  /// True if no events remain.
+  bool empty() const { return heap_.empty(); }
+
+  /// Number of pending events.
+  std::size_t size() const { return heap_.size(); }
+
+  /// Timestamp of the earliest pending event. Precondition: !empty().
+  SimTime next_time() const;
+
+  /// Removes and returns the earliest pending event. Precondition: !empty().
+  Event pop();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> action;
+  };
+  /// True if a fires after b (max-heap comparator inverted to a min-heap).
+  static bool later(const Entry& a, const Entry& b);
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hlock::sim

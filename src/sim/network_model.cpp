@@ -1,0 +1,29 @@
+#include "sim/network_model.hpp"
+
+namespace hlock::sim {
+
+NetworkModel::NetworkModel(DurationDist latency, Rng rng)
+    : latency_(latency), rng_(rng) {}
+
+SimTime NetworkModel::delivery_time(SimTime now, proto::NodeId from,
+                                    proto::NodeId to) {
+  SimTime at = now + latency_.sample(rng_);
+  SimTime& front = channel_front_[{from, to}];
+  if (at <= front) {
+    // FIFO channel: this message may not overtake the previous one.
+    at = front + SimTime::ns(1);
+  }
+  front = at;
+  return at;
+}
+
+TestbedPreset linux_cluster_preset() {
+  return TestbedPreset{"linux-cluster",
+                       DurationDist::uniform(SimTime::ms(150), 0.5)};
+}
+
+TestbedPreset ibm_sp_preset() {
+  return TestbedPreset{"ibm-sp", DurationDist::uniform(SimTime::us(150), 0.5)};
+}
+
+}  // namespace hlock::sim

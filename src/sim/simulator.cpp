@@ -1,0 +1,52 @@
+#include "sim/simulator.hpp"
+
+namespace hlock::sim {
+
+void Simulator::schedule_in(SimTime delay, std::function<void()> action) {
+  HLOCK_REQUIRE(delay.count_ns() >= 0, "cannot schedule into the past");
+  queue_.push(now_ + delay, std::move(action));
+}
+
+void Simulator::schedule_at(SimTime at, std::function<void()> action) {
+  HLOCK_REQUIRE(at >= now_, "cannot schedule into the past");
+  queue_.push(at, std::move(action));
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    Event event = queue_.pop();
+    now_ = event.at;
+    ++executed_;
+    ++count;
+    event.action();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+std::uint64_t Simulator::run_to_completion() {
+  std::uint64_t count = 0;
+  while (!queue_.empty()) {
+    Event event = queue_.pop();
+    now_ = event.at;
+    ++executed_;
+    ++count;
+    event.action();
+  }
+  return count;
+}
+
+std::uint64_t Simulator::run_events(std::uint64_t max_events) {
+  std::uint64_t count = 0;
+  while (count < max_events && !queue_.empty()) {
+    Event event = queue_.pop();
+    now_ = event.at;
+    ++executed_;
+    ++count;
+    event.action();
+  }
+  return count;
+}
+
+}  // namespace hlock::sim

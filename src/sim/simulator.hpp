@@ -1,0 +1,57 @@
+// The discrete-event simulation loop.
+//
+// Substitute for the paper's physical testbeds (a 16-node Linux/TCP cluster
+// and a 120-node IBM SP): protocol logic is exercised unmodified while time
+// and the network are modelled. The simulator owns the virtual clock and the
+// pending-event set; everything else (network latency, workload think times)
+// schedules callbacks on it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "util/check.hpp"
+#include "util/sim_time.hpp"
+
+namespace hlock::sim {
+
+/// Single-threaded discrete-event simulator with a deterministic total
+/// order of events (see EventQueue).
+class Simulator {
+ public:
+  /// Current simulated time. Starts at zero.
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` to run `delay` from now (delay >= 0).
+  void schedule_in(SimTime delay, std::function<void()> action);
+
+  /// Schedules `action` at absolute time `at` (must not be in the past).
+  void schedule_at(SimTime at, std::function<void()> action);
+
+  /// Runs events until the queue drains or `deadline` is passed (events
+  /// scheduled strictly after the deadline stay pending; the clock stops at
+  /// the deadline or the last executed event, whichever is later).
+  /// Returns the number of events executed.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Runs events until the queue drains completely.
+  std::uint64_t run_to_completion();
+
+  /// Runs at most `max_events` events (or until the queue drains).
+  /// Returns the number executed.
+  std::uint64_t run_events(std::uint64_t max_events);
+
+  /// Events executed since construction.
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Pending events not yet executed.
+  std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_{};
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace hlock::sim

@@ -1,0 +1,85 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hlock::stats {
+
+namespace {
+/// "41.0%".
+std::string percent(std::size_t count, std::size_t total) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.1f%%",
+                total == 0 ? 0.0
+                           : 100.0 * static_cast<double>(count) /
+                                 static_cast<double>(total));
+  return buf;
+}
+}  // namespace
+
+std::string render_histogram(const std::vector<double>& samples,
+                             const HistogramOptions& options) {
+  HLOCK_REQUIRE(options.buckets >= 1, "histogram needs at least one bucket");
+  HLOCK_REQUIRE(options.bar_width >= 1, "bar width must be positive");
+  if (samples.empty()) return "(no samples)\n";
+
+  const auto [min_it, max_it] =
+      std::minmax_element(samples.begin(), samples.end());
+  double lo = *min_it;
+  double hi = *max_it;
+  if (hi == lo) hi = lo + 1.0;  // degenerate: single-value population
+
+  // Log scale needs a positive origin. Zeros (e.g. message-free local
+  // grants) are legal inputs: clamp the floor to a fixed dynamic range
+  // below the maximum so they collapse into the first bucket instead of
+  // degenerating the bucket bounds.
+  const double log_floor = std::max({lo, hi / 1e5, 1e-9});
+  const double log_lo = std::log(log_floor);
+  const double log_hi = std::log(std::max(hi, log_floor * (1 + 1e-9)));
+
+  std::vector<std::size_t> counts(options.buckets, 0);
+  auto bucket_of = [&](double v) {
+    double fraction = 0;
+    if (options.log_scale) {
+      const double lv = std::log(std::max(v, log_floor));
+      fraction = (lv - log_lo) / (log_hi - log_lo);
+    } else {
+      fraction = (v - lo) / (hi - lo);
+    }
+    const auto index = static_cast<std::size_t>(
+        fraction * static_cast<double>(options.buckets));
+    return std::min(index, options.buckets - 1);
+  };
+  for (double v : samples) ++counts[bucket_of(v)];
+
+  auto bound_of = [&](std::size_t i) {
+    const double fraction =
+        static_cast<double>(i) / static_cast<double>(options.buckets);
+    if (options.log_scale) {
+      return std::exp(log_lo + fraction * (log_hi - log_lo));
+    }
+    return lo + fraction * (hi - lo);
+  };
+
+  const std::size_t peak = *std::max_element(counts.begin(), counts.end());
+  std::ostringstream os;
+  for (std::size_t i = 0; i < options.buckets; ++i) {
+    const double from = bound_of(i);
+    const double to = bound_of(i + 1);
+    const std::size_t bar =
+        peak == 0 ? 0 : counts[i] * options.bar_width / peak;
+    char head[80];
+    std::snprintf(head, sizeof head, "[%10.3f, %10.3f) %-3s ", from, to,
+                  options.unit.c_str());
+    os << head << std::string(bar, '#')
+       << std::string(options.bar_width - bar, '.') << ' ' << counts[i]
+       << " (" << percent(counts[i], samples.size()) << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace hlock::stats

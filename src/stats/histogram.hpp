@@ -1,0 +1,31 @@
+// ASCII histogram rendering for latency distributions.
+//
+// Benchmark binaries print distributions, not just means: the paper's
+// latency story (queueing-dominated superlinear region) is visible in the
+// tail shape long before it moves the mean.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hlock::stats {
+
+/// Options for render_histogram.
+struct HistogramOptions {
+  /// Number of buckets (>= 1).
+  std::size_t buckets = 10;
+  /// Width of the bar column in characters.
+  std::size_t bar_width = 40;
+  /// Unit label appended to bucket bounds (e.g. "ms").
+  std::string unit = "ms";
+  /// Use logarithmically spaced buckets (for heavy-tailed latencies).
+  bool log_scale = false;
+};
+
+/// Renders a histogram of `samples`, one bucket per line:
+///   "[  0.00,   2.50) ms  ######################....  123 (41.0%)".
+/// Returns "(no samples)\n" for empty input. Sample order is irrelevant.
+std::string render_histogram(const std::vector<double>& samples,
+                             const HistogramOptions& options = {});
+
+}  // namespace hlock::stats

@@ -1,0 +1,29 @@
+#include "stats/metrics.hpp"
+
+namespace hlock::stats {
+
+void MessageCounter::add(proto::MessageKind kind) {
+  ++counts_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t MessageCounter::count(proto::MessageKind kind) const {
+  return counts_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t MessageCounter::total() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t c : counts_) sum += c;
+  return sum;
+}
+
+void LatencyRecorder::record(SimTime latency) {
+  samples_ms_.push_back(latency.to_ms());
+}
+
+double MetricsRegistry::messages_per_request() const {
+  if (latency_.count() == 0) return 0.0;
+  return static_cast<double>(messages_.total()) /
+         static_cast<double>(latency_.count());
+}
+
+}  // namespace hlock::stats

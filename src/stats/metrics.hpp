@@ -1,0 +1,73 @@
+// Experiment metrics: message counts and request latencies.
+//
+// The paper's two headline metrics are (1) the average number of protocol
+// messages per application-level lock request and (2) the request latency —
+// "the time elapsed between issuing a request and entering the critical
+// section". MetricsRegistry collects both across a run; harnesses read one
+// registry per simulated cluster.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "proto/message.hpp"
+#include "stats/summary.hpp"
+#include "util/sim_time.hpp"
+
+namespace hlock::stats {
+
+/// Message counts broken down by protocol message kind.
+class MessageCounter {
+ public:
+  /// Counts one sent message.
+  void add(proto::MessageKind kind);
+
+  /// Messages of one kind.
+  std::uint64_t count(proto::MessageKind kind) const;
+
+  /// All messages.
+  std::uint64_t total() const;
+
+ private:
+  std::array<std::uint64_t, proto::kMessageKindCount> counts_{};
+};
+
+/// Latency samples of completed application-level requests.
+class LatencyRecorder {
+ public:
+  /// Records one completed request's latency.
+  void record(SimTime latency);
+
+  /// Number of recorded requests.
+  std::size_t count() const { return samples_ms_.size(); }
+
+  /// Latency samples in milliseconds, in completion order.
+  const std::vector<double>& samples_ms() const { return samples_ms_; }
+
+  /// Exact summary over all samples (milliseconds).
+  Summary summarize() const { return stats::summarize(samples_ms_); }
+
+ private:
+  std::vector<double> samples_ms_;
+};
+
+/// Everything one experiment run collects.
+class MetricsRegistry {
+ public:
+  MessageCounter& messages() { return messages_; }
+  const MessageCounter& messages() const { return messages_; }
+
+  LatencyRecorder& latency() { return latency_; }
+  const LatencyRecorder& latency() const { return latency_; }
+
+  /// Messages per completed application-level request — the paper's
+  /// Fig. 7/9 metric. Zero when no request completed.
+  double messages_per_request() const;
+
+ private:
+  MessageCounter messages_;
+  LatencyRecorder latency_;
+};
+
+}  // namespace hlock::stats

@@ -1,0 +1,52 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hlock::stats {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  HLOCK_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be within [0, 1]");
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= sorted.size()) return sorted.back();
+  return sorted[lower] + fraction * (sorted[lower + 1] - sorted[lower]);
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (double v : sorted) var += (v - s.mean) * (v - s.mean);
+  s.stddev = s.count > 1
+                 ? std::sqrt(var / static_cast<double>(s.count - 1))
+                 : 0.0;
+  s.p50 = quantile_sorted(sorted, 0.50);
+  s.p90 = quantile_sorted(sorted, 0.90);
+  s.p99 = quantile_sorted(sorted, 0.99);
+  return s;
+}
+
+std::string to_string(const Summary& s) {
+  std::ostringstream os;
+  os << "n=" << s.count << " mean=" << s.mean << " p50=" << s.p50
+     << " p90=" << s.p90 << " p99=" << s.p99 << " max=" << s.max;
+  return os.str();
+}
+
+}  // namespace hlock::stats

@@ -1,0 +1,37 @@
+// Order statistics over a sample set.
+//
+// Experiment harnesses collect every per-request sample (populations are at
+// most a few hundred thousand), so summaries are exact rather than
+// approximated by sketches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hlock::stats {
+
+/// Exact summary statistics of a sample population.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double stddev = 0.0;
+};
+
+/// Computes the summary of `samples` (copied internally for sorting; the
+/// argument order is preserved). An empty input yields an all-zero summary.
+Summary summarize(const std::vector<double>& samples);
+
+/// Exact q-quantile (0 <= q <= 1) of pre-sorted samples, with linear
+/// interpolation between adjacent order statistics.
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// "n=100 mean=1.23 p50=1.10 p90=2.00 p99=3.50 max=4.00" — for logs.
+std::string to_string(const Summary& s);
+
+}  // namespace hlock::stats

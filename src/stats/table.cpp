@@ -1,0 +1,82 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hlock::stats {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  HLOCK_REQUIRE(!header.empty(), "a table needs at least one column");
+  HLOCK_REQUIRE(rows_.empty(), "set the header before adding rows");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  HLOCK_REQUIRE(row.size() == header_.size(),
+                "row width does not match the header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells, bool left) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << "  ";
+      const auto pad = widths[c] - cells[c].size();
+      if (left) {
+        os << cells[c] << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << cells[c];
+      }
+    }
+    os << '\n';
+  };
+  emit(header_, /*left=*/true);
+  std::size_t total = header_.size() > 0 ? 2 * (header_.size() - 1) : 0;
+  for (std::size_t w : widths) total += w;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row, /*left=*/false);
+  return os.str();
+}
+
+std::string TextTable::render_csv() const {
+  auto field = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string quoted = "\"";
+    for (char ch : s) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << field(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace hlock::stats

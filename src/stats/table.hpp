@@ -1,0 +1,40 @@
+// Plain-text and CSV table rendering for benchmark output.
+//
+// Every figure-reproduction binary prints one aligned table (the series the
+// paper plots) plus an optional CSV block for downstream plotting, so runs
+// are both human-readable in a terminal and machine-consumable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hlock::stats {
+
+/// A simple column-aligned text table with an optional CSV rendering.
+class TextTable {
+ public:
+  /// Sets the header row; must be called before add_row and fixes the
+  /// column count.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+
+  /// Renders with space-padded, right-aligned columns (header left-aligned).
+  std::string render() const;
+
+  /// Renders as RFC-4180-ish CSV (fields containing commas are quoted).
+  std::string render_csv() const;
+
+  /// Number of data rows.
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hlock::stats

@@ -1,0 +1,96 @@
+#include "trace/recorder.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hlock::trace {
+
+std::string to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kMessage:
+      return "message";
+    case EventKind::kEnterCs:
+      return "enter-cs";
+    case EventKind::kExitCs:
+      return "exit-cs";
+    case EventKind::kUpgraded:
+      return "upgraded";
+    case EventKind::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
+  HLOCK_REQUIRE(capacity > 0, "trace capacity must be positive");
+}
+
+void TraceRecorder::push(TraceEvent event) {
+  ++total_;
+  events_.push_back(std::move(event));
+  if (events_.size() > capacity_) events_.pop_front();
+}
+
+void TraceRecorder::record_message(SimTime at, const proto::Message& message) {
+  push(TraceEvent{at, EventKind::kMessage, message.from,
+                  to_string(message)});
+}
+
+void TraceRecorder::record_enter_cs(SimTime at, proto::NodeId node,
+                                    const std::string& detail) {
+  push(TraceEvent{at, EventKind::kEnterCs, node, detail});
+}
+
+void TraceRecorder::record_exit_cs(SimTime at, proto::NodeId node) {
+  push(TraceEvent{at, EventKind::kExitCs, node, ""});
+}
+
+void TraceRecorder::record_upgrade(SimTime at, proto::NodeId node) {
+  push(TraceEvent{at, EventKind::kUpgraded, node, ""});
+}
+
+void TraceRecorder::note(SimTime at, proto::NodeId node,
+                         const std::string& text) {
+  push(TraceEvent{at, EventKind::kNote, node, text});
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  total_ = 0;
+}
+
+std::string TraceRecorder::render(proto::NodeId node_filter) const {
+  std::ostringstream os;
+  if (truncated()) {
+    os << "... (" << total_ - events_.size() << " earlier events dropped)\n";
+  }
+  for (const TraceEvent& event : events_) {
+    if (!node_filter.is_none()) {
+      bool relevant = event.node == node_filter;
+      if (event.kind == EventKind::kMessage &&
+          event.detail.find(to_string(node_filter)) != std::string::npos) {
+        relevant = true;
+      }
+      if (!relevant) continue;
+    }
+    char head[64];
+    std::snprintf(head, sizeof head, "%12s  %-7s %-9s ",
+                  to_string(event.at).c_str(),
+                  to_string(event.node).c_str(),
+                  to_string(event.kind).c_str());
+    os << head << event.detail << '\n';
+  }
+  return os.str();
+}
+
+std::vector<std::size_t> TraceRecorder::histogram() const {
+  std::vector<std::size_t> counts(5, 0);
+  for (const TraceEvent& event : events_) {
+    ++counts[static_cast<std::size_t>(event.kind)];
+  }
+  return counts;
+}
+
+}  // namespace hlock::trace

@@ -1,0 +1,85 @@
+// Protocol event tracing.
+//
+// Records a bounded history of protocol events (messages sent, critical
+// sections entered/left, upgrades) with simulated timestamps, and renders
+// them as a per-node timeline — the tool of choice when a distributed
+// locking bug needs to be read as a story rather than a state dump.
+// Recording is in-memory and allocation-light; a ring buffer caps memory
+// for long runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "proto/ids.hpp"
+#include "proto/message.hpp"
+#include "util/sim_time.hpp"
+
+namespace hlock::trace {
+
+/// What happened.
+enum class EventKind : std::uint8_t {
+  kMessage,   ///< a protocol message was sent
+  kEnterCs,   ///< a node entered its critical section
+  kExitCs,    ///< a node released
+  kUpgraded,  ///< a Rule 7 upgrade completed
+  kNote,      ///< free-form annotation from the application
+};
+
+/// Returns "message", "enter-cs", ...
+std::string to_string(EventKind kind);
+
+/// One recorded event.
+struct TraceEvent {
+  SimTime at;
+  EventKind kind = EventKind::kNote;
+  proto::NodeId node;  ///< acting node (sender for messages)
+  std::string detail;  ///< rendered message / annotation
+};
+
+/// Bounded in-memory event recorder. Not thread-safe by design: attach one
+/// per simulated cluster (single-threaded) or guard externally.
+class TraceRecorder {
+ public:
+  /// Keeps at most `capacity` events; older ones are dropped FIFO.
+  explicit TraceRecorder(std::size_t capacity = 65536);
+
+  void record_message(SimTime at, const proto::Message& message);
+  void record_enter_cs(SimTime at, proto::NodeId node,
+                       const std::string& detail = "");
+  void record_exit_cs(SimTime at, proto::NodeId node);
+  void record_upgrade(SimTime at, proto::NodeId node);
+  void note(SimTime at, proto::NodeId node, const std::string& text);
+
+  /// All retained events, oldest first.
+  const std::deque<TraceEvent>& events() const { return events_; }
+
+  /// Events recorded over the recorder's lifetime (>= events().size()).
+  std::uint64_t total_recorded() const { return total_; }
+
+  /// True if older events were evicted by the capacity cap.
+  bool truncated() const { return total_ > events_.size(); }
+
+  void clear();
+
+  /// Renders the retained history, one line per event:
+  ///   "    1.500 ms  node2   message   node2->node0 lock0 REQUEST(...)".
+  /// `node_filter` (if not none) restricts to one node's perspective
+  /// (its own events plus messages it sent or received).
+  std::string render(proto::NodeId node_filter = proto::NodeId::none()) const;
+
+  /// Per-kind counts over retained events, index by EventKind.
+  std::vector<std::size_t> histogram() const;
+
+ private:
+  void push(TraceEvent event);
+
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hlock::trace

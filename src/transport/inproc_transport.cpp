@@ -1,0 +1,62 @@
+#include "transport/inproc_transport.hpp"
+
+#include "proto/codec.hpp"
+#include "util/check.hpp"
+
+namespace hlock::transport {
+
+InProcTransport::InProcTransport(const InProcOptions& options)
+    : options_(options), latency_rng_(Rng{options.seed}.split(0x7A57u)) {
+  HLOCK_REQUIRE(options.node_count >= 1,
+                "a transport needs at least one node");
+  mailboxes_.reserve(options.node_count);
+  for (std::size_t i = 0; i < options.node_count; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+Mailbox& InProcTransport::mailbox(proto::NodeId node) {
+  HLOCK_REQUIRE(node.value() < mailboxes_.size(), "unknown node id");
+  return *mailboxes_[node.value()];
+}
+
+void InProcTransport::send(const proto::Message& message) {
+  proto::Message to_deliver = message;
+  if (options_.codec_roundtrip) {
+    const std::vector<std::byte> wire = proto::encode(message);
+    std::optional<proto::Message> decoded = proto::decode(wire);
+    HLOCK_INVARIANT(decoded.has_value() && *decoded == message,
+                    "codec round-trip corrupted a message");
+    to_deliver = std::move(*decoded);
+  }
+
+  Mailbox::Clock::time_point deliver_at;
+  {
+    std::lock_guard<std::mutex> guard(latency_mutex_);
+    const SimTime latency = options_.latency.sample(latency_rng_);
+    deliver_at = Mailbox::Clock::now() +
+                 std::chrono::nanoseconds(latency.count_ns());
+    auto& front = channel_front_[{message.from, message.to}];
+    if (deliver_at <= front) {
+      deliver_at = front + std::chrono::nanoseconds(1);
+    }
+    front = deliver_at;
+  }
+  mailbox(message.to).push(std::move(to_deliver), deliver_at);
+  sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<proto::Message> InProcTransport::recv(proto::NodeId node) {
+  return mailbox(node).pop();
+}
+
+std::optional<proto::Message> InProcTransport::recv_for(
+    proto::NodeId node, std::chrono::milliseconds timeout) {
+  return mailbox(node).pop_until(Mailbox::Clock::now() + timeout);
+}
+
+void InProcTransport::shutdown() {
+  for (auto& box : mailboxes_) box->close();
+}
+
+}  // namespace hlock::transport

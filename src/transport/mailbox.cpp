@@ -1,0 +1,69 @@
+#include "transport/mailbox.hpp"
+
+namespace hlock::transport {
+
+void Mailbox::push(proto::Message message, Clock::time_point deliver_at) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (closed_) return;
+    heap_.push(Entry{deliver_at, next_seq_++, std::move(message)});
+    ++pushed_;
+  }
+  cv_.notify_one();
+}
+
+std::optional<proto::Message> Mailbox::pop() {
+  return pop_until(Clock::time_point::max());
+}
+
+std::optional<proto::Message> Mailbox::pop_until(Clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (!heap_.empty()) {
+      const Clock::time_point due = heap_.top().deliver_at;
+      if (due <= Clock::now()) {
+        proto::Message message = heap_.top().message;
+        heap_.pop();
+        return message;
+      }
+      // Wait until the head matures, the deadline passes, or a new
+      // (possibly earlier) message arrives.
+      const Clock::time_point until = std::min(due, deadline);
+      if (cv_.wait_until(lock, until) == std::cv_status::timeout &&
+          until == deadline && Clock::now() >= deadline) {
+        // Deadline reached before the head matured.
+        if (!heap_.empty() && heap_.top().deliver_at <= Clock::now()) {
+          proto::Message message = heap_.top().message;
+          heap_.pop();
+          return message;
+        }
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (closed_) return std::nullopt;
+    if (deadline == Clock::time_point::max()) {
+      cv_.wait(lock);
+    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (!heap_.empty() && heap_.top().deliver_at <= Clock::now()) {
+        continue;
+      }
+      return std::nullopt;
+    }
+  }
+}
+
+void Mailbox::close() {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t Mailbox::pushed() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return pushed_;
+}
+
+}  // namespace hlock::transport

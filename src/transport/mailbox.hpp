@@ -1,0 +1,67 @@
+// A thread-safe mailbox with earliest-deadline delivery.
+//
+// Building block of the in-process transport: producers deposit messages
+// with an absolute delivery time (wall clock); the consumer blocks until
+// the earliest message becomes deliverable. Injected delivery times model
+// network latency while per-channel FIFO is enforced by the transport.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "proto/message.hpp"
+
+namespace hlock::transport {
+
+/// Multi-producer single-consumer mailbox ordered by delivery time.
+class Mailbox {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Deposits a message that becomes deliverable at `deliver_at`.
+  /// No-op after close().
+  void push(proto::Message message, Clock::time_point deliver_at);
+
+  /// Blocks until a message is deliverable or the mailbox is closed and
+  /// empty. Returns std::nullopt only in the latter case.
+  std::optional<proto::Message> pop();
+
+  /// Like pop() but gives up at `deadline`; std::nullopt on timeout or
+  /// closed-and-empty.
+  std::optional<proto::Message> pop_until(Clock::time_point deadline);
+
+  /// Closes the mailbox: pending messages remain poppable, new pushes are
+  /// dropped, and blocked consumers wake up.
+  void close();
+
+  /// Messages deposited over the mailbox's lifetime.
+  std::uint64_t pushed() const;
+
+ private:
+  struct Entry {
+    Clock::time_point deliver_at;
+    std::uint64_t seq;
+    proto::Message message;
+    /// Min-ordering by (deliver_at, seq) via inverted comparison.
+    bool operator<(const Entry& other) const {
+      if (deliver_at != other.deliver_at) {
+        return deliver_at > other.deliver_at;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t pushed_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace hlock::transport

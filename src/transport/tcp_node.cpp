@@ -1,0 +1,144 @@
+#include "transport/tcp_node.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "transport/tcp_socket.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace hlock::transport {
+
+TcpNode::TcpNode(proto::NodeId self, std::vector<TcpPeer> peers)
+    : self_(self) {
+  HLOCK_REQUIRE(!self.is_none(), "a TcpNode needs a real node id");
+  listen_fd_ = listen_loopback(0);
+  port_ = local_port(listen_fd_);
+  for (const TcpPeer& peer : peers) add_peer(peer);
+  start();
+}
+
+TcpNode::TcpNode(proto::NodeId self, int adopted_listen_fd,
+                 std::vector<TcpPeer> peers)
+    : self_(self) {
+  HLOCK_REQUIRE(!self.is_none(), "a TcpNode needs a real node id");
+  HLOCK_REQUIRE(adopted_listen_fd >= 0, "invalid adopted listener");
+  listen_fd_ = adopted_listen_fd;
+  port_ = local_port(listen_fd_);
+  for (const TcpPeer& peer : peers) add_peer(peer);
+  start();
+}
+
+void TcpNode::start() {
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+}
+
+TcpNode::~TcpNode() {
+  shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::lock_guard<std::mutex> guard(readers_mutex_);
+  for (std::thread& reader : readers_) {
+    if (reader.joinable()) reader.join();
+  }
+}
+
+void TcpNode::add_peer(const TcpPeer& peer) {
+  HLOCK_REQUIRE(!peer.node.is_none() && peer.node != self_,
+                "peer must be another real node");
+  std::lock_guard<std::mutex> guard(peers_mutex_);
+  peer_ports_[peer.node.value()] = peer.port;
+}
+
+void TcpNode::acceptor_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    std::lock_guard<std::mutex> guard(readers_mutex_);
+    accepted_fds_.push_back(fd);
+    readers_.emplace_back([this, fd] { reader_loop(fd); });
+  }
+}
+
+void TcpNode::reader_loop(int fd) {
+  while (auto message = read_frame(fd)) {
+    if (message->to != self_) {
+      HLOCK_LOG(kWarn, "tcp-node " << to_string(self_)
+                                   << ": dropping misrouted frame to "
+                                   << to_string(message->to));
+      break;
+    }
+    inbox_.push(std::move(*message), Mailbox::Clock::now());
+  }
+  ::close(fd);
+}
+
+void TcpNode::send(const proto::Message& message) {
+  if (stopping_.load()) return;
+  HLOCK_REQUIRE(message.from == self_,
+                "a TcpNode only sends its own node's messages");
+
+  std::uint16_t port = 0;
+  Channel* channel = nullptr;
+  {
+    std::lock_guard<std::mutex> guard(peers_mutex_);
+    auto it = peer_ports_.find(message.to.value());
+    HLOCK_REQUIRE(it != peer_ports_.end(),
+                  "unknown peer: " + to_string(message.to));
+    port = it->second;
+    auto& slot = channels_[message.to.value()];
+    if (!slot) slot = std::make_unique<Channel>();
+    channel = slot.get();
+  }
+
+  std::lock_guard<std::mutex> guard(channel->send_mutex);
+  if (channel->fd < 0) channel->fd = connect_loopback(port);
+  if (!write_frame(channel->fd, message)) {
+    ::close(channel->fd);
+    channel->fd = -1;
+    if (!stopping_.load()) {
+      throw UsageError("tcp-node: send to " + to_string(message.to) +
+                       " failed");
+    }
+    return;
+  }
+  sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<proto::Message> TcpNode::recv(proto::NodeId node) {
+  HLOCK_REQUIRE(node == self_, "a TcpNode only receives for its own node");
+  return inbox_.pop();
+}
+
+std::optional<proto::Message> TcpNode::recv_for(
+    proto::NodeId node, std::chrono::milliseconds timeout) {
+  HLOCK_REQUIRE(node == self_, "a TcpNode only receives for its own node");
+  return inbox_.pop_until(Mailbox::Clock::now() + timeout);
+}
+
+void TcpNode::shutdown() {
+  if (stopping_.exchange(true)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  inbox_.close();
+  {
+    // Unblock readers parked on connections whose remote end is still up.
+    std::lock_guard<std::mutex> guard(readers_mutex_);
+    for (int fd : accepted_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::lock_guard<std::mutex> guard(peers_mutex_);
+  for (auto& [node, channel] : channels_) {
+    std::lock_guard<std::mutex> send_guard(channel->send_mutex);
+    if (channel->fd >= 0) {
+      ::shutdown(channel->fd, SHUT_RDWR);
+      ::close(channel->fd);
+      channel->fd = -1;
+    }
+  }
+}
+
+}  // namespace hlock::transport

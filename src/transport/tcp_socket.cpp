@@ -1,0 +1,115 @@
+#include "transport/tcp_socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "proto/codec.hpp"
+#include "util/check.hpp"
+
+namespace hlock::transport {
+
+namespace {
+
+bool write_all(int fd, const std::byte* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, std::byte* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::recv(fd, data, size, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+int listen_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  HLOCK_REQUIRE(fd >= 0, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw UsageError("tcp: bind/listen on loopback failed: " + reason);
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  HLOCK_REQUIRE(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
+                              &len) == 0,
+                "getsockname() failed");
+  return ntohs(bound.sin_port);
+}
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  HLOCK_REQUIRE(fd >= 0, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw UsageError("tcp: connect to loopback port " +
+                     std::to_string(port) + " failed: " + reason);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+bool write_frame(int fd, const proto::Message& message) {
+  const std::vector<std::byte> body = proto::encode(message);
+  std::byte header[4];
+  for (int i = 0; i < 4; ++i) {
+    header[i] =
+        static_cast<std::byte>((body.size() >> (8 * i)) & 0xFF);
+  }
+  return write_all(fd, header, sizeof header) &&
+         write_all(fd, body.data(), body.size());
+}
+
+std::optional<proto::Message> read_frame(int fd) {
+  std::byte header[4];
+  if (!read_all(fd, header, sizeof header)) return std::nullopt;
+  std::uint32_t size = 0;
+  for (int i = 0; i < 4; ++i) {
+    size |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  }
+  if (size == 0 || size > kMaxFrameBytes) return std::nullopt;
+  std::vector<std::byte> frame(size);
+  if (!read_all(fd, frame.data(), size)) return std::nullopt;
+  return proto::decode(frame);
+}
+
+}  // namespace hlock::transport

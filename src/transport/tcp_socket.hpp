@@ -1,0 +1,38 @@
+// Low-level loopback TCP helpers shared by the socket transports:
+// listener setup, connection, and the length-prefixed message framing.
+//
+// Wire frame: 4-byte little-endian payload length, then the binary codec
+// encoding of one Message. Frames above a sanity cap are treated as
+// corruption.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "proto/message.hpp"
+
+namespace hlock::transport {
+
+/// Largest accepted frame; the biggest legal message (a token with a full
+/// queue) is far below this.
+inline constexpr std::uint32_t kMaxFrameBytes = 1 << 20;
+
+/// Binds and listens on 127.0.0.1:`port` (0 = ephemeral). Returns the fd.
+/// Throws UsageError on failure.
+int listen_loopback(std::uint16_t port = 0);
+
+/// The local port a bound socket listens on.
+std::uint16_t local_port(int fd);
+
+/// Connects to 127.0.0.1:`port` (blocking) and enables TCP_NODELAY.
+/// Throws UsageError on failure.
+int connect_loopback(std::uint16_t port);
+
+/// Writes one framed message; false on error or peer close.
+bool write_frame(int fd, const proto::Message& message);
+
+/// Reads one framed message; nullopt on clean close, error, oversized or
+/// undecodable frame.
+std::optional<proto::Message> read_frame(int fd);
+
+}  // namespace hlock::transport

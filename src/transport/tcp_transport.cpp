@@ -1,0 +1,139 @@
+#include "transport/tcp_transport.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "transport/tcp_socket.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace hlock::transport {
+
+TcpTransport::TcpTransport(std::size_t node_count) {
+  HLOCK_REQUIRE(node_count >= 1, "a transport needs at least one node");
+  nodes_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    auto endpoint = std::make_unique<NodeEndpoint>();
+    endpoint->listen_fd = listen_loopback(0);
+    endpoint->port = local_port(endpoint->listen_fd);
+    nodes_.push_back(std::move(endpoint));
+  }
+  for (std::size_t i = 0; i < node_count; ++i) {
+    nodes_[i]->acceptor = std::thread([this, i] { acceptor_loop(i); });
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  shutdown();
+  for (auto& endpoint : nodes_) {
+    if (endpoint->acceptor.joinable()) endpoint->acceptor.join();
+  }
+  std::lock_guard<std::mutex> guard(readers_mutex_);
+  for (std::thread& reader : readers_) {
+    if (reader.joinable()) reader.join();
+  }
+}
+
+std::uint16_t TcpTransport::port_of(proto::NodeId node) const {
+  HLOCK_REQUIRE(node.value() < nodes_.size(), "unknown node id");
+  return nodes_[node.value()]->port;
+}
+
+void TcpTransport::acceptor_loop(std::size_t node) {
+  for (;;) {
+    const int fd = ::accept(nodes_[node]->listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed during shutdown
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    std::lock_guard<std::mutex> guard(readers_mutex_);
+    readers_.emplace_back([this, node, fd] { reader_loop(node, fd); });
+  }
+}
+
+void TcpTransport::reader_loop(std::size_t node, int fd) {
+  while (auto message = read_frame(fd)) {
+    if (message->to.value() != node) {
+      HLOCK_LOG(kWarn, "tcp: frame addressed to " << to_string(message->to)
+                                                  << " arrived at node "
+                                                  << node);
+      break;
+    }
+    nodes_[node]->inbox.push(std::move(*message), Mailbox::Clock::now());
+  }
+  ::close(fd);
+}
+
+int TcpTransport::channel_fd(std::uint32_t /*from*/, std::uint32_t to) {
+  // Caller holds the channel's send mutex; this only creates the socket.
+  return connect_loopback(nodes_[to]->port);
+}
+
+void TcpTransport::send(const proto::Message& message) {
+  if (stopping_.load()) return;
+  HLOCK_REQUIRE(message.to.value() < nodes_.size(), "unknown node id");
+  HLOCK_REQUIRE(!message.from.is_none(), "message without a sender");
+
+  Channel* channel = nullptr;
+  {
+    std::lock_guard<std::mutex> guard(channels_mutex_);
+    auto& slot = channels_[{message.from.value(), message.to.value()}];
+    if (!slot) slot = std::make_unique<Channel>();
+    channel = slot.get();
+  }
+
+  std::lock_guard<std::mutex> guard(channel->send_mutex);
+  if (channel->fd < 0) {
+    channel->fd = channel_fd(message.from.value(), message.to.value());
+  }
+  if (!write_frame(channel->fd, message)) {
+    ::close(channel->fd);
+    channel->fd = -1;
+    if (!stopping_.load()) {
+      throw UsageError("tcp: send to node " +
+                       std::to_string(message.to.value()) + " failed");
+    }
+    return;
+  }
+  sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<proto::Message> TcpTransport::recv(proto::NodeId node) {
+  HLOCK_REQUIRE(node.value() < nodes_.size(), "unknown node id");
+  return nodes_[node.value()]->inbox.pop();
+}
+
+std::optional<proto::Message> TcpTransport::recv_for(
+    proto::NodeId node, std::chrono::milliseconds timeout) {
+  HLOCK_REQUIRE(node.value() < nodes_.size(), "unknown node id");
+  return nodes_[node.value()]->inbox.pop_until(Mailbox::Clock::now() +
+                                               timeout);
+}
+
+void TcpTransport::shutdown() {
+  if (stopping_.exchange(true)) return;
+  for (auto& endpoint : nodes_) {
+    // Closing the listener wakes the acceptor; shutdown() on it first is
+    // portable across accept() implementations.
+    ::shutdown(endpoint->listen_fd, SHUT_RDWR);
+    ::close(endpoint->listen_fd);
+    endpoint->inbox.close();
+  }
+  std::lock_guard<std::mutex> guard(channels_mutex_);
+  for (auto& [key, channel] : channels_) {
+    std::lock_guard<std::mutex> send_guard(channel->send_mutex);
+    if (channel->fd >= 0) {
+      ::shutdown(channel->fd, SHUT_RDWR);
+      ::close(channel->fd);
+      channel->fd = -1;
+    }
+  }
+}
+
+}  // namespace hlock::transport

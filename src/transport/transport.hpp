@@ -1,0 +1,43 @@
+// Abstract message transport.
+//
+// The threaded runtime runs over any Transport: the in-process mailbox
+// transport (fast, latency-injectable) or the TCP loopback transport
+// (real sockets, real wire format). Implementations must provide reliable
+// per-ordered-channel FIFO delivery, which both TCP and the mailbox
+// transport guarantee — the protocol's release/request ordering analysis
+// depends on it.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+#include "proto/ids.hpp"
+#include "proto/message.hpp"
+
+namespace hlock::transport {
+
+/// See file comment.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Routes a message to its destination. Thread-safe.
+  virtual void send(const proto::Message& message) = 0;
+
+  /// Blocks for the next message addressed to `node`; std::nullopt once
+  /// the transport is shut down and drained.
+  virtual std::optional<proto::Message> recv(proto::NodeId node) = 0;
+
+  /// Like recv() but bounded; std::nullopt on timeout too.
+  virtual std::optional<proto::Message> recv_for(
+      proto::NodeId node, std::chrono::milliseconds timeout) = 0;
+
+  /// Unblocks all receivers; subsequent sends are dropped.
+  virtual void shutdown() = 0;
+
+  /// Messages accepted by send() so far.
+  virtual std::uint64_t messages_sent() const = 0;
+};
+
+}  // namespace hlock::transport

@@ -1,0 +1,53 @@
+// Error-handling primitives shared by all hlock modules.
+//
+// The protocol automatons are specified by a small set of rules; a state that
+// violates them indicates a bug in either the implementation or the caller's
+// usage. We fail loudly via exceptions that carry the failing expression and
+// source location, so both tests and long-running simulations surface the
+// first violation instead of silently corrupting lock state.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hlock {
+
+/// Raised when an internal protocol invariant is violated (a bug in hlock).
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Raised when a caller uses the API outside its contract (e.g. releasing a
+/// lock that is not held, or upgrading from a mode other than U).
+class UsageError : public std::invalid_argument {
+ public:
+  explicit UsageError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invariant(const char* expr, const char* file, int line,
+                                  const std::string& msg);
+[[noreturn]] void throw_usage(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace hlock
+
+/// Asserts an internal invariant; throws hlock::InvariantError on failure.
+/// Enabled in all build types: protocol state corruption must never pass
+/// silently, and the cost is negligible next to message handling.
+#define HLOCK_INVARIANT(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::hlock::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                      \
+  } while (false)
+
+/// Validates a caller-supplied precondition; throws hlock::UsageError.
+#define HLOCK_REQUIRE(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::hlock::detail::throw_usage(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                  \
+  } while (false)

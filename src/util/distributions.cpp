@@ -1,0 +1,86 @@
+#include "util/distributions.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hlock {
+
+std::string to_string(DistKind kind) {
+  switch (kind) {
+    case DistKind::kConstant:
+      return "constant";
+    case DistKind::kUniform:
+      return "uniform";
+    case DistKind::kExponential:
+      return "exponential";
+    case DistKind::kLogNormal:
+      return "lognormal";
+  }
+  return "unknown";
+}
+
+DurationDist::DurationDist(DistKind kind, SimTime mean, double spread)
+    : kind_(kind), mean_(mean), spread_(spread) {
+  HLOCK_REQUIRE(mean.count_ns() >= 0, "distribution mean must be >= 0");
+  HLOCK_REQUIRE(spread >= 0.0, "distribution spread must be >= 0");
+}
+
+DurationDist DurationDist::constant(SimTime mean) {
+  return {DistKind::kConstant, mean, 0.0};
+}
+DurationDist DurationDist::uniform(SimTime mean, double spread) {
+  return {DistKind::kUniform, mean, spread};
+}
+DurationDist DurationDist::exponential(SimTime mean) {
+  return {DistKind::kExponential, mean, 0.0};
+}
+DurationDist DurationDist::lognormal(SimTime mean, double sigma) {
+  return {DistKind::kLogNormal, mean, sigma};
+}
+
+SimTime DurationDist::sample(Rng& rng) const {
+  const double mean_ns = static_cast<double>(mean_.count_ns());
+  double value_ns = mean_ns;
+  switch (kind_) {
+    case DistKind::kConstant:
+      break;
+    case DistKind::kUniform: {
+      const double lo = mean_ns * (1.0 - spread_);
+      const double hi = mean_ns * (1.0 + spread_);
+      value_ns = lo + (hi - lo) * rng.uniform01();
+      break;
+    }
+    case DistKind::kExponential: {
+      // Inverse-CDF sampling; 1 - u avoids log(0).
+      value_ns = -mean_ns * std::log(1.0 - rng.uniform01());
+      break;
+    }
+    case DistKind::kLogNormal: {
+      // Box-Muller normal, then exponentiate. mu chosen so that the
+      // distribution's mean (not median) equals the configured mean.
+      const double u1 = 1.0 - rng.uniform01();
+      const double u2 = rng.uniform01();
+      const double z =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+      const double mu = std::log(mean_ns) - 0.5 * spread_ * spread_;
+      value_ns = std::exp(mu + spread_ * z);
+      break;
+    }
+  }
+  if (value_ns < 0.0) value_ns = 0.0;
+  return SimTime::ns(static_cast<std::int64_t>(value_ns + 0.5));
+}
+
+std::string DurationDist::describe() const {
+  std::ostringstream os;
+  os << to_string(kind_) << "(mean=" << to_string(mean_);
+  if (kind_ == DistKind::kUniform || kind_ == DistKind::kLogNormal) {
+    os << ", spread=" << spread_;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace hlock

@@ -1,0 +1,52 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace hlock {
+
+namespace {
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() {
+  return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed));
+}
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_threshold.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> guard(g_emit_mutex);
+  std::fprintf(stderr, "[hlock %-5s] %s\n", level_name(level),
+               message.c_str());
+}
+}  // namespace detail
+
+}  // namespace hlock

@@ -1,0 +1,45 @@
+// Minimal leveled logger.
+//
+// Simulations process millions of events, so the logger is designed for a
+// cheap disabled path: level checks are a single atomic load and message
+// formatting only happens when the level is enabled. Output is line-buffered
+// to stderr and serialized with a mutex so threaded-transport runs do not
+// interleave lines.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace hlock {
+
+/// Log severity, ordered; messages below the global threshold are dropped.
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Returns the process-wide log threshold (default kWarn; tests and
+/// benchmarks keep protocol tracing off unless explicitly enabled).
+LogLevel log_threshold();
+
+/// Sets the process-wide log threshold. Thread-safe.
+void set_log_threshold(LogLevel level);
+
+/// True if messages at `level` would currently be emitted.
+bool log_enabled(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace hlock
+
+/// Logs a message composed with stream syntax:
+///   HLOCK_LOG(kDebug, "node " << id << " granted " << mode);
+#define HLOCK_LOG(level, stream_expr)                              \
+  do {                                                             \
+    if (::hlock::log_enabled(::hlock::LogLevel::level)) {          \
+      std::ostringstream hlock_log_os;                             \
+      hlock_log_os << stream_expr;                                 \
+      ::hlock::detail::log_emit(::hlock::LogLevel::level,          \
+                                hlock_log_os.str());               \
+    }                                                              \
+  } while (false)

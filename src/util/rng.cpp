@@ -1,0 +1,89 @@
+#include "util/rng.hpp"
+
+#include "util/check.hpp"
+
+namespace hlock {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t splitmix64_next(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) : origin_seed_(seed) {
+  std::uint64_t x = seed;
+  for (auto& word : s_) word = splitmix64_next(x);
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  HLOCK_REQUIRE(bound > 0, "Rng::below requires a positive bound");
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  HLOCK_REQUIRE(lo <= hi, "Rng::range requires lo <= hi");
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  const std::uint64_t draw = (span == 0) ? (*this)() : below(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0, 1), the standard xoshiro recipe.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+Rng Rng::split(std::uint64_t stream_id) const {
+  // Derive a fresh 256-bit state by hashing (origin seed, stream id)
+  // through splitmix64. Distinct (seed, stream) pairs map to distinct
+  // well-mixed states, and the result does not depend on how many draws
+  // have been made from the parent.
+  std::uint64_t x = origin_seed_;
+  std::uint64_t h = splitmix64_next(x) ^ (stream_id * 0xD1B54A32D192ED03ull);
+  std::array<std::uint64_t, 4> state;
+  for (auto& word : state) word = splitmix64_next(h);
+  Rng child{state};
+  child.origin_seed_ = h;
+  return child;
+}
+
+}  // namespace hlock

@@ -1,0 +1,23 @@
+#include "util/sim_time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hlock {
+
+std::string to_string(SimTime t) {
+  const double ns = static_cast<double>(t.count_ns());
+  char buf[64];
+  if (std::fabs(ns) >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3f s", ns / 1e9);
+  } else if (std::fabs(ns) >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", ns / 1e6);
+  } else if (std::fabs(ns) >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3f us", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f ns", ns);
+  }
+  return buf;
+}
+
+}  // namespace hlock

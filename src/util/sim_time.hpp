@@ -1,0 +1,75 @@
+// Fixed-point simulated time.
+//
+// The discrete-event simulator and all protocol statistics use an integral
+// nanosecond clock: floating-point time accumulates rounding error across
+// millions of events and makes runs irreproducible across optimization
+// levels. SimTime is a strong type so durations cannot be confused with
+// node ids or event sequence numbers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace hlock {
+
+/// A point in (or duration of) simulated time, in integer nanoseconds.
+///
+/// SimTime is used both as an absolute timestamp (offset from simulation
+/// start) and as a duration; the arithmetic operators cover both uses.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  /// Constructs from a raw nanosecond count.
+  static constexpr SimTime ns(std::int64_t v) { return SimTime{v}; }
+  /// Constructs from microseconds.
+  static constexpr SimTime us(std::int64_t v) { return SimTime{v * 1'000}; }
+  /// Constructs from milliseconds.
+  static constexpr SimTime ms(std::int64_t v) { return SimTime{v * 1'000'000}; }
+  /// Constructs from seconds.
+  static constexpr SimTime sec(std::int64_t v) {
+    return SimTime{v * 1'000'000'000};
+  }
+  /// Constructs from a fractional millisecond count (rounded to ns).
+  static constexpr SimTime ms_f(double v) {
+    return SimTime{static_cast<std::int64_t>(v * 1e6 + (v >= 0 ? 0.5 : -0.5))};
+  }
+
+  /// The largest representable time; used as an "infinite" deadline.
+  static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  /// Raw nanosecond count.
+  constexpr std::int64_t count_ns() const { return ns_; }
+  /// Value in fractional milliseconds (for reporting only).
+  constexpr double to_ms() const { return static_cast<double>(ns_) / 1e6; }
+  /// Value in fractional seconds (for reporting only).
+  constexpr double to_sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime{ns_ + o.ns_}; }
+  constexpr SimTime operator-(SimTime o) const { return SimTime{ns_ - o.ns_}; }
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime{ns_ * k}; }
+
+ private:
+  constexpr explicit SimTime(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+/// Formats a time as a human-readable string with an adaptive unit,
+/// e.g. "1.500 ms" or "2.000 s".
+std::string to_string(SimTime t);
+
+}  // namespace hlock

@@ -1,0 +1,24 @@
+#include "workload/mode_mix.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hlock::workload {
+
+bool ModeMix::valid() const {
+  if (ir < 0 || r < 0 || u < 0 || iw < 0 || w < 0) return false;
+  return std::fabs(ir + r + u + iw + w - 1.0) < 1e-9;
+}
+
+LockMode ModeMix::sample(Rng& rng) const {
+  HLOCK_REQUIRE(valid(), "mode mix probabilities must sum to 1");
+  double draw = rng.uniform01();
+  if ((draw -= ir) < 0) return LockMode::kIR;
+  if ((draw -= r) < 0) return LockMode::kR;
+  if ((draw -= u) < 0) return LockMode::kU;
+  if ((draw -= iw) < 0) return LockMode::kIW;
+  return LockMode::kW;
+}
+
+}  // namespace hlock::workload

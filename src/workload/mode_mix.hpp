@@ -1,0 +1,40 @@
+// The request-mode distribution of the evaluation workload.
+//
+// Paper §4: "The mode of lock requests was randomized so that the IR, R, U,
+// IW and W requests are 80%, 10%, 4%, 5% and 1% of the total requests,
+// respectively. These parameters reflect the typical frequency of request
+// types for such applications in practice where reads dominate writes."
+#pragma once
+
+#include "proto/lock_mode.hpp"
+#include "util/rng.hpp"
+
+namespace hlock::workload {
+
+using proto::LockMode;
+
+/// Probabilities of each request mode; must sum to 1.
+struct ModeMix {
+  double ir = 0.80;
+  double r = 0.10;
+  double u = 0.04;
+  double iw = 0.05;
+  double w = 0.01;
+
+  /// The paper's default mix (80/10/4/5/1).
+  static ModeMix paper() { return {}; }
+
+  /// A read-only mix (IR/R only), used by concurrency stress tests.
+  static ModeMix read_only() { return {0.85, 0.15, 0.0, 0.0, 0.0}; }
+
+  /// A write-heavy mix, used to stress queueing and freezing.
+  static ModeMix write_heavy() { return {0.20, 0.10, 0.15, 0.25, 0.30}; }
+
+  /// Validates that the probabilities are non-negative and sum to ~1.
+  bool valid() const;
+
+  /// Draws one request mode.
+  LockMode sample(Rng& rng) const;
+};
+
+}  // namespace hlock::workload

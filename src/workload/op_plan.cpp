@@ -1,0 +1,113 @@
+#include "workload/op_plan.hpp"
+
+#include "util/check.hpp"
+
+namespace hlock::workload {
+
+std::string to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kEntryRead:
+      return "entry-read";
+    case OpKind::kTableRead:
+      return "table-read";
+    case OpKind::kEntryUpgrade:
+      return "entry-upgrade";
+    case OpKind::kEntryWrite:
+      return "entry-write";
+    case OpKind::kTableWrite:
+      return "table-write";
+  }
+  return "?";
+}
+
+OpKind op_for_mode(LockMode mode) {
+  switch (mode) {
+    case LockMode::kIR:
+      return OpKind::kEntryRead;
+    case LockMode::kR:
+      return OpKind::kTableRead;
+    case LockMode::kU:
+      return OpKind::kEntryUpgrade;
+    case LockMode::kIW:
+      return OpKind::kEntryWrite;
+    case LockMode::kW:
+      return OpKind::kTableWrite;
+    case LockMode::kNL:
+      break;
+  }
+  throw UsageError("no operation corresponds to the empty mode");
+}
+
+std::string to_string(AppVariant variant) {
+  switch (variant) {
+    case AppVariant::kHierarchical:
+      return "hierarchical";
+    case AppVariant::kNaimiPure:
+      return "naimi-pure";
+    case AppVariant::kNaimiSameWork:
+      return "naimi-same-work";
+  }
+  return "?";
+}
+
+LockId table_lock() { return LockId{0}; }
+
+LockId entry_lock(std::size_t index) {
+  return LockId{static_cast<std::uint32_t>(index + 1)};
+}
+
+std::vector<LockId> all_locks(std::size_t entries) {
+  std::vector<LockId> locks;
+  locks.reserve(entries + 1);
+  locks.push_back(table_lock());
+  for (std::size_t i = 0; i < entries; ++i) locks.push_back(entry_lock(i));
+  return locks;
+}
+
+std::vector<LockStep> plan_op(AppVariant variant, OpKind kind,
+                              std::size_t entry, std::size_t entries) {
+  HLOCK_REQUIRE(entries >= 1, "the table needs at least one entry");
+  HLOCK_REQUIRE(entry < entries, "entry index out of range");
+
+  const bool table_op =
+      kind == OpKind::kTableRead || kind == OpKind::kTableWrite;
+
+  if (variant == AppVariant::kHierarchical) {
+    switch (kind) {
+      case OpKind::kEntryRead:
+        return {{table_lock(), LockMode::kIR},
+                {entry_lock(entry), LockMode::kR}};
+      case OpKind::kTableRead:
+        return {{table_lock(), LockMode::kR}};
+      case OpKind::kEntryUpgrade:
+        return {{table_lock(), LockMode::kIW},
+                {entry_lock(entry), LockMode::kU, /*upgrade_midway=*/true}};
+      case OpKind::kEntryWrite:
+        return {{table_lock(), LockMode::kIW},
+                {entry_lock(entry), LockMode::kW}};
+      case OpKind::kTableWrite:
+        return {{table_lock(), LockMode::kW}};
+    }
+  }
+
+  if (variant == AppVariant::kNaimiPure || !table_op) {
+    // Entry operations need only the entry lock in every variant; the pure
+    // variant additionally replaces whole-table operations by a single
+    // acquisition of the table lock (functionally weaker, same op count).
+    // Naimi ignores modes: every acquisition is exclusive.
+    const LockId lock = table_op ? table_lock() : entry_lock(entry);
+    return {{lock, LockMode::kW}};
+  }
+
+  // Same-work variant, whole-table operation: acquire every entry lock in
+  // ascending order ("to avoid deadlocks, Naimi's protocol has to acquire
+  // locks in a predefined order").
+  std::vector<LockStep> steps;
+  steps.reserve(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    steps.push_back({entry_lock(i), LockMode::kW});
+  }
+  return steps;
+}
+
+}  // namespace hlock::workload

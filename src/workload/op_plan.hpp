@@ -1,0 +1,88 @@
+// Application operations of the multi-airline reservation workload and
+// their lock-acquisition plans under each protocol variant (paper §4.1).
+//
+// The shared data is a table of ticket prices. The hierarchical protocol
+// associates one lock with the whole table and one with each entry; the
+// drawn request mode determines the operation:
+//
+//   IR -> read one entry        (table IR, entry R)
+//   R  -> read the whole table  (table R)
+//   U  -> read-modify-write one entry (table IW, entry U upgraded to W)
+//   IW -> write one entry       (table IW, entry W)
+//   W  -> rewrite the table     (table W)
+//
+// Naimi's protocol cannot distinguish granularities or modes, giving the
+// paper's two comparison variants:
+//   * "same work"  — same functionality: a whole-table operation acquires
+//     every entry lock, in a fixed ascending order to avoid deadlock;
+//   * "pure"       — same number of lock operations on the primary
+//     resource, functionally weaker (a single lock stands in for the whole
+//     table).
+// For entry-level operations all variants acquire only the entry lock —
+// table locking in intention mode has no Naimi equivalent.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "proto/ids.hpp"
+#include "proto/lock_mode.hpp"
+
+namespace hlock::workload {
+
+using proto::LockId;
+using proto::LockMode;
+
+/// The five application operations (see file comment).
+enum class OpKind {
+  kEntryRead,
+  kTableRead,
+  kEntryUpgrade,
+  kEntryWrite,
+  kTableWrite,
+};
+
+/// Name of an operation kind ("entry-read", ...).
+std::string to_string(OpKind kind);
+
+/// Maps a drawn request mode to the operation it stands for.
+OpKind op_for_mode(LockMode mode);
+
+/// Which locking scheme the application instance uses.
+enum class AppVariant {
+  kHierarchical,   ///< the paper's protocol: table + entry locks, 5 modes
+  kNaimiPure,      ///< Naimi baseline, one lock per operation
+  kNaimiSameWork,  ///< Naimi baseline, full functional equivalence
+};
+
+/// Name of a variant ("hierarchical", "naimi-pure", "naimi-same-work").
+std::string to_string(AppVariant variant);
+
+/// The lock protecting the whole ticket table (coarse granularity).
+LockId table_lock();
+
+/// The lock protecting table entry `index` (fine granularity).
+LockId entry_lock(std::size_t index);
+
+/// Every lock id a workload over `entries` table entries can touch
+/// (table lock first) — used for invariant sweeps.
+std::vector<LockId> all_locks(std::size_t entries);
+
+/// One lock acquisition within an operation.
+struct LockStep {
+  LockId lock;
+  LockMode mode = LockMode::kNL;
+  /// Rule 7: acquire in U, upgrade to W midway through the critical
+  /// section (hierarchical entry-upgrade operations only).
+  bool upgrade_midway = false;
+};
+
+/// The ordered lock acquisitions `variant` performs for one operation of
+/// `kind` on entry `entry` of a table with `entries` entries. Locks are
+/// released in reverse order. Orders are globally consistent (table before
+/// entries, entries ascending), which rules out application-level deadlock.
+std::vector<LockStep> plan_op(AppVariant variant, OpKind kind,
+                              std::size_t entry, std::size_t entries);
+
+}  // namespace hlock::workload

@@ -1,0 +1,148 @@
+// Tests of the analytical response-time model: exact conflict
+// probabilities (hand-computable from Table 1a and the op plans), the
+// operational-law shape, and qualitative agreement with the simulator.
+#include "analysis/response_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench/common/experiment.hpp"
+#include "sim/network_model.hpp"
+#include "util/check.hpp"
+
+namespace hlock::analysis {
+namespace {
+
+using workload::ModeMix;
+
+TEST(ConflictProbability, ReadOnlyMixNeverConflicts) {
+  // IR ops take table.IR + entry.R; R ops take table.R. IR/R/table
+  // combinations are all compatible, and entry R vs entry R too.
+  EXPECT_DOUBLE_EQ(conflict_probability(ModeMix::read_only(), 4), 0.0);
+}
+
+TEST(ConflictProbability, PureWritersAlwaysConflict) {
+  const ModeMix writers{0, 0, 0, 0, 1.0};  // table W only
+  EXPECT_DOUBLE_EQ(conflict_probability(writers, 4), 1.0);
+}
+
+TEST(ConflictProbability, EntryWritersConflictAtEntryRate) {
+  // Two entry-write ops: table IW vs IW compatible; entry W vs W conflict
+  // iff the same entry is drawn: exactly 1/entries.
+  const ModeMix entry_writers{0, 0, 0, 1.0, 0};
+  EXPECT_DOUBLE_EQ(conflict_probability(entry_writers, 4), 0.25);
+  EXPECT_DOUBLE_EQ(conflict_probability(entry_writers, 10), 0.10);
+}
+
+TEST(ConflictProbability, UpgradersCountAsEntryWriters) {
+  // Upgrade ops end up holding entry W (Rule 7): two upgraders conflict at
+  // the same-entry rate, like entry writers.
+  const ModeMix upgraders{0, 0, 1.0, 0, 0};
+  EXPECT_DOUBLE_EQ(conflict_probability(upgraders, 5), 0.2);
+}
+
+TEST(ConflictProbability, TableReadVsEntryWriteConflictsAtTableLevel) {
+  // table-read (R) vs entry-write (table IW + entry W): R vs IW conflict
+  // at the table -> certain conflict.
+  const ModeMix half{0, 0.5, 0, 0.5, 0};
+  // Pairs: (R,R)=0, (R,IW)=1, (IW,R)=1, (IW,IW)=1/entries.
+  const double expected = 0.25 * 0 + 0.25 * 1 + 0.25 * 1 + 0.25 * (1.0 / 4);
+  EXPECT_DOUBLE_EQ(conflict_probability(half, 4), expected);
+}
+
+TEST(ConflictProbability, PaperMixIsReadDominatedAndLow) {
+  const double p = conflict_probability(ModeMix::paper(), 6);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 0.15) << "the 80/10/4/5/1 mix should rarely conflict";
+}
+
+TEST(ConflictProbability, MoreEntriesMeanFewerConflicts) {
+  EXPECT_GT(conflict_probability(ModeMix::paper(), 2),
+            conflict_probability(ModeMix::paper(), 12));
+}
+
+TEST(ConflictProbability, Validation) {
+  ModeMix bad;
+  bad.w = 0.9;
+  EXPECT_THROW(conflict_probability(bad, 4), UsageError);
+  EXPECT_THROW(conflict_probability(ModeMix::paper(), 0), UsageError);
+}
+
+TEST(Model, FlatThenLinearShape) {
+  ModelParams params;
+  params.cs_ms = 15;
+  params.idle_ms = 150;
+  params.net_ms = 0.15;
+
+  params.nodes = 2;
+  const auto small = predict(params);
+  EXPECT_LT(small.queueing_ms, small.demand_ms)
+      << "below the knee queueing must be a fraction of one demand";
+
+  params.nodes = 400;
+  const auto large = predict(params);
+  EXPECT_GT(large.queueing_ms, 10 * large.demand_ms);
+
+  // Far beyond the knee, each extra node adds one demand (asymptotic
+  // slope of the machine-repairman fixed point).
+  params.nodes = 401;
+  const auto larger = predict(params);
+  EXPECT_NEAR(larger.response_ms - large.response_ms, large.demand_ms,
+              large.demand_ms * 0.05);
+}
+
+TEST(Model, KneeMovesRightWithTheRatio) {
+  ModelParams low;
+  low.idle_ms = 15;  // ratio 1
+  ModelParams high;
+  high.idle_ms = 15 * 25;  // ratio 25
+  EXPECT_LT(predict(low).knee_nodes, predict(high).knee_nodes);
+}
+
+TEST(Model, ZeroConflictNeverQueues) {
+  ModelParams params;
+  params.mix = ModeMix::read_only();
+  params.nodes = 10000;
+  const auto prediction = predict(params);
+  EXPECT_EQ(prediction.queueing_ms, 0.0);
+  EXPECT_EQ(prediction.demand_ms, 0.0);
+  EXPECT_GT(prediction.response_ms, 0.0) << "transit still costs time";
+}
+
+TEST(Model, QualitativeAgreementWithSimulation) {
+  // The model must track the simulator's ORDERING across ratios and node
+  // counts (its purpose is shape, not absolute accuracy).
+  const auto preset = sim::ibm_sp_preset();
+  auto simulate = [&](std::size_t nodes, int ratio) {
+    bench::ExperimentConfig config;
+    config.nodes = nodes;
+    config.net_latency = preset.message_latency;
+    config.cs_length = DurationDist::uniform(SimTime::ms(15), 0.5);
+    config.idle_time = DurationDist::uniform(SimTime::ms(15L * ratio), 0.5);
+    config.ops_per_node = 30;
+    config.seed = 97 + nodes;
+    return bench::run_averaged(config, 2).mean_latency_ms;
+  };
+  auto model = [](std::size_t nodes, int ratio) {
+    ModelParams params;
+    params.nodes = nodes;
+    params.cs_ms = 15;
+    params.idle_ms = 15.0 * ratio;
+    params.net_ms = 0.15;
+    return predict(params).response_ms;
+  };
+
+  // Ordering across ratios at fixed n.
+  EXPECT_GT(simulate(48, 1), simulate(48, 25));
+  EXPECT_GT(model(48, 1), model(48, 25));
+  // Growth across n at fixed ratio.
+  EXPECT_GT(simulate(64, 1), simulate(8, 1));
+  EXPECT_GT(model(64, 1), model(8, 1));
+  // Saturated regime: model within a small factor of the simulation.
+  const double sim_value = simulate(64, 1);
+  const double model_value = model(64, 1);
+  EXPECT_GT(model_value, sim_value * 0.2);
+  EXPECT_LT(model_value, sim_value * 5.0);
+}
+
+}  // namespace
+}  // namespace hlock::analysis

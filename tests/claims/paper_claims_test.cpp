@@ -1,0 +1,150 @@
+// Regression guards for the paper's evaluation claims: small versions of
+// the figure experiments with assertions on the SHAPES the reproduction
+// must preserve (orderings, monotonicity, claim thresholds). If a protocol
+// change breaks one of these, the repository no longer reproduces the
+// paper — these tests make that a red build instead of a stale
+// EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "bench/common/experiment.hpp"
+#include "sim/network_model.hpp"
+
+namespace hlock::bench {
+namespace {
+
+ExperimentConfig linux_config(AppVariant variant, std::size_t nodes) {
+  ExperimentConfig config;
+  config.variant = variant;
+  config.nodes = nodes;
+  config.net_latency = sim::linux_cluster_preset().message_latency;
+  config.cs_length = DurationDist::uniform(SimTime::ms(15), 0.5);
+  config.idle_time = DurationDist::uniform(SimTime::ms(150), 0.5);
+  config.ops_per_node = 50;
+  config.seed = 101 + nodes;
+  return config;
+}
+
+ExperimentConfig sp_config(std::size_t nodes, int ratio) {
+  ExperimentConfig config;
+  config.nodes = nodes;
+  config.net_latency = sim::ibm_sp_preset().message_latency;
+  config.cs_length = DurationDist::uniform(SimTime::ms(15), 0.5);
+  config.idle_time = DurationDist::uniform(SimTime::ms(15L * ratio), 0.5);
+  config.ops_per_node = 40;
+  config.seed = 211 + nodes + static_cast<std::uint64_t>(ratio);
+  return config;
+}
+
+TEST(Fig7Claims, HierarchicalBeatsPureBeatsSameWork) {
+  for (std::size_t nodes : {12u, 24u}) {
+    const double hier = paper_message_metric(
+        AppVariant::kHierarchical,
+        run_averaged(linux_config(AppVariant::kHierarchical, nodes), 2));
+    const double pure = paper_message_metric(
+        AppVariant::kNaimiPure,
+        run_averaged(linux_config(AppVariant::kNaimiPure, nodes), 2));
+    const double same_work = paper_message_metric(
+        AppVariant::kNaimiSameWork,
+        run_averaged(linux_config(AppVariant::kNaimiSameWork, nodes), 2));
+    EXPECT_LT(hier, pure) << nodes << " nodes";
+    EXPECT_LT(pure, same_work) << nodes << " nodes";
+  }
+}
+
+TEST(Fig7Claims, HierarchicalMessageOverheadFlattens) {
+  // Logarithmic shape: the 12->24 node increment must add far less than
+  // the 3->12 increment.
+  const double small = paper_message_metric(
+      AppVariant::kHierarchical,
+      run_averaged(linux_config(AppVariant::kHierarchical, 3), 2));
+  const double mid = paper_message_metric(
+      AppVariant::kHierarchical,
+      run_averaged(linux_config(AppVariant::kHierarchical, 12), 2));
+  const double large = paper_message_metric(
+      AppVariant::kHierarchical,
+      run_averaged(linux_config(AppVariant::kHierarchical, 24), 2));
+  EXPECT_LT(large - mid, (mid - small) * 0.8) << "curve is not flattening";
+  EXPECT_LT(large, 4.5) << "asymptote drifted far above the paper's ~3";
+}
+
+TEST(Fig8Claims, SameWorkLatencyIsSuperlinear) {
+  const double at6 =
+      run_averaged(linux_config(AppVariant::kNaimiSameWork, 6), 2)
+          .mean_latency_ms;
+  const double at24 =
+      run_averaged(linux_config(AppVariant::kNaimiSameWork, 24), 2)
+          .mean_latency_ms;
+  // 4x the nodes must cost clearly more than 4x the latency.
+  EXPECT_GT(at24, at6 * 5.0) << "same-work latency no longer superlinear";
+}
+
+TEST(Fig8Claims, HierarchicalLatencyStaysFarBelowSameWork) {
+  for (std::size_t nodes : {12u, 24u}) {
+    const double hier = paper_latency_metric_ms(
+        AppVariant::kHierarchical,
+        run_averaged(linux_config(AppVariant::kHierarchical, nodes), 2));
+    const double same_work = paper_latency_metric_ms(
+        AppVariant::kNaimiSameWork,
+        run_averaged(linux_config(AppVariant::kNaimiSameWork, nodes), 2));
+    EXPECT_LT(hier * 3.0, same_work) << nodes << " nodes";
+  }
+}
+
+TEST(Fig9Claims, HigherRatiosCostMoreMessagesAtScale) {
+  const double r1 = run_averaged(sp_config(48, 1), 2).msgs_per_acq;
+  const double r25 = run_averaged(sp_config(48, 25), 2).msgs_per_acq;
+  EXPECT_LT(r1, r25)
+      << "lower concurrency must lengthen propagation paths";
+}
+
+TEST(Fig9Claims, MessageOverheadIsLogLike) {
+  const double at12 = run_averaged(sp_config(12, 10), 2).msgs_per_acq;
+  const double at48 = run_averaged(sp_config(48, 10), 2).msgs_per_acq;
+  EXPECT_LT(at48, at12 * 1.75)
+      << "4x nodes must cost well under 2x messages";
+}
+
+TEST(Fig10Claims, Ratio25LatencyStaysInSingleDigitMilliseconds) {
+  // The paper's headline: sub-2 ms up to ~25 nodes at ratio 25.
+  const double at24 = run_averaged(sp_config(24, 25), 2)
+                          .mean_request_latency_ms;
+  EXPECT_LT(at24, 2.0);
+  const double at80 = run_averaged(sp_config(80, 25), 2)
+                          .mean_request_latency_ms;
+  EXPECT_LT(at80, 10.0);
+}
+
+TEST(Fig10Claims, LowerRatiosBendEarlierAndHigher) {
+  const double r1 = run_averaged(sp_config(48, 1), 2)
+                        .mean_request_latency_ms;
+  const double r10 = run_averaged(sp_config(48, 10), 2)
+                         .mean_request_latency_ms;
+  const double r25 = run_averaged(sp_config(48, 25), 2)
+                         .mean_request_latency_ms;
+  EXPECT_GT(r1, r10);
+  EXPECT_GT(r10, r25);
+}
+
+TEST(AblationClaims, FreezingPreventsWriterPenalty) {
+  ExperimentConfig with = sp_config(32, 10);
+  ExperimentConfig without = sp_config(32, 10);
+  without.hier_config.freezing = false;
+  const ExperimentResult frozen = run_averaged(with, 3);
+  const ExperimentResult bypassing = run_averaged(without, 3);
+  EXPECT_GT(bypassing.w_latency_ms, frozen.w_latency_ms * 1.5)
+      << "disabling freezing no longer hurts writers — Rule 6 is inert";
+}
+
+TEST(AblationClaims, CompressionAndQueueingSaveMessages) {
+  ExperimentConfig full = sp_config(32, 10);
+  ExperimentConfig stripped = sp_config(32, 10);
+  stripped.hier_config.path_compression = false;
+  stripped.hier_config.local_queueing = false;
+  const double with = run_averaged(full, 2).msgs_per_acq;
+  const double without = run_averaged(stripped, 2).msgs_per_acq;
+  EXPECT_LT(with, without * 0.9)
+      << "the message-saving mechanisms stopped saving messages";
+}
+
+}  // namespace
+}  // namespace hlock::bench

@@ -1,0 +1,438 @@
+// Rule-level unit tests of HierAutomaton beyond the paper-figure scenarios:
+// API contracts, Rule 2 local decisions, queue drains, freeze lifecycle and
+// copyset maintenance edge cases.
+#include "core/hier_automaton.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/mode_tables.hpp"
+#include "tests/core/test_net.hpp"
+#include "util/check.hpp"
+
+namespace hlock::test {
+namespace {
+
+using hlock::UsageError;
+using proto::HierGrant;
+using proto::HierRelease;
+using proto::HierRequest;
+using proto::Message;
+using proto::ModeSet;
+constexpr LockMode kNL = LockMode::kNL;
+constexpr LockMode kIR = LockMode::kIR;
+constexpr LockMode kR = LockMode::kR;
+constexpr LockMode kU = LockMode::kU;
+constexpr LockMode kIW = LockMode::kIW;
+constexpr LockMode kW = LockMode::kW;
+constexpr std::size_t A = 0, B = 1, C = 2, D = 3;
+
+bool copyset_contains(const HierAutomaton& node, NodeId child) {
+  for (const core::CopysetEntry& entry : node.copyset()) {
+    if (entry.node == child) return true;
+  }
+  return false;
+}
+
+// ---- Construction ----------------------------------------------------------
+
+TEST(Construction, TokenNodeHasNoParent) {
+  HierAutomaton token{NodeId{0}, LockId{0}, true, NodeId::none()};
+  EXPECT_TRUE(token.is_token());
+  EXPECT_TRUE(token.parent().is_none());
+  EXPECT_EQ(token.held(), kNL);
+  EXPECT_EQ(token.owned(), kNL);
+  EXPECT_EQ(token.pending(), kNL);
+}
+
+TEST(Construction, TokenWithParentRejected) {
+  EXPECT_THROW(HierAutomaton(NodeId{0}, LockId{0}, true, NodeId{1}),
+               UsageError);
+}
+
+TEST(Construction, NonTokenNeedsRealParent) {
+  EXPECT_THROW(HierAutomaton(NodeId{1}, LockId{0}, false, NodeId::none()),
+               UsageError);
+  EXPECT_THROW(HierAutomaton(NodeId{1}, LockId{0}, false, NodeId{1}),
+               UsageError);
+}
+
+// ---- API preconditions -----------------------------------------------------
+
+TEST(ApiContract, CannotRequestEmptyMode) {
+  HierNet net{2};
+  EXPECT_THROW(net.node(A).request(kNL), UsageError);
+}
+
+TEST(ApiContract, CannotRequestWhileHolding) {
+  HierNet net{2};
+  net.request(A, kR);
+  EXPECT_THROW(net.node(A).request(kR), UsageError);
+}
+
+TEST(ApiContract, CannotRequestWhilePending) {
+  HierNet net{2};
+  net.request(A, kW);
+  net.request(B, kW);  // queued at A
+  EXPECT_THROW(net.node(B).request(kIR), UsageError);
+}
+
+TEST(ApiContract, CannotReleaseWithoutHolding) {
+  HierNet net{2};
+  EXPECT_THROW(net.node(A).release(), UsageError);
+}
+
+TEST(ApiContract, UpgradeRequiresU) {
+  HierNet net{2};
+  net.request(A, kR);
+  EXPECT_THROW(net.node(A).upgrade(), UsageError);
+}
+
+TEST(ApiContract, CannotReleaseDuringUpgrade) {
+  HierNet net{3};
+  net.request(B, kIR);
+  net.settle();
+  net.request(A, kU);
+  net.settle();
+  net.upgrade(A);
+  EXPECT_TRUE(net.node(A).upgrading());
+  EXPECT_THROW(net.node(A).release(), UsageError);
+}
+
+TEST(ApiContract, MisaddressedMessageRejected) {
+  HierNet net{2};
+  HierAutomaton& a = net.node(A);
+  const Message wrong_node{NodeId{1}, NodeId{1}, LockId{0},
+                           HierRequest{NodeId{1}, kR, 0}};
+  EXPECT_THROW(a.on_message(wrong_node), UsageError);
+  const Message wrong_lock{NodeId{1}, NodeId{0}, LockId{9},
+                           HierRequest{NodeId{1}, kR, 0}};
+  EXPECT_THROW(a.on_message(wrong_lock), UsageError);
+}
+
+// ---- Rule 2: local decisions ----------------------------------------------
+
+TEST(Rule2, TokenSelfGrantsCompatibleModes) {
+  HierNet net{2};
+  net.request(A, kIR);
+  EXPECT_EQ(net.cs_entries(A), 1);
+  EXPECT_EQ(net.total_messages(), 0u);
+}
+
+TEST(Rule2, NonTokenSelfGrantsWhenOwnedSuffices) {
+  // B holds R as a copyset member, releases, then re-requests IR while its
+  // child still owns R -> Rule 2: no message needed.
+  std::vector<NodeId> parents{NodeId::none(), NodeId{0}, NodeId{1}};
+  HierNet net{parents};
+  net.request(A, kR);
+  net.request(B, kR);
+  net.settle();
+  net.request(C, kR);  // granted by B itself
+  net.settle();
+  net.release(B);
+  ASSERT_EQ(net.node(B).owned(), kR);
+
+  const std::uint64_t before = net.total_messages();
+  net.request(B, kIR);
+  EXPECT_EQ(net.cs_entries(B), 2);
+  EXPECT_EQ(net.total_messages(), before) << "Rule 2: entered without messages";
+}
+
+TEST(Rule2, NonTokenMustRequestStrongerMode) {
+  std::vector<NodeId> parents{NodeId::none(), NodeId{0}};
+  HierNet net{parents};
+  net.request(A, kR);
+  net.request(B, kIR);
+  net.settle();
+  net.release(B);
+  // B's owned mode dropped to NL; the next request needs messages.
+  const std::uint64_t before = net.total_messages();
+  net.request(B, kIR);
+  EXPECT_GT(net.total_messages(), before);
+}
+
+TEST(Rule2, IncompatibleOwnedModeForcesRequest) {
+  // A node owning IW cannot locally grant itself R (incompatible).
+  HierNet net{3};
+  net.request(A, kIW);
+  EXPECT_EQ(net.node(A).owned(), kIW);
+  // Token: but R conflicts with IW -> must queue, not self-grant.
+  net.request(B, kR);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(B), 0);
+  EXPECT_EQ(net.node(A).queue().size(), 1u);
+}
+
+// ---- Rule 3: grants --------------------------------------------------------
+
+TEST(Rule3, TokenCopyGrantKeepsToken) {
+  HierNet net{3};
+  net.request(A, kW);
+  net.release(A);
+  net.request(A, kR);
+  net.request(B, kIR);
+  net.settle();
+  EXPECT_TRUE(net.node(A).is_token());
+  EXPECT_EQ(net.node(B).held(), kIR);
+}
+
+TEST(Rule3, TokenTransferShipsResidualOwnership) {
+  // Token A holds IR and has child C in IR; transfer to B for R must
+  // report A's residual owned mode IR so B's copyset aggregates correctly.
+  HierNet net{4};
+  net.request(A, kIR);
+  net.request(C, kIR);
+  net.settle();
+  net.request(B, kR);
+  net.settle();
+  EXPECT_TRUE(net.node(B).is_token());
+  EXPECT_EQ(net.node(B).owned(), kR);
+  ASSERT_EQ(net.node(B).copyset().size(), 1u);
+  EXPECT_EQ(net.node(B).copyset()[0].node, NodeId{0});
+  EXPECT_EQ(net.node(B).copyset()[0].mode, kIR);
+}
+
+TEST(Rule3, TransferToExistingChildRemovesItFromCopyset) {
+  // B first becomes A's child in IR, releases (stays linked), re-requests
+  // R and receives the token: A must drop B from its copyset or the
+  // parent/child relation would become cyclic.
+  HierNet net{3};
+  net.request(A, kIR);
+  net.request(B, kIR);
+  net.settle();
+  net.release(B);
+  net.settle();
+  net.request(B, kR);
+  net.settle();
+  EXPECT_TRUE(net.node(B).is_token());
+  EXPECT_EQ(net.node(A).parent(), NodeId{1});
+  for (const core::CopysetEntry& entry : net.node(A).copyset()) {
+    EXPECT_NE(entry.node, NodeId{1});
+  }
+  // A is B's child with residual IR (it still holds IR itself).
+  ASSERT_EQ(net.node(B).copyset().size(), 1u);
+  EXPECT_EQ(net.node(B).copyset()[0].mode, kIR);
+}
+
+TEST(Rule3, WHolderIsAlwaysTheTokenNode) {
+  HierNet net{4};
+  net.request(B, kW);
+  net.settle();
+  EXPECT_TRUE(net.node(B).is_token());
+  net.release(B);
+  net.request(C, kW);
+  net.settle();
+  EXPECT_TRUE(net.node(C).is_token());
+  EXPECT_EQ(net.node(C).held(), kW);
+}
+
+TEST(Rule3, UHolderIsAlwaysTheTokenNode) {
+  HierNet net{4};
+  net.request(B, kU);
+  net.settle();
+  EXPECT_TRUE(net.node(B).is_token());
+  EXPECT_EQ(net.node(B).held(), kU);
+}
+
+// ---- Rule 4: queue drains --------------------------------------------------
+
+TEST(Rule4, DrainForwardsWhatItCannotGrant) {
+  // D queues (C,W) behind its own pending W (Table 1(c) row W); when D's
+  // request resolves, the queued W cannot be granted by D (non-token nodes
+  // never grant W) and must be forwarded.
+  std::vector<NodeId> parents{NodeId::none(), NodeId{0}, NodeId{3},
+                              NodeId{0}};
+  HierNet net{parents};
+  net.request(A, kR);
+
+  net.request(D, kW);   // D -> A: queued at the token (R vs W conflict)
+  net.settle();
+  net.request(C, kW);   // C -> D: D has pending W -> queued at D
+  net.settle();
+  EXPECT_EQ(net.node(D).queue().size(), 1u);
+
+  net.release(A);
+  net.settle();
+  // D got the token with W; C's forwarded request is now queued at D.
+  EXPECT_TRUE(net.node(D).is_token());
+  EXPECT_EQ(net.node(D).held(), kW);
+  EXPECT_EQ(net.node(D).queue().size(), 1u);
+  EXPECT_EQ(net.cs_entries(C), 0);
+
+  net.release(D);
+  net.settle();
+  EXPECT_EQ(net.node(C).held(), kW);
+  EXPECT_EQ(net.cs_entries(C), 1);
+}
+
+TEST(Rule4, DrainGrantsWhatItCan) {
+  // B queues (C,R) behind its pending R; once B holds R it grants C
+  // itself without involving the token.
+  std::vector<NodeId> parents{NodeId::none(), NodeId{0}, NodeId{1}};
+  HierNet net{parents};
+  net.request(A, kIW);
+  net.request(B, kR);   // conflicts with IW -> queued at A
+  net.settle();
+  net.request(C, kR);   // queued at B (pending R, request R)
+  net.settle();
+
+  net.release(A);
+  net.settle();
+  EXPECT_EQ(net.node(B).held(), kR);
+  EXPECT_EQ(net.node(C).held(), kR);
+  EXPECT_TRUE(copyset_contains(net.node(B), NodeId{2}));
+}
+
+TEST(Rule4, TokenQueuesOwnUngrantableRequest) {
+  HierNet net{2};
+  net.request(B, kW);
+  net.settle();
+  // A (no longer token) requests W; B queues it; B's own release serves it.
+  net.request(A, kW);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(A), 0);
+  EXPECT_EQ(net.node(B).queue().size(), 1u);
+  net.release(B);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(A), 1);
+  EXPECT_EQ(net.node(A).held(), kW);
+}
+
+// ---- Rule 5: releases ------------------------------------------------------
+
+TEST(Rule5, ReleaseWithRemainingChildrenSendsNothing) {
+  HierNet net{3};
+  net.request(A, kR);
+  net.request(B, kR);
+  net.settle();
+  // B is a child holding R; A releases but still owns R through B.
+  const std::uint64_t before = net.total_messages();
+  net.release(A);
+  EXPECT_EQ(net.total_messages(), before);
+  EXPECT_EQ(net.node(A).owned(), kR);
+}
+
+TEST(Rule5, ReleaseAggregatesAcrossGrandchildren) {
+  // One release message per copyset level — "one message suffices,
+  // irrespective of the number of grandchildren".
+  std::vector<NodeId> parents{NodeId::none(), NodeId{0}, NodeId{1},
+                              NodeId{1}};
+  HierNet net{parents};
+  net.request(A, kR);
+  net.request(B, kR);
+  net.settle();
+  net.request(C, kR);
+  net.request(D, kR);
+  net.settle();  // granted by B itself
+  net.release(B);
+
+  // C and D release: each notifies B only; B notifies A once, after the
+  // second child leaves.
+  net.release(C);
+  net.settle();
+  EXPECT_EQ(net.node(A).owned(), kR);
+  const std::uint64_t before = net.total_messages();
+  net.release(D);
+  net.settle();
+  EXPECT_EQ(net.total_messages() - before, 2u)
+      << "exactly D->B and B->A release messages";
+  EXPECT_EQ(net.node(A).owned(), kR) << "A itself still holds R";
+}
+
+TEST(Rule5, WeakeningReleaseUpdatesCopysetMode) {
+  // B's owned mode weakens from R to IR (it held R, its child holds IR):
+  // the release message carries the new mode and A's copyset reflects it.
+  std::vector<NodeId> parents{NodeId::none(), NodeId{0}, NodeId{1}};
+  HierNet net{parents};
+  net.request(A, kR);
+  net.request(B, kR);
+  net.settle();
+  net.request(C, kIR);  // B grants IR itself (owned R >= IR, compatible)
+  net.settle();
+
+  net.release(B);
+  net.settle();
+  EXPECT_EQ(net.node(B).owned(), kIR);
+  ASSERT_EQ(net.node(A).copyset().size(), 1u);
+  EXPECT_EQ(net.node(A).copyset()[0].mode, kIR);
+}
+
+// ---- Rule 6: freeze lifecycle ---------------------------------------------
+
+TEST(Rule6, FrozenStateClearsOnFullRelease) {
+  HierNet net{4};
+  net.request(A, kR);
+  net.request(B, kR);
+  net.settle();
+  net.request(C, kW);
+  net.settle();
+  EXPECT_TRUE(net.node(B).frozen().contains(kR));
+
+  net.release(B);
+  net.settle();
+  EXPECT_TRUE(net.node(B).frozen().empty())
+      << "owned dropped to NL: freeze episode over";
+}
+
+TEST(Rule6, FreshChildOfFrozenTokenIsFrozenImmediately) {
+  // The token grants IR while R/U are frozen (IW queued); the new child
+  // could grant IR to others — but must learn that nothing frozen may pass.
+  HierNet net{5};
+  net.request(A, kR);
+  net.request(B, kIW);  // queued; freeze {R, U}
+  net.settle();
+  net.request(C, kIR);  // grantable; C becomes a fresh child
+  net.settle();
+  EXPECT_EQ(net.node(C).held(), kIR);
+  // C can only grant IR, and IR is not frozen -> no FREEZE needed for C.
+  EXPECT_TRUE(net.node(C).frozen().empty());
+
+  // D requests R through the token: frozen, queued. FIFO: once A and C
+  // release, B (IW) must be served before D's R? No — R and IW conflict,
+  // but D arrived after B: B first, then D.
+  net.request(D, kR);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(D), 0);
+  net.release(A);
+  net.settle();
+  net.release(C);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(B), 1) << "IW served first (FIFO)";
+  EXPECT_EQ(net.cs_entries(D), 0);
+  net.release(B);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(D), 1);
+}
+
+TEST(Rule6, DisabledFreezingAllowsBypass) {
+  core::HierConfig config;
+  config.freezing = false;
+  HierNet net{4, config};
+  net.request(A, kR);
+  net.request(B, kW);  // queued, but nothing is frozen
+  net.settle();
+  net.request(C, kR);  // bypasses the queued W
+  net.settle();
+  EXPECT_EQ(net.cs_entries(C), 1) << "without Rule 6 the R request bypasses";
+}
+
+// ---- Multi-lock independence ----------------------------------------------
+
+TEST(MultiLock, AutomatonsArePerLock) {
+  HierAutomaton lock_a{NodeId{0}, LockId{1}, true, NodeId::none()};
+  const Message foreign{NodeId{1}, NodeId{0}, LockId{2},
+                        HierRequest{NodeId{1}, kR, 0}};
+  EXPECT_THROW(lock_a.on_message(foreign), UsageError);
+}
+
+// ---- Introspection ---------------------------------------------------------
+
+TEST(Describe, MentionsKeyState) {
+  HierNet net{2};
+  net.request(A, kR);
+  const std::string s = net.node(A).describe();
+  EXPECT_NE(s.find("tok=1"), std::string::npos);
+  EXPECT_NE(s.find("held=R"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hlock::test

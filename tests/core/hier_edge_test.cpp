@@ -1,0 +1,230 @@
+// Remaining edge behaviors of the hierarchical automaton: stale message
+// handling, drain ordering, alternative upgrade-completion paths, token
+// self-queueing, and fingerprint semantics.
+#include <gtest/gtest.h>
+
+#include "core/mode_tables.hpp"
+#include "tests/core/test_net.hpp"
+
+namespace hlock::test {
+namespace {
+
+using proto::HierFreeze;
+using proto::Message;
+using proto::ModeSet;
+constexpr LockMode kNL = LockMode::kNL;
+constexpr LockMode kIR = LockMode::kIR;
+constexpr LockMode kR = LockMode::kR;
+constexpr LockMode kU = LockMode::kU;
+constexpr LockMode kIW = LockMode::kIW;
+constexpr LockMode kW = LockMode::kW;
+constexpr std::size_t A = 0, B = 1, C = 2, D = 3;
+
+TEST(Edge, StaleFreezeAtTokenIsIgnored) {
+  // A FREEZE that raced a token transfer arrives at the new token: the
+  // token's own queue governs its frozen set, so the message is dropped.
+  HierNet net{2};
+  net.request(B, kW);
+  net.settle();
+  ASSERT_TRUE(net.node(B).is_token());
+  const Message stale{NodeId{0}, NodeId{1}, HierNet::kLock,
+                      HierFreeze{ModeSet::of({kIR, kR})}};
+  EXPECT_NO_THROW(net.node(B).on_message(stale));
+  EXPECT_TRUE(net.node(B).frozen().empty());
+}
+
+TEST(Edge, TokenQueuesOwnRequestBehindEarlierWaiters) {
+  // The token's own ungrantable request respects FIFO: an earlier queued
+  // waiter is served first.
+  HierNet net{3};
+  net.request(A, kW);      // A token, holds W
+  net.settle();
+  net.request(B, kW);      // queued first
+  net.settle();
+  net.release(A);
+  net.settle();
+  ASSERT_TRUE(net.node(B).is_token());
+  ASSERT_EQ(net.node(B).held(), kW);
+
+  net.request(C, kW);      // queued at B
+  net.settle();
+  // B releases and immediately wants W again: C must win first.
+  net.release(B);
+  net.settle();
+  ASSERT_TRUE(net.node(C).is_token());
+  net.request(B, kW);
+  net.settle();
+  EXPECT_EQ(net.node(B).held(), kNL);
+  net.release(C);
+  net.settle();
+  EXPECT_EQ(net.node(B).held(), kW);
+}
+
+TEST(Edge, DrainMixesGrantsAndForwards) {
+  // B absorbs one grantable (IR) and one ungrantable (W) request while
+  // pending R; on B's grant the IR is granted locally and the W forwarded.
+  std::vector<NodeId> parents{NodeId::none(), NodeId{0}, NodeId{1},
+                              NodeId{1}};
+  HierNet net{parents};
+  net.request(A, kIW);
+  net.request(B, kR);  // conflicts with IW: queued at A, B pending
+  net.settle();
+  net.request(C, kIR);  // absorbed at B (pending, queue-all)
+  net.settle();
+  net.request(D, kW);   // absorbed at B
+  net.settle();
+  ASSERT_EQ(net.node(B).queue().size(), 2u);
+
+  net.release(A);
+  net.settle();
+  EXPECT_EQ(net.node(B).held(), kR);
+  EXPECT_EQ(net.node(C).held(), kIR) << "IR granted by B from its drain";
+  EXPECT_EQ(net.cs_entries(D), 0) << "W forwarded and queued at the token";
+  net.release(B);
+  net.release(C);
+  net.settle();
+  EXPECT_EQ(net.node(D).held(), kW);
+}
+
+TEST(Edge, UpgradeCompletesViaOwnPathWhenLastChildAlreadyLeft) {
+  // The completion check runs on every release notification; if children
+  // drain BEFORE upgrade() is called, completion is immediate.
+  HierNet net{3};
+  net.request(B, kIR);
+  net.settle();
+  net.request(A, kU);
+  net.settle();
+  net.release(B);
+  net.settle();  // child gone before the upgrade starts
+  net.upgrade(A);
+  EXPECT_EQ(net.upgrades(A), 1);
+  EXPECT_EQ(net.node(A).held(), kW);
+}
+
+TEST(Edge, UpgradeBlocksNewReadersUntilWriteCompletes) {
+  HierNet net{4};
+  net.request(A, kU);
+  net.upgrade(A);  // immediate (no children)
+  ASSERT_EQ(net.node(A).held(), kW);
+  net.request(B, kIR);
+  net.request(C, kR);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(B), 0);
+  EXPECT_EQ(net.cs_entries(C), 0);
+  net.release(A);
+  net.settle();
+  EXPECT_EQ(net.node(B).held(), kIR);
+  EXPECT_EQ(net.node(C).held(), kR);
+}
+
+TEST(Edge, CompatibleQueueBypassRespectsFreezeExactly) {
+  // Token owns IW; queue holds (B, R) [conflicts] freezing {IW}; a later
+  // IR is compatible with both IW and R -> it may be granted despite the
+  // earlier queued entry.
+  HierNet net{4};
+  net.request(A, kIW);
+  net.request(B, kR);
+  net.settle();
+  EXPECT_EQ(net.node(A).frozen(), ModeSet::of({kIW}))
+      << "Table 1(d) row IW, column R";
+  net.request(C, kIR);
+  net.settle();
+  EXPECT_EQ(net.node(C).held(), kIR)
+      << "IR conflicts with neither IW nor R: benign bypass";
+  // But a second IW (frozen) must wait even though it is compatible with
+  // the owner's IW.
+  net.request(D, kIW);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(D), 0);
+}
+
+TEST(Edge, ReleaseOrderAmongChildrenIsIrrelevant) {
+  // Any permutation of child releases converges to the same drained state.
+  for (int permutation = 0; permutation < 2; ++permutation) {
+    HierNet net{4};
+    net.request(A, kR);
+    net.request(B, kR);
+    net.request(C, kR);
+    net.settle();
+    if (permutation == 0) {
+      net.release(B);
+      net.settle();
+      net.release(C);
+      net.settle();
+    } else {
+      net.release(C);
+      net.settle();
+      net.release(B);
+      net.settle();
+    }
+    net.release(A);
+    net.settle();
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(net.node(i).owned(), kNL) << "perm " << permutation;
+      EXPECT_TRUE(net.node(i).copyset().empty()) << "perm " << permutation;
+    }
+  }
+}
+
+TEST(Edge, FingerprintDistinguishesStateAndConverges) {
+  HierNet a{2};
+  HierNet b{2};
+  EXPECT_EQ(a.node(0).fingerprint(), b.node(0).fingerprint());
+  a.request(0, kR);
+  EXPECT_NE(a.node(0).fingerprint(), b.node(0).fingerprint());
+  b.request(0, kR);
+  EXPECT_EQ(a.node(0).fingerprint(), b.node(0).fingerprint());
+  a.release(0);
+  b.release(0);
+  EXPECT_EQ(a.node(0).fingerprint(), b.node(0).fingerprint());
+}
+
+TEST(Edge, DescribeReflectsUpgradeState) {
+  HierNet net{3};
+  net.request(B, kIR);
+  net.settle();
+  net.request(A, kU);
+  net.settle();
+  net.upgrade(A);
+  net.settle();
+  const std::string description = net.node(A).describe();
+  EXPECT_NE(description.find("(upg)"), std::string::npos);
+  EXPECT_NE(description.find("held=U"), std::string::npos);
+}
+
+TEST(Edge, SelfGrantWhileOwningThroughChildAndReleaseOrder) {
+  // X self-grants IR (owned R through a child), then the child leaves
+  // FIRST: X's owned weakens R->IR and the release message carries IR,
+  // not NL.
+  std::vector<NodeId> parents{NodeId::none(), NodeId{0}, NodeId{1}};
+  HierNet net{parents};
+  net.request(A, kR);
+  net.request(B, kR);
+  net.settle();
+  net.request(C, kR);  // child of B
+  net.settle();
+  net.release(B);
+  net.request(B, kIR);  // Rule 2 self-grant: B owns R via C
+  EXPECT_EQ(net.node(B).held(), kIR);
+
+  net.release(C);
+  net.settle();
+  EXPECT_EQ(net.node(B).owned(), kIR);
+  EXPECT_EQ(net.node(B).reported_owned(), kIR);
+  net.release(B);
+  net.settle();
+  EXPECT_EQ(net.node(B).owned(), kNL);
+  EXPECT_EQ(net.node(A).owned(), kR) << "A itself still holds R";
+}
+
+TEST(Edge, IndependentLocksHaveIndependentTokens) {
+  core::HierAutomaton lock1{NodeId{0}, LockId{1}, true, NodeId::none()};
+  core::HierAutomaton lock2{NodeId{0}, LockId{2}, false, NodeId{1}};
+  EXPECT_TRUE(lock1.is_token());
+  EXPECT_FALSE(lock2.is_token());
+  EXPECT_EQ(lock1.lock(), LockId{1});
+  EXPECT_EQ(lock2.lock(), LockId{2});
+}
+
+}  // namespace
+}  // namespace hlock::test

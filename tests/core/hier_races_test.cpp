@@ -1,0 +1,216 @@
+// Deterministic regressions for the distributed races found during
+// development (see DESIGN.md "Grant epochs"). Each test replays the exact
+// message interleaving that used to corrupt state and asserts the repaired
+// behavior, message by message.
+#include <gtest/gtest.h>
+
+#include "core/mode_tables.hpp"
+#include "tests/core/test_net.hpp"
+
+namespace hlock::test {
+namespace {
+
+using core::CopysetEntry;
+constexpr LockMode kNL = LockMode::kNL;
+constexpr LockMode kIR = LockMode::kIR;
+constexpr LockMode kR = LockMode::kR;
+constexpr LockMode kW = LockMode::kW;
+constexpr std::size_t A = 0, B = 1, C = 2, D = 3;
+
+const CopysetEntry* find_entry(const HierAutomaton& node, std::size_t child) {
+  for (const CopysetEntry& entry : node.copyset()) {
+    if (entry.node == NodeId{static_cast<std::uint32_t>(child)}) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+TEST(RaceRegression, StaleReleaseCrossingRegrantIsEpochFiltered) {
+  // The original crash: B (in A's copyset through child C) re-requests R;
+  // C's release then drains B's ownership to NL and B's RELEASE(NL)
+  // chases the in-flight REQUEST. A grants first; the stale release must
+  // NOT evict the entry A just strengthened.
+  std::vector<NodeId> parents{NodeId::none(), NodeId{0}, NodeId{1}};
+  HierNet net{parents};
+  net.request(A, kR);      // A token holds R
+  net.request(B, kIR);     // B child of A with IR
+  net.settle();
+  net.request(C, kIR);     // C granted by B itself (owned IR >= IR)
+  net.settle();
+  net.release(B);          // B: held NL, owned IR through C — no message
+  ASSERT_EQ(net.node(B).owned(), kIR);
+  ASSERT_NE(find_entry(net.node(A), B), nullptr);
+
+  // B re-requests R; the REQUEST is in flight to A.
+  net.request(B, kR);
+  ASSERT_EQ(net.wire().size(), 1u);
+
+  // C releases; B's ownership drains to NL and B notifies A — the
+  // RELEASE(NL) is now queued on the same channel BEHIND the request.
+  net.release(C);
+  ASSERT_TRUE(net.deliver_to(B));  // C's RELEASE(NL) -> B
+  ASSERT_EQ(net.node(B).owned(), kNL);
+  ASSERT_EQ(net.wire().size(), 2u);  // B's REQUEST, then B's RELEASE(NL)
+
+  // A processes the REQUEST: copy grant, entry strengthened to R.
+  ASSERT_TRUE(net.deliver_to(A));
+  const CopysetEntry* entry = find_entry(net.node(A), B);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->mode, kR);
+
+  // A processes the stale RELEASE(NL): it must be dropped (older epoch).
+  ASSERT_TRUE(net.deliver_to(A));
+  entry = find_entry(net.node(A), B);
+  ASSERT_NE(entry, nullptr) << "stale release evicted a live child";
+  EXPECT_EQ(entry->mode, kR);
+
+  // B receives the grant and holds R; a later real release must still
+  // flow normally (fresh epoch).
+  net.settle();
+  EXPECT_EQ(net.node(B).held(), kR);
+  net.release(B);
+  net.settle();
+  EXPECT_EQ(find_entry(net.node(A), B), nullptr)
+      << "the post-grant release must be accepted";
+  EXPECT_EQ(net.node(A).owned(), kR);  // A itself still holds R
+}
+
+TEST(RaceRegression, ForeignGrantDetachesSubtreeFromOldParent) {
+  // C belongs to B's copyset (owning IR through child D) but its next
+  // request is granted by A. C's subtree moves under A; without the
+  // explicit detach, B would record C forever and its owned mode could
+  // never drain — a liveness leak the random tests caught.
+  std::vector<NodeId> parents{NodeId::none(), NodeId{0}, NodeId{1},
+                              NodeId{2}};
+  HierNet net{parents};
+  net.request(A, kR);
+  net.request(B, kR);   // B child of A (R)
+  net.settle();
+  net.request(C, kIR);  // granted by B
+  net.settle();
+  net.request(D, kIR);  // granted by C
+  net.settle();
+  net.release(C);       // C: owned IR through D
+  net.release(B);       // B: owned IR through C -> weakens R->IR, tells A
+  net.settle();
+  ASSERT_EQ(find_entry(net.node(A), B)->mode, kIR);
+  ASSERT_EQ(find_entry(net.node(B), C)->mode, kIR);
+
+  // C requests R: B (owned IR) cannot grant and forwards to A (token,
+  // holds R) which grants the copy — a foreign granter for C.
+  net.request(C, kR);
+  net.settle();
+  EXPECT_EQ(net.node(C).held(), kR);
+  EXPECT_EQ(net.node(C).parent(), NodeId{0});
+
+  // The detach must have cleaned B: C gone from its copyset, B's owned
+  // drained to NL, and A's record of B removed in turn.
+  EXPECT_EQ(find_entry(net.node(B), C), nullptr)
+      << "old parent still records the migrated subtree";
+  EXPECT_EQ(net.node(B).owned(), kNL);
+  EXPECT_EQ(find_entry(net.node(A), B), nullptr);
+  // A now aggregates C (R), which aggregates D (IR).
+  EXPECT_EQ(find_entry(net.node(A), C)->mode, kR);
+  EXPECT_EQ(net.node(C).owned(), kR);
+  EXPECT_EQ(find_entry(net.node(C), D)->mode, kIR);
+
+  // Full drain stays consistent.
+  net.release(C);
+  net.release(D);
+  net.release(A);
+  net.settle();
+  EXPECT_EQ(net.node(A).owned(), kNL);
+  EXPECT_TRUE(net.node(A).copyset().empty());
+}
+
+TEST(RaceRegression, RoutingHintReversesToRequester) {
+  // Path compression: a forwarder's routing hint flips to the requester
+  // while its granter link stays intact.
+  std::vector<NodeId> parents{NodeId::none(), NodeId{0}, NodeId{1}};
+  HierNet net{parents};
+  net.request(A, kW);  // token holds W: C's request will queue at A
+  net.request(C, kW);  // C -> B -> A
+  ASSERT_TRUE(net.deliver_one());  // B forwards
+  EXPECT_EQ(net.node(B).route_hint(), NodeId{2})
+      << "forwarding must reverse the hint to the requester";
+  EXPECT_EQ(net.node(B).parent(), NodeId{0})
+      << "the granter link must not be touched by compression";
+  net.settle();
+  net.release(A);
+  net.settle();
+  EXPECT_EQ(net.node(C).held(), kW);
+}
+
+TEST(RaceRegression, PendingNodeAbsorbsAllRequests) {
+  // Soundness amendment to Table 1(c) under path compression: a pending
+  // node queues every incoming request, even ones the literal table would
+  // forward (pending R, incoming W -> F in the paper's table).
+  std::vector<NodeId> parents{NodeId::none(), NodeId{0}, NodeId{1}};
+  HierNet net{parents};
+  net.request(A, kW);
+  net.request(B, kR);  // queued at A (incompatible), B pending
+  net.settle();
+  net.request(C, kW);  // routed C -> B; B pending => absorbed
+  net.settle();
+  ASSERT_EQ(net.node(B).queue().size(), 1u);
+  EXPECT_EQ(net.node(B).queue().front().requester, NodeId{2});
+
+  // When B's own grant arrives the absorbed request is re-routed (B
+  // cannot grant W) and eventually served — liveness of absorption.
+  net.release(A);
+  net.settle();
+  EXPECT_EQ(net.node(B).held(), kR);
+  EXPECT_EQ(net.cs_entries(C), 0);
+  net.release(B);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(C), 1);
+  EXPECT_EQ(net.node(C).held(), kW);
+}
+
+TEST(RaceRegression, LiteralTableCWithoutCompressionStillForwards) {
+  core::HierConfig config;
+  config.path_compression = false;
+  std::vector<NodeId> parents{NodeId::none(), NodeId{0}, NodeId{1}};
+  HierNet net{parents, config};
+  net.request(A, kW);
+  net.request(B, kR);  // B pending R
+  net.settle();
+  net.request(C, kW);  // Table 1(c) row R, column W says FORWARD
+  ASSERT_TRUE(net.deliver_one());
+  EXPECT_TRUE(net.node(B).queue().empty());
+  ASSERT_FALSE(net.wire().empty());
+  EXPECT_EQ(net.wire().back().to, NodeId{0}) << "forwarded toward the token";
+}
+
+TEST(Fifo, IncompatibleRequestsGrantInArrivalOrder) {
+  // Three W requests issued in a known global order must be served in
+  // that order (the distributed-FIFO equivalence of Rule 4/5).
+  HierNet net{5};
+  net.request(A, kW);
+  net.request(B, kW);
+  net.settle();
+  net.request(C, kW);
+  net.settle();
+  net.request(D, kW);
+  net.settle();
+
+  std::vector<std::size_t> order;
+  auto observe = [&] {
+    for (std::size_t i : {B, C, D}) {
+      if (net.node(i).held() == kW &&
+          (order.empty() || order.back() != i)) {
+        order.push_back(i);
+      }
+    }
+  };
+  for (std::size_t holder : {A, B, C}) {
+    net.release(holder);
+    net.settle();
+    observe();
+  }
+  EXPECT_EQ(order, (std::vector<std::size_t>{B, C, D}));
+}
+
+}  // namespace
+}  // namespace hlock::test

@@ -1,0 +1,335 @@
+// Message-by-message reproductions of the paper's worked examples
+// (Figures 2-6). Node letters map to indices: A=0, B=1, C=2, D=3, E=4.
+#include <gtest/gtest.h>
+
+#include "core/mode_tables.hpp"
+#include "tests/core/test_net.hpp"
+
+namespace hlock::test {
+namespace {
+
+using core::CopysetEntry;
+using proto::ModeSet;
+constexpr LockMode kNL = LockMode::kNL;
+constexpr LockMode kIR = LockMode::kIR;
+constexpr LockMode kR = LockMode::kR;
+constexpr LockMode kU = LockMode::kU;
+constexpr LockMode kIW = LockMode::kIW;
+constexpr LockMode kW = LockMode::kW;
+constexpr std::size_t A = 0, B = 1, C = 2, D = 3, E = 4;
+
+bool copyset_has(const HierAutomaton& node, std::size_t child,
+                 LockMode mode) {
+  for (const CopysetEntry& entry : node.copyset()) {
+    if (entry.node == NodeId{static_cast<std::uint32_t>(child)}) {
+      return entry.mode == mode;
+    }
+  }
+  return false;
+}
+
+// ---- Figure 2: request granting -------------------------------------------
+
+TEST(Fig2, IntentReadGrantedAsCopy) {
+  // (a): A is the token and holds IR; E requests IR.
+  HierNet net{5};
+  net.request(A, kIR);
+  EXPECT_EQ(net.cs_entries(A), 1);  // token self-grant, zero messages
+  EXPECT_EQ(net.total_messages(), 0u);
+
+  net.request(E, kIR);
+  ASSERT_EQ(net.wire().size(), 1u);  // one REQUEST to A
+  net.settle();
+
+  // E holds IR as a child of A; one REQUEST plus one GRANT crossed.
+  EXPECT_EQ(net.cs_entries(E), 1);
+  EXPECT_EQ(net.node(E).held(), kIR);
+  EXPECT_EQ(net.node(E).parent(), NodeId{0});
+  EXPECT_TRUE(copyset_has(net.node(A), E, kIR));
+  EXPECT_EQ(net.total_messages(), 2u);
+}
+
+TEST(Fig2, ReadRequestTransfersToken) {
+  // (b): B requests R while the token node A owns only IR -> the token is
+  // transferred; A becomes B's child. (c): final state.
+  HierNet net{5};
+  net.request(A, kIR);
+  net.request(E, kIR);
+  net.settle();
+
+  net.request(B, kR);
+  net.settle();
+
+  EXPECT_TRUE(net.node(B).is_token());
+  EXPECT_FALSE(net.node(A).is_token());
+  EXPECT_EQ(net.node(B).held(), kR);
+  EXPECT_EQ(net.node(B).owned(), kR);
+  EXPECT_EQ(net.node(A).parent(), NodeId{1});
+  EXPECT_TRUE(copyset_has(net.node(B), A, kIR));
+  // A keeps holding IR and keeps its own child E.
+  EXPECT_EQ(net.node(A).held(), kIR);
+  EXPECT_TRUE(copyset_has(net.node(A), E, kIR));
+  // Safety: IR + IR + R are pairwise compatible, all three hold.
+  EXPECT_EQ(net.node(E).held(), kIR);
+}
+
+// ---- Figure 3: queue / forward ---------------------------------------------
+
+TEST(Fig3, ForwardWithoutPendingThenQueueWithPending) {
+  // Topology of the figure: C and D are children of B, B of A.
+  std::vector<NodeId> parents{NodeId::none(), NodeId{0}, NodeId{1},
+                              NodeId{1}};
+  HierNet net{parents};
+  net.request(A, kIW);  // A(IW,IW,0), token
+  EXPECT_EQ(net.cs_entries(A), 1);
+
+  // (a)-(b): C requests IR; B has no pending request, so Table 1(c) row "-"
+  // forces a forward to A; A grants C directly (IW and IR are compatible).
+  net.request(C, kIR);
+  ASSERT_EQ(net.wire().size(), 1u);
+  EXPECT_EQ(net.wire().front().to, NodeId{1});  // C -> B
+  net.deliver_one();
+  ASSERT_EQ(net.wire().size(), 1u);
+  EXPECT_EQ(net.wire().front().to, NodeId{0});  // forwarded B -> A
+  EXPECT_EQ(net.node(B).parent(), NodeId{0}) << "B must keep its parent";
+  net.settle();
+  EXPECT_EQ(net.node(C).held(), kIR);
+  EXPECT_EQ(net.node(C).parent(), NodeId{0}) << "grant re-parents C to A";
+
+  // (c): B and D request R concurrently. D's request reaches B, which now
+  // has pending R -> Table 1(c) row R / column R says queue.
+  net.request(B, kR);
+  net.request(D, kR);
+  net.settle();
+
+  // B's R is incompatible with A's IW: queued at A (Rule 4.2); D's R is
+  // queued at B (Rule 4.1).
+  EXPECT_EQ(net.node(A).queue().size(), 1u);
+  EXPECT_EQ(net.node(B).queue().size(), 1u);
+  EXPECT_EQ(net.node(B).queue().front().requester, NodeId{3});
+  EXPECT_EQ(net.node(B).pending(), kR);
+  EXPECT_EQ(net.node(D).pending(), kR);
+
+  // (d): A releases IW -> B gets the token (IR < R at the release point),
+  // and B grants D from its local queue.
+  net.release(A);
+  net.settle();
+  EXPECT_TRUE(net.node(B).is_token());
+  EXPECT_EQ(net.node(B).held(), kR);
+  EXPECT_EQ(net.node(D).held(), kR);
+  EXPECT_TRUE(copyset_has(net.node(B), D, kR));
+  EXPECT_EQ(net.cs_entries(B), 1);
+  EXPECT_EQ(net.cs_entries(D), 1);
+}
+
+// ---- Figure 4: lock release ------------------------------------------------
+
+TEST(Fig4, ReleaseCascadeAndTokenHandover) {
+  // Build the initial state of Fig. 4(a): A token holding R with child B;
+  // B with child D (both holding R); C waiting for IW, queued at A.
+  std::vector<NodeId> parents{NodeId::none(), NodeId{0}, NodeId{0},
+                              NodeId{1}};
+  HierNet net{parents};
+  net.request(A, kR);
+  net.request(B, kR);
+  net.settle();
+  const std::uint64_t before = net.total_messages();
+  net.request(D, kR);  // D -> B; B owns R and grants it itself (Rule 3.1)
+  net.settle();
+  EXPECT_EQ(net.total_messages() - before, 2u)
+      << "child grant: one REQUEST to B plus one GRANT back";
+  EXPECT_TRUE(copyset_has(net.node(B), D, kR));
+
+  net.request(C, kIW);
+  net.settle();
+  ASSERT_EQ(net.node(A).queue().size(), 1u);
+  EXPECT_EQ(net.node(A).queue().front().requester, NodeId{2});
+
+  // (a): B releases R; its owned mode stays R because of D -> no message.
+  const std::uint64_t msgs_before_release = net.total_messages();
+  net.release(B);
+  EXPECT_EQ(net.total_messages(), msgs_before_release)
+      << "Rule 5.2: no release message while a child still owns R";
+  EXPECT_EQ(net.node(B).owned(), kR);
+  EXPECT_EQ(net.node(B).held(), kNL);
+
+  // (b): D releases R -> RELEASE to B -> B's owned drops to NL -> RELEASE
+  // propagates to A.
+  net.release(D);
+  net.settle();
+  EXPECT_EQ(net.node(B).owned(), kNL);
+
+  // (c)+(d): A releases R; with B's release processed its owned mode is NL
+  // and the token moves to C for IW.
+  net.release(A);
+  net.settle();
+  EXPECT_TRUE(net.node(C).is_token());
+  EXPECT_EQ(net.node(C).held(), kIW);
+  EXPECT_EQ(net.node(A).parent(), NodeId{2});
+  EXPECT_EQ(net.node(A).owned(), kNL);
+  EXPECT_EQ(net.cs_entries(C), 1);
+}
+
+TEST(Fig4, StaleOwnedModeDefersGrant) {
+  // The intermediate state of Fig. 4(c): A released R but has not yet seen
+  // B's release -> C's IW stays queued on the stale owned mode R.
+  std::vector<NodeId> parents{NodeId::none(), NodeId{0}, NodeId{0},
+                              NodeId{1}};
+  HierNet net{parents};
+  net.request(A, kR);
+  net.request(B, kR);
+  net.settle();
+  net.request(C, kIW);
+  net.settle();
+
+  net.release(B);   // RELEASE(NL) to A now in flight
+  net.release(A);   // A still believes owned == R
+  EXPECT_EQ(net.node(A).queue().size(), 1u);
+  EXPECT_FALSE(net.node(C).is_token());
+
+  net.settle();  // B's release arrives; the token moves
+  EXPECT_TRUE(net.node(C).is_token());
+}
+
+// ---- Figure 5: frozen modes ------------------------------------------------
+
+TEST(Fig5, FreezePropagatesDownTheCopyset) {
+  // A token holds R; B owns IR through its child C; D and E detached.
+  std::vector<NodeId> parents{NodeId::none(), NodeId{0}, NodeId{1},
+                              NodeId{0}, NodeId{0}};
+  HierNet net{parents};
+  net.request(B, kIR);
+  net.settle();
+  net.request(C, kIR);  // B owns IR and grants C itself
+  net.settle();
+  net.release(B);       // B(IR, 0, 0): owns through C, holds nothing
+  EXPECT_EQ(net.node(B).owned(), kIR);
+  EXPECT_EQ(net.node(B).held(), kNL);
+  net.request(A, kR);  // the token moved to B above; A pulls it back
+  net.settle();
+  EXPECT_EQ(net.cs_entries(A), 1);
+  EXPECT_TRUE(net.node(A).is_token());
+
+  // (a)-(b): D requests W. It must be queued at A, and FREEZE(IR) must
+  // reach B and transitively C (both could otherwise grant IR).
+  net.request(D, kW);
+  net.settle();
+  ASSERT_EQ(net.node(A).queue().size(), 1u);
+  EXPECT_EQ(net.node(A).frozen(), ModeSet::of({kIR, kR, kU}))
+      << "Table 1(d) row R, column W";
+  EXPECT_TRUE(net.node(B).frozen().contains(kIR));
+  EXPECT_TRUE(net.node(C).frozen().contains(kIR));
+
+  // A frozen node must refuse Rule 3.1 grants: E requests IR via A -> it
+  // cannot bypass the queued W and queues at the token.
+  net.request(E, kIR);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(E), 0) << "IR must not bypass the queued W";
+  EXPECT_EQ(net.node(A).queue().size(), 2u);
+
+  // (c): all R/IR holders release; the token moves to D with W; E's IR is
+  // then granted after D completes (FIFO), not before.
+  net.release(C);
+  net.settle();
+  net.release(A);
+  net.settle();
+  EXPECT_TRUE(net.node(D).is_token());
+  EXPECT_EQ(net.node(D).held(), kW);
+  EXPECT_EQ(net.cs_entries(E), 0);
+  net.release(D);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(E), 1);
+  EXPECT_EQ(net.node(E).held(), kIR);
+}
+
+TEST(Fig5, ChildGrantsDuringFreezeOfOtherModes) {
+  // Frozen modes are exactly Table 1(d): modes compatible with the waiting
+  // request keep flowing. With IW queued at a token owning R, IR stays
+  // grantable (IR is compatible with IW).
+  HierNet net{4};
+  net.request(A, kR);
+  net.request(B, kIW);
+  net.settle();
+  EXPECT_EQ(net.node(A).frozen(), ModeSet::of({kR, kU}));
+
+  net.request(C, kIR);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(C), 1) << "IR is not frozen and may proceed";
+  net.request(D, kR);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(D), 0) << "R is frozen and must wait";
+}
+
+// ---- Figure 6: upgrade -----------------------------------------------------
+
+TEST(Fig6, UpgradeWaitsForChildrenAndCompletesAtomically) {
+  // A owns U as the token; B owns IR through child C.
+  std::vector<NodeId> parents{NodeId::none(), NodeId{0}, NodeId{1},
+                              NodeId{0}, NodeId{0}};
+  HierNet net{parents};
+  net.request(B, kIR);
+  net.settle();
+  net.request(C, kIR);
+  net.settle();
+  net.release(B);
+  net.request(A, kU);  // pulls the token back from B
+  net.settle();
+  EXPECT_EQ(net.cs_entries(A), 1);
+  EXPECT_TRUE(net.node(A).is_token());
+
+  // (a): A requests the upgrade; FREEZE(IR) goes out; U is not released.
+  net.upgrade(A);
+  net.settle();
+  EXPECT_TRUE(net.node(A).upgrading());
+  EXPECT_EQ(net.node(A).held(), kU) << "atomic upgrade: U is never released";
+  EXPECT_EQ(net.node(A).pending(), kW);
+  EXPECT_TRUE(net.node(B).frozen().contains(kIR));
+  EXPECT_TRUE(net.node(C).frozen().contains(kIR));
+  EXPECT_EQ(net.upgrades(A), 0);
+
+  // (b): C releases IR; the release cascades; the upgrade completes.
+  net.release(C);
+  net.settle();
+  EXPECT_EQ(net.upgrades(A), 1);
+  EXPECT_EQ(net.node(A).held(), kW);
+  EXPECT_FALSE(net.node(A).upgrading());
+  EXPECT_EQ(net.node(A).owned(), kW);
+}
+
+TEST(Fig6, UpgradeWithNoChildrenIsImmediate) {
+  HierNet net{2};
+  net.request(A, kU);
+  net.upgrade(A);
+  EXPECT_EQ(net.upgrades(A), 1);
+  EXPECT_EQ(net.node(A).held(), kW);
+  EXPECT_EQ(net.total_messages(), 0u);
+}
+
+TEST(Upgrade, QueuedRequestsWaitBehindTheUpgrade) {
+  // While an upgrade is pending, even compatible IR requests are frozen
+  // (Table 1(d) row U, column W freezes IR and R).
+  std::vector<NodeId> parents{NodeId::none(), NodeId{0}, NodeId{1},
+                              NodeId{0}, NodeId{0}};
+  HierNet net{parents};
+  net.request(B, kIR);
+  net.settle();
+  net.request(A, kU);
+  net.settle();
+  net.upgrade(A);
+  net.settle();
+
+  net.request(D, kIR);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(D), 0);
+
+  net.release(B);
+  net.settle();
+  EXPECT_EQ(net.upgrades(A), 1);
+  EXPECT_EQ(net.cs_entries(D), 0) << "IR waits for W to be released";
+  net.release(A);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(D), 1);
+}
+
+}  // namespace
+}  // namespace hlock::test

@@ -1,0 +1,326 @@
+// Verifies the rule tables against the paper's Table 1, cell by cell, and
+// property-checks the closed-form derivations the implementation notes in
+// DESIGN.md. These tests pin the protocol's specification: any change that
+// flips a cell is a deviation from the published protocol.
+#include "core/mode_tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/check.hpp"
+
+namespace hlock::core {
+namespace {
+
+using proto::kAllModes;
+using proto::kRealModes;
+constexpr LockMode kNL = LockMode::kNL;
+constexpr LockMode kIR = LockMode::kIR;
+constexpr LockMode kR = LockMode::kR;
+constexpr LockMode kU = LockMode::kU;
+constexpr LockMode kIW = LockMode::kIW;
+constexpr LockMode kW = LockMode::kW;
+
+// ---- Table 1(a): Incompatible --------------------------------------------
+
+TEST(Table1a, NoLockIsCompatibleWithEverything) {
+  for (LockMode m : kAllModes) {
+    EXPECT_TRUE(compatible(kNL, m)) << to_string(m);
+    EXPECT_TRUE(compatible(m, kNL)) << to_string(m);
+  }
+}
+
+TEST(Table1a, EveryCellMatchesThePaper) {
+  // Conflicting pairs, exactly as printed (rows M1, columns M2).
+  const bool expected[5][5] = {
+      // M2:   IR     R      U      IW     W
+      /*IR*/ {false, false, false, false, true},
+      /*R */ {false, false, false, true, true},
+      /*U */ {false, false, true, true, true},
+      /*IW*/ {false, true, true, false, true},
+      /*W */ {true, true, true, true, true},
+  };
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(incompatible(kRealModes[i], kRealModes[j]), expected[i][j])
+          << to_string(kRealModes[i]) << " vs " << to_string(kRealModes[j]);
+    }
+  }
+}
+
+TEST(Table1a, CompatibilityIsSymmetric) {
+  for (LockMode a : kAllModes) {
+    for (LockMode b : kAllModes) {
+      EXPECT_EQ(incompatible(a, b), incompatible(b, a))
+          << to_string(a) << " vs " << to_string(b);
+    }
+  }
+}
+
+TEST(Table1a, CompatibleSetContents) {
+  EXPECT_EQ(compatible_set(kIR), ModeSet::of({kIR, kR, kU, kIW}));
+  EXPECT_EQ(compatible_set(kR), ModeSet::of({kIR, kR, kU}));
+  EXPECT_EQ(compatible_set(kU), ModeSet::of({kIR, kR}));
+  EXPECT_EQ(compatible_set(kIW), ModeSet::of({kIR, kIW}));
+  EXPECT_EQ(compatible_set(kW), ModeSet{});
+  EXPECT_EQ(compatible_set(kNL), ModeSet::all_real());
+}
+
+// ---- Definition 1: strength ----------------------------------------------
+
+TEST(Strength, PaperInequations) {
+  // NL < IR < R < U < W and IR < IW < W.
+  EXPECT_TRUE(stronger(kIR, kNL));
+  EXPECT_TRUE(stronger(kR, kIR));
+  EXPECT_TRUE(stronger(kU, kR));
+  EXPECT_TRUE(stronger(kW, kU));
+  EXPECT_TRUE(stronger(kIW, kIR));
+  EXPECT_TRUE(stronger(kW, kIW));
+}
+
+TEST(Strength, RankEqualsCompatibilityDeficit) {
+  // Definition 1: stronger = compatible with fewer modes. Check the rank
+  // order matches the compatibility counts.
+  for (LockMode a : kAllModes) {
+    for (LockMode b : kAllModes) {
+      const int ca = compatible_set(a).size();
+      const int cb = compatible_set(b).size();
+      if (ca < cb) {
+        EXPECT_TRUE(stronger(a, b))
+            << to_string(a) << " should be stronger than " << to_string(b);
+      }
+    }
+  }
+}
+
+TEST(Strength, UAndIwTieIsNeverConsulted) {
+  // U and IW share a strength rank; the tie is harmless because every
+  // protocol rule comparing strengths first requires compatibility, and
+  // U/IW are incompatible.
+  EXPECT_EQ(strength_rank(kU), strength_rank(kIW));
+  EXPECT_TRUE(incompatible(kU, kIW));
+  for (LockMode a : kAllModes) {
+    for (LockMode b : kAllModes) {
+      if (strength_rank(a) == strength_rank(b) && a != b) {
+        EXPECT_TRUE(incompatible(a, b))
+            << "incomparable pair must be incompatible: " << to_string(a)
+            << ", " << to_string(b);
+      }
+    }
+  }
+}
+
+TEST(Strength, StrongerOfPicksByRank) {
+  EXPECT_EQ(stronger_of(kIR, kW), kW);
+  EXPECT_EQ(stronger_of(kW, kIR), kW);
+  EXPECT_EQ(stronger_of(kNL, kNL), kNL);
+  EXPECT_EQ(stronger_of(kR, kR), kR);
+}
+
+// ---- Table 1(b): No Child Grant ------------------------------------------
+
+TEST(Table1b, EveryCellMatchesThePaper) {
+  // True = the non-token node MAY grant (the paper marks the complement X).
+  const bool may_grant[6][5] = {
+      // M2:   IR     R      U      IW     W
+      /*NL*/ {false, false, false, false, false},
+      /*IR*/ {true, false, false, false, false},
+      /*R */ {true, true, false, false, false},
+      /*U */ {true, true, false, false, false},
+      /*IW*/ {true, false, false, true, false},
+      /*W */ {false, false, false, false, false},
+  };
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(non_token_can_grant(kAllModes[i], kRealModes[j]),
+                may_grant[i][j])
+          << to_string(kAllModes[i]) << " granting "
+          << to_string(kRealModes[j]);
+    }
+  }
+}
+
+TEST(Table1b, DerivationCompatibleAndAtLeastAsStrong) {
+  // Rule 3.1: grant iff compatible(owned, req) && owned >= req, owned real.
+  for (LockMode owned : kAllModes) {
+    for (LockMode req : kRealModes) {
+      const bool expected = owned != kNL && compatible(owned, req) &&
+                            at_least_as_strong(owned, req);
+      EXPECT_EQ(non_token_can_grant(owned, req), expected)
+          << to_string(owned) << " granting " << to_string(req);
+    }
+  }
+}
+
+TEST(Table1b, WAndUGrantsAreTokenOnly) {
+  // No non-token node can ever grant U or W: combined with the transfer
+  // rule this makes U/W holders always the token node (needed by Rule 7).
+  for (LockMode owned : kAllModes) {
+    EXPECT_FALSE(non_token_can_grant(owned, kU));
+    EXPECT_FALSE(non_token_can_grant(owned, kW));
+  }
+}
+
+// ---- Rule 3.2: token grants ----------------------------------------------
+
+TEST(TokenGrant, CompatibilityIsSufficient) {
+  for (LockMode owned : kAllModes) {
+    for (LockMode req : kRealModes) {
+      EXPECT_EQ(token_can_grant(owned, req), compatible(owned, req));
+    }
+  }
+}
+
+TEST(TokenGrant, TransfersExactlyWhenRequestedExceedsOwned) {
+  // Fig. 2(b): token owning IR transfers for R.
+  EXPECT_TRUE(token_grant_transfers(kIR, kR));
+  // Token owning R copy-grants IR and R.
+  EXPECT_FALSE(token_grant_transfers(kR, kIR));
+  EXPECT_FALSE(token_grant_transfers(kR, kR));
+  // Fresh token (owns nothing) always transfers.
+  for (LockMode req : kRealModes) {
+    EXPECT_TRUE(token_grant_transfers(kNL, req));
+  }
+  // U and W requests always transfer when grantable (owned must be weaker
+  // or the pair would be incompatible).
+  EXPECT_TRUE(token_grant_transfers(kR, kU));
+  EXPECT_TRUE(token_grant_transfers(kIR, kW)) << "only reachable if "
+                                                 "compatible, but transfer "
+                                                 "semantics must hold";
+}
+
+// ---- Table 1(c): Queue/Forward -------------------------------------------
+
+TEST(Table1c, EveryCellMatchesThePaper) {
+  constexpr auto Q = QueueOrForward::kQueue;
+  constexpr auto F = QueueOrForward::kForward;
+  const QueueOrForward expected[6][5] = {
+      // M2:  IR R  U  IW W      (rows: pending mode M1)
+      /*NL*/ {F, F, F, F, F},
+      /*IR*/ {Q, F, F, F, F},
+      /*R */ {F, Q, F, F, F},
+      /*U */ {F, F, Q, Q, Q},
+      /*IW*/ {F, F, F, Q, F},
+      /*W */ {Q, Q, Q, Q, Q},
+  };
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(queue_or_forward(kAllModes[i], kRealModes[j]),
+                expected[i][j])
+          << "pending " << to_string(kAllModes[i]) << ", request "
+          << to_string(kRealModes[j]);
+    }
+  }
+}
+
+TEST(Table1c, NoPendingAlwaysForwards) {
+  // The paper's Fig. 3(b): B has no pending request, so it must forward.
+  for (LockMode req : kRealModes) {
+    EXPECT_EQ(queue_or_forward(kNL, req), QueueOrForward::kForward);
+  }
+}
+
+TEST(Table1c, PendingWQueuesEverything) {
+  for (LockMode req : kRealModes) {
+    EXPECT_EQ(queue_or_forward(kW, req), QueueOrForward::kQueue);
+  }
+}
+
+// ---- Table 1(d): Freezing ------------------------------------------------
+
+TEST(Table1d, EveryCellMatchesThePaper) {
+  struct Cell {
+    LockMode owned;
+    LockMode requested;
+    ModeSet frozen;
+  };
+  const Cell cells[] = {
+      // Row IR: only W conflicts; freeze everything IR could see granted.
+      {kIR, kW, ModeSet::of({kIR, kR, kU, kIW})},
+      // Row R: IW and W conflict.
+      {kR, kIW, ModeSet::of({kR, kU})},
+      {kR, kW, ModeSet::of({kIR, kR, kU})},
+      // Row U: U, IW and W conflict.
+      {kU, kU, ModeSet{}},
+      {kU, kIW, ModeSet::of({kR})},
+      {kU, kW, ModeSet::of({kIR, kR})},
+      // Row IW: R, U and W conflict.
+      {kIW, kR, ModeSet::of({kIW})},
+      {kIW, kU, ModeSet::of({kIW})},
+      {kIW, kW, ModeSet::of({kIR, kIW})},
+  };
+  for (const Cell& cell : cells) {
+    EXPECT_EQ(freeze_set(cell.owned, cell.requested), cell.frozen)
+        << "owner " << to_string(cell.owned) << ", request "
+        << to_string(cell.requested);
+  }
+  // Row W conflicts with everything but can grant nothing, so nothing can
+  // be frozen; compatible cells freeze nothing by definition.
+  for (LockMode req : kRealModes) {
+    EXPECT_EQ(freeze_set(kW, req), ModeSet{});
+  }
+}
+
+TEST(Table1d, DerivationCompatIntersectIncompat) {
+  for (LockMode owned : kAllModes) {
+    for (LockMode req : kRealModes) {
+      ModeSet expected;
+      if (incompatible(owned, req)) {
+        for (LockMode m : kRealModes) {
+          if (compatible(owned, m) && incompatible(m, req)) {
+            expected.insert(m);
+          }
+        }
+      }
+      EXPECT_EQ(freeze_set(owned, req), expected)
+          << to_string(owned) << " vs " << to_string(req);
+    }
+  }
+}
+
+TEST(Table1d, Fig5Example) {
+  // Fig. 5: token owns R, a W request arrives -> IR, R, U are frozen.
+  EXPECT_EQ(freeze_set(kR, kW), ModeSet::of({kIR, kR, kU}));
+}
+
+TEST(Table1d, Fig6UpgradeExample) {
+  // Fig. 6 / Rule 7: token owns U, upgrading to W -> freeze IR and R.
+  EXPECT_EQ(freeze_set(kU, kW), ModeSet::of({kIR, kR}));
+}
+
+TEST(Table1d, FrozenModesAreGrantableByOwner) {
+  // Sanity of the concept: a frozen mode is one the owner's subtree could
+  // otherwise still grant, i.e. compatible with the owned mode.
+  for (LockMode owned : kAllModes) {
+    for (LockMode req : kRealModes) {
+      const ModeSet frozen = freeze_set(owned, req);
+      for (LockMode m : kRealModes) {
+        if (frozen.contains(m)) {
+          EXPECT_TRUE(compatible(owned, m));
+          EXPECT_TRUE(incompatible(m, req));
+        }
+      }
+    }
+  }
+}
+
+// ---- Rendering ------------------------------------------------------------
+
+TEST(RenderTable, ProducesAllFourTables) {
+  for (char which : {'a', 'b', 'c', 'd'}) {
+    const std::string out = render_table(which);
+    EXPECT_NE(out.find("Table 1"), std::string::npos);
+    EXPECT_NE(out.find("IR"), std::string::npos);
+  }
+  EXPECT_NE(render_table('d').find("IR,R,U"), std::string::npos)
+      << "row R / column W of the freeze table must print IR,R,U";
+}
+
+TEST(RenderTable, RejectsUnknownTable) {
+  EXPECT_THROW(render_table('e'), hlock::UsageError);
+  EXPECT_THROW(render_table('A'), hlock::UsageError);
+}
+
+}  // namespace
+}  // namespace hlock::core

@@ -1,0 +1,111 @@
+// Tests of the prioritized queueing extension (paper refs [15, 16]):
+// priority orders WAITING queues — higher first, FIFO within a level —
+// while never preempting current holders and never weakening Rule 6.
+#include <gtest/gtest.h>
+
+#include "tests/core/test_net.hpp"
+
+namespace hlock::test {
+namespace {
+
+constexpr LockMode kIR = LockMode::kIR;
+constexpr LockMode kR = LockMode::kR;
+constexpr LockMode kW = LockMode::kW;
+constexpr std::size_t A = 0, B = 1, C = 2, D = 3;
+
+TEST(Priority, HigherPriorityOvertakesQueuedWaiters) {
+  HierNet net{4};
+  net.request(A, kW);  // A holds W as token
+  net.request(B, kW);  // queued first, default priority
+  net.settle();
+  net.request(C, kW, 5);
+  net.settle();
+
+  // A's queue: C (priority 5) must now be ahead of B (priority 0).
+  ASSERT_EQ(net.node(A).queue().size(), 2u);
+  EXPECT_EQ(net.node(A).queue().front().requester, NodeId{2});
+
+  net.release(A);
+  net.settle();
+  EXPECT_EQ(net.node(C).held(), kW) << "high priority served first";
+  EXPECT_EQ(net.cs_entries(B), 0);
+  net.release(C);
+  net.settle();
+  EXPECT_EQ(net.node(B).held(), kW);
+}
+
+TEST(Priority, FifoWithinEqualPriority) {
+  HierNet net{4};
+  net.request(A, kW);
+  net.request(B, kW, 3);
+  net.settle();
+  net.request(C, kW, 3);
+  net.settle();
+  ASSERT_EQ(net.node(A).queue().size(), 2u);
+  EXPECT_EQ(net.node(A).queue()[0].requester, NodeId{1});
+  EXPECT_EQ(net.node(A).queue()[1].requester, NodeId{2});
+}
+
+TEST(Priority, DoesNotPreemptHolders) {
+  HierNet net{3};
+  net.request(A, kR);  // A holds R
+  net.request(B, kW, 255);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(B), 0)
+      << "even maximum priority waits for the current holder";
+  EXPECT_EQ(net.node(A).held(), kR);
+  net.release(A);
+  net.settle();
+  EXPECT_EQ(net.node(B).held(), kW);
+}
+
+TEST(Priority, FreezingStillProtectsHighPriorityWaiter) {
+  // A high-priority W freezes reader modes exactly like a FIFO W would.
+  HierNet net{4};
+  net.request(A, kR);
+  net.request(B, kW, 9);
+  net.settle();
+  net.request(C, kIR);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(C), 0) << "IR must not bypass the queued W";
+  net.release(A);
+  net.settle();
+  EXPECT_EQ(net.node(B).held(), kW);
+}
+
+TEST(Priority, SurvivesTokenTransferWithQueue) {
+  // Priorities are preserved when the queue ships with the token.
+  HierNet net{5};
+  net.request(A, kR);
+  net.request(B, kR);  // copy grant, B shares R
+  net.settle();
+  net.request(C, kW, 1);
+  net.settle();
+  net.request(D, kW, 7);
+  net.settle();
+  ASSERT_EQ(net.node(A).queue().size(), 2u);
+  EXPECT_EQ(net.node(A).queue().front().requester, NodeId{3});
+
+  net.release(A);
+  net.release(B);
+  net.settle();
+  EXPECT_EQ(net.node(D).held(), kW) << "priority 7 first";
+  net.release(D);
+  net.settle();
+  EXPECT_EQ(net.node(C).held(), kW);
+}
+
+TEST(Priority, DefaultZeroReducesToPaperFifo) {
+  HierNet net{4};
+  net.request(A, kW);
+  net.request(B, kW);
+  net.settle();
+  net.request(C, kW);
+  net.settle();
+  ASSERT_EQ(net.node(A).queue().size(), 2u);
+  EXPECT_EQ(net.node(A).queue()[0].requester, NodeId{1});
+  EXPECT_EQ(net.node(A).queue()[1].requester, NodeId{2});
+}
+
+}  // namespace
+}  // namespace hlock::test

@@ -1,0 +1,61 @@
+// Golden rendering of the printed Table 1: bench/table1_rules is the
+// human-facing regeneration of the paper's specification table, so its
+// exact output is pinned here (cells are asserted semantically in
+// mode_tables_test.cpp; this guards the rendering itself).
+#include <gtest/gtest.h>
+
+#include "core/mode_tables.hpp"
+
+namespace hlock::core {
+namespace {
+
+TEST(TableRenderGolden, TableA) {
+  EXPECT_EQ(render_table('a'),
+            "Table 1(a) Incompatible — rows M1, columns M2\n"
+            "M1\\M2   IR        R         U         IW        W         \n"
+            "-       .         .         .         .         .         \n"
+            "IR      .         .         .         .         X         \n"
+            "R       .         .         .         X         X         \n"
+            "U       .         .         X         X         X         \n"
+            "IW      .         X         X         .         X         \n"
+            "W       X         X         X         X         X         \n");
+}
+
+TEST(TableRenderGolden, TableB) {
+  EXPECT_EQ(render_table('b'),
+            "Table 1(b) No Child Grant — rows M1, columns M2\n"
+            "M1\\M2   IR        R         U         IW        W         \n"
+            "-       X         X         X         X         X         \n"
+            "IR      .         X         X         X         X         \n"
+            "R       .         .         X         X         X         \n"
+            "U       .         .         X         X         X         \n"
+            "IW      .         X         X         .         X         \n"
+            "W       X         X         X         X         X         \n");
+}
+
+TEST(TableRenderGolden, TableC) {
+  EXPECT_EQ(render_table('c'),
+            "Table 1(c) Queue/Forward — rows M1, columns M2\n"
+            "M1\\M2   IR        R         U         IW        W         \n"
+            "-       F         F         F         F         F         \n"
+            "IR      Q         F         F         F         F         \n"
+            "R       F         Q         F         F         F         \n"
+            "U       F         F         Q         Q         Q         \n"
+            "IW      F         F         F         Q         F         \n"
+            "W       Q         Q         Q         Q         Q         \n");
+}
+
+TEST(TableRenderGolden, TableD) {
+  EXPECT_EQ(render_table('d'),
+            "Table 1(d) Freezing Modes at Token — rows M1, columns M2\n"
+            "M1\\M2   IR        R         U         IW        W         \n"
+            "-       .         .         .         .         .         \n"
+            "IR      .         .         .         .         IR,R,U,IW \n"
+            "R       .         .         .         R,U       IR,R,U    \n"
+            "U       .         .         .         R         IR,R      \n"
+            "IW      .         IW        IW        .         IR,IW     \n"
+            "W       .         .         .         .         .         \n");
+}
+
+}  // namespace
+}  // namespace hlock::core

@@ -1,0 +1,180 @@
+// Deterministic in-memory harness for protocol automaton tests.
+//
+// Wires N automatons of one protocol together with an explicit FIFO message
+// queue under test control: tests issue API calls, then deliver messages
+// one at a time (or until quiescence) and inspect intermediate states. No
+// latency, no randomness — every scenario is exactly reproducible, which is
+// what the paper-figure tests (Figs. 2-6) need.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/hier_automaton.hpp"
+#include "naimi/naimi_automaton.hpp"
+#include "util/check.hpp"
+
+namespace hlock::test {
+
+using core::Effects;
+using core::HierAutomaton;
+using core::HierConfig;
+using proto::LockId;
+using proto::LockMode;
+using proto::Message;
+using proto::NodeId;
+
+/// Harness over HierAutomaton instances. Node 0 is the initial token holder
+/// unless a custom parent topology is supplied.
+class HierNet {
+ public:
+  /// Star topology: node 0 is the token, everyone else points at it.
+  explicit HierNet(std::size_t n, HierConfig config = {})
+      : HierNet(star_parents(n), config) {}
+
+  /// Custom topology: parents[i] is node i's initial parent; exactly one
+  /// node (the token) must have NodeId::none().
+  HierNet(const std::vector<NodeId>& parents, HierConfig config = {}) {
+    nodes_.reserve(parents.size());
+    cs_entries_.assign(parents.size(), 0);
+    upgrades_.assign(parents.size(), 0);
+    for (std::size_t i = 0; i < parents.size(); ++i) {
+      nodes_.emplace_back(NodeId{static_cast<std::uint32_t>(i)}, kLock,
+                          parents[i].is_none(), parents[i], config);
+    }
+  }
+
+  HierAutomaton& node(std::size_t i) { return nodes_.at(i); }
+
+  void request(std::size_t i, LockMode mode, std::uint8_t priority = 0) {
+    absorb(i, nodes_.at(i).request(mode, priority));
+  }
+  void release(std::size_t i) { absorb(i, nodes_.at(i).release()); }
+  void upgrade(std::size_t i) { absorb(i, nodes_.at(i).upgrade()); }
+
+  /// Delivers the oldest in-flight message; false if none.
+  bool deliver_one() {
+    if (wire_.empty()) return false;
+    const Message message = wire_.front();
+    wire_.pop_front();
+    const std::size_t to = message.to.value();
+    absorb(to, nodes_.at(to).on_message(message));
+    return true;
+  }
+
+  /// Delivers the oldest in-flight message addressed to `node` (messages
+  /// to other destinations stay queued — per-channel FIFO is preserved
+  /// because channels to distinct destinations are independent). False if
+  /// nothing is in flight for that node. Race tests use this to pick
+  /// interleavings that global FIFO order cannot express.
+  bool deliver_to(std::size_t node) {
+    for (auto it = wire_.begin(); it != wire_.end(); ++it) {
+      if (it->to.value() != node) continue;
+      const Message message = *it;
+      wire_.erase(it);
+      absorb(node, nodes_.at(node).on_message(message));
+      return true;
+    }
+    return false;
+  }
+
+  /// Pumps messages until the network is quiet; returns messages delivered.
+  std::size_t settle() {
+    std::size_t delivered = 0;
+    while (deliver_one()) {
+      ++delivered;
+      HLOCK_INVARIANT(delivered < 100000, "test network does not quiesce");
+    }
+    return delivered;
+  }
+
+  const std::deque<Message>& wire() const { return wire_; }
+  std::uint64_t total_messages() const { return total_messages_; }
+
+  /// Times node i entered its critical section so far.
+  int cs_entries(std::size_t i) const { return cs_entries_.at(i); }
+  /// Times node i completed a Rule 7 upgrade so far.
+  int upgrades(std::size_t i) const { return upgrades_.at(i); }
+
+  static std::vector<NodeId> star_parents(std::size_t n) {
+    std::vector<NodeId> parents(n, NodeId{0});
+    parents.at(0) = NodeId::none();
+    return parents;
+  }
+
+  static constexpr LockId kLock{0};
+
+ private:
+  void absorb(std::size_t i, Effects&& fx) {
+    for (Message& message : fx.messages) {
+      wire_.push_back(std::move(message));
+      ++total_messages_;
+    }
+    if (fx.entered_cs) ++cs_entries_.at(i);
+    if (fx.upgraded) ++upgrades_.at(i);
+  }
+
+  std::vector<HierAutomaton> nodes_;
+  std::deque<Message> wire_;
+  std::vector<int> cs_entries_;
+  std::vector<int> upgrades_;
+  std::uint64_t total_messages_ = 0;
+};
+
+/// Same harness over the Naimi baseline.
+class NaimiNet {
+ public:
+  explicit NaimiNet(std::size_t n) {
+    nodes_.reserve(n);
+    cs_entries_.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes_.emplace_back(NodeId{static_cast<std::uint32_t>(i)}, kLock,
+                          i == 0, i == 0 ? NodeId::none() : NodeId{0});
+    }
+  }
+
+  naimi::NaimiAutomaton& node(std::size_t i) { return nodes_.at(i); }
+
+  void request(std::size_t i) { absorb(i, nodes_.at(i).request()); }
+  void release(std::size_t i) { absorb(i, nodes_.at(i).release()); }
+
+  bool deliver_one() {
+    if (wire_.empty()) return false;
+    const Message message = wire_.front();
+    wire_.pop_front();
+    const std::size_t to = message.to.value();
+    absorb(to, nodes_.at(to).on_message(message));
+    return true;
+  }
+
+  std::size_t settle() {
+    std::size_t delivered = 0;
+    while (deliver_one()) {
+      ++delivered;
+      HLOCK_INVARIANT(delivered < 100000, "test network does not quiesce");
+    }
+    return delivered;
+  }
+
+  const std::deque<Message>& wire() const { return wire_; }
+  std::uint64_t total_messages() const { return total_messages_; }
+  int cs_entries(std::size_t i) const { return cs_entries_.at(i); }
+
+  static constexpr LockId kLock{0};
+
+ private:
+  void absorb(std::size_t i, Effects&& fx) {
+    for (Message& message : fx.messages) {
+      wire_.push_back(std::move(message));
+      ++total_messages_;
+    }
+    if (fx.entered_cs) ++cs_entries_.at(i);
+  }
+
+  std::vector<naimi::NaimiAutomaton> nodes_;
+  std::deque<Message> wire_;
+  std::vector<int> cs_entries_;
+  std::uint64_t total_messages_ = 0;
+};
+
+}  // namespace hlock::test

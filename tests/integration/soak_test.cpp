@@ -1,0 +1,144 @@
+// Soak tests: larger simulated clusters, longer runs, adversarial mixes.
+// These are the heavy end of the test pyramid — still deterministic and
+// bounded (a few seconds total), sweeping sizes and mixes the unit tests
+// cannot reach.
+#include <gtest/gtest.h>
+
+#include "runtime/invariants.hpp"
+#include "runtime/sim_cluster.hpp"
+#include "workload/sim_driver.hpp"
+
+namespace hlock::workload {
+namespace {
+
+using runtime::Protocol;
+using runtime::SimCluster;
+using runtime::SimClusterOptions;
+
+struct SoakParam {
+  std::size_t nodes;
+  int ops;
+  const char* mix_name;
+  ModeMix mix;
+  std::uint64_t seed;
+};
+
+class Soak : public ::testing::TestWithParam<SoakParam> {};
+
+TEST_P(Soak, CompletesWithSafetyAndConvergence) {
+  const SoakParam& param = GetParam();
+
+  SimClusterOptions cluster_options;
+  cluster_options.node_count = param.nodes;
+  cluster_options.protocol = Protocol::kHierarchical;
+  cluster_options.message_latency =
+      DurationDist::exponential(SimTime::us(200));
+  cluster_options.seed = param.seed;
+  SimCluster cluster{cluster_options};
+
+  WorkloadSpec spec;
+  spec.variant = AppVariant::kHierarchical;
+  spec.node_count = param.nodes;
+  spec.ops_per_node = param.ops;
+  spec.cs_length = DurationDist::exponential(SimTime::ms(2));
+  spec.idle_time = DurationDist::exponential(SimTime::ms(6));
+  spec.mix = param.mix;
+  spec.seed = param.seed;
+
+  SimWorkloadDriver driver{cluster, spec};
+  const auto locks = all_locks(spec.table_entries);
+  driver.set_periodic_check(4096, [&] {
+    const auto report = runtime::check_safety(cluster, locks);
+    ASSERT_TRUE(report.ok()) << report.to_string();
+  });
+  driver.run();
+
+  EXPECT_EQ(driver.stats().ops,
+            static_cast<std::uint64_t>(param.ops) * param.nodes);
+  const auto report = runtime::check_quiescent_structure(cluster, locks);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+std::vector<SoakParam> soak_params() {
+  return {
+      {64, 60, "paper", ModeMix::paper(), 1},
+      {96, 40, "paper", ModeMix::paper(), 2},
+      {32, 80, "write-heavy", ModeMix::write_heavy(), 3},
+      {48, 60, "write-heavy", ModeMix::write_heavy(), 4},
+      {40, 60, "read-only", ModeMix::read_only(), 5},
+      {24, 100, "upgrade-heavy", ModeMix{0.30, 0.10, 0.40, 0.15, 0.05}, 6},
+      {128, 30, "paper", ModeMix::paper(), 7},
+  };
+}
+
+std::string soak_name(const ::testing::TestParamInfo<SoakParam>& info) {
+  std::string name = std::string(info.param.mix_name) + "_n" +
+                     std::to_string(info.param.nodes) + "_s" +
+                     std::to_string(info.param.seed);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Soak, ::testing::ValuesIn(soak_params()),
+                         soak_name);
+
+TEST(SoakNaimi, LargeClusterBothVariants) {
+  for (AppVariant variant :
+       {AppVariant::kNaimiPure, AppVariant::kNaimiSameWork}) {
+    SimClusterOptions cluster_options;
+    cluster_options.node_count = 64;
+    cluster_options.protocol = Protocol::kNaimi;
+    cluster_options.message_latency =
+        DurationDist::exponential(SimTime::us(200));
+    cluster_options.seed = 11;
+    SimCluster cluster{cluster_options};
+
+    WorkloadSpec spec;
+    spec.variant = variant;
+    spec.node_count = 64;
+    spec.ops_per_node = 40;
+    spec.cs_length = DurationDist::exponential(SimTime::ms(2));
+    spec.idle_time = DurationDist::exponential(SimTime::ms(6));
+    spec.seed = 11;
+
+    SimWorkloadDriver driver{cluster, spec};
+    driver.run();
+    EXPECT_EQ(driver.stats().ops, 64u * 40u) << to_string(variant);
+    const auto report = runtime::check_quiescent_structure(
+        cluster, all_locks(spec.table_entries));
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+}
+
+TEST(SoakAblation, EveryFlagCombinationSurvivesAt32Nodes) {
+  for (int flags = 0; flags < 16; ++flags) {
+    SimClusterOptions cluster_options;
+    cluster_options.node_count = 32;
+    cluster_options.protocol = Protocol::kHierarchical;
+    cluster_options.message_latency =
+        DurationDist::uniform(SimTime::us(300), 0.5);
+    cluster_options.seed = 17;
+    cluster_options.hier_config.local_queueing = (flags & 1) != 0;
+    cluster_options.hier_config.child_grants = (flags & 2) != 0;
+    cluster_options.hier_config.path_compression = (flags & 4) != 0;
+    cluster_options.hier_config.freezing = (flags & 8) != 0;
+    SimCluster cluster{cluster_options};
+
+    WorkloadSpec spec;
+    spec.variant = AppVariant::kHierarchical;
+    spec.node_count = 32;
+    spec.ops_per_node = 30;
+    spec.cs_length = DurationDist::uniform(SimTime::ms(1), 0.5);
+    spec.idle_time = DurationDist::uniform(SimTime::ms(4), 0.5);
+    spec.seed = 17;
+
+    SimWorkloadDriver driver{cluster, spec};
+    driver.run();
+    EXPECT_EQ(driver.stats().ops, 32u * 30u) << "flags=" << flags;
+  }
+}
+
+}  // namespace
+}  // namespace hlock::workload

@@ -1,0 +1,191 @@
+// Unit tests of the Naimi-Tréhel baseline: token passing, distributed FIFO
+// via next pointers, path reversal, and safety under randomized schedules.
+#include "naimi/naimi_automaton.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/core/test_net.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace hlock::test {
+namespace {
+
+using hlock::UsageError;
+using naimi::NaimiAutomaton;
+using proto::Message;
+using proto::NaimiRequest;
+constexpr std::size_t A = 0, B = 1, C = 2, D = 3;
+
+TEST(NaimiConstruction, Contracts) {
+  EXPECT_NO_THROW(NaimiAutomaton(NodeId{0}, LockId{0}, true, NodeId::none()));
+  EXPECT_THROW(NaimiAutomaton(NodeId{0}, LockId{0}, true, NodeId{1}),
+               UsageError);
+  EXPECT_THROW(NaimiAutomaton(NodeId{1}, LockId{0}, false, NodeId::none()),
+               UsageError);
+  EXPECT_THROW(NaimiAutomaton(NodeId{1}, LockId{0}, false, NodeId{1}),
+               UsageError);
+}
+
+TEST(Naimi, TokenHolderEntersImmediately) {
+  NaimiNet net{3};
+  net.request(A);
+  EXPECT_EQ(net.cs_entries(A), 1);
+  EXPECT_TRUE(net.node(A).in_cs());
+  EXPECT_EQ(net.total_messages(), 0u);
+}
+
+TEST(Naimi, SecondRequesterGetsTokenOnFirstRequest) {
+  NaimiNet net{3};
+  net.request(B);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(B), 1);
+  EXPECT_TRUE(net.node(B).has_token());
+  EXPECT_FALSE(net.node(A).has_token());
+  // One request, one token message.
+  EXPECT_EQ(net.total_messages(), 2u);
+}
+
+TEST(Naimi, ReleaseWithoutWaiterKeepsToken) {
+  NaimiNet net{2};
+  net.request(A);
+  net.release(A);
+  EXPECT_TRUE(net.node(A).has_token());
+  EXPECT_EQ(net.total_messages(), 0u);
+  // Re-entry is free.
+  net.request(A);
+  EXPECT_EQ(net.cs_entries(A), 2);
+}
+
+TEST(Naimi, WaiterChainsThroughNextPointer) {
+  NaimiNet net{3};
+  net.request(A);      // holds token, in CS
+  net.request(B);
+  net.settle();
+  EXPECT_EQ(net.node(A).next(), NodeId{1});
+  EXPECT_EQ(net.cs_entries(B), 0);
+  net.release(A);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(B), 1);
+  EXPECT_TRUE(net.node(B).has_token());
+}
+
+TEST(Naimi, FifoOrderAcrossThreeWaiters) {
+  NaimiNet net{4};
+  net.request(A);
+  net.request(B);
+  net.settle();
+  net.request(C);
+  net.settle();
+  net.request(D);
+  net.settle();
+  // The distributed list is A -> B -> C -> D.
+  std::vector<std::size_t> order;
+  for (std::size_t holder : {A, B, C}) {
+    net.release(holder);
+    net.settle();
+    for (std::size_t i : {B, C, D}) {
+      if (net.node(i).in_cs()) order.push_back(i);
+    }
+  }
+  EXPECT_EQ(order, (std::vector<std::size_t>{B, C, D}));
+}
+
+TEST(Naimi, PathReversalCompressesRoutes) {
+  NaimiNet net{4};
+  net.request(B);
+  net.settle();
+  // Everyone who saw B's request now points at B.
+  EXPECT_EQ(net.node(A).probable_owner(), NodeId{1});
+  // C's request routes via A (its stale owner) but A forwards to B and
+  // re-points to C.
+  net.request(C);
+  net.settle();
+  EXPECT_EQ(net.node(A).probable_owner(), NodeId{2});
+  EXPECT_EQ(net.node(B).probable_owner(), NodeId{2});
+}
+
+TEST(Naimi, ApiContracts) {
+  NaimiNet net{2};
+  net.request(A);
+  EXPECT_THROW(net.node(A).request(), UsageError);
+  EXPECT_THROW(net.node(B).release(), UsageError);
+  net.request(B);  // B now waiting
+  EXPECT_THROW(net.node(B).request(), UsageError);
+}
+
+TEST(Naimi, WrongProtocolPayloadRejected) {
+  NaimiNet net{2};
+  const Message foreign{NodeId{1}, NodeId{0}, LockId{0},
+                        proto::HierGrant{LockMode::kR}};
+  EXPECT_THROW(net.node(A).on_message(foreign), hlock::InvariantError);
+}
+
+// Safety + liveness under randomized request/release schedules: never two
+// nodes in the CS, exactly one token, every request eventually served.
+class NaimiRandomized : public ::testing::TestWithParam<
+                            std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(NaimiRandomized, SafetyAndLiveness) {
+  const auto [n, seed] = GetParam();
+  NaimiNet net{n};
+  Rng rng{seed};
+  std::vector<int> served(n, 0);
+  std::vector<bool> busy(n, false);  // requesting or in CS
+  int requests_issued = 0;
+
+  for (int step = 0; step < 3000; ++step) {
+    const std::size_t i = static_cast<std::size_t>(rng.below(n));
+    if (net.node(i).in_cs()) {
+      if (rng.chance(0.7)) {
+        net.release(i);
+        busy[i] = false;
+      }
+    } else if (!busy[i] && rng.chance(0.5)) {
+      net.request(i);
+      busy[i] = true;
+      ++requests_issued;
+    }
+    if (rng.chance(0.8)) net.deliver_one();
+
+    // Safety at every step.
+    std::size_t in_cs = 0;
+    std::size_t tokens = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (net.node(k).in_cs()) ++in_cs;
+      if (net.node(k).has_token()) ++tokens;
+    }
+    ASSERT_LE(in_cs, 1u) << "mutual exclusion violated at step " << step;
+    ASSERT_LE(tokens, 1u) << "token duplicated at step " << step;
+  }
+
+  // Drain: release everyone who is in a CS until all requests served.
+  for (int round = 0; round < 10000; ++round) {
+    net.settle();
+    bool any = false;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (net.node(k).in_cs()) {
+        net.release(k);
+        busy[k] = false;
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  net.settle();
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_FALSE(net.node(k).requesting())
+        << "node " << k << " starved with " << requests_issued
+        << " requests issued";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NaimiRandomized,
+    ::testing::Combine(::testing::Values(2, 3, 5, 9, 17),
+                       ::testing::Values(1u, 2u, 3u, 42u)));
+
+}  // namespace
+}  // namespace hlock::test

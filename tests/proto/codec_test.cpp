@@ -1,0 +1,132 @@
+#include "proto/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hlock::proto {
+namespace {
+
+Message envelope(Payload payload) {
+  return Message{NodeId{1}, NodeId{2}, LockId{3}, std::move(payload)};
+}
+
+class CodecRoundTrip : public ::testing::TestWithParam<Payload> {};
+
+TEST_P(CodecRoundTrip, EncodeDecodeIsIdentity) {
+  const Message original = envelope(GetParam());
+  const std::vector<std::byte> wire = encode(original);
+  const auto decoded = decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPayloads, CodecRoundTrip,
+    ::testing::Values(
+        Payload{HierRequest{NodeId{7}, LockMode::kR, 42}},
+        Payload{HierRequest{NodeId{0}, LockMode::kW, 0}},
+        Payload{HierGrant{LockMode::kIR, LockMode::kR, 7}},
+        Payload{HierGrant{LockMode::kU, LockMode::kU, 0xFFFFFFFFu}},
+        Payload{HierToken{LockMode::kW, LockMode::kNL, {}}},
+        Payload{HierToken{LockMode::kR, LockMode::kIR,
+                          {QueuedRequest{NodeId{4}, LockMode::kIW, 9},
+                           QueuedRequest{NodeId{5}, LockMode::kW, 10}}}},
+        Payload{HierRelease{LockMode::kNL, 0}},
+        Payload{HierRelease{LockMode::kR, 41}},
+        Payload{HierFreeze{ModeSet::of({LockMode::kIR, LockMode::kR})}},
+        Payload{HierFreeze{ModeSet{}}},
+        Payload{NaimiRequest{NodeId{9}, 77}},
+        Payload{NaimiToken{}}));
+
+TEST(Codec, TruncatedInputRejectedAtEveryLength) {
+  const Message original = envelope(Payload{HierToken{
+      LockMode::kR, LockMode::kIR,
+      {QueuedRequest{NodeId{4}, LockMode::kIW, 9}}}});
+  const std::vector<std::byte> wire = encode(original);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(decode(std::span(wire.data(), len)).has_value())
+        << "accepted a truncation to " << len << " bytes";
+  }
+}
+
+TEST(Codec, TrailingGarbageRejected) {
+  std::vector<std::byte> wire = encode(envelope(Payload{NaimiToken{}}));
+  wire.push_back(std::byte{0xAB});
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(Codec, UnknownMessageKindRejected) {
+  std::vector<std::byte> wire = encode(envelope(Payload{NaimiToken{}}));
+  // Byte 12 is the payload discriminator (3 x u32 ids precede it).
+  wire[12] = std::byte{0x7F};
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(Codec, InvalidModeRejected) {
+  std::vector<std::byte> wire =
+      encode(envelope(Payload{HierGrant{LockMode::kR, LockMode::kR, 1}}));
+  // Byte 13 is the granted mode (12-byte envelope + 1 kind byte).
+  wire[13] = std::byte{17};  // mode byte out of range
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(Codec, HostileQueueCountRejected) {
+  // A token message whose queue count claims more entries than the buffer
+  // could possibly hold must be rejected before any allocation.
+  std::vector<std::byte> wire = encode(envelope(
+      Payload{HierToken{LockMode::kR, LockMode::kNL, {}}}));
+  // Queue count is the last 4 bytes; write 0xFFFFFFFF.
+  for (std::size_t i = wire.size() - 4; i < wire.size(); ++i) {
+    wire[i] = std::byte{0xFF};
+  }
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(Codec, EmptyInputRejected) {
+  EXPECT_FALSE(decode({}).has_value());
+}
+
+TEST(WireWriterReader, PrimitivesRoundTrip) {
+  std::vector<std::byte> buffer;
+  WireWriter writer{buffer};
+  writer.u8(0xAB);
+  writer.u32(0xDEADBEEF);
+  writer.u64(0x0123456789ABCDEFull);
+  writer.node(NodeId{11});
+  writer.lock(LockId{22});
+  writer.mode(LockMode::kIW);
+
+  WireReader reader{buffer};
+  EXPECT_EQ(reader.u8(), 0xAB);
+  EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.node(), NodeId{11});
+  EXPECT_EQ(reader.lock(), LockId{22});
+  EXPECT_EQ(reader.mode(), LockMode::kIW);
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_FALSE(reader.u8().has_value());
+}
+
+TEST(WireWriterReader, LittleEndianLayout) {
+  std::vector<std::byte> buffer;
+  WireWriter writer{buffer};
+  writer.u32(0x01020304);
+  ASSERT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer[0], std::byte{0x04});
+  EXPECT_EQ(buffer[3], std::byte{0x01});
+}
+
+TEST(Codec, EncodingIsCompact) {
+  // Envelope (12 bytes) + kind (1) + payload; a grant carries two mode
+  // bytes and a 4-byte epoch.
+  EXPECT_EQ(encode(envelope(Payload{HierGrant{LockMode::kR, LockMode::kR,
+                                              1}})).size(),
+            19u);
+  EXPECT_EQ(encode(envelope(Payload{HierRelease{LockMode::kNL, 2}})).size(),
+            18u);
+  EXPECT_EQ(encode(envelope(Payload{NaimiToken{}})).size(), 13u);
+}
+
+}  // namespace
+}  // namespace hlock::proto

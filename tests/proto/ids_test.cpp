@@ -1,0 +1,52 @@
+#include "proto/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+namespace hlock::proto {
+namespace {
+
+TEST(NodeId, DefaultIsNone) {
+  NodeId id;
+  EXPECT_TRUE(id.is_none());
+  EXPECT_EQ(id, NodeId::none());
+}
+
+TEST(NodeId, ValueRoundTrip) {
+  NodeId id{42};
+  EXPECT_FALSE(id.is_none());
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(NodeId, Ordering) {
+  EXPECT_LT(NodeId{1}, NodeId{2});
+  EXPECT_EQ(NodeId{3}, NodeId{3});
+  EXPECT_NE(NodeId{3}, NodeId{4});
+}
+
+TEST(NodeId, ToString) {
+  EXPECT_EQ(to_string(NodeId{7}), "node7");
+  EXPECT_EQ(to_string(NodeId::none()), "none");
+}
+
+TEST(NodeId, UsableAsHashKey) {
+  std::unordered_map<NodeId, int> map;
+  map[NodeId{1}] = 10;
+  map[NodeId{2}] = 20;
+  EXPECT_EQ(map.at(NodeId{1}), 10);
+  EXPECT_EQ(map.at(NodeId{2}), 20);
+}
+
+TEST(LockId, Basics) {
+  LockId id{5};
+  EXPECT_EQ(id.value(), 5u);
+  EXPECT_EQ(to_string(id), "lock5");
+  EXPECT_LT(LockId{1}, LockId{9});
+  std::unordered_map<LockId, int> map;
+  map[LockId{3}] = 30;
+  EXPECT_EQ(map.at(LockId{3}), 30);
+}
+
+}  // namespace
+}  // namespace hlock::proto

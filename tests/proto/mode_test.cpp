@@ -1,0 +1,83 @@
+#include "proto/lock_mode.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hlock::proto {
+namespace {
+
+TEST(LockMode, Names) {
+  EXPECT_EQ(to_string(LockMode::kNL), "NL");
+  EXPECT_EQ(to_string(LockMode::kIR), "IR");
+  EXPECT_EQ(to_string(LockMode::kR), "R");
+  EXPECT_EQ(to_string(LockMode::kU), "U");
+  EXPECT_EQ(to_string(LockMode::kIW), "IW");
+  EXPECT_EQ(to_string(LockMode::kW), "W");
+}
+
+TEST(LockMode, IndicesAreDense) {
+  EXPECT_EQ(mode_index(LockMode::kNL), 0u);
+  EXPECT_EQ(mode_index(LockMode::kW), 5u);
+  EXPECT_EQ(kRealModes.size() + 1, kModeCount);
+}
+
+TEST(ModeSet, EmptyByDefault) {
+  ModeSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0);
+  for (LockMode m : kAllModes) EXPECT_FALSE(set.contains(m));
+}
+
+TEST(ModeSet, InsertEraseContains) {
+  ModeSet set;
+  set.insert(LockMode::kR);
+  set.insert(LockMode::kW);
+  EXPECT_TRUE(set.contains(LockMode::kR));
+  EXPECT_TRUE(set.contains(LockMode::kW));
+  EXPECT_FALSE(set.contains(LockMode::kIR));
+  EXPECT_EQ(set.size(), 2);
+  set.erase(LockMode::kR);
+  EXPECT_FALSE(set.contains(LockMode::kR));
+  EXPECT_EQ(set.size(), 1);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(ModeSet, OfLiteral) {
+  const ModeSet set = ModeSet::of({LockMode::kIR, LockMode::kU});
+  EXPECT_TRUE(set.contains(LockMode::kIR));
+  EXPECT_TRUE(set.contains(LockMode::kU));
+  EXPECT_EQ(set.size(), 2);
+}
+
+TEST(ModeSet, SetAlgebra) {
+  const ModeSet a = ModeSet::of({LockMode::kIR, LockMode::kR});
+  const ModeSet b = ModeSet::of({LockMode::kR, LockMode::kW});
+  EXPECT_EQ(a | b, ModeSet::of({LockMode::kIR, LockMode::kR, LockMode::kW}));
+  EXPECT_EQ(a & b, ModeSet::of({LockMode::kR}));
+  ModeSet c = a;
+  c |= b;
+  EXPECT_EQ(c, a | b);
+}
+
+TEST(ModeSet, AllRealExcludesNL) {
+  const ModeSet all = ModeSet::all_real();
+  EXPECT_EQ(all.size(), 5);
+  EXPECT_FALSE(all.contains(LockMode::kNL));
+}
+
+TEST(ModeSet, BitsRoundTrip) {
+  const ModeSet set = ModeSet::of({LockMode::kU, LockMode::kIW});
+  EXPECT_EQ(ModeSet::from_bits(set.bits()), set);
+  // Top bits beyond the six modes are masked off.
+  EXPECT_EQ(ModeSet::from_bits(0xFF).size(), 6);
+}
+
+TEST(ModeSet, ToString) {
+  EXPECT_EQ(to_string(ModeSet{}), "{}");
+  EXPECT_EQ(to_string(ModeSet::of({LockMode::kIR, LockMode::kR,
+                                   LockMode::kU})),
+            "{IR,R,U}");
+}
+
+}  // namespace
+}  // namespace hlock::proto

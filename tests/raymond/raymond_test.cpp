@@ -1,0 +1,255 @@
+// Tests of Raymond's static-tree baseline: privilege passing along the
+// tree, FIFO local queues, safety/liveness under randomized schedules, and
+// the full cluster/workload integration.
+#include "raymond/raymond_automaton.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "runtime/invariants.hpp"
+#include "runtime/sim_cluster.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "workload/sim_driver.hpp"
+
+namespace hlock::raymond {
+namespace {
+
+using proto::LockId;
+using proto::Message;
+using proto::NodeId;
+
+constexpr LockId kLock{0};
+
+/// Minimal deterministic harness (mirrors tests/core/test_net.hpp).
+class RaymondNet {
+ public:
+  explicit RaymondNet(std::size_t n, std::size_t arity = 2) {
+    const auto tree = balanced_tree(n, arity);
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes_.emplace_back(NodeId{static_cast<std::uint32_t>(i)}, kLock,
+                          tree[i].holder, tree[i].neighbors);
+    }
+    cs_entries_.assign(n, 0);
+  }
+
+  RaymondAutomaton& node(std::size_t i) { return nodes_.at(i); }
+  void request(std::size_t i) { absorb(i, nodes_.at(i).request()); }
+  void release(std::size_t i) { absorb(i, nodes_.at(i).release()); }
+
+  bool deliver_one() {
+    if (wire_.empty()) return false;
+    const Message message = wire_.front();
+    wire_.pop_front();
+    absorb(message.to.value(),
+           nodes_.at(message.to.value()).on_message(message));
+    return true;
+  }
+  std::size_t settle() {
+    std::size_t delivered = 0;
+    while (deliver_one()) {
+      HLOCK_INVARIANT(++delivered < 100000, "net does not quiesce");
+    }
+    return delivered;
+  }
+  std::uint64_t total_messages() const { return total_; }
+  int cs_entries(std::size_t i) const { return cs_entries_.at(i); }
+
+ private:
+  void absorb(std::size_t i, core::Effects&& fx) {
+    for (Message& message : fx.messages) {
+      wire_.push_back(std::move(message));
+      ++total_;
+    }
+    if (fx.entered_cs) ++cs_entries_[i];
+  }
+  std::vector<RaymondAutomaton> nodes_;
+  std::deque<Message> wire_;
+  std::vector<int> cs_entries_;
+  std::uint64_t total_ = 0;
+};
+
+TEST(BalancedTree, ShapeIsConsistent) {
+  const auto tree = balanced_tree(7, 2);
+  EXPECT_EQ(tree[0].holder, NodeId{0});
+  EXPECT_EQ(tree[1].holder, NodeId{0});
+  EXPECT_EQ(tree[2].holder, NodeId{0});
+  EXPECT_EQ(tree[3].holder, NodeId{1});
+  EXPECT_EQ(tree[6].holder, NodeId{2});
+  // Node 1's neighbors: parent 0 and children 3, 4.
+  EXPECT_EQ(tree[1].neighbors.size(), 3u);
+  // Leaves have only their parent.
+  EXPECT_EQ(tree[6].neighbors.size(), 1u);
+  EXPECT_THROW(balanced_tree(0), UsageError);
+  EXPECT_THROW(balanced_tree(3, 0), UsageError);
+}
+
+TEST(Raymond, RootEntersImmediately) {
+  RaymondNet net{3};
+  net.request(0);
+  EXPECT_EQ(net.cs_entries(0), 1);
+  EXPECT_EQ(net.total_messages(), 0u);
+}
+
+TEST(Raymond, PrivilegeWalksTheTreePath) {
+  // Node 6 (depth 2 in a 7-node binary tree) requests: REQUEST travels
+  // 6->2->0, the privilege travels 0->2->6 — exactly 4 messages.
+  RaymondNet net{7};
+  net.request(6);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(6), 1);
+  EXPECT_TRUE(net.node(6).has_token());
+  EXPECT_EQ(net.total_messages(), 4u);
+  // Holder pointers flipped along the path.
+  EXPECT_EQ(net.node(0).holder(), NodeId{2});
+  EXPECT_EQ(net.node(2).holder(), NodeId{6});
+}
+
+TEST(Raymond, TokenReturnsAlongFlippedPointers) {
+  RaymondNet net{7};
+  net.request(6);
+  net.settle();
+  net.release(6);
+  net.settle();
+  // Nothing moves until someone asks; then the path reverses.
+  net.request(0);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(0), 1);
+  EXPECT_TRUE(net.node(0).has_token());
+}
+
+TEST(Raymond, ContendersServeInArrivalOrderPerQueue) {
+  RaymondNet net{7};
+  net.request(0);  // root in CS
+  net.request(3);
+  net.settle();
+  net.request(4);
+  net.settle();
+  // 3 and 4 both funnel through node 1; node 1 asked once.
+  net.release(0);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(3), 1);
+  EXPECT_EQ(net.cs_entries(4), 0);
+  net.release(3);
+  net.settle();
+  EXPECT_EQ(net.cs_entries(4), 1);
+}
+
+TEST(Raymond, ApiContracts) {
+  RaymondNet net{3};
+  net.request(0);
+  EXPECT_THROW(net.node(0).request(), UsageError);
+  EXPECT_THROW(net.node(1).release(), UsageError);
+  const Message bad{NodeId{1}, NodeId{0}, kLock,
+                    proto::HierGrant{proto::LockMode::kR,
+                                     proto::LockMode::kR, 1}};
+  EXPECT_THROW(net.node(0).on_message(bad), InvariantError);
+}
+
+class RaymondRandomized
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(RaymondRandomized, SafetyAndLiveness) {
+  const auto [n, seed] = GetParam();
+  RaymondNet net{n};
+  Rng rng{seed};
+  std::vector<bool> busy(n, false);
+  for (int step = 0; step < 3000; ++step) {
+    const std::size_t i = static_cast<std::size_t>(rng.below(n));
+    if (net.node(i).in_cs()) {
+      if (rng.chance(0.7)) {
+        net.release(i);
+        busy[i] = false;
+      }
+    } else if (!busy[i] && rng.chance(0.5)) {
+      net.request(i);
+      busy[i] = true;
+    }
+    if (rng.chance(0.8)) net.deliver_one();
+
+    std::size_t in_cs = 0;
+    for (std::size_t k = 0; k < n; ++k) in_cs += net.node(k).in_cs();
+    ASSERT_LE(in_cs, 1u) << "mutual exclusion violated at step " << step;
+  }
+  for (int round = 0; round < 10000; ++round) {
+    net.settle();
+    bool any = false;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (net.node(k).in_cs()) {
+        net.release(k);
+        busy[k] = false;
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  net.settle();
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_FALSE(net.node(k).requesting()) << "node " << k << " starved";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RaymondRandomized,
+                         ::testing::Combine(::testing::Values(2, 3, 7, 15),
+                                            ::testing::Values(1u, 9u, 77u)));
+
+TEST(RaymondCluster, WorkloadRunsToCompletion) {
+  runtime::SimClusterOptions cluster_options;
+  cluster_options.node_count = 16;
+  cluster_options.protocol = runtime::Protocol::kRaymond;
+  cluster_options.message_latency =
+      DurationDist::uniform(SimTime::ms(1), 0.5);
+  cluster_options.seed = 3;
+  runtime::SimCluster cluster{cluster_options};
+
+  workload::WorkloadSpec spec;
+  spec.variant = workload::AppVariant::kNaimiPure;
+  spec.node_count = 16;
+  spec.ops_per_node = 30;
+  spec.cs_length = DurationDist::uniform(SimTime::ms(1), 0.5);
+  spec.idle_time = DurationDist::uniform(SimTime::ms(4), 0.5);
+  spec.seed = 3;
+
+  workload::SimWorkloadDriver driver{cluster, spec};
+  driver.run();
+  EXPECT_EQ(driver.stats().ops, 16u * 30u);
+  const auto report = runtime::check_quiescent_structure(
+      cluster, workload::all_locks(spec.table_entries));
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(RaymondCluster, SameWorkVariantAlsoRuns) {
+  runtime::SimClusterOptions cluster_options;
+  cluster_options.node_count = 12;
+  cluster_options.protocol = runtime::Protocol::kRaymond;
+  cluster_options.message_latency =
+      DurationDist::uniform(SimTime::ms(1), 0.5);
+  cluster_options.seed = 5;
+  runtime::SimCluster cluster{cluster_options};
+
+  workload::WorkloadSpec spec;
+  spec.variant = workload::AppVariant::kNaimiSameWork;
+  spec.node_count = 12;
+  spec.ops_per_node = 25;
+  spec.cs_length = DurationDist::uniform(SimTime::ms(1), 0.5);
+  spec.idle_time = DurationDist::uniform(SimTime::ms(4), 0.5);
+  spec.seed = 5;
+
+  workload::SimWorkloadDriver driver{cluster, spec};
+  driver.run();
+  EXPECT_EQ(driver.stats().ops, 12u * 25u);
+}
+
+TEST(RaymondCluster, UpgradeRejected) {
+  runtime::SimClusterOptions cluster_options;
+  cluster_options.node_count = 2;
+  cluster_options.protocol = runtime::Protocol::kRaymond;
+  runtime::SimCluster cluster{cluster_options};
+  cluster.set_grant_handler([](NodeId, LockId, bool) {});
+  EXPECT_THROW(cluster.upgrade(NodeId{0}, kLock), UsageError);
+}
+
+}  // namespace
+}  // namespace hlock::raymond

@@ -1,0 +1,119 @@
+// Tests of the RAII guards over the threaded cluster API.
+#include "runtime/lock_guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace hlock::runtime {
+namespace {
+
+using proto::LockId;
+using proto::LockMode;
+using proto::NodeId;
+
+ThreadClusterOptions two_nodes() {
+  ThreadClusterOptions options;
+  options.node_count = 2;
+  return options;
+}
+
+TEST(LockGuard, AcquiresAndReleasesInScope) {
+  ThreadCluster cluster{two_nodes()};
+  {
+    LockGuard guard{cluster, NodeId{0}, LockId{0}, LockMode::kR};
+    EXPECT_TRUE(cluster.holds(NodeId{0}, LockId{0}));
+    EXPECT_EQ(guard.mode(), LockMode::kR);
+  }
+  EXPECT_FALSE(cluster.holds(NodeId{0}, LockId{0}));
+}
+
+TEST(LockGuard, EarlyReleaseIsIdempotent) {
+  ThreadCluster cluster{two_nodes()};
+  LockGuard guard{cluster, NodeId{0}, LockId{0}, LockMode::kW};
+  guard.release();
+  EXPECT_FALSE(cluster.holds(NodeId{0}, LockId{0}));
+  guard.release();  // no-op; destructor later is also a no-op
+}
+
+TEST(LockGuard, MoveTransfersOwnership) {
+  ThreadCluster cluster{two_nodes()};
+  LockGuard outer = [&] {
+    LockGuard inner{cluster, NodeId{1}, LockId{0}, LockMode::kIR};
+    return inner;
+  }();
+  EXPECT_TRUE(cluster.holds(NodeId{1}, LockId{0}));
+  outer.release();
+  EXPECT_FALSE(cluster.holds(NodeId{1}, LockId{0}));
+}
+
+TEST(LockGuard, UpgradeFlow) {
+  ThreadCluster cluster{two_nodes()};
+  LockGuard guard{cluster, NodeId{0}, LockId{0}, LockMode::kU};
+  guard.upgrade();
+  EXPECT_EQ(guard.mode(), LockMode::kW);
+  // A second upgrade is a contract violation (no longer holding U).
+  EXPECT_THROW(guard.upgrade(), UsageError);
+}
+
+TEST(LockGuard, UpgradeRequiresU) {
+  ThreadCluster cluster{two_nodes()};
+  LockGuard guard{cluster, NodeId{0}, LockId{0}, LockMode::kR};
+  EXPECT_THROW(guard.upgrade(), UsageError);
+}
+
+TEST(HierGuard, IntentMapping) {
+  EXPECT_EQ(HierGuard::intent_for(LockMode::kR), LockMode::kIR);
+  EXPECT_EQ(HierGuard::intent_for(LockMode::kIR), LockMode::kIR);
+  EXPECT_EQ(HierGuard::intent_for(LockMode::kW), LockMode::kIW);
+  EXPECT_EQ(HierGuard::intent_for(LockMode::kU), LockMode::kIW);
+  EXPECT_EQ(HierGuard::intent_for(LockMode::kIW), LockMode::kIW);
+  EXPECT_THROW(HierGuard::intent_for(LockMode::kNL), UsageError);
+}
+
+TEST(HierGuard, AcquiresBothLevels) {
+  ThreadCluster cluster{two_nodes()};
+  const LockId table{0};
+  const LockId entry{1};
+  {
+    HierGuard guard{cluster, NodeId{0}, table, entry, LockMode::kW};
+    EXPECT_TRUE(cluster.holds(NodeId{0}, table));
+    EXPECT_TRUE(cluster.holds(NodeId{0}, entry));
+  }
+  EXPECT_FALSE(cluster.holds(NodeId{0}, table));
+  EXPECT_FALSE(cluster.holds(NodeId{0}, entry));
+}
+
+TEST(HierGuard, ConcurrentEntryWritersShareTheTableIntent) {
+  ThreadClusterOptions options;
+  options.node_count = 3;
+  ThreadCluster cluster{options};
+  const LockId table{0};
+
+  // Writers to DIFFERENT entries must proceed concurrently thanks to the
+  // IW/IW compatibility of the table intent.
+  std::thread t1([&] {
+    HierGuard guard{cluster, NodeId{1}, table, LockId{1}, LockMode::kW};
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  });
+  std::thread t2([&] {
+    HierGuard guard{cluster, NodeId{2}, table, LockId{2}, LockMode::kW};
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  });
+  t1.join();
+  t2.join();
+}
+
+TEST(HierGuard, UpgradeAtTheFineLevel) {
+  ThreadCluster cluster{two_nodes()};
+  HierGuard guard{cluster, NodeId{0}, LockId{0}, LockId{1}, LockMode::kU};
+  guard.upgrade();
+  EXPECT_TRUE(cluster.holds(NodeId{0}, LockId{1}));
+  guard.release();
+  EXPECT_FALSE(cluster.holds(NodeId{0}, LockId{0}));
+}
+
+}  // namespace
+}  // namespace hlock::runtime

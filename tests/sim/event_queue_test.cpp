@@ -1,0 +1,91 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace hlock::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.push(SimTime::ms(30), [&] { order.push_back(3); });
+  queue.push(SimTime::ms(10), [&] { order.push_back(1); });
+  queue.push(SimTime::ms(20), [&] { order.push_back(2); });
+  while (!queue.empty()) queue.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.push(SimTime::ms(5), [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeTracksHead) {
+  EventQueue queue;
+  queue.push(SimTime::ms(7), [] {});
+  EXPECT_EQ(queue.next_time(), SimTime::ms(7));
+  queue.push(SimTime::ms(2), [] {});
+  EXPECT_EQ(queue.next_time(), SimTime::ms(2));
+}
+
+TEST(EventQueue, PopReturnsTimestampAndSeq) {
+  EventQueue queue;
+  const std::uint64_t seq = queue.push(SimTime::us(9), [] {});
+  const Event event = queue.pop();
+  EXPECT_EQ(event.at, SimTime::us(9));
+  EXPECT_EQ(event.seq, seq);
+}
+
+TEST(EventQueue, EmptyAccessRejected) {
+  EventQueue queue;
+  EXPECT_THROW(queue.pop(), UsageError);
+  EXPECT_THROW(queue.next_time(), UsageError);
+}
+
+TEST(EventQueue, RandomizedOrderingMatchesSort) {
+  EventQueue queue;
+  hlock::Rng rng{2024};
+  std::vector<std::pair<std::int64_t, std::uint64_t>> expected;
+  std::vector<std::pair<std::int64_t, std::uint64_t>> actual;
+  for (int i = 0; i < 5000; ++i) {
+    const SimTime at = SimTime::ns(rng.range(0, 1000));  // many ties
+    const std::uint64_t seq = queue.push(at, [] {});
+    expected.emplace_back(at.count_ns(), seq);
+  }
+  std::sort(expected.begin(), expected.end());
+  while (!queue.empty()) {
+    const Event event = queue.pop();
+    actual.emplace_back(event.at.count_ns(), event.seq);
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue queue;
+  queue.push(SimTime::ms(10), [] {});
+  queue.push(SimTime::ms(20), [] {});
+  EXPECT_EQ(queue.pop().at, SimTime::ms(10));
+  queue.push(SimTime::ms(5), [] {});
+  EXPECT_EQ(queue.pop().at, SimTime::ms(5));
+  EXPECT_EQ(queue.pop().at, SimTime::ms(20));
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace
+}  // namespace hlock::sim

@@ -1,0 +1,74 @@
+#include "sim/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hlock::sim {
+namespace {
+
+using proto::NodeId;
+
+TEST(NetworkModel, DeliveryAfterSend) {
+  NetworkModel net{DurationDist::uniform(SimTime::ms(150), 0.5), Rng{1}};
+  const SimTime now = SimTime::ms(10);
+  for (int i = 0; i < 100; ++i) {
+    const SimTime at = net.delivery_time(now, NodeId{0}, NodeId{1});
+    EXPECT_GT(at, now);
+  }
+}
+
+TEST(NetworkModel, UniformLatencyWithinBounds) {
+  NetworkModel net{DurationDist::uniform(SimTime::ms(100), 0.5), Rng{2}};
+  // Use distinct channels so FIFO pushing does not distort the sample.
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const SimTime at = net.delivery_time(SimTime{}, NodeId{i}, NodeId{i + 1});
+    EXPECT_GE(at, SimTime::ms(50));
+    EXPECT_LE(at, SimTime::ms(150));
+  }
+}
+
+TEST(NetworkModel, ChannelIsFifo) {
+  // With heavily randomized latency, back-to-back sends on one channel
+  // would frequently reorder; the model must forbid that.
+  NetworkModel net{DurationDist::uniform(SimTime::ms(100), 0.9), Rng{3}};
+  SimTime previous{};
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime at = net.delivery_time(SimTime::ms(i), NodeId{0}, NodeId{1});
+    EXPECT_GT(at, previous);
+    previous = at;
+  }
+}
+
+TEST(NetworkModel, OppositeDirectionsAreIndependentChannels) {
+  NetworkModel net{DurationDist::constant(SimTime::ms(10)), Rng{4}};
+  const SimTime forward = net.delivery_time(SimTime{}, NodeId{0}, NodeId{1});
+  const SimTime backward = net.delivery_time(SimTime{}, NodeId{1}, NodeId{0});
+  // Constant latency: both get exactly 10 ms — no FIFO interaction between
+  // the two directions.
+  EXPECT_EQ(forward, SimTime::ms(10));
+  EXPECT_EQ(backward, SimTime::ms(10));
+}
+
+TEST(NetworkModel, DeterministicForSameSeed) {
+  NetworkModel a{DurationDist::exponential(SimTime::ms(5)), Rng{77}};
+  NetworkModel b{DurationDist::exponential(SimTime::ms(5)), Rng{77}};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.delivery_time(SimTime::ms(i), NodeId{0}, NodeId{1}),
+              b.delivery_time(SimTime::ms(i), NodeId{0}, NodeId{1}));
+  }
+}
+
+TEST(Presets, LinuxClusterMatchesPaperParameters) {
+  const TestbedPreset preset = linux_cluster_preset();
+  EXPECT_EQ(preset.name, "linux-cluster");
+  EXPECT_EQ(preset.message_latency.mean(), SimTime::ms(150));
+  EXPECT_EQ(preset.message_latency.kind(), DistKind::kUniform);
+}
+
+TEST(Presets, IbmSpIsLowLatency) {
+  const TestbedPreset preset = ibm_sp_preset();
+  EXPECT_EQ(preset.name, "ibm-sp");
+  EXPECT_LT(preset.message_latency.mean(), SimTime::ms(1));
+}
+
+}  // namespace
+}  // namespace hlock::sim

@@ -1,0 +1,101 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hlock::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime{});
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<std::int64_t> observed;
+  sim.schedule_in(SimTime::ms(5), [&] { observed.push_back(sim.now().count_ns()); });
+  sim.schedule_in(SimTime::ms(2), [&] { observed.push_back(sim.now().count_ns()); });
+  sim.run_to_completion();
+  EXPECT_EQ(observed,
+            (std::vector<std::int64_t>{SimTime::ms(2).count_ns(),
+                                       SimTime::ms(5).count_ns()}));
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.schedule_in(SimTime::ms(1), chain);
+  };
+  sim.schedule_in(SimTime::ms(1), chain);
+  sim.run_to_completion();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), SimTime::ms(5));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(SimTime::ms(1), [&] { ++fired; });
+  sim.schedule_in(SimTime::ms(10), [&] { ++fired; });
+  const std::uint64_t ran = sim.run_until(SimTime::ms(5));
+  EXPECT_EQ(ran, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), SimTime::ms(5));
+  EXPECT_EQ(sim.events_pending(), 1u);
+  sim.run_to_completion();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilIncludesEventsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(SimTime::ms(5), [&] { ++fired; });
+  sim.run_until(SimTime::ms(5));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RunEventsBoundsExecution) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_in(SimTime::ms(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.run_events(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.run_events(100), 7u);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  sim.schedule_in(SimTime::ms(3), [&] {
+    sim.schedule_in(SimTime{}, [&] { EXPECT_EQ(sim.now(), SimTime::ms(3)); });
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(sim.now(), SimTime::ms(3));
+}
+
+TEST(Simulator, SchedulingIntoThePastRejected) {
+  Simulator sim;
+  sim.schedule_in(SimTime::ms(5), [&] {
+    EXPECT_THROW(sim.schedule_at(SimTime::ms(1), [] {}), hlock::UsageError);
+    EXPECT_THROW(sim.schedule_in(SimTime::ms(-1), [] {}), hlock::UsageError);
+  });
+  sim.run_to_completion();
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_in(SimTime::ms(1), [] {});
+  sim.run_to_completion();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+}  // namespace
+}  // namespace hlock::sim

@@ -1,0 +1,95 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace hlock::stats {
+namespace {
+
+TEST(Histogram, EmptyInput) {
+  EXPECT_EQ(render_histogram({}), "(no samples)\n");
+}
+
+TEST(Histogram, SingleValuePopulatesOneBucket) {
+  const std::string out = render_histogram({5.0, 5.0, 5.0});
+  EXPECT_NE(out.find("3 (100.0%)"), std::string::npos);
+}
+
+TEST(Histogram, CountsLandInTheRightBuckets) {
+  HistogramOptions options;
+  options.buckets = 2;
+  // Range [0, 10): 3 samples below 5, 1 at/above.
+  const std::string out =
+      render_histogram({0.0, 1.0, 2.0, 10.0}, options);
+  EXPECT_NE(out.find("3 (75.0%)"), std::string::npos);
+  EXPECT_NE(out.find("1 (25.0%)"), std::string::npos);
+}
+
+TEST(Histogram, EveryLineHasBoundsUnitAndBar) {
+  HistogramOptions options;
+  options.buckets = 4;
+  options.unit = "us";
+  const std::string out =
+      render_histogram({1, 2, 3, 4, 5, 6, 7, 8}, options);
+  int lines = 0;
+  for (char c : out) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(out.find("us"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('['), std::string::npos);
+}
+
+TEST(Histogram, PeakBucketGetsFullBar) {
+  HistogramOptions options;
+  options.buckets = 2;
+  options.bar_width = 10;
+  const std::string out = render_histogram({0, 0, 0, 0, 9.9}, options);
+  EXPECT_NE(out.find("##########"), std::string::npos);
+}
+
+TEST(Histogram, LogScaleSpreadsHeavyTails) {
+  // 1000 small samples plus a few huge ones: linear buckets put ~all mass
+  // in bucket 0; log buckets spread the small ones across several.
+  std::vector<double> samples;
+  Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    samples.push_back(0.1 + rng.uniform01());
+  }
+  samples.push_back(1000.0);
+
+  HistogramOptions linear;
+  linear.buckets = 8;
+  HistogramOptions log_scale = linear;
+  log_scale.log_scale = true;
+
+  auto nonempty_buckets = [](const std::string& out) {
+    int count = 0;
+    std::size_t pos = 0;
+    while ((pos = out.find('\n', pos)) != std::string::npos) {
+      ++pos;
+      // A bucket line with zero count renders "... 0 (0.0%)".
+      const std::size_t line_start = out.rfind('\n', pos - 2);
+      const std::string line =
+          out.substr(line_start == std::string::npos ? 0 : line_start,
+                     pos - line_start);
+      if (line.find(" 0 (0.0%)") == std::string::npos) ++count;
+    }
+    return count;
+  };
+  EXPECT_GT(nonempty_buckets(render_histogram(samples, log_scale)),
+            nonempty_buckets(render_histogram(samples, linear)));
+}
+
+TEST(Histogram, Validation) {
+  HistogramOptions zero_buckets;
+  zero_buckets.buckets = 0;
+  EXPECT_THROW(render_histogram({1.0}, zero_buckets), UsageError);
+  HistogramOptions zero_width;
+  zero_width.bar_width = 0;
+  EXPECT_THROW(render_histogram({1.0}, zero_width), UsageError);
+}
+
+}  // namespace
+}  // namespace hlock::stats

@@ -1,0 +1,103 @@
+// End-to-end tests of the CLI tools as a user runs them: spawn the real
+// binaries, capture stdout, assert on the output. Binaries are located
+// relative to this test's own path (build/tests/ -> build/tools/).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+/// Runs a command, returns (exit status, stdout+stderr).
+std::pair<int, std::string> run_command(const std::string& command) {
+  std::array<char, 4096> buffer{};
+  std::string output;
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return {-1, ""};
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    output += buffer.data();
+  }
+  const int status = ::pclose(pipe);
+  return {status, output};
+}
+
+std::string tool(const std::string& name) {
+  // ctest runs with CWD build/tests; the tools live in build/tools.
+  return "../tools/" + name;
+}
+
+TEST(HlockSimCli, TextOutputContainsTheMetrics) {
+  const auto [status, output] =
+      run_command(tool("hlock_sim") + " --nodes 8 --ops 20 --ratio 5");
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("messages/request"), std::string::npos);
+  EXPECT_NE(output.find("hierarchical, 8 nodes"), std::string::npos);
+}
+
+TEST(HlockSimCli, CsvOutputIsParseable) {
+  const auto [status, output] = run_command(
+      tool("hlock_sim") + " --protocol naimi-pure --nodes 6 --ops 15 --csv");
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("protocol,nodes,ops,msgs_per_request"),
+            std::string::npos);
+  EXPECT_NE(output.find("naimi-pure,6,90,"), std::string::npos);
+}
+
+TEST(HlockSimCli, HistogramFlagPrintsBuckets) {
+  const auto [status, output] = run_command(
+      tool("hlock_sim") + " --nodes 6 --ops 20 --histogram 4");
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("request latency distribution"), std::string::npos);
+  EXPECT_NE(output.find('#'), std::string::npos);
+}
+
+TEST(HlockSimCli, BadArgumentsFailWithHelp) {
+  const auto [status, output] =
+      run_command(tool("hlock_sim") + " --bogus 1");
+  EXPECT_NE(status, 0);
+  EXPECT_NE(output.find("unknown option"), std::string::npos);
+  EXPECT_NE(output.find("--protocol"), std::string::npos) << "help shown";
+}
+
+TEST(HlockSimCli, HelpExitsZero) {
+  const auto [status, output] = run_command(tool("hlock_sim") + " --help");
+  EXPECT_EQ(status, 0);
+  EXPECT_NE(output.find("run one hlock experiment"), std::string::npos);
+}
+
+TEST(HlockCheckCli, VerifiesAScenario) {
+  const auto [status, output] = run_command(
+      tool("hlock_check") + " --scenario upgrade --nodes 3");
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("verdict         : OK"), std::string::npos);
+  EXPECT_NE(output.find("states explored"), std::string::npos);
+}
+
+TEST(HlockCheckCli, AllProtocolsWork) {
+  for (const char* protocol : {"hier", "naimi", "raymond"}) {
+    const auto [status, output] =
+        run_command(tool("hlock_check") + " --protocol " + protocol +
+                    " --scenario exclusive --nodes 3");
+    EXPECT_EQ(status, 0) << protocol << ": " << output;
+    EXPECT_NE(output.find("OK"), std::string::npos) << protocol;
+  }
+}
+
+TEST(HlockTraceCli, PrintsATimeline) {
+  const auto [status, output] = run_command(
+      tool("hlock_trace") + " --scenario readers-writer --nodes 4");
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("enter-cs"), std::string::npos);
+  EXPECT_NE(output.find("REQUEST"), std::string::npos);
+  EXPECT_NE(output.find("protocol messages"), std::string::npos);
+}
+
+TEST(HlockTraceCli, NodeFilterNarrowsTheView) {
+  const auto [status, output] = run_command(
+      tool("hlock_trace") + " --scenario upgrade --node-filter 2");
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("upgraded"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Tests of the trace recorder and its integration with the simulated
+// cluster's message observer.
+#include "trace/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/sim_cluster.hpp"
+#include "util/check.hpp"
+
+namespace hlock::trace {
+namespace {
+
+using proto::LockId;
+using proto::LockMode;
+using proto::Message;
+using proto::NodeId;
+
+Message sample_message() {
+  return Message{NodeId{1}, NodeId{2}, LockId{0},
+                 proto::HierRequest{NodeId{1}, LockMode::kR, 5}};
+}
+
+TEST(TraceRecorder, RecordsAllEventKinds) {
+  TraceRecorder recorder;
+  recorder.record_message(SimTime::ms(1), sample_message());
+  recorder.record_enter_cs(SimTime::ms(2), NodeId{2}, "mode R");
+  recorder.record_exit_cs(SimTime::ms(3), NodeId{2});
+  recorder.record_upgrade(SimTime::ms(4), NodeId{0});
+  recorder.note(SimTime::ms(5), NodeId{3}, "checkpoint");
+
+  ASSERT_EQ(recorder.events().size(), 5u);
+  EXPECT_EQ(recorder.total_recorded(), 5u);
+  EXPECT_FALSE(recorder.truncated());
+  const auto histogram = recorder.histogram();
+  for (std::size_t count : histogram) EXPECT_EQ(count, 1u);
+}
+
+TEST(TraceRecorder, RenderContainsTimesNodesAndDetails) {
+  TraceRecorder recorder;
+  recorder.record_message(SimTime::ms(1), sample_message());
+  recorder.record_enter_cs(SimTime::ms_f(2.5), NodeId{2}, "R granted");
+  const std::string out = recorder.render();
+  EXPECT_NE(out.find("1.000 ms"), std::string::npos);
+  EXPECT_NE(out.find("2.500 ms"), std::string::npos);
+  EXPECT_NE(out.find("REQUEST"), std::string::npos);
+  EXPECT_NE(out.find("enter-cs"), std::string::npos);
+  EXPECT_NE(out.find("R granted"), std::string::npos);
+}
+
+TEST(TraceRecorder, NodeFilterRestrictsView) {
+  TraceRecorder recorder;
+  recorder.record_message(SimTime::ms(1), sample_message());  // node1->node2
+  recorder.record_enter_cs(SimTime::ms(2), NodeId{2});
+  recorder.record_enter_cs(SimTime::ms(3), NodeId{7});
+  const std::string view = recorder.render(NodeId{2});
+  EXPECT_NE(view.find("REQUEST"), std::string::npos)
+      << "messages touching node2 stay visible";
+  EXPECT_NE(view.find("enter-cs"), std::string::npos);
+  EXPECT_EQ(view.find("node7"), std::string::npos);
+}
+
+TEST(TraceRecorder, RingBufferEvictsOldest) {
+  TraceRecorder recorder{4};
+  for (int i = 0; i < 10; ++i) {
+    recorder.note(SimTime::ms(i), NodeId{0}, "event " + std::to_string(i));
+  }
+  EXPECT_EQ(recorder.events().size(), 4u);
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+  EXPECT_TRUE(recorder.truncated());
+  EXPECT_EQ(recorder.events().front().detail, "event 6");
+  EXPECT_NE(recorder.render().find("6 earlier events dropped"),
+            std::string::npos);
+}
+
+TEST(TraceRecorder, ClearResets) {
+  TraceRecorder recorder;
+  recorder.note(SimTime::ms(1), NodeId{0}, "x");
+  recorder.clear();
+  EXPECT_TRUE(recorder.events().empty());
+  EXPECT_EQ(recorder.total_recorded(), 0u);
+}
+
+TEST(TraceRecorder, RejectsZeroCapacity) {
+  EXPECT_THROW(TraceRecorder{0}, UsageError);
+}
+
+TEST(TraceRecorder, CapturesClusterTraffic) {
+  runtime::SimClusterOptions options;
+  options.node_count = 3;
+  options.message_latency = DurationDist::constant(SimTime::ms(1));
+  runtime::SimCluster cluster{options};
+
+  TraceRecorder recorder;
+  cluster.set_message_observer(
+      [&recorder](SimTime at, const Message& message) {
+        recorder.record_message(at, message);
+      });
+  cluster.set_grant_handler(
+      [&recorder, &cluster](NodeId node, LockId, bool upgraded) {
+        if (upgraded) {
+          recorder.record_upgrade(cluster.simulator().now(), node);
+        } else {
+          recorder.record_enter_cs(cluster.simulator().now(), node);
+        }
+      });
+
+  cluster.request(NodeId{1}, LockId{0}, LockMode::kU);
+  cluster.simulator().run_to_completion();
+  cluster.upgrade(NodeId{1}, LockId{0});
+  cluster.simulator().run_to_completion();
+
+  const auto histogram = recorder.histogram();
+  EXPECT_GE(histogram[static_cast<std::size_t>(EventKind::kMessage)], 2u)
+      << "request + token at least";
+  EXPECT_EQ(histogram[static_cast<std::size_t>(EventKind::kEnterCs)], 1u);
+  EXPECT_EQ(histogram[static_cast<std::size_t>(EventKind::kUpgraded)], 1u);
+  EXPECT_NE(recorder.render().find("TOKEN"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hlock::trace

@@ -1,0 +1,173 @@
+// Tests of the TCP loopback transport: framing, routing, FIFO, volume,
+// shutdown semantics, and the full protocol stack running over real
+// sockets.
+#include "transport/tcp_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_cluster.hpp"
+#include "util/check.hpp"
+
+namespace hlock::transport {
+namespace {
+
+using proto::LockId;
+using proto::LockMode;
+using proto::Message;
+using proto::NodeId;
+
+Message make_message(std::uint32_t from, std::uint32_t to,
+                     std::uint64_t seq = 0) {
+  return Message{NodeId{from}, NodeId{to}, LockId{0},
+                 proto::NaimiRequest{NodeId{from}, seq}};
+}
+
+TEST(TcpTransport, BindsDistinctLoopbackPorts) {
+  TcpTransport transport{3};
+  EXPECT_NE(transport.port_of(NodeId{0}), 0);
+  EXPECT_NE(transport.port_of(NodeId{0}), transport.port_of(NodeId{1}));
+  EXPECT_NE(transport.port_of(NodeId{1}), transport.port_of(NodeId{2}));
+}
+
+TEST(TcpTransport, DeliversAcrossRealSockets) {
+  TcpTransport transport{2};
+  transport.send(make_message(0, 1, 42));
+  const auto received =
+      transport.recv_for(NodeId{1}, std::chrono::milliseconds(2000));
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(*received, make_message(0, 1, 42));
+  EXPECT_EQ(transport.messages_sent(), 1u);
+}
+
+TEST(TcpTransport, RoundTripsEveryPayloadKind) {
+  TcpTransport transport{2};
+  const std::vector<Message> messages{
+      {NodeId{0}, NodeId{1}, LockId{3},
+       proto::HierRequest{NodeId{0}, LockMode::kU, 7}},
+      {NodeId{0}, NodeId{1}, LockId{3},
+       proto::HierGrant{LockMode::kR, LockMode::kR, 12}},
+      {NodeId{0}, NodeId{1}, LockId{3},
+       proto::HierToken{LockMode::kW, LockMode::kIR,
+                        {proto::QueuedRequest{NodeId{0}, LockMode::kR, 1}}}},
+      {NodeId{0}, NodeId{1}, LockId{3}, proto::HierRelease{LockMode::kNL, 4}},
+      {NodeId{0}, NodeId{1}, LockId{3},
+       proto::HierFreeze{proto::ModeSet::of({LockMode::kIR})}},
+      {NodeId{0}, NodeId{1}, LockId{3}, proto::NaimiToken{}},
+  };
+  for (const Message& message : messages) transport.send(message);
+  for (const Message& message : messages) {
+    const auto received =
+        transport.recv_for(NodeId{1}, std::chrono::milliseconds(2000));
+    ASSERT_TRUE(received.has_value());
+    EXPECT_EQ(*received, message);
+  }
+}
+
+TEST(TcpTransport, ChannelIsFifoUnderVolume) {
+  TcpTransport transport{2};
+  constexpr std::uint64_t kCount = 2000;
+  std::thread sender([&transport] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      transport.send(make_message(0, 1, i));
+    }
+  });
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    const auto received =
+        transport.recv_for(NodeId{1}, std::chrono::milliseconds(5000));
+    ASSERT_TRUE(received.has_value());
+    const auto* request = std::get_if<proto::NaimiRequest>(&received->payload);
+    ASSERT_NE(request, nullptr);
+    ASSERT_EQ(request->seq, i) << "TCP channel reordered frames";
+  }
+  sender.join();
+}
+
+TEST(TcpTransport, ConcurrentSendersToOneReceiver) {
+  TcpTransport transport{4};
+  constexpr int kPerSender = 300;
+  std::vector<std::thread> senders;
+  for (std::uint32_t s = 1; s < 4; ++s) {
+    senders.emplace_back([&transport, s] {
+      for (int i = 0; i < kPerSender; ++i) {
+        transport.send(make_message(s, 0, static_cast<std::uint64_t>(i)));
+      }
+    });
+  }
+  int received = 0;
+  while (received < 3 * kPerSender) {
+    const auto message =
+        transport.recv_for(NodeId{0}, std::chrono::milliseconds(5000));
+    ASSERT_TRUE(message.has_value()) << "after " << received << " messages";
+    ++received;
+  }
+  for (std::thread& t : senders) t.join();
+}
+
+TEST(TcpTransport, ShutdownUnblocksReceivers) {
+  TcpTransport transport{2};
+  std::thread receiver([&transport] {
+    EXPECT_FALSE(transport.recv(NodeId{1}).has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  transport.shutdown();
+  receiver.join();
+}
+
+TEST(TcpTransport, RejectsUnknownDestination) {
+  TcpTransport transport{2};
+  EXPECT_THROW(transport.send(make_message(0, 7)), UsageError);
+}
+
+TEST(TcpCluster, HierarchicalProtocolOverRealSockets) {
+  runtime::ThreadClusterOptions options;
+  options.node_count = 4;
+  options.transport = runtime::TransportKind::kTcp;
+  runtime::ThreadCluster cluster{options};
+
+  long counter = 0;
+  std::vector<std::thread> workers;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    workers.emplace_back([&cluster, &counter, i] {
+      for (int k = 0; k < 20; ++k) {
+        cluster.lock(NodeId{i}, LockId{0}, LockMode::kW);
+        const long snapshot = counter;
+        std::this_thread::yield();
+        counter = snapshot + 1;
+        cluster.unlock(NodeId{i}, LockId{0});
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(counter, 80);
+  EXPECT_GT(cluster.messages_sent(), 0u);
+}
+
+TEST(TcpCluster, SharedModesAndUpgradeOverRealSockets) {
+  runtime::ThreadClusterOptions options;
+  options.node_count = 3;
+  options.transport = runtime::TransportKind::kTcp;
+  runtime::ThreadCluster cluster{options};
+
+  // Concurrent readers over sockets.
+  std::thread r1([&] {
+    cluster.lock(NodeId{1}, LockId{0}, LockMode::kIR);
+    cluster.unlock(NodeId{1}, LockId{0});
+  });
+  std::thread r2([&] {
+    cluster.lock(NodeId{2}, LockId{0}, LockMode::kIR);
+    cluster.unlock(NodeId{2}, LockId{0});
+  });
+  r1.join();
+  r2.join();
+
+  // Rule 7 upgrade across the wire.
+  cluster.lock(NodeId{1}, LockId{0}, LockMode::kU);
+  cluster.upgrade(NodeId{1}, LockId{0});
+  cluster.unlock(NodeId{1}, LockId{0});
+}
+
+}  // namespace
+}  // namespace hlock::transport

@@ -1,0 +1,154 @@
+// Tests of the in-process transport and its mailbox primitive.
+#include "transport/inproc_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "transport/mailbox.hpp"
+#include "util/check.hpp"
+
+namespace hlock::transport {
+namespace {
+
+using proto::LockId;
+using proto::LockMode;
+using proto::Message;
+using proto::NaimiToken;
+using proto::NodeId;
+
+Message make_message(std::uint32_t from, std::uint32_t to) {
+  return Message{NodeId{from}, NodeId{to}, LockId{0},
+                 proto::HierRequest{NodeId{from}, LockMode::kR, 0}};
+}
+
+TEST(Mailbox, DeliversInDeliveryTimeOrder) {
+  Mailbox box;
+  const auto now = Mailbox::Clock::now();
+  box.push(make_message(2, 0), now + std::chrono::microseconds(200));
+  box.push(make_message(1, 0), now + std::chrono::microseconds(100));
+  const auto first = box.pop();
+  const auto second = box.pop();
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(first->from, NodeId{1});
+  EXPECT_EQ(second->from, NodeId{2});
+}
+
+TEST(Mailbox, PopBlocksUntilMessageMatures) {
+  Mailbox box;
+  const auto start = Mailbox::Clock::now();
+  box.push(make_message(1, 0), start + std::chrono::milliseconds(20));
+  const auto message = box.pop();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_GE(Mailbox::Clock::now() - start, std::chrono::milliseconds(19));
+}
+
+TEST(Mailbox, PopUntilTimesOut) {
+  Mailbox box;
+  const auto result =
+      box.pop_until(Mailbox::Clock::now() + std::chrono::milliseconds(10));
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Mailbox, CloseWakesBlockedConsumer) {
+  Mailbox box;
+  std::thread consumer([&box] {
+    const auto result = box.pop();
+    EXPECT_FALSE(result.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  box.close();
+  consumer.join();
+}
+
+TEST(Mailbox, CloseDropsNewPushesButDrainsExisting) {
+  Mailbox box;
+  box.push(make_message(1, 0), Mailbox::Clock::now());
+  box.close();
+  box.push(make_message(2, 0), Mailbox::Clock::now());
+  EXPECT_TRUE(box.pop().has_value());
+  EXPECT_FALSE(box.pop().has_value());
+  EXPECT_EQ(box.pushed(), 1u);
+}
+
+TEST(Mailbox, CrossThreadProducerConsumer) {
+  Mailbox box;
+  constexpr int kMessages = 500;
+  std::thread producer([&box] {
+    for (int i = 0; i < kMessages; ++i) {
+      box.push(make_message(1, 0), Mailbox::Clock::now());
+    }
+    box.close();
+  });
+  int received = 0;
+  while (box.pop().has_value()) ++received;
+  producer.join();
+  EXPECT_EQ(received, kMessages);
+}
+
+TEST(InProcTransport, RoutesToDestination) {
+  InProcTransport transport{InProcOptions{3}};
+  transport.send(make_message(0, 2));
+  const auto received =
+      transport.recv_for(NodeId{2}, std::chrono::milliseconds(100));
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->from, NodeId{0});
+  EXPECT_EQ(transport.messages_sent(), 1u);
+  // Nothing for node 1.
+  EXPECT_FALSE(
+      transport.recv_for(NodeId{1}, std::chrono::milliseconds(1)).has_value());
+}
+
+TEST(InProcTransport, CodecRoundTripPreservesAllPayloads) {
+  InProcTransport transport{InProcOptions{2}};
+  const Message token{NodeId{0}, NodeId{1}, LockId{7},
+                      proto::HierToken{LockMode::kW, LockMode::kIR,
+                                       {proto::QueuedRequest{
+                                           NodeId{0}, LockMode::kR, 3}}}};
+  transport.send(token);
+  const auto received =
+      transport.recv_for(NodeId{1}, std::chrono::milliseconds(100));
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(*received, token);
+}
+
+TEST(InProcTransport, ChannelFifoUnderRandomLatency) {
+  InProcOptions options;
+  options.node_count = 2;
+  options.latency = DurationDist::uniform(SimTime::us(300), 0.9);
+  InProcTransport transport{options};
+  constexpr std::uint64_t kCount = 64;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    transport.send(Message{NodeId{0}, NodeId{1}, LockId{0},
+                           proto::NaimiRequest{NodeId{0}, i}});
+  }
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    const auto received =
+        transport.recv_for(NodeId{1}, std::chrono::milliseconds(500));
+    ASSERT_TRUE(received.has_value());
+    const auto* request =
+        std::get_if<proto::NaimiRequest>(&received->payload);
+    ASSERT_NE(request, nullptr);
+    EXPECT_EQ(request->seq, i) << "FIFO violated on the channel";
+  }
+}
+
+TEST(InProcTransport, UnknownDestinationRejected) {
+  InProcTransport transport{InProcOptions{2}};
+  EXPECT_THROW(transport.send(make_message(0, 9)), UsageError);
+}
+
+TEST(InProcTransport, ShutdownUnblocksReceivers) {
+  InProcTransport transport{InProcOptions{2}};
+  std::thread receiver([&transport] {
+    EXPECT_FALSE(transport.recv(NodeId{1}).has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  transport.shutdown();
+  receiver.join();
+}
+
+}  // namespace
+}  // namespace hlock::transport

@@ -1,0 +1,57 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hlock {
+namespace {
+
+TEST(Check, InvariantPassesSilently) {
+  EXPECT_NO_THROW(HLOCK_INVARIANT(1 + 1 == 2, "math works"));
+}
+
+TEST(Check, InvariantThrowsWithContext) {
+  try {
+    HLOCK_INVARIANT(false, "token lost");
+    FAIL() << "expected InvariantError";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("token lost"), std::string::npos);
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, RequirePassesSilently) {
+  EXPECT_NO_THROW(HLOCK_REQUIRE(true, "ok"));
+}
+
+TEST(Check, RequireThrowsUsageError) {
+  try {
+    HLOCK_REQUIRE(2 < 1, "bad argument");
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad argument"), std::string::npos);
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+  }
+}
+
+TEST(Check, ErrorsAreDistinctTypes) {
+  EXPECT_THROW(HLOCK_INVARIANT(false, ""), std::logic_error);
+  EXPECT_THROW(HLOCK_REQUIRE(false, ""), std::invalid_argument);
+}
+
+TEST(Check, SideEffectsEvaluatedOnce) {
+  int calls = 0;
+  auto bump = [&] {
+    ++calls;
+    return true;
+  };
+  HLOCK_INVARIANT(bump(), "");
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace hlock

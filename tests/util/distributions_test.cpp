@@ -1,0 +1,112 @@
+#include "util/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hlock {
+namespace {
+
+double mean_of_samples(const DurationDist& dist, Rng& rng, int n) {
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(dist.sample(rng).count_ns());
+  }
+  return sum / n;
+}
+
+TEST(DurationDist, DefaultIsZero) {
+  DurationDist dist;
+  Rng rng{1};
+  EXPECT_EQ(dist.sample(rng), SimTime::ns(0));
+  EXPECT_EQ(dist.mean(), SimTime::ns(0));
+}
+
+TEST(DurationDist, ConstantAlwaysMean) {
+  DurationDist dist = DurationDist::constant(SimTime::ms(15));
+  Rng rng{1};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(dist.sample(rng), SimTime::ms(15));
+  }
+}
+
+TEST(DurationDist, UniformStaysWithinSpread) {
+  DurationDist dist = DurationDist::uniform(SimTime::ms(100), 0.5);
+  Rng rng{2};
+  for (int i = 0; i < 10000; ++i) {
+    const SimTime v = dist.sample(rng);
+    ASSERT_GE(v, SimTime::ms(50));
+    ASSERT_LE(v, SimTime::ms(150));
+  }
+}
+
+TEST(DurationDist, UniformMeanConverges) {
+  DurationDist dist = DurationDist::uniform(SimTime::ms(100), 0.5);
+  Rng rng{3};
+  EXPECT_NEAR(mean_of_samples(dist, rng, 50000), 100e6, 1e6);
+}
+
+TEST(DurationDist, UniformZeroSpreadIsConstant) {
+  DurationDist dist = DurationDist::uniform(SimTime::ms(10), 0.0);
+  Rng rng{4};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.sample(rng), SimTime::ms(10));
+}
+
+TEST(DurationDist, ExponentialMeanConverges) {
+  DurationDist dist = DurationDist::exponential(SimTime::ms(20));
+  Rng rng{5};
+  EXPECT_NEAR(mean_of_samples(dist, rng, 200000), 20e6, 0.5e6);
+}
+
+TEST(DurationDist, ExponentialNeverNegative) {
+  DurationDist dist = DurationDist::exponential(SimTime::us(1));
+  Rng rng{6};
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(dist.sample(rng).count_ns(), 0);
+  }
+}
+
+TEST(DurationDist, LogNormalMeanConverges) {
+  DurationDist dist = DurationDist::lognormal(SimTime::ms(30), 0.5);
+  Rng rng{7};
+  // Log-normal sample means converge slowly; 3% tolerance at 200k draws.
+  EXPECT_NEAR(mean_of_samples(dist, rng, 200000), 30e6, 1e6);
+}
+
+TEST(DurationDist, RejectsNegativeMean) {
+  EXPECT_THROW(DurationDist(DistKind::kUniform, SimTime::ms(-1), 0.5),
+               UsageError);
+}
+
+TEST(DurationDist, RejectsNegativeSpread) {
+  EXPECT_THROW(DurationDist(DistKind::kUniform, SimTime::ms(1), -0.1),
+               UsageError);
+}
+
+TEST(DurationDist, DescribeNamesKindAndMean) {
+  EXPECT_EQ(DurationDist::uniform(SimTime::ms(15), 0.5).describe(),
+            "uniform(mean=15.000 ms, spread=0.5)");
+  EXPECT_EQ(DurationDist::constant(SimTime::us(2)).describe(),
+            "constant(mean=2.000 us)");
+}
+
+TEST(DistKind, Names) {
+  EXPECT_EQ(to_string(DistKind::kConstant), "constant");
+  EXPECT_EQ(to_string(DistKind::kUniform), "uniform");
+  EXPECT_EQ(to_string(DistKind::kExponential), "exponential");
+  EXPECT_EQ(to_string(DistKind::kLogNormal), "lognormal");
+}
+
+TEST(DurationDist, SameSeedSameSamples) {
+  DurationDist dist = DurationDist::exponential(SimTime::ms(5));
+  Rng a{11};
+  Rng b{11};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(dist.sample(a), dist.sample(b));
+  }
+}
+
+}  // namespace
+}  // namespace hlock

@@ -1,0 +1,54 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hlock {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_threshold(); }
+  void TearDown() override { set_log_threshold(saved_); }
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, DefaultThresholdSuppressesDebug) {
+  set_log_threshold(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kTrace));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, ThresholdAdjustable) {
+  set_log_threshold(LogLevel::kTrace);
+  EXPECT_TRUE(log_enabled(LogLevel::kTrace));
+  set_log_threshold(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, DisabledPathDoesNotEvaluateMessage) {
+  set_log_threshold(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "x";
+  };
+  HLOCK_LOG(kDebug, "value: " << expensive());
+  EXPECT_EQ(evaluations, 0) << "message built despite disabled level";
+}
+
+TEST_F(LogTest, EnabledPathEvaluatesOnce) {
+  set_log_threshold(LogLevel::kTrace);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "x";
+  };
+  HLOCK_LOG(kError, "value: " << expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace hlock

@@ -1,0 +1,164 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace hlock {
+namespace {
+
+TEST(Splitmix64, MatchesReferenceVectors) {
+  // Reference outputs for seed 1234567 from the public-domain splitmix64
+  // reference implementation by Sebastiano Vigna.
+  std::uint64_t x = 1234567;
+  EXPECT_EQ(splitmix64_next(x), 6457827717110365317ull);
+  EXPECT_EQ(splitmix64_next(x), 3203168211198807973ull);
+  EXPECT_EQ(splitmix64_next(x), 9817491932198370423ull);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b()) << "diverged at draw " << i;
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng{7};
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng{7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroRejected) {
+  Rng rng{7};
+  EXPECT_THROW(rng.below(0), UsageError);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng rng{99};
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::array<int, kBuckets> histogram{};
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.below(kBuckets)];
+  for (int count : histogram) {
+    // Each bucket expects 10000 draws; 4-sigma tolerance ~ +-380.
+    EXPECT_NEAR(count, kDraws / kBuckets, 500);
+  }
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng{11};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RangeSingleton) {
+  Rng rng{11};
+  EXPECT_EQ(rng.range(5, 5), 5);
+}
+
+TEST(Rng, RangeRejectsInvertedBounds) {
+  Rng rng{11};
+  EXPECT_THROW(rng.range(2, 1), UsageError);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng{13};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng{17};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng{19};
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreDeterministic) {
+  Rng parent{123};
+  Rng a1 = parent.split(5);
+  Rng a2 = Rng{123}.split(5);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a1(), a2());
+}
+
+TEST(Rng, SplitStreamsIndependentOfParentDraws) {
+  Rng parent{123};
+  Rng before = parent.split(7);
+  for (int i = 0; i < 50; ++i) (void)parent();
+  Rng after = parent.split(7);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(before(), after());
+}
+
+TEST(Rng, DistinctStreamIdsProduceDistinctStreams) {
+  Rng parent{123};
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ManyStreamsNoFirstDrawCollision) {
+  Rng parent{321};
+  std::set<std::uint64_t> first_draws;
+  for (std::uint64_t s = 0; s < 1000; ++s) {
+    Rng stream = parent.split(s);
+    first_draws.insert(stream());
+  }
+  EXPECT_EQ(first_draws.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace hlock

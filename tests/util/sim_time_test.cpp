@@ -1,0 +1,61 @@
+#include "util/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hlock {
+namespace {
+
+TEST(SimTime, UnitConversions) {
+  EXPECT_EQ(SimTime::us(1).count_ns(), 1'000);
+  EXPECT_EQ(SimTime::ms(1).count_ns(), 1'000'000);
+  EXPECT_EQ(SimTime::sec(1).count_ns(), 1'000'000'000);
+  EXPECT_EQ(SimTime::ms(15), SimTime::us(15'000));
+}
+
+TEST(SimTime, FractionalMilliseconds) {
+  EXPECT_EQ(SimTime::ms_f(1.5).count_ns(), 1'500'000);
+  EXPECT_EQ(SimTime::ms_f(0.0001).count_ns(), 100);
+  EXPECT_EQ(SimTime::ms_f(-2.0).count_ns(), -2'000'000);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::ms(10);
+  const SimTime b = SimTime::ms(4);
+  EXPECT_EQ(a + b, SimTime::ms(14));
+  EXPECT_EQ(a - b, SimTime::ms(6));
+  EXPECT_EQ(b * 3, SimTime::ms(12));
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c, SimTime::ms(14));
+  c -= SimTime::ms(14);
+  EXPECT_EQ(c, SimTime{});
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::us(999), SimTime::ms(1));
+  EXPECT_GT(SimTime::sec(1), SimTime::ms(999));
+  EXPECT_LE(SimTime::ms(1), SimTime::ms(1));
+  EXPECT_LT(SimTime::ms(1), SimTime::max());
+}
+
+TEST(SimTime, ReportingConversions) {
+  EXPECT_DOUBLE_EQ(SimTime::ms(15).to_ms(), 15.0);
+  EXPECT_DOUBLE_EQ(SimTime::us(1500).to_ms(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::sec(2).to_sec(), 2.0);
+}
+
+TEST(SimTime, ToStringPicksAdaptiveUnit) {
+  EXPECT_EQ(to_string(SimTime::ns(5)), "5 ns");
+  EXPECT_EQ(to_string(SimTime::us(2)), "2.000 us");
+  EXPECT_EQ(to_string(SimTime::ms(15)), "15.000 ms");
+  EXPECT_EQ(to_string(SimTime::sec(3)), "3.000 s");
+  EXPECT_EQ(to_string(SimTime::ms_f(1.5)), "1.500 ms");
+}
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.count_ns(), 0);
+  EXPECT_EQ(SimTime{}, SimTime::ns(0));
+}
+
+}  // namespace
+}  // namespace hlock

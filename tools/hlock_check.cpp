@@ -1,0 +1,115 @@
+// hlock_check — run the exhaustive model checker from the command line.
+//
+// Explores every interleaving of a small scripted scenario and reports the
+// state count, or the violation with its action trace. Scenarios:
+//
+//   hlock_check --protocol hier --scenario mixed --nodes 3
+//   hlock_check --protocol raymond --scenario exclusive --nodes 5
+//   hlock_check --protocol hier --scenario upgrade
+#include <cstdio>
+
+#include "modelcheck/explorer.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+using namespace hlock;
+using modelcheck::ExploreOptions;
+using modelcheck::ExploreResult;
+using modelcheck::Script;
+using modelcheck::ScriptOp;
+using proto::LockMode;
+
+namespace {
+
+std::vector<Script> build_scripts(const std::string& scenario,
+                                  std::size_t nodes) {
+  const Script exclusive{ScriptOp::acquire(LockMode::kW),
+                         ScriptOp::release()};
+  if (scenario == "exclusive") {
+    return std::vector<Script>(nodes, exclusive);
+  }
+  if (scenario == "mixed") {
+    std::vector<Script> scripts;
+    const LockMode modes[] = {LockMode::kIR, LockMode::kR, LockMode::kW,
+                              LockMode::kIW, LockMode::kU};
+    for (std::size_t i = 0; i < nodes; ++i) {
+      scripts.push_back({ScriptOp::acquire(modes[i % 5]),
+                         ScriptOp::release()});
+    }
+    return scripts;
+  }
+  if (scenario == "upgrade") {
+    std::vector<Script> scripts(nodes, {ScriptOp::acquire(LockMode::kIR),
+                                        ScriptOp::release()});
+    scripts[0] = {ScriptOp::acquire(LockMode::kU), ScriptOp::upgrade(),
+                  ScriptOp::release()};
+    return scripts;
+  }
+  if (scenario == "repeat") {
+    return std::vector<Script>(
+        nodes, {ScriptOp::acquire(LockMode::kR), ScriptOp::release(),
+                ScriptOp::acquire(LockMode::kW), ScriptOp::release()});
+  }
+  throw UsageError("unknown scenario: " + scenario +
+                   " (exclusive | mixed | upgrade | repeat)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli{"hlock_check",
+                "exhaustively model-check a scripted lock scenario"};
+  cli.add_option("protocol", "hier", "hier | naimi | raymond");
+  cli.add_option("scenario", "mixed",
+                 "exclusive | mixed | upgrade | repeat");
+  cli.add_option("nodes", "3", "number of nodes (1-8; state spaces grow "
+                               "factorially)");
+  cli.add_option("max-states", "5000000", "exploration budget");
+
+  try {
+    if (!cli.parse(argc, argv)) {
+      std::fputs(cli.help_text().c_str(), stdout);
+      return 0;
+    }
+    const auto nodes = static_cast<std::size_t>(cli.get_int("nodes", 1, 8));
+    const auto budget = static_cast<std::uint64_t>(
+        cli.get_int("max-states", 1, 1'000'000'000));
+    const std::string protocol = cli.get_string("protocol");
+    const auto scripts = build_scripts(cli.get_string("scenario"), nodes);
+
+    ExploreResult result;
+    if (protocol == "hier") {
+      ExploreOptions options;
+      options.max_states = budget;
+      result = modelcheck::explore(scripts, options);
+    } else if (protocol == "naimi") {
+      result = modelcheck::explore_naimi(scripts, budget);
+    } else if (protocol == "raymond") {
+      result = modelcheck::explore_raymond(scripts, budget);
+    } else {
+      throw UsageError("unknown protocol: " + protocol);
+    }
+
+    std::printf("states explored : %llu\n",
+                static_cast<unsigned long long>(result.states_explored));
+    std::printf("transitions     : %llu\n",
+                static_cast<unsigned long long>(result.transitions));
+    std::printf("terminal states : %llu\n",
+                static_cast<unsigned long long>(result.terminal_states));
+    if (result.ok) {
+      std::printf("verdict         : OK — every interleaving is safe, "
+                  "live and convergent\n");
+      return 0;
+    }
+    std::printf("verdict         : VIOLATION — %s\ntrace:\n",
+                result.violation.c_str());
+    for (const std::string& line : result.trace) {
+      std::printf("  %s\n", line.c_str());
+    }
+    return 1;
+  } catch (const UsageError& error) {
+    std::fprintf(stderr, "error: %s\n\n%s", error.what(),
+                 cli.help_text().c_str());
+    return 2;
+  }
+}

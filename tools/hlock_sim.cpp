@@ -1,0 +1,130 @@
+// hlock_sim — parameterized experiment runner.
+//
+// Runs one airline-workload experiment on the simulated cluster with every
+// knob on the command line, printing a one-line summary or CSV. This is the
+// tool for exploring the parameter space beyond the fixed figure sweeps:
+//
+//   hlock_sim --protocol hier --nodes 64 --ratio 10 --net-latency-us 150
+//   hlock_sim --protocol naimi-same-work --nodes 24 --entries 8 --csv
+//   hlock_sim --protocol hier --nodes 32 --no-freezing --seeds 5
+#include <cstdio>
+
+#include "bench/common/experiment.hpp"
+#include "stats/histogram.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+using namespace hlock;
+using bench::AppVariant;
+using bench::ExperimentConfig;
+using bench::ExperimentResult;
+
+namespace {
+
+AppVariant parse_variant(const std::string& name) {
+  if (name == "hier" || name == "hierarchical") {
+    return AppVariant::kHierarchical;
+  }
+  if (name == "naimi-pure") return AppVariant::kNaimiPure;
+  if (name == "naimi-same-work") return AppVariant::kNaimiSameWork;
+  throw UsageError("--protocol must be hier, naimi-pure or naimi-same-work");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli{"hlock_sim",
+                "run one hlock experiment on the simulated cluster"};
+  cli.add_option("protocol", "hier",
+                 "hier | naimi-pure | naimi-same-work");
+  cli.add_option("nodes", "16", "number of cluster nodes (1-4096)");
+  cli.add_option("ops", "60", "operations per node");
+  cli.add_option("entries", "6", "ticket-table entries");
+  cli.add_option("cs-ms", "15", "mean critical-section length, ms");
+  cli.add_option("ratio", "10",
+                 "non-critical : critical ratio (idle = ratio x cs)");
+  cli.add_option("net-latency-us", "150",
+                 "mean one-way network latency, microseconds");
+  cli.add_option("seed", "1", "base random seed");
+  cli.add_option("seeds", "1", "number of seeds to average over");
+  cli.add_flag("no-local-queueing", "disable Rule 4.1 local queueing");
+  cli.add_flag("no-child-grants", "disable Rule 3.1 copyset grants");
+  cli.add_flag("no-compression", "disable dynamic path compression");
+  cli.add_flag("no-freezing", "disable Rule 6 mode freezing");
+  cli.add_flag("csv", "print a CSV row (with header) instead of text");
+  cli.add_option("histogram", "0",
+                 "print a latency histogram with this many buckets");
+
+  try {
+    if (!cli.parse(argc, argv)) {
+      std::fputs(cli.help_text().c_str(), stdout);
+      return 0;
+    }
+
+    ExperimentConfig config;
+    config.variant = parse_variant(cli.get_string("protocol"));
+    config.nodes = static_cast<std::size_t>(cli.get_int("nodes", 1, 4096));
+    config.ops_per_node = static_cast<int>(cli.get_int("ops", 0, 1000000));
+    config.table_entries =
+        static_cast<std::size_t>(cli.get_int("entries", 1, 1024));
+    const std::int64_t cs_ms = cli.get_int("cs-ms", 0, 1000000);
+    const double ratio = cli.get_double("ratio", 0.0, 1e6);
+    config.cs_length = DurationDist::uniform(SimTime::ms(cs_ms), 0.5);
+    config.idle_time = DurationDist::uniform(
+        SimTime::ms_f(static_cast<double>(cs_ms) * ratio), 0.5);
+    config.net_latency = DurationDist::uniform(
+        SimTime::us(cli.get_int("net-latency-us", 0, 100000000)), 0.5);
+    config.seed = static_cast<std::uint64_t>(
+        cli.get_int("seed", 0, std::numeric_limits<std::int64_t>::max()));
+    config.hier_config.local_queueing = !cli.get_flag("no-local-queueing");
+    config.hier_config.child_grants = !cli.get_flag("no-child-grants");
+    config.hier_config.path_compression = !cli.get_flag("no-compression");
+    config.hier_config.freezing = !cli.get_flag("no-freezing");
+
+    const int seeds = static_cast<int>(cli.get_int("seeds", 1, 1000));
+    const ExperimentResult result = bench::run_averaged(config, seeds);
+
+    if (cli.get_flag("csv")) {
+      std::printf("protocol,nodes,ops,msgs_per_request,msgs_per_op,"
+                  "mean_request_latency_ms,mean_op_latency_ms,"
+                  "p90_op_latency_ms,max_op_latency_ms\n");
+      std::printf("%s,%zu,%llu,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+                  bench::series_name(config.variant).c_str(), config.nodes,
+                  static_cast<unsigned long long>(result.ops),
+                  result.msgs_per_acq, result.msgs_per_op,
+                  result.mean_request_latency_ms, result.mean_latency_ms,
+                  result.p90_latency_ms, result.max_latency_ms);
+    } else {
+      std::printf("%s, %zu nodes, %llu ops (%llu lock requests, %llu "
+                  "messages)\n",
+                  bench::series_name(config.variant).c_str(), config.nodes,
+                  static_cast<unsigned long long>(result.ops),
+                  static_cast<unsigned long long>(result.acquisitions),
+                  static_cast<unsigned long long>(result.messages));
+      std::printf("  messages/request : %.2f   (messages/op: %.2f)\n",
+                  result.msgs_per_acq, result.msgs_per_op);
+      std::printf("  request latency  : mean %.3f ms\n",
+                  result.mean_request_latency_ms);
+      std::printf("  op latency       : mean %.3f ms, p90 %.3f ms, max "
+                  "%.3f ms\n",
+                  result.mean_latency_ms, result.p90_latency_ms,
+                  result.max_latency_ms);
+    }
+    const auto buckets =
+        static_cast<std::size_t>(cli.get_int("histogram", 0, 64));
+    if (buckets > 0) {
+      stats::HistogramOptions histogram;
+      histogram.buckets = buckets;
+      histogram.log_scale = true;
+      std::printf("\nrequest latency distribution:\n%s",
+                  stats::render_histogram(result.request_latency_samples_ms,
+                                          histogram)
+                      .c_str());
+    }
+    return 0;
+  } catch (const UsageError& error) {
+    std::fprintf(stderr, "error: %s\n\n%s", error.what(),
+                 cli.help_text().c_str());
+    return 2;
+  }
+}
