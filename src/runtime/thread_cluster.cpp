@@ -1,6 +1,7 @@
 #include "runtime/thread_cluster.hpp"
 
 #include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace hlock::runtime {
 
@@ -12,6 +13,14 @@ ThreadCluster::ThreadCluster(const ThreadClusterOptions& options) {
     transport_ = std::make_unique<transport::InProcTransport>(
         transport::InProcOptions{options.node_count, options.message_latency,
                                  options.seed, options.codec_roundtrip});
+  }
+  if (options.faults.any()) {
+    transport::FaultPlan plan = options.faults;
+    if (plan.seed == 0) plan.seed = options.seed;
+    auto faulty = std::make_unique<transport::FaultyTransport>(
+        std::move(transport_), plan);
+    faulty_ = faulty.get();
+    transport_ = std::move(faulty);
   }
   HLOCK_REQUIRE(options.node_count >= 1, "a cluster needs at least one node");
   HLOCK_REQUIRE(options.initial_root.value() < options.node_count,
@@ -35,11 +44,25 @@ ThreadCluster::ThreadCluster(const ThreadClusterOptions& options) {
 }
 
 ThreadCluster::~ThreadCluster() {
-  stopping_ = true;
+  stopping_.store(true);
+  // Notify while holding each node's mutex: a client thread that already
+  // checked its predicate but has not entered the wait yet would otherwise
+  // miss the wake-up and block forever (and the unsynchronized flag write
+  // would race with the predicate read).
+  for (auto& rt : nodes_) {
+    std::lock_guard<std::mutex> guard(rt->mutex);
+    rt->cv.notify_all();
+  }
   transport_->shutdown();
   for (auto& rt : nodes_) {
     if (rt->receiver.joinable()) rt->receiver.join();
-    rt->cv.notify_all();
+  }
+  // Wait until every woken client call has left its wait; destroying the
+  // node state under a thread still inside lock()/upgrade() would be a
+  // use-after-free.
+  for (auto& rt : nodes_) {
+    std::unique_lock<std::mutex> guard(rt->mutex);
+    rt->cv.wait(guard, [&] { return rt->waiters == 0; });
   }
 }
 
@@ -51,9 +74,19 @@ ThreadCluster::NodeRuntime& ThreadCluster::runtime_of(NodeId node) {
 void ThreadCluster::receiver_loop(NodeId node) {
   NodeRuntime& rt = runtime_of(node);
   while (auto message = transport_->recv(node)) {
-    std::unique_lock<std::mutex> guard(rt.mutex);
-    Effects effects = rt.engine->deliver(*message);
-    apply(rt, message->lock, std::move(effects));
+    // An exception escaping a std::thread calls std::terminate, so a
+    // receiver converts failures into a counted, logged error effect and
+    // keeps draining its mailbox.
+    try {
+      std::unique_lock<std::mutex> guard(rt.mutex);
+      Effects effects = rt.engine->deliver(*message);
+      apply(rt, message->lock, std::move(effects));
+    } catch (const std::exception& error) {
+      receiver_errors_.fetch_add(1, std::memory_order_relaxed);
+      HLOCK_LOG(kError, "node " << node.value()
+                                << ": error applying message: "
+                                << error.what());
+    }
   }
 }
 
@@ -80,10 +113,13 @@ void ThreadCluster::lock(NodeId node, LockId lock, LockMode mode,
   std::unique_lock<std::mutex> guard(rt.mutex);
   Effects effects = rt.engine->request(lock, mode, priority);
   apply(rt, lock, std::move(effects));
+  ++rt.waiters;
   rt.cv.wait(guard, [&] {
     return stopping_ || rt.granted.count(lock) > 0;
   });
   rt.granted.erase(lock);
+  --rt.waiters;
+  rt.cv.notify_all();  // a tearing-down destructor may be draining waiters
 }
 
 void ThreadCluster::unlock(NodeId node, LockId lock) {
@@ -98,10 +134,13 @@ void ThreadCluster::upgrade(NodeId node, LockId lock) {
   std::unique_lock<std::mutex> guard(rt.mutex);
   Effects effects = rt.engine->upgrade(lock);
   apply(rt, lock, std::move(effects));
+  ++rt.waiters;
   rt.cv.wait(guard, [&] {
     return stopping_ || rt.upgraded.count(lock) > 0;
   });
   rt.upgraded.erase(lock);
+  --rt.waiters;
+  rt.cv.notify_all();  // a tearing-down destructor may be draining waiters
 }
 
 bool ThreadCluster::holds(NodeId node, LockId lock) {

@@ -19,6 +19,7 @@
 
 #include "core/hier_config.hpp"
 #include "runtime/engine.hpp"
+#include "transport/faulty_transport.hpp"
 #include "transport/inproc_transport.hpp"
 #include "transport/tcp_transport.hpp"
 
@@ -44,6 +45,11 @@ struct ThreadClusterOptions {
   /// ships real encoded frames).
   bool codec_roundtrip = true;
   NodeId initial_root = NodeId{0};
+  /// Fault-injection plan; when it injects anything the chosen transport is
+  /// wrapped in a transport::FaultyTransport (self-healing, so the cluster
+  /// still makes progress — see docs/faults.md). A zero plan seed inherits
+  /// the cluster seed.
+  transport::FaultPlan faults;
 };
 
 /// See file comment.
@@ -52,8 +58,9 @@ class ThreadCluster {
   explicit ThreadCluster(const ThreadClusterOptions& options);
 
   /// Shuts down and joins all receiver threads. Outstanding blocked client
-  /// calls are woken with an exception-free spurious return, so tests must
-  /// join their own application threads first.
+  /// calls are woken with an exception-free spurious return, and the
+  /// destructor waits until every such call has left its wait before
+  /// tearing the node state down.
   ~ThreadCluster();
 
   /// Acquires `lock` in `mode` on behalf of `node`; blocks until granted.
@@ -77,6 +84,20 @@ class ThreadCluster {
 
   std::size_t node_count() const { return nodes_.size(); }
 
+  /// The fault-injecting transport wrapper, or nullptr when the cluster
+  /// runs on a fault-free transport.
+  transport::FaultyTransport* faulty_transport() { return faulty_; }
+
+  /// Fault/healing counters of the faulty transport (nullptr without one).
+  const stats::TransportCounters* fault_counters() const {
+    return faulty_ == nullptr ? nullptr : &faulty_->counters();
+  }
+
+  /// Exceptions caught (and survived) on receiver threads so far.
+  std::uint64_t receiver_errors() const {
+    return receiver_errors_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct NodeRuntime {
     std::unique_ptr<LockEngine> engine;
@@ -86,6 +107,9 @@ class ThreadCluster {
     /// consumed by the blocked client call yet.
     std::unordered_set<LockId> granted;
     std::unordered_set<LockId> upgraded;
+    /// Client calls currently blocked on `cv`; the destructor waits for
+    /// this to reach zero so a woken call never touches freed node state.
+    int waiters = 0;
     std::thread receiver;
   };
 
@@ -96,10 +120,13 @@ class ThreadCluster {
   NodeRuntime& runtime_of(NodeId node);
 
   std::unique_ptr<transport::Transport> transport_;
+  /// Non-owning view of transport_ when the options wrapped it in faults.
+  transport::FaultyTransport* faulty_ = nullptr;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   /// Read by client threads in cv predicates under per-node mutexes while
   /// the destructor writes it: atomic, not mutex-protected.
   std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> receiver_errors_{0};
 };
 
 }  // namespace hlock::runtime

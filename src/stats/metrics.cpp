@@ -1,6 +1,42 @@
 #include "stats/metrics.hpp"
 
+#include <sstream>
+
 namespace hlock::stats {
+
+std::string to_string(const TransportCounterSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "faults{drops=" << snapshot.drops << " delays=" << snapshot.delays
+     << " dups=" << snapshot.duplicates << " reorders=" << snapshot.reorders
+     << " partition_drops=" << snapshot.partition_drops << "} healing{"
+     << "retransmits=" << snapshot.retransmits
+     << " dup_discards=" << snapshot.duplicates_discarded
+     << " resequenced=" << snapshot.resequenced << "} tcp{"
+     << "send_retries=" << snapshot.send_retries
+     << " reconnects=" << snapshot.reconnects
+     << " send_failures=" << snapshot.send_failures
+     << " misaddressed=" << snapshot.misaddressed_frames << "}";
+  return os.str();
+}
+
+TransportCounterSnapshot TransportCounters::snapshot() const {
+  TransportCounterSnapshot out;
+  out.drops = drops.load(std::memory_order_relaxed);
+  out.delays = delays.load(std::memory_order_relaxed);
+  out.duplicates = duplicates.load(std::memory_order_relaxed);
+  out.reorders = reorders.load(std::memory_order_relaxed);
+  out.partition_drops = partition_drops.load(std::memory_order_relaxed);
+  out.retransmits = retransmits.load(std::memory_order_relaxed);
+  out.duplicates_discarded =
+      duplicates_discarded.load(std::memory_order_relaxed);
+  out.resequenced = resequenced.load(std::memory_order_relaxed);
+  out.send_retries = send_retries.load(std::memory_order_relaxed);
+  out.reconnects = reconnects.load(std::memory_order_relaxed);
+  out.send_failures = send_failures.load(std::memory_order_relaxed);
+  out.misaddressed_frames =
+      misaddressed_frames.load(std::memory_order_relaxed);
+  return out;
+}
 
 void MessageCounter::add(proto::MessageKind kind) {
   ++counts_[static_cast<std::size_t>(kind)];

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "proto/message.hpp"
@@ -16,6 +18,61 @@
 #include "util/sim_time.hpp"
 
 namespace hlock::stats {
+
+/// Plain-value copy of TransportCounters, safe to compare and print.
+struct TransportCounterSnapshot {
+  // Injection side (faults put on the wire).
+  std::uint64_t drops = 0;            ///< wire losses (later retransmitted)
+  std::uint64_t delays = 0;           ///< messages given extra latency
+  std::uint64_t duplicates = 0;       ///< extra wire copies injected
+  std::uint64_t reorders = 0;         ///< messages allowed to be overtaken
+  std::uint64_t partition_drops = 0;  ///< messages blocked by a partition
+  // Healing side (recovery actions that masked a fault).
+  std::uint64_t retransmits = 0;           ///< lost messages re-sent
+  std::uint64_t duplicates_discarded = 0;  ///< wire copies deduplicated
+  std::uint64_t resequenced = 0;           ///< overtaken messages re-ordered
+  // TCP send/receive recovery.
+  std::uint64_t send_retries = 0;  ///< failed writes retried with backoff
+  std::uint64_t reconnects = 0;    ///< channels re-established after failure
+  std::uint64_t send_failures = 0; ///< frames dropped after retry exhaustion
+  std::uint64_t misaddressed_frames = 0;  ///< frames discarded by routing
+
+  /// Total faults put on the wire.
+  std::uint64_t faults_injected() const {
+    return drops + delays + duplicates + reorders + partition_drops;
+  }
+
+  bool operator==(const TransportCounterSnapshot&) const = default;
+};
+
+/// One-line human-readable rendering of a counter snapshot.
+std::string to_string(const TransportCounterSnapshot& snapshot);
+
+/// Cumulative per-transport fault and recovery counters.
+///
+/// Shared by the fault-injecting transport decorator and the TCP transport's
+/// retry path; counters are atomic because transports are touched from
+/// receiver, client, and delivery threads concurrently. Relaxed ordering is
+/// sufficient — these are statistics, not synchronization.
+class TransportCounters {
+ public:
+  std::atomic<std::uint64_t> drops{0};
+  std::atomic<std::uint64_t> delays{0};
+  std::atomic<std::uint64_t> duplicates{0};
+  std::atomic<std::uint64_t> reorders{0};
+  std::atomic<std::uint64_t> partition_drops{0};
+  std::atomic<std::uint64_t> retransmits{0};
+  std::atomic<std::uint64_t> duplicates_discarded{0};
+  std::atomic<std::uint64_t> resequenced{0};
+  std::atomic<std::uint64_t> send_retries{0};
+  std::atomic<std::uint64_t> reconnects{0};
+  std::atomic<std::uint64_t> send_failures{0};
+  std::atomic<std::uint64_t> misaddressed_frames{0};
+
+  /// Consistent-enough copy of all counters (each load is atomic; the set
+  /// is not a cross-counter snapshot, which statistics do not need).
+  TransportCounterSnapshot snapshot() const;
+};
 
 /// Message counts broken down by protocol message kind.
 class MessageCounter {

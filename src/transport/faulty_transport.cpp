@@ -1,0 +1,239 @@
+#include "transport/faulty_transport.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace hlock::transport {
+
+namespace {
+
+std::chrono::nanoseconds chrono_ns(SimTime t) {
+  return std::chrono::nanoseconds(t.count_ns());
+}
+
+std::uint64_t channel_key_of(std::uint32_t from, std::uint32_t to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+void require_probability(double p, const char* name) {
+  HLOCK_REQUIRE(p >= 0.0 && p <= 1.0,
+                std::string("fault plan: ") + name + " must be in [0, 1]");
+}
+
+}  // namespace
+
+FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
+                                 const FaultPlan& plan)
+    : inner_(std::move(inner)), plan_(plan) {
+  HLOCK_REQUIRE(inner_ != nullptr, "faulty transport needs an inner one");
+  require_probability(plan_.drop_probability, "drop_probability");
+  require_probability(plan_.delay_probability, "delay_probability");
+  require_probability(plan_.duplicate_probability, "duplicate_probability");
+  require_probability(plan_.reorder_probability, "reorder_probability");
+  const Clock::time_point now = Clock::now();
+  for (const FaultPlan::Partition& partition : plan_.partitions) {
+    ActivePartition active;
+    for (proto::NodeId node : partition.side_a) {
+      active.side_a.insert(node.value());
+    }
+    active.heal_at = now + chrono_ns(partition.heal_after);
+    partitions_.push_back(std::move(active));
+  }
+  pump_ = std::thread([this] { pump_loop(); });
+}
+
+FaultyTransport::~FaultyTransport() { shutdown(); }
+
+FaultyTransport::ChannelState& FaultyTransport::channel_state(
+    std::uint64_t key) {
+  auto it = channels_.find(key);
+  if (it == channels_.end()) {
+    it = channels_.try_emplace(key).first;
+    // Every channel gets its own split stream: fault decisions on one
+    // channel are independent of the traffic on every other.
+    it->second.rng = Rng(plan_.seed).split(key);
+  }
+  return it->second;
+}
+
+bool FaultyTransport::crosses_partition(std::uint32_t from, std::uint32_t to,
+                                        Clock::time_point now,
+                                        Clock::time_point* release_at) {
+  bool crossed = false;
+  auto it = partitions_.begin();
+  while (it != partitions_.end()) {
+    if (it->heal_at <= now) {
+      it = partitions_.erase(it);  // healed
+      continue;
+    }
+    const bool from_in_a = it->side_a.count(from) > 0;
+    const bool to_in_a = it->side_a.count(to) > 0;
+    if (from_in_a != to_in_a) {
+      crossed = true;
+      *release_at = std::max(*release_at, it->heal_at);
+    }
+    ++it;
+  }
+  return crossed;
+}
+
+void FaultyTransport::send(const proto::Message& message) {
+  HLOCK_REQUIRE(!message.from.is_none(), "message without a sender");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    const std::uint64_t key =
+        channel_key_of(message.from.value(), message.to.value());
+    ChannelState& ch = channel_state(key);
+    const Clock::time_point now = Clock::now();
+    const std::chrono::nanoseconds rto = chrono_ns(plan_.retransmit_delay);
+
+    // Fault decisions are drawn unconditionally and in a fixed order, so
+    // which faults hit message k of a channel depends only on (seed,
+    // channel, k) — never on wall-clock state such as partitions.
+    const bool dropped = plan_.drop_probability > 0.0 &&
+                         ch.rng.chance(plan_.drop_probability);
+    const bool delayed = plan_.delay_probability > 0.0 &&
+                         ch.rng.chance(plan_.delay_probability);
+    const SimTime extra_delay =
+        delayed ? plan_.delay.sample(ch.rng) : SimTime::ns(0);
+    bool overtakable = plan_.reorder_probability > 0.0 &&
+                       ch.rng.chance(plan_.reorder_probability);
+    const bool duplicated = plan_.duplicate_probability > 0.0 &&
+                            ch.rng.chance(plan_.duplicate_probability);
+
+    Clock::time_point deliver_at = now;
+    Clock::time_point release_at = now;
+    if (crosses_partition(message.from.value(), message.to.value(), now,
+                          &release_at)) {
+      // The partition dominates: the message waits for the heal, and the
+      // layered retransmission is what finally carries it across.
+      counters_.partition_drops.fetch_add(1, std::memory_order_relaxed);
+      counters_.retransmits.fetch_add(1, std::memory_order_relaxed);
+      deliver_at = release_at;
+      overtakable = false;
+    } else {
+      if (dropped) {
+        counters_.drops.fetch_add(1, std::memory_order_relaxed);
+        counters_.retransmits.fetch_add(1, std::memory_order_relaxed);
+        deliver_at += rto;
+      }
+      if (delayed) {
+        counters_.delays.fetch_add(1, std::memory_order_relaxed);
+        deliver_at += chrono_ns(extra_delay);
+      }
+      if (overtakable) {
+        counters_.reorders.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    if (overtakable) {
+      // Lag one retransmit window behind and do NOT raise the FIFO floor:
+      // a successor sent inside the window genuinely arrives first, and
+      // the edge resequencer has to put the channel back in order.
+      deliver_at = std::max(deliver_at + rto, ch.fifo_floor);
+    } else {
+      deliver_at = std::max(deliver_at, ch.fifo_floor);
+      ch.fifo_floor = deliver_at;
+    }
+
+    const std::uint64_t seq = ch.next_send_seq++;
+    wire_.push(WireEntry{deliver_at, next_wire_seq_++, key, seq, message});
+    if (duplicated) {
+      counters_.duplicates.fetch_add(1, std::memory_order_relaxed);
+      wire_.push(
+          WireEntry{deliver_at + rto, next_wire_seq_++, key, seq, message});
+    }
+  }
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  cv_.notify_all();
+}
+
+void FaultyTransport::pump_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (stopping_) return;  // undelivered wire entries are dropped
+    if (wire_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    const Clock::time_point due = wire_.top().deliver_at;
+    if (due > Clock::now()) {
+      cv_.wait_until(lock, due);
+      continue;
+    }
+    WireEntry entry = wire_.top();
+    wire_.pop();
+    ChannelState& ch = channel_state(entry.channel_key);
+    if (entry.channel_seq < ch.next_deliver_seq) {
+      // A wire copy of a message the edge already delivered.
+      counters_.duplicates_discarded.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (entry.channel_seq > ch.next_deliver_seq) {
+      // Arrived ahead of a gap (its predecessor was overtaken): hold it
+      // until the gap fills so the inner transport only ever sees the
+      // channel in order.
+      const bool inserted =
+          ch.held.emplace(entry.channel_seq, std::move(entry.message)).second;
+      if (!inserted) {
+        counters_.duplicates_discarded.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      }
+      continue;
+    }
+    std::vector<proto::Message> ready;
+    ready.push_back(std::move(entry.message));
+    ++ch.next_deliver_seq;
+    while (!ch.held.empty() &&
+           ch.held.begin()->first == ch.next_deliver_seq) {
+      ready.push_back(std::move(ch.held.begin()->second));
+      ch.held.erase(ch.held.begin());
+      ++ch.next_deliver_seq;
+      counters_.resequenced.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Forward outside the lock: the inner send may block (TCP backoff) and
+    // senders must be able to keep depositing onto the wire meanwhile.
+    lock.unlock();
+    for (const proto::Message& message : ready) inner_->send(message);
+    lock.lock();
+  }
+}
+
+std::optional<proto::Message> FaultyTransport::recv(proto::NodeId node) {
+  return inner_->recv(node);
+}
+
+std::optional<proto::Message> FaultyTransport::recv_for(
+    proto::NodeId node, std::chrono::milliseconds timeout) {
+  return inner_->recv_for(node, timeout);
+}
+
+void FaultyTransport::partition(const std::vector<proto::NodeId>& side_a,
+                                SimTime heal_after) {
+  ActivePartition active;
+  for (proto::NodeId node : side_a) active.side_a.insert(node.value());
+  active.heal_at = Clock::now() + chrono_ns(heal_after);
+  std::lock_guard<std::mutex> lock(mutex_);
+  partitions_.push_back(std::move(active));
+}
+
+void FaultyTransport::shutdown() {
+  if (!shutdown_done_.exchange(true)) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    if (pump_.joinable()) pump_.join();
+    const auto snapshot = counters_.snapshot();
+    if (snapshot.faults_injected() > 0) {
+      HLOCK_LOG(kInfo, "faulty transport: " << stats::to_string(snapshot));
+    }
+    inner_->shutdown();
+  }
+}
+
+}  // namespace hlock::transport

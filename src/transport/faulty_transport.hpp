@@ -1,0 +1,183 @@
+// Fault-injecting + self-healing transport decorator.
+//
+// FaultyTransport wraps any Transport and injects seeded, deterministic
+// faults on the send path of every ordered (from, to) channel: wire losses
+// (retransmitted after a timeout), extra delay, duplication, adjacent
+// reordering, and partitions that heal. A reliability sublayer at the
+// delivery edge — per-channel sequence numbers with deduplication and
+// resequencing, the moral equivalent of TCP over a lossy link — restores
+// the exactly-once per-channel FIFO contract the protocol engines assume,
+// so a cluster keeps making progress while every fault class fires
+// underneath it. Faults that are masked still cost what they cost in the
+// real world: latency, retransmissions, and head-of-line blocking.
+//
+// Determinism: which messages are dropped / delayed / duplicated / allowed
+// to be overtaken is a pure function of (plan seed, channel, per-channel
+// message index) — wall-clock scheduling jitter changes when messages move,
+// never which faults hit them. Every decision and recovery is counted in a
+// stats::TransportCounters readable while the transport runs.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "stats/metrics.hpp"
+#include "transport/transport.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace hlock::transport {
+
+/// Declarative description of the faults to inject. Probabilities are per
+/// message; all default to zero so a default plan is a no-fault plan.
+struct FaultPlan {
+  /// Seeds the per-channel fault streams (each ordered channel gets an
+  /// independent split so adding traffic on one channel never perturbs the
+  /// fault decisions on another).
+  std::uint64_t seed = 1;
+
+  /// Probability a message is lost on the wire. Lost messages are
+  /// retransmitted after `retransmit_delay` — the link is lossy, the
+  /// layered transport is reliable.
+  double drop_probability = 0.0;
+
+  /// Probability a message is held for an extra `delay` sample.
+  double delay_probability = 0.0;
+  DurationDist delay = DurationDist::uniform(SimTime::ms(2), 0.5);
+
+  /// Probability an extra wire copy of a message is injected (the copy is
+  /// recognized by its sequence number and discarded at the edge).
+  double duplicate_probability = 0.0;
+
+  /// Probability a message may be overtaken by its channel successors (the
+  /// edge resequencer restores order before the inner transport sees it).
+  double reorder_probability = 0.0;
+
+  /// Retransmission timeout for lost messages, and the window an overtaken
+  /// message lags behind its successors.
+  SimTime retransmit_delay = SimTime::ms(2);
+
+  /// A partition separates `side_a` from every other node starting at
+  /// transport construction; messages crossing it are buffered and
+  /// delivered when it heals, `heal_after` later.
+  struct Partition {
+    std::vector<proto::NodeId> side_a;
+    SimTime heal_after = SimTime::ms(50);
+  };
+  std::vector<Partition> partitions;
+
+  /// True if this plan injects any fault at all.
+  bool any() const {
+    return drop_probability > 0.0 || delay_probability > 0.0 ||
+           duplicate_probability > 0.0 || reorder_probability > 0.0 ||
+           !partitions.empty();
+  }
+};
+
+/// See file comment.
+class FaultyTransport final : public Transport {
+ public:
+  /// Takes ownership of `inner` and starts the wire-delivery thread.
+  /// Throws UsageError if a probability lies outside [0, 1].
+  FaultyTransport(std::unique_ptr<Transport> inner, const FaultPlan& plan);
+
+  /// Stops the wire and shuts the inner transport down.
+  ~FaultyTransport() override;
+
+  /// Accepts a message onto the (possibly faulty) wire. Thread-safe.
+  void send(const proto::Message& message) override;
+
+  std::optional<proto::Message> recv(proto::NodeId node) override;
+  std::optional<proto::Message> recv_for(
+      proto::NodeId node, std::chrono::milliseconds timeout) override;
+
+  /// Drops undelivered wire entries, stops the delivery thread, and shuts
+  /// the inner transport down.
+  void shutdown() override;
+
+  /// Messages accepted by send() — logical messages, not wire copies.
+  std::uint64_t messages_sent() const override {
+    return sent_.load(std::memory_order_relaxed);
+  }
+
+  /// Splits the cluster into `side_a` vs everyone else for `heal_after`
+  /// (wall time from now). Crossing messages are buffered until the heal.
+  /// Callable while traffic flows.
+  void partition(const std::vector<proto::NodeId>& side_a,
+                 SimTime heal_after);
+
+  /// Fault and healing counters, live.
+  const stats::TransportCounters& counters() const { return counters_; }
+
+  Transport& inner() { return *inner_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One copy of a message travelling the simulated wire.
+  struct WireEntry {
+    Clock::time_point deliver_at;
+    std::uint64_t wire_seq = 0;     ///< global tie-break, keeps pops stable
+    std::uint64_t channel_key = 0;  ///< packed (from, to)
+    std::uint64_t channel_seq = 0;  ///< per-channel sequence (dedup/reorder)
+    proto::Message message;
+    /// Min-heap by (deliver_at, wire_seq) via inverted comparison.
+    bool operator<(const WireEntry& other) const {
+      if (deliver_at != other.deliver_at) {
+        return deliver_at > other.deliver_at;
+      }
+      return wire_seq > other.wire_seq;
+    }
+  };
+
+  /// Send-side and edge-side state of one ordered channel.
+  struct ChannelState {
+    Rng rng;                            ///< fault-decision stream
+    std::uint64_t next_send_seq = 0;    ///< assigned at send()
+    std::uint64_t next_deliver_seq = 0; ///< edge: next in-order sequence
+    Clock::time_point fifo_floor{};     ///< non-overtakable delivery floor
+    /// Out-of-order arrivals held until the gap below them fills.
+    std::map<std::uint64_t, proto::Message> held;
+  };
+
+  struct ActivePartition {
+    std::unordered_set<std::uint32_t> side_a;
+    Clock::time_point heal_at;
+  };
+
+  ChannelState& channel_state(std::uint64_t key);
+  /// True if (from, to) crosses an unhealed partition; `release_at` gets
+  /// the latest heal time among the partitions crossed.
+  bool crosses_partition(std::uint32_t from, std::uint32_t to,
+                         Clock::time_point now, Clock::time_point* release_at);
+  /// Delivery thread: pops matured wire entries and runs the edge
+  /// (dedup + resequence) before forwarding to the inner transport.
+  void pump_loop();
+
+  std::unique_ptr<Transport> inner_;
+  FaultPlan plan_;
+  stats::TransportCounters counters_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<WireEntry> wire_;
+  std::map<std::uint64_t, ChannelState> channels_;
+  std::vector<ActivePartition> partitions_;
+  std::uint64_t next_wire_seq_ = 0;
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<bool> shutdown_done_{false};
+  std::thread pump_;
+};
+
+}  // namespace hlock::transport

@@ -5,7 +5,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <thread>
 
 #include "transport/tcp_socket.hpp"
 #include "util/check.hpp"
@@ -13,8 +15,11 @@
 
 namespace hlock::transport {
 
-TcpTransport::TcpTransport(std::size_t node_count) {
+TcpTransport::TcpTransport(std::size_t node_count, TcpOptions options)
+    : options_(options) {
   HLOCK_REQUIRE(node_count >= 1, "a transport needs at least one node");
+  HLOCK_REQUIRE(options_.max_send_attempts >= 1,
+                "a send needs at least one attempt");
   nodes_.reserve(node_count);
   for (std::size_t i = 0; i < node_count; ++i) {
     auto endpoint = std::make_unique<NodeEndpoint>();
@@ -60,10 +65,15 @@ void TcpTransport::acceptor_loop(std::size_t node) {
 void TcpTransport::reader_loop(std::size_t node, int fd) {
   while (auto message = read_frame(fd)) {
     if (message->to.value() != node) {
+      // A misaddressed frame is the sender's bug, not this connection's:
+      // discard the one frame and keep the channel alive — dropping the
+      // connection would silently sever every later message on it.
+      counters_.misaddressed_frames.fetch_add(1, std::memory_order_relaxed);
       HLOCK_LOG(kWarn, "tcp: frame addressed to " << to_string(message->to)
                                                   << " arrived at node "
-                                                  << node);
-      break;
+                                                  << node
+                                                  << "; frame discarded");
+      continue;
     }
     nodes_[node]->inbox.push(std::move(*message), Mailbox::Clock::now());
   }
@@ -88,20 +98,57 @@ void TcpTransport::send(const proto::Message& message) {
     channel = slot.get();
   }
 
+  // Retry with exponential backoff, reconnecting on the way: a transient
+  // write failure (peer reset, severed channel) must never escape as an
+  // exception — callers include receiver threads, where an escaped
+  // exception would std::terminate the whole process.
   std::lock_guard<std::mutex> guard(channel->send_mutex);
-  if (channel->fd < 0) {
-    channel->fd = channel_fd(message.from.value(), message.to.value());
-  }
-  if (!write_frame(channel->fd, message)) {
+  std::chrono::milliseconds backoff = options_.initial_backoff;
+  for (int attempt = 0; attempt < options_.max_send_attempts; ++attempt) {
+    if (stopping_.load()) return;
+    if (attempt > 0) {
+      counters_.send_retries.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, options_.max_backoff);
+    }
+    if (channel->fd < 0) {
+      try {
+        channel->fd = channel_fd(message.from.value(), message.to.value());
+        if (attempt > 0) {
+          counters_.reconnects.fetch_add(1, std::memory_order_relaxed);
+        }
+      } catch (const UsageError&) {
+        continue;  // destination not accepting right now; back off, retry
+      }
+    }
+    if (write_frame(channel->fd, message)) {
+      sent_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     ::close(channel->fd);
     channel->fd = -1;
-    if (!stopping_.load()) {
-      throw UsageError("tcp: send to node " +
-                       std::to_string(message.to.value()) + " failed");
-    }
-    return;
   }
-  sent_.fetch_add(1, std::memory_order_relaxed);
+  counters_.send_failures.fetch_add(1, std::memory_order_relaxed);
+  HLOCK_LOG(kError, "tcp: send to node " << message.to.value()
+                                         << " failed after "
+                                         << options_.max_send_attempts
+                                         << " attempts; frame dropped");
+}
+
+bool TcpTransport::sever_channel(proto::NodeId from, proto::NodeId to) {
+  Channel* channel = nullptr;
+  {
+    std::lock_guard<std::mutex> guard(channels_mutex_);
+    const auto it = channels_.find({from.value(), to.value()});
+    if (it == channels_.end()) return false;
+    channel = it->second.get();
+  }
+  std::lock_guard<std::mutex> guard(channel->send_mutex);
+  if (channel->fd < 0) return false;
+  // Half-kill the socket but leave the stale fd in place: the sender only
+  // discovers the failure when its next write returns an error.
+  ::shutdown(channel->fd, SHUT_RDWR);
+  return true;
 }
 
 std::optional<proto::Message> TcpTransport::recv(proto::NodeId node) {

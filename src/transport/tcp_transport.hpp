@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -22,17 +23,29 @@
 #include <thread>
 #include <vector>
 
+#include "stats/metrics.hpp"
 #include "transport/mailbox.hpp"
 #include "transport/transport.hpp"
 
 namespace hlock::transport {
+
+/// Send-path retry policy of the TCP transport. A failed write closes the
+/// channel and retries with exponential backoff — reconnecting on the way —
+/// instead of terminating the process on the first transient failure.
+struct TcpOptions {
+  /// Total write attempts per message (first try included).
+  int max_send_attempts = 5;
+  /// Backoff before the first retry; doubles per retry up to `max_backoff`.
+  std::chrono::milliseconds initial_backoff{1};
+  std::chrono::milliseconds max_backoff{50};
+};
 
 /// See file comment.
 class TcpTransport final : public Transport {
  public:
   /// Binds `node_count` listeners on loopback and starts their acceptor
   /// threads. Throws UsageError if sockets cannot be created.
-  explicit TcpTransport(std::size_t node_count);
+  explicit TcpTransport(std::size_t node_count, TcpOptions options = {});
 
   /// Joins all socket threads.
   ~TcpTransport() override;
@@ -49,6 +62,15 @@ class TcpTransport final : public Transport {
 
   std::size_t node_count() const { return nodes_.size(); }
 
+  /// Retry, reconnect, and bad-frame counters, live.
+  const stats::TransportCounters& counters() const { return counters_; }
+
+  /// Chaos hook: severs the established (from, to) connection at the
+  /// socket level without telling the sender, so the next send on the
+  /// channel fails and exercises the retry/reconnect path. Returns false
+  /// if the channel has no live connection yet.
+  bool sever_channel(proto::NodeId from, proto::NodeId to);
+
  private:
   struct NodeEndpoint {
     int listen_fd = -1;
@@ -63,6 +85,7 @@ class TcpTransport final : public Transport {
   /// guarded by the channel's send mutex.
   int channel_fd(std::uint32_t from, std::uint32_t to);
 
+  TcpOptions options_;
   std::vector<std::unique_ptr<NodeEndpoint>> nodes_;
   std::mutex channels_mutex_;
   struct Channel {
@@ -76,6 +99,7 @@ class TcpTransport final : public Transport {
   std::mutex readers_mutex_;
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<bool> stopping_{false};
+  stats::TransportCounters counters_;
 };
 
 }  // namespace hlock::transport

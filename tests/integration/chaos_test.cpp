@@ -4,14 +4,19 @@
 // the detectors, which every other test relies on for liveness checking.
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "runtime/invariants.hpp"
 #include "runtime/sim_cluster.hpp"
+#include "runtime/thread_cluster.hpp"
 #include "util/check.hpp"
 #include "workload/sim_driver.hpp"
 
 namespace hlock::workload {
 namespace {
 
+using proto::LockId;
 using runtime::Protocol;
 using runtime::SimCluster;
 using runtime::SimClusterOptions;
@@ -89,6 +94,103 @@ TEST(Chaos, ZeroLossIsTheDefaultAndLossless) {
 TEST(Chaos, InvalidLossProbabilityRejected) {
   EXPECT_THROW(SimCluster{lossy_options(-0.1, 1)}, UsageError);
   EXPECT_THROW(SimCluster{lossy_options(1.5, 1)}, UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// Real-thread chaos: the self-healing FaultyTransport injects wire faults
+// under a live ThreadCluster. Unlike the simulated loss above — whose point
+// is that UNMASKED loss must be detected — these faults are masked by the
+// transport's reliability sublayer, so the protocol must still reach mutual
+// exclusion AND make progress while every fault class fires.
+
+constexpr std::size_t kChaosNodes = 4;
+constexpr int kChaosOps = 15;
+
+/// Runs the exclusive-counter workload under `faults` and asserts mutual
+/// exclusion (no lost increments) and full progress (all ops completed).
+/// Returns the fault counters for per-class assertions.
+stats::TransportCounterSnapshot run_chaos_cluster(
+    const transport::FaultPlan& faults) {
+  runtime::ThreadClusterOptions options;
+  options.node_count = kChaosNodes;
+  options.protocol = Protocol::kHierarchical;
+  options.seed = faults.seed;
+  options.faults = faults;
+  runtime::ThreadCluster cluster{options};
+
+  long counter = 0;  // deliberately unprotected: the lock is the protection
+  std::vector<std::thread> workers;
+  for (std::uint32_t i = 0; i < kChaosNodes; ++i) {
+    workers.emplace_back([&cluster, &counter, i] {
+      for (int k = 0; k < kChaosOps; ++k) {
+        cluster.lock(NodeId{i}, LockId{0}, proto::LockMode::kW);
+        const long snapshot = counter;
+        std::this_thread::yield();
+        counter = snapshot + 1;
+        cluster.unlock(NodeId{i}, LockId{0});
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(counter, static_cast<long>(kChaosNodes) * kChaosOps)
+      << "mutual exclusion or progress lost under faults";
+  EXPECT_EQ(cluster.receiver_errors(), 0u);
+  const stats::TransportCounters* counters = cluster.fault_counters();
+  EXPECT_NE(counters, nullptr);
+  return counters->snapshot();
+}
+
+TEST(ThreadChaos, SurvivesWireDrops) {
+  transport::FaultPlan plan;
+  plan.seed = 21;
+  plan.drop_probability = 0.15;
+  plan.retransmit_delay = SimTime::ms(2);
+  const auto counters = run_chaos_cluster(plan);
+  EXPECT_GT(counters.drops, 0u) << "fault never fired; test proves nothing";
+  EXPECT_EQ(counters.retransmits, counters.drops);
+}
+
+TEST(ThreadChaos, SurvivesDuplication) {
+  transport::FaultPlan plan;
+  plan.seed = 22;
+  plan.duplicate_probability = 0.25;
+  const auto counters = run_chaos_cluster(plan);
+  EXPECT_GT(counters.duplicates, 0u);
+  EXPECT_LE(counters.duplicates_discarded, counters.duplicates);
+}
+
+TEST(ThreadChaos, SurvivesReordering) {
+  transport::FaultPlan plan;
+  plan.seed = 23;
+  plan.reorder_probability = 0.25;
+  plan.retransmit_delay = SimTime::ms(2);
+  const auto counters = run_chaos_cluster(plan);
+  EXPECT_GT(counters.reorders, 0u);
+}
+
+TEST(ThreadChaos, SurvivesPartitionThatHeals) {
+  transport::FaultPlan plan;
+  plan.seed = 24;
+  // Cut the root's half away from the rest; heal while the workload runs.
+  plan.partitions.push_back(
+      {{NodeId{0}, NodeId{1}}, SimTime::ms(100)});
+  const auto counters = run_chaos_cluster(plan);
+  EXPECT_GT(counters.partition_drops, 0u)
+      << "no message ever crossed the partition";
+}
+
+TEST(ThreadChaos, SurvivesEveryFaultClassAtOnce) {
+  transport::FaultPlan plan;
+  plan.seed = 25;
+  plan.drop_probability = 0.08;
+  plan.delay_probability = 0.1;
+  plan.delay = DurationDist::uniform(SimTime::ms(1), 0.5);
+  plan.duplicate_probability = 0.1;
+  plan.reorder_probability = 0.1;
+  plan.retransmit_delay = SimTime::ms(1);
+  plan.partitions.push_back({{NodeId{3}}, SimTime::ms(60)});
+  const auto counters = run_chaos_cluster(plan);
+  EXPECT_GT(counters.faults_injected(), 0u);
 }
 
 }  // namespace

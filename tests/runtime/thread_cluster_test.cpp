@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -25,6 +27,31 @@ ThreadClusterOptions options_for(Protocol protocol, std::size_t n) {
   options.protocol = protocol;
   options.seed = 42;
   return options;
+}
+
+TEST(ThreadCluster, DestructorWakesAndDrainsBlockedClients) {
+  // Regression: teardown used to flip the stop flag without the node
+  // mutexes and notify only after joining, so a client between its
+  // predicate check and its wait could sleep forever — and a woken client
+  // could race the destructor freeing node state.
+  for (int round = 0; round < 10; ++round) {
+    auto cluster = std::make_unique<ThreadCluster>(
+        options_for(Protocol::kHierarchical, 2));
+    cluster->lock(NodeId{0}, LockId{0}, LockMode::kW);
+    std::atomic<bool> entered{false};
+    // Raw pointer: the client must not touch the unique_ptr itself, which
+    // the main thread concurrently reset()s.
+    ThreadCluster* raw = cluster.get();
+    std::thread blocked([&entered, raw] {
+      entered = true;
+      // Blocks forever: node 0 never releases. Only teardown can wake it.
+      raw->lock(NodeId{1}, LockId{0}, LockMode::kW);
+    });
+    while (!entered) std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    cluster.reset();  // must wake the blocked client, then drain it
+    blocked.join();
+  }
 }
 
 TEST(ThreadCluster, SingleNodeLockUnlock) {

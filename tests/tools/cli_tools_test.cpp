@@ -52,6 +52,24 @@ TEST(HlockSimCli, HistogramFlagPrintsBuckets) {
   EXPECT_NE(output.find('#'), std::string::npos);
 }
 
+TEST(HlockSimCli, ChaosModeReportsMutualExclusionAndFaults) {
+  const auto [status, output] = run_command(
+      tool("hlock_sim") + " --chaos --nodes 4 --ops 10 --fault-drop 0.1"
+                          " --fault-dup 0.1 --fault-reorder 0.1"
+                          " --partition-ms 30 --seed 9");
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("mutual exclusion OK"), std::string::npos) << output;
+  EXPECT_NE(output.find("faults{"), std::string::npos);
+  EXPECT_NE(output.find("healing{"), std::string::npos);
+}
+
+TEST(HlockSimCli, ChaosModeRejectsBadTransport) {
+  const auto [status, output] = run_command(
+      tool("hlock_sim") + " --chaos --chaos-transport carrier-pigeon");
+  EXPECT_NE(status, 0);
+  EXPECT_NE(output.find("--chaos-transport must be"), std::string::npos);
+}
+
 TEST(HlockSimCli, BadArgumentsFailWithHelp) {
   const auto [status, output] =
       run_command(tool("hlock_sim") + " --bogus 1");

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <thread>
 #include <vector>
 
 #include "runtime/thread_cluster.hpp"
+#include "transport/tcp_socket.hpp"
 #include "util/check.hpp"
 
 namespace hlock::transport {
@@ -119,6 +122,79 @@ TEST(TcpTransport, ShutdownUnblocksReceivers) {
 TEST(TcpTransport, RejectsUnknownDestination) {
   TcpTransport transport{2};
   EXPECT_THROW(transport.send(make_message(0, 7)), UsageError);
+}
+
+std::uint64_t seq_of(const Message& message) {
+  const auto* request = std::get_if<proto::NaimiRequest>(&message.payload);
+  return request == nullptr ? ~std::uint64_t{0} : request->seq;
+}
+
+TEST(TcpTransport, SendRecoversAfterChannelSevered) {
+  TcpTransport transport{2};
+  transport.send(make_message(0, 1, 1));
+  const auto first =
+      transport.recv_for(NodeId{1}, std::chrono::milliseconds(2000));
+  ASSERT_TRUE(first.has_value());
+
+  // Kill the established connection mid-run, behind the sender's back.
+  ASSERT_TRUE(transport.sever_channel(NodeId{0}, NodeId{1}));
+  transport.send(make_message(0, 1, 2));
+
+  const auto second =
+      transport.recv_for(NodeId{1}, std::chrono::milliseconds(2000));
+  ASSERT_TRUE(second.has_value()) << "sender did not recover the channel";
+  EXPECT_EQ(seq_of(*second), 2u);
+  EXPECT_EQ(transport.messages_sent(), 2u);
+  const auto counters = transport.counters().snapshot();
+  EXPECT_GE(counters.send_retries, 1u);
+  EXPECT_GE(counters.reconnects, 1u);
+  EXPECT_EQ(counters.send_failures, 0u);
+}
+
+TEST(TcpTransport, SeverNeedsAnEstablishedChannel) {
+  TcpTransport transport{2};
+  EXPECT_FALSE(transport.sever_channel(NodeId{0}, NodeId{1}));
+}
+
+TEST(TcpTransport, ExhaustedRetriesDropTheFrameWithoutThrowing) {
+  TcpOptions options;
+  options.max_send_attempts = 2;
+  options.initial_backoff = std::chrono::milliseconds(1);
+  TcpTransport transport{2, options};
+  // Repeatedly sever so every attempt (including post-reconnect writes)
+  // fails; send must give up silently, never throw.
+  for (int round = 0; round < 3; ++round) {
+    transport.send(make_message(0, 1, static_cast<std::uint64_t>(round)));
+    transport.sever_channel(NodeId{0}, NodeId{1});
+  }
+  // Drain whatever made it through; the transport itself must stay usable.
+  while (transport.recv_for(NodeId{1}, std::chrono::milliseconds(200))
+             .has_value()) {
+  }
+  transport.send(make_message(0, 1, 99));
+  const auto last =
+      transport.recv_for(NodeId{1}, std::chrono::milliseconds(2000));
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(seq_of(*last), 99u);
+}
+
+TEST(TcpTransport, MisaddressedFrameIsDiscardedConnectionSurvives) {
+  TcpTransport transport{2};
+  // Hand-roll a connection to node 0 and misaddress the first frame.
+  const int fd = connect_loopback(transport.port_of(NodeId{0}));
+  ASSERT_TRUE(write_frame(fd, make_message(1, 1, 7)));  // to node 1!
+  ASSERT_TRUE(write_frame(fd, make_message(1, 0, 8)));  // correct
+  const auto received =
+      transport.recv_for(NodeId{0}, std::chrono::milliseconds(2000));
+  ASSERT_TRUE(received.has_value())
+      << "reader dropped the connection on a bad frame";
+  EXPECT_EQ(seq_of(*received), 8u);
+  EXPECT_EQ(transport.counters().snapshot().misaddressed_frames, 1u);
+  // The misaddressed frame never surfaced anywhere.
+  EXPECT_FALSE(
+      transport.recv_for(NodeId{1}, std::chrono::milliseconds(50))
+          .has_value());
+  ::close(fd);
 }
 
 TEST(TcpCluster, HierarchicalProtocolOverRealSockets) {

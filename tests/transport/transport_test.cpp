@@ -52,6 +52,28 @@ TEST(Mailbox, PopUntilTimesOut) {
   EXPECT_FALSE(result.has_value());
 }
 
+TEST(Mailbox, PopUntilDeliversMessageDueExactlyAtDeadline) {
+  // Deadline edge: when the head's delivery time coincides with the
+  // caller's deadline, the matured message wins over the timeout.
+  Mailbox box;
+  const auto deadline =
+      Mailbox::Clock::now() + std::chrono::milliseconds(25);
+  box.push(make_message(1, 0), deadline);
+  const auto message = box.pop_until(deadline);
+  ASSERT_TRUE(message.has_value()) << "due == deadline returned timeout";
+  EXPECT_EQ(message->from, NodeId{1});
+}
+
+TEST(Mailbox, PopUntilTimesOutWhenHeadMaturesAfterDeadline) {
+  Mailbox box;
+  const auto deadline =
+      Mailbox::Clock::now() + std::chrono::milliseconds(15);
+  box.push(make_message(1, 0), deadline + std::chrono::milliseconds(30));
+  EXPECT_FALSE(box.pop_until(deadline).has_value());
+  // The unripe message stays deliverable afterwards.
+  EXPECT_TRUE(box.pop().has_value());
+}
+
 TEST(Mailbox, CloseWakesBlockedConsumer) {
   Mailbox box;
   std::thread consumer([&box] {
