@@ -1,7 +1,10 @@
 #include "bench/common/experiment.hpp"
 
+#include <memory>
+
 #include "runtime/sim_cluster.hpp"
 #include "stats/summary.hpp"
+#include "util/check.hpp"
 
 namespace hlock::bench {
 
@@ -21,7 +24,30 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   cluster_options.message_latency = config.net_latency;
   cluster_options.seed = config.seed;
   cluster_options.hier_config = config.hier_config;
+  if (config.lint || config.capture_events != nullptr) {
+    HLOCK_REQUIRE(config.variant == AppVariant::kHierarchical,
+                  "event tracing applies to the hierarchical variant");
+    cluster_options.hier_config.trace_events = true;
+  }
   SimCluster cluster{cluster_options};
+
+  std::unique_ptr<lint::Checker> checker;
+  if (config.lint) {
+    lint::LintOptions lint_options;
+    lint_options.initial_token = cluster_options.initial_root;
+    lint_options.local_queueing = config.hier_config.local_queueing;
+    lint_options.child_grants = config.hier_config.child_grants;
+    lint_options.path_compression = config.hier_config.path_compression;
+    lint_options.freezing = config.hier_config.freezing;
+    checker = std::make_unique<lint::Checker>(lint_options);
+  }
+  if (checker || config.capture_events != nullptr) {
+    cluster.set_event_observer(
+        [&checker, capture = config.capture_events](trace::TraceEvent event) {
+          if (checker) checker->add(event);
+          if (capture != nullptr) capture->push_back(std::move(event));
+        });
+  }
 
   WorkloadSpec spec;
   spec.variant = config.variant;
@@ -60,6 +86,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           .summarize();
   result.w_latency_ms = w_latency.mean;
   result.request_latency_samples_ms = driver.stats().acq_latency.samples_ms();
+  if (checker) {
+    const lint::LintReport report = checker->finish();
+    result.lint_events_checked = report.events_checked;
+    result.lint_violation_count = report.violations.size();
+    if (!report.ok()) result.lint_report = report.render();
+  }
   return result;
 }
 
@@ -82,6 +114,9 @@ ExperimentResult run_averaged(ExperimentConfig config, int seeds) {
         total.request_latency_samples_ms.end(),
         one.request_latency_samples_ms.begin(),
         one.request_latency_samples_ms.end());
+    total.lint_events_checked += one.lint_events_checked;
+    total.lint_violation_count += one.lint_violation_count;
+    total.lint_report += one.lint_report;
   }
   const double k = seeds > 0 ? static_cast<double>(seeds) : 1.0;
   total.msgs_per_op /= k;

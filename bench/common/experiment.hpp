@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/hier_config.hpp"
+#include "lint/checker.hpp"
 #include "util/distributions.hpp"
 #include "workload/op_plan.hpp"
 #include "workload/sim_driver.hpp"
@@ -32,6 +33,14 @@ struct ExperimentConfig {
   int ops_per_node = 60;
   std::uint64_t seed = 1;
   core::HierConfig hier_config = {};
+  /// Stream every structured protocol event through the conformance linter
+  /// (src/lint) during the run; hierarchical variant only. Costs event
+  /// emission + checking time, so off for plain benchmarking.
+  bool lint = false;
+  /// Optional caller-owned sink for every structured event (hierarchical
+  /// variant only; enables event emission like `lint`). Appended across
+  /// seeds under run_averaged; feeds trace dumps (hlock_sim --trace-dump).
+  std::vector<trace::TraceEvent>* capture_events = nullptr;
 };
 
 /// Aggregated outcome of one run (or of several seeds averaged).
@@ -56,6 +65,12 @@ struct ExperimentResult {
   /// Per-request latency samples (ms), concatenated across seeds; feeds
   /// distribution rendering (stats/histogram.hpp).
   std::vector<double> request_latency_samples_ms;
+  /// With ExperimentConfig::lint: events checked and violations found,
+  /// accumulated across seeds, plus the rendered reports of every seed
+  /// that violated (empty when conforming).
+  std::size_t lint_events_checked = 0;
+  std::size_t lint_violation_count = 0;
+  std::string lint_report;
 };
 
 /// Runs one experiment to completion.

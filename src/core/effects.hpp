@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "proto/message.hpp"
+#include "trace/event.hpp"
 
 namespace hlock::core {
 
@@ -18,6 +19,12 @@ struct Effects {
   /// Messages to hand to the transport, in emission order (order matters:
   /// transports provide per-destination FIFO channels).
   std::vector<proto::Message> messages;
+
+  /// Structured protocol events describing every rule application this step
+  /// performed, in causal order. Populated only when the automaton's config
+  /// enables trace_events; timestamps are left zero for the runtime to
+  /// stamp (automatons hold no clock). Input to the conformance linter.
+  std::vector<trace::TraceEvent> events;
 
   /// The node's own outstanding request was granted during this step; the
   /// node is now inside the critical section (automaton held() gives the

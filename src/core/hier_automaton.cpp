@@ -86,6 +86,14 @@ Effects HierAutomaton::step_request(LockMode mode, std::uint8_t priority) {
   Effects fx;
   const std::uint64_t seq = next_seq_++;
   const LockMode owned_mode = owned();
+  if (config_.trace_events) {
+    auto event = make_event(trace::EventKind::kRequest);
+    event.mode = mode;
+    event.ctx = owned_mode;
+    event.seq = seq;
+    event.priority = priority;
+    emit(fx, std::move(event));
+  }
 
   if (token_) {
     // Rule 3.2 applied to the token's own request: compatibility with the
@@ -94,10 +102,20 @@ Effects HierAutomaton::step_request(LockMode mode, std::uint8_t priority) {
     if (!frozen_.contains(mode) && token_can_grant(owned_mode, mode)) {
       held_ = mode;
       fx.entered_cs = true;
+      emit_self_grant(fx, mode, owned_mode, seq);
     } else {
       // Rule 4.2: the token node queues ungrantable requests locally.
       pending_ = mode;
       enqueue(QueuedRequest{self_, mode, seq, priority});
+      if (config_.trace_events) {
+        auto event = make_event(trace::EventKind::kQueue);
+        event.peer = self_;
+        event.mode = mode;
+        event.ctx = owned_mode;
+        event.seq = seq;
+        event.priority = priority;
+        emit(fx, std::move(event));
+      }
       refresh_frozen(fx);
     }
     return fx;
@@ -110,6 +128,7 @@ Effects HierAutomaton::step_request(LockMode mode, std::uint8_t priority) {
       non_token_can_grant(owned_mode, mode)) {
     held_ = mode;
     fx.entered_cs = true;
+    emit_self_grant(fx, mode, owned_mode, seq);
     return fx;
   }
 
@@ -126,6 +145,11 @@ Effects HierAutomaton::release() {
   HLOCK_REQUIRE(held_ != LockMode::kNL, "release without holding the lock");
   HLOCK_REQUIRE(!upgrading_, "cannot release while an upgrade is in flight");
   Effects fx;
+  if (config_.trace_events) {
+    auto event = make_event(trace::EventKind::kExitCs);
+    event.mode = held_;
+    emit(fx, std::move(event));
+  }
   held_ = LockMode::kNL;
 
   if (token_) {
@@ -153,6 +177,12 @@ Effects HierAutomaton::upgrade() {
   Effects fx;
   upgrading_ = true;
   pending_ = LockMode::kW;
+  if (config_.trace_events) {
+    auto event = make_event(trace::EventKind::kUpgradeBegin);
+    event.mode = LockMode::kW;
+    event.ctx = LockMode::kU;
+    emit(fx, std::move(event));
+  }
   if (copyset_.empty()) {
     // Nobody else holds the lock: Rule 7 completes immediately.
     maybe_complete_upgrade(fx);
@@ -230,6 +260,15 @@ void HierAutomaton::handle_request(const HierRequest& request, Effects& fx) {
         queue_or_forward(pending_, request.mode) ==
             QueueOrForward::kQueue))) {
     enqueue(entry);
+    if (config_.trace_events) {
+      auto event = make_event(trace::EventKind::kQueue);
+      event.peer = entry.requester;
+      event.mode = entry.mode;
+      event.ctx = pending_;  // the Table 1(c) decision context
+      event.seq = entry.seq;
+      event.priority = entry.priority;
+      emit(fx, std::move(event));
+    }
     return;
   }
 
@@ -241,6 +280,16 @@ void HierAutomaton::handle_request(const HierRequest& request, Effects& fx) {
   const NodeId target =
       route() == request.requester ? parent_ : route();
   send(target, request, fx);
+  if (config_.trace_events) {
+    auto event = make_event(trace::EventKind::kForward);
+    event.peer = request.requester;
+    event.mode = request.mode;
+    event.ctx = pending_;  // kNL when forwarding without a pending request
+    event.seq = request.seq;
+    event.priority = request.priority;
+    event.detail = to_string(target);
+    emit(fx, std::move(event));
+  }
   if (config_.path_compression) hint_ = request.requester;
 }
 
@@ -260,6 +309,15 @@ void HierAutomaton::handle_request_as_token(const QueuedRequest& request,
   // pending state; refresh_frozen() (run by the caller) installs Table 1(d)
   // freeze sets for the queued mode.
   enqueue(request);
+  if (config_.trace_events) {
+    auto event = make_event(trace::EventKind::kQueue);
+    event.peer = request.requester;
+    event.mode = request.mode;
+    event.ctx = owned_mode;  // the token's Table 1(d) freeze context
+    event.seq = request.seq;
+    event.priority = request.priority;
+    emit(fx, std::move(event));
+  }
 }
 
 void HierAutomaton::handle_grant(NodeId from, const HierGrant& grant,
@@ -277,8 +335,16 @@ void HierAutomaton::handle_grant(NodeId from, const HierGrant& grant,
   parent_ = from;  // the granter admitted us into its copyset
   hint_ = NodeId::none();  // the granter link is the freshest route we have
   reissue_count_ = 0;
+  const ModeSet was_frozen = frozen_;
   frozen_.clear();
+  emit_frozen_change(fx, was_frozen);
   fx.entered_cs = true;
+  if (config_.trace_events) {
+    auto event = make_event(trace::EventKind::kEnterCs);
+    event.peer = from;  // the granter
+    event.mode = grant.mode;
+    emit(fx, std::move(event));
+  }
   drain_local_queue(fx);
 }
 
@@ -296,11 +362,19 @@ void HierAutomaton::handle_token(NodeId from, const HierToken& token,
   reported_owned_ = LockMode::kNL;  // the token node has no parent
   held_ = token.granted_mode;
   pending_ = LockMode::kNL;
+  const ModeSet was_frozen = frozen_;
   frozen_.clear();
+  emit_frozen_change(fx, was_frozen);
   if (token.sender_owned != LockMode::kNL) {
     // Epoch 0 is reserved for transfer-created entries; the old token
     // symmetrically resets its parent_epoch_ to 0 in transfer_token().
     copyset_add(from, token.sender_owned, 0);
+    if (config_.trace_events) {
+      auto event = make_event(trace::EventKind::kCopysetJoin);
+      event.peer = from;
+      event.mode = token.sender_owned;
+      emit(fx, std::move(event));
+    }
   }
   // Responsibility for the old token's queue moves here; our own locally
   // queued requests (logged while our request was pending) are younger and
@@ -311,6 +385,12 @@ void HierAutomaton::handle_token(NodeId from, const HierToken& token,
   queue_.assign(token.queue.begin(), token.queue.end());
   for (const QueuedRequest& entry : local) enqueue(entry);
   fx.entered_cs = true;
+  if (config_.trace_events) {
+    auto event = make_event(trace::EventKind::kEnterCs);
+    event.peer = from;  // the old token node
+    event.mode = token.granted_mode;
+    emit(fx, std::move(event));
+  }
   service_token_queue(fx);
 }
 
@@ -326,8 +406,21 @@ void HierAutomaton::handle_release(NodeId from, const HierRelease& release,
   if (release.new_owned == LockMode::kNL) {
     std::erase_if(copyset_,
                   [&](const CopysetEntry& e) { return e.node == from; });
+    if (config_.trace_events) {
+      auto event = make_event(trace::EventKind::kCopysetLeave);
+      event.peer = from;
+      emit(fx, std::move(event));
+    }
   } else {
     entry->mode = release.new_owned;
+    if (config_.trace_events) {
+      // Re-reported at a weaker mode: emitted as a join-style update so
+      // trace consumers can mirror the copyset exactly.
+      auto event = make_event(trace::EventKind::kCopysetJoin);
+      event.peer = from;
+      event.mode = release.new_owned;
+      emit(fx, std::move(event));
+    }
   }
 
   if (token_) {
@@ -349,7 +442,9 @@ void HierAutomaton::handle_freeze(const HierFreeze& freeze, Effects& fx) {
     // this node; the token's own queue now governs its frozen set.
     return;
   }
+  const ModeSet was_frozen = frozen_;
   frozen_ |= freeze.modes;
+  emit_frozen_change(fx, was_frozen);
   notify_frozen_children(fx);
 }
 
@@ -372,9 +467,25 @@ void HierAutomaton::detach_from_old_parent(NodeId granter, Effects& fx) {
 // ---------------------------------------------------------------------------
 
 void HierAutomaton::copy_grant(const QueuedRequest& request, Effects& fx) {
+  // The Table 1(b) authority for this grant is the owned mode *before* the
+  // requester is admitted — record it as the grant's decision context.
+  const LockMode granter_owned = owned();
   const std::uint32_t epoch = ++epoch_counter_;
   const LockMode entry_mode =
       copyset_add(request.requester, request.mode, epoch);
+  if (config_.trace_events) {
+    auto event = make_event(trace::EventKind::kGrant);
+    event.peer = request.requester;
+    event.mode = request.mode;
+    event.ctx = granter_owned;
+    event.seq = request.seq;
+    event.priority = request.priority;
+    emit(fx, std::move(event));
+    auto join = make_event(trace::EventKind::kCopysetJoin);
+    join.peer = request.requester;
+    join.mode = entry_mode;
+    emit(fx, std::move(join));
+  }
   send(request.requester, HierGrant{request.mode, entry_mode, epoch}, fx);
   // A freshly admitted child able to grant a currently frozen mode must be
   // frozen immediately or it could hand out bypass grants (Rule 6).
@@ -386,16 +497,36 @@ void HierAutomaton::transfer_token(const QueuedRequest& request, Effects& fx) {
   // If the requester was a copyset child, it leaves our subtree: we are
   // about to become *its* child, and its contribution must not be counted
   // in the residual owned mode we report (that would create a cycle).
+  const bool was_child = copyset_find(request.requester) != nullptr;
   std::erase_if(copyset_,
                 [&](const CopysetEntry& e) { return e.node == request.requester; });
+  if (config_.trace_events && was_child) {
+    auto leave = make_event(trace::EventKind::kCopysetLeave);
+    leave.peer = request.requester;
+    emit(fx, std::move(leave));
+  }
 
   HierToken token;
   token.granted_mode = request.mode;
   token.sender_owned = owned();
   token.queue.assign(queue_.begin(), queue_.end());
+  if (config_.trace_events) {
+    // Emitted while token_ is still true: the event records the sender as
+    // the authority that moved the token.
+    auto event = make_event(trace::EventKind::kTokenTransfer);
+    event.peer = request.requester;
+    event.mode = request.mode;
+    event.ctx = token.sender_owned;  // residual owned mode shipped along
+    event.seq = request.seq;
+    event.priority = request.priority;
+    event.detail = std::to_string(token.queue.size()) + " queued shipped";
+    emit(fx, std::move(event));
+  }
   queue_.clear();
+  const ModeSet was_frozen = frozen_;
   frozen_.clear();
   token_ = false;
+  emit_frozen_change(fx, was_frozen);
   parent_ = request.requester;
   hint_ = NodeId::none();  // the new token is also the best route
   // The new token node records us at the residual mode we ship, under the
@@ -432,6 +563,7 @@ void HierAutomaton::service_token_queue(Effects& fx) {
       held_ = entry.mode;
       pending_ = LockMode::kNL;
       fx.entered_cs = true;
+      emit_self_grant(fx, entry.mode, owned_mode, entry.seq);
       continue;
     }
     if (token_grant_transfers(owned_mode, entry.mode)) {
@@ -464,6 +596,17 @@ void HierAutomaton::drain_local_queue(Effects& fx) {
            HierRequest{entry.requester, entry.mode, entry.seq,
                        entry.priority},
            fx);
+      if (config_.trace_events) {
+        auto event = make_event(trace::EventKind::kForward);
+        event.peer = entry.requester;
+        event.mode = entry.mode;
+        // ctx stays kNL: our pending request just resolved, so Table 1(c)
+        // no longer applies — forwarding is the unconditional default.
+        event.seq = entry.seq;
+        event.priority = entry.priority;
+        event.detail = to_string(parent_);
+        emit(fx, std::move(event));
+      }
     }
   }
 }
@@ -477,6 +620,12 @@ void HierAutomaton::maybe_complete_upgrade(Effects& fx) {
   pending_ = LockMode::kNL;
   upgrading_ = false;
   fx.upgraded = true;
+  if (config_.trace_events) {
+    auto event = make_event(trace::EventKind::kUpgraded);
+    event.mode = LockMode::kW;
+    event.ctx = LockMode::kU;
+    emit(fx, std::move(event));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -492,7 +641,9 @@ void HierAutomaton::refresh_frozen(Effects& fx) {
     frozen |= freeze_set(owned_mode, entry.mode);
   }
   if (upgrading_) frozen |= freeze_set(owned_mode, LockMode::kW);
+  const ModeSet before = frozen_;
   frozen_ = frozen;
+  emit_frozen_change(fx, before);
   notify_frozen_children(fx);
 }
 
@@ -541,13 +692,56 @@ void HierAutomaton::propagate_weakening(Effects& fx) {
   if (owned_now == LockMode::kNL) {
     // We left every copyset; any freeze episode we took part in is over
     // (a future grant re-delivers FREEZE if still needed).
+    const ModeSet was_frozen = frozen_;
     frozen_.clear();
+    emit_frozen_change(fx, was_frozen);
   }
 }
 
 void HierAutomaton::send(NodeId to, Payload payload, Effects& fx) const {
   HLOCK_INVARIANT(!to.is_none(), "attempted to send to the null node");
   fx.messages.push_back(Message{self_, to, lock_, std::move(payload)});
+}
+
+// ---------------------------------------------------------------------------
+// Trace event emission
+// ---------------------------------------------------------------------------
+
+trace::TraceEvent HierAutomaton::make_event(trace::EventKind kind) const {
+  trace::TraceEvent event;
+  event.kind = kind;
+  event.node = self_;
+  event.lock = lock_;
+  event.token = token_;
+  return event;
+}
+
+void HierAutomaton::emit(Effects& fx, trace::TraceEvent event) const {
+  if (config_.trace_events) fx.events.push_back(std::move(event));
+}
+
+void HierAutomaton::emit_frozen_change(Effects& fx, ModeSet before) const {
+  if (!config_.trace_events || frozen_ == before) return;
+  auto event = make_event(adds_modes(frozen_, before)
+                              ? trace::EventKind::kFreeze
+                              : trace::EventKind::kUnfreeze);
+  event.modes = frozen_;
+  fx.events.push_back(std::move(event));
+}
+
+void HierAutomaton::emit_self_grant(Effects& fx, LockMode mode,
+                                    LockMode owned_before,
+                                    std::uint64_t seq) const {
+  if (!config_.trace_events) return;
+  auto grant = make_event(trace::EventKind::kLocalGrant);
+  grant.mode = mode;
+  grant.ctx = owned_before;
+  grant.seq = seq;
+  fx.events.push_back(std::move(grant));
+  auto enter = make_event(trace::EventKind::kEnterCs);
+  enter.mode = mode;
+  enter.seq = seq;
+  fx.events.push_back(std::move(enter));
 }
 
 std::string HierAutomaton::fingerprint() const {

@@ -175,6 +175,19 @@ class HierAutomaton {
 
   void send(NodeId to, proto::Payload payload, Effects& fx) const;
 
+  /// Builds a trace event stamped with this node's identity and current
+  /// token status (capture before mutating token_ where it matters).
+  trace::TraceEvent make_event(trace::EventKind kind) const;
+  /// Appends `event` to fx.events iff config_.trace_events is on.
+  void emit(Effects& fx, trace::TraceEvent event) const;
+  /// Emits kFreeze/kUnfreeze if the frozen set changed from `before` to the
+  /// current frozen_ (the event carries the full new set).
+  void emit_frozen_change(Effects& fx, ModeSet before) const;
+  /// Emits kLocalGrant + kEnterCs for a message-free self-grant (Rule 2,
+  /// the token's Rule 3.2 self-grant, or token-queue self-service).
+  void emit_self_grant(Effects& fx, LockMode mode, LockMode owned_before,
+                       std::uint64_t seq) const;
+
   const NodeId self_;
   const LockId lock_;
   const HierConfig config_;

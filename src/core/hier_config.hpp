@@ -43,6 +43,11 @@ struct HierConfig {
   /// requests bypass queued incompatible ones. Off: FIFO ordering across
   /// incompatible modes is no longer enforced and writers can starve.
   bool freezing = true;
+
+  /// Emit structured trace events (trace/event.hpp) in Effects::events for
+  /// every rule application — the input of the conformance linter
+  /// (src/lint). Off by default: hot paths pay nothing for tracing.
+  bool trace_events = false;
 };
 
 }  // namespace hlock::core

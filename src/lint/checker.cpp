@@ -1,0 +1,497 @@
+#include "lint/checker.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace hlock::lint {
+
+using trace::EventKind;
+using trace::TraceEvent;
+
+std::string to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kIncompatibleHolds:
+      return "incompatible-holds";
+    case ViolationKind::kUnauthorizedGrant:
+      return "unauthorized-grant";
+    case ViolationKind::kQueueForwardMismatch:
+      return "queue-forward-mismatch";
+    case ViolationKind::kMissingFreeze:
+      return "missing-freeze";
+    case ViolationKind::kFrozenGrant:
+      return "frozen-grant";
+    case ViolationKind::kFifoInversion:
+      return "fifo-inversion";
+    case ViolationKind::kStarvation:
+      return "starvation";
+    case ViolationKind::kTokenConservation:
+      return "token-conservation";
+  }
+  return "?";
+}
+
+std::string LintReport::render() const {
+  std::ostringstream os;
+  for (const Violation& violation : violations) {
+    os << "VIOLATION " << to_string(violation.kind) << " at event #"
+       << violation.event_index << " (" << to_string(violation.lock)
+       << "): " << violation.message << '\n';
+    for (const std::string& line : violation.window) {
+      os << "  | " << line << '\n';
+    }
+  }
+  if (violations.empty()) {
+    os << "lint: ok — " << events_checked << " events conform to the spec\n";
+  } else {
+    os << "lint: " << violations.size() << " violation(s) in "
+       << events_checked << " events\n";
+  }
+  return os.str();
+}
+
+Checker::Checker(LintOptions options) : options_(options) {}
+
+Checker::LockState& Checker::state(proto::LockId lock) {
+  auto [it, inserted] = locks_.try_emplace(lock.value());
+  if (inserted) it->second.token = options_.initial_token;
+  return it->second;
+}
+
+LockMode Checker::owned_estimate(const LockState& ls,
+                                 proto::NodeId node) const {
+  LockMode strongest = LockMode::kNL;
+  if (auto it = ls.held.find(node.value()); it != ls.held.end()) {
+    strongest = it->second;
+  }
+  if (auto cs = ls.copyset.find(node.value()); cs != ls.copyset.end()) {
+    for (const auto& [child, mode] : cs->second) {
+      if (spec_stronger(mode, strongest)) strongest = mode;
+    }
+  }
+  return strongest;
+}
+
+ModeSet Checker::required_frozen(const LockState& ls,
+                                 std::uint64_t before_order) const {
+  const LockMode owned = owned_estimate(ls, ls.token);
+  ModeSet required;
+  for (const Waiting& waiting : ls.waiting) {
+    if (waiting.at_token && waiting.order < before_order) {
+      required |= spec_freeze_set(owned, waiting.mode);
+    }
+  }
+  if (ls.upgrading) required |= spec_freeze_set(owned, LockMode::kW);
+  return required;
+}
+
+void Checker::report(ViolationKind kind, const TraceEvent& event,
+                     std::size_t index, std::string message) {
+  Violation violation;
+  violation.kind = kind;
+  violation.event_index = index;
+  violation.lock = event.lock;
+  violation.message = std::move(message);
+  violation.window.assign(context_.begin(), context_.end());
+  report_.violations.push_back(std::move(violation));
+}
+
+std::uint64_t Checker::resolve_waiting(LockState& ls, proto::NodeId requester,
+                                       std::uint64_t seq) {
+  auto it = std::find_if(ls.waiting.begin(), ls.waiting.end(),
+                         [&](const Waiting& waiting) {
+                           return waiting.requester == requester &&
+                                  waiting.seq == seq;
+                         });
+  if (it == ls.waiting.end()) return ls.next_order;
+  const std::uint64_t order = it->order;
+  ls.waiting.erase(it);
+  return order;
+}
+
+void Checker::check_token_flag(LockState& ls, const TraceEvent& event,
+                               std::size_t index) {
+  if (ls.token.is_none()) {
+    // First sighting: adopt the claim as ground truth.
+    if (event.token) ls.token = event.node;
+    return;
+  }
+  if (ls.token_in_flight) {
+    // The token travels in a message: its destination keeps acting as a
+    // non-token node until delivery (add() clears the flag on the
+    // destination's first token-flagged act). Any other node claiming the
+    // token meanwhile has duplicated it.
+    if (event.token) {
+      std::ostringstream os;
+      os << to_string(event.node) << " acted as token holder while the "
+         << "token is in flight to " << to_string(ls.token);
+      report(ViolationKind::kTokenConservation, event, index, os.str());
+    }
+    return;
+  }
+  const bool should_be_token = event.node == ls.token;
+  if (event.token != should_be_token) {
+    std::ostringstream os;
+    os << to_string(event.node)
+       << (event.token ? " acted as token holder but " : " acted without "
+                                                         "the token but ")
+       << to_string(ls.token) << " holds it";
+    report(ViolationKind::kTokenConservation, event, index, os.str());
+  }
+}
+
+void Checker::check_pending_freeze(LockState& ls, const TraceEvent& event,
+                                   std::size_t index) {
+  if (!options_.freezing || ls.pending_freeze.empty()) return;
+  const ModeSet actual =
+      ls.token.is_none() ? ModeSet{} : ls.frozen[ls.token.value()];
+  if ((ls.pending_freeze | actual) != actual) {
+    std::ostringstream os;
+    os << "token granted with Table 1(d) freezes still owed: required "
+       << to_string(ls.pending_freeze) << " but frozen set is "
+       << to_string(actual);
+    report(ViolationKind::kMissingFreeze, event, index, os.str());
+  }
+  ls.pending_freeze.clear();
+}
+
+void Checker::check_hold_compatibility(LockState& ls, const TraceEvent& event,
+                                       std::size_t index,
+                                       LockMode entering) {
+  for (const auto& [node, mode] : ls.held) {
+    if (node == event.node.value() || mode == LockMode::kNL) continue;
+    if (spec_incompatible(mode, entering)) {
+      std::ostringstream os;
+      os << to_string(event.node) << " entered in "
+         << proto::to_string(entering) << " while "
+         << to_string(proto::NodeId{node}) << " holds "
+         << proto::to_string(mode) << " (Table 1(a) conflict)";
+      report(ViolationKind::kIncompatibleHolds, event, index, os.str());
+    }
+  }
+}
+
+void Checker::check_fifo(LockState& ls, const TraceEvent& event,
+                         std::size_t index, std::uint64_t grant_order,
+                         std::uint8_t priority) {
+  if (!options_.freezing) return;  // fairness is waived without Rule 6
+  for (const Waiting& waiting : ls.waiting) {
+    if (!waiting.at_token || waiting.order >= grant_order) continue;
+    if (waiting.priority < priority) continue;  // priority overtake is legal
+    // A waiter that could not be granted at decision time — its mode
+    // conflicts with the granter's owned context, or the granter froze it
+    // on behalf of a still-earlier waiter — is lawfully bypassed within a
+    // single queue-service pass ("grant as many compatible requests as
+    // possible"); the post-service freeze refresh then blocks any further
+    // bypass, which the kFreeze/kMissingFreeze checks enforce. Only a
+    // grantable waiter being overtaken is a genuine FIFO inversion.
+    if (spec_incompatible(event.ctx, waiting.mode)) continue;
+    if (auto frozen = ls.frozen.find(event.node.value());
+        frozen != ls.frozen.end() && frozen->second.contains(waiting.mode)) {
+      continue;
+    }
+    if (spec_incompatible(event.mode, waiting.mode)) {
+      std::ostringstream os;
+      os << "grant of " << proto::to_string(event.mode)
+         << " overtook the earlier queued " << proto::to_string(waiting.mode)
+         << " request of " << to_string(waiting.requester) << " (seq "
+         << waiting.seq << ") it conflicts with";
+      report(ViolationKind::kFifoInversion, event, index, os.str());
+    }
+  }
+}
+
+void Checker::on_grant(LockState& ls, const TraceEvent& event,
+                       std::size_t index) {
+  check_token_flag(ls, event, index);
+  if (event.token) check_pending_freeze(ls, event, index);
+
+  // Rule 3 authority. The decision context (the granter's owned mode at
+  // decision time) rides on the event itself.
+  if (event.token) {
+    if (!spec_token_can_grant(event.ctx, event.mode)) {
+      std::ostringstream os;
+      os << "token granted " << proto::to_string(event.mode)
+         << " while owning the incompatible " << proto::to_string(event.ctx);
+      report(ViolationKind::kUnauthorizedGrant, event, index, os.str());
+    } else if (event.kind != EventKind::kLocalGrant &&
+               spec_token_grant_transfers(event.ctx, event.mode)) {
+      std::ostringstream os;
+      os << "token copy-granted " << proto::to_string(event.mode)
+         << " over owned " << proto::to_string(event.ctx)
+         << " where the spec demands a token transfer";
+      report(ViolationKind::kUnauthorizedGrant, event, index, os.str());
+    }
+  } else {
+    if (!options_.child_grants) {
+      report(ViolationKind::kUnauthorizedGrant, event, index,
+             to_string(event.node) +
+                 " granted although child grants are disabled");
+    } else if (!spec_non_token_can_grant(event.ctx, event.mode)) {
+      std::ostringstream os;
+      os << to_string(event.node) << " granted "
+         << proto::to_string(event.mode) << " with owned mode "
+         << proto::to_string(event.ctx)
+         << " — no Table 1(b) authority";
+      report(ViolationKind::kUnauthorizedGrant, event, index, os.str());
+    }
+  }
+
+  // Rule 6: a node must not grant a mode it has frozen.
+  if (options_.freezing &&
+      ls.frozen[event.node.value()].contains(event.mode)) {
+    std::ostringstream os;
+    os << to_string(event.node) << " granted frozen mode "
+       << proto::to_string(event.mode) << " (frozen set "
+       << to_string(ls.frozen[event.node.value()]) << ')';
+    report(ViolationKind::kFrozenGrant, event, index, os.str());
+  }
+
+  const proto::NodeId requester =
+      event.kind == EventKind::kLocalGrant ? event.node : event.peer;
+  const std::uint64_t order = resolve_waiting(ls, requester, event.seq);
+  if (event.token) check_fifo(ls, event, index, order, event.priority);
+}
+
+void Checker::on_queue(LockState& ls, const TraceEvent& event,
+                       std::size_t index) {
+  check_token_flag(ls, event, index);
+
+  if (!event.token) {
+    // Rule 4.1 / Table 1(c): a non-token node may only queue while its own
+    // request is pending, and only per the table — unless path compression
+    // is on, which lawfully makes every pending node absorbing.
+    if (event.ctx == LockMode::kNL) {
+      report(ViolationKind::kQueueForwardMismatch, event, index,
+             to_string(event.node) +
+                 " queued a request without a pending request of its own");
+    } else if (!options_.path_compression) {
+      if (!options_.local_queueing) {
+        report(ViolationKind::kQueueForwardMismatch, event, index,
+               to_string(event.node) +
+                   " queued although local queueing is disabled");
+      } else if (spec_queue_or_forward(event.ctx, event.mode) !=
+                 SpecQueueOrForward::kQueue) {
+        std::ostringstream os;
+        os << to_string(event.node) << " queued a "
+           << proto::to_string(event.mode) << " request while pending "
+           << proto::to_string(event.ctx) << " — Table 1(c) says forward";
+        report(ViolationKind::kQueueForwardMismatch, event, index, os.str());
+      }
+    }
+  } else if (options_.freezing) {
+    // Rule 6 / Table 1(d): admitting this entry obliges the token to
+    // freeze the bypass modes; settled at the token's next grant (no event
+    // is emitted when the frozen set already covers them).
+    ls.pending_freeze |= spec_freeze_set(event.ctx, event.mode);
+  }
+
+  // Track the entry. Re-queueing (a forwarded request arriving at the
+  // token) refreshes position but keeps the original admission time so
+  // starvation is measured from the first queueing.
+  auto it = std::find_if(ls.waiting.begin(), ls.waiting.end(),
+                         [&](const Waiting& waiting) {
+                           return waiting.requester == event.peer &&
+                                  waiting.seq == event.seq;
+                         });
+  if (it == ls.waiting.end()) {
+    ls.waiting.push_back(Waiting{event.peer, event.seq, event.mode,
+                                 event.priority, event.token,
+                                 ls.next_order++, index, false});
+  } else {
+    it->at_token = event.token;
+    it->order = ls.next_order++;
+    it->mode = event.mode;
+  }
+}
+
+void Checker::on_forward(LockState& ls, const TraceEvent& event,
+                         std::size_t index) {
+  if (event.ctx != LockMode::kNL) {
+    // The node forwarded while its own request was pending.
+    if (options_.path_compression) {
+      report(ViolationKind::kQueueForwardMismatch, event, index,
+             to_string(event.node) +
+                 " forwarded while pending — path compression requires "
+                 "pending nodes to queue every request");
+    } else if (options_.local_queueing &&
+               spec_queue_or_forward(event.ctx, event.mode) ==
+                   SpecQueueOrForward::kQueue) {
+      std::ostringstream os;
+      os << to_string(event.node) << " forwarded a "
+         << proto::to_string(event.mode) << " request while pending "
+         << proto::to_string(event.ctx) << " — Table 1(c) says queue";
+      report(ViolationKind::kQueueForwardMismatch, event, index, os.str());
+    }
+  }
+  // A previously locally-queued entry that is forwarded leaves that queue.
+  auto it = std::find_if(ls.waiting.begin(), ls.waiting.end(),
+                         [&](const Waiting& waiting) {
+                           return waiting.requester == event.peer &&
+                                  waiting.seq == event.seq &&
+                                  !waiting.at_token;
+                         });
+  if (it != ls.waiting.end()) ls.waiting.erase(it);
+}
+
+void Checker::on_token_transfer(LockState& ls, const TraceEvent& event,
+                                std::size_t index) {
+  if (!event.token) {
+    report(ViolationKind::kTokenConservation, event, index,
+           to_string(event.node) +
+               " shipped the token without claiming to hold it");
+  }
+  check_token_flag(ls, event, index);
+  if (options_.freezing) check_pending_freeze(ls, event, index);
+
+  const std::uint64_t order = resolve_waiting(ls, event.peer, event.seq);
+  check_fifo(ls, event, index, order, event.priority);
+  ls.token = event.peer;
+  ls.token_in_flight = true;
+  ls.pending_freeze.clear();
+}
+
+void Checker::check_starvation(std::size_t index) {
+  for (auto& [lock, ls] : locks_) {
+    for (Waiting& waiting : ls.waiting) {
+      if (waiting.starved_reported ||
+          index - waiting.queued_index <= options_.starvation_limit) {
+        continue;
+      }
+      waiting.starved_reported = true;
+      Violation violation;
+      violation.kind = ViolationKind::kStarvation;
+      violation.event_index = index;
+      violation.lock = proto::LockId{lock};
+      std::ostringstream os;
+      os << "the " << proto::to_string(waiting.mode) << " request of "
+         << to_string(waiting.requester) << " (seq " << waiting.seq
+         << ") queued at event #" << waiting.queued_index
+         << " is still waiting after " << index - waiting.queued_index
+         << " events";
+      violation.message = os.str();
+      violation.window.assign(context_.begin(), context_.end());
+      report_.violations.push_back(std::move(violation));
+    }
+  }
+}
+
+void Checker::add(const TraceEvent& event) {
+  const std::size_t index = index_++;
+  report_.events_checked = index_;
+  {
+    std::ostringstream os;
+    os << '#' << index << ' ' << to_string(event.node) << ' '
+       << to_string(event);
+    context_.push_back(os.str());
+    if (context_.size() > options_.context_window + 1) context_.pop_front();
+  }
+
+  LockState& ls = state(event.lock);
+  if (ls.token_in_flight && event.token && event.node == ls.token) {
+    ls.token_in_flight = false;  // delivery observed: the destination acts
+  }
+  switch (event.kind) {
+    case EventKind::kGrant:
+    case EventKind::kLocalGrant:
+      on_grant(ls, event, index);
+      break;
+    case EventKind::kQueue:
+      on_queue(ls, event, index);
+      break;
+    case EventKind::kForward:
+      on_forward(ls, event, index);
+      break;
+    case EventKind::kTokenTransfer:
+      on_token_transfer(ls, event, index);
+      break;
+    case EventKind::kFreeze:
+    case EventKind::kUnfreeze:
+      ls.frozen[event.node.value()] = event.modes;
+      if (options_.freezing && !ls.token.is_none() &&
+          event.node == ls.token) {
+        // Refresh-time Table 1(d) check: the token's recomputed frozen set
+        // must cover every still-waiting incompatible queue entry.
+        const ModeSet required =
+            required_frozen(ls, std::numeric_limits<std::uint64_t>::max());
+        if ((required | event.modes) != event.modes) {
+          std::ostringstream os;
+          os << "token refreshed its frozen set to "
+             << to_string(event.modes) << " but the queued requests demand "
+             << to_string(required);
+          report(ViolationKind::kMissingFreeze, event, index, os.str());
+        }
+        ls.pending_freeze.clear();
+      }
+      break;
+    case EventKind::kEnterCs:
+      if (event.mode != LockMode::kNL) {
+        check_hold_compatibility(ls, event, index, event.mode);
+        ls.held[event.node.value()] = event.mode;
+      }
+      break;
+    case EventKind::kExitCs:
+      ls.held.erase(event.node.value());
+      break;
+    case EventKind::kUpgradeBegin:
+      ls.upgrading = true;
+      break;
+    case EventKind::kUpgraded:
+      ls.upgrading = false;
+      check_hold_compatibility(ls, event, index, LockMode::kW);
+      ls.held[event.node.value()] = LockMode::kW;
+      break;
+    case EventKind::kCopysetJoin:
+      ls.copyset[event.node.value()][event.peer.value()] = event.mode;
+      break;
+    case EventKind::kCopysetLeave:
+      ls.copyset[event.node.value()].erase(event.peer.value());
+      break;
+    case EventKind::kMessage:
+    case EventKind::kRequest:
+    case EventKind::kNote:
+      break;
+  }
+  check_starvation(index);
+}
+
+LintReport Checker::finish() {
+  // End-of-trace obligations: freezes still owed and requests that never
+  // resolved within the starvation budget.
+  for (auto& [lock, ls] : locks_) {
+    if (!options_.freezing || ls.pending_freeze.empty()) continue;
+    const ModeSet actual =
+        ls.token.is_none() ? ModeSet{} : ls.frozen[ls.token.value()];
+    if ((ls.pending_freeze | actual) != actual) {
+      Violation violation;
+      violation.kind = ViolationKind::kMissingFreeze;
+      violation.event_index = index_ == 0 ? 0 : index_ - 1;
+      violation.lock = proto::LockId{lock};
+      std::ostringstream os;
+      os << "trace ended with Table 1(d) freezes still owed: required "
+         << to_string(ls.pending_freeze) << " but frozen set is "
+         << to_string(actual);
+      violation.message = os.str();
+      violation.window.assign(context_.begin(), context_.end());
+      report_.violations.push_back(std::move(violation));
+    }
+  }
+  check_starvation(index_);
+  return std::move(report_);
+}
+
+LintReport check(const std::vector<TraceEvent>& events,
+                 const LintOptions& options) {
+  Checker checker{options};
+  for (const TraceEvent& event : events) checker.add(event);
+  return checker.finish();
+}
+
+LintReport check(const std::deque<TraceEvent>& events,
+                 const LintOptions& options) {
+  Checker checker{options};
+  for (const TraceEvent& event : events) checker.add(event);
+  return checker.finish();
+}
+
+}  // namespace hlock::lint

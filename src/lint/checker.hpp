@@ -1,0 +1,193 @@
+// Protocol conformance linter.
+//
+// Replays a structured trace (trace/event.hpp) against the paper's spec as
+// re-derived in lint/spec_tables.hpp and reports every divergence from
+// Rules 1-7 / Tables 1(a)-(d): incompatible concurrent holds, grants
+// without Table 1(b)/3.2 authority, queue-vs-forward decisions
+// contradicting Table 1(c), queued incompatible requests without their
+// Table 1(d) freezes, grants of frozen modes, FIFO-fairness inversions,
+// starved requests and token-conservation breaks.
+//
+// The checker is linear in the trace length and streaming: feed events in
+// order via add(), collect the report with finish(). Convenience check()
+// overloads lint a whole container in one call. It never inspects
+// automaton internals — everything is judged from the events alone, which
+// is what makes it usable on simulator runs, threaded chaos runs, dumped
+// trace files (tools/hlock_lint) and model-checker counterexamples alike.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/spec_tables.hpp"
+#include "proto/ids.hpp"
+#include "trace/event.hpp"
+
+namespace hlock::lint {
+
+/// Tuning and protocol-configuration knobs for one lint pass. The config
+/// flags mirror core::HierConfig (kept as plain bools so the linter stays
+/// independent of core); they matter because two features lawfully amend
+/// the paper's tables: path compression queues every request at a pending
+/// node, and disabled freezing waives the fairness guarantees.
+struct LintOptions {
+  /// The node holding the token at trace start; none = infer from the
+  /// first event flagged token=true.
+  proto::NodeId initial_token;
+
+  // Mirrors of core::HierConfig for the run that produced the trace.
+  bool local_queueing = true;
+  bool child_grants = true;
+  bool path_compression = true;
+  bool freezing = true;
+
+  /// A request still waiting this many events after being queued is
+  /// reported as starved (generous default: real runs resolve in far
+  /// fewer; lower it for targeted tests).
+  std::size_t starvation_limit = 50000;
+
+  /// Events of preceding context captured into each violation.
+  std::size_t context_window = 4;
+};
+
+/// What went wrong. Each value maps to one rule/table of the paper.
+enum class ViolationKind : std::uint8_t {
+  kIncompatibleHolds,     ///< Rule 1 / Table 1(a): conflicting concurrent CS
+  kUnauthorizedGrant,     ///< Rule 3 / Table 1(b): grant without authority
+  kQueueForwardMismatch,  ///< Rule 4 / Table 1(c): wrong queue/forward call
+  kMissingFreeze,         ///< Rule 6 / Table 1(d): queued conflict unfrozen
+  kFrozenGrant,           ///< Rule 6: granted a mode the node had frozen
+  kFifoInversion,         ///< Rule 6 outcome: a later request overtook an
+                          ///< earlier incompatible one
+  kStarvation,            ///< a queued request never resolved in time
+  kTokenConservation,     ///< token moved/claimed by a non-holder
+};
+
+std::string to_string(ViolationKind kind);
+
+/// One detected violation, anchored to the offending event.
+struct Violation {
+  ViolationKind kind;
+  std::size_t event_index = 0;  ///< 0-based index of the offending event
+  proto::LockId lock{};
+  std::string message;  ///< human explanation with nodes/modes spelled out
+  /// The offending event preceded by up to LintOptions::context_window
+  /// events of context, one rendered line each (oldest first).
+  std::vector<std::string> window;
+};
+
+/// Result of one lint pass.
+struct LintReport {
+  std::vector<Violation> violations;
+  std::size_t events_checked = 0;
+
+  bool ok() const { return violations.empty(); }
+  /// Multi-line human rendering: one block per violation including its
+  /// event window, plus a one-line summary.
+  std::string render() const;
+};
+
+/// Streaming conformance checker; see file comment.
+class Checker {
+ public:
+  explicit Checker(LintOptions options = {});
+
+  /// Feeds the next event (events must arrive in trace order).
+  void add(const trace::TraceEvent& event);
+
+  /// Runs end-of-trace checks (pending freezes, starvation) and returns
+  /// the accumulated report. The checker is spent afterwards.
+  LintReport finish();
+
+ private:
+  /// A request observed queued and not yet granted/forwarded away.
+  struct Waiting {
+    proto::NodeId requester;
+    std::uint64_t seq = 0;
+    LockMode mode = LockMode::kNL;
+    std::uint8_t priority = 0;
+    bool at_token = false;   ///< in the token's FIFO (vs a local queue)
+    std::uint64_t order = 0; ///< admission order among at-token entries
+    std::size_t queued_index = 0;  ///< event index when first queued
+    bool starved_reported = false;
+  };
+
+  /// Everything the checker tracks about one lock.
+  struct LockState {
+    proto::NodeId token;  ///< tracked holder; none until known
+    /// True between a token-transfer event and the first token-flagged act
+    /// of its destination: the token is in a message, nobody holds it, and
+    /// the destination still lawfully acts as a non-token node.
+    bool token_in_flight = false;
+    std::map<std::uint32_t, LockMode> held;
+    std::map<std::uint32_t, ModeSet> frozen;
+    /// granter -> (child -> reported owned mode), mirrored from
+    /// kCopysetJoin/kCopysetLeave.
+    std::map<std::uint32_t, std::map<std::uint32_t, LockMode>> copyset;
+    std::vector<Waiting> waiting;
+    std::uint64_t next_order = 0;
+    bool upgrading = false;
+    /// Freezes owed since the last token queue admission, checked at the
+    /// token's next grant (Table 1(d) may be satisfied by an existing
+    /// frozen set, in which case no kFreeze event is ever emitted).
+    ModeSet pending_freeze;
+  };
+
+  LockState& state(proto::LockId lock);
+  /// Definition 3 estimate for `node`: its held mode joined with its
+  /// mirrored copyset entries.
+  LockMode owned_estimate(const LockState& ls, proto::NodeId node) const;
+  /// Union of Table 1(d) freeze sets demanded by the still-waiting token
+  /// queue entries admitted before `before_order` (and a pending upgrade),
+  /// evaluated at the current owned estimate.
+  ModeSet required_frozen(const LockState& ls,
+                          std::uint64_t before_order) const;
+
+  void report(ViolationKind kind, const trace::TraceEvent& event,
+              std::size_t index, std::string message);
+
+  void on_grant(LockState& ls, const trace::TraceEvent& event,
+                std::size_t index);
+  void on_queue(LockState& ls, const trace::TraceEvent& event,
+                std::size_t index);
+  void on_forward(LockState& ls, const trace::TraceEvent& event,
+                  std::size_t index);
+  void on_token_transfer(LockState& ls, const trace::TraceEvent& event,
+                         std::size_t index);
+  void check_hold_compatibility(LockState& ls,
+                                const trace::TraceEvent& event,
+                                std::size_t index, LockMode entering);
+  /// Fairness outcome check: flags the grant if an earlier-admitted,
+  /// same-or-higher-priority, still-waiting token entry conflicts with it.
+  void check_fifo(LockState& ls, const trace::TraceEvent& event,
+                  std::size_t index, std::uint64_t grant_order,
+                  std::uint8_t priority);
+  /// Clears (peer, seq) from the waiting list; returns its admission order
+  /// or next_order if it was never queued.
+  std::uint64_t resolve_waiting(LockState& ls, proto::NodeId requester,
+                                std::uint64_t seq);
+  void check_token_flag(LockState& ls, const trace::TraceEvent& event,
+                        std::size_t index);
+  void check_pending_freeze(LockState& ls, const trace::TraceEvent& event,
+                            std::size_t index);
+  void check_starvation(std::size_t index);
+
+  LintOptions options_;
+  LintReport report_;
+  std::map<std::uint32_t, LockState> locks_;
+  std::size_t index_ = 0;
+  /// Rolling window of rendered recent events for violation context.
+  std::deque<std::string> context_;
+};
+
+/// Lints a complete trace in one call.
+LintReport check(const std::vector<trace::TraceEvent>& events,
+                 const LintOptions& options = {});
+/// Overload for TraceRecorder::events() storage.
+LintReport check(const std::deque<trace::TraceEvent>& events,
+                 const LintOptions& options = {});
+
+}  // namespace hlock::lint

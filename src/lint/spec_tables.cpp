@@ -1,0 +1,109 @@
+#include "lint/spec_tables.hpp"
+
+namespace hlock::lint {
+
+ModeSemantics semantics(LockMode m) {
+  switch (m) {
+    case LockMode::kNL:
+      return {};
+    case LockMode::kIR:
+      return {.reads_some = true};
+    case LockMode::kR:
+      return {.reads_all = true};
+    case LockMode::kU:
+      return {.reads_all = true, .upgrade_claim = true};
+    case LockMode::kIW:
+      return {.reads_some = true, .writes_some = true};
+    case LockMode::kW:
+      return {.writes_all = true};
+  }
+  return {};
+}
+
+bool spec_incompatible(LockMode a, LockMode b) {
+  if (a == LockMode::kNL || b == LockMode::kNL) return false;
+  const ModeSemantics sa = semantics(a);
+  const ModeSemantics sb = semantics(b);
+  // A full write tolerates no concurrent access of any kind.
+  if (sa.writes_all || sb.writes_all) return true;
+  // A partial write invalidates any full-granule view (read or write).
+  if (sa.writes_some && (sb.reads_all || sb.writes_all)) return true;
+  if (sb.writes_some && (sa.reads_all || sa.writes_all)) return true;
+  // The upgrade right is exclusive: two claims cannot coexist.
+  if (sa.upgrade_claim && sb.upgrade_claim) return true;
+  return false;
+}
+
+ModeSet spec_compatible_set(LockMode m) {
+  ModeSet out;
+  for (LockMode other : proto::kRealModes) {
+    if (spec_compatible(m, other)) out.insert(other);
+  }
+  return out;
+}
+
+ModeSet spec_incompatible_set(LockMode m) {
+  ModeSet out;
+  for (LockMode other : proto::kRealModes) {
+    if (spec_incompatible(m, other)) out.insert(other);
+  }
+  return out;
+}
+
+int spec_strength(LockMode m) { return spec_incompatible_set(m).size(); }
+
+namespace {
+
+/// True if every mode in `a` is also in `b`.
+bool subset(ModeSet a, ModeSet b) { return (a | b) == b; }
+
+/// True if `m`'s grant can only ever arrive by token transfer: no mode
+/// compatible with `m` is strong enough to copy-grant it (Table 1(b)), so
+/// no copyset member can serve it. Holds exactly for U and W.
+bool always_transfers(LockMode m) {
+  for (LockMode owner : proto::kRealModes) {
+    if (spec_compatible(owner, m) && spec_non_token_can_grant(owner, m)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool spec_non_token_can_grant(LockMode owned, LockMode requested) {
+  // Only real modes are requestable; owned == kNL falls out of the
+  // inclusion test (its compatible set is all five real modes).
+  if (requested == LockMode::kNL) return false;
+  return spec_compatible(owned, requested) &&
+         subset(spec_compatible_set(owned), spec_compatible_set(requested));
+}
+
+bool spec_token_grant_transfers(LockMode owned, LockMode requested) {
+  return !subset(spec_compatible_set(owned), spec_compatible_set(requested));
+}
+
+SpecQueueOrForward spec_queue_or_forward(LockMode pending,
+                                        LockMode requested) {
+  if (pending == LockMode::kNL) return SpecQueueOrForward::kForward;
+  // Piggybacking: once granted, the node owns `pending` and Table 1(b)
+  // authorizes re-granting the identical self-compatible mode.
+  if (requested == pending && spec_compatible(pending, pending)) {
+    return SpecQueueOrForward::kQueue;
+  }
+  // Token-bound: the node's own grant will bring the token, making it the
+  // arbiter; requests that cannot overtake it (same mode or conflicting)
+  // wait here instead of chasing the token across the network.
+  if (always_transfers(pending) &&
+      (requested == pending || spec_incompatible(pending, requested))) {
+    return SpecQueueOrForward::kQueue;
+  }
+  return SpecQueueOrForward::kForward;
+}
+
+ModeSet spec_freeze_set(LockMode owned, LockMode queued) {
+  if (spec_compatible(owned, queued)) return {};
+  return spec_compatible_set(owned) & spec_incompatible_set(queued);
+}
+
+}  // namespace hlock::lint

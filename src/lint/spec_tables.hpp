@@ -1,0 +1,141 @@
+// The paper's rule tables, re-derived from first principles.
+//
+// This module is the conformance linter's independent source of truth for
+// Tables 1(a)-(d) of the paper. It deliberately does NOT reuse
+// core/mode_tables.hpp: the core encodes the tables as literal constexpr
+// data plus closed forms tuned for the hot path, while this module derives
+// every cell from the *semantics* of the five access modes, so that a bug
+// in the core's encoding cannot silently agree with itself. Unit tests
+// (tests/lint/spec_tables_test.cpp) cross-validate every cell of every
+// table against both the core and the literal matrices printed in the
+// paper.
+//
+// Derivation sketch (each function's comment carries the details):
+//
+//   semantics     — what a mode permits: reading/writing everything at this
+//                   granularity, announcing reads/writes below it, or
+//                   claiming the exclusive right to upgrade to W.
+//   Table 1(a)    — two modes conflict iff one's permissions can invalidate
+//                   the other's: a full write conflicts with everything, a
+//                   partial write conflicts with full reads and full
+//                   writes, and two upgrade claims conflict with each other.
+//   strength      — Definition 1: a mode is stronger when it is compatible
+//                   with fewer modes; the rank is that incompatibility
+//                   count.
+//   Table 1(b)    — a non-token copyset member may grant a request iff the
+//                   requester's permission set is covered by its own:
+//                   compatibility plus compatible-set inclusion.
+//   Table 1(c)    — a pending node queues a request iff it is certain to be
+//                   able to serve it after its own grant: same-mode
+//                   piggybacking on self-compatible modes, or anything the
+//                   node will arbitrate once the token reaches it.
+//   Table 1(d)    — freeze exactly the modes that are still grantable under
+//                   the owned mode but conflict with the queued one: the
+//                   would-be bypass grants.
+#pragma once
+
+#include "proto/lock_mode.hpp"
+
+namespace hlock::lint {
+
+using proto::LockMode;
+using proto::ModeSet;
+
+/// What holding a mode permits, at the granule it is taken on. These five
+/// flags are the linter's axioms; every table below is derived from them.
+struct ModeSemantics {
+  bool reads_all = false;     ///< may read the whole granule (R, U)
+  bool writes_all = false;    ///< may write the whole granule (W)
+  bool reads_some = false;    ///< announces reads on sub-granules (IR, IW)
+  bool writes_some = false;   ///< announces writes on sub-granules (IW)
+  bool upgrade_claim = false; ///< holds the exclusive right to become W (U)
+};
+
+/// The semantics of each mode (kNL permits nothing).
+ModeSemantics semantics(LockMode m);
+
+/// Table 1(a), derived: two modes conflict iff
+///   * either may write everything (a full write invalidates any
+///     concurrent access, and any concurrent access invalidates it), or
+///   * one may write some sub-granule while the other reads or writes
+///     everything (the partial write punches a hole in the full view;
+///     two partial writers are fine — their sub-granule locks arbitrate), or
+///   * both claim the upgrade right (it is exclusive by definition).
+/// kNL conflicts with nothing. Symmetric by construction.
+bool spec_incompatible(LockMode a, LockMode b);
+
+inline bool spec_compatible(LockMode a, LockMode b) {
+  return !spec_incompatible(a, b);
+}
+
+/// The real (non-NL) modes compatible with `m`. For kNL this is all five
+/// real modes.
+ModeSet spec_compatible_set(LockMode m);
+
+/// The real modes incompatible with `m`.
+ModeSet spec_incompatible_set(LockMode m);
+
+/// Definition 1, derived: a mode is stronger the fewer modes it tolerates.
+/// The rank is simply the number of real modes it is incompatible with
+/// (NL=0, IR=1, R=2, U=3, IW=3, W=5). The absolute values differ from the
+/// core's hand-assigned ranks but induce the same order on every pair,
+/// which is all any rule consumes (asserted by tests).
+int spec_strength(LockMode m);
+
+inline bool spec_stronger(LockMode a, LockMode b) {
+  return spec_strength(a) > spec_strength(b);
+}
+
+/// Table 1(b), derived: a NON-token copyset member owning `owned` may grant
+/// `requested` iff the two are compatible and every mode tolerated by the
+/// granter is also tolerated by the requested mode — i.e.
+/// spec_compatible_set(owned) is a subset of spec_compatible_set(requested).
+/// Inclusion guarantees the grant cannot enable a conflict the owned mode
+/// was not already advertising to the rest of the tree; it also rules out
+/// owned == kNL (its compatible set is everything). Equivalent to the
+/// paper's "compatible and at least as strong" on every reachable pair.
+bool spec_non_token_can_grant(LockMode owned, LockMode requested);
+
+/// Rule 3.2, derived: the token node arbitrates all modes, so compatibility
+/// with its owned aggregate is necessary and sufficient.
+inline bool spec_token_can_grant(LockMode owned, LockMode requested) {
+  return spec_compatible(owned, requested);
+}
+
+/// Rule 3.2 grant flavour, derived: the token stays put only when the grant
+/// could equally have been made by a copyset member — compatible-set
+/// inclusion again. Otherwise the requested mode exceeds the owned one and
+/// the token itself must move.
+bool spec_token_grant_transfers(LockMode owned, LockMode requested);
+
+/// Table 1(c) outcome (linter-local type; mirrors the paper's Q/F marks).
+enum class SpecQueueOrForward {
+  kForward,
+  kQueue,
+};
+
+/// Table 1(c), derived: a non-token node with pending mode `pending` queues
+/// an ungrantable request for `requested` iff it is certain to be able to
+/// serve it once its own request resolves:
+///   * requested == pending and the mode is self-compatible — after the
+///     grant the node owns `pending` and Table 1(b) lets it re-grant the
+///     identical mode (piggybacking; true for IR, R, IW);
+///   * the pending mode always arrives by token transfer (every mode
+///     compatible with it is strictly weaker, so no copyset member can ever
+///     copy-grant it; true exactly for U and W) — the node will become the
+///     token and thus the arbiter for any request that cannot overtake its
+///     own, i.e. the same mode or an incompatible one.
+/// Everything else is forwarded toward the token.
+SpecQueueOrForward spec_queue_or_forward(LockMode pending,
+                                         LockMode requested);
+
+/// Table 1(d), derived: when the token owning `owned` queues an
+/// incompatible request for `queued`, it must stop granting exactly the
+/// modes that are still grantable (compatible with `owned`) but would
+/// conflict with `queued` once granted — those grants would overtake the
+/// queued request forever (starvation). Hence
+/// spec_compatible_set(owned) ∩ spec_incompatible_set(queued); empty when
+/// the pair is compatible (nothing can bypass).
+ModeSet spec_freeze_set(LockMode owned, LockMode queued);
+
+}  // namespace hlock::lint

@@ -8,6 +8,7 @@
 
 #include "core/hier_automaton.hpp"
 #include "core/mode_tables.hpp"
+#include "lint/checker.hpp"
 #include "naimi/naimi_automaton.hpp"
 #include "raymond/raymond_automaton.hpp"
 #include "util/check.hpp"
@@ -60,7 +61,9 @@ struct State {
 class Explorer {
  public:
   Explorer(const std::vector<Script>& scripts, const ExploreOptions& options)
-      : scripts_(scripts), options_(options) {}
+      : scripts_(scripts), options_(options), config_(options.config) {
+    if (options_.lint) config_.trace_events = true;
+  }
 
   ExploreResult run() {
     State initial;
@@ -68,7 +71,7 @@ class Explorer {
       const NodeId self{static_cast<std::uint32_t>(i)};
       initial.nodes.emplace_back(self, kLock, i == 0,
                                  i == 0 ? NodeId::none() : NodeId{0},
-                                 options_.config);
+                                 config_);
     }
     initial.pc.assign(scripts_.size(), 0);
     initial.status.assign(scripts_.size(), Status::kIdle);
@@ -85,6 +88,12 @@ class Explorer {
   /// Applies one automaton step's effects to the state; returns false and
   /// records a violation if a safety property broke.
   bool absorb(State& state, std::size_t node, Effects&& fx) {
+    for (trace::TraceEvent& event : fx.events) {
+      // There is no simulated clock here; stamp events with a logical one
+      // so counterexample dumps order and replay deterministically.
+      event.at = SimTime::ns(static_cast<std::int64_t>(events_.size()) + 1);
+      events_.push_back(std::move(event));
+    }
     for (Message& message : fx.messages) {
       state.channels[{message.from.value(), message.to.value()}].push_back(
           std::move(message));
@@ -140,8 +149,26 @@ class Explorer {
     if (result_.violation.empty()) {
       result_.violation = message;
       result_.trace = trace_;
+      result_.events = events_;
     }
     return false;
+  }
+
+  /// Conformance lint (Tables 1(a)-(d), FIFO fairness) of the event trace
+  /// along the current path; only meaningful at terminal states, where
+  /// every queued request has resolved.
+  bool lint_path() {
+    lint::LintOptions lint_options;
+    lint_options.initial_token = NodeId{0};
+    lint_options.local_queueing = config_.local_queueing;
+    lint_options.child_grants = config_.child_grants;
+    lint_options.path_compression = config_.path_compression;
+    lint_options.freezing = config_.freezing;
+    const lint::LintReport report = lint::check(events_, lint_options);
+    if (report.ok()) return true;
+    const lint::Violation& first = report.violations.front();
+    return fail("conformance lint: " + to_string(first.kind) + " — " +
+                first.message);
   }
 
   void check_terminal(const State& state) {
@@ -154,6 +181,7 @@ class Explorer {
         return;
       }
     }
+    if (options_.lint && !lint_path()) return;
     // Quiescent structure: copysets mutual and accurate.
     for (std::size_t i = 0; i < state.nodes.size(); ++i) {
       for (const core::CopysetEntry& entry : state.nodes[i].copyset()) {
@@ -195,11 +223,13 @@ class Explorer {
 
       ++result_.transitions;
       trace_.push_back("deliver " + to_string(message));
+      const std::size_t events_mark = events_.size();
       const std::size_t to = message.to.value();
       if (absorb(next, to, next.nodes[to].on_message(message))) {
         dfs(next);
       }
       trace_.pop_back();
+      events_.resize(events_mark);
       if (!result_.violation.empty()) return;
     }
 
@@ -213,6 +243,7 @@ class Explorer {
       State next = state;
       ++next.pc[i];
       ++result_.transitions;
+      const std::size_t events_mark = events_.size();
       Effects fx;
       switch (op.kind) {
         case ScriptOp::Kind::kAcquire:
@@ -234,6 +265,7 @@ class Explorer {
       }
       if (absorb(next, i, std::move(fx))) dfs(next);
       trace_.pop_back();
+      events_.resize(events_mark);
       if (!result_.violation.empty()) return;
     }
 
@@ -242,9 +274,15 @@ class Explorer {
 
   const std::vector<Script>& scripts_;
   const ExploreOptions& options_;
+  /// options_.config with trace_events forced on under options_.lint.
+  core::HierConfig config_;
   ExploreResult result_;
   std::unordered_set<std::string> visited_;
   std::vector<std::string> trace_;
+  /// Structured events along the current DFS path (push in absorb(),
+  /// truncate on backtrack) — the linter's input and the counterexample
+  /// event trace captured by fail().
+  std::vector<trace::TraceEvent> events_;
 };
 
 // ---------------------------------------------------------------------------

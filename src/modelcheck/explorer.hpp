@@ -23,6 +23,7 @@
 
 #include "core/hier_config.hpp"
 #include "proto/lock_mode.hpp"
+#include "trace/event.hpp"
 
 namespace hlock::modelcheck {
 
@@ -51,6 +52,14 @@ struct ExploreOptions {
   core::HierConfig config = {};
   /// Abort (as a failure) beyond this many distinct states.
   std::uint64_t max_states = 5'000'000;
+  /// Record structured trace events (forces config.trace_events on the
+  /// explored automatons) and run the conformance linter (src/lint) over
+  /// the event trace of every first-visit terminal path — the fairness /
+  /// Table 1(a)-(d) pass on top of the explorer's built-in safety checks.
+  /// A lint violation fails the exploration like any other. Coverage note:
+  /// state deduplication means each reachable state is linted along the
+  /// first path that discovers it, not every path.
+  bool lint = false;
 };
 
 /// Outcome of one exploration.
@@ -63,6 +72,10 @@ struct ExploreResult {
   /// trace (one line per action) that reaches it.
   std::string violation;
   std::vector<std::string> trace;
+  /// With ExploreOptions::lint: the structured events emitted along the
+  /// counterexample path (empty when ok). Feed to lint::check or
+  /// trace::format_event for post-hoc analysis (tools/hlock_check).
+  std::vector<trace::TraceEvent> events;
 };
 
 /// Exhaustively explores `scripts` (scripts[i] runs on node i; node 0 is

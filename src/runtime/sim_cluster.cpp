@@ -40,6 +40,10 @@ void SimCluster::set_message_observer(MessageObserver observer) {
   message_observer_ = std::move(observer);
 }
 
+void SimCluster::set_event_observer(EventObserver observer) {
+  event_observer_ = std::move(observer);
+}
+
 LockEngine& SimCluster::engine(NodeId node) {
   HLOCK_REQUIRE(node.value() < engines_.size(), "unknown node id");
   return *engines_[node.value()];
@@ -78,6 +82,12 @@ void SimCluster::upgrade(NodeId node, LockId lock) {
 }
 
 void SimCluster::apply(NodeId node, LockId lock, Effects&& effects) {
+  if (event_observer_) {
+    for (trace::TraceEvent& event : effects.events) {
+      event.at = simulator_.now();
+      event_observer_(std::move(event));
+    }
+  }
   for (const proto::Message& message : effects.messages) {
     transmit(message);
   }

@@ -19,6 +19,7 @@
 #include "sim/network_model.hpp"
 #include "sim/simulator.hpp"
 #include "stats/metrics.hpp"
+#include "trace/event.hpp"
 #include "util/rng.hpp"
 
 namespace hlock::runtime {
@@ -63,6 +64,13 @@ class SimCluster {
       std::function<void(SimTime sent_at, const proto::Message& message)>;
   void set_message_observer(MessageObserver observer);
 
+  /// Observes every structured protocol event the automatons emit, stamped
+  /// with the simulated time of the step that produced it. Only fires when
+  /// the hierarchical config has trace_events enabled. Feed these to
+  /// trace::TraceRecorder and/or lint::Checker.
+  using EventObserver = std::function<void(trace::TraceEvent event)>;
+  void set_event_observer(EventObserver observer);
+
   // ---- Application operations (asynchronous; grants arrive via the
   //      handler, possibly synchronously within the call) ----
 
@@ -100,6 +108,7 @@ class SimCluster {
   std::vector<std::unique_ptr<LockEngine>> engines_;
   GrantHandler grant_handler_;
   MessageObserver message_observer_;
+  EventObserver event_observer_;
 };
 
 }  // namespace hlock::runtime

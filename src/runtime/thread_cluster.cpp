@@ -66,6 +66,10 @@ ThreadCluster::~ThreadCluster() {
   }
 }
 
+void ThreadCluster::set_event_sink(EventSink sink) {
+  event_sink_ = std::move(sink);
+}
+
 ThreadCluster::NodeRuntime& ThreadCluster::runtime_of(NodeId node) {
   HLOCK_REQUIRE(node.value() < nodes_.size(), "unknown node id");
   return *nodes_[node.value()];
@@ -91,7 +95,19 @@ void ThreadCluster::receiver_loop(NodeId node) {
 }
 
 void ThreadCluster::apply(NodeRuntime& rt, LockId lock, Effects&& effects) {
-  // Caller holds rt.mutex.
+  // Caller holds rt.mutex. Events are sunk before the step's messages go
+  // out so the sink's global order respects causality (see set_event_sink).
+  if (event_sink_ && !effects.events.empty()) {
+    const auto elapsed = std::chrono::steady_clock::now() - started_;
+    const SimTime at = SimTime::ns(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+    std::lock_guard<std::mutex> sink_guard(event_mutex_);
+    for (trace::TraceEvent& event : effects.events) {
+      event.at = at;
+      event_sink_(std::move(event));
+    }
+  }
   for (const proto::Message& message : effects.messages) {
     transport_->send(message);
   }

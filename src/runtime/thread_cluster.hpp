@@ -10,7 +10,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -19,6 +21,7 @@
 
 #include "core/hier_config.hpp"
 #include "runtime/engine.hpp"
+#include "trace/event.hpp"
 #include "transport/faulty_transport.hpp"
 #include "transport/inproc_transport.hpp"
 #include "transport/tcp_transport.hpp"
@@ -98,6 +101,16 @@ class ThreadCluster {
     return receiver_errors_.load(std::memory_order_relaxed);
   }
 
+  /// Receives every structured protocol event (hier config must enable
+  /// trace_events), stamped with wall time since cluster start. Calls are
+  /// serialized by an internal mutex, and each step's events are sunk
+  /// BEFORE its messages are transmitted, so the sink observes a causally
+  /// consistent global order (an exit-cs always precedes the enter-cs it
+  /// enables). Set before issuing operations; the sink must not call back
+  /// into the cluster.
+  using EventSink = std::function<void(trace::TraceEvent event)>;
+  void set_event_sink(EventSink sink);
+
  private:
   struct NodeRuntime {
     std::unique_ptr<LockEngine> engine;
@@ -120,6 +133,11 @@ class ThreadCluster {
   NodeRuntime& runtime_of(NodeId node);
 
   std::unique_ptr<transport::Transport> transport_;
+  EventSink event_sink_;
+  /// Serializes event_sink_ calls across nodes (see set_event_sink).
+  std::mutex event_mutex_;
+  const std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
   /// Non-owning view of transport_ when the options wrapped it in faults.
   transport::FaultyTransport* faulty_ = nullptr;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;

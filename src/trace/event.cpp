@@ -1,0 +1,174 @@
+#include "trace/event.hpp"
+
+#include <array>
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+namespace hlock::trace {
+
+namespace {
+
+using proto::LockMode;
+using proto::ModeSet;
+using proto::NodeId;
+
+/// Names indexed by EventKind; also the wire vocabulary of format_event().
+constexpr std::array<const char*, kEventKindCount> kKindNames = {
+    "message",       "request",      "grant",         "local-grant",
+    "queue",         "forward",      "freeze",        "unfreeze",
+    "token-transfer", "copyset-join", "copyset-leave", "enter-cs",
+    "exit-cs",       "upgrade-begin", "upgraded",      "note",
+};
+
+LockMode parse_mode(const std::string& token, bool& ok) {
+  for (LockMode m : proto::kAllModes) {
+    if (token == to_string(m)) return m;
+  }
+  ok = false;
+  return LockMode::kNL;
+}
+
+/// "node7" / "-" <-> NodeId. format_event never emits the "node" prefix;
+/// raw indices keep the format compact and trivially parseable.
+std::string encode_node(NodeId id) {
+  return id.is_none() ? "-" : std::to_string(id.value());
+}
+
+NodeId decode_node(const std::string& token, bool& ok) {
+  if (token == "-") return NodeId::none();
+  std::uint32_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    ok = false;
+    return NodeId::none();
+  }
+  return NodeId{value};
+}
+
+template <typename T>
+T decode_int(const std::string& token, bool& ok) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) ok = false;
+  return value;
+}
+
+std::string escape_detail(const std::string& detail) {
+  std::string out;
+  out.reserve(detail.size());
+  for (char c : detail) {
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_detail(const std::string& detail) {
+  std::string out;
+  out.reserve(detail.size());
+  for (std::size_t i = 0; i < detail.size(); ++i) {
+    if (detail[i] == '\\' && i + 1 < detail.size()) {
+      out += detail[i + 1] == 'n' ? '\n' : detail[i + 1];
+      ++i;
+    } else {
+      out += detail[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(EventKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  return index < kKindNames.size() ? kKindNames[index] : "?";
+}
+
+std::optional<EventKind> parse_event_kind(const std::string& name) {
+  for (std::size_t i = 0; i < kKindNames.size(); ++i) {
+    if (name == kKindNames[i]) return static_cast<EventKind>(i);
+  }
+  return std::nullopt;
+}
+
+std::string to_string(const TraceEvent& event) {
+  std::ostringstream os;
+  os << to_string(event.kind);
+  switch (event.kind) {
+    case EventKind::kMessage:
+    case EventKind::kNote:
+      if (!event.detail.empty()) os << "  " << event.detail;
+      return os.str();
+    default:
+      break;
+  }
+  if (event.mode != LockMode::kNL) os << ' ' << to_string(event.mode);
+  if (!event.peer.is_none()) {
+    os << (event.kind == EventKind::kQueue ? " from " : " -> ")
+       << to_string(event.peer);
+  }
+  if (!event.modes.empty()) os << ' ' << to_string(event.modes);
+  os << " (";
+  os << "ctx=" << to_string(event.ctx);
+  if (event.token) os << ", token";
+  if (event.seq != 0) os << ", seq=" << event.seq;
+  if (event.priority != 0) os << ", p" << static_cast<int>(event.priority);
+  os << ')';
+  if (!event.detail.empty()) os << "  " << event.detail;
+  return os.str();
+}
+
+std::string format_event(const TraceEvent& event) {
+  std::ostringstream os;
+  os << event.at.count_ns() << ' ' << to_string(event.kind) << ' '
+     << encode_node(event.node) << ' ' << encode_node(event.peer) << ' '
+     << event.lock.value() << ' ' << to_string(event.mode) << ' '
+     << to_string(event.ctx) << ' '
+     << static_cast<unsigned>(event.modes.bits()) << ' '
+     << (event.token ? 'T' : '.') << ' ' << event.seq << ' '
+     << static_cast<unsigned>(event.priority) << " |"
+     << escape_detail(event.detail);
+  return os.str();
+}
+
+std::optional<TraceEvent> parse_event(const std::string& line) {
+  // Split the 11 space-separated fields; everything after " |" is detail.
+  const std::size_t detail_mark = line.find(" |");
+  if (detail_mark == std::string::npos) return std::nullopt;
+  std::istringstream head{line.substr(0, detail_mark)};
+  std::vector<std::string> fields;
+  std::string field;
+  while (head >> field) fields.push_back(field);
+  if (fields.size() != 11) return std::nullopt;
+
+  bool ok = true;
+  TraceEvent event;
+  event.at = SimTime::ns(decode_int<std::int64_t>(fields[0], ok));
+  const auto kind = parse_event_kind(fields[1]);
+  if (!kind.has_value()) return std::nullopt;
+  event.kind = *kind;
+  event.node = decode_node(fields[2], ok);
+  event.peer = decode_node(fields[3], ok);
+  event.lock = proto::LockId{decode_int<std::uint32_t>(fields[4], ok)};
+  event.mode = parse_mode(fields[5], ok);
+  event.ctx = parse_mode(fields[6], ok);
+  event.modes =
+      ModeSet::from_bits(decode_int<std::uint8_t>(fields[7], ok));
+  if (fields[8] != "T" && fields[8] != ".") return std::nullopt;
+  event.token = fields[8] == "T";
+  event.seq = decode_int<std::uint64_t>(fields[9], ok);
+  event.priority = decode_int<std::uint8_t>(fields[10], ok);
+  if (!ok) return std::nullopt;
+  event.detail = unescape_detail(line.substr(detail_mark + 2));
+  return event;
+}
+
+}  // namespace hlock::trace

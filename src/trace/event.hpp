@@ -1,0 +1,100 @@
+// Structured protocol trace events.
+//
+// Every observable protocol action — grants, queue/forward decisions,
+// freezes, token transfers, copyset membership changes, critical-section
+// entries — is one typed TraceEvent. The hierarchical automaton emits them
+// (when HierConfig::trace_events is on) as part of its Effects, so a trace
+// is an exact, machine-checkable account of every rule the protocol
+// applied. The conformance linter (src/lint) replays traces against the
+// paper's spec; the TraceRecorder renders them as human timelines; the
+// format_event()/parse_event() pair round-trips them through text files for
+// offline linting (tools/hlock_lint).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "proto/ids.hpp"
+#include "proto/lock_mode.hpp"
+#include "util/sim_time.hpp"
+
+namespace hlock::trace {
+
+/// What happened. Values index TraceRecorder::histogram() and are stable
+/// within one trace dump (the text format carries names, not numbers).
+enum class EventKind : std::uint8_t {
+  kMessage = 0,     ///< a protocol message was sent (runtime-observed)
+  kRequest,         ///< a node issued its own lock request
+  kGrant,           ///< a node copy-granted `mode` to `peer` (Rule 3)
+  kLocalGrant,      ///< a node granted its own request from local knowledge
+  kQueue,           ///< a node queued `peer`'s request locally (Rule 4)
+  kForward,         ///< a node forwarded `peer`'s request (Rule 4.1, F)
+  kFreeze,          ///< the node's frozen set grew; `modes` = full new set
+  kUnfreeze,        ///< the node's frozen set shrank; `modes` = full new set
+  kTokenTransfer,   ///< the token moved from `node` to `peer` (Rule 3)
+  kCopysetJoin,     ///< `node` admitted (or re-recorded) `peer` at `mode`
+  kCopysetLeave,    ///< `node` dropped `peer` from its copyset
+  kEnterCs,         ///< a node entered its critical section holding `mode`
+  kExitCs,          ///< a node released `mode`
+  kUpgradeBegin,    ///< a Rule 7 upgrade was initiated (U held, W pending)
+  kUpgraded,        ///< a Rule 7 upgrade completed; the node now holds W
+  kNote,            ///< free-form annotation from the application
+};
+
+/// Number of distinct EventKind values.
+inline constexpr std::size_t kEventKindCount = 16;
+
+/// Returns "message", "grant", "enter-cs", ...
+std::string to_string(EventKind kind);
+
+/// Parses the names produced by to_string(EventKind).
+std::optional<EventKind> parse_event_kind(const std::string& name);
+
+/// One protocol event. Field meaning varies slightly by kind (see the
+/// per-kind comments above); unused fields keep their defaults.
+struct TraceEvent {
+  /// Timestamp, stamped by the runtime/recorder (automatons hold no clock).
+  SimTime at{};
+  EventKind kind = EventKind::kNote;
+  /// Acting node (the sender for kMessage).
+  proto::NodeId node;
+  /// Counterparty: the requester being granted/queued/forwarded, the child
+  /// joining/leaving a copyset, the token recipient, the receiver of a
+  /// message. none when the action has no counterparty.
+  proto::NodeId peer;
+  proto::LockId lock{};
+  /// Principal mode of the action: the requested/granted/held mode.
+  proto::LockMode mode = proto::LockMode::kNL;
+  /// Decision context of the acting node: its owned mode for grant and
+  /// token-queue decisions, its own pending mode for non-token
+  /// queue/forward decisions, the shipped residual owned mode for token
+  /// transfers.
+  proto::LockMode ctx = proto::LockMode::kNL;
+  /// Mode set payload: the node's complete frozen set after a
+  /// kFreeze/kUnfreeze change.
+  proto::ModeSet modes;
+  /// True if the acting node held the token when the event fired.
+  bool token = false;
+  /// Request sequence number, where the action concerns a request.
+  std::uint64_t seq = 0;
+  std::uint8_t priority = 0;
+  /// Rendered message (kMessage), forward target (kForward), or free text.
+  std::string detail;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// One-line human rendering of the event body (no timestamp/node prefix —
+/// TraceRecorder::render adds those): "grant R -> node2 (owned=R, token)".
+std::string to_string(const TraceEvent& event);
+
+/// Machine-readable single-line encoding, stable across runs:
+/// "1500 grant node0 node2 0 R R {} T 4 0 |detail". Newlines in `detail`
+/// are escaped. parse_event() inverts it.
+std::string format_event(const TraceEvent& event);
+
+/// Parses one format_event() line; std::nullopt on malformed input.
+std::optional<TraceEvent> parse_event(const std::string& line);
+
+}  // namespace hlock::trace

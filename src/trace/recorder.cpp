@@ -7,22 +7,6 @@
 
 namespace hlock::trace {
 
-std::string to_string(EventKind kind) {
-  switch (kind) {
-    case EventKind::kMessage:
-      return "message";
-    case EventKind::kEnterCs:
-      return "enter-cs";
-    case EventKind::kExitCs:
-      return "exit-cs";
-    case EventKind::kUpgraded:
-      return "upgraded";
-    case EventKind::kNote:
-      return "note";
-  }
-  return "?";
-}
-
 TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
   HLOCK_REQUIRE(capacity > 0, "trace capacity must be positive");
 }
@@ -33,27 +17,58 @@ void TraceRecorder::push(TraceEvent event) {
   if (events_.size() > capacity_) events_.pop_front();
 }
 
+void TraceRecorder::record(TraceEvent event) { push(std::move(event)); }
+
+void TraceRecorder::record(SimTime at, TraceEvent event) {
+  event.at = at;
+  push(std::move(event));
+}
+
 void TraceRecorder::record_message(SimTime at, const proto::Message& message) {
-  push(TraceEvent{at, EventKind::kMessage, message.from,
-                  to_string(message)});
+  TraceEvent event;
+  event.at = at;
+  event.kind = EventKind::kMessage;
+  event.node = message.from;
+  event.peer = message.to;
+  event.lock = message.lock;
+  event.detail = to_string(message);
+  push(std::move(event));
 }
 
 void TraceRecorder::record_enter_cs(SimTime at, proto::NodeId node,
                                     const std::string& detail) {
-  push(TraceEvent{at, EventKind::kEnterCs, node, detail});
+  TraceEvent event;
+  event.at = at;
+  event.kind = EventKind::kEnterCs;
+  event.node = node;
+  event.detail = detail;
+  push(std::move(event));
 }
 
 void TraceRecorder::record_exit_cs(SimTime at, proto::NodeId node) {
-  push(TraceEvent{at, EventKind::kExitCs, node, ""});
+  TraceEvent event;
+  event.at = at;
+  event.kind = EventKind::kExitCs;
+  event.node = node;
+  push(std::move(event));
 }
 
 void TraceRecorder::record_upgrade(SimTime at, proto::NodeId node) {
-  push(TraceEvent{at, EventKind::kUpgraded, node, ""});
+  TraceEvent event;
+  event.at = at;
+  event.kind = EventKind::kUpgraded;
+  event.node = node;
+  push(std::move(event));
 }
 
 void TraceRecorder::note(SimTime at, proto::NodeId node,
                          const std::string& text) {
-  push(TraceEvent{at, EventKind::kNote, node, text});
+  TraceEvent event;
+  event.at = at;
+  event.kind = EventKind::kNote;
+  event.node = node;
+  event.detail = text;
+  push(std::move(event));
 }
 
 void TraceRecorder::clear() {
@@ -67,26 +82,21 @@ std::string TraceRecorder::render(proto::NodeId node_filter) const {
     os << "... (" << total_ - events_.size() << " earlier events dropped)\n";
   }
   for (const TraceEvent& event : events_) {
-    if (!node_filter.is_none()) {
-      bool relevant = event.node == node_filter;
-      if (event.kind == EventKind::kMessage &&
-          event.detail.find(to_string(node_filter)) != std::string::npos) {
-        relevant = true;
-      }
-      if (!relevant) continue;
+    if (!node_filter.is_none() && event.node != node_filter &&
+        event.peer != node_filter) {
+      continue;
     }
     char head[64];
-    std::snprintf(head, sizeof head, "%12s  %-7s %-9s ",
+    std::snprintf(head, sizeof head, "%12s  %-7s ",
                   to_string(event.at).c_str(),
-                  to_string(event.node).c_str(),
-                  to_string(event.kind).c_str());
-    os << head << event.detail << '\n';
+                  to_string(event.node).c_str());
+    os << head << to_string(event) << '\n';
   }
   return os.str();
 }
 
 std::vector<std::size_t> TraceRecorder::histogram() const {
-  std::vector<std::size_t> counts(5, 0);
+  std::vector<std::size_t> counts(kEventKindCount, 0);
   for (const TraceEvent& event : events_) {
     ++counts[static_cast<std::size_t>(event.kind)];
   }

@@ -1,52 +1,39 @@
 // Protocol event tracing.
 //
-// Records a bounded history of protocol events (messages sent, critical
-// sections entered/left, upgrades) with simulated timestamps, and renders
-// them as a per-node timeline — the tool of choice when a distributed
-// locking bug needs to be read as a story rather than a state dump.
-// Recording is in-memory and allocation-light; a ring buffer caps memory
-// for long runs.
+// Records a bounded history of structured protocol events (see
+// trace/event.hpp) with simulated timestamps and renders them as a
+// per-node timeline — the tool of choice when a distributed locking bug
+// needs to be read as a story rather than a state dump. The same structured
+// events feed the conformance linter (src/lint). Recording is in-memory and
+// allocation-light; a ring buffer caps memory for long runs.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "proto/ids.hpp"
 #include "proto/message.hpp"
+#include "trace/event.hpp"
 #include "util/sim_time.hpp"
 
 namespace hlock::trace {
 
-/// What happened.
-enum class EventKind : std::uint8_t {
-  kMessage,   ///< a protocol message was sent
-  kEnterCs,   ///< a node entered its critical section
-  kExitCs,    ///< a node released
-  kUpgraded,  ///< a Rule 7 upgrade completed
-  kNote,      ///< free-form annotation from the application
-};
-
-/// Returns "message", "enter-cs", ...
-std::string to_string(EventKind kind);
-
-/// One recorded event.
-struct TraceEvent {
-  SimTime at;
-  EventKind kind = EventKind::kNote;
-  proto::NodeId node;  ///< acting node (sender for messages)
-  std::string detail;  ///< rendered message / annotation
-};
-
 /// Bounded in-memory event recorder. Not thread-safe by design: attach one
-/// per simulated cluster (single-threaded) or guard externally.
+/// per simulated cluster (single-threaded) or guard externally (the
+/// ThreadCluster serializes its event sink).
 class TraceRecorder {
  public:
   /// Keeps at most `capacity` events; older ones are dropped FIFO.
   explicit TraceRecorder(std::size_t capacity = 65536);
 
+  /// Records a structured event as-is (`event.at` must be stamped).
+  void record(TraceEvent event);
+  /// Records a structured event, stamping its timestamp.
+  void record(SimTime at, TraceEvent event);
+
+  // Convenience wrappers building the common runtime-observed events.
   void record_message(SimTime at, const proto::Message& message);
   void record_enter_cs(SimTime at, proto::NodeId node,
                        const std::string& detail = "");
@@ -67,11 +54,11 @@ class TraceRecorder {
 
   /// Renders the retained history, one line per event:
   ///   "    1.500 ms  node2   message   node2->node0 lock0 REQUEST(...)".
-  /// `node_filter` (if not none) restricts to one node's perspective
-  /// (its own events plus messages it sent or received).
+  /// `node_filter` (if not none) restricts to one node's perspective (its
+  /// own events plus events it is the counterparty of).
   std::string render(proto::NodeId node_filter = proto::NodeId::none()) const;
 
-  /// Per-kind counts over retained events, index by EventKind.
+  /// Per-kind counts over retained events, indexed by EventKind.
   std::vector<std::size_t> histogram() const;
 
  private:

@@ -24,12 +24,21 @@ void CliParser::add_flag(const std::string& name, const std::string& help) {
   declaration_order_.push_back(name);
 }
 
+void CliParser::allow_positionals(const std::string& placeholder) {
+  HLOCK_REQUIRE(!placeholder.empty(), "positionals need a help placeholder");
+  positional_placeholder_ = placeholder;
+}
+
 bool CliParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") return false;
-    HLOCK_REQUIRE(arg.rfind("--", 0) == 0,
-                  "expected --option syntax, got: " + arg);
+    if (arg.rfind("--", 0) != 0) {
+      HLOCK_REQUIRE(!positional_placeholder_.empty(),
+                    "expected --option syntax, got: " + arg);
+      positionals_.push_back(std::move(arg));
+      continue;
+    }
     arg = arg.substr(2);
 
     std::string name = arg;
@@ -111,7 +120,12 @@ bool CliParser::was_set(const std::string& name) const {
 
 std::string CliParser::help_text() const {
   std::ostringstream os;
-  os << program_ << " — " << description_ << "\n\noptions:\n";
+  os << program_ << " — " << description_ << "\n";
+  if (!positional_placeholder_.empty()) {
+    os << "\nusage: " << program_ << " [options] "
+       << positional_placeholder_ << "\n";
+  }
+  os << "\noptions:\n";
   for (const std::string& name : declaration_order_) {
     const Option& option = options_.at(name);
     os << "  --" << name;

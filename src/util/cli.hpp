@@ -28,6 +28,10 @@ class CliParser {
   /// --name=true/false).
   void add_flag(const std::string& name, const std::string& help);
 
+  /// Allows bare (non `--`) arguments; `placeholder` names them in the
+  /// help text (e.g. "TRACE-FILE"). Without this call they are rejected.
+  void allow_positionals(const std::string& placeholder);
+
   /// Parses argv. Returns false if --help was requested (help_text() is
   /// ready to print) — callers should then exit 0. Throws UsageError on
   /// unknown options, missing values or malformed input.
@@ -42,6 +46,9 @@ class CliParser {
 
   /// True if the option was given explicitly (not defaulted).
   bool was_set(const std::string& name) const;
+
+  /// Bare arguments in command-line order (allow_positionals required).
+  const std::vector<std::string>& positional() const { return positionals_; }
 
   /// The rendered --help text.
   std::string help_text() const;
@@ -59,6 +66,9 @@ class CliParser {
   std::string description_;
   std::map<std::string, Option> options_;
   std::vector<std::string> declaration_order_;
+  /// Empty = positionals rejected; otherwise their help placeholder.
+  std::string positional_placeholder_;
+  std::vector<std::string> positionals_;
 };
 
 }  // namespace hlock

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "lint/checker.hpp"
 #include "runtime/invariants.hpp"
 #include "runtime/sim_cluster.hpp"
 #include "runtime/thread_cluster.hpp"
@@ -191,6 +192,48 @@ TEST(ThreadChaos, SurvivesEveryFaultClassAtOnce) {
   plan.partitions.push_back({{NodeId{3}}, SimTime::ms(60)});
   const auto counters = run_chaos_cluster(plan);
   EXPECT_GT(counters.faults_injected(), 0u);
+}
+
+TEST(ThreadChaos, MaskedFaultsLintCleanAgainstTheSpec) {
+  // The reliability sublayer masks every injected fault before the
+  // automatons see the messages, so the recorded protocol events of a
+  // chaos run must still conform to Tables 1(a)-(d) exactly.
+  runtime::ThreadClusterOptions options;
+  options.node_count = kChaosNodes;
+  options.protocol = Protocol::kHierarchical;
+  options.hier_config.trace_events = true;
+  options.seed = 26;
+  options.faults.seed = 26;
+  options.faults.delay_probability = 0.25;
+  options.faults.delay = DurationDist::uniform(SimTime::us(300), 0.5);
+  options.faults.duplicate_probability = 0.15;
+
+  lint::LintOptions lint_options;
+  lint_options.initial_token = options.initial_root;
+  lint::Checker checker{lint_options};
+  {
+    runtime::ThreadCluster cluster{options};
+    cluster.set_event_sink(
+        [&checker](trace::TraceEvent event) { checker.add(event); });
+    std::vector<std::thread> workers;
+    for (std::uint32_t i = 0; i < kChaosNodes; ++i) {
+      workers.emplace_back([&cluster, i] {
+        const proto::LockMode mode =
+            i % 2 == 0 ? proto::LockMode::kW : proto::LockMode::kR;
+        for (int k = 0; k < kChaosOps; ++k) {
+          cluster.lock(NodeId{i}, LockId{0}, mode);
+          std::this_thread::yield();
+          cluster.unlock(NodeId{i}, LockId{0});
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    // Cluster teardown joins the receivers, so after this scope no event
+    // can still be in flight toward the checker.
+  }
+  const lint::LintReport report = checker.finish();
+  EXPECT_TRUE(report.ok()) << report.render();
+  EXPECT_GT(report.events_checked, 0u);
 }
 
 }  // namespace

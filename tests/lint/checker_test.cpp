@@ -1,0 +1,326 @@
+// Conformance-checker tests: clean executions lint clean, and seeded spec
+// violations — a mutated Table 1(b) grant, a skipped Table 1(d) freeze, a
+// FIFO inversion of a grantable waiter, incompatible holds,
+// token-conservation breaks, starvation and Table 1(c) mismatches — are
+// each flagged with the right kind. The synthetic traces below construct
+// events directly; they pin the checker's judgment, including the two
+// behaviors it must NOT flag: the token's in-flight window and the legal
+// single-pass bypass of ungrantable queue entries.
+#include "lint/checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/sim_cluster.hpp"
+
+namespace hlock::lint {
+namespace {
+
+using proto::LockId;
+using proto::LockMode;
+using proto::NodeId;
+using trace::EventKind;
+using trace::TraceEvent;
+constexpr LockMode kNL = LockMode::kNL;
+constexpr LockMode kIR = LockMode::kIR;
+constexpr LockMode kR = LockMode::kR;
+constexpr LockMode kU = LockMode::kU;
+constexpr LockMode kIW = LockMode::kIW;
+constexpr LockMode kW = LockMode::kW;
+
+/// Event-construction shorthand for synthetic traces.
+TraceEvent make(EventKind kind, std::uint32_t node, std::uint32_t peer,
+                LockMode mode, LockMode ctx, bool token,
+                std::uint64_t seq = 0) {
+  TraceEvent event;
+  event.kind = kind;
+  event.node = NodeId{node};
+  event.peer = NodeId{peer};
+  event.lock = LockId{0};
+  event.mode = mode;
+  event.ctx = ctx;
+  event.token = token;
+  event.seq = seq;
+  return event;
+}
+
+LintOptions with_token0() {
+  LintOptions options;
+  options.initial_token = NodeId{0};
+  return options;
+}
+
+void expect_single(const LintReport& report, ViolationKind kind) {
+  ASSERT_EQ(report.violations.size(), 1u) << report.render();
+  EXPECT_EQ(report.violations[0].kind, kind) << report.render();
+}
+
+// ---- clean executions ------------------------------------------------------
+
+TEST(LintChecker, RealSimulatedExecutionLintsClean) {
+  runtime::SimClusterOptions options;
+  options.node_count = 5;
+  options.message_latency = DurationDist::constant(SimTime::ms(1));
+  options.hier_config.trace_events = true;
+  runtime::SimCluster cluster{options};
+
+  Checker checker{with_token0()};
+  cluster.set_event_observer(
+      [&checker](TraceEvent event) { checker.add(event); });
+  cluster.set_grant_handler([](NodeId, LockId, bool) {});
+
+  // Mixed-mode contention including a Rule 7 upgrade.
+  cluster.request(NodeId{1}, LockId{0}, kIR);
+  cluster.request(NodeId{2}, LockId{0}, kR);
+  cluster.request(NodeId{3}, LockId{0}, kU);
+  cluster.simulator().run_to_completion();
+  // Rule 7: the upgrade freezes IR/R and completes once both release.
+  cluster.upgrade(NodeId{3}, LockId{0});
+  cluster.simulator().run_to_completion();
+  for (std::uint32_t node : {1u, 2u, 3u}) {
+    cluster.release(NodeId{node}, LockId{0});
+    cluster.simulator().run_to_completion();
+  }
+  cluster.request(NodeId{4}, LockId{0}, kW);
+  cluster.simulator().run_to_completion();
+  cluster.release(NodeId{4}, LockId{0});
+  cluster.simulator().run_to_completion();
+
+  const LintReport report = checker.finish();
+  EXPECT_TRUE(report.ok()) << report.render();
+  EXPECT_GT(report.events_checked, 10u);
+}
+
+TEST(LintChecker, TokenInFlightWindowIsNotAViolation) {
+  // Between a token-transfer and the destination's first token-flagged
+  // act, the destination lawfully keeps acting as a non-token node.
+  const std::vector<TraceEvent> events = {
+      make(EventKind::kTokenTransfer, 0, 2, kU, kNL, true, 7),
+      make(EventKind::kQueue, 2, 1, kR, kU, false, 8),  // still in flight
+      make(EventKind::kGrant, 2, 1, kR, kU, true, 8),   // delivery observed
+  };
+  const LintReport report = check(events, with_token0());
+  EXPECT_TRUE(report.ok()) << report.render();
+}
+
+TEST(LintChecker, SinglePassBypassOfUngrantableWaitersIsLegal) {
+  // "Grant as many compatible requests as possible": a queue-service pass
+  // may overtake entries that are ungrantable at decision time — here the
+  // IW head conflicts with the shipped owned context R — so transferring
+  // to the later U requester is not an inversion.
+  const std::vector<TraceEvent> events = {
+      make(EventKind::kQueue, 0, 1, kIW, kR, true, 1),
+      make(EventKind::kFreeze, 0, 0, kNL, kNL, true),  // frozen set {R,U}
+      make(EventKind::kQueue, 0, 2, kU, kR, true, 2),
+      make(EventKind::kTokenTransfer, 0, 2, kU, kR, true, 2),
+  };
+  std::vector<TraceEvent> trace = events;
+  trace[1].modes = proto::ModeSet::of({kR, kU});
+  const LintReport report = check(trace, with_token0());
+  EXPECT_TRUE(report.ok()) << report.render();
+}
+
+TEST(LintChecker, BypassOfAWaiterFrozenForAnEarlierRequestIsLegal) {
+  // The R waiter is frozen on behalf of the still-earlier W request, so
+  // the IW transfer past it is the freeze doing its job, not unfairness
+  // (the W head itself conflicts with the shipped context R).
+  std::vector<TraceEvent> trace = {
+      make(EventKind::kQueue, 0, 1, kW, kR, true, 1),
+      make(EventKind::kFreeze, 0, 0, kNL, kNL, true),
+      make(EventKind::kQueue, 0, 2, kR, kR, true, 2),
+      make(EventKind::kQueue, 0, 3, kIW, kR, true, 3),
+      make(EventKind::kTokenTransfer, 0, 3, kIW, kR, true, 3),
+  };
+  trace[1].modes = proto::ModeSet::of({kIR, kR, kU});
+  const LintReport report = check(trace, with_token0());
+  EXPECT_TRUE(report.ok()) << report.render();
+}
+
+// ---- seeded violations -----------------------------------------------------
+
+TEST(LintChecker, FlagsMutatedTable1bGrant) {
+  // A non-token node owning IR grants R: Table 1(b) gives no authority.
+  const std::vector<TraceEvent> events = {
+      make(EventKind::kGrant, 1, 2, kR, kIR, false, 3),
+  };
+  expect_single(check(events), ViolationKind::kUnauthorizedGrant);
+}
+
+TEST(LintChecker, FlagsTokenCopyGrantWhereSpecDemandsTransfer) {
+  // The token owning IR copy-grants R; the spec requires the token itself
+  // to move (requested exceeds owned).
+  const std::vector<TraceEvent> events = {
+      make(EventKind::kGrant, 0, 1, kR, kIR, true, 1),
+  };
+  expect_single(check(events, with_token0()),
+                ViolationKind::kUnauthorizedGrant);
+}
+
+TEST(LintChecker, FlagsSkippedTable1dFreeze) {
+  // The token owning R queues an incompatible W request and then grants
+  // without ever freezing {IR,R,U}.
+  const std::vector<TraceEvent> events = {
+      make(EventKind::kQueue, 0, 1, kW, kR, true, 1),
+      make(EventKind::kGrant, 0, 2, kR, kR, true, 2),
+  };
+  expect_single(check(events, with_token0()), ViolationKind::kMissingFreeze);
+}
+
+TEST(LintChecker, AcceptsTheFreezeWhenItIsEmitted) {
+  // Same trace with the owed kFreeze in place, resolved by shipping the
+  // token to the W requester: conformant.
+  std::vector<TraceEvent> trace = {
+      make(EventKind::kQueue, 0, 1, kW, kR, true, 1),
+      make(EventKind::kFreeze, 0, 0, kNL, kNL, true),
+      make(EventKind::kTokenTransfer, 0, 1, kW, kNL, true, 1),
+  };
+  trace[1].modes = proto::ModeSet::of({kIR, kR, kU});
+  const LintReport report = check(trace, with_token0());
+  EXPECT_TRUE(report.ok()) << report.render();
+}
+
+TEST(LintChecker, FlagsFifoInversionOfAGrantableWaiter) {
+  // node1's R request is queued at the token and perfectly grantable
+  // (nothing owned conflicts, nothing frozen), yet the token ships to the
+  // later W requester: a genuine fairness inversion.
+  const std::vector<TraceEvent> events = {
+      make(EventKind::kQueue, 0, 1, kR, kNL, true, 1),
+      make(EventKind::kTokenTransfer, 0, 2, kW, kNL, true, 2),
+  };
+  expect_single(check(events, with_token0()), ViolationKind::kFifoInversion);
+}
+
+TEST(LintChecker, FlagsGrantOfAFrozenMode) {
+  std::vector<TraceEvent> trace = {
+      make(EventKind::kQueue, 0, 1, kW, kR, true, 1),
+      make(EventKind::kFreeze, 0, 0, kNL, kNL, true),
+      make(EventKind::kGrant, 0, 2, kR, kR, true, 2),
+  };
+  trace[1].modes = proto::ModeSet::of({kIR, kR, kU});
+  expect_single(check(trace, with_token0()), ViolationKind::kFrozenGrant);
+}
+
+TEST(LintChecker, FlagsIncompatibleConcurrentHolds) {
+  const std::vector<TraceEvent> events = {
+      make(EventKind::kEnterCs, 1, 0, kR, kNL, false),
+      make(EventKind::kEnterCs, 2, 0, kW, kNL, true),
+  };
+  expect_single(check(events), ViolationKind::kIncompatibleHolds);
+}
+
+TEST(LintChecker, FlagsTokenDuplication) {
+  // node0 is seen acting as the token; node1 then claims it too.
+  const std::vector<TraceEvent> events = {
+      make(EventKind::kGrant, 0, 2, kR, kR, true, 1),
+      make(EventKind::kGrant, 1, 3, kIR, kR, true, 2),
+  };
+  expect_single(check(events), ViolationKind::kTokenConservation);
+}
+
+TEST(LintChecker, FlagsTokenClaimDuringFlight) {
+  // While the token travels to node2, the sender acts as holder again.
+  const std::vector<TraceEvent> events = {
+      make(EventKind::kTokenTransfer, 0, 2, kW, kNL, true, 1),
+      make(EventKind::kGrant, 0, 3, kR, kR, true, 2),
+  };
+  expect_single(check(events, with_token0()),
+                ViolationKind::kTokenConservation);
+}
+
+TEST(LintChecker, FlagsStarvation) {
+  LintOptions options = with_token0();
+  options.starvation_limit = 3;
+  std::vector<TraceEvent> trace = {
+      make(EventKind::kQueue, 0, 1, kW, kR, true, 1),
+      make(EventKind::kFreeze, 0, 0, kNL, kNL, true),
+  };
+  trace[1].modes = proto::ModeSet::of({kIR, kR, kU});
+  for (int i = 0; i < 6; ++i) {
+    trace.push_back(make(EventKind::kNote, 0, 0, kNL, kNL, false));
+  }
+  expect_single(check(trace, options), ViolationKind::kStarvation);
+}
+
+TEST(LintChecker, FlagsQueueWhereTable1cSaysForward) {
+  LintOptions options;
+  options.path_compression = false;  // the table applies verbatim
+  const std::vector<TraceEvent> events = {
+      make(EventKind::kQueue, 1, 2, kR, kIR, false, 1),
+  };
+  expect_single(check(events, options),
+                ViolationKind::kQueueForwardMismatch);
+}
+
+TEST(LintChecker, FlagsForwardWhereTable1cSaysQueue) {
+  LintOptions options;
+  options.path_compression = false;
+  const std::vector<TraceEvent> events = {
+      make(EventKind::kForward, 1, 2, kR, kR, false, 1),
+  };
+  expect_single(check(events, options),
+                ViolationKind::kQueueForwardMismatch);
+}
+
+TEST(LintChecker, FlagsForwardWhilePendingUnderPathCompression) {
+  // Path compression makes every pending node absorbing; forwarding while
+  // pending contradicts it.
+  const std::vector<TraceEvent> events = {
+      make(EventKind::kForward, 1, 2, kW, kIR, false, 1),
+  };
+  expect_single(check(events), ViolationKind::kQueueForwardMismatch);
+}
+
+TEST(LintChecker, FlagsQueueWithoutAPendingRequest) {
+  const std::vector<TraceEvent> events = {
+      make(EventKind::kQueue, 1, 2, kR, kNL, false, 1),
+  };
+  expect_single(check(events), ViolationKind::kQueueForwardMismatch);
+}
+
+TEST(LintChecker, FlagsFreezesStillOwedAtEndOfTrace) {
+  const std::vector<TraceEvent> events = {
+      make(EventKind::kQueue, 0, 1, kW, kR, true, 1),
+  };
+  expect_single(check(events, with_token0()), ViolationKind::kMissingFreeze);
+}
+
+// ---- reporting -------------------------------------------------------------
+
+TEST(LintChecker, RenderCarriesKindIndexAndWindow) {
+  const std::vector<TraceEvent> events = {
+      make(EventKind::kEnterCs, 1, 0, kR, kNL, false),
+      make(EventKind::kEnterCs, 2, 0, kW, kNL, true),
+  };
+  const LintReport report = check(events);
+  const std::string out = report.render();
+  EXPECT_NE(out.find("VIOLATION incompatible-holds at event #1"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("  | #0"), std::string::npos)
+      << "context window rendered: " << out;
+  EXPECT_NE(out.find("1 violation(s) in 2 events"), std::string::npos);
+}
+
+TEST(LintChecker, CleanReportSummarizesEventCount) {
+  const LintReport report = check(std::vector<TraceEvent>{});
+  EXPECT_TRUE(report.ok());
+  EXPECT_NE(report.render().find("0 events conform"), std::string::npos);
+}
+
+TEST(LintChecker, FreezingDisabledWaivesFairnessChecks) {
+  // Mirrors HierConfig::freezing = false: Table 1(d) and FIFO obligations
+  // are waived; token authority still applies.
+  LintOptions options = with_token0();
+  options.freezing = false;
+  const std::vector<TraceEvent> events = {
+      make(EventKind::kQueue, 0, 1, kW, kR, true, 1),
+      make(EventKind::kGrant, 0, 2, kR, kR, true, 2),
+      make(EventKind::kTokenTransfer, 0, 1, kW, kNL, true, 1),
+  };
+  const LintReport report = check(events, options);
+  EXPECT_TRUE(report.ok()) << report.render();
+}
+
+}  // namespace
+}  // namespace hlock::lint

@@ -1,0 +1,240 @@
+// Cross-validates the linter's first-principles spec derivation against
+// both the core's literal table encoding and independent copies of the
+// paper's printed matrices. The two modules must agree on every cell of
+// every table: the core encodes Table 1 as constexpr data tuned for the
+// hot path, the lint module derives each cell from mode semantics, and
+// these tests are the adjudicator that keeps them one source of truth.
+#include "lint/spec_tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/mode_tables.hpp"
+
+namespace hlock::lint {
+namespace {
+
+using proto::kAllModes;
+using proto::kRealModes;
+constexpr LockMode kNL = LockMode::kNL;
+constexpr LockMode kIR = LockMode::kIR;
+constexpr LockMode kR = LockMode::kR;
+constexpr LockMode kU = LockMode::kU;
+constexpr LockMode kIW = LockMode::kIW;
+constexpr LockMode kW = LockMode::kW;
+
+// ---- semantics axioms ------------------------------------------------------
+
+TEST(SpecSemantics, AxiomsMatchTheModeDefinitions) {
+  EXPECT_TRUE(semantics(kR).reads_all);
+  EXPECT_FALSE(semantics(kR).upgrade_claim);
+  EXPECT_TRUE(semantics(kU).reads_all);
+  EXPECT_TRUE(semantics(kU).upgrade_claim);
+  EXPECT_TRUE(semantics(kIW).reads_some);
+  EXPECT_TRUE(semantics(kIW).writes_some);
+  EXPECT_TRUE(semantics(kW).writes_all);
+  EXPECT_FALSE(semantics(kIR).writes_some);
+  const ModeSemantics nl = semantics(kNL);
+  EXPECT_FALSE(nl.reads_all || nl.writes_all || nl.reads_some ||
+               nl.writes_some || nl.upgrade_claim);
+}
+
+// ---- Table 1(a): Incompatible ---------------------------------------------
+
+TEST(SpecTable1a, EveryCellMatchesThePaper) {
+  // Independent copy of the printed matrix (rows M1, columns M2).
+  const bool expected[5][5] = {
+      // M2:   IR     R      U      IW     W
+      /*IR*/ {false, false, false, false, true},
+      /*R */ {false, false, false, true, true},
+      /*U */ {false, false, true, true, true},
+      /*IW*/ {false, true, true, false, true},
+      /*W */ {true, true, true, true, true},
+  };
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(spec_incompatible(kRealModes[i], kRealModes[j]),
+                expected[i][j])
+          << to_string(kRealModes[i]) << " vs " << to_string(kRealModes[j]);
+    }
+  }
+}
+
+TEST(SpecTable1a, AgreesWithCoreOnEveryPair) {
+  for (LockMode a : kAllModes) {
+    for (LockMode b : kAllModes) {
+      EXPECT_EQ(spec_incompatible(a, b), core::incompatible(a, b))
+          << to_string(a) << " vs " << to_string(b);
+      EXPECT_EQ(spec_incompatible(a, b), spec_incompatible(b, a))
+          << "symmetry: " << to_string(a) << " vs " << to_string(b);
+    }
+  }
+  for (LockMode m : kAllModes) {
+    EXPECT_EQ(spec_compatible_set(m), core::compatible_set(m))
+        << to_string(m);
+  }
+}
+
+TEST(SpecTable1a, IncompatibleSetIsTheComplement) {
+  for (LockMode m : kAllModes) {
+    EXPECT_EQ(spec_compatible_set(m) | spec_incompatible_set(m),
+              ModeSet::all_real())
+        << to_string(m);
+    EXPECT_EQ(spec_compatible_set(m) & spec_incompatible_set(m), ModeSet{})
+        << to_string(m);
+  }
+}
+
+// ---- Definition 1: strength ------------------------------------------------
+
+TEST(SpecStrength, SameOrderAsCoreOnEveryPair) {
+  // The absolute ranks differ (the spec counts incompatibilities, the core
+  // hand-assigns 0..4) but every pairwise comparison must agree — the
+  // order is all any rule consumes.
+  for (LockMode a : kAllModes) {
+    for (LockMode b : kAllModes) {
+      EXPECT_EQ(spec_stronger(a, b), core::stronger(a, b))
+          << to_string(a) << " vs " << to_string(b);
+      EXPECT_EQ(spec_strength(a) == spec_strength(b),
+                core::strength_rank(a) == core::strength_rank(b))
+          << to_string(a) << " vs " << to_string(b);
+    }
+  }
+}
+
+TEST(SpecStrength, PaperInequations) {
+  // NL < IR < R < U < W and IR < IW < W.
+  EXPECT_TRUE(spec_stronger(kIR, kNL));
+  EXPECT_TRUE(spec_stronger(kR, kIR));
+  EXPECT_TRUE(spec_stronger(kU, kR));
+  EXPECT_TRUE(spec_stronger(kW, kU));
+  EXPECT_TRUE(spec_stronger(kIW, kIR));
+  EXPECT_TRUE(spec_stronger(kW, kIW));
+}
+
+// ---- Table 1(b): No Child Grant -------------------------------------------
+
+TEST(SpecTable1b, EveryCellMatchesThePaper) {
+  // True = a non-token copyset member MAY grant (complement of the X marks).
+  const bool may_grant[6][5] = {
+      // M2:   IR     R      U      IW     W
+      /*NL*/ {false, false, false, false, false},
+      /*IR*/ {true, false, false, false, false},
+      /*R */ {true, true, false, false, false},
+      /*U */ {true, true, false, false, false},
+      /*IW*/ {true, false, false, true, false},
+      /*W */ {false, false, false, false, false},
+  };
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(spec_non_token_can_grant(kAllModes[i], kRealModes[j]),
+                may_grant[i][j])
+          << to_string(kAllModes[i]) << " granting "
+          << to_string(kRealModes[j]);
+    }
+  }
+}
+
+TEST(SpecTable1b, AgreesWithCoreOnEveryPair) {
+  // The core derives "compatible and at least as strong"; the spec derives
+  // compatible-set inclusion. Same table, two independent routes.
+  for (LockMode owned : kAllModes) {
+    for (LockMode req : kRealModes) {
+      EXPECT_EQ(spec_non_token_can_grant(owned, req),
+                core::non_token_can_grant(owned, req))
+          << to_string(owned) << " granting " << to_string(req);
+    }
+  }
+}
+
+// ---- Rule 3.2: token grants ------------------------------------------------
+
+TEST(SpecTokenGrant, AgreesWithCore) {
+  for (LockMode owned : kAllModes) {
+    for (LockMode req : kRealModes) {
+      EXPECT_EQ(spec_token_can_grant(owned, req),
+                core::token_can_grant(owned, req))
+          << to_string(owned) << " vs " << to_string(req);
+      if (core::token_can_grant(owned, req)) {
+        // The transfer decision is only consulted on grantable pairs.
+        EXPECT_EQ(spec_token_grant_transfers(owned, req),
+                  core::token_grant_transfers(owned, req))
+            << to_string(owned) << " vs " << to_string(req);
+      }
+    }
+  }
+}
+
+// ---- Table 1(c): Queue/Forward --------------------------------------------
+
+TEST(SpecTable1c, EveryCellMatchesThePaper) {
+  constexpr auto Q = SpecQueueOrForward::kQueue;
+  constexpr auto F = SpecQueueOrForward::kForward;
+  const SpecQueueOrForward expected[6][5] = {
+      // M2:  IR R  U  IW W      (rows: pending mode M1)
+      /*NL*/ {F, F, F, F, F},
+      /*IR*/ {Q, F, F, F, F},
+      /*R */ {F, Q, F, F, F},
+      /*U */ {F, F, Q, Q, Q},
+      /*IW*/ {F, F, F, Q, F},
+      /*W */ {Q, Q, Q, Q, Q},
+  };
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(spec_queue_or_forward(kAllModes[i], kRealModes[j]),
+                expected[i][j])
+          << "pending " << to_string(kAllModes[i]) << ", request "
+          << to_string(kRealModes[j]);
+    }
+  }
+}
+
+TEST(SpecTable1c, AgreesWithCoreOnEveryPair) {
+  for (LockMode pending : kAllModes) {
+    for (LockMode req : kRealModes) {
+      const bool spec_queues = spec_queue_or_forward(pending, req) ==
+                               SpecQueueOrForward::kQueue;
+      const bool core_queues = core::queue_or_forward(pending, req) ==
+                               core::QueueOrForward::kQueue;
+      EXPECT_EQ(spec_queues, core_queues)
+          << "pending " << to_string(pending) << ", request "
+          << to_string(req);
+    }
+  }
+}
+
+// ---- Table 1(d): Freezing --------------------------------------------------
+
+TEST(SpecTable1d, EveryCellMatchesThePaperAndCore) {
+  for (LockMode owned : kAllModes) {
+    for (LockMode req : kRealModes) {
+      EXPECT_EQ(spec_freeze_set(owned, req), core::freeze_set(owned, req))
+          << to_string(owned) << " vs " << to_string(req);
+    }
+  }
+  // Spot-check the paper's worked examples directly.
+  EXPECT_EQ(spec_freeze_set(kR, kW), ModeSet::of({kIR, kR, kU}))
+      << "Fig. 5: token owns R, W request freezes IR,R,U";
+  EXPECT_EQ(spec_freeze_set(kU, kW), ModeSet::of({kIR, kR}))
+      << "Fig. 6 / Rule 7 upgrade freeze";
+  EXPECT_EQ(spec_freeze_set(kU, kU), ModeSet{})
+      << "compatible in the queue sense: nothing grantable can bypass";
+}
+
+TEST(SpecTable1d, FrozenModesAreExactlyTheBypassGrants) {
+  for (LockMode owned : kAllModes) {
+    for (LockMode queued : kRealModes) {
+      const ModeSet frozen = spec_freeze_set(owned, queued);
+      for (LockMode m : kRealModes) {
+        const bool bypass = spec_incompatible(owned, queued) &&
+                            spec_compatible(owned, m) &&
+                            spec_incompatible(m, queued);
+        EXPECT_EQ(frozen.contains(m), bypass)
+            << to_string(owned) << '/' << to_string(queued) << " freeze of "
+            << to_string(m);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hlock::lint

@@ -217,6 +217,71 @@ TEST(Explorer, StateLimitIsEnforced) {
   EXPECT_NE(result.violation.find("state limit"), std::string::npos);
 }
 
+TEST(Explorer, StateLimitAbortReportsProgressCounts) {
+  // The abort is a verdict, not a crash: counters describe the partial
+  // exploration and no terminal state was certified.
+  ExploreOptions options;
+  options.max_states = 25;
+  const auto result = explore({cycle(kW), cycle(kW), cycle(kW)}, options);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.violation.find("state limit exceeded (25"),
+            std::string::npos)
+      << result.violation;
+  // The abort fires on the first state past the budget.
+  EXPECT_EQ(result.states_explored, 26u);
+  EXPECT_GE(result.transitions, result.states_explored - 1);
+}
+
+TEST(Explorer, LintedUpgradeScenarioConformsOnEveryInterleaving) {
+  // Fairness/conformance pass (spec module): every first-visit path of the
+  // Rule 7 upgrade scenario must satisfy Tables 1(a)-(d), including the
+  // upgrade freeze of Fig. 6.
+  ExploreOptions options;
+  options.lint = true;
+  const Script upgrader{ScriptOp::acquire(kU), ScriptOp::upgrade(),
+                        ScriptOp::release()};
+  const auto result = explore({upgrader, cycle(kIR), cycle(kR)}, options);
+  expect_ok(result);
+  EXPECT_TRUE(result.events.empty()) << "no counterexample on OK";
+}
+
+TEST(Explorer, LintedMixedScenariosConform) {
+  ExploreOptions options;
+  options.lint = true;
+  expect_ok(explore({cycle(kR), cycle(kW), cycle(kIR)}, options));
+  expect_ok(explore({double_cycle(kIW, kR), cycle(kU)}, options));
+}
+
+TEST(Explorer, LintedAblationConfigsConform) {
+  // The linter mirrors the config: disabled freezing waives fairness,
+  // path compression changes Table 1(c) — each variant must still lint
+  // clean against its own amended spec.
+  const Script upgrader{ScriptOp::acquire(kU), ScriptOp::upgrade(),
+                        ScriptOp::release()};
+  for (const bool freezing : {true, false}) {
+    for (const bool compression : {true, false}) {
+      ExploreOptions options;
+      options.lint = true;
+      options.config.freezing = freezing;
+      options.config.path_compression = compression;
+      expect_ok(explore({cycle(kR), cycle(kW)}, options));
+      expect_ok(explore({upgrader, cycle(kIR)}, options));
+    }
+  }
+}
+
+TEST(Explorer, LintedStateLimitAbortCapturesTheEventTrail) {
+  // When exploration fails with lint enabled, the structured events of the
+  // offending path ride on the result for post-hoc analysis.
+  ExploreOptions options;
+  options.lint = true;
+  options.max_states = 10;
+  const auto result =
+      explore({double_cycle(kW, kW), double_cycle(kW, kW)}, options);
+  ASSERT_FALSE(result.ok);
+  EXPECT_FALSE(result.events.empty());
+}
+
 TEST(Explorer, CountsAreConsistent) {
   const auto result = explore({cycle(kR), cycle(kW)});
   expect_ok(result);

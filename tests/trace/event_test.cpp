@@ -1,0 +1,112 @@
+// Structured trace event tests: the format_event()/parse_event() pair must
+// round-trip every field exactly (it is the bridge between live runs and
+// offline linting via hlock_lint), and malformed lines must be rejected,
+// not misparsed.
+#include "trace/event.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hlock::trace {
+namespace {
+
+using proto::LockId;
+using proto::LockMode;
+using proto::ModeSet;
+using proto::NodeId;
+
+TraceEvent sample_event() {
+  TraceEvent event;
+  event.at = SimTime::us(1500);
+  event.kind = EventKind::kGrant;
+  event.node = NodeId{0};
+  event.peer = NodeId{2};
+  event.lock = LockId{3};
+  event.mode = LockMode::kR;
+  event.ctx = LockMode::kU;
+  event.modes = ModeSet::of({LockMode::kIR, LockMode::kR});
+  event.token = true;
+  event.seq = 42;
+  event.priority = 7;
+  event.detail = "copy grant";
+  return event;
+}
+
+TEST(TraceEventFormat, RoundTripsEveryField) {
+  const TraceEvent event = sample_event();
+  const auto parsed = parse_event(format_event(event));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, event);
+}
+
+TEST(TraceEventFormat, RoundTripsDefaultsAndNoneNodes) {
+  TraceEvent event;  // all defaults: none peer, NL modes, no token
+  const auto parsed = parse_event(format_event(event));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, event);
+  EXPECT_TRUE(parsed->peer.is_none());
+}
+
+TEST(TraceEventFormat, RoundTripsEveryKind) {
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    TraceEvent event = sample_event();
+    event.kind = static_cast<EventKind>(i);
+    const auto parsed = parse_event(format_event(event));
+    ASSERT_TRUE(parsed.has_value()) << to_string(event.kind);
+    EXPECT_EQ(*parsed, event) << to_string(event.kind);
+    EXPECT_EQ(parse_event_kind(to_string(event.kind)), event.kind);
+  }
+}
+
+TEST(TraceEventFormat, EscapesNewlinesInDetail) {
+  TraceEvent event = sample_event();
+  event.detail = "line one\nline \\two";
+  const std::string line = format_event(event);
+  EXPECT_EQ(line.find('\n'), std::string::npos) << "one event per line";
+  const auto parsed = parse_event(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->detail, event.detail);
+}
+
+TEST(TraceEventFormat, RejectsMalformedLines) {
+  EXPECT_FALSE(parse_event("").has_value());
+  EXPECT_FALSE(parse_event("garbage").has_value());
+  EXPECT_FALSE(parse_event("100 grant 0 2 0 R U 6 T 4 |detail").has_value())
+      << "missing field";
+  EXPECT_FALSE(
+      parse_event("100 warp 0 2 0 R U 6 T 4 0 |detail").has_value())
+      << "unknown kind";
+  EXPECT_FALSE(
+      parse_event("100 grant 0 2 0 R U 6 X 4 0 |detail").has_value())
+      << "bad token flag";
+  EXPECT_FALSE(
+      parse_event("abc grant 0 2 0 R U 6 T 4 0 |detail").has_value())
+      << "bad timestamp";
+  EXPECT_FALSE(parse_event("100 grant 0 2 0 R U 6 T 4 0").has_value())
+      << "no detail separator";
+}
+
+TEST(TraceEventFormat, ParsesHandWrittenLine) {
+  const auto parsed = parse_event("1500 queue 4 - 1 W R 0 . 9 2 |");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, EventKind::kQueue);
+  EXPECT_EQ(parsed->node, NodeId{4});
+  EXPECT_TRUE(parsed->peer.is_none());
+  EXPECT_EQ(parsed->lock, LockId{1});
+  EXPECT_EQ(parsed->mode, LockMode::kW);
+  EXPECT_EQ(parsed->ctx, LockMode::kR);
+  EXPECT_FALSE(parsed->token);
+  EXPECT_EQ(parsed->seq, 9u);
+  EXPECT_EQ(parsed->priority, 2);
+}
+
+TEST(TraceEventRender, HumanFormNamesTheActors) {
+  const std::string out = to_string(sample_event());
+  EXPECT_NE(out.find("grant"), std::string::npos);
+  EXPECT_NE(out.find("R -> node2"), std::string::npos);
+  EXPECT_NE(out.find("ctx=U"), std::string::npos);
+  EXPECT_NE(out.find("token"), std::string::npos);
+  EXPECT_NE(out.find("seq=42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hlock::trace

@@ -32,7 +32,15 @@ TEST(TraceRecorder, RecordsAllEventKinds) {
   EXPECT_EQ(recorder.total_recorded(), 5u);
   EXPECT_FALSE(recorder.truncated());
   const auto histogram = recorder.histogram();
-  for (std::size_t count : histogram) EXPECT_EQ(count, 1u);
+  ASSERT_EQ(histogram.size(), kEventKindCount);
+  for (EventKind kind : {EventKind::kMessage, EventKind::kEnterCs,
+                         EventKind::kExitCs, EventKind::kUpgraded,
+                         EventKind::kNote}) {
+    EXPECT_EQ(histogram[static_cast<std::size_t>(kind)], 1u);
+  }
+  std::size_t total = 0;
+  for (std::size_t count : histogram) total += count;
+  EXPECT_EQ(total, 5u) << "no event counted under another kind";
 }
 
 TEST(TraceRecorder, RenderContainsTimesNodesAndDetails) {

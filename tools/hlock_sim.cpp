@@ -15,12 +15,18 @@
 //
 //   hlock_sim --chaos --nodes 8 --ops 30 --fault-drop 0.1 --fault-reorder 0.1
 //   hlock_sim --chaos --chaos-transport tcp --partition-ms 100
+//
+// --lint streams every structured protocol event through the conformance
+// linter (src/lint) and fails the run on any divergence from the paper's
+// Rules 1-7 / Tables 1(a)-(d). Works on both the simulator and --chaos
+// paths (hierarchical protocol only).
 #include <cstdio>
 
 #include <thread>
 #include <vector>
 
 #include "bench/common/experiment.hpp"
+#include "lint/checker.hpp"
 #include "runtime/thread_cluster.hpp"
 #include "stats/histogram.hpp"
 #include "util/check.hpp"
@@ -84,32 +90,62 @@ int run_chaos(const CliParser& cli) {
                  "note: --chaos with no --fault-* knobs runs fault-free\n");
   }
 
+  const bool lint = cli.get_flag("lint");
+  if (lint) options.hier_config.trace_events = true;
+  // LintOptions defaults mirror the default HierConfig the chaos cluster
+  // runs with; the initial token holder is the default root, node 0.
+  lint::LintOptions lint_options;
+  lint_options.initial_token = options.initial_root;
+  lint::Checker checker{lint_options};
+
   const int ops = static_cast<int>(cli.get_int("ops", 1, 100000));
-  runtime::ThreadCluster cluster{options};
   long counter = 0;  // unprotected on purpose: the lock is the protection
-  std::vector<std::thread> workers;
-  for (std::uint32_t i = 0; i < options.node_count; ++i) {
-    workers.emplace_back([&cluster, &counter, ops, i] {
-      for (int k = 0; k < ops; ++k) {
-        cluster.lock(proto::NodeId{i}, proto::LockId{0}, proto::LockMode::kW);
-        const long snapshot = counter;
-        std::this_thread::yield();
-        counter = snapshot + 1;
-        cluster.unlock(proto::NodeId{i}, proto::LockId{0});
-      }
-    });
+  std::uint64_t messages_sent = 0;
+  std::uint64_t receiver_errors = 0;
+  std::string fault_counters;
+  {
+    runtime::ThreadCluster cluster{options};
+    if (lint) {
+      cluster.set_event_sink(
+          [&checker](trace::TraceEvent event) { checker.add(event); });
+    }
+    std::vector<std::thread> workers;
+    for (std::uint32_t i = 0; i < options.node_count; ++i) {
+      workers.emplace_back([&cluster, &counter, ops, i] {
+        for (int k = 0; k < ops; ++k) {
+          cluster.lock(proto::NodeId{i}, proto::LockId{0},
+                       proto::LockMode::kW);
+          const long snapshot = counter;
+          std::this_thread::yield();
+          counter = snapshot + 1;
+          cluster.unlock(proto::NodeId{i}, proto::LockId{0});
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    messages_sent = cluster.messages_sent();
+    receiver_errors = cluster.receiver_errors();
+    if (const stats::TransportCounters* counters = cluster.fault_counters()) {
+      fault_counters = stats::to_string(counters->snapshot());
+    }
+    // Cluster teardown joins the receivers, so once the scope closes no
+    // event can still be in flight toward the checker.
   }
-  for (std::thread& worker : workers) worker.join();
 
   const long expected = static_cast<long>(options.node_count) * ops;
-  const bool ok = counter == expected && cluster.receiver_errors() == 0;
+  bool ok = counter == expected && receiver_errors == 0;
   std::printf("chaos: %zu nodes (%s), %ld/%ld ops, mutual exclusion %s\n",
               options.node_count, transport.c_str(), counter, expected,
               ok ? "OK" : "VIOLATED");
   std::printf("  messages sent : %llu\n",
-              static_cast<unsigned long long>(cluster.messages_sent()));
-  if (const stats::TransportCounters* counters = cluster.fault_counters()) {
-    std::printf("  %s\n", stats::to_string(counters->snapshot()).c_str());
+              static_cast<unsigned long long>(messages_sent));
+  if (!fault_counters.empty()) {
+    std::printf("  %s\n", fault_counters.c_str());
+  }
+  if (lint) {
+    const lint::LintReport report = checker.finish();
+    std::printf("  %s", report.render().c_str());
+    ok = ok && report.ok();
   }
   return ok ? 0 : 1;
 }
@@ -136,6 +172,12 @@ int main(int argc, char** argv) {
   cli.add_flag("no-compression", "disable dynamic path compression");
   cli.add_flag("no-freezing", "disable Rule 6 mode freezing");
   cli.add_flag("csv", "print a CSV row (with header) instead of text");
+  cli.add_flag("lint",
+               "conformance-lint every protocol event against the paper's "
+               "spec tables (hier only; also honored by --chaos)");
+  cli.add_option("trace-dump", "",
+                 "write every structured protocol event to this file as "
+                 "format_event lines, for hlock_lint (hier only)");
   cli.add_option("histogram", "0",
                  "print a latency histogram with this many buckets");
   cli.add_flag("chaos",
@@ -181,6 +223,15 @@ int main(int argc, char** argv) {
     config.hier_config.child_grants = !cli.get_flag("no-child-grants");
     config.hier_config.path_compression = !cli.get_flag("no-compression");
     config.hier_config.freezing = !cli.get_flag("no-freezing");
+    config.lint = cli.get_flag("lint");
+    const std::string dump_path = cli.get_string("trace-dump");
+    std::vector<trace::TraceEvent> captured;
+    if (!dump_path.empty()) config.capture_events = &captured;
+    if ((config.lint || !dump_path.empty()) &&
+        config.variant != AppVariant::kHierarchical) {
+      throw UsageError(
+          "--lint/--trace-dump apply to --protocol hier only");
+    }
 
     const int seeds = static_cast<int>(cli.get_int("seeds", 1, 1000));
     const ExperimentResult result = bench::run_averaged(config, seeds);
@@ -221,6 +272,30 @@ int main(int argc, char** argv) {
                   stats::render_histogram(result.request_latency_samples_ms,
                                           histogram)
                       .c_str());
+    }
+    if (!dump_path.empty()) {
+      std::FILE* out = std::fopen(dump_path.c_str(), "w");
+      if (out == nullptr) {
+        throw UsageError("cannot open trace dump file: " + dump_path);
+      }
+      for (const trace::TraceEvent& event : captured) {
+        std::fprintf(out, "%s\n", trace::format_event(event).c_str());
+      }
+      std::fclose(out);
+      std::printf("  trace dump       : %zu events -> %s\n", captured.size(),
+                  dump_path.c_str());
+    }
+    if (config.lint) {
+      if (result.lint_violation_count == 0) {
+        std::printf("  lint             : ok — %zu events conform to the "
+                    "spec\n",
+                    result.lint_events_checked);
+      } else {
+        std::printf("  lint             : %zu violation(s) in %zu events\n%s",
+                    result.lint_violation_count, result.lint_events_checked,
+                    result.lint_report.c_str());
+        return 1;
+      }
     }
     return 0;
   } catch (const UsageError& error) {
