@@ -29,6 +29,10 @@ ThreadCluster::ThreadCluster(const ThreadClusterOptions& options) {
   for (std::size_t i = 0; i < options.node_count; ++i) {
     const NodeId self{static_cast<std::uint32_t>(i)};
     auto rt = std::make_unique<NodeRuntime>();
+    // No thread can see the node yet, but `engine` is lock-guarded state of
+    // a foreign object as far as the analysis is concerned — take the
+    // (uncontended, once-per-node) lock rather than suppress.
+    MutexLock guard(rt->mutex);
     if (options.protocol == Protocol::kHierarchical) {
       rt->engine = std::make_unique<HierEngine>(self, options.initial_root,
                                                 options.hier_config);
@@ -50,7 +54,7 @@ ThreadCluster::~ThreadCluster() {
   // miss the wake-up and block forever (and the unsynchronized flag write
   // would race with the predicate read).
   for (auto& rt : nodes_) {
-    std::lock_guard<std::mutex> guard(rt->mutex);
+    MutexLock guard(rt->mutex);
     rt->cv.notify_all();
   }
   transport_->shutdown();
@@ -61,12 +65,16 @@ ThreadCluster::~ThreadCluster() {
   // node state under a thread still inside lock()/upgrade() would be a
   // use-after-free.
   for (auto& rt : nodes_) {
-    std::unique_lock<std::mutex> guard(rt->mutex);
-    rt->cv.wait(guard, [&] { return rt->waiters == 0; });
+    MutexLock guard(rt->mutex);
+    while (rt->waiters != 0) rt->cv.wait(rt->mutex);
   }
 }
 
 void ThreadCluster::set_event_sink(EventSink sink) {
+  // Under event_mutex_: receivers read the sink while applying effects, so
+  // an unguarded write here would race with every in-flight event (a real
+  // defect the capability analysis flagged when the slot was annotated).
+  MutexLock guard(event_mutex_);
   event_sink_ = std::move(sink);
 }
 
@@ -82,7 +90,7 @@ void ThreadCluster::receiver_loop(NodeId node) {
     // receiver converts failures into a counted, logged error effect and
     // keeps draining its mailbox.
     try {
-      std::unique_lock<std::mutex> guard(rt.mutex);
+      MutexLock guard(rt.mutex);
       Effects effects = rt.engine->deliver(*message);
       apply(rt, message->lock, std::move(effects));
     } catch (const std::exception& error) {
@@ -95,17 +103,21 @@ void ThreadCluster::receiver_loop(NodeId node) {
 }
 
 void ThreadCluster::apply(NodeRuntime& rt, LockId lock, Effects&& effects) {
-  // Caller holds rt.mutex. Events are sunk before the step's messages go
-  // out so the sink's global order respects causality (see set_event_sink).
-  if (event_sink_ && !effects.events.empty()) {
+  // Events are sunk before the step's messages go out so the sink's global
+  // order respects causality (see set_event_sink). The sink slot is only
+  // readable under event_mutex_ — checking it unguarded raced with
+  // set_event_sink().
+  if (!effects.events.empty()) {
     const auto elapsed = std::chrono::steady_clock::now() - started_;
     const SimTime at = SimTime::ns(
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
             .count());
-    std::lock_guard<std::mutex> sink_guard(event_mutex_);
-    for (trace::TraceEvent& event : effects.events) {
-      event.at = at;
-      event_sink_(std::move(event));
+    MutexLock sink_guard(event_mutex_);
+    if (event_sink_) {
+      for (trace::TraceEvent& event : effects.events) {
+        event.at = at;
+        event_sink_(std::move(event));
+      }
     }
   }
   for (const proto::Message& message : effects.messages) {
@@ -126,13 +138,11 @@ void ThreadCluster::apply(NodeRuntime& rt, LockId lock, Effects&& effects) {
 void ThreadCluster::lock(NodeId node, LockId lock, LockMode mode,
                          std::uint8_t priority) {
   NodeRuntime& rt = runtime_of(node);
-  std::unique_lock<std::mutex> guard(rt.mutex);
+  MutexLock guard(rt.mutex);
   Effects effects = rt.engine->request(lock, mode, priority);
   apply(rt, lock, std::move(effects));
   ++rt.waiters;
-  rt.cv.wait(guard, [&] {
-    return stopping_ || rt.granted.count(lock) > 0;
-  });
+  while (!stopping_ && rt.granted.count(lock) == 0) rt.cv.wait(rt.mutex);
   rt.granted.erase(lock);
   --rt.waiters;
   rt.cv.notify_all();  // a tearing-down destructor may be draining waiters
@@ -140,20 +150,18 @@ void ThreadCluster::lock(NodeId node, LockId lock, LockMode mode,
 
 void ThreadCluster::unlock(NodeId node, LockId lock) {
   NodeRuntime& rt = runtime_of(node);
-  std::unique_lock<std::mutex> guard(rt.mutex);
+  MutexLock guard(rt.mutex);
   Effects effects = rt.engine->release(lock);
   apply(rt, lock, std::move(effects));
 }
 
 void ThreadCluster::upgrade(NodeId node, LockId lock) {
   NodeRuntime& rt = runtime_of(node);
-  std::unique_lock<std::mutex> guard(rt.mutex);
+  MutexLock guard(rt.mutex);
   Effects effects = rt.engine->upgrade(lock);
   apply(rt, lock, std::move(effects));
   ++rt.waiters;
-  rt.cv.wait(guard, [&] {
-    return stopping_ || rt.upgraded.count(lock) > 0;
-  });
+  while (!stopping_ && rt.upgraded.count(lock) == 0) rt.cv.wait(rt.mutex);
   rt.upgraded.erase(lock);
   --rt.waiters;
   rt.cv.notify_all();  // a tearing-down destructor may be draining waiters
@@ -161,7 +169,7 @@ void ThreadCluster::upgrade(NodeId node, LockId lock) {
 
 bool ThreadCluster::holds(NodeId node, LockId lock) {
   NodeRuntime& rt = runtime_of(node);
-  std::lock_guard<std::mutex> guard(rt.mutex);
+  MutexLock guard(rt.mutex);
   return rt.engine->holds(lock);
 }
 

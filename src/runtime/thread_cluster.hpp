@@ -11,10 +11,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -25,6 +23,7 @@
 #include "transport/faulty_transport.hpp"
 #include "transport/inproc_transport.hpp"
 #include "transport/tcp_transport.hpp"
+#include "util/sync.hpp"
 
 namespace hlock::runtime {
 
@@ -106,36 +105,41 @@ class ThreadCluster {
   /// serialized by an internal mutex, and each step's events are sunk
   /// BEFORE its messages are transmitted, so the sink observes a causally
   /// consistent global order (an exit-cs always precedes the enter-cs it
-  /// enables). Set before issuing operations; the sink must not call back
-  /// into the cluster.
+  /// enables). May be (re)set while operations are in flight; the sink
+  /// must not call back into the cluster.
   using EventSink = std::function<void(trace::TraceEvent event)>;
   void set_event_sink(EventSink sink);
 
  private:
   struct NodeRuntime {
-    std::unique_ptr<LockEngine> engine;
-    std::mutex mutex;
-    std::condition_variable cv;
+    /// Guards the engine and every piece of grant/wait bookkeeping below,
+    /// preserving the automaton's single-threaded contract.
+    Mutex mutex;
+    CondVar cv;
+    std::unique_ptr<LockEngine> engine HLOCK_GUARDED_BY(mutex)
+        HLOCK_PT_GUARDED_BY(mutex);
     /// Locks whose grant / upgrade-completion arrived but has not been
     /// consumed by the blocked client call yet.
-    std::unordered_set<LockId> granted;
-    std::unordered_set<LockId> upgraded;
+    std::unordered_set<LockId> granted HLOCK_GUARDED_BY(mutex);
+    std::unordered_set<LockId> upgraded HLOCK_GUARDED_BY(mutex);
     /// Client calls currently blocked on `cv`; the destructor waits for
     /// this to reach zero so a woken call never touches freed node state.
-    int waiters = 0;
+    int waiters HLOCK_GUARDED_BY(mutex) = 0;
     std::thread receiver;
   };
 
   void receiver_loop(NodeId node);
   /// Applies effects under the node's mutex (sends after unlocking would
   /// also be correct; sends never block so holding it is safe and simpler).
-  void apply(NodeRuntime& rt, LockId lock, Effects&& effects);
+  void apply(NodeRuntime& rt, LockId lock, Effects&& effects)
+      HLOCK_REQUIRES(rt.mutex) HLOCK_EXCLUDES(event_mutex_);
   NodeRuntime& runtime_of(NodeId node);
 
   std::unique_ptr<transport::Transport> transport_;
-  EventSink event_sink_;
-  /// Serializes event_sink_ calls across nodes (see set_event_sink).
-  std::mutex event_mutex_;
+  /// Serializes event_sink_ calls across nodes and guards the sink slot
+  /// itself, so installing a sink is safe while receivers run.
+  Mutex event_mutex_;
+  EventSink event_sink_ HLOCK_GUARDED_BY(event_mutex_);
   const std::chrono::steady_clock::time_point started_ =
       std::chrono::steady_clock::now();
   /// Non-owning view of transport_ when the options wrapped it in faults.

@@ -39,16 +39,20 @@ TransportCounterSnapshot TransportCounters::snapshot() const {
 }
 
 void MessageCounter::add(proto::MessageKind kind) {
-  ++counts_[static_cast<std::size_t>(kind)];
+  counts_[static_cast<std::size_t>(kind)].fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 std::uint64_t MessageCounter::count(proto::MessageKind kind) const {
-  return counts_[static_cast<std::size_t>(kind)];
+  return counts_[static_cast<std::size_t>(kind)].load(
+      std::memory_order_relaxed);
 }
 
 std::uint64_t MessageCounter::total() const {
   std::uint64_t sum = 0;
-  for (std::uint64_t c : counts_) sum += c;
+  for (const std::atomic<std::uint64_t>& c : counts_) {
+    sum += c.load(std::memory_order_relaxed);
+  }
   return sum;
 }
 

@@ -75,19 +75,25 @@ class TransportCounters {
 };
 
 /// Message counts broken down by protocol message kind.
+///
+/// Counters are atomic: harnesses read totals (progress displays, chaos
+/// snapshots) while senders are still counting, and the previous plain
+/// integers made every such snapshot read a data race. Relaxed ordering is
+/// sufficient — statistics, not synchronization. Like TransportCounters,
+/// reads are per-counter atomic, not a cross-counter snapshot.
 class MessageCounter {
  public:
-  /// Counts one sent message.
+  /// Counts one sent message. Thread-safe.
   void add(proto::MessageKind kind);
 
-  /// Messages of one kind.
+  /// Messages of one kind. Thread-safe snapshot read.
   std::uint64_t count(proto::MessageKind kind) const;
 
-  /// All messages.
+  /// All messages. Thread-safe snapshot read.
   std::uint64_t total() const;
 
  private:
-  std::array<std::uint64_t, proto::kMessageKindCount> counts_{};
+  std::array<std::atomic<std::uint64_t>, proto::kMessageKindCount> counts_{};
 };
 
 /// Latency samples of completed application-level requests.

@@ -17,10 +17,14 @@ void TraceRecorder::push(TraceEvent event) {
   if (events_.size() > capacity_) events_.pop_front();
 }
 
-void TraceRecorder::record(TraceEvent event) { push(std::move(event)); }
+void TraceRecorder::record(TraceEvent event) {
+  MutexLock guard(mutex_);
+  push(std::move(event));
+}
 
 void TraceRecorder::record(SimTime at, TraceEvent event) {
   event.at = at;
+  MutexLock guard(mutex_);
   push(std::move(event));
 }
 
@@ -32,6 +36,7 @@ void TraceRecorder::record_message(SimTime at, const proto::Message& message) {
   event.peer = message.to;
   event.lock = message.lock;
   event.detail = to_string(message);
+  MutexLock guard(mutex_);
   push(std::move(event));
 }
 
@@ -42,6 +47,7 @@ void TraceRecorder::record_enter_cs(SimTime at, proto::NodeId node,
   event.kind = EventKind::kEnterCs;
   event.node = node;
   event.detail = detail;
+  MutexLock guard(mutex_);
   push(std::move(event));
 }
 
@@ -50,6 +56,7 @@ void TraceRecorder::record_exit_cs(SimTime at, proto::NodeId node) {
   event.at = at;
   event.kind = EventKind::kExitCs;
   event.node = node;
+  MutexLock guard(mutex_);
   push(std::move(event));
 }
 
@@ -58,6 +65,7 @@ void TraceRecorder::record_upgrade(SimTime at, proto::NodeId node) {
   event.at = at;
   event.kind = EventKind::kUpgraded;
   event.node = node;
+  MutexLock guard(mutex_);
   push(std::move(event));
 }
 
@@ -68,17 +76,35 @@ void TraceRecorder::note(SimTime at, proto::NodeId node,
   event.kind = EventKind::kNote;
   event.node = node;
   event.detail = text;
+  MutexLock guard(mutex_);
   push(std::move(event));
 }
 
+std::deque<TraceEvent> TraceRecorder::events() const {
+  MutexLock guard(mutex_);
+  return events_;
+}
+
+std::uint64_t TraceRecorder::total_recorded() const {
+  MutexLock guard(mutex_);
+  return total_;
+}
+
+bool TraceRecorder::truncated() const {
+  MutexLock guard(mutex_);
+  return total_ > events_.size();
+}
+
 void TraceRecorder::clear() {
+  MutexLock guard(mutex_);
   events_.clear();
   total_ = 0;
 }
 
 std::string TraceRecorder::render(proto::NodeId node_filter) const {
+  MutexLock guard(mutex_);
   std::ostringstream os;
-  if (truncated()) {
+  if (total_ > events_.size()) {
     os << "... (" << total_ - events_.size() << " earlier events dropped)\n";
   }
   for (const TraceEvent& event : events_) {
@@ -96,6 +122,7 @@ std::string TraceRecorder::render(proto::NodeId node_filter) const {
 }
 
 std::vector<std::size_t> TraceRecorder::histogram() const {
+  MutexLock guard(mutex_);
   std::vector<std::size_t> counts(kEventKindCount, 0);
   for (const TraceEvent& event : events_) {
     ++counts[static_cast<std::size_t>(event.kind)];

@@ -17,12 +17,14 @@
 #include "proto/message.hpp"
 #include "trace/event.hpp"
 #include "util/sim_time.hpp"
+#include "util/sync.hpp"
 
 namespace hlock::trace {
 
-/// Bounded in-memory event recorder. Not thread-safe by design: attach one
-/// per simulated cluster (single-threaded) or guard externally (the
-/// ThreadCluster serializes its event sink).
+/// Bounded in-memory event recorder. Internally synchronized: recorders
+/// are routinely wired as a ThreadCluster event sink or shared between a
+/// driver and observer threads, so every record/query takes the recorder's
+/// mutex (uncontended in the single-threaded simulator, a handful of ns).
 class TraceRecorder {
  public:
   /// Keeps at most `capacity` events; older ones are dropped FIFO.
@@ -41,14 +43,15 @@ class TraceRecorder {
   void record_upgrade(SimTime at, proto::NodeId node);
   void note(SimTime at, proto::NodeId node, const std::string& text);
 
-  /// All retained events, oldest first.
-  const std::deque<TraceEvent>& events() const { return events_; }
+  /// Snapshot of all retained events, oldest first (copied under the
+  /// recorder's mutex so it is safe against concurrent recording).
+  std::deque<TraceEvent> events() const;
 
   /// Events recorded over the recorder's lifetime (>= events().size()).
-  std::uint64_t total_recorded() const { return total_; }
+  std::uint64_t total_recorded() const;
 
   /// True if older events were evicted by the capacity cap.
-  bool truncated() const { return total_ > events_.size(); }
+  bool truncated() const;
 
   void clear();
 
@@ -62,11 +65,13 @@ class TraceRecorder {
   std::vector<std::size_t> histogram() const;
 
  private:
-  void push(TraceEvent event);
+  void push(TraceEvent event) HLOCK_REQUIRES(mutex_);
 
+  /// Immutable after construction.
   std::size_t capacity_;
-  std::deque<TraceEvent> events_;
-  std::uint64_t total_ = 0;
+  mutable Mutex mutex_;
+  std::deque<TraceEvent> events_ HLOCK_GUARDED_BY(mutex_);
+  std::uint64_t total_ HLOCK_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace hlock::trace

@@ -82,7 +82,7 @@ bool FaultyTransport::crosses_partition(std::uint32_t from, std::uint32_t to,
 void FaultyTransport::send(const proto::Message& message) {
   HLOCK_REQUIRE(!message.from.is_none(), "message without a sender");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) return;
     const std::uint64_t key =
         channel_key_of(message.from.value(), message.to.value());
@@ -151,17 +151,16 @@ void FaultyTransport::send(const proto::Message& message) {
   cv_.notify_all();
 }
 
-void FaultyTransport::pump_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+bool FaultyTransport::collect_ready(std::vector<proto::Message>& ready) {
   for (;;) {
-    if (stopping_) return;  // undelivered wire entries are dropped
+    if (stopping_) return false;  // undelivered wire entries are dropped
     if (wire_.empty()) {
-      cv_.wait(lock);
+      cv_.wait(mutex_);
       continue;
     }
     const Clock::time_point due = wire_.top().deliver_at;
     if (due > Clock::now()) {
-      cv_.wait_until(lock, due);
+      cv_.wait_until(mutex_, due);
       continue;
     }
     WireEntry entry = wire_.top();
@@ -184,7 +183,6 @@ void FaultyTransport::pump_loop() {
       }
       continue;
     }
-    std::vector<proto::Message> ready;
     ready.push_back(std::move(entry.message));
     ++ch.next_deliver_seq;
     while (!ch.held.empty() &&
@@ -194,11 +192,23 @@ void FaultyTransport::pump_loop() {
       ++ch.next_deliver_seq;
       counters_.resequenced.fetch_add(1, std::memory_order_relaxed);
     }
-    // Forward outside the lock: the inner send may block (TCP backoff) and
-    // senders must be able to keep depositing onto the wire meanwhile.
-    lock.unlock();
+    return true;
+  }
+}
+
+void FaultyTransport::pump_loop() {
+  for (;;) {
+    std::vector<proto::Message> ready;
+    {
+      MutexLock lock(mutex_);
+      if (!collect_ready(ready)) return;
+    }
+    // Forward with the lock dropped: the inner send may block (TCP
+    // backoff), and senders must be able to keep depositing onto the wire
+    // meanwhile — forwarding while holding `mutex_` is exactly the
+    // lock-held-across-callback pattern the capability analysis exists to
+    // keep out of this layer.
     for (const proto::Message& message : ready) inner_->send(message);
-    lock.lock();
   }
 }
 
@@ -216,14 +226,14 @@ void FaultyTransport::partition(const std::vector<proto::NodeId>& side_a,
   ActivePartition active;
   for (proto::NodeId node : side_a) active.side_a.insert(node.value());
   active.heal_at = Clock::now() + chrono_ns(heal_after);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   partitions_.push_back(std::move(active));
 }
 
 void FaultyTransport::shutdown() {
   if (!shutdown_done_.exchange(true)) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stopping_ = true;
     }
     cv_.notify_all();

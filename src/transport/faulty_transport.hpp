@@ -19,11 +19,9 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <thread>
@@ -34,6 +32,7 @@
 #include "transport/transport.hpp"
 #include "util/distributions.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace hlock::transport {
 
@@ -154,26 +153,32 @@ class FaultyTransport final : public Transport {
     Clock::time_point heal_at;
   };
 
-  ChannelState& channel_state(std::uint64_t key);
+  ChannelState& channel_state(std::uint64_t key) HLOCK_REQUIRES(mutex_);
   /// True if (from, to) crosses an unhealed partition; `release_at` gets
   /// the latest heal time among the partitions crossed.
   bool crosses_partition(std::uint32_t from, std::uint32_t to,
-                         Clock::time_point now, Clock::time_point* release_at);
+                         Clock::time_point now, Clock::time_point* release_at)
+      HLOCK_REQUIRES(mutex_);
   /// Delivery thread: pops matured wire entries and runs the edge
   /// (dedup + resequence) before forwarding to the inner transport.
-  void pump_loop();
+  void pump_loop() HLOCK_EXCLUDES(mutex_);
+  /// Blocks (holding `mutex_`) until stopping or a wire entry matured, then
+  /// moves every in-order deliverable message into `ready`. False once the
+  /// transport is stopping.
+  bool collect_ready(std::vector<proto::Message>& ready)
+      HLOCK_REQUIRES(mutex_);
 
   std::unique_ptr<Transport> inner_;
   FaultPlan plan_;
   stats::TransportCounters counters_;
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::priority_queue<WireEntry> wire_;
-  std::map<std::uint64_t, ChannelState> channels_;
-  std::vector<ActivePartition> partitions_;
-  std::uint64_t next_wire_seq_ = 0;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::priority_queue<WireEntry> wire_ HLOCK_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, ChannelState> channels_ HLOCK_GUARDED_BY(mutex_);
+  std::vector<ActivePartition> partitions_ HLOCK_GUARDED_BY(mutex_);
+  std::uint64_t next_wire_seq_ HLOCK_GUARDED_BY(mutex_) = 0;
+  bool stopping_ HLOCK_GUARDED_BY(mutex_) = false;
 
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<bool> shutdown_done_{false};

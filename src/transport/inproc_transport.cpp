@@ -32,7 +32,7 @@ void InProcTransport::send(const proto::Message& message) {
 
   Mailbox::Clock::time_point deliver_at;
   {
-    std::lock_guard<std::mutex> guard(latency_mutex_);
+    MutexLock guard(latency_mutex_);
     const SimTime latency = options_.latency.sample(latency_rng_);
     deliver_at = Mailbox::Clock::now() +
                  std::chrono::nanoseconds(latency.count_ns());

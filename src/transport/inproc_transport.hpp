@@ -17,7 +17,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -27,6 +26,7 @@
 #include "transport/transport.hpp"
 #include "util/distributions.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace hlock::transport {
 
@@ -69,16 +69,17 @@ class InProcTransport final : public Transport {
  private:
   Mailbox& mailbox(proto::NodeId node);
 
+  /// Immutable after construction (mailboxes themselves are thread-safe).
   InProcOptions options_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::atomic<std::uint64_t> sent_{0};
 
-  std::mutex latency_mutex_;
-  Rng latency_rng_;
+  Mutex latency_mutex_;
+  Rng latency_rng_ HLOCK_GUARDED_BY(latency_mutex_);
   /// Last delivery deadline per ordered channel (FIFO enforcement).
   std::map<std::pair<proto::NodeId, proto::NodeId>,
            Mailbox::Clock::time_point>
-      channel_front_;
+      channel_front_ HLOCK_GUARDED_BY(latency_mutex_);
 };
 
 }  // namespace hlock::transport

@@ -4,7 +4,7 @@ namespace hlock::transport {
 
 void Mailbox::push(proto::Message message, Clock::time_point deliver_at) {
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     if (closed_) return;
     heap_.push(Entry{deliver_at, next_seq_++, std::move(message)});
     ++pushed_;
@@ -17,7 +17,7 @@ std::optional<proto::Message> Mailbox::pop() {
 }
 
 std::optional<proto::Message> Mailbox::pop_until(Clock::time_point deadline) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
     if (!heap_.empty()) {
       const Clock::time_point due = heap_.top().deliver_at;
@@ -29,7 +29,7 @@ std::optional<proto::Message> Mailbox::pop_until(Clock::time_point deadline) {
       // Wait until the head matures, the deadline passes, or a new
       // (possibly earlier) message arrives.
       const Clock::time_point until = std::min(due, deadline);
-      if (cv_.wait_until(lock, until) == std::cv_status::timeout &&
+      if (cv_.wait_until(mutex_, until) == std::cv_status::timeout &&
           until == deadline && Clock::now() >= deadline) {
         // Deadline reached before the head matured.
         if (!heap_.empty() && heap_.top().deliver_at <= Clock::now()) {
@@ -43,8 +43,8 @@ std::optional<proto::Message> Mailbox::pop_until(Clock::time_point deadline) {
     }
     if (closed_) return std::nullopt;
     if (deadline == Clock::time_point::max()) {
-      cv_.wait(lock);
-    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      cv_.wait(mutex_);
+    } else if (cv_.wait_until(mutex_, deadline) == std::cv_status::timeout) {
       if (!heap_.empty() && heap_.top().deliver_at <= Clock::now()) {
         continue;
       }
@@ -55,14 +55,14 @@ std::optional<proto::Message> Mailbox::pop_until(Clock::time_point deadline) {
 
 void Mailbox::close() {
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 std::uint64_t Mailbox::pushed() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   return pushed_;
 }
 

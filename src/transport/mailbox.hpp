@@ -7,14 +7,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <vector>
 
 #include "proto/message.hpp"
+#include "util/sync.hpp"
 
 namespace hlock::transport {
 
@@ -56,12 +55,12 @@ class Mailbox {
     }
   };
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::priority_queue<Entry> heap_;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t pushed_ = 0;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::priority_queue<Entry> heap_ HLOCK_GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ HLOCK_GUARDED_BY(mutex_) = 0;
+  std::uint64_t pushed_ HLOCK_GUARDED_BY(mutex_) = 0;
+  bool closed_ HLOCK_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace hlock::transport

@@ -38,7 +38,7 @@ void TcpNode::start() {
 TcpNode::~TcpNode() {
   shutdown();
   if (acceptor_.joinable()) acceptor_.join();
-  std::lock_guard<std::mutex> guard(readers_mutex_);
+  MutexLock guard(readers_mutex_);
   for (std::thread& reader : readers_) {
     if (reader.joinable()) reader.join();
   }
@@ -47,7 +47,7 @@ TcpNode::~TcpNode() {
 void TcpNode::add_peer(const TcpPeer& peer) {
   HLOCK_REQUIRE(!peer.node.is_none() && peer.node != self_,
                 "peer must be another real node");
-  std::lock_guard<std::mutex> guard(peers_mutex_);
+  MutexLock guard(peers_mutex_);
   peer_ports_[peer.node.value()] = peer.port;
 }
 
@@ -58,7 +58,7 @@ void TcpNode::acceptor_loop() {
       if (errno == EINTR) continue;
       return;
     }
-    std::lock_guard<std::mutex> guard(readers_mutex_);
+    MutexLock guard(readers_mutex_);
     accepted_fds_.push_back(fd);
     readers_.emplace_back([this, fd] { reader_loop(fd); });
   }
@@ -85,7 +85,7 @@ void TcpNode::send(const proto::Message& message) {
   std::uint16_t port = 0;
   Channel* channel = nullptr;
   {
-    std::lock_guard<std::mutex> guard(peers_mutex_);
+    MutexLock guard(peers_mutex_);
     auto it = peer_ports_.find(message.to.value());
     HLOCK_REQUIRE(it != peer_ports_.end(),
                   "unknown peer: " + to_string(message.to));
@@ -95,7 +95,7 @@ void TcpNode::send(const proto::Message& message) {
     channel = slot.get();
   }
 
-  std::lock_guard<std::mutex> guard(channel->send_mutex);
+  MutexLock guard(channel->send_mutex);
   if (channel->fd < 0) channel->fd = connect_loopback(port);
   if (!write_frame(channel->fd, message)) {
     ::close(channel->fd);
@@ -127,12 +127,12 @@ void TcpNode::shutdown() {
   inbox_.close();
   {
     // Unblock readers parked on connections whose remote end is still up.
-    std::lock_guard<std::mutex> guard(readers_mutex_);
+    MutexLock guard(readers_mutex_);
     for (int fd : accepted_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  std::lock_guard<std::mutex> guard(peers_mutex_);
+  MutexLock guard(peers_mutex_);
   for (auto& [node, channel] : channels_) {
-    std::lock_guard<std::mutex> send_guard(channel->send_mutex);
+    MutexLock send_guard(channel->send_mutex);
     if (channel->fd >= 0) {
       ::shutdown(channel->fd, SHUT_RDWR);
       ::close(channel->fd);

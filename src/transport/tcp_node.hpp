@@ -17,12 +17,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "transport/mailbox.hpp"
 #include "transport/transport.hpp"
+#include "util/sync.hpp"
 
 namespace hlock::transport {
 
@@ -71,24 +71,28 @@ class TcpNode final : public Transport {
   void acceptor_loop();
   void reader_loop(int fd);
 
+  /// listen_fd_ and port_ are set in the constructor and immutable after.
   const proto::NodeId self_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   Mailbox inbox_;
   std::thread acceptor_;
-  std::vector<std::thread> readers_;
+  std::vector<std::thread> readers_ HLOCK_GUARDED_BY(readers_mutex_);
   /// Accepted connection fds, so shutdown() can unblock their readers
   /// even while the remote ends stay open.
-  std::vector<int> accepted_fds_;
-  std::mutex readers_mutex_;
+  std::vector<int> accepted_fds_ HLOCK_GUARDED_BY(readers_mutex_);
+  Mutex readers_mutex_;
 
-  std::mutex peers_mutex_;
-  std::map<std::uint32_t, std::uint16_t> peer_ports_;
+  Mutex peers_mutex_;
+  std::map<std::uint32_t, std::uint16_t> peer_ports_
+      HLOCK_GUARDED_BY(peers_mutex_);
   struct Channel {
-    std::mutex send_mutex;
-    int fd = -1;
+    /// Serializes writes on the peer connection and guards its fd.
+    Mutex send_mutex;
+    int fd HLOCK_GUARDED_BY(send_mutex) = -1;
   };
-  std::map<std::uint32_t, std::unique_ptr<Channel>> channels_;
+  std::map<std::uint32_t, std::unique_ptr<Channel>> channels_
+      HLOCK_GUARDED_BY(peers_mutex_);
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<bool> stopping_{false};
 };

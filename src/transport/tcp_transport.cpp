@@ -37,7 +37,7 @@ TcpTransport::~TcpTransport() {
   for (auto& endpoint : nodes_) {
     if (endpoint->acceptor.joinable()) endpoint->acceptor.join();
   }
-  std::lock_guard<std::mutex> guard(readers_mutex_);
+  MutexLock guard(readers_mutex_);
   for (std::thread& reader : readers_) {
     if (reader.joinable()) reader.join();
   }
@@ -57,7 +57,7 @@ void TcpTransport::acceptor_loop(std::size_t node) {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    std::lock_guard<std::mutex> guard(readers_mutex_);
+    MutexLock guard(readers_mutex_);
     readers_.emplace_back([this, node, fd] { reader_loop(node, fd); });
   }
 }
@@ -92,7 +92,7 @@ void TcpTransport::send(const proto::Message& message) {
 
   Channel* channel = nullptr;
   {
-    std::lock_guard<std::mutex> guard(channels_mutex_);
+    MutexLock guard(channels_mutex_);
     auto& slot = channels_[{message.from.value(), message.to.value()}];
     if (!slot) slot = std::make_unique<Channel>();
     channel = slot.get();
@@ -102,7 +102,7 @@ void TcpTransport::send(const proto::Message& message) {
   // write failure (peer reset, severed channel) must never escape as an
   // exception — callers include receiver threads, where an escaped
   // exception would std::terminate the whole process.
-  std::lock_guard<std::mutex> guard(channel->send_mutex);
+  MutexLock guard(channel->send_mutex);
   std::chrono::milliseconds backoff = options_.initial_backoff;
   for (int attempt = 0; attempt < options_.max_send_attempts; ++attempt) {
     if (stopping_.load()) return;
@@ -138,12 +138,12 @@ void TcpTransport::send(const proto::Message& message) {
 bool TcpTransport::sever_channel(proto::NodeId from, proto::NodeId to) {
   Channel* channel = nullptr;
   {
-    std::lock_guard<std::mutex> guard(channels_mutex_);
+    MutexLock guard(channels_mutex_);
     const auto it = channels_.find({from.value(), to.value()});
     if (it == channels_.end()) return false;
     channel = it->second.get();
   }
-  std::lock_guard<std::mutex> guard(channel->send_mutex);
+  MutexLock guard(channel->send_mutex);
   if (channel->fd < 0) return false;
   // Half-kill the socket but leave the stale fd in place: the sender only
   // discovers the failure when its next write returns an error.
@@ -172,9 +172,9 @@ void TcpTransport::shutdown() {
     ::close(endpoint->listen_fd);
     endpoint->inbox.close();
   }
-  std::lock_guard<std::mutex> guard(channels_mutex_);
+  MutexLock guard(channels_mutex_);
   for (auto& [key, channel] : channels_) {
-    std::lock_guard<std::mutex> send_guard(channel->send_mutex);
+    MutexLock send_guard(channel->send_mutex);
     if (channel->fd >= 0) {
       ::shutdown(channel->fd, SHUT_RDWR);
       ::close(channel->fd);

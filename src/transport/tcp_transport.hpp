@@ -19,13 +19,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "stats/metrics.hpp"
 #include "transport/mailbox.hpp"
 #include "transport/transport.hpp"
+#include "util/sync.hpp"
 
 namespace hlock::transport {
 
@@ -85,18 +85,21 @@ class TcpTransport final : public Transport {
   /// guarded by the channel's send mutex.
   int channel_fd(std::uint32_t from, std::uint32_t to);
 
+  /// Options and endpoints are immutable after construction (the endpoint
+  /// mailboxes are themselves thread-safe).
   TcpOptions options_;
   std::vector<std::unique_ptr<NodeEndpoint>> nodes_;
-  std::mutex channels_mutex_;
+  Mutex channels_mutex_;
   struct Channel {
-    std::mutex send_mutex;
-    int fd = -1;
+    /// Serializes writes on the (from, to) connection and guards its fd.
+    Mutex send_mutex;
+    int fd HLOCK_GUARDED_BY(send_mutex) = -1;
   };
   std::map<std::pair<std::uint32_t, std::uint32_t>,
            std::unique_ptr<Channel>>
-      channels_;
-  std::vector<std::thread> readers_;
-  std::mutex readers_mutex_;
+      channels_ HLOCK_GUARDED_BY(channels_mutex_);
+  std::vector<std::thread> readers_ HLOCK_GUARDED_BY(readers_mutex_);
+  Mutex readers_mutex_;
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<bool> stopping_{false};
   stats::TransportCounters counters_;

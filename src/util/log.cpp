@@ -1,13 +1,15 @@
 #include "util/log.hpp"
 
 #include <cstdio>
-#include <mutex>
+
+#include "util/sync.hpp"
 
 namespace hlock {
 
 namespace {
 std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_emit_mutex;
+/// Serializes line emission so threaded-transport runs do not interleave.
+Mutex g_emit_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -43,7 +45,7 @@ bool log_enabled(LogLevel level) {
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> guard(g_emit_mutex);
+  MutexLock guard(g_emit_mutex);
   std::fprintf(stderr, "[hlock %-5s] %s\n", level_name(level),
                message.c_str());
 }

@@ -214,7 +214,7 @@ TEST(ThreadChaos, MaskedFaultsLintCleanAgainstTheSpec) {
   {
     runtime::ThreadCluster cluster{options};
     cluster.set_event_sink(
-        [&checker](trace::TraceEvent event) { checker.add(event); });
+        [&checker](const trace::TraceEvent& event) { checker.add(event); });
     std::vector<std::thread> workers;
     for (std::uint32_t i = 0; i < kChaosNodes; ++i) {
       workers.emplace_back([&cluster, i] {

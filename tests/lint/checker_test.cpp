@@ -67,7 +67,7 @@ TEST(LintChecker, RealSimulatedExecutionLintsClean) {
 
   Checker checker{with_token0()};
   cluster.set_event_observer(
-      [&checker](TraceEvent event) { checker.add(event); });
+      [&checker](const TraceEvent& event) { checker.add(event); });
   cluster.set_grant_handler([](NodeId, LockId, bool) {});
 
   // Mixed-mode contention including a Rule 7 upgrade.

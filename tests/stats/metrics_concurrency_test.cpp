@@ -1,0 +1,77 @@
+// Regression for the unguarded-counter pattern in stats/metrics.hpp: a
+// harness thread snapshot-reads message counts (progress displays, chaos
+// summaries) while sender threads are still counting. Before MessageCounter
+// went atomic every such read was a data race — invisible until an
+// interleaving hit it, flagged immediately by TSan and by the capability
+// analysis once the fields were annotated. This test is part of the TSan CI
+// job precisely so the plain-integer version can never come back.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "stats/metrics.hpp"
+
+namespace hlock::stats {
+namespace {
+
+using proto::MessageKind;
+
+TEST(MessageCounterConcurrency, SnapshotReadsDuringConcurrentAdds) {
+  MessageCounter counter;
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 50000;
+
+  std::atomic<bool> stop{false};
+  // The snapshot reader races the writers on purpose; it can only assert
+  // monotone sanity. The per-kind count must be read BEFORE the total:
+  // counts only grow, so count(t1) <= total(t1) <= total(t2). The other
+  // order is itself racy — the count could overtake an older total.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t requests = counter.count(MessageKind::kHierRequest);
+      EXPECT_LE(requests, counter.total());
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&counter, w] {
+      const MessageKind kind =
+          w % 2 == 0 ? MessageKind::kHierRequest : MessageKind::kHierGrant;
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) counter.add(kind);
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  // No increment may be lost once the writers are quiescent.
+  EXPECT_EQ(counter.total(), kWriters * kPerWriter);
+  EXPECT_EQ(counter.count(MessageKind::kHierRequest),
+            kWriters / 2 * kPerWriter);
+  EXPECT_EQ(counter.count(MessageKind::kHierGrant),
+            kWriters / 2 * kPerWriter);
+  EXPECT_EQ(counter.count(MessageKind::kHierToken), 0u);
+}
+
+TEST(MessageCounterConcurrency, MetricsRegistrySnapshotDuringTraffic) {
+  MetricsRegistry metrics;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)metrics.messages().total();
+    }
+  });
+  for (int i = 0; i < 20000; ++i) {
+    metrics.messages().add(MessageKind::kHierRelease);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(metrics.messages().count(MessageKind::kHierRelease), 20000u);
+}
+
+}  // namespace
+}  // namespace hlock::stats

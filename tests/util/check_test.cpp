@@ -15,8 +15,8 @@ TEST(Check, InvariantThrowsWithContext) {
   try {
     HLOCK_INVARIANT(false, "token lost");
     FAIL() << "expected InvariantError";
-  } catch (const InvariantError& e) {
-    const std::string what = e.what();
+  } catch (const InvariantError& error) {
+    const std::string what = error.what();
     EXPECT_NE(what.find("token lost"), std::string::npos);
     EXPECT_NE(what.find("false"), std::string::npos);
     EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
@@ -31,8 +31,8 @@ TEST(Check, RequireThrowsUsageError) {
   try {
     HLOCK_REQUIRE(2 < 1, "bad argument");
     FAIL() << "expected UsageError";
-  } catch (const UsageError& e) {
-    const std::string what = e.what();
+  } catch (const UsageError& error) {
+    const std::string what = error.what();
     EXPECT_NE(what.find("bad argument"), std::string::npos);
     EXPECT_NE(what.find("2 < 1"), std::string::npos);
   }
