@@ -24,7 +24,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   cluster_options.message_latency = config.net_latency;
   cluster_options.seed = config.seed;
   cluster_options.hier_config = config.hier_config;
-  if (config.lint || config.capture_events != nullptr) {
+  const bool wants_events = config.lint || config.capture_events != nullptr ||
+                            config.collect_spans != nullptr ||
+                            config.record_events != nullptr;
+  if (wants_events) {
     HLOCK_REQUIRE(config.variant == AppVariant::kHierarchical,
                   "event tracing applies to the hierarchical variant");
     cluster_options.hier_config.trace_events = true;
@@ -41,10 +44,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     lint_options.freezing = config.hier_config.freezing;
     checker = std::make_unique<lint::Checker>(lint_options);
   }
-  if (checker || config.capture_events != nullptr) {
+  if (wants_events) {
     cluster.set_event_observer(
-        [&checker, capture = config.capture_events](trace::TraceEvent event) {
+        [&checker, capture = config.capture_events,
+         spans = config.collect_spans,
+         ring = config.record_events](trace::TraceEvent event) {
           if (checker) checker->add(event);
+          if (spans != nullptr) spans->observe(event);
+          if (ring != nullptr) ring->record(event);  // at already stamped
           if (capture != nullptr) capture->push_back(std::move(event));
         });
   }
@@ -60,9 +67,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   spec.seed = config.seed * 7919 + 13;  // decorrelated from network stream
 
   SimWorkloadDriver driver{cluster, spec};
-  driver.run();
-
   ExperimentResult result;
+  try {
+    driver.run();
+  } catch (const InvariantError& error) {
+    result.aborted = true;
+    result.abort_reason = error.what();
+  } catch (const UsageError& error) {
+    result.aborted = true;
+    result.abort_reason = error.what();
+  }
+  // On abort the driver and cluster still hold everything collected up to
+  // the failure; fall through and report the partial run.
   result.ops = driver.stats().ops;
   result.acquisitions = driver.stats().acquisitions;
   result.messages = cluster.metrics().messages().total();
@@ -117,6 +133,13 @@ ExperimentResult run_averaged(ExperimentConfig config, int seeds) {
     total.lint_events_checked += one.lint_events_checked;
     total.lint_violation_count += one.lint_violation_count;
     total.lint_report += one.lint_report;
+    if (one.aborted) {
+      // Later seeds would only repeat the failure (or mask it by averaging
+      // over fewer samples); stop and surface the partial aggregate.
+      total.aborted = true;
+      total.abort_reason = one.abort_reason;
+      break;
+    }
   }
   const double k = seeds > 0 ? static_cast<double>(seeds) : 1.0;
   total.msgs_per_op /= k;

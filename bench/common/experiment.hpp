@@ -12,6 +12,8 @@
 
 #include "core/hier_config.hpp"
 #include "lint/checker.hpp"
+#include "obs/span.hpp"
+#include "trace/recorder.hpp"
 #include "util/distributions.hpp"
 #include "workload/op_plan.hpp"
 #include "workload/sim_driver.hpp"
@@ -41,6 +43,15 @@ struct ExperimentConfig {
   /// variant only; enables event emission like `lint`). Appended across
   /// seeds under run_averaged; feeds trace dumps (hlock_sim --trace-dump).
   std::vector<trace::TraceEvent>* capture_events = nullptr;
+  /// Optional caller-owned span collector (hierarchical variant only;
+  /// enables event emission like `lint`). Receives every structured event,
+  /// assembling per-request causal spans — feeds the phase-latency table
+  /// and Chrome-trace export (hlock_sim --spans / --obs-out).
+  obs::SpanCollector* collect_spans = nullptr;
+  /// Optional caller-owned bounded event ring (hierarchical variant only;
+  /// enables event emission like `lint`). Unlike capture_events this caps
+  /// memory, making it the flight-recorder source for long runs.
+  trace::TraceRecorder* record_events = nullptr;
 };
 
 /// Aggregated outcome of one run (or of several seeds averaged).
@@ -71,6 +82,13 @@ struct ExperimentResult {
   std::size_t lint_events_checked = 0;
   std::size_t lint_violation_count = 0;
   std::string lint_report;
+  /// True when the run died early (an invariant fired or the driver hit its
+  /// stall detector). The metrics above then cover the partial run up to
+  /// the abort — still invaluable for diagnosis, which is why the runner
+  /// reports them instead of losing them to the exception.
+  bool aborted = false;
+  /// The triggering error's message (empty when !aborted).
+  std::string abort_reason;
 };
 
 /// Runs one experiment to completion.

@@ -133,7 +133,8 @@ Effects HierAutomaton::step_request(LockMode mode, std::uint8_t priority) {
   }
 
   pending_ = mode;
-  send(route(), HierRequest{self_, mode, seq, priority}, fx);
+  send(route(), HierRequest{self_, mode, seq, priority}, fx,
+       proto::RequestId{self_, seq});
   // We are now the most recent requester we know of; while pending we
   // absorb (queue) incoming requests, exactly like the root of Naimi's
   // probable-owner tree.
@@ -202,9 +203,9 @@ Effects HierAutomaton::on_message(const Message& message) {
   if (const auto* request = std::get_if<HierRequest>(&message.payload)) {
     handle_request(*request, fx);
   } else if (const auto* grant = std::get_if<HierGrant>(&message.payload)) {
-    handle_grant(message.from, *grant, fx);
+    handle_grant(message.from, *grant, own_pending_seq(message.request), fx);
   } else if (const auto* token = std::get_if<HierToken>(&message.payload)) {
-    handle_token(message.from, *token, fx);
+    handle_token(message.from, *token, own_pending_seq(message.request), fx);
   } else if (const auto* release =
                  std::get_if<HierRelease>(&message.payload)) {
     handle_release(message.from, *release, fx);
@@ -230,7 +231,7 @@ void HierAutomaton::handle_request(const HierRequest& request, Effects& fx) {
                     "own request returned but nothing is pending");
     HLOCK_INVARIANT(++reissue_count_ < 64,
                     "request routing is spinning (probable hint cycle)");
-    send(parent_, request, fx);
+    send(parent_, request, fx, proto::RequestId{self_, request.seq});
     return;
   }
   const QueuedRequest entry{request.requester, request.mode, request.seq,
@@ -279,7 +280,8 @@ void HierAutomaton::handle_request(const HierRequest& request, Effects& fx) {
   // handled by the requester's own-request-return re-issue path.
   const NodeId target =
       route() == request.requester ? parent_ : route();
-  send(target, request, fx);
+  send(target, request, fx,
+       proto::RequestId{request.requester, request.seq});
   if (config_.trace_events) {
     auto event = make_event(trace::EventKind::kForward);
     event.peer = request.requester;
@@ -321,7 +323,7 @@ void HierAutomaton::handle_request_as_token(const QueuedRequest& request,
 }
 
 void HierAutomaton::handle_grant(NodeId from, const HierGrant& grant,
-                                 Effects& fx) {
+                                 std::uint64_t seq, Effects& fx) {
   HLOCK_INVARIANT(pending_ != LockMode::kNL && grant.mode == pending_,
                   "grant does not match this node's pending request");
   HLOCK_INVARIANT(!token_, "the token node cannot receive a copy grant");
@@ -343,13 +345,14 @@ void HierAutomaton::handle_grant(NodeId from, const HierGrant& grant,
     auto event = make_event(trace::EventKind::kEnterCs);
     event.peer = from;  // the granter
     event.mode = grant.mode;
+    event.seq = seq;
     emit(fx, std::move(event));
   }
   drain_local_queue(fx);
 }
 
 void HierAutomaton::handle_token(NodeId from, const HierToken& token,
-                                 Effects& fx) {
+                                 std::uint64_t seq, Effects& fx) {
   HLOCK_INVARIANT(!token_, "token transferred to the current token node");
   HLOCK_INVARIANT(pending_ != LockMode::kNL &&
                       token.granted_mode == pending_,
@@ -389,6 +392,7 @@ void HierAutomaton::handle_token(NodeId from, const HierToken& token,
     auto event = make_event(trace::EventKind::kEnterCs);
     event.peer = from;  // the old token node
     event.mode = token.granted_mode;
+    event.seq = seq;
     emit(fx, std::move(event));
   }
   service_token_queue(fx);
@@ -486,7 +490,8 @@ void HierAutomaton::copy_grant(const QueuedRequest& request, Effects& fx) {
     join.mode = entry_mode;
     emit(fx, std::move(join));
   }
-  send(request.requester, HierGrant{request.mode, entry_mode, epoch}, fx);
+  send(request.requester, HierGrant{request.mode, entry_mode, epoch}, fx,
+       proto::RequestId{request.requester, request.seq});
   // A freshly admitted child able to grant a currently frozen mode must be
   // frozen immediately or it could hand out bypass grants (Rule 6).
   notify_frozen_children(fx);
@@ -533,7 +538,8 @@ void HierAutomaton::transfer_token(const QueuedRequest& request, Effects& fx) {
   // reserved transfer epoch 0 (see handle_token).
   reported_owned_ = token.sender_owned;
   parent_epoch_ = 0;
-  send(request.requester, std::move(token), fx);
+  send(request.requester, std::move(token), fx,
+       proto::RequestId{request.requester, request.seq});
 }
 
 // ---------------------------------------------------------------------------
@@ -595,7 +601,7 @@ void HierAutomaton::drain_local_queue(Effects& fx) {
       send(parent_,
            HierRequest{entry.requester, entry.mode, entry.seq,
                        entry.priority},
-           fx);
+           fx, proto::RequestId{entry.requester, entry.seq});
       if (config_.trace_events) {
         auto event = make_event(trace::EventKind::kForward);
         event.peer = entry.requester;
@@ -698,9 +704,12 @@ void HierAutomaton::propagate_weakening(Effects& fx) {
   }
 }
 
-void HierAutomaton::send(NodeId to, Payload payload, Effects& fx) const {
+void HierAutomaton::send(NodeId to, Payload payload, Effects& fx,
+                         proto::RequestId request) const {
   HLOCK_INVARIANT(!to.is_none(), "attempted to send to the null node");
-  fx.messages.push_back(Message{self_, to, lock_, std::move(payload)});
+  Message message{self_, to, lock_, std::move(payload)};
+  message.request = request;
+  fx.messages.push_back(std::move(message));
 }
 
 // ---------------------------------------------------------------------------

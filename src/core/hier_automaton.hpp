@@ -134,8 +134,12 @@ class HierAutomaton {
   void handle_request(const proto::HierRequest& request, Effects& fx);
   void handle_request_as_token(const proto::QueuedRequest& request,
                                Effects& fx);
-  void handle_grant(NodeId from, const proto::HierGrant& grant, Effects& fx);
-  void handle_token(NodeId from, const proto::HierToken& token, Effects& fx);
+  /// `seq` is the sequence number of this node's own pending request (from
+  /// the message's RequestId when stamped); it tags the kEnterCs event.
+  void handle_grant(NodeId from, const proto::HierGrant& grant,
+                    std::uint64_t seq, Effects& fx);
+  void handle_token(NodeId from, const proto::HierToken& token,
+                    std::uint64_t seq, Effects& fx);
   void handle_release(NodeId from, const proto::HierRelease& release,
                       Effects& fx);
   void handle_freeze(const proto::HierFreeze& freeze, Effects& fx);
@@ -173,7 +177,11 @@ class HierAutomaton {
   /// Deferred while a request is pending to avoid RELEASE/GRANT crossings.
   void propagate_weakening(Effects& fx);
 
-  void send(NodeId to, proto::Payload payload, Effects& fx) const;
+  /// `request` stamps the message's end-to-end RequestId (the request the
+  /// message concerns); none for messages not tied to one application
+  /// request (releases, freezes).
+  void send(NodeId to, proto::Payload payload, Effects& fx,
+            proto::RequestId request = proto::RequestId::none()) const;
 
   /// Builds a trace event stamped with this node's identity and current
   /// token status (capture before mutating token_ where it matters).
@@ -195,13 +203,23 @@ class HierAutomaton {
   /// Request-routing target: hint_ when set, else parent_.
   NodeId route() const { return hint_.is_none() ? parent_ : hint_; }
 
+  /// The seq of this node's own pending request: the incoming grant/token
+  /// message's RequestId when stamped, else the most recently issued seq
+  /// (valid because request() forbids overlap, so the outstanding request
+  /// is always the last one issued).
+  std::uint64_t own_pending_seq(proto::RequestId request) const {
+    return request.is_none() ? next_seq_ - 1 : request.seq;
+  }
+
   bool token_ = false;
   NodeId parent_;           // granter link; none iff token_
   NodeId hint_;             // probable-owner routing hint (may be none)
   LockMode held_ = LockMode::kNL;
   LockMode pending_ = LockMode::kNL;
   bool upgrading_ = false;
-  std::uint64_t next_seq_ = 0;
+  /// Sequence numbers start at 1: seq 0 is the "unset" value in trace
+  /// events and RequestIds, so every real request must have a nonzero seq.
+  std::uint64_t next_seq_ = 1;
   std::vector<CopysetEntry> copyset_;
   std::deque<proto::QueuedRequest> queue_;
   ModeSet frozen_;

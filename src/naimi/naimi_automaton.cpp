@@ -37,7 +37,8 @@ Effects NaimiAutomaton::request() {
     return fx;
   }
   requesting_ = true;
-  send(owner_, NaimiRequest{self_, next_seq_++}, fx);
+  const std::uint64_t seq = next_seq_++;
+  send(owner_, NaimiRequest{self_, seq}, fx, proto::RequestId{self_, seq});
   // Path reversal: we are the new last requester, hence the new root.
   owner_ = NodeId::none();
   return fx;
@@ -49,8 +50,9 @@ Effects NaimiAutomaton::release() {
   in_cs_ = false;
   if (!next_.is_none()) {
     has_token_ = false;
-    send(next_, NaimiToken{}, fx);
+    send(next_, NaimiToken{}, fx, proto::RequestId{next_, next_req_seq_});
     next_ = NodeId::none();
+    next_req_seq_ = 0;
   }
   return fx;
 }
@@ -79,15 +81,18 @@ void NaimiAutomaton::handle_request(const NaimiRequest& request, Effects& fx) {
     // idle token immediately, or it becomes our successor.
     if (has_token_ && !in_cs_ && !requesting_) {
       has_token_ = false;
-      send(request.requester, NaimiToken{}, fx);
+      send(request.requester, NaimiToken{}, fx,
+           proto::RequestId{request.requester, request.seq});
     } else {
       HLOCK_INVARIANT(next_.is_none(),
                       "root already promised the token to a successor");
       next_ = request.requester;
+      next_req_seq_ = request.seq;
     }
   } else {
     // Not the root: relay toward the probable owner.
-    send(owner_, request, fx);
+    send(owner_, request, fx,
+         proto::RequestId{request.requester, request.seq});
   }
   // Path reversal: the requester is the last requester we know of, so it
   // becomes our probable owner — this is what compresses future paths.
@@ -103,16 +108,19 @@ void NaimiAutomaton::handle_token(Effects& fx) {
   fx.entered_cs = true;
 }
 
-void NaimiAutomaton::send(NodeId to, Payload payload, Effects& fx) const {
+void NaimiAutomaton::send(NodeId to, Payload payload, Effects& fx,
+                          proto::RequestId request) const {
   HLOCK_INVARIANT(!to.is_none(), "attempted to send to the null node");
-  fx.messages.push_back(Message{self_, to, lock_, std::move(payload)});
+  Message message{self_, to, lock_, std::move(payload)};
+  message.request = request;
+  fx.messages.push_back(std::move(message));
 }
 
 std::string NaimiAutomaton::fingerprint() const {
   std::ostringstream os;
   os << owner_.value() << '/' << next_.value() << '/'
      << (has_token_ ? 'T' : 't') << (in_cs_ ? 'C' : 'c')
-     << (requesting_ ? 'R' : 'r') << next_seq_;
+     << (requesting_ ? 'R' : 'r') << next_seq_ << 'n' << next_req_seq_;
   return os.str();
 }
 

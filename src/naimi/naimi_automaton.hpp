@@ -72,17 +72,25 @@ class NaimiAutomaton {
  private:
   void handle_request(const proto::NaimiRequest& request, Effects& fx);
   void handle_token(Effects& fx);
-  void send(NodeId to, proto::Payload payload, Effects& fx) const;
+  /// `request` stamps the message's end-to-end RequestId, carried for
+  /// observability (spans join token hand-offs to the requests they serve).
+  void send(NodeId to, proto::Payload payload, Effects& fx,
+            proto::RequestId request = proto::RequestId::none()) const;
 
   const NodeId self_;
   const LockId lock_;
 
   NodeId owner_;  ///< probable owner; none iff this node is the tree root
   NodeId next_;   ///< successor in the distributed FIFO list
+  /// seq of the request that made next_ our successor; stamps the RequestId
+  /// on the token hand-off so the transfer is attributable to that request.
+  std::uint64_t next_req_seq_ = 0;
   bool has_token_ = false;
   bool in_cs_ = false;
   bool requesting_ = false;
-  std::uint64_t next_seq_ = 0;
+  /// Starts at 1: seq 0 is the "unset" value in RequestIds (mirrors
+  /// HierAutomaton's convention).
+  std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace hlock::naimi

@@ -1,0 +1,42 @@
+// Chrome trace_event JSON export of request spans.
+//
+// Emits the Trace Event Format consumed by chrome://tracing and Perfetto:
+// one track (pid) per node, one async span ("b"/"e" events keyed by the
+// request id) per application-level lock request on its origin node's
+// track, an instant event on the acting node's track for every phase
+// transition, and an "X" duration slice for each critical section.
+// Timestamps are microseconds (the format's unit) converted from the
+// runtime's nanosecond SimTime stamps; Lamport timestamps ride in each
+// event's args so causal order stays inspectable in the UI.
+//
+// The exporter writes JSON by hand — the repo takes no dependencies — so
+// validate_json() provides an exact structural check used by the tests and
+// the flight recorder (CI additionally round-trips the artifact through
+// `python3 -m json.tool`).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace hlock::obs {
+
+struct ChromeTraceOptions {
+  /// Number of node tracks to declare metadata for. 0 infers the set of
+  /// nodes from the spans themselves.
+  std::size_t node_count = 0;
+};
+
+/// Renders `spans` as a complete Chrome trace_event JSON document
+/// ({"traceEvents": [...], "displayTimeUnit": "ms"}).
+std::string chrome_trace_json(const std::vector<RequestSpan>& spans,
+                              const ChromeTraceOptions& options = {});
+
+/// Strict structural JSON validator (RFC 8259 grammar, no extensions; UTF-8
+/// passthrough). True iff `text` is exactly one valid JSON value.
+bool validate_json(std::string_view text);
+
+}  // namespace hlock::obs

@@ -1,0 +1,44 @@
+// Lamport logical clocks for causal ordering of cross-node span events.
+//
+// Wall clocks on different nodes (and per-node simulated delivery times
+// under reordering transports) do not agree, so the observability layer
+// stamps every trace event and every wire message with a Lamport timestamp:
+// ticked on each local protocol step and send, merged (max + 1) on each
+// receive. Two events related by message flow then always compare in causal
+// order, which is what the span collector and Chrome-trace export rely on
+// when the faulty transport delays or reorders delivery. The runtimes own
+// the clocks (one per node) because automatons are pure state machines that
+// hold no clock of any kind — see runtime/sim_cluster.hpp and
+// runtime/thread_cluster.hpp for the stamping points.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace hlock::obs {
+
+/// One node's Lamport clock. Deliberately unsynchronized: each clock is
+/// owned by exactly one node's runtime state, which already serializes
+/// access (the simulator is single-threaded; ThreadCluster guards each
+/// node's state with its per-node mutex).
+class LamportClock {
+ public:
+  /// Advances for a local step or send; returns the new time. The first
+  /// tick returns 1, so a zero timestamp always means "no clock ran".
+  std::uint64_t tick() { return ++now_; }
+
+  /// Merges a received message's timestamp and advances past it:
+  /// now = max(now, received) + 1. Returns the new time.
+  std::uint64_t observe(std::uint64_t received) {
+    now_ = std::max(now_, received) + 1;
+    return now_;
+  }
+
+  /// The last returned time (0 before any tick).
+  std::uint64_t current() const { return now_; }
+
+ private:
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace hlock::obs

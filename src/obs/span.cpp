@@ -1,0 +1,226 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <sstream>
+
+namespace hlock::obs {
+
+namespace {
+
+using proto::NodeId;
+using proto::RequestId;
+using trace::EventKind;
+using trace::TraceEvent;
+
+constexpr std::array<const char*, kPhaseCount> kPhaseNames = {
+    "issued",  "queued-local", "frozen",  "forwarded",
+    "granted", "cs-enter",     "cs-exit",
+};
+
+std::pair<std::uint32_t, std::uint32_t> holder_key(const TraceEvent& event) {
+  return {event.node.value(), event.lock.value()};
+}
+
+}  // namespace
+
+std::string to_string(Phase phase) {
+  const auto index = static_cast<std::size_t>(phase);
+  return index < kPhaseNames.size() ? kPhaseNames[index] : "?";
+}
+
+const SpanEvent* RequestSpan::find(Phase phase) const {
+  for (const SpanEvent& event : events) {
+    if (event.phase == phase) return &event;
+  }
+  return nullptr;
+}
+
+std::size_t SpanCollector::ensure(RequestId id, const TraceEvent& event) {
+  const SpanKey key{event.lock.value(), id.origin.value(), id.seq};
+  const auto [it, inserted] = index_.try_emplace(key, spans_.size());
+  if (inserted) {
+    RequestSpan span;
+    span.id = id;
+    span.lock = event.lock;
+    span.mode = event.mode;
+    span.priority = event.priority;
+    spans_.push_back(std::move(span));
+    aux_.push_back(Aux{});
+    return spans_.size() - 1;
+  }
+  // A span opened by a downstream event (a queue observed before the issue
+  // under reordering) may lack the request's mode; backfill it.
+  RequestSpan& span = spans_[it->second];
+  if (span.mode == proto::LockMode::kNL) span.mode = event.mode;
+  if (span.priority == 0) span.priority = event.priority;
+  return it->second;
+}
+
+void SpanCollector::append(std::size_t index, Phase phase,
+                           const TraceEvent& event) {
+  RequestSpan& span = spans_[index];
+  const bool repeatable =
+      phase == Phase::kQueuedLocal || phase == Phase::kForwarded;
+  if (!repeatable && span.find(phase) != nullptr) return;
+  span.events.push_back(SpanEvent{phase, event.at, event.lamport, event.node});
+}
+
+void SpanCollector::observe(const TraceEvent& event) {
+  MutexLock guard(mutex_);
+  switch (event.kind) {
+    case EventKind::kRequest: {
+      if (event.seq == 0) return;
+      append(ensure(RequestId{event.node, event.seq}, event), Phase::kIssued,
+             event);
+      return;
+    }
+    case EventKind::kQueue: {
+      if (event.seq == 0 || event.peer.is_none()) return;
+      const std::size_t i = ensure(RequestId{event.peer, event.seq}, event);
+      aux_[i].queued_at = event.node;
+      append(i, Phase::kQueuedLocal, event);
+      return;
+    }
+    case EventKind::kForward: {
+      if (event.seq == 0 || event.peer.is_none()) return;
+      const std::size_t i = ensure(RequestId{event.peer, event.seq}, event);
+      // The request left this node's queue; it may be re-queued elsewhere.
+      if (aux_[i].queued_at == event.node) aux_[i].queued_at = NodeId::none();
+      append(i, Phase::kForwarded, event);
+      return;
+    }
+    case EventKind::kFreeze: {
+      // `event.modes` is the freezing node's complete frozen set; the
+      // freeze applies to every request it is still queueing whose mode is
+      // now in that set.
+      for (std::size_t i = 0; i < spans_.size(); ++i) {
+        if (aux_[i].granted || aux_[i].queued_at != event.node) continue;
+        if (spans_[i].lock != event.lock) continue;
+        if (!event.modes.contains(spans_[i].mode)) continue;
+        append(i, Phase::kFrozen, event);
+      }
+      return;
+    }
+    case EventKind::kGrant:
+    case EventKind::kTokenTransfer: {
+      if (event.seq == 0 || event.peer.is_none()) return;
+      const std::size_t i = ensure(RequestId{event.peer, event.seq}, event);
+      aux_[i].granted = true;
+      append(i, Phase::kGranted, event);
+      return;
+    }
+    case EventKind::kLocalGrant: {
+      if (event.seq == 0) return;
+      const std::size_t i = ensure(RequestId{event.node, event.seq}, event);
+      aux_[i].granted = true;
+      append(i, Phase::kGranted, event);
+      return;
+    }
+    case EventKind::kEnterCs:
+    case EventKind::kUpgraded: {
+      // kUpgraded is the Rule 7 completion: the W request's critical
+      // section begins, superseding the U span's.
+      if (event.seq == 0) return;
+      const std::size_t i = ensure(RequestId{event.node, event.seq}, event);
+      aux_[i].granted = true;
+      append(i, Phase::kCsEntered, event);
+      holder_[holder_key(event)] = i;
+      return;
+    }
+    case EventKind::kExitCs: {
+      // exit-cs carries no seq; attribute it to the request currently in
+      // its critical section on (node, lock).
+      const auto it = holder_.find(holder_key(event));
+      if (it == holder_.end()) return;
+      append(it->second, Phase::kCsExited, event);
+      holder_.erase(it);
+      return;
+    }
+    default:
+      return;  // messages, copyset changes, unfreezes, notes: not lifecycle
+  }
+}
+
+std::vector<RequestSpan> SpanCollector::spans() const {
+  MutexLock guard(mutex_);
+  return spans_;
+}
+
+std::size_t SpanCollector::span_count() const {
+  MutexLock guard(mutex_);
+  return spans_.size();
+}
+
+std::size_t SpanCollector::completed_count() const {
+  MutexLock guard(mutex_);
+  std::size_t n = 0;
+  for (const RequestSpan& span : spans_) {
+    if (span.complete()) ++n;
+  }
+  return n;
+}
+
+std::vector<double> SpanCollector::acquire_latencies_ms() const {
+  MutexLock guard(mutex_);
+  std::vector<double> out;
+  for (const RequestSpan& span : spans_) {
+    const SpanEvent* issued = span.find(Phase::kIssued);
+    const SpanEvent* entered = span.find(Phase::kCsEntered);
+    if (issued != nullptr && entered != nullptr) {
+      out.push_back((entered->at - issued->at).to_ms());
+    }
+  }
+  return out;
+}
+
+std::vector<PhaseStats> SpanCollector::phase_breakdown() const {
+  MutexLock guard(mutex_);
+  // Keyed by (from, to) phase pair so rows come out in nominal phase order.
+  std::map<std::pair<int, int>, std::vector<double>> buckets;
+  std::vector<double> acquire;
+  for (const RequestSpan& span : spans_) {
+    for (std::size_t k = 1; k < span.events.size(); ++k) {
+      const SpanEvent& a = span.events[k - 1];
+      const SpanEvent& b = span.events[k];
+      buckets[{static_cast<int>(a.phase), static_cast<int>(b.phase)}]
+          .push_back((b.at - a.at).to_ms());
+    }
+    const SpanEvent* issued = span.find(Phase::kIssued);
+    const SpanEvent* entered = span.find(Phase::kCsEntered);
+    if (issued != nullptr && entered != nullptr) {
+      acquire.push_back((entered->at - issued->at).to_ms());
+    }
+  }
+  std::vector<PhaseStats> rows;
+  rows.reserve(buckets.size() + 1);
+  for (const auto& [key, samples] : buckets) {
+    rows.push_back(PhaseStats{
+        to_string(static_cast<Phase>(key.first)) + "->" +
+            to_string(static_cast<Phase>(key.second)),
+        stats::summarize(samples)});
+  }
+  rows.push_back(
+      PhaseStats{"acquire (issued->cs-enter)", stats::summarize(acquire)});
+  return rows;
+}
+
+std::string render_phase_table(const std::vector<PhaseStats>& rows) {
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-28s %8s %10s %10s %10s %10s %10s\n",
+                "phase (ms)", "count", "mean", "p50", "p95", "p99", "max");
+  os << line;
+  for (const PhaseStats& row : rows) {
+    std::snprintf(line, sizeof line,
+                  "%-28s %8zu %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+                  row.interval.c_str(), row.summary_ms.count,
+                  row.summary_ms.mean, row.summary_ms.p50, row.summary_ms.p95,
+                  row.summary_ms.p99, row.summary_ms.max);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace hlock::obs

@@ -173,11 +173,15 @@ std::optional<Payload> decode_payload(MessageKind kind, WireReader& r) {
 
 std::vector<std::byte> encode(const Message& m) {
   std::vector<std::byte> out;
-  out.reserve(32);
+  out.reserve(48);
   WireWriter w{out};
+  w.u8(kWireFormatVersion);
   w.node(m.from);
   w.node(m.to);
   w.lock(m.lock);
+  w.node(m.request.origin);
+  w.u64(m.request.seq);
+  w.u64(m.lamport);
   w.u8(static_cast<std::uint8_t>(kind_of(m.payload)));
   std::visit(PayloadEncoder{w}, m.payload);
   return out;
@@ -185,15 +189,28 @@ std::vector<std::byte> encode(const Message& m) {
 
 std::optional<Message> decode(std::span<const std::byte> bytes) {
   WireReader r{bytes};
+  auto version = r.u8();
+  if (!version || *version != kWireFormatVersion) return std::nullopt;
   auto from = r.node();
   auto to = r.node();
   auto lock = r.lock();
+  auto request_origin = r.node();
+  auto request_seq = r.u64();
+  auto lamport = r.u64();
   auto kind_raw = r.u8();
-  if (!from || !to || !lock || !kind_raw) return std::nullopt;
+  if (!from || !to || !lock || !request_origin || !request_seq || !lamport ||
+      !kind_raw) {
+    return std::nullopt;
+  }
   if (*kind_raw >= kMessageKindCount) return std::nullopt;
   auto payload = decode_payload(static_cast<MessageKind>(*kind_raw), r);
   if (!payload || r.remaining() != 0) return std::nullopt;
-  return Message{*from, *to, *lock, std::move(*payload)};
+  return Message{*from,
+                 *to,
+                 *lock,
+                 std::move(*payload),
+                 RequestId{*request_origin, *request_seq},
+                 *lamport};
 }
 
 }  // namespace hlock::proto

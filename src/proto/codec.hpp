@@ -5,7 +5,9 @@
 // honest about what information actually crosses the network (the threaded
 // transport round-trips every message through it by default). The format is
 // a fixed little-endian layout with a length-prefixed queue section — no
-// pointers, no padding, portable across platforms.
+// pointers, no padding, portable across platforms. A leading version byte
+// rejects frames from incompatible peers; version 2 added the per-request
+// causal id and the Lamport timestamp to the envelope (src/obs).
 #pragma once
 
 #include <cstddef>
@@ -17,6 +19,11 @@
 #include "proto/message.hpp"
 
 namespace hlock::proto {
+
+/// Wire format version, the first byte of every encoded message. Bumped to
+/// 2 when the envelope grew the RequestId and Lamport fields; decode()
+/// rejects every other version.
+inline constexpr std::uint8_t kWireFormatVersion = 2;
 
 /// Appends little-endian primitives to a byte buffer.
 class WireWriter {

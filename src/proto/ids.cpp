@@ -9,4 +9,9 @@ std::string to_string(NodeId id) {
 
 std::string to_string(LockId id) { return "lock" + std::to_string(id.value()); }
 
+std::string to_string(RequestId id) {
+  if (id.is_none()) return "none";
+  return to_string(id.origin) + "#" + std::to_string(id.seq);
+}
+
 }  // namespace hlock::proto

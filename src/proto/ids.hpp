@@ -45,6 +45,26 @@ class LockId {
   std::uint32_t value_ = 0;
 };
 
+/// Identifies one application-level lock request end to end: the node that
+/// issued it plus that node's issuer-side sequence number. RequestIds ride
+/// in the Message envelope so every hop a request's causal chain takes —
+/// forwards, grants, token transfers — can be attributed to the request
+/// that caused it (the substrate of the per-request spans in src/obs).
+struct RequestId {
+  NodeId origin = NodeId::none();
+  std::uint64_t seq = 0;
+
+  /// Sentinel meaning "this message serves no particular request"
+  /// (releases, freezes).
+  static constexpr RequestId none() { return RequestId{}; }
+
+  constexpr bool is_none() const { return origin.is_none(); }
+  constexpr auto operator<=>(const RequestId&) const = default;
+};
+
+/// "node<k>#<seq>" / "none" — for logs and test diagnostics.
+std::string to_string(RequestId id);
+
 /// "node<k>" / "none" — for logs and test diagnostics.
 std::string to_string(NodeId id);
 /// "lock<k>" — for logs and test diagnostics.

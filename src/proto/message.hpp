@@ -149,11 +149,22 @@ MessageKind kind_of(const Payload& payload);
 std::string to_string(MessageKind kind);
 
 /// The envelope every transport routes: point-to-point, per-lock.
+///
+/// Beyond routing, the envelope carries two observability fields that cross
+/// the wire with the payload (src/obs): `request`, the application-level
+/// lock request this message causally serves (the origin request for
+/// REQUEST, the request being satisfied for GRANT/TOKEN; none for RELEASE/
+/// FREEZE, which serve no single request), and `lamport`, a Lamport clock
+/// stamped by the runtime at send time and merged at receive time so span
+/// events from different nodes order causally even under reordering
+/// transports. Automatons fill `request`; runtimes own `lamport`.
 struct Message {
   NodeId from;
   NodeId to;
   LockId lock;
   Payload payload;
+  RequestId request = RequestId::none();
+  std::uint64_t lamport = 0;
 
   bool operator==(const Message&) const = default;
 };

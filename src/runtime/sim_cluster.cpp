@@ -14,6 +14,7 @@ SimCluster::SimCluster(const SimClusterOptions& options)
                 "loss probability must be within [0, 1]");
   HLOCK_REQUIRE(options.initial_root.value() < options.node_count,
                 "the initial root must be one of the cluster's nodes");
+  clocks_.resize(options.node_count);
   engines_.reserve(options.node_count);
   for (std::size_t i = 0; i < options.node_count; ++i) {
     const NodeId self{static_cast<std::uint32_t>(i)};
@@ -82,13 +83,19 @@ void SimCluster::upgrade(NodeId node, LockId lock) {
 }
 
 void SimCluster::apply(NodeId node, LockId lock, Effects&& effects) {
+  // One Lamport tick per automaton step; every event of the step shares it,
+  // every send ticks further (obs/lamport.hpp).
+  obs::LamportClock& clock = clocks_[node.value()];
+  const std::uint64_t step_time = clock.tick();
   if (event_observer_) {
     for (trace::TraceEvent& event : effects.events) {
       event.at = simulator_.now();
+      event.lamport = step_time;
       event_observer_(std::move(event));
     }
   }
-  for (const proto::Message& message : effects.messages) {
+  for (proto::Message& message : effects.messages) {
+    message.lamport = clock.tick();
     transmit(message);
   }
   if (effects.entered_cs || effects.upgraded) {
@@ -108,6 +115,7 @@ void SimCluster::transmit(const proto::Message& message) {
   const SimTime at =
       network_.delivery_time(simulator_.now(), message.from, message.to);
   simulator_.schedule_at(at, [this, message] {
+    clocks_[message.to.value()].observe(message.lamport);
     apply(message.to, message.lock, engine(message.to).deliver(message));
   });
 }

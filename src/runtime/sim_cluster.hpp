@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/hier_config.hpp"
+#include "obs/lamport.hpp"
 #include "runtime/engine.hpp"
 #include "sim/network_model.hpp"
 #include "sim/simulator.hpp"
@@ -96,6 +97,14 @@ class SimCluster {
   /// The Raymond automaton of (node, lock); precondition: Raymond protocol.
   raymond::RaymondAutomaton& raymond_automaton(NodeId node, LockId lock);
 
+  /// `node`'s Lamport clock. The cluster runs one clock per node: ticked on
+  /// every automaton step and every send, merged on every delivery, stamped
+  /// onto trace events (TraceEvent::lamport) and messages
+  /// (Message::lamport) — see obs/lamport.hpp.
+  const obs::LamportClock& lamport(NodeId node) const {
+    return clocks_[node.value()];
+  }
+
  private:
   void apply(NodeId node, LockId lock, Effects&& effects);
   void transmit(const proto::Message& message);
@@ -106,6 +115,7 @@ class SimCluster {
   Rng loss_rng_;
   stats::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<LockEngine>> engines_;
+  std::vector<obs::LamportClock> clocks_;
   GrantHandler grant_handler_;
   MessageObserver message_observer_;
   EventObserver event_observer_;

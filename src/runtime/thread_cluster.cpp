@@ -91,6 +91,7 @@ void ThreadCluster::receiver_loop(NodeId node) {
     // keeps draining its mailbox.
     try {
       MutexLock guard(rt.mutex);
+      rt.clock.observe(message->lamport);
       Effects effects = rt.engine->deliver(*message);
       apply(rt, message->lock, std::move(effects));
     } catch (const std::exception& error) {
@@ -103,6 +104,9 @@ void ThreadCluster::receiver_loop(NodeId node) {
 }
 
 void ThreadCluster::apply(NodeRuntime& rt, LockId lock, Effects&& effects) {
+  // One Lamport tick per automaton step; every event of the step shares it,
+  // every send ticks further (obs/lamport.hpp).
+  const std::uint64_t step_time = rt.clock.tick();
   // Events are sunk before the step's messages go out so the sink's global
   // order respects causality (see set_event_sink). The sink slot is only
   // readable under event_mutex_ — checking it unguarded raced with
@@ -116,11 +120,13 @@ void ThreadCluster::apply(NodeRuntime& rt, LockId lock, Effects&& effects) {
     if (event_sink_) {
       for (trace::TraceEvent& event : effects.events) {
         event.at = at;
+        event.lamport = step_time;
         event_sink_(std::move(event));
       }
     }
   }
-  for (const proto::Message& message : effects.messages) {
+  for (proto::Message& message : effects.messages) {
+    message.lamport = rt.clock.tick();
     transport_->send(message);
   }
   bool notify = false;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/hier_config.hpp"
+#include "obs/lamport.hpp"
 #include "runtime/engine.hpp"
 #include "trace/event.hpp"
 #include "transport/faulty_transport.hpp"
@@ -122,6 +123,10 @@ class ThreadCluster {
     /// consumed by the blocked client call yet.
     std::unordered_set<LockId> granted HLOCK_GUARDED_BY(mutex);
     std::unordered_set<LockId> upgraded HLOCK_GUARDED_BY(mutex);
+    /// The node's Lamport clock: ticked per step/send, merged per delivery,
+    /// stamped onto every event and message (obs/lamport.hpp). Guarded by
+    /// the node mutex like the engine it accompanies.
+    obs::LamportClock clock HLOCK_GUARDED_BY(mutex);
     /// Client calls currently blocked on `cv`; the destructor waits for
     /// this to reach zero so a woken call never touches freed node state.
     int waiters HLOCK_GUARDED_BY(mutex) = 0;

@@ -38,6 +38,7 @@ Summary summarize(const std::vector<double>& samples) {
                  : 0.0;
   s.p50 = quantile_sorted(sorted, 0.50);
   s.p90 = quantile_sorted(sorted, 0.90);
+  s.p95 = quantile_sorted(sorted, 0.95);
   s.p99 = quantile_sorted(sorted, 0.99);
   return s;
 }

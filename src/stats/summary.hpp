@@ -19,6 +19,7 @@ struct Summary {
   double max = 0.0;
   double p50 = 0.0;
   double p90 = 0.0;
+  double p95 = 0.0;
   double p99 = 0.0;
   double stddev = 0.0;
 };

@@ -134,20 +134,21 @@ std::string format_event(const TraceEvent& event) {
      << to_string(event.ctx) << ' '
      << static_cast<unsigned>(event.modes.bits()) << ' '
      << (event.token ? 'T' : '.') << ' ' << event.seq << ' '
-     << static_cast<unsigned>(event.priority) << " |"
-     << escape_detail(event.detail);
+     << static_cast<unsigned>(event.priority) << ' ' << event.lamport
+     << " |" << escape_detail(event.detail);
   return os.str();
 }
 
 std::optional<TraceEvent> parse_event(const std::string& line) {
-  // Split the 11 space-separated fields; everything after " |" is detail.
+  // Split the 12 space-separated fields (11 in pre-Lamport dumps);
+  // everything after " |" is detail.
   const std::size_t detail_mark = line.find(" |");
   if (detail_mark == std::string::npos) return std::nullopt;
   std::istringstream head{line.substr(0, detail_mark)};
   std::vector<std::string> fields;
   std::string field;
   while (head >> field) fields.push_back(field);
-  if (fields.size() != 11) return std::nullopt;
+  if (fields.size() != 11 && fields.size() != 12) return std::nullopt;
 
   bool ok = true;
   TraceEvent event;
@@ -166,6 +167,9 @@ std::optional<TraceEvent> parse_event(const std::string& line) {
   event.token = fields[8] == "T";
   event.seq = decode_int<std::uint64_t>(fields[9], ok);
   event.priority = decode_int<std::uint8_t>(fields[10], ok);
+  if (fields.size() == 12) {
+    event.lamport = decode_int<std::uint64_t>(fields[11], ok);
+  }
   if (!ok) return std::nullopt;
   event.detail = unescape_detail(line.substr(detail_mark + 2));
   return event;

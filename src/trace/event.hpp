@@ -56,6 +56,11 @@ std::optional<EventKind> parse_event_kind(const std::string& name);
 struct TraceEvent {
   /// Timestamp, stamped by the runtime/recorder (automatons hold no clock).
   SimTime at{};
+  /// Lamport timestamp of the acting node at the step that produced the
+  /// event, stamped by the runtime (zero when the runtime does not run a
+  /// Lamport clock). Orders events causally across nodes even when wall or
+  /// simulated clocks disagree — see obs/lamport.hpp.
+  std::uint64_t lamport = 0;
   EventKind kind = EventKind::kNote;
   /// Acting node (the sender for kMessage).
   proto::NodeId node;
@@ -90,11 +95,14 @@ struct TraceEvent {
 std::string to_string(const TraceEvent& event);
 
 /// Machine-readable single-line encoding, stable across runs:
-/// "1500 grant node0 node2 0 R R {} T 4 0 |detail". Newlines in `detail`
-/// are escaped. parse_event() inverts it.
+/// "1500 grant node0 node2 0 R R {} T 4 0 7 |detail" (the field before
+/// the detail marker is the Lamport timestamp). Newlines in `detail` are
+/// escaped. parse_event() inverts it.
 std::string format_event(const TraceEvent& event);
 
-/// Parses one format_event() line; std::nullopt on malformed input.
+/// Parses one format_event() line; std::nullopt on malformed input. Also
+/// accepts the pre-Lamport 11-field layout (lamport defaults to zero) so
+/// old trace dumps keep replaying.
 std::optional<TraceEvent> parse_event(const std::string& line);
 
 }  // namespace hlock::trace

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace hlock::trace {
 
@@ -14,7 +15,17 @@ TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
 void TraceRecorder::push(TraceEvent event) {
   ++total_;
   events_.push_back(std::move(event));
-  if (events_.size() > capacity_) events_.pop_front();
+  if (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+    if (!warned_dropped_) {
+      warned_dropped_ = true;
+      HLOCK_LOG(kWarn, "trace ring exceeded its capacity of "
+                           << capacity_
+                           << " events; older history is being dropped "
+                              "(TraceRecorder::dropped() counts losses)");
+    }
+  }
 }
 
 void TraceRecorder::record(TraceEvent event) {
@@ -90,15 +101,22 @@ std::uint64_t TraceRecorder::total_recorded() const {
   return total_;
 }
 
+std::uint64_t TraceRecorder::dropped() const {
+  MutexLock guard(mutex_);
+  return dropped_;
+}
+
 bool TraceRecorder::truncated() const {
   MutexLock guard(mutex_);
-  return total_ > events_.size();
+  return dropped_ > 0;
 }
 
 void TraceRecorder::clear() {
   MutexLock guard(mutex_);
   events_.clear();
   total_ = 0;
+  dropped_ = 0;
+  warned_dropped_ = false;
 }
 
 std::string TraceRecorder::render(proto::NodeId node_filter) const {

@@ -50,6 +50,12 @@ class TraceRecorder {
   /// Events recorded over the recorder's lifetime (>= events().size()).
   std::uint64_t total_recorded() const;
 
+  /// Events evicted by the capacity cap over the recorder's lifetime. The
+  /// ring silently overwriting history is exactly what a debugging session
+  /// must not discover after the fact, so the first eviction also logs a
+  /// one-time warning (HLOCK_LOG kWarn) naming the capacity.
+  std::uint64_t dropped() const;
+
   /// True if older events were evicted by the capacity cap.
   bool truncated() const;
 
@@ -72,6 +78,8 @@ class TraceRecorder {
   mutable Mutex mutex_;
   std::deque<TraceEvent> events_ HLOCK_GUARDED_BY(mutex_);
   std::uint64_t total_ HLOCK_GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_ HLOCK_GUARDED_BY(mutex_) = 0;
+  bool warned_dropped_ HLOCK_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace hlock::trace

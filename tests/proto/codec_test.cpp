@@ -58,17 +58,38 @@ TEST(Codec, TrailingGarbageRejected) {
 
 TEST(Codec, UnknownMessageKindRejected) {
   std::vector<std::byte> wire = encode(envelope(Payload{NaimiToken{}}));
-  // Byte 12 is the payload discriminator (3 x u32 ids precede it).
-  wire[12] = std::byte{0x7F};
+  // Byte 33 is the payload discriminator (version byte, 4 x u32 ids and
+  // two u64 observability fields precede it).
+  wire[33] = std::byte{0x7F};
   EXPECT_FALSE(decode(wire).has_value());
 }
 
 TEST(Codec, InvalidModeRejected) {
   std::vector<std::byte> wire =
       encode(envelope(Payload{HierGrant{LockMode::kR, LockMode::kR, 1}}));
-  // Byte 13 is the granted mode (12-byte envelope + 1 kind byte).
-  wire[13] = std::byte{17};  // mode byte out of range
+  // Byte 34 is the granted mode (33-byte envelope + 1 kind byte).
+  wire[34] = std::byte{17};  // mode byte out of range
   EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(Codec, WrongVersionRejected) {
+  std::vector<std::byte> wire = encode(envelope(Payload{NaimiToken{}}));
+  ASSERT_EQ(wire[0], std::byte{kWireFormatVersion});
+  wire[0] = std::byte{static_cast<std::uint8_t>(kWireFormatVersion + 1)};
+  EXPECT_FALSE(decode(wire).has_value());
+  wire[0] = std::byte{0};
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(Codec, RequestIdAndLamportRoundTrip) {
+  Message m = envelope(Payload{HierGrant{LockMode::kR, LockMode::kR, 5}});
+  m.request = RequestId{NodeId{9}, 0xDEADBEEFCAFEull};
+  m.lamport = 0x0123456789ABCDEFull;
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->request, m.request);
+  EXPECT_EQ(decoded->lamport, m.lamport);
+  EXPECT_EQ(*decoded, m);
 }
 
 TEST(Codec, HostileQueueCountRejected) {
@@ -118,14 +139,14 @@ TEST(WireWriterReader, LittleEndianLayout) {
 }
 
 TEST(Codec, EncodingIsCompact) {
-  // Envelope (12 bytes) + kind (1) + payload; a grant carries two mode
-  // bytes and a 4-byte epoch.
+  // Envelope (33 bytes: version, 4 ids, request seq, lamport) + kind (1) +
+  // payload; a grant carries two mode bytes and a 4-byte epoch.
   EXPECT_EQ(encode(envelope(Payload{HierGrant{LockMode::kR, LockMode::kR,
                                               1}})).size(),
-            19u);
+            40u);
   EXPECT_EQ(encode(envelope(Payload{HierRelease{LockMode::kNL, 2}})).size(),
-            18u);
-  EXPECT_EQ(encode(envelope(Payload{NaimiToken{}})).size(), 13u);
+            39u);
+  EXPECT_EQ(encode(envelope(Payload{NaimiToken{}})).size(), 34u);
 }
 
 }  // namespace

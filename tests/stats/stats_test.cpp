@@ -35,6 +35,7 @@ TEST(Summary, KnownPopulation) {
   EXPECT_DOUBLE_EQ(s.max, 10.0);
   EXPECT_DOUBLE_EQ(s.p50, 5.5);
   EXPECT_NEAR(s.p90, 9.1, 1e-9);
+  EXPECT_NEAR(s.p95, 9.55, 1e-9);
   EXPECT_NEAR(s.stddev, 3.02765, 1e-4);
 }
 

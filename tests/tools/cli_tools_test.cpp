@@ -195,6 +195,52 @@ TEST(HlockLintCli, RejectsMissingAndMalformedTraces) {
   EXPECT_NE(bad_output.find("malformed event at line 1"), std::string::npos);
 }
 
+TEST(HlockSimCli, SpansFlagPrintsThePhaseBreakdown) {
+  const auto [status, output] =
+      run_command(tool("hlock_sim") + " --nodes 6 --ops 12 --spans");
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("phase-latency breakdown"), std::string::npos);
+  EXPECT_NE(output.find("acquire (issued->cs-enter)"), std::string::npos);
+}
+
+TEST(HlockSimCli, SpansRequireASingleSeed) {
+  const auto [status, output] = run_command(
+      tool("hlock_sim") + " --nodes 6 --ops 12 --spans --seeds 3");
+  EXPECT_NE(status, 0);
+  EXPECT_NE(output.find("--seeds 1"), std::string::npos) << output;
+}
+
+TEST(HlockSimCli, ObsOutWritesAChromeTrace) {
+  const auto [status, output] = run_command(
+      tool("hlock_sim") + " --nodes 5 --ops 10 --obs-out obs_cli"
+      " && test -s obs_cli/sim-trace.json");
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("chrome trace"), std::string::npos);
+  EXPECT_NE(output.find("sim-trace.json"), std::string::npos);
+}
+
+TEST(HlockSimCli, ChaosModeHonorsTheObservabilityKnobs) {
+  const auto [status, output] = run_command(
+      tool("hlock_sim") + " --chaos --nodes 4 --ops 8 --fault-delay 0.2"
+      " --seed 7 --spans --obs-out chaos_obs_cli"
+      " && test -s chaos_obs_cli/chaos-trace.json");
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("mutual exclusion OK"), std::string::npos) << output;
+  EXPECT_NE(output.find("phase-latency breakdown"), std::string::npos);
+  EXPECT_NE(output.find("chaos-trace.json"), std::string::npos);
+}
+
+TEST(HlockTraceCli, ExportChromeWritesTheSpanFile) {
+  // Parenthesized so run_command's stderr redirection covers the whole
+  // chain, not just the trailing `test`.
+  const auto [status, output] = run_command(
+      "(" + tool("hlock_trace") +
+      " --scenario upgrade --export-chrome up_cli.json"
+      " && test -s up_cli.json)");
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("chrome trace:"), std::string::npos) << output;
+}
+
 TEST(HlockLintCli, HelpNamesThePositionalArgument) {
   const auto [status, output] = run_command(tool("hlock_lint") + " --help");
   EXPECT_EQ(status, 0);

@@ -17,6 +17,7 @@ using proto::NodeId;
 TraceEvent sample_event() {
   TraceEvent event;
   event.at = SimTime::us(1500);
+  event.lamport = 31;
   event.kind = EventKind::kGrant;
   event.node = NodeId{0};
   event.peer = NodeId{2};
@@ -95,6 +96,15 @@ TEST(TraceEventFormat, ParsesHandWrittenLine) {
   EXPECT_EQ(parsed->mode, LockMode::kW);
   EXPECT_EQ(parsed->ctx, LockMode::kR);
   EXPECT_FALSE(parsed->token);
+  EXPECT_EQ(parsed->seq, 9u);
+  EXPECT_EQ(parsed->priority, 2);
+  EXPECT_EQ(parsed->lamport, 0u) << "pre-Lamport line defaults to zero";
+}
+
+TEST(TraceEventFormat, ParsesLamportField) {
+  const auto parsed = parse_event("1500 queue 4 - 1 W R 0 . 9 2 87 |");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->lamport, 87u);
   EXPECT_EQ(parsed->seq, 9u);
   EXPECT_EQ(parsed->priority, 2);
 }

@@ -30,6 +30,7 @@ TEST(TraceRecorder, RecordsAllEventKinds) {
 
   ASSERT_EQ(recorder.events().size(), 5u);
   EXPECT_EQ(recorder.total_recorded(), 5u);
+  EXPECT_EQ(recorder.dropped(), 0u);
   EXPECT_FALSE(recorder.truncated());
   const auto histogram = recorder.histogram();
   ASSERT_EQ(histogram.size(), kEventKindCount);
@@ -74,6 +75,7 @@ TEST(TraceRecorder, RingBufferEvictsOldest) {
   }
   EXPECT_EQ(recorder.events().size(), 4u);
   EXPECT_EQ(recorder.total_recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
   EXPECT_TRUE(recorder.truncated());
   EXPECT_EQ(recorder.events().front().detail, "event 6");
   EXPECT_NE(recorder.render().find("6 earlier events dropped"),
@@ -81,11 +83,16 @@ TEST(TraceRecorder, RingBufferEvictsOldest) {
 }
 
 TEST(TraceRecorder, ClearResets) {
-  TraceRecorder recorder;
-  recorder.note(SimTime::ms(1), NodeId{0}, "x");
+  TraceRecorder recorder{2};
+  for (int i = 0; i < 5; ++i) {
+    recorder.note(SimTime::ms(i), NodeId{0}, "x");
+  }
+  ASSERT_EQ(recorder.dropped(), 3u);
   recorder.clear();
   EXPECT_TRUE(recorder.events().empty());
   EXPECT_EQ(recorder.total_recorded(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_FALSE(recorder.truncated());
 }
 
 TEST(TraceRecorder, RejectsZeroCapacity) {

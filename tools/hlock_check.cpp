@@ -13,7 +13,10 @@
 
 #include "lint/checker.hpp"
 #include "modelcheck/explorer.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/span.hpp"
 #include "trace/event.hpp"
+#include "trace/recorder.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 
@@ -73,6 +76,10 @@ int main(int argc, char** argv) {
   cli.add_flag("lint",
                "conformance-lint every terminal path against the paper's "
                "spec tables (hier only)");
+  cli.add_option("obs-out", "",
+                 "on a violation, export the counterexample's event trace "
+                 "as a flight record (plus Chrome trace JSON) under this "
+                 "directory");
 
   try {
     if (!cli.parse(argc, argv)) {
@@ -136,6 +143,27 @@ int main(int argc, char** argv) {
       const lint::LintReport report =
           lint::check(result.events, lint_options);
       std::fputs(report.render().c_str(), stdout);
+    }
+    const std::string obs_out = cli.get_string("obs-out");
+    if (!obs_out.empty() && !result.events.empty()) {
+      // Ship the counterexample as a flight record: the rendered ring plus
+      // spans/Chrome trace make the violating interleaving replayable in a
+      // trace viewer instead of a wall of event lines.
+      trace::TraceRecorder ring;
+      obs::SpanCollector collector;
+      for (const trace::TraceEvent& event : result.events) {
+        collector.observe(event);
+        ring.record(event);
+      }
+      obs::FlightRecordSources sources;
+      sources.recorder = &ring;
+      sources.spans = &collector;
+      sources.node_count = nodes;
+      const std::string record = obs::dump_flight_record(
+          obs_out, "model-check violation: " + result.violation, sources);
+      if (!record.empty()) {
+        std::printf("flight record   : %s\n", record.c_str());
+      }
     }
     return 1;
   } catch (const UsageError& error) {

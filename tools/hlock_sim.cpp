@@ -20,15 +20,29 @@
 // linter (src/lint) and fails the run on any divergence from the paper's
 // Rules 1-7 / Tables 1(a)-(d). Works on both the simulator and --chaos
 // paths (hierarchical protocol only).
+//
+// --spans assembles per-request causal spans from the event stream and
+// prints the phase-latency breakdown table; --obs-out=<dir> additionally
+// exports a Chrome trace_event JSON (load in chrome://tracing or Perfetto)
+// and arms the flight recorder: if the run aborts, violates the lint, or
+// loses mutual exclusion, the trace ring + spans + metrics are dumped to a
+// timestamped report under <dir>. Both work on the simulator and --chaos
+// paths (hierarchical protocol only). See docs/observability.md.
 #include <cstdio>
 
+#include <filesystem>
+#include <fstream>
 #include <thread>
 #include <vector>
 
 #include "bench/common/experiment.hpp"
 #include "lint/checker.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/span.hpp"
 #include "runtime/thread_cluster.hpp"
 #include "stats/histogram.hpp"
+#include "trace/recorder.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 
@@ -46,6 +60,34 @@ AppVariant parse_variant(const std::string& name) {
   if (name == "naimi-pure") return AppVariant::kNaimiPure;
   if (name == "naimi-same-work") return AppVariant::kNaimiSameWork;
   throw UsageError("--protocol must be hier, naimi-pure or naimi-same-work");
+}
+
+/// Renders the collected spans as Chrome trace_event JSON and writes it to
+/// `<dir>/<name>` (creating `dir` if needed). Returns the written path.
+std::string write_chrome_trace(const std::string& dir,
+                               const std::string& name,
+                               const obs::SpanCollector& collector,
+                               std::size_t node_count) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  obs::ChromeTraceOptions options;
+  options.node_count = node_count;
+  const std::string json =
+      obs::chrome_trace_json(collector.spans(), options);
+  HLOCK_INVARIANT(obs::validate_json(json),
+                  "chrome trace exporter produced invalid JSON");
+  const std::string path = dir + "/" + name;
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) throw UsageError("cannot write chrome trace: " + path);
+  out << json;
+  return path;
+}
+
+/// Prints the --spans report: span counts and the phase-latency table.
+void print_span_report(const obs::SpanCollector& collector) {
+  std::printf("\nphase-latency breakdown (%zu spans, %zu complete):\n%s",
+              collector.span_count(), collector.completed_count(),
+              obs::render_phase_table(collector.phase_breakdown()).c_str());
 }
 
 /// Runs the --chaos scenario: an exclusive-counter workload on a live
@@ -91,12 +133,17 @@ int run_chaos(const CliParser& cli) {
   }
 
   const bool lint = cli.get_flag("lint");
-  if (lint) options.hier_config.trace_events = true;
+  const bool spans = cli.get_flag("spans");
+  const std::string obs_out = cli.get_string("obs-out");
+  const bool observe = lint || spans || !obs_out.empty();
+  if (observe) options.hier_config.trace_events = true;
   // LintOptions defaults mirror the default HierConfig the chaos cluster
   // runs with; the initial token holder is the default root, node 0.
   lint::LintOptions lint_options;
   lint_options.initial_token = options.initial_root;
   lint::Checker checker{lint_options};
+  obs::SpanCollector collector;
+  trace::TraceRecorder ring;
 
   const int ops = static_cast<int>(cli.get_int("ops", 1, 100000));
   long counter = 0;  // unprotected on purpose: the lock is the protection
@@ -105,9 +152,13 @@ int run_chaos(const CliParser& cli) {
   std::string fault_counters;
   {
     runtime::ThreadCluster cluster{options};
-    if (lint) {
-      cluster.set_event_sink(
-          [&checker](trace::TraceEvent event) { checker.add(event); });
+    if (observe) {
+      cluster.set_event_sink([&checker, &collector, &ring, lint,
+                              spans, &obs_out](trace::TraceEvent event) {
+        if (lint) checker.add(event);
+        if (spans || !obs_out.empty()) collector.observe(event);
+        if (!obs_out.empty()) ring.record(std::move(event));
+      });
     }
     std::vector<std::thread> workers;
     for (std::uint32_t i = 0; i < options.node_count; ++i) {
@@ -147,6 +198,28 @@ int run_chaos(const CliParser& cli) {
     std::printf("  %s", report.render().c_str());
     ok = ok && report.ok();
   }
+  if (spans) print_span_report(collector);
+  if (!obs_out.empty()) {
+    const std::string path = write_chrome_trace(
+        obs_out, "chaos-trace.json", collector, options.node_count);
+    std::printf("  chrome trace  : %s (%zu spans)\n", path.c_str(),
+                collector.span_count());
+    if (!ok) {
+      obs::FlightRecordSources sources;
+      sources.recorder = &ring;
+      sources.spans = &collector;
+      sources.node_count = options.node_count;
+      const std::string report = obs::dump_flight_record(
+          obs_out,
+          counter == expected
+              ? "chaos run failed (lint violation or receiver errors)"
+              : "chaos run lost mutual exclusion",
+          sources);
+      if (!report.empty()) {
+        std::printf("  flight record : %s\n", report.c_str());
+      }
+    }
+  }
   return ok ? 0 : 1;
 }
 
@@ -178,6 +251,14 @@ int main(int argc, char** argv) {
   cli.add_option("trace-dump", "",
                  "write every structured protocol event to this file as "
                  "format_event lines, for hlock_lint (hier only)");
+  cli.add_flag("spans",
+               "assemble per-request causal spans and print the "
+               "phase-latency breakdown table (hier only; also honored by "
+               "--chaos)");
+  cli.add_option("obs-out", "",
+                 "write observability artifacts (Chrome trace JSON; flight "
+                 "record on failure) to this directory (hier only; also "
+                 "honored by --chaos)");
   cli.add_option("histogram", "0",
                  "print a latency histogram with this many buckets");
   cli.add_flag("chaos",
@@ -227,15 +308,38 @@ int main(int argc, char** argv) {
     const std::string dump_path = cli.get_string("trace-dump");
     std::vector<trace::TraceEvent> captured;
     if (!dump_path.empty()) config.capture_events = &captured;
-    if ((config.lint || !dump_path.empty()) &&
+    const bool spans = cli.get_flag("spans");
+    const std::string obs_out = cli.get_string("obs-out");
+    if ((config.lint || !dump_path.empty() || spans || !obs_out.empty()) &&
         config.variant != AppVariant::kHierarchical) {
       throw UsageError(
-          "--lint/--trace-dump apply to --protocol hier only");
+          "--lint/--trace-dump/--spans/--obs-out apply to --protocol hier "
+          "only");
     }
 
     const int seeds = static_cast<int>(cli.get_int("seeds", 1, 1000));
+    obs::SpanCollector collector;
+    trace::TraceRecorder ring;
+    if (spans || !obs_out.empty()) {
+      // Spans join events by (requester, seq), which restarts per seed; a
+      // multi-seed average would splice unrelated requests together.
+      if (seeds != 1) {
+        throw UsageError("--spans/--obs-out require --seeds 1");
+      }
+      config.collect_spans = &collector;
+      config.record_events = &ring;
+    }
     const ExperimentResult result = bench::run_averaged(config, seeds);
 
+    if (result.aborted) {
+      // An early abort still reports the partial metrics instead of dying
+      // with nothing but an exception message (kept off stdout in CSV mode
+      // so the row stays machine-parseable).
+      std::fprintf(cli.get_flag("csv") ? stderr : stdout,
+                   "RUN ABORTED: %s\n"
+                   "(metrics below cover the partial run up to the abort)\n",
+                   result.abort_reason.c_str());
+    }
     if (cli.get_flag("csv")) {
       std::printf("protocol,nodes,ops,msgs_per_request,msgs_per_op,"
                   "mean_request_latency_ms,mean_op_latency_ms,"
@@ -285,6 +389,7 @@ int main(int argc, char** argv) {
       std::printf("  trace dump       : %zu events -> %s\n", captured.size(),
                   dump_path.c_str());
     }
+    bool failed = result.aborted;
     if (config.lint) {
       if (result.lint_violation_count == 0) {
         std::printf("  lint             : ok — %zu events conform to the "
@@ -294,10 +399,31 @@ int main(int argc, char** argv) {
         std::printf("  lint             : %zu violation(s) in %zu events\n%s",
                     result.lint_violation_count, result.lint_events_checked,
                     result.lint_report.c_str());
-        return 1;
+        failed = true;
       }
     }
-    return 0;
+    if (spans) print_span_report(collector);
+    if (!obs_out.empty()) {
+      const std::string path = write_chrome_trace(obs_out, "sim-trace.json",
+                                                  collector, config.nodes);
+      std::printf("  chrome trace     : %s (%zu spans)\n", path.c_str(),
+                  collector.span_count());
+      if (failed) {
+        obs::FlightRecordSources sources;
+        sources.recorder = &ring;
+        sources.spans = &collector;
+        sources.node_count = config.nodes;
+        const std::string report = obs::dump_flight_record(
+            obs_out,
+            result.aborted ? "experiment aborted: " + result.abort_reason
+                           : "conformance lint violation",
+            sources);
+        if (!report.empty()) {
+          std::printf("  flight record    : %s\n", report.c_str());
+        }
+      }
+    }
+    return failed ? 1 : 0;
   } catch (const UsageError& error) {
     std::fprintf(stderr, "error: %s\n\n%s", error.what(),
                  cli.help_text().c_str());

@@ -10,8 +10,13 @@
 //   hlock_trace --nodes 6 --scenario readers-writer
 //   hlock_trace --scenario upgrade --node-filter 2
 //   hlock_trace --scenario priority --dump > t.trace && hlock_lint t.trace
+//   hlock_trace --export-chrome t.json  # load in chrome://tracing/Perfetto
 #include <cstdio>
 
+#include <fstream>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/span.hpp"
 #include "runtime/sim_cluster.hpp"
 #include "trace/recorder.hpp"
 #include "util/check.hpp"
@@ -103,6 +108,10 @@ int main(int argc, char** argv) {
   cli.add_flag("dump",
                "print machine-parseable event lines (trace::format_event) "
                "instead of the rendered timeline, for hlock_lint");
+  cli.add_option("export-chrome", "",
+                 "additionally write the scenario's request spans as Chrome "
+                 "trace_event JSON to this file (chrome://tracing, "
+                 "Perfetto)");
   try {
     if (!cli.parse(argc, argv)) {
       std::fputs(cli.help_text().c_str(), stdout);
@@ -119,10 +128,14 @@ int main(int argc, char** argv) {
     options.hier_config.trace_events = true;
     runtime::SimCluster cluster{options};
 
+    const std::string chrome_path = cli.get_string("export-chrome");
     trace::TraceRecorder recorder;
-    cluster.set_event_observer([&recorder](trace::TraceEvent event) {
-      recorder.record(std::move(event));
-    });
+    obs::SpanCollector collector;
+    cluster.set_event_observer(
+        [&recorder, &collector, &chrome_path](trace::TraceEvent event) {
+          if (!chrome_path.empty()) collector.observe(event);
+          recorder.record(std::move(event));
+        });
     if (!dump) {
       // Human timeline extras: raw messages and a one-line note per grant.
       // The dump stays pure automaton events so hlock_lint can replay it.
@@ -146,7 +159,26 @@ int main(int argc, char** argv) {
       throw UsageError("unknown scenario: " + scenario);
     }
 
+    if (!chrome_path.empty()) {
+      obs::ChromeTraceOptions chrome_options;
+      chrome_options.node_count = nodes;
+      std::ofstream out{chrome_path, std::ios::binary | std::ios::trunc};
+      if (!out) {
+        throw UsageError("cannot write chrome trace: " + chrome_path);
+      }
+      out << obs::chrome_trace_json(collector.spans(), chrome_options);
+      std::fprintf(stderr, "chrome trace: %zu spans -> %s\n",
+                   collector.span_count(), chrome_path.c_str());
+    }
     if (dump) {
+      if (recorder.dropped() > 0) {
+        // A silently truncated dump would lint as a bogus violation; make
+        // the gap impossible to miss.
+        std::fprintf(stderr,
+                     "warning: ring capacity exceeded — %llu oldest events "
+                     "dropped from this dump\n",
+                     static_cast<unsigned long long>(recorder.dropped()));
+      }
       for (const trace::TraceEvent& event : recorder.events()) {
         std::printf("%s\n", trace::format_event(event).c_str());
       }
@@ -157,8 +189,14 @@ int main(int argc, char** argv) {
         filter < 0 ? NodeId::none()
                    : NodeId{static_cast<std::uint32_t>(filter)};
     std::fputs(recorder.render(node_filter).c_str(), stdout);
-    std::printf("\n%llu events, %llu protocol messages\n",
-                static_cast<unsigned long long>(recorder.total_recorded()),
+    std::printf("\n%llu events", static_cast<unsigned long long>(
+                                     recorder.total_recorded()));
+    if (recorder.dropped() > 0) {
+      std::printf(" (%llu dropped — only the newest %zu retained)",
+                  static_cast<unsigned long long>(recorder.dropped()),
+                  recorder.events().size());
+    }
+    std::printf(", %llu protocol messages\n",
                 static_cast<unsigned long long>(
                     cluster.metrics().messages().total()));
     return 0;
