@@ -1,0 +1,447 @@
+// Hot-path throughput bench: requests/sec, messages/sec and bytes/request
+// for the hierarchical protocol vs the Naimi baseline, on the simulated
+// cluster (protocol cost only) and on a live ThreadCluster (real threads,
+// real codec, real mailboxes). The threaded rows run twice: once in the
+// legacy configuration (batching off, one engine shard per node — the
+// delivery path before the hot-path overhaul) and once with the defaults
+// (same-destination batching + sharded engines), so the speedup column is
+// an honest A/B of the overhaul on identical hardware and workload. See
+// docs/performance.md.
+//
+//   throughput_hotpath                  # full run, prints tables
+//   throughput_hotpath --quick          # CI-sized run
+//   throughput_hotpath --out BENCH_throughput.json
+//   throughput_hotpath --quick --baseline BENCH_throughput.json
+//
+// Two wire rows (wire-legacy / wire-batched) drive the delivery path
+// directly — send_batch into a node's mailbox, recv_ready draining it, the
+// full codec round-trip in between — with an exact message count, so their
+// accounting metrics are deterministic and their messages/sec ratio is the
+// honest measure of what batching buys the threaded hot path.
+//
+// --baseline compares the run against a previously written JSON and exits
+// nonzero if a *stable* metric (msgs/request, bytes/request on the
+// deterministic rows: sim-* and wire-*) regressed by more than 15%.
+// Wall-clock metrics (requests/sec, messages/sec) are reported but never
+// gated, and the threaded protocol rows are report-only: token retention
+// makes their message counts schedule-dependent (a faster run does more
+// local re-acquisitions per token transfer), so gating them would be
+// noise, not signal.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common/experiment.hpp"
+#include "runtime/thread_cluster.hpp"
+#include "stats/table.hpp"
+#include "transport/inproc_transport.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+using namespace hlock;
+using bench::AppVariant;
+using bench::ExperimentConfig;
+using bench::ExperimentResult;
+
+namespace {
+
+/// One measured configuration.
+struct Row {
+  std::string name;
+  double requests_per_sec = 0;   // wall-clock; never gated
+  double messages_per_sec = 0;   // wall-clock; never gated
+  double msgs_per_request = 0;
+  double bytes_per_request = 0;
+  /// Whether the accounting metrics are deterministic enough to gate a CI
+  /// run on (sim rows: seeded simulation; wire rows: exact counts).
+  bool gated = false;
+};
+
+struct BenchParams {
+  std::size_t thread_nodes = 8;
+  /// Concurrent client threads per node, each working its own lock
+  /// partition — multiple locks in flight per node is precisely the load
+  /// the legacy single-mutex node serialized.
+  std::size_t thread_clients = 4;
+  int thread_ops = 600;  // lock/unlock pairs per client thread
+  std::size_t thread_locks = 32;
+  std::size_t sim_nodes = 32;
+  int sim_ops = 60;
+  std::size_t wire_messages = 1000000;
+  std::size_t wire_burst = 16;  // messages per send_batch call
+};
+
+double wall_seconds_since(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+      .count();
+}
+
+/// Simulated-cluster row: the airline workload, protocol cost per request.
+/// requests/sec here is wall-clock simulator throughput (how fast the
+/// discrete-event core chews through the protocol), still useful as a
+/// regression canary for the automaton hot path.
+Row run_sim(const std::string& name, AppVariant variant,
+            const BenchParams& params) {
+  ExperimentConfig config;
+  config.variant = variant;
+  config.nodes = params.sim_nodes;
+  config.ops_per_node = params.sim_ops;
+  config.seed = 17;
+  const auto start = std::chrono::steady_clock::now();
+  const ExperimentResult result = bench::run_experiment(config);
+  const double seconds = wall_seconds_since(start);
+  HLOCK_INVARIANT(!result.aborted,
+                  "sim bench row aborted: " + result.abort_reason);
+  Row row;
+  row.name = name;
+  row.requests_per_sec =
+      static_cast<double>(result.acquisitions) / seconds;
+  row.messages_per_sec = static_cast<double>(result.messages) / seconds;
+  row.msgs_per_request = result.msgs_per_acq;
+  // The simulator moves Message values without encoding; bytes are a wire
+  // phenomenon, reported by the threaded rows.
+  row.bytes_per_request = 0;
+  row.gated = true;  // seeded simulation: exactly reproducible
+  return row;
+}
+
+/// Wire row: the delivery path in isolation. One sender thread ships
+/// `wire_messages` in `wire_burst`-sized send_batch calls from node 0 to
+/// node 1; a consumer drains node 1 via recv_ready. Everything the threaded
+/// hot path does per message — encode, codec round-trip, mailbox handoff,
+/// decode — happens here, with an exact message count, so msgs/request and
+/// bytes/request are deterministic and the legacy/batched messages-per-sec
+/// ratio isolates what coalescing buys.
+Row run_wire(const std::string& name, bool batching,
+             const BenchParams& params) {
+  transport::InProcOptions options;
+  options.node_count = 2;
+  options.batching = batching;
+  transport::InProcTransport transport{options};
+
+  // A fixed mix of the protocol's message kinds (the token carries a small
+  // queue, like a real handover under contention) so the codec cost is
+  // representative and the byte accounting is exactly reproducible.
+  std::vector<proto::Message> burst;
+  for (std::size_t b = 0; b < params.wire_burst; ++b) {
+    proto::Message m;
+    m.from = proto::NodeId{0};
+    m.to = proto::NodeId{1};
+    m.lock = proto::LockId{static_cast<std::uint32_t>(b % 8)};
+    m.request = proto::RequestId{proto::NodeId{0}, b};
+    m.lamport = b + 1;
+    switch (b % 4) {
+      case 0:
+        m.payload = proto::HierRequest{proto::NodeId{0}, proto::LockMode::kW,
+                                       b, 0};
+        break;
+      case 1:
+        m.payload = proto::HierGrant{proto::LockMode::kR,
+                                     proto::LockMode::kR, 1};
+        break;
+      case 2:
+        m.payload = proto::HierToken{
+            proto::LockMode::kW, proto::LockMode::kNL,
+            {proto::QueuedRequest{proto::NodeId{1}, proto::LockMode::kR, b,
+                                  0}}};
+        break;
+      default:
+        m.payload = proto::HierRelease{proto::LockMode::kNL, 1};
+        break;
+    }
+    burst.push_back(std::move(m));
+  }
+
+  const std::size_t bursts = params.wire_messages / params.wire_burst;
+  const std::size_t total = bursts * params.wire_burst;
+  const auto start = std::chrono::steady_clock::now();
+  std::thread consumer{[&transport, total] {
+    std::size_t received = 0;
+    while (received < total) {
+      received += transport.recv_ready(proto::NodeId{1}).size();
+    }
+  }};
+  for (std::size_t b = 0; b < bursts; ++b) {
+    transport.send_batch(burst);  // copies; the burst template is reused
+  }
+  consumer.join();
+  const double seconds = wall_seconds_since(start);
+  transport.shutdown();
+
+  Row row;
+  row.name = name;
+  const double count = static_cast<double>(total);
+  row.requests_per_sec = count / seconds;  // 1 message == 1 "request" here
+  row.messages_per_sec = count / seconds;
+  row.msgs_per_request = 1.0;
+  row.bytes_per_request =
+      static_cast<double>(transport.bytes_sent()) / count;
+  row.gated = true;  // exact counts, fixed message mix
+  return row;
+}
+
+/// Threaded-cluster row: every node thread round-robins lock/unlock over
+/// `thread_locks` locks — multi-lock on purpose, so engine sharding has
+/// parallelism to expose and batching has same-destination runs to
+/// coalesce.
+Row run_thread(const std::string& name, runtime::Protocol protocol,
+               bool batching, std::size_t engine_shards,
+               const BenchParams& params) {
+  runtime::ThreadClusterOptions options;
+  options.node_count = params.thread_nodes;
+  options.protocol = protocol;
+  options.batching = batching;
+  options.engine_shards = engine_shards;
+  options.seed = 29;
+  runtime::ThreadCluster cluster{options};
+
+  // Client c on every node round-robins the same lock partition (so the
+  // locks see real cross-node contention while no node ever has two
+  // requests outstanding on one lock — the automaton precondition), with a
+  // per-node stagger so consecutive acquisitions hit different locks: the
+  // token for the next lock is almost always remote, which keeps the
+  // delivery path — the thing this bench measures — busy instead of
+  // letting token retention satisfy everything locally.
+  const std::size_t locks_per_client =
+      params.thread_locks / params.thread_clients;
+  HLOCK_REQUIRE(locks_per_client >= 1,
+                "need at least one lock per client thread");
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (std::uint32_t i = 0; i < params.thread_nodes; ++i) {
+    for (std::size_t c = 0; c < params.thread_clients; ++c) {
+      workers.emplace_back([&cluster, &params, locks_per_client, i, c] {
+        for (int k = 0; k < params.thread_ops; ++k) {
+          const proto::LockId lock{static_cast<std::uint32_t>(
+              c * locks_per_client +
+              (static_cast<std::size_t>(k) + i) % locks_per_client)};
+          cluster.lock(proto::NodeId{i}, lock, proto::LockMode::kW);
+          cluster.unlock(proto::NodeId{i}, lock);
+        }
+      });
+    }
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double seconds = wall_seconds_since(start);
+
+  const double requests = static_cast<double>(params.thread_nodes) *
+                          static_cast<double>(params.thread_clients) *
+                          static_cast<double>(params.thread_ops);
+  const double messages = static_cast<double>(cluster.messages_sent());
+  const double bytes = static_cast<double>(cluster.bytes_sent());
+  Row row;
+  row.name = name;
+  row.requests_per_sec = requests / seconds;
+  row.messages_per_sec = messages / seconds;
+  row.msgs_per_request = messages / requests;
+  row.bytes_per_request = bytes / requests;
+  return row;
+}
+
+std::string json_of(const std::vector<Row>& rows, bool quick,
+                    double wire_speedup, double hier_speedup,
+                    double naimi_speedup) {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed;
+  os << "{\n";
+  os << "  \"bench\": \"throughput_hotpath\",\n";
+  os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  os << "  \"speedup_msgs_per_sec\": {\"wire\": " << wire_speedup
+     << ", \"thread-hier\": " << hier_speedup
+     << ", \"thread-naimi\": " << naimi_speedup << "},\n";
+  os << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    os << "    {\"name\": \"" << row.name << "\", "
+       << "\"gated\": " << (row.gated ? "true" : "false") << ", "
+       << "\"requests_per_sec\": " << row.requests_per_sec << ", "
+       << "\"messages_per_sec\": " << row.messages_per_sec << ", "
+       << "\"msgs_per_request\": " << row.msgs_per_request << ", "
+       << "\"bytes_per_request\": " << row.bytes_per_request << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+/// Extracts `"key": <number>` from the one baseline row whose name matches.
+/// The baseline is this bench's own output, so a purpose-built scan beats
+/// dragging in a JSON library: each row is one line, names are unique.
+double baseline_metric(const std::string& json, const std::string& row_name,
+                       const std::string& key) {
+  const std::string needle = "\"name\": \"" + row_name + "\"";
+  const std::size_t row_at = json.find(needle);
+  HLOCK_REQUIRE(row_at != std::string::npos,
+                "baseline JSON has no row named " + row_name);
+  const std::size_t line_end = json.find('\n', row_at);
+  const std::string line = json.substr(row_at, line_end - row_at);
+  const std::string key_needle = "\"" + key + "\": ";
+  const std::size_t key_at = line.find(key_needle);
+  HLOCK_REQUIRE(key_at != std::string::npos,
+                "baseline row " + row_name + " lacks metric " + key);
+  return std::stod(line.substr(key_at + key_needle.size()));
+}
+
+/// Compares stable metrics against the baseline. Returns the number of
+/// regressions beyond `tolerance` (0.15 = 15%).
+int compare_with_baseline(const std::vector<Row>& rows,
+                          const std::string& baseline_path,
+                          double tolerance, bool quick) {
+  std::ifstream in{baseline_path, std::ios::binary};
+  if (!in) throw UsageError("cannot read baseline: " + baseline_path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string baseline = buffer.str();
+  // Quick and full runs use different workload sizes, so their accounting
+  // metrics are not comparable — refuse the apples-to-oranges diff.
+  const std::string quick_marker =
+      std::string{"\"quick\": "} + (quick ? "true" : "false");
+  HLOCK_REQUIRE(baseline.find(quick_marker) != std::string::npos,
+                "baseline was recorded in a different --quick mode than "
+                "this run");
+
+  int regressions = 0;
+  std::printf("\nbaseline comparison (%s, tolerance %.0f%%, deterministic "
+              "rows only):\n",
+              baseline_path.c_str(), tolerance * 100);
+  for (const Row& row : rows) {
+    if (!row.gated) continue;
+    for (const char* key : {"msgs_per_request", "bytes_per_request"}) {
+      const double base = baseline_metric(baseline, row.name, key);
+      const double now = std::string{key} == "msgs_per_request"
+                             ? row.msgs_per_request
+                             : row.bytes_per_request;
+      if (base == 0.0) continue;  // sim rows carry no byte accounting
+      const double ratio = now / base;
+      const bool regressed = ratio > 1.0 + tolerance;
+      if (regressed) ++regressions;
+      std::printf("  %-20s %-18s %10.3f -> %10.3f  (%+.1f%%)%s\n",
+                  row.name.c_str(), key, base, now, (ratio - 1.0) * 100,
+                  regressed ? "  REGRESSION" : "");
+    }
+  }
+  if (regressions == 0) std::printf("  ok — no stable metric regressed\n");
+  return regressions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli{"throughput_hotpath",
+                "hot-path throughput: batching + sharding A/B, sim and "
+                "threaded clusters"};
+  cli.add_flag("quick", "CI-sized run (fewer nodes/ops)");
+  cli.add_option("out", "", "write results as JSON to this path");
+  cli.add_option("baseline", "",
+                 "compare stable metrics against this JSON; exit nonzero "
+                 "on >15% regression");
+
+  try {
+    if (!cli.parse(argc, argv)) {
+      std::fputs(cli.help_text().c_str(), stdout);
+      return 0;
+    }
+    const bool quick = cli.get_flag("quick");
+    BenchParams params;
+    if (quick) {
+      params.thread_nodes = 4;
+      params.thread_clients = 4;
+      params.thread_ops = 500;
+      params.thread_locks = 16;
+      params.sim_nodes = 16;
+      params.sim_ops = 30;
+      params.wire_messages = 400000;
+    }
+
+    std::printf("Hot-path throughput — %zu sim nodes; %zu thread nodes x "
+                "%zu clients x %d ops over %zu locks; %zu wire messages "
+                "in bursts of %zu%s\n\n",
+                params.sim_nodes, params.thread_nodes,
+                params.thread_clients, params.thread_ops,
+                params.thread_locks, params.wire_messages,
+                params.wire_burst, quick ? " (quick)" : "");
+
+    std::vector<Row> rows;
+    rows.push_back(run_sim("sim-hier", AppVariant::kHierarchical, params));
+    rows.push_back(run_sim("sim-naimi", AppVariant::kNaimiPure, params));
+    rows.push_back(run_wire("wire-legacy", /*batching=*/false, params));
+    rows.push_back(run_wire("wire-batched", /*batching=*/true, params));
+    rows.push_back(run_thread("thread-hier-legacy",
+                              runtime::Protocol::kHierarchical,
+                              /*batching=*/false, /*engine_shards=*/1,
+                              params));
+    rows.push_back(run_thread("thread-hier",
+                              runtime::Protocol::kHierarchical,
+                              /*batching=*/true, /*engine_shards=*/0,
+                              params));
+    rows.push_back(run_thread("thread-naimi-legacy",
+                              runtime::Protocol::kNaimi,
+                              /*batching=*/false, /*engine_shards=*/1,
+                              params));
+    rows.push_back(run_thread("thread-naimi", runtime::Protocol::kNaimi,
+                              /*batching=*/true, /*engine_shards=*/0,
+                              params));
+
+    stats::TextTable table;
+    table.set_header({"config", "requests/s", "messages/s", "msgs/request",
+                      "bytes/request"});
+    for (const Row& row : rows) {
+      table.add_row({row.name, stats::TextTable::num(row.requests_per_sec, 0),
+                     stats::TextTable::num(row.messages_per_sec, 0),
+                     stats::TextTable::num(row.msgs_per_request, 2),
+                     stats::TextTable::num(row.bytes_per_request, 1)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    const double wire_speedup =
+        rows[3].messages_per_sec / rows[2].messages_per_sec;
+    const double hier_speedup =
+        rows[5].messages_per_sec / rows[4].messages_per_sec;
+    const double naimi_speedup =
+        rows[7].messages_per_sec / rows[6].messages_per_sec;
+    std::printf("\ndelivery-path speedup (messages/s, batched vs legacy): "
+                "wire %.2fx\n",
+                wire_speedup);
+    std::printf("protocol-row speedups (schedule-dependent, informational):"
+                " hier %.2fx, naimi %.2fx\n",
+                hier_speedup, naimi_speedup);
+    std::printf("\nCSV:\n%s", table.render_csv().c_str());
+
+    const std::string json =
+        json_of(rows, quick, wire_speedup, hier_speedup, naimi_speedup);
+    const std::string out = cli.get_string("out");
+    if (!out.empty()) {
+      const std::filesystem::path parent =
+          std::filesystem::path{out}.parent_path();
+      if (!parent.empty()) std::filesystem::create_directories(parent);
+      std::ofstream file{out, std::ios::binary | std::ios::trunc};
+      if (!file) throw UsageError("cannot write: " + out);
+      file << json;
+      std::printf("\nwrote %s\n", out.c_str());
+    }
+
+    const std::string baseline = cli.get_string("baseline");
+    if (!baseline.empty()) {
+      const int regressions =
+          compare_with_baseline(rows, baseline, 0.15, quick);
+      if (regressions > 0) {
+        std::fprintf(stderr, "error: %d stable metric(s) regressed\n",
+                     regressions);
+        return 1;
+      }
+    }
+    return 0;
+  } catch (const UsageError& error) {
+    std::fprintf(stderr, "error: %s\n\n%s", error.what(),
+                 cli.help_text().c_str());
+    return 2;
+  }
+}

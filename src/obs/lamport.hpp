@@ -13,6 +13,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 
 namespace hlock::obs {
@@ -39,6 +40,44 @@ class LamportClock {
 
  private:
   std::uint64_t now_ = 0;
+};
+
+/// Lock-free variant of LamportClock for runtimes whose per-node state is
+/// sharded: ThreadCluster serializes each lock's automaton under its
+/// shard's mutex, but the node's single Lamport clock is shared by all
+/// shards, so its ticks and merges must synchronize themselves. Same
+/// semantics as LamportClock; relaxed ordering suffices because the clock
+/// value itself is the payload (it travels inside messages and events, and
+/// those are published under mutexes / through the transport).
+class AtomicLamportClock {
+ public:
+  /// Advances for a local step or send; returns the new time (unique per
+  /// call — concurrent tickers never observe the same value).
+  std::uint64_t tick() {
+    return now_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Merges a received message's timestamp and advances past it:
+  /// now = max(now, received) + 1. Returns a time at least that large (a
+  /// concurrent tick may advance the clock further before the caller reads
+  /// it, which only strengthens the ordering).
+  std::uint64_t observe(std::uint64_t received) {
+    std::uint64_t prev = now_.load(std::memory_order_relaxed);
+    std::uint64_t next;
+    do {
+      next = std::max(prev, received) + 1;
+    } while (!now_.compare_exchange_weak(prev, next,
+                                         std::memory_order_relaxed));
+    return next;
+  }
+
+  /// The last returned time (0 before any tick).
+  std::uint64_t current() const {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_{0};
 };
 
 }  // namespace hlock::obs

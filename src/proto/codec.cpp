@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/check.hpp"
+
 namespace hlock::proto {
 
 void WireWriter::u8(std::uint8_t v) { out_.push_back(std::byte{v}); }
@@ -22,6 +24,14 @@ void WireWriter::node(NodeId id) { u32(id.value()); }
 void WireWriter::lock(LockId id) { u32(id.value()); }
 void WireWriter::mode(LockMode m) {
   u8(static_cast<std::uint8_t>(mode_index(m)));
+}
+
+void WireWriter::patch_u32(std::size_t at, std::uint32_t v) {
+  HLOCK_REQUIRE(at + 4 <= out_.size(), "patch_u32 outside written bytes");
+  for (int i = 0; i < 4; ++i) {
+    out_[at + static_cast<std::size_t>(i)] =
+        std::byte{static_cast<std::uint8_t>(v >> (8 * i))};
+  }
 }
 
 std::optional<std::uint8_t> WireReader::u8() {
@@ -69,6 +79,14 @@ std::optional<LockMode> WireReader::mode() {
   return static_cast<LockMode>(*v);
 }
 
+std::optional<std::span<const std::byte>> WireReader::bytes(
+    std::size_t size) {
+  if (remaining() < size) return std::nullopt;
+  std::span<const std::byte> out = in_.subspan(pos_, size);
+  pos_ += size;
+  return out;
+}
+
 namespace {
 
 struct PayloadEncoder {
@@ -86,6 +104,11 @@ struct PayloadEncoder {
     w.u32(p.epoch);
   }
   void operator()(const HierToken& p) const {
+    // A queue above the wire cap means corrupted automaton state (a cluster
+    // holds at most one queued request per node); truncating it through the
+    // u32 count would silently drop requests, so refuse to encode instead.
+    HLOCK_REQUIRE(p.queue.size() <= kMaxTokenQueueEntries,
+                  "HierToken queue exceeds the wire format cap");
     w.mode(p.granted_mode);
     w.mode(p.sender_owned);
     w.u32(static_cast<std::uint32_t>(p.queue.size()));
@@ -131,7 +154,9 @@ std::optional<Payload> decode_payload(MessageKind kind, WireReader& r) {
       auto count = r.u32();
       if (!granted || !owned || !count) return std::nullopt;
       // Each queue entry occupies 14 bytes; reject counts the buffer cannot
-      // possibly hold before allocating.
+      // possibly hold — and counts above the wire cap regardless of buffer
+      // size — before allocating.
+      if (*count > kMaxTokenQueueEntries) return std::nullopt;
       if (*count > r.remaining() / 14) return std::nullopt;
       HierToken token{*granted, *owned, {}};
       token.queue.reserve(*count);
@@ -171,9 +196,7 @@ std::optional<Payload> decode_payload(MessageKind kind, WireReader& r) {
 
 }  // namespace
 
-std::vector<std::byte> encode(const Message& m) {
-  std::vector<std::byte> out;
-  out.reserve(48);
+void encode_into(const Message& m, std::vector<std::byte>& out) {
   WireWriter w{out};
   w.u8(kWireFormatVersion);
   w.node(m.from);
@@ -184,6 +207,12 @@ std::vector<std::byte> encode(const Message& m) {
   w.u64(m.lamport);
   w.u8(static_cast<std::uint8_t>(kind_of(m.payload)));
   std::visit(PayloadEncoder{w}, m.payload);
+}
+
+std::vector<std::byte> encode(const Message& m) {
+  std::vector<std::byte> out;
+  out.reserve(48);
+  encode_into(m, out);
   return out;
 }
 
@@ -211,6 +240,52 @@ std::optional<Message> decode(std::span<const std::byte> bytes) {
                  std::move(*payload),
                  RequestId{*request_origin, *request_seq},
                  *lamport};
+}
+
+void encode_batch_into(std::span<const Message> messages,
+                       std::vector<std::byte>& out) {
+  HLOCK_REQUIRE(messages.size() <= kMaxBatchMessages,
+                "batch exceeds the wire format cap");
+  WireWriter w{out};
+  w.u8(kBatchMarker);
+  w.u32(static_cast<std::uint32_t>(messages.size()));
+  for (const Message& m : messages) {
+    // Backpatch each sub-message's length prefix after encoding it: one
+    // pass, no per-message scratch buffer.
+    const std::size_t prefix_at = w.size();
+    w.u32(0);
+    const std::size_t body_start = w.size();
+    encode_into(m, out);
+    w.patch_u32(prefix_at,
+                static_cast<std::uint32_t>(w.size() - body_start));
+  }
+}
+
+std::optional<std::vector<Message>> decode_batch(
+    std::span<const std::byte> bytes) {
+  WireReader r{bytes};
+  auto marker = r.u8();
+  if (!marker || *marker != kBatchMarker) return std::nullopt;
+  auto count = r.u32();
+  if (!count || *count > kMaxBatchMessages) return std::nullopt;
+  // Each sub-message occupies at least a length prefix plus the smallest
+  // encoding; reject counts the buffer cannot possibly hold first.
+  if (*count > r.remaining() / (4 + kMinEncodedMessageBytes)) {
+    return std::nullopt;
+  }
+  std::vector<Message> out;
+  out.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto length = r.u32();
+    if (!length || *length < kMinEncodedMessageBytes) return std::nullopt;
+    auto body = r.bytes(*length);
+    if (!body) return std::nullopt;
+    auto message = decode(*body);
+    if (!message) return std::nullopt;
+    out.push_back(std::move(*message));
+  }
+  if (r.remaining() != 0) return std::nullopt;
+  return out;
 }
 
 }  // namespace hlock::proto

@@ -23,17 +23,14 @@ HierEngine::HierEngine(NodeId self, NodeId initial_root,
 }
 
 core::HierAutomaton& HierEngine::automaton(LockId lock) {
-  auto it = automatons_.find(lock);
-  if (it == automatons_.end()) {
-    const bool is_root = self_ == initial_root_;
-    it = automatons_
-             .emplace(lock, core::HierAutomaton{
-                                self_, lock, is_root,
-                                is_root ? NodeId::none() : initial_root_,
-                                config_})
-             .first;
-  }
-  return it->second;
+  // Single hash lookup on the hot path: try_emplace forwards the
+  // constructor arguments and only builds the automaton when the lock is
+  // new.
+  const bool is_root = self_ == initial_root_;
+  return automatons_
+      .try_emplace(lock, self_, lock, is_root,
+                   is_root ? NodeId::none() : initial_root_, config_)
+      .first->second;
 }
 
 Effects HierEngine::request(LockId lock, LockMode mode,
@@ -61,16 +58,12 @@ NaimiEngine::NaimiEngine(NodeId self, NodeId initial_root)
 }
 
 naimi::NaimiAutomaton& NaimiEngine::automaton(LockId lock) {
-  auto it = automatons_.find(lock);
-  if (it == automatons_.end()) {
-    const bool is_root = self_ == initial_root_;
-    it = automatons_
-             .emplace(lock, naimi::NaimiAutomaton{
-                                self_, lock, is_root,
-                                is_root ? NodeId::none() : initial_root_})
-             .first;
-  }
-  return it->second;
+  // Single hash lookup on the hot path (see HierEngine::automaton).
+  const bool is_root = self_ == initial_root_;
+  return automatons_
+      .try_emplace(lock, self_, lock, is_root,
+                   is_root ? NodeId::none() : initial_root_)
+      .first->second;
 }
 
 Effects NaimiEngine::request(LockId lock, LockMode /*mode*/,
@@ -102,16 +95,10 @@ RaymondEngine::RaymondEngine(NodeId self, std::size_t node_count)
 }
 
 raymond::RaymondAutomaton& RaymondEngine::automaton(LockId lock) {
-  auto it = automatons_.find(lock);
-  if (it == automatons_.end()) {
-    it = automatons_
-             .emplace(lock,
-                      raymond::RaymondAutomaton{self_, lock,
-                                                position_.holder,
-                                                position_.neighbors})
-             .first;
-  }
-  return it->second;
+  // Single hash lookup on the hot path (see HierEngine::automaton).
+  return automatons_
+      .try_emplace(lock, self_, lock, position_.holder, position_.neighbors)
+      .first->second;
 }
 
 Effects RaymondEngine::request(LockId lock, LockMode /*mode*/,

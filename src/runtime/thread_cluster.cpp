@@ -5,14 +5,30 @@
 
 namespace hlock::runtime {
 
+namespace {
+
+std::unique_ptr<LockEngine> make_engine(const ThreadClusterOptions& options,
+                                        NodeId self) {
+  if (options.protocol == Protocol::kHierarchical) {
+    return std::make_unique<HierEngine>(self, options.initial_root,
+                                        options.hier_config);
+  }
+  return std::make_unique<NaimiEngine>(self, options.initial_root);
+}
+
+}  // namespace
+
 ThreadCluster::ThreadCluster(const ThreadClusterOptions& options) {
   if (options.transport == TransportKind::kTcp) {
-    transport_ =
-        std::make_unique<transport::TcpTransport>(options.node_count);
+    transport::TcpOptions tcp_options;
+    tcp_options.batching = options.batching;
+    transport_ = std::make_unique<transport::TcpTransport>(
+        options.node_count, tcp_options);
   } else {
     transport_ = std::make_unique<transport::InProcTransport>(
         transport::InProcOptions{options.node_count, options.message_latency,
-                                 options.seed, options.codec_roundtrip});
+                                 options.seed, options.codec_roundtrip,
+                                 options.batching});
   }
   if (options.faults.any()) {
     transport::FaultPlan plan = options.faults;
@@ -25,19 +41,21 @@ ThreadCluster::ThreadCluster(const ThreadClusterOptions& options) {
   HLOCK_REQUIRE(options.node_count >= 1, "a cluster needs at least one node");
   HLOCK_REQUIRE(options.initial_root.value() < options.node_count,
                 "the initial root must be one of the cluster's nodes");
+  shard_count_ = options.engine_shards == 0 ? kDefaultEngineShards
+                                            : options.engine_shards;
   nodes_.reserve(options.node_count);
   for (std::size_t i = 0; i < options.node_count; ++i) {
     const NodeId self{static_cast<std::uint32_t>(i)};
     auto rt = std::make_unique<NodeRuntime>();
-    // No thread can see the node yet, but `engine` is lock-guarded state of
-    // a foreign object as far as the analysis is concerned — take the
-    // (uncontended, once-per-node) lock rather than suppress.
-    MutexLock guard(rt->mutex);
-    if (options.protocol == Protocol::kHierarchical) {
-      rt->engine = std::make_unique<HierEngine>(self, options.initial_root,
-                                                options.hier_config);
-    } else {
-      rt->engine = std::make_unique<NaimiEngine>(self, options.initial_root);
+    rt->shards.reserve(shard_count_);
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      auto shard = std::make_unique<Shard>();
+      // No thread can see the node yet, but `engine` is lock-guarded state
+      // of a foreign object as far as the analysis is concerned — take the
+      // (uncontended, once-per-shard) lock rather than suppress.
+      MutexLock guard(shard->mutex);
+      shard->engine = make_engine(options, self);
+      rt->shards.push_back(std::move(shard));
     }
     nodes_.push_back(std::move(rt));
   }
@@ -49,13 +67,15 @@ ThreadCluster::ThreadCluster(const ThreadClusterOptions& options) {
 
 ThreadCluster::~ThreadCluster() {
   stopping_.store(true);
-  // Notify while holding each node's mutex: a client thread that already
+  // Notify while holding each shard's mutex: a client thread that already
   // checked its predicate but has not entered the wait yet would otherwise
   // miss the wake-up and block forever (and the unsynchronized flag write
   // would race with the predicate read).
   for (auto& rt : nodes_) {
-    MutexLock guard(rt->mutex);
-    rt->cv.notify_all();
+    for (auto& shard : rt->shards) {
+      MutexLock guard(shard->mutex);
+      shard->cv.notify_all();
+    }
   }
   transport_->shutdown();
   for (auto& rt : nodes_) {
@@ -65,8 +85,10 @@ ThreadCluster::~ThreadCluster() {
   // node state under a thread still inside lock()/upgrade() would be a
   // use-after-free.
   for (auto& rt : nodes_) {
-    MutexLock guard(rt->mutex);
-    while (rt->waiters != 0) rt->cv.wait(rt->mutex);
+    for (auto& shard : rt->shards) {
+      MutexLock guard(shard->mutex);
+      while (shard->waiters != 0) shard->cv.wait(shard->mutex);
+    }
   }
 }
 
@@ -85,25 +107,42 @@ ThreadCluster::NodeRuntime& ThreadCluster::runtime_of(NodeId node) {
 
 void ThreadCluster::receiver_loop(NodeId node) {
   NodeRuntime& rt = runtime_of(node);
-  while (auto message = transport_->recv(node)) {
-    // An exception escaping a std::thread calls std::terminate, so a
-    // receiver converts failures into a counted, logged error effect and
-    // keeps draining its mailbox.
-    try {
-      MutexLock guard(rt.mutex);
-      rt.clock.observe(message->lamport);
-      Effects effects = rt.engine->deliver(*message);
-      apply(rt, message->lock, std::move(effects));
-    } catch (const std::exception& error) {
-      receiver_errors_.fetch_add(1, std::memory_order_relaxed);
-      HLOCK_LOG(kError, "node " << node.value()
-                                << ": error applying message: "
-                                << error.what());
+  for (;;) {
+    // One transport call drains every matured message (one mailbox lock
+    // acquisition for the whole burst); an empty batch means shutdown.
+    std::vector<proto::Message> batch = transport_->recv_ready(node);
+    if (batch.empty()) return;
+    // Dispatch consecutive same-shard runs under one shard lock
+    // acquisition, moving each message straight into delivery — batches
+    // never cross shards out of order, preserving per-channel FIFO.
+    std::size_t i = 0;
+    while (i < batch.size()) {
+      Shard& shard = shard_of(rt, batch[i].lock);
+      MutexLock guard(shard.mutex);
+      do {
+        proto::Message& message = batch[i];
+        // An exception escaping a std::thread calls std::terminate, so a
+        // receiver converts failures into a counted, logged error effect
+        // and keeps draining its mailbox.
+        try {
+          rt.clock.observe(message.lamport);
+          Effects effects = shard.engine->deliver(message);
+          apply(rt, shard, message.lock, std::move(effects));
+        } catch (const std::exception& error) {
+          receiver_errors_.fetch_add(1, std::memory_order_relaxed);
+          HLOCK_LOG(kError, "node " << node.value()
+                                    << ": error applying message: "
+                                    << error.what());
+        }
+        ++i;
+      } while (i < batch.size() &&
+               &shard_of(rt, batch[i].lock) == &shard);
     }
   }
 }
 
-void ThreadCluster::apply(NodeRuntime& rt, LockId lock, Effects&& effects) {
+void ThreadCluster::apply(NodeRuntime& rt, Shard& shard, LockId lock,
+                          Effects&& effects) {
   // One Lamport tick per automaton step; every event of the step shares it,
   // every send ticks further (obs/lamport.hpp).
   const std::uint64_t step_time = rt.clock.tick();
@@ -125,58 +164,71 @@ void ThreadCluster::apply(NodeRuntime& rt, LockId lock, Effects&& effects) {
       }
     }
   }
-  for (proto::Message& message : effects.messages) {
-    message.lamport = rt.clock.tick();
-    transport_->send(message);
+  if (!effects.messages.empty()) {
+    for (proto::Message& message : effects.messages) {
+      message.lamport = rt.clock.tick();
+    }
+    // One transport call for the whole step: the transport coalesces
+    // same-destination runs into batch frames (when batching is on) and
+    // falls back to per-message sends otherwise.
+    transport_->send_batch(std::move(effects.messages));
   }
   bool notify = false;
   if (effects.entered_cs) {
-    rt.granted.insert(lock);
+    shard.granted.insert(lock);
     notify = true;
   }
   if (effects.upgraded) {
-    rt.upgraded.insert(lock);
+    shard.upgraded.insert(lock);
     notify = true;
   }
-  if (notify) rt.cv.notify_all();
+  if (notify) shard.cv.notify_all();
 }
 
 void ThreadCluster::lock(NodeId node, LockId lock, LockMode mode,
                          std::uint8_t priority) {
   NodeRuntime& rt = runtime_of(node);
-  MutexLock guard(rt.mutex);
-  Effects effects = rt.engine->request(lock, mode, priority);
-  apply(rt, lock, std::move(effects));
-  ++rt.waiters;
-  while (!stopping_ && rt.granted.count(lock) == 0) rt.cv.wait(rt.mutex);
-  rt.granted.erase(lock);
-  --rt.waiters;
-  rt.cv.notify_all();  // a tearing-down destructor may be draining waiters
+  Shard& shard = shard_of(rt, lock);
+  MutexLock guard(shard.mutex);
+  Effects effects = shard.engine->request(lock, mode, priority);
+  apply(rt, shard, lock, std::move(effects));
+  ++shard.waiters;
+  while (!stopping_ && shard.granted.count(lock) == 0) {
+    shard.cv.wait(shard.mutex);
+  }
+  shard.granted.erase(lock);
+  --shard.waiters;
+  shard.cv.notify_all();  // a tearing-down destructor may drain waiters
 }
 
 void ThreadCluster::unlock(NodeId node, LockId lock) {
   NodeRuntime& rt = runtime_of(node);
-  MutexLock guard(rt.mutex);
-  Effects effects = rt.engine->release(lock);
-  apply(rt, lock, std::move(effects));
+  Shard& shard = shard_of(rt, lock);
+  MutexLock guard(shard.mutex);
+  Effects effects = shard.engine->release(lock);
+  apply(rt, shard, lock, std::move(effects));
 }
 
 void ThreadCluster::upgrade(NodeId node, LockId lock) {
   NodeRuntime& rt = runtime_of(node);
-  MutexLock guard(rt.mutex);
-  Effects effects = rt.engine->upgrade(lock);
-  apply(rt, lock, std::move(effects));
-  ++rt.waiters;
-  while (!stopping_ && rt.upgraded.count(lock) == 0) rt.cv.wait(rt.mutex);
-  rt.upgraded.erase(lock);
-  --rt.waiters;
-  rt.cv.notify_all();  // a tearing-down destructor may be draining waiters
+  Shard& shard = shard_of(rt, lock);
+  MutexLock guard(shard.mutex);
+  Effects effects = shard.engine->upgrade(lock);
+  apply(rt, shard, lock, std::move(effects));
+  ++shard.waiters;
+  while (!stopping_ && shard.upgraded.count(lock) == 0) {
+    shard.cv.wait(shard.mutex);
+  }
+  shard.upgraded.erase(lock);
+  --shard.waiters;
+  shard.cv.notify_all();  // a tearing-down destructor may drain waiters
 }
 
 bool ThreadCluster::holds(NodeId node, LockId lock) {
   NodeRuntime& rt = runtime_of(node);
-  MutexLock guard(rt.mutex);
-  return rt.engine->holds(lock);
+  Shard& shard = shard_of(rt, lock);
+  MutexLock guard(shard.mutex);
+  return shard.engine->holds(lock);
 }
 
 }  // namespace hlock::runtime

@@ -2,11 +2,20 @@
 //
 // Each node owns a receiver thread that drains its transport mailbox and
 // feeds the protocol engine; application threads call lock()/unlock()/
-// upgrade() and block until the grant arrives. The engine of each node is
-// guarded by a per-node mutex, preserving the automatons' single-threaded
-// contract while messages race freely between nodes — this is the harness
-// that validates hlock under genuine concurrency (examples and integration
-// tests run on it).
+// upgrade() and block until the grant arrives. Per-node protocol state is
+// sharded by lock id: each shard owns its own LockEngine (and therefore its
+// own lazily-created per-lock automaton map) behind its own mutex, so
+// operations on different locks — the airline workload's table lock vs its
+// entry locks — proceed concurrently instead of serializing on one node
+// mutex. Within a shard the automatons' single-threaded contract holds
+// exactly as before, and a given lock maps to the same shard index on every
+// node, so a lock's entire causal chain stays on one shard per node.
+//
+// The receiver drains every matured message in one transport call
+// (recv_ready) and dispatches consecutive same-shard runs under a single
+// shard lock acquisition; outgoing step effects ship through
+// Transport::send_batch so the transport can coalesce same-destination
+// messages into one wire frame. See docs/performance.md.
 #pragma once
 
 #include <atomic>
@@ -47,6 +56,15 @@ struct ThreadClusterOptions {
   /// Round-trip messages through the wire codec (kInProc only; TCP always
   /// ships real encoded frames).
   bool codec_roundtrip = true;
+  /// Coalesce same-destination messages of one automaton step into a
+  /// single batch wire frame (both transports). Protocol-invisible — the
+  /// lint / span streams are identical either way; the toggle exists for
+  /// the transparency tests and A/B benchmarking (docs/performance.md).
+  bool batching = true;
+  /// Engine shards per node (lock ids route to shard `lock % shards`).
+  /// 0 picks the default; 1 reproduces the legacy one-mutex-per-node
+  /// behavior.
+  std::size_t engine_shards = 0;
   NodeId initial_root = NodeId{0};
   /// Fault-injection plan; when it injects anything the chosen transport is
   /// wrapped in a transport::FaultyTransport (self-healing, so the cluster
@@ -54,6 +72,9 @@ struct ThreadClusterOptions {
   /// the cluster seed.
   transport::FaultPlan faults;
 };
+
+/// Engine shards per node when ThreadClusterOptions::engine_shards is 0.
+inline constexpr std::size_t kDefaultEngineShards = 8;
 
 /// See file comment.
 class ThreadCluster {
@@ -85,7 +106,14 @@ class ThreadCluster {
   /// Total protocol messages sent so far.
   std::uint64_t messages_sent() const { return transport_->messages_sent(); }
 
+  /// Total encoded wire bytes shipped so far (0 when nothing encodes —
+  /// kInProc with codec_roundtrip off).
+  std::uint64_t bytes_sent() const { return transport_->bytes_sent(); }
+
   std::size_t node_count() const { return nodes_.size(); }
+
+  /// Engine shards per node this cluster runs with.
+  std::size_t engine_shards() const { return shard_count_; }
 
   /// The fault-injecting transport wrapper, or nullptr when the cluster
   /// runs on a fault-free transport.
@@ -112,9 +140,10 @@ class ThreadCluster {
   void set_event_sink(EventSink sink);
 
  private:
-  struct NodeRuntime {
-    /// Guards the engine and every piece of grant/wait bookkeeping below,
-    /// preserving the automaton's single-threaded contract.
+  /// One lock-id shard of a node: its own engine (and per-lock automaton
+  /// map), grant bookkeeping and mutex, preserving the automatons'
+  /// single-threaded contract per shard while shards run concurrently.
+  struct Shard {
     Mutex mutex;
     CondVar cv;
     std::unique_ptr<LockEngine> engine HLOCK_GUARDED_BY(mutex)
@@ -123,22 +152,30 @@ class ThreadCluster {
     /// consumed by the blocked client call yet.
     std::unordered_set<LockId> granted HLOCK_GUARDED_BY(mutex);
     std::unordered_set<LockId> upgraded HLOCK_GUARDED_BY(mutex);
-    /// The node's Lamport clock: ticked per step/send, merged per delivery,
-    /// stamped onto every event and message (obs/lamport.hpp). Guarded by
-    /// the node mutex like the engine it accompanies.
-    obs::LamportClock clock HLOCK_GUARDED_BY(mutex);
     /// Client calls currently blocked on `cv`; the destructor waits for
     /// this to reach zero so a woken call never touches freed node state.
     int waiters HLOCK_GUARDED_BY(mutex) = 0;
+  };
+
+  struct NodeRuntime {
+    /// The node's Lamport clock: ticked per step/send, merged per delivery,
+    /// stamped onto every event and message (obs/lamport.hpp). Shared by
+    /// every shard of the node, hence the lock-free variant.
+    obs::AtomicLamportClock clock;
+    std::vector<std::unique_ptr<Shard>> shards;
     std::thread receiver;
   };
 
   void receiver_loop(NodeId node);
-  /// Applies effects under the node's mutex (sends after unlocking would
-  /// also be correct; sends never block so holding it is safe and simpler).
-  void apply(NodeRuntime& rt, LockId lock, Effects&& effects)
-      HLOCK_REQUIRES(rt.mutex) HLOCK_EXCLUDES(event_mutex_);
+  /// Applies effects under the owning shard's mutex (sends after unlocking
+  /// would also be correct; sends never block so holding it is safe and
+  /// simpler).
+  void apply(NodeRuntime& rt, Shard& shard, LockId lock, Effects&& effects)
+      HLOCK_REQUIRES(shard.mutex) HLOCK_EXCLUDES(event_mutex_);
   NodeRuntime& runtime_of(NodeId node);
+  Shard& shard_of(NodeRuntime& rt, LockId lock) {
+    return *rt.shards[lock.value() % shard_count_];
+  }
 
   std::unique_ptr<transport::Transport> transport_;
   /// Serializes event_sink_ calls across nodes and guards the sink slot
@@ -149,8 +186,9 @@ class ThreadCluster {
       std::chrono::steady_clock::now();
   /// Non-owning view of transport_ when the options wrapped it in faults.
   transport::FaultyTransport* faulty_ = nullptr;
+  std::size_t shard_count_ = kDefaultEngineShards;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
-  /// Read by client threads in cv predicates under per-node mutexes while
+  /// Read by client threads in cv predicates under shard mutexes while
   /// the destructor writes it: atomic, not mutex-protected.
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> receiver_errors_{0};

@@ -46,7 +46,8 @@ Summary summarize(const std::vector<double>& samples) {
 std::string to_string(const Summary& s) {
   std::ostringstream os;
   os << "n=" << s.count << " mean=" << s.mean << " p50=" << s.p50
-     << " p90=" << s.p90 << " p99=" << s.p99 << " max=" << s.max;
+     << " p90=" << s.p90 << " p95=" << s.p95 << " p99=" << s.p99
+     << " max=" << s.max;
   return os.str();
 }
 

@@ -212,6 +212,10 @@ void FaultyTransport::pump_loop() {
   }
 }
 
+std::vector<proto::Message> FaultyTransport::recv_ready(proto::NodeId node) {
+  return inner_->recv_ready(node);
+}
+
 std::optional<proto::Message> FaultyTransport::recv(proto::NodeId node) {
   return inner_->recv(node);
 }

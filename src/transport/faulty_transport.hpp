@@ -96,6 +96,9 @@ class FaultyTransport final : public Transport {
   void send(const proto::Message& message) override;
 
   std::optional<proto::Message> recv(proto::NodeId node) override;
+  /// Batch drain, delegated to the inner transport (fault decisions happen
+  /// on the send side; by delivery time the batch is already fault-shaped).
+  std::vector<proto::Message> recv_ready(proto::NodeId node) override;
   std::optional<proto::Message> recv_for(
       proto::NodeId node, std::chrono::milliseconds timeout) override;
 
@@ -107,6 +110,9 @@ class FaultyTransport final : public Transport {
   std::uint64_t messages_sent() const override {
     return sent_.load(std::memory_order_relaxed);
   }
+
+  /// Encoded bytes shipped by the inner transport (wire copies included).
+  std::uint64_t bytes_sent() const override { return inner_->bytes_sent(); }
 
   /// Splits the cluster into `side_a` vs everyone else for `heal_after`
   /// (wall time from now). Crossing messages are buffered until the heal.

@@ -1,5 +1,7 @@
 #include "transport/inproc_transport.hpp"
 
+#include <algorithm>
+
 #include "proto/codec.hpp"
 #include "util/check.hpp"
 
@@ -20,34 +22,105 @@ Mailbox& InProcTransport::mailbox(proto::NodeId node) {
   return *mailboxes_[node.value()];
 }
 
+Mailbox::Clock::time_point InProcTransport::schedule_delivery(
+    proto::NodeId from, proto::NodeId to) {
+  MutexLock guard(latency_mutex_);
+  const SimTime latency = options_.latency.sample(latency_rng_);
+  Mailbox::Clock::time_point deliver_at =
+      Mailbox::Clock::now() + std::chrono::nanoseconds(latency.count_ns());
+  auto& front = channel_front_[{from, to}];
+  if (deliver_at <= front) {
+    deliver_at = front + std::chrono::nanoseconds(1);
+  }
+  front = deliver_at;
+  return deliver_at;
+}
+
 void InProcTransport::send(const proto::Message& message) {
   proto::Message to_deliver = message;
   if (options_.codec_roundtrip) {
-    const std::vector<std::byte> wire = proto::encode(message);
-    std::optional<proto::Message> decoded = proto::decode(wire);
+    // One scratch buffer per sending thread: capacity persists across
+    // sends, so the steady state allocates nothing for the wire image.
+    thread_local std::vector<std::byte> scratch;
+    scratch.clear();
+    proto::encode_into(message, scratch);
+    std::optional<proto::Message> decoded = proto::decode(scratch);
     HLOCK_INVARIANT(decoded.has_value() && *decoded == message,
                     "codec round-trip corrupted a message");
     to_deliver = std::move(*decoded);
+    bytes_.fetch_add(scratch.size(), std::memory_order_relaxed);
   }
 
-  Mailbox::Clock::time_point deliver_at;
-  {
-    MutexLock guard(latency_mutex_);
-    const SimTime latency = options_.latency.sample(latency_rng_);
-    deliver_at = Mailbox::Clock::now() +
-                 std::chrono::nanoseconds(latency.count_ns());
-    auto& front = channel_front_[{message.from, message.to}];
-    if (deliver_at <= front) {
-      deliver_at = front + std::chrono::nanoseconds(1);
-    }
-    front = deliver_at;
-  }
+  const Mailbox::Clock::time_point deliver_at =
+      schedule_delivery(message.from, message.to);
   mailbox(message.to).push(std::move(to_deliver), deliver_at);
   sent_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void InProcTransport::send_coalesced(std::vector<proto::Message>& messages,
+                                     std::size_t begin, std::size_t end) {
+  const proto::NodeId from = messages[begin].from;
+  const proto::NodeId to = messages[begin].to;
+  std::vector<proto::Message> group;
+  if (options_.codec_roundtrip) {
+    thread_local std::vector<std::byte> scratch;
+    scratch.clear();
+    proto::encode_batch_into(
+        std::span<const proto::Message>{messages.data() + begin,
+                                        end - begin},
+        scratch);
+    std::optional<std::vector<proto::Message>> decoded =
+        proto::decode_batch(scratch);
+    HLOCK_INVARIANT(decoded.has_value() && decoded->size() == end - begin &&
+                        std::equal(decoded->begin(), decoded->end(),
+                                   messages.begin() +
+                                       static_cast<std::ptrdiff_t>(begin)),
+                    "codec round-trip corrupted a batch");
+    group = std::move(*decoded);
+    bytes_.fetch_add(scratch.size(), std::memory_order_relaxed);
+  } else {
+    group.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      group.push_back(std::move(messages[i]));
+    }
+  }
+  // One latency sample for the whole batch: it travels as one frame.
+  const Mailbox::Clock::time_point deliver_at = schedule_delivery(from, to);
+  mailbox(to).push_all(std::move(group), deliver_at);
+  sent_.fetch_add(end - begin, std::memory_order_relaxed);
+}
+
+void InProcTransport::send_batch(std::vector<proto::Message> messages) {
+  if (messages.empty()) return;
+  if (!options_.batching) {
+    for (const proto::Message& message : messages) send(message);
+    return;
+  }
+  // Coalesce consecutive same-channel runs; runs never reorder relative to
+  // each other, so per-channel FIFO is exactly what per-message sends give.
+  std::size_t begin = 0;
+  while (begin < messages.size()) {
+    std::size_t end = begin + 1;
+    while (end < messages.size() &&
+           messages[end].from == messages[begin].from &&
+           messages[end].to == messages[begin].to) {
+      ++end;
+    }
+    if (end - begin == 1) {
+      send(messages[begin]);
+    } else {
+      send_coalesced(messages, begin, end);
+    }
+    begin = end;
+  }
+}
+
 std::optional<proto::Message> InProcTransport::recv(proto::NodeId node) {
   return mailbox(node).pop();
+}
+
+std::vector<proto::Message> InProcTransport::recv_ready(proto::NodeId node) {
+  return mailbox(node).pop_all_ready();
 }
 
 std::optional<proto::Message> InProcTransport::recv_for(

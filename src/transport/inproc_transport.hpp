@@ -10,6 +10,12 @@
 //
 // Channels are FIFO per ordered (from, to) pair, matching TCP/MPI and the
 // simulator's network model.
+//
+// With batching enabled (the default), send_batch() coalesces the
+// same-destination messages of one burst into a single batch envelope: one
+// codec round-trip over a reused scratch buffer and one mailbox lock
+// acquisition instead of one of each per message. Batching never changes
+// what is delivered or in which order — see docs/performance.md.
 #pragma once
 
 #include <atomic>
@@ -39,6 +45,9 @@ struct InProcOptions {
   /// Round-trip every message through the binary codec (encode + decode)
   /// to keep the protocol honest about its wire representation.
   bool codec_roundtrip = true;
+  /// Coalesce same-destination messages of one send_batch() call into a
+  /// single batch envelope (protocol-invisible; off = per-message path).
+  bool batching = true;
 };
 
 /// See file comment.
@@ -50,9 +59,18 @@ class InProcTransport final : public Transport {
   /// InvariantError if the codec round-trip corrupts the message.
   void send(const proto::Message& message) override;
 
+  /// Routes a burst, coalescing same-channel runs into batch envelopes
+  /// when options.batching is set (falls back to per-message sends
+  /// otherwise). Thread-safe.
+  void send_batch(std::vector<proto::Message> messages) override;
+
   /// Blocks for the next deliverable message for `node` (nullopt once the
   /// transport is shut down and the mailbox drained).
   std::optional<proto::Message> recv(proto::NodeId node) override;
+
+  /// Drains every already-matured message for `node` in one mailbox lock
+  /// acquisition (empty once shut down and drained).
+  std::vector<proto::Message> recv_ready(proto::NodeId node) override;
 
   /// Like recv() but bounded by `timeout`.
   std::optional<proto::Message> recv_for(
@@ -61,18 +79,31 @@ class InProcTransport final : public Transport {
   /// Closes all mailboxes; blocked receivers wake up.
   void shutdown() override;
 
-  /// Total messages accepted by send().
+  /// Total messages accepted by send()/send_batch().
   std::uint64_t messages_sent() const override { return sent_.load(); }
+
+  /// Encoded bytes shipped (0 when codec_roundtrip is off — nothing is
+  /// encoded then).
+  std::uint64_t bytes_sent() const override { return bytes_.load(); }
 
   std::size_t node_count() const { return mailboxes_.size(); }
 
  private:
   Mailbox& mailbox(proto::NodeId node);
+  /// Computes the delivery time of the next message/batch on (from, to),
+  /// maintaining per-channel FIFO under injected latency.
+  Mailbox::Clock::time_point schedule_delivery(proto::NodeId from,
+                                               proto::NodeId to)
+      HLOCK_EXCLUDES(latency_mutex_);
+  /// Ships one same-channel run [begin, end) as a single batch envelope.
+  void send_coalesced(std::vector<proto::Message>& messages,
+                      std::size_t begin, std::size_t end);
 
   /// Immutable after construction (mailboxes themselves are thread-safe).
   InProcOptions options_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> bytes_{0};
 
   Mutex latency_mutex_;
   Rng latency_rng_ HLOCK_GUARDED_BY(latency_mutex_);

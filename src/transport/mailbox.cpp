@@ -1,13 +1,43 @@
 #include "transport/mailbox.hpp"
 
+#include <algorithm>
+
 namespace hlock::transport {
+
+void Mailbox::push_locked(proto::Message&& message,
+                          Clock::time_point deliver_at) {
+  heap_.push_back(Entry{deliver_at, next_seq_++, std::move(message)});
+  std::push_heap(heap_.begin(), heap_.end());
+  ++pushed_;
+}
+
+proto::Message Mailbox::pop_top_locked() {
+  // pop_heap moves the earliest entry to the back, where it can be
+  // extracted by move — the payload's queue buffer travels, not copies.
+  std::pop_heap(heap_.begin(), heap_.end());
+  proto::Message message = std::move(heap_.back().message);
+  heap_.pop_back();
+  return message;
+}
 
 void Mailbox::push(proto::Message message, Clock::time_point deliver_at) {
   {
     MutexLock guard(mutex_);
     if (closed_) return;
-    heap_.push(Entry{deliver_at, next_seq_++, std::move(message)});
-    ++pushed_;
+    push_locked(std::move(message), deliver_at);
+  }
+  cv_.notify_one();
+}
+
+void Mailbox::push_all(std::vector<proto::Message> messages,
+                       Clock::time_point deliver_at) {
+  if (messages.empty()) return;
+  {
+    MutexLock guard(mutex_);
+    if (closed_) return;
+    for (proto::Message& message : messages) {
+      push_locked(std::move(message), deliver_at);
+    }
   }
   cv_.notify_one();
 }
@@ -20,11 +50,9 @@ std::optional<proto::Message> Mailbox::pop_until(Clock::time_point deadline) {
   MutexLock lock(mutex_);
   for (;;) {
     if (!heap_.empty()) {
-      const Clock::time_point due = heap_.top().deliver_at;
+      const Clock::time_point due = heap_.front().deliver_at;
       if (due <= Clock::now()) {
-        proto::Message message = heap_.top().message;
-        heap_.pop();
-        return message;
+        return pop_top_locked();
       }
       // Wait until the head matures, the deadline passes, or a new
       // (possibly earlier) message arrives.
@@ -32,10 +60,8 @@ std::optional<proto::Message> Mailbox::pop_until(Clock::time_point deadline) {
       if (cv_.wait_until(mutex_, until) == std::cv_status::timeout &&
           until == deadline && Clock::now() >= deadline) {
         // Deadline reached before the head matured.
-        if (!heap_.empty() && heap_.top().deliver_at <= Clock::now()) {
-          proto::Message message = heap_.top().message;
-          heap_.pop();
-          return message;
+        if (!heap_.empty() && heap_.front().deliver_at <= Clock::now()) {
+          return pop_top_locked();
         }
         return std::nullopt;
       }
@@ -45,11 +71,34 @@ std::optional<proto::Message> Mailbox::pop_until(Clock::time_point deadline) {
     if (deadline == Clock::time_point::max()) {
       cv_.wait(mutex_);
     } else if (cv_.wait_until(mutex_, deadline) == std::cv_status::timeout) {
-      if (!heap_.empty() && heap_.top().deliver_at <= Clock::now()) {
+      if (!heap_.empty() && heap_.front().deliver_at <= Clock::now()) {
         continue;
       }
       return std::nullopt;
     }
+  }
+}
+
+std::vector<proto::Message> Mailbox::pop_all_ready() {
+  MutexLock lock(mutex_);
+  for (;;) {
+    if (!heap_.empty()) {
+      const Clock::time_point now = Clock::now();
+      if (heap_.front().deliver_at <= now) {
+        // Drain every message matured by `now` under this one lock hold;
+        // later-matured messages wait for the next call.
+        std::vector<proto::Message> ready;
+        ready.reserve(heap_.size());  // upper bound: one allocation, no regrowth
+        while (!heap_.empty() && heap_.front().deliver_at <= now) {
+          ready.push_back(pop_top_locked());
+        }
+        return ready;
+      }
+      cv_.wait_until(mutex_, heap_.front().deliver_at);
+      continue;
+    }
+    if (closed_) return {};
+    cv_.wait(mutex_);
   }
 }
 

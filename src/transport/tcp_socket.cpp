@@ -43,6 +43,20 @@ bool read_all(int fd, std::byte* data, std::size_t size) {
   return true;
 }
 
+/// Reads one raw frame body into `body` (reused across calls); false on
+/// clean close, error, or an oversized/empty frame.
+bool read_frame_body(int fd, std::vector<std::byte>& body) {
+  std::byte header[4];
+  if (!read_all(fd, header, sizeof header)) return false;
+  std::uint32_t size = 0;
+  for (int i = 0; i < 4; ++i) {
+    size |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  }
+  if (size == 0 || size > kMaxFrameBytes) return false;
+  body.resize(size);
+  return read_all(fd, body.data(), size);
+}
+
 }  // namespace
 
 int listen_loopback(std::uint16_t port) {
@@ -88,8 +102,8 @@ int connect_loopback(std::uint16_t port) {
   return fd;
 }
 
-bool write_frame(int fd, const proto::Message& message) {
-  const std::vector<std::byte> body = proto::encode(message);
+bool write_frame_body(int fd, const std::vector<std::byte>& body) {
+  if (body.empty() || body.size() > kMaxFrameBytes) return false;
   std::byte header[4];
   for (int i = 0; i < 4; ++i) {
     header[i] =
@@ -99,17 +113,26 @@ bool write_frame(int fd, const proto::Message& message) {
          write_all(fd, body.data(), body.size());
 }
 
+bool write_frame(int fd, const proto::Message& message) {
+  const std::vector<std::byte> body = proto::encode(message);
+  return write_frame_body(fd, body);
+}
+
 std::optional<proto::Message> read_frame(int fd) {
-  std::byte header[4];
-  if (!read_all(fd, header, sizeof header)) return std::nullopt;
-  std::uint32_t size = 0;
-  for (int i = 0; i < 4; ++i) {
-    size |= static_cast<std::uint32_t>(header[i]) << (8 * i);
-  }
-  if (size == 0 || size > kMaxFrameBytes) return std::nullopt;
-  std::vector<std::byte> frame(size);
-  if (!read_all(fd, frame.data(), size)) return std::nullopt;
-  return proto::decode(frame);
+  std::vector<std::byte> body;
+  if (!read_frame_body(fd, body)) return std::nullopt;
+  return proto::decode(body);
+}
+
+std::optional<std::vector<proto::Message>> read_frame_messages(int fd) {
+  thread_local std::vector<std::byte> body;
+  if (!read_frame_body(fd, body)) return std::nullopt;
+  if (proto::is_batch_frame(body)) return proto::decode_batch(body);
+  std::optional<proto::Message> single = proto::decode(body);
+  if (!single) return std::nullopt;
+  std::vector<proto::Message> out;
+  out.push_back(std::move(*single));
+  return out;
 }
 
 }  // namespace hlock::transport

@@ -1,20 +1,23 @@
 // Low-level loopback TCP helpers shared by the socket transports:
 // listener setup, connection, and the length-prefixed message framing.
 //
-// Wire frame: 4-byte little-endian payload length, then the binary codec
-// encoding of one Message. Frames above a sanity cap are treated as
+// Wire frame: 4-byte little-endian payload length, then either the binary
+// codec encoding of one Message or a batch envelope (proto::kBatchMarker)
+// carrying several same-channel messages — the receiver distinguishes the
+// two by the body's first byte. Frames above a sanity cap are treated as
 // corruption.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "proto/message.hpp"
 
 namespace hlock::transport {
 
 /// Largest accepted frame; the biggest legal message (a token with a full
-/// queue) is far below this.
+/// queue) is far below this, and so is a full batch of them.
 inline constexpr std::uint32_t kMaxFrameBytes = 1 << 20;
 
 /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral). Returns the fd.
@@ -31,8 +34,19 @@ int connect_loopback(std::uint16_t port);
 /// Writes one framed message; false on error or peer close.
 bool write_frame(int fd, const proto::Message& message);
 
+/// Writes one length-prefixed frame around a pre-encoded body (a single
+/// message or a batch envelope); false on error, peer close, or a body
+/// above kMaxFrameBytes.
+bool write_frame_body(int fd, const std::vector<std::byte>& body);
+
 /// Reads one framed message; nullopt on clean close, error, oversized or
-/// undecodable frame.
+/// undecodable frame. Rejects batch frames — use read_frame_messages on
+/// connections that may carry them.
 std::optional<proto::Message> read_frame(int fd);
+
+/// Reads one frame and decodes every message it carries (one for a single
+/// frame, several for a batch envelope), preserving order. nullopt on clean
+/// close, error, oversized or undecodable frame.
+std::optional<std::vector<proto::Message>> read_frame_messages(int fd);
 
 }  // namespace hlock::transport

@@ -7,8 +7,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <span>
 #include <thread>
 
+#include "proto/codec.hpp"
 #include "transport/tcp_socket.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
@@ -63,19 +65,29 @@ void TcpTransport::acceptor_loop(std::size_t node) {
 }
 
 void TcpTransport::reader_loop(std::size_t node, int fd) {
-  while (auto message = read_frame(fd)) {
-    if (message->to.value() != node) {
-      // A misaddressed frame is the sender's bug, not this connection's:
-      // discard the one frame and keep the channel alive — dropping the
-      // connection would silently sever every later message on it.
-      counters_.misaddressed_frames.fetch_add(1, std::memory_order_relaxed);
-      HLOCK_LOG(kWarn, "tcp: frame addressed to " << to_string(message->to)
-                                                  << " arrived at node "
-                                                  << node
-                                                  << "; frame discarded");
-      continue;
+  while (auto messages = read_frame_messages(fd)) {
+    // A batch frame unpacks in emission order; pushing its messages under
+    // one mailbox lock preserves exactly the order a per-message sender
+    // would have produced.
+    std::vector<proto::Message> deliverable;
+    deliverable.reserve(messages->size());
+    for (proto::Message& message : *messages) {
+      if (message.to.value() != node) {
+        // A misaddressed frame is the sender's bug, not this connection's:
+        // discard the one message and keep the channel alive — dropping the
+        // connection would silently sever every later message on it.
+        counters_.misaddressed_frames.fetch_add(1,
+                                                std::memory_order_relaxed);
+        HLOCK_LOG(kWarn, "tcp: frame addressed to "
+                             << to_string(message.to)
+                             << " arrived at node " << node
+                             << "; frame discarded");
+        continue;
+      }
+      deliverable.push_back(std::move(message));
     }
-    nodes_[node]->inbox.push(std::move(*message), Mailbox::Clock::now());
+    nodes_[node]->inbox.push_all(std::move(deliverable),
+                                 Mailbox::Clock::now());
   }
   ::close(fd);
 }
@@ -85,35 +97,35 @@ int TcpTransport::channel_fd(std::uint32_t /*from*/, std::uint32_t to) {
   return connect_loopback(nodes_[to]->port);
 }
 
-void TcpTransport::send(const proto::Message& message) {
-  if (stopping_.load()) return;
-  HLOCK_REQUIRE(message.to.value() < nodes_.size(), "unknown node id");
-  HLOCK_REQUIRE(!message.from.is_none(), "message without a sender");
+TcpTransport::Channel& TcpTransport::channel_of(proto::NodeId from,
+                                                proto::NodeId to) {
+  MutexLock guard(channels_mutex_);
+  auto& slot = channels_[{from.value(), to.value()}];
+  if (!slot) slot = std::make_unique<Channel>();
+  return *slot;
+}
 
-  Channel* channel = nullptr;
-  {
-    MutexLock guard(channels_mutex_);
-    auto& slot = channels_[{message.from.value(), message.to.value()}];
-    if (!slot) slot = std::make_unique<Channel>();
-    channel = slot.get();
-  }
+bool TcpTransport::send_frame(proto::NodeId from, proto::NodeId to,
+                              const std::vector<std::byte>& body,
+                              std::uint64_t message_count) {
+  Channel& channel = channel_of(from, to);
 
   // Retry with exponential backoff, reconnecting on the way: a transient
   // write failure (peer reset, severed channel) must never escape as an
   // exception — callers include receiver threads, where an escaped
   // exception would std::terminate the whole process.
-  MutexLock guard(channel->send_mutex);
+  MutexLock guard(channel.send_mutex);
   std::chrono::milliseconds backoff = options_.initial_backoff;
   for (int attempt = 0; attempt < options_.max_send_attempts; ++attempt) {
-    if (stopping_.load()) return;
+    if (stopping_.load()) return false;
     if (attempt > 0) {
       counters_.send_retries.fetch_add(1, std::memory_order_relaxed);
       std::this_thread::sleep_for(backoff);
       backoff = std::min(backoff * 2, options_.max_backoff);
     }
-    if (channel->fd < 0) {
+    if (channel.fd < 0) {
       try {
-        channel->fd = channel_fd(message.from.value(), message.to.value());
+        channel.fd = channel_fd(from.value(), to.value());
         if (attempt > 0) {
           counters_.reconnects.fetch_add(1, std::memory_order_relaxed);
         }
@@ -121,18 +133,66 @@ void TcpTransport::send(const proto::Message& message) {
         continue;  // destination not accepting right now; back off, retry
       }
     }
-    if (write_frame(channel->fd, message)) {
-      sent_.fetch_add(1, std::memory_order_relaxed);
-      return;
+    if (write_frame_body(channel.fd, body)) {
+      sent_.fetch_add(message_count, std::memory_order_relaxed);
+      bytes_.fetch_add(body.size() + 4, std::memory_order_relaxed);
+      return true;
     }
-    ::close(channel->fd);
-    channel->fd = -1;
+    ::close(channel.fd);
+    channel.fd = -1;
   }
   counters_.send_failures.fetch_add(1, std::memory_order_relaxed);
-  HLOCK_LOG(kError, "tcp: send to node " << message.to.value()
-                                         << " failed after "
+  HLOCK_LOG(kError, "tcp: send to node " << to.value() << " failed after "
                                          << options_.max_send_attempts
                                          << " attempts; frame dropped");
+  return false;
+}
+
+void TcpTransport::send(const proto::Message& message) {
+  if (stopping_.load()) return;
+  HLOCK_REQUIRE(message.to.value() < nodes_.size(), "unknown node id");
+  HLOCK_REQUIRE(!message.from.is_none(), "message without a sender");
+  // One scratch buffer per sending thread: the wire image of the steady
+  // state allocates nothing.
+  thread_local std::vector<std::byte> scratch;
+  scratch.clear();
+  proto::encode_into(message, scratch);
+  send_frame(message.from, message.to, scratch, 1);
+}
+
+void TcpTransport::send_batch(std::vector<proto::Message> messages) {
+  if (messages.empty()) return;
+  if (!options_.batching) {
+    for (const proto::Message& message : messages) send(message);
+    return;
+  }
+  if (stopping_.load()) return;
+  // Coalesce consecutive same-channel runs into one batch frame each; runs
+  // never reorder, so TCP's in-order channel keeps per-channel FIFO intact.
+  std::size_t begin = 0;
+  while (begin < messages.size()) {
+    std::size_t end = begin + 1;
+    while (end < messages.size() &&
+           messages[end].from == messages[begin].from &&
+           messages[end].to == messages[begin].to) {
+      ++end;
+    }
+    if (end - begin == 1) {
+      send(messages[begin]);
+    } else {
+      const proto::Message& head = messages[begin];
+      HLOCK_REQUIRE(head.to.value() < nodes_.size(), "unknown node id");
+      HLOCK_REQUIRE(!head.from.is_none(), "message without a sender");
+      thread_local std::vector<std::byte> scratch;
+      scratch.clear();
+      proto::encode_batch_into(
+          std::span<const proto::Message>{messages.data() + begin,
+                                          end - begin},
+          scratch);
+      send_frame(head.from, head.to, scratch, end - begin);
+    }
+    begin = end;
+  }
 }
 
 bool TcpTransport::sever_channel(proto::NodeId from, proto::NodeId to) {
@@ -154,6 +214,11 @@ bool TcpTransport::sever_channel(proto::NodeId from, proto::NodeId to) {
 std::optional<proto::Message> TcpTransport::recv(proto::NodeId node) {
   HLOCK_REQUIRE(node.value() < nodes_.size(), "unknown node id");
   return nodes_[node.value()]->inbox.pop();
+}
+
+std::vector<proto::Message> TcpTransport::recv_ready(proto::NodeId node) {
+  HLOCK_REQUIRE(node.value() < nodes_.size(), "unknown node id");
+  return nodes_[node.value()]->inbox.pop_all_ready();
 }
 
 std::optional<proto::Message> TcpTransport::recv_for(

@@ -4,10 +4,13 @@
 // senders open one persistent connection per ordered (from, to) channel on
 // first use, matching the paper's Linux-testbed deployment ("connected by
 // a full-duplex FastEther switch utilized through TCP/IP"). Messages are
-// wire frames: a 4-byte little-endian length prefix followed by the binary
-// codec encoding. Per-connection reader threads decode frames into the
-// destination's mailbox; TCP's in-order delivery provides the per-channel
-// FIFO the protocol relies on.
+// wire frames: a 4-byte little-endian length prefix followed by either one
+// binary codec encoding or a batch envelope coalescing the same-channel
+// messages of one burst (proto::kBatchMarker) — one frame, one syscall,
+// instead of one per message. Per-connection reader threads decode frames
+// into the destination's mailbox; TCP's in-order delivery provides the
+// per-channel FIFO the protocol relies on, and batches unpack in emission
+// order so coalescing is invisible above the transport.
 //
 // All nodes live in one process here (the testing substrate for a real
 // distributed deployment); nothing in the wire format or the socket
@@ -38,6 +41,9 @@ struct TcpOptions {
   /// Backoff before the first retry; doubles per retry up to `max_backoff`.
   std::chrono::milliseconds initial_backoff{1};
   std::chrono::milliseconds max_backoff{50};
+  /// Coalesce same-channel messages of one send_batch() call into a single
+  /// batch frame (protocol-invisible; off = one frame per message).
+  bool batching = true;
 };
 
 /// See file comment.
@@ -51,11 +57,19 @@ class TcpTransport final : public Transport {
   ~TcpTransport() override;
 
   void send(const proto::Message& message) override;
+  /// Ships a burst; same-channel runs travel as single batch frames when
+  /// options.batching is set.
+  void send_batch(std::vector<proto::Message> messages) override;
   std::optional<proto::Message> recv(proto::NodeId node) override;
+  /// Drains every already-delivered message for `node` in one mailbox lock
+  /// acquisition (empty once shut down and drained).
+  std::vector<proto::Message> recv_ready(proto::NodeId node) override;
   std::optional<proto::Message> recv_for(
       proto::NodeId node, std::chrono::milliseconds timeout) override;
   void shutdown() override;
   std::uint64_t messages_sent() const override { return sent_.load(); }
+  /// Frame bytes written (length prefixes included).
+  std::uint64_t bytes_sent() const override { return bytes_.load(); }
 
   /// The loopback port node `node` listens on (diagnostics).
   std::uint16_t port_of(proto::NodeId node) const;
@@ -79,28 +93,39 @@ class TcpTransport final : public Transport {
     std::thread acceptor;
   };
 
+  struct Channel {
+    /// Serializes writes on the (from, to) connection and guards its fd.
+    Mutex send_mutex;
+    int fd HLOCK_GUARDED_BY(send_mutex) = -1;
+  };
+
   void acceptor_loop(std::size_t node);
   void reader_loop(std::size_t node, int fd);
   /// Returns (creating on demand) the connection fd for a channel;
   /// guarded by the channel's send mutex.
   int channel_fd(std::uint32_t from, std::uint32_t to);
+  /// The channel record for (from, to), created on first use.
+  Channel& channel_of(proto::NodeId from, proto::NodeId to)
+      HLOCK_EXCLUDES(channels_mutex_);
+  /// Writes one pre-encoded frame body on the channel with the retry /
+  /// backoff / reconnect policy; counts `message_count` logical messages on
+  /// success. False once every attempt failed (frame dropped + counted).
+  bool send_frame(proto::NodeId from, proto::NodeId to,
+                  const std::vector<std::byte>& body,
+                  std::uint64_t message_count);
 
   /// Options and endpoints are immutable after construction (the endpoint
   /// mailboxes are themselves thread-safe).
   TcpOptions options_;
   std::vector<std::unique_ptr<NodeEndpoint>> nodes_;
   Mutex channels_mutex_;
-  struct Channel {
-    /// Serializes writes on the (from, to) connection and guards its fd.
-    Mutex send_mutex;
-    int fd HLOCK_GUARDED_BY(send_mutex) = -1;
-  };
   std::map<std::pair<std::uint32_t, std::uint32_t>,
            std::unique_ptr<Channel>>
       channels_ HLOCK_GUARDED_BY(channels_mutex_);
   std::vector<std::thread> readers_ HLOCK_GUARDED_BY(readers_mutex_);
   Mutex readers_mutex_;
   std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> bytes_{0};
   std::atomic<bool> stopping_{false};
   stats::TransportCounters counters_;
 };

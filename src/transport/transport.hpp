@@ -6,11 +6,20 @@
 // per-ordered-channel FIFO delivery, which both TCP and the mailbox
 // transport guarantee — the protocol's release/request ordering analysis
 // depends on it.
+//
+// The batch entry points (send_batch / recv_ready) exist purely for
+// throughput: one automaton step often emits several messages, and a busy
+// receiver often has several matured messages waiting. Default
+// implementations fall back to the one-message forms, so batching is an
+// optional optimization with identical observable semantics — transports
+// that coalesce must preserve per-channel FIFO order exactly as if each
+// message had been sent individually (docs/performance.md).
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "proto/ids.hpp"
 #include "proto/message.hpp"
@@ -25,9 +34,28 @@ class Transport {
   /// Routes a message to its destination. Thread-safe.
   virtual void send(const proto::Message& message) = 0;
 
+  /// Routes a burst of messages (typically the output of one automaton
+  /// step), preserving per-ordered-channel FIFO order. Implementations may
+  /// coalesce same-destination messages into one wire frame; the default
+  /// sends one by one. Thread-safe.
+  virtual void send_batch(std::vector<proto::Message> messages) {
+    for (const proto::Message& message : messages) send(message);
+  }
+
   /// Blocks for the next message addressed to `node`; std::nullopt once
   /// the transport is shut down and drained.
   virtual std::optional<proto::Message> recv(proto::NodeId node) = 0;
+
+  /// Blocks like recv(), then returns every message for `node` that is
+  /// already deliverable, in delivery order — an empty vector only once the
+  /// transport is shut down and drained. The default returns at most one.
+  virtual std::vector<proto::Message> recv_ready(proto::NodeId node) {
+    std::vector<proto::Message> out;
+    if (std::optional<proto::Message> message = recv(node)) {
+      out.push_back(std::move(*message));
+    }
+    return out;
+  }
 
   /// Like recv() but bounded; std::nullopt on timeout too.
   virtual std::optional<proto::Message> recv_for(
@@ -38,6 +66,11 @@ class Transport {
 
   /// Messages accepted by send() so far.
   virtual std::uint64_t messages_sent() const = 0;
+
+  /// Encoded payload bytes shipped so far (framing included where the
+  /// transport frames). Zero for transports that never encode — the
+  /// bytes-per-request metric of bench/throughput_hotpath.cpp.
+  virtual std::uint64_t bytes_sent() const { return 0; }
 };
 
 }  // namespace hlock::transport

@@ -1,0 +1,171 @@
+// Batching transparency: coalescing same-destination messages into batch
+// wire frames is a transport concern and must be invisible to everything
+// above it. These tests run the SAME workload with batching on and off and
+// assert that the observability stack cannot tell the difference — the
+// spec linter accepts both event streams and the span collector sees the
+// identical set of request lifecycles.
+//
+// Real-thread runs are not event-order deterministic, so equivalence is
+// structural: the same spans exist, they all complete, and the rule tables
+// hold throughout. (Exact stream equality is checked where it is
+// well-defined: in the deterministic wire tests of transport_test.cpp and
+// the codec round-trip property tests.)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "lint/checker.hpp"
+#include "obs/span.hpp"
+#include "runtime/thread_cluster.hpp"
+
+namespace hlock::runtime {
+namespace {
+
+using proto::LockId;
+using proto::LockMode;
+using proto::NodeId;
+
+constexpr std::size_t kNodes = 4;
+constexpr int kOpsPerNode = 12;
+constexpr std::uint32_t kLocks = 3;
+
+/// What a span looks like to an application: which request, for which lock,
+/// in which mode, and whether it ran to completion. Everything
+/// batching could plausibly perturb — timing, interleaving — is excluded
+/// on purpose; everything it must NOT perturb is included.
+using SpanShape =
+    std::tuple<std::uint32_t, std::uint32_t, std::uint64_t, int, bool>;
+
+std::vector<SpanShape> span_shapes(const obs::SpanCollector& collector) {
+  std::vector<SpanShape> shapes;
+  for (const obs::RequestSpan& span : collector.spans()) {
+    shapes.emplace_back(span.lock.value(), span.id.origin.value(),
+                        span.id.seq, static_cast<int>(span.mode),
+                        span.complete());
+  }
+  std::sort(shapes.begin(), shapes.end());
+  return shapes;
+}
+
+struct RunResult {
+  lint::LintReport lint;
+  std::vector<SpanShape> spans;
+  std::size_t completed = 0;
+  std::uint64_t messages_sent = 0;
+};
+
+/// Runs a fixed multi-lock workload and returns everything the
+/// observability stack saw. The workload itself is deterministic in WHICH
+/// requests each node issues (locks, modes, order per thread), so the span
+/// sets of two runs are comparable even though their interleavings differ.
+RunResult run_workload(bool batching) {
+  ThreadClusterOptions options;
+  options.node_count = kNodes;
+  options.protocol = Protocol::kHierarchical;
+  options.hier_config.trace_events = true;
+  options.seed = 99;
+  options.batching = batching;
+
+  lint::LintOptions lint_options;
+  lint_options.initial_token = options.initial_root;
+  lint::Checker checker{lint_options};
+  obs::SpanCollector collector;
+
+  RunResult result;
+  {
+    ThreadCluster cluster{options};
+    cluster.set_event_sink([&](const trace::TraceEvent& event) {
+      checker.add(event);
+      collector.observe(event);
+    });
+    std::vector<std::thread> workers;
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+      workers.emplace_back([&cluster, i] {
+        for (int k = 0; k < kOpsPerNode; ++k) {
+          // Walk the locks in a per-node stagger so requests contend
+          // across nodes; alternate W/R so grants and tokens both flow.
+          const LockId lock{(i + static_cast<std::uint32_t>(k)) % kLocks};
+          const LockMode mode = k % 2 == 0 ? LockMode::kW : LockMode::kR;
+          cluster.lock(NodeId{i}, lock, mode);
+          std::this_thread::yield();
+          cluster.unlock(NodeId{i}, lock);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    result.messages_sent = cluster.messages_sent();
+    EXPECT_EQ(cluster.receiver_errors(), 0u);
+    // Teardown joins the receivers; no event is in flight past this scope.
+  }
+  result.lint = checker.finish();
+  result.spans = span_shapes(collector);
+  result.completed = collector.completed_count();
+  return result;
+}
+
+TEST(BatchingTransparency, LintAndSpansIdenticalWithBatchingOnAndOff) {
+  const RunResult batched = run_workload(true);
+  const RunResult unbatched = run_workload(false);
+
+  // Both event streams conform to the paper's rule tables...
+  EXPECT_TRUE(batched.lint.ok()) << batched.lint.render();
+  EXPECT_TRUE(unbatched.lint.ok()) << unbatched.lint.render();
+  EXPECT_GT(batched.lint.events_checked, 0u);
+  EXPECT_GT(unbatched.lint.events_checked, 0u);
+
+  // ...and the applications' request lifecycles are the same set: same
+  // requests, same locks, same modes, all complete.
+  EXPECT_EQ(batched.spans, unbatched.spans)
+      << "batching changed what the span collector observed";
+  EXPECT_EQ(batched.spans.size(), kNodes * kOpsPerNode);
+  EXPECT_EQ(batched.completed, kNodes * kOpsPerNode);
+  EXPECT_EQ(unbatched.completed, kNodes * kOpsPerNode);
+}
+
+TEST(BatchingTransparency, HoldsUnderInjectedFaults) {
+  // The acceptance bar: batching stays invisible even while the fault
+  // layer drops, delays and duplicates wire frames underneath it.
+  ThreadClusterOptions options;
+  options.node_count = kNodes;
+  options.protocol = Protocol::kHierarchical;
+  options.hier_config.trace_events = true;
+  options.seed = 7;
+  options.batching = true;
+  options.faults.seed = 7;
+  options.faults.drop_probability = 0.08;
+  options.faults.retransmit_delay = SimTime::ms(1);
+  options.faults.duplicate_probability = 0.1;
+
+  lint::LintOptions lint_options;
+  lint_options.initial_token = options.initial_root;
+  lint::Checker checker{lint_options};
+  obs::SpanCollector collector;
+  {
+    ThreadCluster cluster{options};
+    cluster.set_event_sink([&](const trace::TraceEvent& event) {
+      checker.add(event);
+      collector.observe(event);
+    });
+    std::vector<std::thread> workers;
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+      workers.emplace_back([&cluster, i] {
+        for (int k = 0; k < kOpsPerNode; ++k) {
+          cluster.lock(NodeId{i}, LockId{static_cast<std::uint32_t>(k) % 2},
+                       i % 2 == 0 ? LockMode::kW : LockMode::kR);
+          cluster.unlock(NodeId{i}, LockId{static_cast<std::uint32_t>(k) % 2});
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    EXPECT_EQ(cluster.receiver_errors(), 0u);
+  }
+  const lint::LintReport report = checker.finish();
+  EXPECT_TRUE(report.ok()) << report.render();
+  EXPECT_EQ(collector.completed_count(), kNodes * kOpsPerNode);
+}
+
+}  // namespace
+}  // namespace hlock::runtime

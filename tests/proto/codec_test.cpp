@@ -4,11 +4,44 @@
 
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace hlock::proto {
 namespace {
 
 Message envelope(Payload payload) {
   return Message{NodeId{1}, NodeId{2}, LockId{3}, std::move(payload)};
+}
+
+/// Every payload kind with boundary values where the wire format has edges:
+/// priority 0 and 255, seq 0 and max, empty and multi-entry token queues.
+std::vector<Message> all_kinds_boundary_messages() {
+  std::vector<Payload> payloads{
+      Payload{HierRequest{NodeId{0}, LockMode::kR, 0, 0}},
+      Payload{HierRequest{NodeId{7}, LockMode::kW,
+                          0xFFFFFFFFFFFFFFFFull, 255}},
+      Payload{HierGrant{LockMode::kNL, LockMode::kNL, 0}},
+      Payload{HierGrant{LockMode::kU, LockMode::kU, 0xFFFFFFFFu}},
+      Payload{HierToken{LockMode::kW, LockMode::kNL, {}}},
+      Payload{HierToken{LockMode::kR, LockMode::kIR,
+                        {QueuedRequest{NodeId{4}, LockMode::kIW, 9, 0},
+                         QueuedRequest{NodeId{5}, LockMode::kW, 10, 255}}}},
+      Payload{HierRelease{LockMode::kNL, 0}},
+      Payload{HierRelease{LockMode::kR, 0xFFFFFFFFu}},
+      Payload{HierFreeze{ModeSet::of({LockMode::kIR, LockMode::kR})}},
+      Payload{HierFreeze{ModeSet{}}},
+      Payload{NaimiRequest{NodeId{9}, 77}},
+      Payload{NaimiToken{}},
+  };
+  std::vector<Message> messages;
+  std::uint64_t seq = 0;
+  for (Payload& payload : payloads) {
+    Message m = envelope(std::move(payload));
+    m.request = RequestId{NodeId{1}, seq};
+    m.lamport = ++seq;
+    messages.push_back(std::move(m));
+  }
+  return messages;
 }
 
 class CodecRoundTrip : public ::testing::TestWithParam<Payload> {};
@@ -136,6 +169,139 @@ TEST(WireWriterReader, LittleEndianLayout) {
   ASSERT_EQ(buffer.size(), 4u);
   EXPECT_EQ(buffer[0], std::byte{0x04});
   EXPECT_EQ(buffer[3], std::byte{0x01});
+}
+
+TEST(Codec, RoundTripPropertyAcrossAllKindsAndBoundaries) {
+  for (const Message& original : all_kinds_boundary_messages()) {
+    const auto decoded = decode(encode(original));
+    ASSERT_TRUE(decoded.has_value()) << to_string(original);
+    EXPECT_EQ(*decoded, original);
+  }
+}
+
+TEST(Codec, EveryKindRejectsTruncationAtEveryPrefixLength) {
+  for (const Message& original : all_kinds_boundary_messages()) {
+    const std::vector<std::byte> wire = encode(original);
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+      EXPECT_FALSE(decode(std::span(wire.data(), len)).has_value())
+          << to_string(original) << " accepted truncation to " << len;
+    }
+  }
+}
+
+TEST(Codec, EncodeIntoAppendsAndReusesTheBuffer) {
+  const Message a = envelope(Payload{NaimiToken{}});
+  const Message b =
+      envelope(Payload{HierRelease{LockMode::kNL, 4}});
+  std::vector<std::byte> buffer;
+  encode_into(a, buffer);
+  const std::size_t a_size = buffer.size();
+  encode_into(b, buffer);  // appends — no clear between messages
+  EXPECT_EQ(decode(std::span(buffer.data(), a_size)), a);
+  EXPECT_EQ(decode(std::span(buffer).subspan(a_size)), b);
+  // Steady-state reuse: clear keeps capacity, the next encode allocates
+  // nothing.
+  const std::size_t capacity = buffer.capacity();
+  buffer.clear();
+  encode_into(a, buffer);
+  EXPECT_EQ(buffer.capacity(), capacity);
+}
+
+TEST(Codec, MaxSizedTokenQueueRoundTripsAndOversizeIsRejected) {
+  HierToken token{LockMode::kW, LockMode::kNL, {}};
+  token.queue.resize(kMaxTokenQueueEntries,
+                     QueuedRequest{NodeId{2}, LockMode::kR, 1, 0});
+  const Message max_message = envelope(Payload{token});
+  const auto decoded = decode(encode(max_message));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, max_message);
+
+  // One more entry exceeds the wire cap: encode must refuse rather than
+  // silently truncate the count (the old static_cast wrapped it).
+  token.queue.push_back(QueuedRequest{NodeId{3}, LockMode::kW, 2, 0});
+  EXPECT_THROW(encode(envelope(Payload{std::move(token)})),
+               hlock::UsageError);
+}
+
+TEST(Codec, DecodedQueueCountCappedAgainstRemainingBytes) {
+  // A count within the cap but larger than the remaining bytes could ever
+  // back must be rejected before any allocation.
+  std::vector<std::byte> wire = encode(envelope(
+      Payload{HierToken{LockMode::kR, LockMode::kNL, {}}}));
+  // Queue count is the last 4 bytes; claim 1000 entries with 0 remaining.
+  wire[wire.size() - 4] = std::byte{0xE8};
+  wire[wire.size() - 3] = std::byte{0x03};
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(BatchCodec, RoundTripsAllKinds) {
+  const std::vector<Message> messages = all_kinds_boundary_messages();
+  std::vector<std::byte> frame;
+  encode_batch_into(messages, frame);
+  ASSERT_TRUE(is_batch_frame(frame));
+  const auto decoded = decode_batch(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, messages);
+}
+
+TEST(BatchCodec, SingleMessageFramesAreNotBatchFrames) {
+  const std::vector<std::byte> wire =
+      encode(envelope(Payload{NaimiToken{}}));
+  EXPECT_FALSE(is_batch_frame(wire));
+  EXPECT_FALSE(decode_batch(wire).has_value());
+}
+
+TEST(BatchCodec, EmptyBatchRoundTrips) {
+  std::vector<std::byte> frame;
+  encode_batch_into({}, frame);
+  const auto decoded = decode_batch(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(BatchCodec, RejectsTruncationAtEveryPrefixLength) {
+  std::vector<Message> messages;
+  messages.push_back(envelope(Payload{NaimiToken{}}));
+  messages.push_back(envelope(Payload{HierToken{
+      LockMode::kR, LockMode::kIR,
+      {QueuedRequest{NodeId{4}, LockMode::kIW, 9, 0}}}}));
+  std::vector<std::byte> frame;
+  encode_batch_into(messages, frame);
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_FALSE(decode_batch(std::span(frame.data(), len)).has_value())
+        << "accepted a truncation to " << len << " bytes";
+  }
+}
+
+TEST(BatchCodec, TrailingGarbageRejected) {
+  std::vector<std::byte> frame;
+  encode_batch_into(std::vector<Message>{envelope(Payload{NaimiToken{}})},
+                    frame);
+  frame.push_back(std::byte{0xAB});
+  EXPECT_FALSE(decode_batch(frame).has_value());
+}
+
+TEST(BatchCodec, HostileMessageCountRejected) {
+  // A count far beyond what the remaining bytes could hold must be
+  // rejected before any allocation.
+  std::vector<std::byte> frame;
+  encode_batch_into(std::vector<Message>{envelope(Payload{NaimiToken{}})},
+                    frame);
+  for (std::size_t i = 1; i <= 4; ++i) frame[i] = std::byte{0xFF};
+  EXPECT_FALSE(decode_batch(frame).has_value());
+}
+
+TEST(BatchCodec, CorruptedInnerLengthRejected) {
+  std::vector<std::byte> frame;
+  encode_batch_into(std::vector<Message>{envelope(Payload{NaimiToken{}})},
+                    frame);
+  // Bytes 5..8 are the first message's length prefix; shrink it below the
+  // minimum message size.
+  frame[5] = std::byte{0x01};
+  frame[6] = std::byte{0x00};
+  frame[7] = std::byte{0x00};
+  frame[8] = std::byte{0x00};
+  EXPECT_FALSE(decode_batch(frame).has_value());
 }
 
 TEST(Codec, EncodingIsCompact) {

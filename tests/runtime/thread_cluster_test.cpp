@@ -245,6 +245,88 @@ TEST(ThreadCluster, ManyLocksInParallel) {
   EXPECT_EQ(total, static_cast<long>(kNodes) * 40);
 }
 
+TEST(ThreadCluster, DefaultsToShardedEnginesAndHonorsOverrides) {
+  ThreadCluster defaulted{options_for(Protocol::kHierarchical, 2)};
+  EXPECT_EQ(defaulted.engine_shards(), kDefaultEngineShards);
+
+  ThreadClusterOptions legacy = options_for(Protocol::kHierarchical, 2);
+  legacy.engine_shards = 1;
+  EXPECT_EQ(ThreadCluster{legacy}.engine_shards(), 1u);
+
+  ThreadClusterOptions wide = options_for(Protocol::kHierarchical, 2);
+  wide.engine_shards = 3;
+  EXPECT_EQ(ThreadCluster{wide}.engine_shards(), 3u);
+}
+
+/// Shard-correctness workload: many locks striped across shards, every
+/// counter protected only by its lock. Run for each shard count so the
+/// single-shard legacy path and the sharded path prove the same exclusion.
+void run_sharded_counters(std::size_t engine_shards, bool batching) {
+  constexpr std::size_t kNodes = 4;
+  constexpr int kOpsPerNode = 25;
+  constexpr std::uint32_t kLocks = 16;  // spans shard indices 0..7 twice
+  ThreadClusterOptions options = options_for(Protocol::kHierarchical, kNodes);
+  options.engine_shards = engine_shards;
+  options.batching = batching;
+  ThreadCluster cluster{options};
+
+  std::vector<long> counters(kLocks, 0);  // each guarded by its lock alone
+  std::vector<std::thread> workers;
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    workers.emplace_back([&cluster, &counters, i] {
+      for (int k = 0; k < kOpsPerNode; ++k) {
+        const LockId lock{(static_cast<std::uint32_t>(k) * 5 + i) % kLocks};
+        cluster.lock(NodeId{i}, lock, LockMode::kW);
+        const long snapshot = counters[lock.value()];
+        std::this_thread::yield();
+        counters[lock.value()] = snapshot + 1;
+        cluster.unlock(NodeId{i}, lock);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  long total = 0;
+  for (long c : counters) total += c;
+  EXPECT_EQ(total, static_cast<long>(kNodes) * kOpsPerNode)
+      << "lost increments with engine_shards=" << engine_shards
+      << " batching=" << batching;
+  EXPECT_EQ(cluster.receiver_errors(), 0u);
+}
+
+TEST(ThreadCluster, ShardedEnginesPreserveExclusionAcrossManyLocks) {
+  run_sharded_counters(/*engine_shards=*/8, /*batching=*/true);
+}
+
+TEST(ThreadCluster, SingleShardLegacyModeStillCorrect) {
+  run_sharded_counters(/*engine_shards=*/1, /*batching=*/true);
+}
+
+TEST(ThreadCluster, BatchingOffStillCorrect) {
+  run_sharded_counters(/*engine_shards=*/8, /*batching=*/false);
+}
+
+TEST(ThreadCluster, OddShardCountStillRoutesEveryLock) {
+  // 16 locks modulo 5 shards exercises uneven routing (shards 0 holds 4
+  // locks, the rest 3) including wraparound.
+  run_sharded_counters(/*engine_shards=*/5, /*batching=*/true);
+}
+
+TEST(ThreadCluster, CountsEncodedWireBytes) {
+  ThreadCluster cluster{options_for(Protocol::kHierarchical, 2)};
+  cluster.lock(NodeId{1}, LockId{0}, LockMode::kW);
+  cluster.unlock(NodeId{1}, LockId{0});
+  EXPECT_GT(cluster.messages_sent(), 0u);
+  // Every message is >= the 34-byte codec minimum once encoded.
+  EXPECT_GE(cluster.bytes_sent(), cluster.messages_sent() * 34u);
+
+  ThreadClusterOptions raw = options_for(Protocol::kHierarchical, 2);
+  raw.codec_roundtrip = false;  // nothing encodes, so nothing counts
+  ThreadCluster raw_cluster{raw};
+  raw_cluster.lock(NodeId{1}, LockId{0}, LockMode::kW);
+  raw_cluster.unlock(NodeId{1}, LockId{0});
+  EXPECT_EQ(raw_cluster.bytes_sent(), 0u);
+}
+
 TEST(ThreadCluster, WithInjectedLatency) {
   ThreadClusterOptions options = options_for(Protocol::kHierarchical, 3);
   options.message_latency = DurationDist::uniform(SimTime::us(200), 0.5);

@@ -46,6 +46,18 @@ TEST(Summary, OrderIndependent) {
   EXPECT_DOUBLE_EQ(a.mean, b.mean);
 }
 
+TEST(Summary, ToStringPrintsEveryReportedQuantile) {
+  Summary s;
+  s.count = 4;
+  s.mean = 1.5;
+  s.p50 = 1.0;
+  s.p90 = 2.0;
+  s.p95 = 2.5;
+  s.p99 = 3.0;
+  s.max = 4.0;
+  EXPECT_EQ(to_string(s), "n=4 mean=1.5 p50=1 p90=2 p95=2.5 p99=3 max=4");
+}
+
 TEST(Quantile, InterpolatesBetweenOrderStatistics) {
   const std::vector<double> sorted{0.0, 10.0};
   EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 0.0);

@@ -162,6 +162,155 @@ TEST(InProcTransport, UnknownDestinationRejected) {
   EXPECT_THROW(transport.send(make_message(0, 9)), UsageError);
 }
 
+TEST(Mailbox, PushAllPreservesBurstOrder) {
+  Mailbox box;
+  std::vector<Message> burst;
+  for (std::uint32_t i = 1; i <= 8; ++i) burst.push_back(make_message(i, 0));
+  box.push_all(std::move(burst), Mailbox::Clock::now());
+  EXPECT_EQ(box.pushed(), 8u);
+  for (std::uint32_t i = 1; i <= 8; ++i) {
+    const auto message = box.pop();
+    ASSERT_TRUE(message.has_value());
+    EXPECT_EQ(message->from, NodeId{i});
+  }
+}
+
+TEST(Mailbox, PopAllReadyDrainsOnlyMaturedMessages) {
+  Mailbox box;
+  const auto now = Mailbox::Clock::now();
+  box.push(make_message(1, 0), now);
+  box.push(make_message(2, 0), now);
+  // Not yet deliverable: must stay behind after the drain.
+  box.push(make_message(3, 0), now + std::chrono::seconds(60));
+  const auto drained = box.pop_all_ready();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].from, NodeId{1});
+  EXPECT_EQ(drained[1].from, NodeId{2});
+  EXPECT_FALSE(
+      box.pop_until(Mailbox::Clock::now() + std::chrono::milliseconds(5))
+          .has_value());
+}
+
+TEST(Mailbox, PopAllReadyReturnsEmptyOnlyWhenClosedAndDrained) {
+  Mailbox box;
+  box.push(make_message(1, 0), Mailbox::Clock::now());
+  box.close();
+  EXPECT_EQ(box.pop_all_ready().size(), 1u);
+  EXPECT_TRUE(box.pop_all_ready().empty());
+}
+
+TEST(Mailbox, PopAllReadyBlocksUntilFirstMessageMatures) {
+  Mailbox box;
+  const auto start = Mailbox::Clock::now();
+  box.push(make_message(1, 0), start + std::chrono::milliseconds(20));
+  const auto drained = box.pop_all_ready();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_GE(Mailbox::Clock::now() - start, std::chrono::milliseconds(19));
+}
+
+// send_batch must look identical to per-message send from the receiver's
+// point of view, with batching on or off. The protocol layers never learn
+// which path shipped their messages.
+class InProcBatchTest : public ::testing::TestWithParam<bool> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    BatchingOnOff, InProcBatchTest, ::testing::Values(true, false),
+    [](const ::testing::TestParamInfo<bool>& param_info) {
+      return std::string{param_info.param ? "Batched" : "PerMessage"};
+    });
+
+TEST_P(InProcBatchTest, SendBatchPreservesChannelFifo) {
+  InProcOptions options;
+  options.node_count = 2;
+  options.batching = GetParam();
+  InProcTransport transport{options};
+  std::vector<Message> burst;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    burst.push_back(Message{NodeId{0}, NodeId{1}, LockId{0},
+                            proto::NaimiRequest{NodeId{0}, i}});
+  }
+  transport.send_batch(std::move(burst));
+  EXPECT_EQ(transport.messages_sent(), 32u);
+  std::uint64_t expected = 0;
+  while (expected < 32) {
+    const auto ready = transport.recv_ready(NodeId{1});
+    ASSERT_FALSE(ready.empty()) << "transport drained early";
+    for (const auto& message : ready) {
+      const auto* request = std::get_if<proto::NaimiRequest>(&message.payload);
+      ASSERT_NE(request, nullptr);
+      EXPECT_EQ(request->seq, expected++) << "FIFO violated under batching";
+    }
+  }
+}
+
+TEST_P(InProcBatchTest, SendBatchSplitsMixedDestinations) {
+  InProcOptions options;
+  options.node_count = 3;
+  options.batching = GetParam();
+  InProcTransport transport{options};
+  // Alternating destinations force run boundaries inside the burst.
+  transport.send_batch({make_message(0, 1), make_message(0, 2),
+                        make_message(0, 1), make_message(0, 2),
+                        make_message(0, 1)});
+  std::size_t to_one = 0;
+  std::size_t to_two = 0;
+  while (to_one < 3) to_one += transport.recv_ready(NodeId{1}).size();
+  while (to_two < 2) to_two += transport.recv_ready(NodeId{2}).size();
+  EXPECT_EQ(to_one, 3u);
+  EXPECT_EQ(to_two, 2u);
+  EXPECT_EQ(transport.messages_sent(), 5u);
+}
+
+TEST_P(InProcBatchTest, SendBatchRoundTripsEveryPayloadIntact) {
+  InProcOptions options;
+  options.node_count = 2;
+  options.batching = GetParam();
+  InProcTransport transport{options};
+  const Message token{NodeId{0}, NodeId{1}, LockId{7},
+                      proto::HierToken{LockMode::kW, LockMode::kIR,
+                                       {proto::QueuedRequest{
+                                           NodeId{0}, LockMode::kR, 3}}}};
+  const Message release{NodeId{0}, NodeId{1}, LockId{7},
+                        proto::HierRelease{LockMode::kNL, 2}};
+  transport.send_batch({token, release});
+  std::vector<Message> received;
+  while (received.size() < 2) {
+    auto ready = transport.recv_ready(NodeId{1});
+    received.insert(received.end(), ready.begin(), ready.end());
+  }
+  EXPECT_EQ(received[0], token);
+  EXPECT_EQ(received[1], release);
+}
+
+TEST(InProcTransport, BatchingCountsEncodedBytes) {
+  InProcTransport transport{InProcOptions{2}};
+  transport.send_batch({make_message(0, 1), make_message(0, 1)});
+  // Batch envelope: 1-byte marker + u32 count + per message u32 length
+  // prefix on top of each encoded message (>= 34 bytes each).
+  EXPECT_GE(transport.bytes_sent(), 2u * (4u + 34u) + 5u);
+}
+
+TEST(InProcTransport, EmptySendBatchIsANoOp) {
+  InProcTransport transport{InProcOptions{2}};
+  transport.send_batch({});
+  EXPECT_EQ(transport.messages_sent(), 0u);
+  EXPECT_EQ(transport.bytes_sent(), 0u);
+}
+
+TEST(InProcTransport, RecvReadyReturnsEmptyAfterShutdown) {
+  InProcTransport transport{InProcOptions{2}};
+  transport.send(make_message(0, 1));
+  transport.shutdown();
+  // Pending messages drain first; only then does empty mean "shut down".
+  std::size_t drained = 0;
+  while (true) {
+    const auto ready = transport.recv_ready(NodeId{1});
+    if (ready.empty()) break;
+    drained += ready.size();
+  }
+  EXPECT_EQ(drained, 1u);
+}
+
 TEST(InProcTransport, ShutdownUnblocksReceivers) {
   InProcTransport transport{InProcOptions{2}};
   std::thread receiver([&transport] {

@@ -106,6 +106,9 @@ int run_chaos(const CliParser& cli) {
   }
   options.seed = static_cast<std::uint64_t>(
       cli.get_int("seed", 0, std::numeric_limits<std::int64_t>::max()));
+  options.batching = !cli.get_flag("no-batching");
+  options.engine_shards = static_cast<std::size_t>(
+      cli.get_int("engine-shards", 0, 4096));
 
   transport::FaultPlan plan;
   plan.seed = options.seed;
@@ -266,6 +269,12 @@ int main(int argc, char** argv) {
                "instead of the simulator");
   cli.add_option("chaos-transport", "inproc",
                  "chaos transport: inproc | tcp");
+  cli.add_flag("no-batching",
+               "chaos: disable same-destination message batching "
+               "(protocol-invisible; for A/B runs — docs/performance.md)");
+  cli.add_option("engine-shards", "0",
+                 "chaos: engine shards per node (0 = default, 1 = legacy "
+                 "single-mutex)");
   cli.add_option("fault-drop", "0", "chaos: wire loss probability [0,1]");
   cli.add_option("fault-delay", "0", "chaos: extra-delay probability [0,1]");
   cli.add_option("fault-delay-us", "1000",
