@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <tuple>
 
 #include "util/check.hpp"
 #include "util/log.hpp"
@@ -773,6 +774,43 @@ std::string HierAutomaton::fingerprint() const {
   os << "|q";
   for (const proto::QueuedRequest& entry : queue_) {
     os << '(' << entry.requester.value() << ',' << mode_index(entry.mode)
+       << ',' << entry.seq << ',' << static_cast<int>(entry.priority)
+       << ')';
+  }
+  return os.str();
+}
+
+std::string HierAutomaton::fingerprint(
+    std::span<const std::uint32_t> relabel) const {
+  const auto mapped = [relabel](NodeId id) {
+    if (id.is_none() || id.value() >= relabel.size()) return id.value();
+    return relabel[id.value()];
+  };
+  std::ostringstream os;
+  os << (token_ ? 'T' : 't') << mapped(parent_) << '/' << mapped(hint_)
+     << '/' << mode_index(held_) << mode_index(pending_)
+     << (upgrading_ ? 'U' : 'u') << static_cast<int>(frozen_.bits());
+  os << 'r' << mode_index(reported_owned_) << 'e' << parent_epoch_ << 'c'
+     << epoch_counter_ << 's' << next_seq_ << 'i' << reissue_count_;
+  // Copyset entries sorted by mapped id: the set, not its insertion order,
+  // is what matters behaviorally (see header), and sorting makes renderings
+  // of permuted-but-equivalent states compare equal.
+  std::vector<std::tuple<std::uint32_t, const CopysetEntry*>> entries;
+  entries.reserve(copyset_.size());
+  for (const CopysetEntry& entry : copyset_) {
+    entries.emplace_back(mapped(entry.node), &entry);
+  }
+  std::sort(entries.begin(), entries.end());
+  os << "|cs";
+  for (const auto& [id, entry] : entries) {
+    os << '(' << id << ',' << mode_index(entry->mode) << ',' << entry->epoch
+       << ',' << static_cast<int>(entry->freeze_sent.bits()) << ')';
+  }
+  // Queue order is FIFO-within-priority service order — real behavior —
+  // so it is preserved verbatim.
+  os << "|q";
+  for (const proto::QueuedRequest& entry : queue_) {
+    os << '(' << mapped(entry.requester) << ',' << mode_index(entry.mode)
        << ',' << entry.seq << ',' << static_cast<int>(entry.priority)
        << ')';
   }

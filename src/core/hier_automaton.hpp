@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -125,6 +126,16 @@ class HierAutomaton {
   /// automatons behave identically from here on iff their fingerprints are
   /// equal. Used by the model checker for visited-state deduplication.
   std::string fingerprint() const;
+
+  /// fingerprint() with every embedded node id (parent, routing hint,
+  /// copyset entries, queue requesters) mapped through `relabel`
+  /// (relabel[i] = new id for node i; ids beyond the span pass through).
+  /// Copyset entries are emitted in sorted order — insertion order is
+  /// behaviorally irrelevant (lookups are by id, messages go to distinct
+  /// peers), so sorting makes the rendering permutation-independent. The
+  /// queue's FIFO/priority order IS behavior and is preserved. Used by the
+  /// model checker's symmetry canonicalization.
+  std::string fingerprint(std::span<const std::uint32_t> relabel) const;
 
  private:
   Effects step_request(LockMode mode, std::uint8_t priority);

@@ -12,16 +12,27 @@
 // Checked in every terminal state (no enabled actions):
 //   * all scripts ran to completion — i.e. no deadlock, no lost request,
 //   * the structures converged (quiescent copyset/parent consistency).
+// Optionally checked over the whole explored graph (ExploreOptions):
+//   * liveness — no reachable cycle on which some node's outstanding
+//     request never progresses (starvation/livelock), reported as a lasso.
 //
-// State counts grow quickly; scripts of 2-4 operations on 2-4 nodes stay
-// in the 10^3..10^6 range and finish in seconds.
+// Raw state counts grow quickly; two reductions keep larger configurations
+// exhaustive (docs/modelcheck.md has the soundness sketches):
+//   * partial-order reduction (stubborn/persistent sets over the per-pair
+//     FIFO channel structure) explores commuting interleavings once,
+//   * symmetry canonicalization collapses states equivalent under node-id
+//     permutations when nodes run identical scripts.
+// Counterexamples can be minimized (BFS parent links) and are always
+// replayed into a structured event trace for lint/obs post-processing.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/hier_config.hpp"
+#include "proto/ids.hpp"
 #include "proto/lock_mode.hpp"
 #include "trace/event.hpp"
 
@@ -42,29 +53,114 @@ struct ScriptOp {
   static ScriptOp upgrade() {
     return {Kind::kUpgrade, proto::LockMode::kNL, 0};
   }
+
+  /// Byte-identical scripts make nodes interchangeable for symmetry.
+  friend bool operator==(const ScriptOp&, const ScriptOp&) = default;
 };
 
 /// A node's whole script, executed in order.
 using Script = std::vector<ScriptOp>;
 
-/// Exploration limits and protocol configuration.
+/// Deliberate spec corruptions for seeding known-bad behavior into an
+/// otherwise-correct protocol — the test harness for the checker itself
+/// (does --liveness catch starvation? does --minimize find the shortest
+/// schedule?). Inactive by default.
+struct DoctoredSpec {
+  /// Extra mode pairs treated as incompatible by the safety checker, as if
+  /// Table 1(a) had these entries flipped. Listing a pair that genuinely
+  /// co-occurs (e.g. {kR, kIR}) turns a reachable good state into a
+  /// seeded safety violation.
+  std::vector<std::pair<proto::LockMode, proto::LockMode>> conflicts;
+  /// When set, REQUEST messages from this node are bounced at the network
+  /// layer instead of delivered (a corrupted Table 1(c) that never queues
+  /// or serves the victim): the receiver returns the request to its
+  /// sender, and the victim re-forwards it to the token holder. The
+  /// victim's request then orbits forever — a seeded starvation cycle for
+  /// --liveness to find. Automatons are never touched.
+  proto::NodeId bounce = proto::NodeId::none();
+
+  bool active() const { return !conflicts.empty() || !bounce.is_none(); }
+};
+
+/// Exploration limits, protocol configuration and analysis toggles.
 struct ExploreOptions {
   core::HierConfig config = {};
   /// Abort (as a failure) beyond this many distinct states.
   std::uint64_t max_states = 5'000'000;
-  /// Record structured trace events (forces config.trace_events on the
-  /// explored automatons) and run the conformance linter (src/lint) over
-  /// the event trace of every first-visit terminal path — the fairness /
-  /// Table 1(a)-(d) pass on top of the explorer's built-in safety checks.
-  /// A lint violation fails the exploration like any other. Coverage note:
-  /// state deduplication means each reachable state is linted along the
-  /// first path that discovers it, not every path.
+  /// Run the conformance linter (src/lint) over the replayed event trace
+  /// of every first-visit terminal path — the fairness / Table 1(a)-(d)
+  /// pass on top of the explorer's built-in safety checks. A lint
+  /// violation fails the exploration like any other. Coverage note: state
+  /// deduplication (and, more aggressively, --por) means each terminal is
+  /// linted along one representative path, not every path.
   bool lint = false;
+  /// Partial-order reduction: at each state, when a provably sufficient
+  /// subset of enabled actions exists (persistent-set closure over the
+  /// channel structure, property-invisible successors only), explore only
+  /// that subset. A post-search pass re-expands one state per fully
+  /// reduced cycle (condition S), so no action is ignored forever.
+  /// Preserves all safety verdicts, deadlocks and terminal states.
+  bool por = false;
+  /// Symmetry canonicalization: fingerprint states modulo node-id
+  /// permutations that map nodes to nodes with identical scripts (the
+  /// initial token holder's distinction is itself relabeled state, so
+  /// node 0 participates). Ignored under liveness (quotient cycles need
+  /// not be concrete cycles, so merging orbits could fabricate lassos).
+  bool symmetry = false;
+  /// After exploration, search the explored graph for a reachable cycle
+  /// on which some node's request stays unresolved throughout; report it
+  /// as a lasso counterexample (stem + cycle).
+  bool liveness = false;
+  /// Search breadth-first instead of depth-first so parent links yield a
+  /// depth-minimal counterexample schedule.
+  bool minimize = false;
+  /// Seeded spec corruption (tests of the checker itself).
+  DoctoredSpec doctor;
+};
+
+/// How an exploration concluded; refines ExploreResult::ok.
+enum class Verdict {
+  kOk,          ///< every interleaving safe, every script completed
+  kSafety,      ///< a state violated Rule 1 / token conservation /
+                ///< quiescent-structure checks
+  kDeadlock,    ///< terminal state with an unfinished script
+  kLint,        ///< conformance lint violation on a terminal path
+  kStarvation,  ///< liveness: a lasso where a request never progresses
+  kStateLimit,  ///< aborted at ExploreOptions::max_states
+};
+
+std::string to_string(Verdict verdict);
+
+/// Exploration counters; `states` etc. mirror the top-level ExploreResult
+/// fields, the rest describe the reductions (see docs/modelcheck.md).
+struct ExploreStats {
+  std::uint64_t states = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t terminal_states = 0;
+  /// Successor states that were already visited (dedup hits).
+  std::uint64_t revisits = 0;
+  /// States where POR pruned the enabled set, and the actions it skipped.
+  std::uint64_t por_reduced_states = 0;
+  std::uint64_t por_pruned_actions = 0;
+  /// Why candidate reductions were rejected (one count per candidate
+  /// owner set): the dependency closure engulfed every enabled action's
+  /// owner, or a successor changed property-visible state.
+  std::uint64_t por_reject_saturated = 0;
+  std::uint64_t por_reject_visible = 0;
+  /// States force-re-expanded by the post-search ignoring repair
+  /// (condition S: every cycle keeps one fully-expanded state).
+  std::uint64_t por_ignoring_repairs = 0;
+  /// Size of the node-permutation group used for canonicalization (1 when
+  /// symmetry is off, trivial or truncated).
+  std::uint64_t symmetry_permutations = 1;
+  std::uint64_t peak_frontier = 0;
+  std::uint64_t max_depth = 0;
 };
 
 /// Outcome of one exploration.
 struct ExploreResult {
   bool ok = false;
+  Verdict verdict = Verdict::kOk;
   std::uint64_t states_explored = 0;
   std::uint64_t transitions = 0;
   std::uint64_t terminal_states = 0;
@@ -72,14 +168,25 @@ struct ExploreResult {
   /// trace (one line per action) that reaches it.
   std::string violation;
   std::vector<std::string> trace;
-  /// With ExploreOptions::lint: the structured events emitted along the
-  /// counterexample path (empty when ok). Feed to lint::check or
-  /// trace::format_event for post-hoc analysis (tools/hlock_check).
+  /// Structured events replayed along the counterexample path (empty when
+  /// ok). Feed to lint::check or trace::format_event for post-hoc
+  /// analysis (tools/hlock_check).
   std::vector<trace::TraceEvent> events;
+  /// Canonical, exploration-order-independent descriptor of WHAT was
+  /// violated (e.g. "incompatible:R+W", "tokens:2", "starvation:node2") —
+  /// the cross-validation signal: a reduced and an unreduced run of the
+  /// same configuration must agree on it even though their counterexample
+  /// paths may differ. Empty when ok.
+  std::string violation_fingerprint;
+  /// Liveness lassos: the trailing `lasso_cycle_length` entries of `trace`
+  /// form the repeating cycle; the prefix is the stem. 0 otherwise.
+  std::uint64_t lasso_cycle_length = 0;
+  ExploreStats stats;
 };
 
 /// Exhaustively explores `scripts` (scripts[i] runs on node i; node 0 is
-/// the initial token holder) under every possible interleaving.
+/// the initial token holder) under every possible interleaving. At most
+/// 32 nodes (reduction bitmasks).
 ExploreResult explore(const std::vector<Script>& scripts,
                       const ExploreOptions& options = {});
 

@@ -1,0 +1,91 @@
+#include "modelcheck/symmetry.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace hlock::modelcheck {
+
+SymmetryGroup SymmetryGroup::from_classes(
+    const std::vector<std::size_t>& classes, std::size_t max_perms) {
+  SymmetryGroup group;
+  const std::size_t n = classes.size();
+  std::vector<std::uint32_t> identity(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    identity[i] = static_cast<std::uint32_t>(i);
+  }
+
+  // Interchangeable member lists. Node 0 is NOT special: the initial
+  // asymmetry (token placement, parent links) is part of the state being
+  // relabeled, so any script-preserving permutation maps reachable states
+  // to behaviorally equivalent reachable states.
+  std::map<std::size_t, std::vector<std::uint32_t>> members;
+  for (std::size_t i = 0; i < n; ++i) {
+    members[classes[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+  std::vector<std::vector<std::uint32_t>> orbits;
+  for (auto& [label, nodes] : members) {
+    if (nodes.size() > 1) orbits.push_back(std::move(nodes));
+  }
+  if (orbits.empty()) {
+    group.perms_.push_back(std::move(identity));
+    return group;
+  }
+
+  // Cartesian product of per-orbit permutations, odometer style: perm[k]
+  // holds the current arrangement of orbits[k]; advance the last orbit via
+  // next_permutation, carrying into earlier orbits on wrap-around.
+  std::vector<std::vector<std::uint32_t>> arrangement = orbits;
+  while (true) {
+    std::vector<std::uint32_t> perm = identity;
+    for (std::size_t k = 0; k < orbits.size(); ++k) {
+      for (std::size_t j = 0; j < orbits[k].size(); ++j) {
+        perm[orbits[k][j]] = arrangement[k][j];
+      }
+    }
+    group.perms_.push_back(std::move(perm));
+    if (group.perms_.size() > max_perms) {
+      // Too large to enumerate: fall back to identity-only (sound, see
+      // header) rather than a non-deterministic partial prefix.
+      group.perms_.clear();
+      group.perms_.push_back(identity);
+      group.truncated_ = true;
+      return group;
+    }
+    std::size_t k = orbits.size();
+    while (k > 0) {
+      --k;
+      if (std::next_permutation(arrangement[k].begin(),
+                                arrangement[k].end())) {
+        break;
+      }
+      // Wrapped back to sorted order; carry into the previous orbit. A
+      // wrap of orbit 0 means the whole product has been enumerated (the
+      // identity was emitted first, with every orbit in sorted order).
+      if (k == 0) return group;
+    }
+  }
+}
+
+proto::Message remap_message(const proto::Message& m,
+                             const std::vector<std::uint32_t>& map) {
+  const auto remap = [&map](proto::NodeId id) {
+    if (id.is_none() || id.value() >= map.size()) return id;
+    return proto::NodeId{map[id.value()]};
+  };
+  proto::Message out = m;
+  out.from = remap(m.from);
+  out.to = remap(m.to);
+  out.request.origin = remap(m.request.origin);
+  if (auto* request = std::get_if<proto::HierRequest>(&out.payload)) {
+    request->requester = remap(request->requester);
+  } else if (auto* token = std::get_if<proto::HierToken>(&out.payload)) {
+    for (proto::QueuedRequest& entry : token->queue) {
+      entry.requester = remap(entry.requester);
+    }
+  } else if (auto* naimi = std::get_if<proto::NaimiRequest>(&out.payload)) {
+    naimi->requester = remap(naimi->requester);
+  }
+  return out;
+}
+
+}  // namespace hlock::modelcheck

@@ -1,0 +1,71 @@
+// Symmetry canonicalization support for the model checker.
+//
+// A scripted configuration is invariant under any permutation of node ids
+// that maps every node to a node running a byte-identical script: the
+// automatons are symmetric (ids appear only in routing state), so
+// relabeling a reachable state by such a permutation yields a behaviorally
+// equivalent state, and a state violates a property iff its image does.
+// Node 0 needs no special treatment — its initial distinction (token
+// placement, parent links pointing at it) is ordinary state that gets
+// relabeled along with everything else, and two states whose RELABELED
+// renderings coincide have identical futures regardless of how either was
+// reached. The
+// explorer exploits this by fingerprinting states canonically: render the
+// state under every group element and keep the lexicographic minimum, so
+// orbit-equivalent states deduplicate to one representative.
+//
+// Soundness of merging: two states sharing a canonical form are images of
+// each other under a group element (min-renderings rho1(s) == rho2(s')
+// imply s' = rho2^-1 rho1 (s), and the group is closed under composition
+// and inverse), hence behaviorally identical up to renaming. Using only a
+// SUBSET of the group (the generator caps enumeration) merges fewer states
+// but never merges wrongly, so truncation stays sound.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "proto/message.hpp"
+
+namespace hlock::modelcheck {
+
+/// The node-id permutation group of one scripted configuration; see file
+/// comment. perms()[k][i] is the image of node i under element k; element 0
+/// is always the identity.
+class SymmetryGroup {
+ public:
+  /// Identity-only group (no symmetry).
+  SymmetryGroup() = default;
+
+  /// Builds the group for `classes`, where classes[i] labels node i's
+  /// script (equal labels = interchangeable nodes, node 0 included).
+  /// Enumeration stops at `max_perms` elements:
+  /// beyond the cap the group degrades to identity-only (truncated()),
+  /// which loses reduction but not soundness.
+  static SymmetryGroup from_classes(const std::vector<std::size_t>& classes,
+                                    std::size_t max_perms = 40320);
+
+  /// True when only the identity is available (nothing to canonicalize).
+  bool trivial() const { return perms_.size() <= 1; }
+
+  /// True when the full group exceeded the enumeration cap and was dropped.
+  bool truncated() const { return truncated_; }
+
+  const std::vector<std::vector<std::uint32_t>>& perms() const {
+    return perms_;
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> perms_;
+  bool truncated_ = false;
+};
+
+/// `m` with every embedded NodeId (envelope from/to, request origin,
+/// requester fields, token queue entries) mapped through `map`; none()
+/// sentinels and ids beyond the map pass through. FIFO orders inside the
+/// message are preserved — only labels change.
+proto::Message remap_message(const proto::Message& m,
+                             const std::vector<std::uint32_t>& map);
+
+}  // namespace hlock::modelcheck

@@ -1,0 +1,74 @@
+// Exhaustive explorations too large for the default test budget, labeled
+// `slow_modelcheck` in CMake: run `ctest -LE slow_modelcheck` to skip
+// them, or `ctest -L slow_modelcheck` to run only these.
+//
+// These configurations are only feasible because of the reductions; each
+// test also cross-validates a smaller projection against an unreduced run
+// so the big runs inherit trust from the cheap ones.
+#include "modelcheck/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hlock::modelcheck {
+namespace {
+
+using proto::LockMode;
+
+Script contender() {
+  return {ScriptOp::acquire(LockMode::kU), ScriptOp::release(),
+          ScriptOp::acquire(LockMode::kIR)};
+}
+
+Script churner() {
+  return {ScriptOp::acquire(LockMode::kR), ScriptOp::release(),
+          ScriptOp::acquire(LockMode::kW), ScriptOp::release()};
+}
+
+TEST(SlowModelcheck, FourContendersExhaustively) {
+  const std::vector<Script> scripts(4, contender());
+  ExploreOptions reduced;
+  reduced.por = true;
+  reduced.symmetry = true;
+  const ExploreResult fast = explore(scripts, reduced);
+  EXPECT_TRUE(fast.ok) << fast.violation;
+  // The same configuration unreduced — the cross-validation that makes
+  // the reduced verdict trustworthy at this size.
+  const ExploreResult base = explore(scripts);
+  EXPECT_TRUE(base.ok) << base.violation;
+  EXPECT_EQ(base.verdict, fast.verdict);
+  EXPECT_GE(base.states_explored, 5 * fast.states_explored);
+}
+
+TEST(SlowModelcheck, FourChurnersOnlyFeasibleReduced) {
+  // Four nodes, four-op scripts: the unreduced exploration blows through
+  // a million-state budget; POR + symmetry finish in ~165k states. Both
+  // runs get the same budget, so the test IS the feasibility claim.
+  const std::vector<Script> scripts(4, churner());
+  ExploreOptions options;
+  options.max_states = 1'000'000;
+  const ExploreResult unreduced = explore(scripts, options);
+  EXPECT_EQ(unreduced.verdict, Verdict::kStateLimit);
+  options.por = true;
+  options.symmetry = true;
+  const ExploreResult reduced = explore(scripts, options);
+  EXPECT_TRUE(reduced.ok) << reduced.violation;
+  EXPECT_EQ(reduced.verdict, Verdict::kOk);
+  EXPECT_EQ(reduced.stats.symmetry_permutations, 24u);  // 4!
+  EXPECT_GT(reduced.stats.por_reduced_states, 0u);
+}
+
+TEST(SlowModelcheck, LintedUpgradeStormExhaustively) {
+  const Script upgrader{ScriptOp::acquire(LockMode::kU), ScriptOp::upgrade(),
+                        ScriptOp::release()};
+  const std::vector<Script> scripts{upgrader, upgrader, churner()};
+  ExploreOptions options;
+  options.lint = true;
+  options.por = true;
+  const ExploreResult result = explore(scripts, options);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+}  // namespace
+}  // namespace hlock::modelcheck

@@ -154,6 +154,69 @@ TEST(HlockCheckCli, LintedScenarioConforms) {
   EXPECT_NE(output.find("every linted path conforms"), std::string::npos);
 }
 
+TEST(HlockCheckCli, ReductionsCrossValidateOnTheReferenceScenario) {
+  const auto [status, output] = run_command(
+      tool("hlock_check") +
+      " --scenario contend --nodes 3 --por --symmetry --cross-validate"
+      " --stats");
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("cross-validate  : verdicts agree"),
+            std::string::npos)
+      << output;
+  EXPECT_NE(output.find("por reduced states"), std::string::npos);
+  EXPECT_NE(output.find("symmetry permutations : 6"), std::string::npos);
+}
+
+TEST(HlockCheckCli, StateLimitAbortExitsThree) {
+  const auto [status, output] = run_command(
+      tool("hlock_check") + " --scenario exclusive --nodes 3"
+      " --max-states 25");
+  EXPECT_EQ(WEXITSTATUS(status), 3) << output;
+  EXPECT_NE(output.find("ABORTED"), std::string::npos);
+  EXPECT_NE(output.find("state budget"), std::string::npos)
+      << "watermark line missing: " << output;
+}
+
+TEST(HlockCheckCli, DoctoredConflictIsFoundAndMinimized) {
+  const auto [status, output] = run_command(
+      tool("hlock_check") +
+      " --scenario mixed --nodes 3 --doctor conflict --minimize");
+  EXPECT_EQ(WEXITSTATUS(status), 1) << output;
+  EXPECT_NE(output.find("VIOLATION (safety)"), std::string::npos) << output;
+  EXPECT_NE(output.find("fingerprint     : incompatible:IR+R"),
+            std::string::npos)
+      << output;
+}
+
+TEST(HlockCheckCli, DoctoredStarveYieldsALasso) {
+  const auto [status, output] = run_command(
+      tool("hlock_check") +
+      " --scenario exclusive --nodes 3 --doctor starve --liveness");
+  EXPECT_EQ(WEXITSTATUS(status), 1) << output;
+  EXPECT_NE(output.find("VIOLATION (starvation)"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("cycle (repeats forever)"), std::string::npos)
+      << output;
+}
+
+TEST(HlockCheckCli, StatsOutWritesParseableJson) {
+  const auto [status, output] = run_command(
+      tool("hlock_check") +
+      " --scenario contend --nodes 3 --por --symmetry"
+      " --stats-out check_stats.json && cat check_stats.json");
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("\"states_explored\""), std::string::npos);
+  EXPECT_NE(output.find("\"symmetry_permutations\": 6"), std::string::npos);
+  EXPECT_NE(output.find("\"verdict\": \"ok\""), std::string::npos);
+}
+
+TEST(HlockCheckCli, ReductionFlagsAreHierOnly) {
+  const auto [status, output] = run_command(
+      tool("hlock_check") + " --protocol naimi --scenario exclusive --por");
+  EXPECT_EQ(WEXITSTATUS(status), 2) << output;
+  EXPECT_NE(output.find("hier only"), std::string::npos);
+}
+
 TEST(HlockLintCli, DumpedSimTraceLintsClean) {
   const auto [status, output] = run_command(
       tool("hlock_sim") + " --nodes 5 --ops 10 --trace-dump sim_cli.trace" +

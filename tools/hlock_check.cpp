@@ -4,12 +4,28 @@
 // state count, or the violation with its action trace. With --lint (hier
 // only) every first-visit terminal path is additionally checked against the
 // paper's Tables 1(a)-(d) by the conformance linter, and a counterexample's
-// structured event trace is dumped and re-linted post hoc. Scenarios:
+// structured event trace is dumped and re-linted post hoc.
+//
+// State-space reductions (hier only; docs/modelcheck.md):
+//   --por        partial-order reduction (persistent sets)
+//   --symmetry   canonicalize states modulo node-id permutations
+//   --liveness   search the explored graph for starvation lassos
+//   --minimize   BFS order, so counterexamples are depth-minimal
+//   --cross-validate   run the same scenario unreduced and assert both
+//                      agree on the verdict and violation fingerprint
+//   --doctor starve|conflict   seed a known-bad spec corruption (checker
+//                              self-test: the run SHOULD find a violation)
+//
+// Exit codes: 0 ok, 1 violation found, 2 usage error, 3 state budget
+// exhausted, 4 internal error or cross-validation mismatch.
 //
 //   hlock_check --protocol hier --scenario mixed --nodes 3
 //   hlock_check --protocol raymond --scenario exclusive --nodes 5
-//   hlock_check --protocol hier --scenario upgrade --lint
+//   hlock_check --scenario contend --nodes 3 --por --symmetry --stats
+//   hlock_check --scenario exclusive --doctor starve --liveness
 #include <cstdio>
+#include <exception>
+#include <fstream>
 
 #include "lint/checker.hpp"
 #include "modelcheck/explorer.hpp"
@@ -25,9 +41,16 @@ using modelcheck::ExploreOptions;
 using modelcheck::ExploreResult;
 using modelcheck::Script;
 using modelcheck::ScriptOp;
+using modelcheck::Verdict;
 using proto::LockMode;
 
 namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitViolation = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitStateLimit = 3;
+constexpr int kExitInternal = 4;
 
 std::vector<Script> build_scripts(const std::string& scenario,
                                   std::size_t nodes) {
@@ -58,8 +81,99 @@ std::vector<Script> build_scripts(const std::string& scenario,
         nodes, {ScriptOp::acquire(LockMode::kR), ScriptOp::release(),
                 ScriptOp::acquire(LockMode::kW), ScriptOp::release()});
   }
+  if (scenario == "contend") {
+    // Re-acquisition under contention: every node requests twice, so the
+    // token keeps circulating. The docs/modelcheck.md reference
+    // configuration for measuring the reductions.
+    return std::vector<Script>(
+        nodes, {ScriptOp::acquire(LockMode::kU), ScriptOp::release(),
+                ScriptOp::acquire(LockMode::kIR)});
+  }
   throw UsageError("unknown scenario: " + scenario +
-                   " (exclusive | mixed | upgrade | repeat)");
+                   " (exclusive | mixed | upgrade | repeat | contend)");
+}
+
+modelcheck::DoctoredSpec build_doctor(const std::string& kind,
+                                      std::size_t nodes) {
+  modelcheck::DoctoredSpec doctor;
+  if (kind == "none") return doctor;
+  if (kind == "starve") {
+    // Bounce the last node's requests at the network layer: its request
+    // orbits forever, a seeded starvation cycle for --liveness.
+    doctor.bounce = proto::NodeId{static_cast<std::uint32_t>(nodes - 1)};
+    return doctor;
+  }
+  if (kind == "conflict") {
+    // Flip Table 1(a) for a pair that genuinely co-occurs, turning a
+    // reachable good state into a seeded safety violation.
+    doctor.conflicts.push_back({LockMode::kR, LockMode::kIR});
+    doctor.conflicts.push_back({LockMode::kR, LockMode::kR});
+    return doctor;
+  }
+  throw UsageError("unknown --doctor: " + kind +
+                   " (none | starve | conflict)");
+}
+
+void print_stats(const modelcheck::ExploreStats& stats) {
+  const auto u64 = [](std::uint64_t v) {
+    return static_cast<unsigned long long>(v);
+  };
+  std::printf("stats:\n");
+  std::printf("  revisits              : %llu\n", u64(stats.revisits));
+  std::printf("  por reduced states    : %llu\n",
+              u64(stats.por_reduced_states));
+  std::printf("  por pruned actions    : %llu\n",
+              u64(stats.por_pruned_actions));
+  std::printf("  por reject saturated  : %llu\n",
+              u64(stats.por_reject_saturated));
+  std::printf("  por reject visible    : %llu\n",
+              u64(stats.por_reject_visible));
+  std::printf("  por ignoring repairs  : %llu\n",
+              u64(stats.por_ignoring_repairs));
+  std::printf("  symmetry permutations : %llu\n",
+              u64(stats.symmetry_permutations));
+  std::printf("  peak frontier         : %llu\n", u64(stats.peak_frontier));
+  std::printf("  max depth             : %llu\n", u64(stats.max_depth));
+}
+
+void write_stats_json(const std::string& path, const ExploreResult& result) {
+  std::ofstream out(path);
+  if (!out) throw UsageError("cannot write --stats-out file: " + path);
+  const auto field = [&out](const char* name, std::uint64_t v,
+                            bool last = false) {
+    out << "  \"" << name << "\": " << v << (last ? "\n" : ",\n");
+  };
+  out << "{\n";
+  out << "  \"verdict\": \"" << modelcheck::to_string(result.verdict)
+      << "\",\n";
+  out << "  \"violation_fingerprint\": \"" << result.violation_fingerprint
+      << "\",\n";
+  field("states_explored", result.states_explored);
+  field("transitions", result.transitions);
+  field("terminal_states", result.terminal_states);
+  field("revisits", result.stats.revisits);
+  field("por_reduced_states", result.stats.por_reduced_states);
+  field("por_pruned_actions", result.stats.por_pruned_actions);
+  field("por_reject_saturated", result.stats.por_reject_saturated);
+  field("por_reject_visible", result.stats.por_reject_visible);
+  field("por_ignoring_repairs", result.stats.por_ignoring_repairs);
+  field("symmetry_permutations", result.stats.symmetry_permutations);
+  field("peak_frontier", result.stats.peak_frontier);
+  field("max_depth", result.stats.max_depth, true);
+  out << "}\n";
+}
+
+void print_trace(const ExploreResult& result) {
+  const std::size_t stem =
+      result.trace.size() -
+      static_cast<std::size_t>(result.lasso_cycle_length);
+  std::printf("trace:\n");
+  for (std::size_t i = 0; i < result.trace.size(); ++i) {
+    if (result.lasso_cycle_length > 0 && i == stem) {
+      std::printf("  -- cycle (repeats forever) --\n");
+    }
+    std::printf("  %s\n", result.trace[i].c_str());
+  }
 }
 
 }  // namespace
@@ -69,13 +183,29 @@ int main(int argc, char** argv) {
                 "exhaustively model-check a scripted lock scenario"};
   cli.add_option("protocol", "hier", "hier | naimi | raymond");
   cli.add_option("scenario", "mixed",
-                 "exclusive | mixed | upgrade | repeat");
+                 "exclusive | mixed | upgrade | repeat | contend");
   cli.add_option("nodes", "3", "number of nodes (1-8; state spaces grow "
                                "factorially)");
   cli.add_option("max-states", "5000000", "exploration budget");
   cli.add_flag("lint",
                "conformance-lint every terminal path against the paper's "
                "spec tables (hier only)");
+  cli.add_flag("por", "partial-order reduction (hier only)");
+  cli.add_flag("symmetry",
+               "canonicalize states modulo node permutations (hier only)");
+  cli.add_flag("liveness",
+               "detect starvation lassos in the explored graph (hier only)");
+  cli.add_flag("minimize",
+               "breadth-first search for depth-minimal counterexamples "
+               "(hier only)");
+  cli.add_flag("stats", "print reduction/search counters");
+  cli.add_option("stats-out", "", "write the counters as JSON to this file");
+  cli.add_flag("cross-validate",
+               "also run unreduced and require identical verdict and "
+               "violation fingerprint (hier only)");
+  cli.add_option("doctor", "none",
+                 "seed a spec corruption: none | starve | conflict "
+                 "(hier only; the run should FIND the seeded violation)");
   cli.add_option("obs-out", "",
                  "on a violation, export the counterexample's event trace "
                  "as a flight record (plus Chrome trace JSON) under this "
@@ -84,7 +214,7 @@ int main(int argc, char** argv) {
   try {
     if (!cli.parse(argc, argv)) {
       std::fputs(cli.help_text().c_str(), stdout);
-      return 0;
+      return kExitOk;
     }
     const auto nodes = static_cast<std::size_t>(cli.get_int("nodes", 1, 8));
     const auto budget = static_cast<std::uint64_t>(
@@ -93,14 +223,28 @@ int main(int argc, char** argv) {
     const auto scripts = build_scripts(cli.get_string("scenario"), nodes);
 
     const bool lint = cli.get_flag("lint");
-    if (lint && protocol != "hier") {
-      throw UsageError("--lint applies to --protocol hier only");
+    const bool cross_validate = cli.get_flag("cross-validate");
+    ExploreOptions options;
+    options.max_states = budget;
+    options.lint = lint;
+    options.por = cli.get_flag("por");
+    options.symmetry = cli.get_flag("symmetry");
+    options.liveness = cli.get_flag("liveness");
+    options.minimize = cli.get_flag("minimize");
+    options.doctor = build_doctor(cli.get_string("doctor"), nodes);
+    const bool hier_only_features = lint || options.por ||
+                                    options.symmetry || options.liveness ||
+                                    options.minimize ||
+                                    options.doctor.active() ||
+                                    cross_validate;
+    if (hier_only_features && protocol != "hier") {
+      throw UsageError(
+          "--lint/--por/--symmetry/--liveness/--minimize/--doctor/"
+          "--cross-validate apply to --protocol hier only");
     }
+
     ExploreResult result;
     if (protocol == "hier") {
-      ExploreOptions options;
-      options.max_states = budget;
-      options.lint = lint;
       result = modelcheck::explore(scripts, options);
     } else if (protocol == "naimi") {
       result = modelcheck::explore_naimi(scripts, budget);
@@ -116,19 +260,59 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.transitions));
     std::printf("terminal states : %llu\n",
                 static_cast<unsigned long long>(result.terminal_states));
+    std::printf("state budget    : %llu of %llu used\n",
+                static_cast<unsigned long long>(result.states_explored),
+                static_cast<unsigned long long>(budget));
+    if (cli.get_flag("stats")) print_stats(result.stats);
+    const std::string stats_out = cli.get_string("stats-out");
+    if (!stats_out.empty()) write_stats_json(stats_out, result);
+
+    if (cross_validate) {
+      // Same scenario, reductions off. Counterexample PATHS may differ
+      // (exploration order), so compare the order-independent summary:
+      // verdict plus violation fingerprint.
+      ExploreOptions plain = options;
+      plain.por = false;
+      plain.symmetry = false;
+      plain.minimize = false;
+      const ExploreResult unreduced = modelcheck::explore(scripts, plain);
+      std::printf("cross-validate  : reduced %llu states, unreduced %llu\n",
+                  static_cast<unsigned long long>(result.states_explored),
+                  static_cast<unsigned long long>(
+                      unreduced.states_explored));
+      if (unreduced.verdict != result.verdict ||
+          unreduced.violation_fingerprint != result.violation_fingerprint) {
+        std::printf("cross-validate  : MISMATCH — reduced %s [%s] vs "
+                    "unreduced %s [%s]\n",
+                    modelcheck::to_string(result.verdict).c_str(),
+                    result.violation_fingerprint.c_str(),
+                    modelcheck::to_string(unreduced.verdict).c_str(),
+                    unreduced.violation_fingerprint.c_str());
+        return kExitInternal;
+      }
+      std::printf("cross-validate  : verdicts agree (%s)\n",
+                  modelcheck::to_string(result.verdict).c_str());
+    }
+
     if (result.ok) {
       std::printf("verdict         : OK — every interleaving is safe, "
                   "live and convergent%s\n",
                   lint ? " (and every linted path conforms to the spec "
                          "tables)"
                        : "");
-      return 0;
+      return kExitOk;
     }
-    std::printf("verdict         : VIOLATION — %s\ntrace:\n",
+    if (result.verdict == Verdict::kStateLimit) {
+      std::printf("verdict         : ABORTED — %s\n",
+                  result.violation.c_str());
+      return kExitStateLimit;
+    }
+    std::printf("verdict         : VIOLATION (%s) — %s\n",
+                modelcheck::to_string(result.verdict).c_str(),
                 result.violation.c_str());
-    for (const std::string& line : result.trace) {
-      std::printf("  %s\n", line.c_str());
-    }
+    std::printf("fingerprint     : %s\n",
+                result.violation_fingerprint.c_str());
+    print_trace(result);
     if (!result.events.empty()) {
       // Post-hoc conformance lint of the counterexample: the structured
       // events pinpoint which rule/table broke, with event context.
@@ -165,10 +349,13 @@ int main(int argc, char** argv) {
         std::printf("flight record   : %s\n", record.c_str());
       }
     }
-    return 1;
+    return kExitViolation;
   } catch (const UsageError& error) {
     std::fprintf(stderr, "error: %s\n\n%s", error.what(),
                  cli.help_text().c_str());
-    return 2;
+    return kExitUsage;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "internal error: %s\n", error.what());
+    return kExitInternal;
   }
 }
