@@ -61,7 +61,9 @@ ThreadCluster::ThreadCluster(const ThreadClusterOptions& options) {
   }
   for (std::size_t i = 0; i < options.node_count; ++i) {
     const NodeId self{static_cast<std::uint32_t>(i)};
-    nodes_[i]->receiver = std::thread([this, self] { receiver_loop(self); });
+    const std::string name = "recv-" + std::to_string(i);
+    nodes_[i]->receiver =
+        sched::Thread(name.c_str(), [this, self] { receiver_loop(self); });
   }
 }
 
@@ -112,6 +114,10 @@ void ThreadCluster::receiver_loop(NodeId node) {
     // acquisition for the whole burst); an empty batch means shutdown.
     std::vector<proto::Message> batch = transport_->recv_ready(node);
     if (batch.empty()) return;
+    // Explicit schedule point: under the explorer a client thread may slip
+    // in between the drain and the dispatch (shutdown/close races live
+    // exactly there).
+    sched::yield_point("thread_cluster.recv-batch");
     // Dispatch consecutive same-shard runs under one shard lock
     // acquisition, moving each message straight into delivery — batches
     // never cross shards out of order, preserving per-channel FIFO.
@@ -189,6 +195,7 @@ void ThreadCluster::lock(NodeId node, LockId lock, LockMode mode,
                          std::uint8_t priority) {
   NodeRuntime& rt = runtime_of(node);
   Shard& shard = shard_of(rt, lock);
+  sched::yield_point("thread_cluster.lock");
   MutexLock guard(shard.mutex);
   Effects effects = shard.engine->request(lock, mode, priority);
   apply(rt, shard, lock, std::move(effects));

@@ -22,7 +22,6 @@
 #include <chrono>
 #include <functional>
 #include <memory>
-#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -137,7 +136,7 @@ class ThreadCluster {
   /// enables). May be (re)set while operations are in flight; the sink
   /// must not call back into the cluster.
   using EventSink = std::function<void(trace::TraceEvent event)>;
-  void set_event_sink(EventSink sink);
+  void set_event_sink(EventSink sink) HLOCK_EXCLUDES(event_mutex_);
 
  private:
   /// One lock-id shard of a node: its own engine (and per-lock automaton
@@ -163,7 +162,10 @@ class ThreadCluster {
     /// every shard of the node, hence the lock-free variant.
     obs::AtomicLamportClock clock;
     std::vector<std::unique_ptr<Shard>> shards;
-    std::thread receiver;
+    /// sched::Thread (not std::thread) so the schedule explorer can
+    /// control receiver interleavings (docs/sched.md); identical to
+    /// std::thread when no observer is installed.
+    sched::Thread receiver;
   };
 
   void receiver_loop(NodeId node);

@@ -1,0 +1,120 @@
+#include "sched/harness.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hlock::sched {
+
+const char* seed_verdict_name(SeedVerdict verdict) {
+  switch (verdict) {
+    case SeedVerdict::kOk: return "ok";
+    case SeedVerdict::kDeadlock: return "deadlock";
+    case SeedVerdict::kBudgetExceeded: return "budget-exceeded";
+    case SeedVerdict::kBodyFailure: return "body-failure";
+    case SeedVerdict::kCrash: return "crash";
+  }
+  return "?";
+}
+
+std::optional<std::uint64_t> parse_fingerprint(const std::string& output) {
+  static constexpr char kKey[] = "fingerprint: ";
+  const std::size_t at = output.rfind(kKey);
+  if (at == std::string::npos) return std::nullopt;
+  const char* digits = output.c_str() + at + sizeof(kKey) - 1;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(digits, &end, 10);
+  if (end == digits || errno != 0) return std::nullopt;
+  return static_cast<std::uint64_t>(value);
+}
+
+SeedResult run_seed(const ExplorerOptions& options,
+                    const std::function<void()>& body,
+                    const std::function<bool()>& failed) {
+  SeedResult result;
+  int fds[2];
+  if (pipe(fds) != 0) {
+    result.output = std::string("pipe() failed: ") + std::strerror(errno);
+    return result;
+  }
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    result.output = std::string("fork() failed: ") + std::strerror(errno);
+    return result;
+  }
+  if (pid == 0) {
+    // Child: funnel everything the schedule prints (deadlock reports,
+    // lockdep inversions, the body's own output) into the pipe.
+    close(fds[0]);
+    dup2(fds[1], STDOUT_FILENO);
+    dup2(fds[1], STDERR_FILENO);
+    close(fds[1]);
+    {
+      Explorer explorer(options);
+      explorer.run(body);
+      std::fprintf(stdout,
+                   "sched: schedule complete seed=%llu steps=%llu "
+                   "fingerprint: %llu\n",
+                   static_cast<unsigned long long>(options.seed),
+                   static_cast<unsigned long long>(explorer.steps()),
+                   static_cast<unsigned long long>(
+                       explorer.schedule_fingerprint()));
+    }
+    std::fflush(stdout);
+    std::fflush(stderr);
+    // _Exit: the child must not run the parent's atexit chain / test
+    // framework teardown it inherited.
+    std::_Exit(failed && failed() ? 1 : 0);
+  }
+  // Parent: drain the pipe (before waitpid — a chatty child would fill the
+  // pipe and block otherwise), then reap.
+  close(fds[1]);
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = read(fds[0], buffer, sizeof(buffer));
+    if (n > 0) {
+      result.output.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  close(fds[0]);
+  int status = 0;
+  while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  if (WIFEXITED(status)) {
+    result.status = WEXITSTATUS(status);
+    switch (result.status) {
+      case 0:
+        result.verdict = SeedVerdict::kOk;
+        break;
+      case kSchedDeadlockExit:
+        result.verdict = SeedVerdict::kDeadlock;
+        break;
+      case kSchedBudgetExit:
+        result.verdict = SeedVerdict::kBudgetExceeded;
+        break;
+      default:
+        result.verdict = SeedVerdict::kBodyFailure;
+        break;
+    }
+  } else if (WIFSIGNALED(status)) {
+    result.status = -WTERMSIG(status);
+    result.verdict = SeedVerdict::kCrash;
+  }
+  result.fingerprint = parse_fingerprint(result.output);
+  return result;
+}
+
+}  // namespace hlock::sched

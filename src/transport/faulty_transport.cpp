@@ -41,7 +41,7 @@ FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
     active.heal_at = now + chrono_ns(partition.heal_after);
     partitions_.push_back(std::move(active));
   }
-  pump_ = std::thread([this] { pump_loop(); });
+  pump_ = sched::Thread("faulty-pump", [this] { pump_loop(); });
 }
 
 FaultyTransport::~FaultyTransport() { shutdown(); }
@@ -208,6 +208,7 @@ void FaultyTransport::pump_loop() {
     // meanwhile — forwarding while holding `mutex_` is exactly the
     // lock-held-across-callback pattern the capability analysis exists to
     // keep out of this layer.
+    sched::yield_point("faulty_transport.forward");
     for (const proto::Message& message : ready) inner_->send(message);
   }
 }

@@ -24,7 +24,6 @@
 #include <memory>
 #include <optional>
 #include <queue>
-#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -93,7 +92,8 @@ class FaultyTransport final : public Transport {
   ~FaultyTransport() override;
 
   /// Accepts a message onto the (possibly faulty) wire. Thread-safe.
-  void send(const proto::Message& message) override;
+  void send(const proto::Message& message) override
+      HLOCK_EXCLUDES(mutex_);
 
   std::optional<proto::Message> recv(proto::NodeId node) override;
   /// Batch drain, delegated to the inner transport (fault decisions happen
@@ -104,7 +104,7 @@ class FaultyTransport final : public Transport {
 
   /// Drops undelivered wire entries, stops the delivery thread, and shuts
   /// the inner transport down.
-  void shutdown() override;
+  void shutdown() override HLOCK_EXCLUDES(mutex_);
 
   /// Messages accepted by send() — logical messages, not wire copies.
   std::uint64_t messages_sent() const override {
@@ -118,7 +118,7 @@ class FaultyTransport final : public Transport {
   /// (wall time from now). Crossing messages are buffered until the heal.
   /// Callable while traffic flows.
   void partition(const std::vector<proto::NodeId>& side_a,
-                 SimTime heal_after);
+                 SimTime heal_after) HLOCK_EXCLUDES(mutex_);
 
   /// Fault and healing counters, live.
   const stats::TransportCounters& counters() const { return counters_; }
@@ -188,7 +188,9 @@ class FaultyTransport final : public Transport {
 
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<bool> shutdown_done_{false};
-  std::thread pump_;
+  /// sched::Thread so the schedule explorer controls the pump's
+  /// interleaving with senders and the teardown (docs/sched.md).
+  sched::Thread pump_;
 };
 
 }  // namespace hlock::transport

@@ -57,12 +57,14 @@ class InProcTransport final : public Transport {
 
   /// Routes a message to its destination mailbox. Thread-safe. Throws
   /// InvariantError if the codec round-trip corrupts the message.
-  void send(const proto::Message& message) override;
+  void send(const proto::Message& message) override
+      HLOCK_EXCLUDES(latency_mutex_);
 
   /// Routes a burst, coalescing same-channel runs into batch envelopes
   /// when options.batching is set (falls back to per-message sends
   /// otherwise). Thread-safe.
-  void send_batch(std::vector<proto::Message> messages) override;
+  void send_batch(std::vector<proto::Message> messages) override
+      HLOCK_EXCLUDES(latency_mutex_);
 
   /// Blocks for the next deliverable message for `node` (nullopt once the
   /// transport is shut down and the mailbox drained).

@@ -21,6 +21,9 @@ proto::Message Mailbox::pop_top_locked() {
 }
 
 void Mailbox::push(proto::Message message, Clock::time_point deliver_at) {
+  // Explicit schedule point: under the explorer a racing pop/close may be
+  // interleaved before the push takes the lock (docs/sched.md).
+  sched::yield_point("mailbox.push");
   {
     MutexLock guard(mutex_);
     if (closed_) return;
@@ -32,6 +35,7 @@ void Mailbox::push(proto::Message message, Clock::time_point deliver_at) {
 void Mailbox::push_all(std::vector<proto::Message> messages,
                        Clock::time_point deliver_at) {
   if (messages.empty()) return;
+  sched::yield_point("mailbox.push-all");
   {
     MutexLock guard(mutex_);
     if (closed_) return;
@@ -103,6 +107,7 @@ std::vector<proto::Message> Mailbox::pop_all_ready() {
 }
 
 void Mailbox::close() {
+  sched::yield_point("mailbox.close");
   {
     MutexLock guard(mutex_);
     closed_ = true;

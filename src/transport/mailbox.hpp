@@ -31,32 +31,34 @@ class Mailbox {
 
   /// Deposits a message that becomes deliverable at `deliver_at`.
   /// No-op after close().
-  void push(proto::Message message, Clock::time_point deliver_at);
+  void push(proto::Message message, Clock::time_point deliver_at)
+      HLOCK_EXCLUDES(mutex_);
 
   /// Deposits a burst of messages sharing one delivery time under a single
   /// lock acquisition, preserving their order. No-op after close().
   void push_all(std::vector<proto::Message> messages,
-                Clock::time_point deliver_at);
+                Clock::time_point deliver_at) HLOCK_EXCLUDES(mutex_);
 
   /// Blocks until a message is deliverable or the mailbox is closed and
   /// empty. Returns std::nullopt only in the latter case.
-  std::optional<proto::Message> pop();
+  std::optional<proto::Message> pop() HLOCK_EXCLUDES(mutex_);
 
   /// Like pop() but gives up at `deadline`; std::nullopt on timeout or
   /// closed-and-empty.
-  std::optional<proto::Message> pop_until(Clock::time_point deadline);
+  std::optional<proto::Message> pop_until(Clock::time_point deadline)
+      HLOCK_EXCLUDES(mutex_);
 
   /// Blocks like pop(), then drains and returns every message already
   /// matured at that point, in delivery order. Returns an empty vector only
   /// once the mailbox is closed and empty.
-  std::vector<proto::Message> pop_all_ready();
+  std::vector<proto::Message> pop_all_ready() HLOCK_EXCLUDES(mutex_);
 
   /// Closes the mailbox: pending messages remain poppable, new pushes are
   /// dropped, and blocked consumers wake up.
-  void close();
+  void close() HLOCK_EXCLUDES(mutex_);
 
   /// Messages deposited over the mailbox's lifetime.
-  std::uint64_t pushed() const;
+  std::uint64_t pushed() const HLOCK_EXCLUDES(mutex_);
 
  private:
   struct Entry {

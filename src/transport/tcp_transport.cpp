@@ -30,7 +30,8 @@ TcpTransport::TcpTransport(std::size_t node_count, TcpOptions options)
     nodes_.push_back(std::move(endpoint));
   }
   for (std::size_t i = 0; i < node_count; ++i) {
-    nodes_[i]->acceptor = std::thread([this, i] { acceptor_loop(i); });
+    nodes_[i]->acceptor =
+        sched::Thread("tcp-acceptor", [this, i] { acceptor_loop(i); });
   }
 }
 
@@ -40,7 +41,7 @@ TcpTransport::~TcpTransport() {
     if (endpoint->acceptor.joinable()) endpoint->acceptor.join();
   }
   MutexLock guard(readers_mutex_);
-  for (std::thread& reader : readers_) {
+  for (sched::Thread& reader : readers_) {
     if (reader.joinable()) reader.join();
   }
 }
@@ -52,7 +53,13 @@ std::uint16_t TcpTransport::port_of(proto::NodeId node) const {
 
 void TcpTransport::acceptor_loop(std::size_t node) {
   for (;;) {
-    const int fd = ::accept(nodes_[node]->listen_fd, nullptr, nullptr);
+    int fd = -1;
+    {
+      // accept() blocks outside the sync layer; bracketed so it cannot
+      // stall an explored schedule (docs/sched.md).
+      sched::BlockingRegion region;
+      fd = ::accept(nodes_[node]->listen_fd, nullptr, nullptr);
+    }
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // listener closed during shutdown
@@ -60,12 +67,20 @@ void TcpTransport::acceptor_loop(std::size_t node) {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     MutexLock guard(readers_mutex_);
-    readers_.emplace_back([this, node, fd] { reader_loop(node, fd); });
+    readers_.emplace_back(
+        sched::Thread("tcp-reader", [this, node, fd] { reader_loop(node, fd); }));
   }
 }
 
 void TcpTransport::reader_loop(std::size_t node, int fd) {
-  while (auto messages = read_frame_messages(fd)) {
+  for (;;) {
+    std::optional<std::vector<proto::Message>> messages;
+    {
+      // The frame read blocks on the socket, outside the sync layer.
+      sched::BlockingRegion region;
+      messages = read_frame_messages(fd);
+    }
+    if (!messages) break;
     // A batch frame unpacks in emission order; pushing its messages under
     // one mailbox lock preserves exactly the order a per-message sender
     // would have produced.
@@ -120,11 +135,16 @@ bool TcpTransport::send_frame(proto::NodeId from, proto::NodeId to,
     if (stopping_.load()) return false;
     if (attempt > 0) {
       counters_.send_retries.fetch_add(1, std::memory_order_relaxed);
-      std::this_thread::sleep_for(backoff);
+      {
+        // A real-time backoff sleep must not stall an explored schedule.
+        sched::BlockingRegion region;
+        std::this_thread::sleep_for(backoff);
+      }
       backoff = std::min(backoff * 2, options_.max_backoff);
     }
     if (channel.fd < 0) {
       try {
+        sched::BlockingRegion region;
         channel.fd = channel_fd(from.value(), to.value());
         if (attempt > 0) {
           counters_.reconnects.fetch_add(1, std::memory_order_relaxed);
@@ -133,7 +153,12 @@ bool TcpTransport::send_frame(proto::NodeId from, proto::NodeId to,
         continue;  // destination not accepting right now; back off, retry
       }
     }
-    if (write_frame_body(channel.fd, body)) {
+    bool wrote = false;
+    {
+      sched::BlockingRegion region;
+      wrote = write_frame_body(channel.fd, body);
+    }
+    if (wrote) {
       sent_.fetch_add(message_count, std::memory_order_relaxed);
       bytes_.fetch_add(body.size() + 4, std::memory_order_relaxed);
       return true;

@@ -22,7 +22,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "stats/metrics.hpp"
@@ -56,17 +55,19 @@ class TcpTransport final : public Transport {
   /// Joins all socket threads.
   ~TcpTransport() override;
 
-  void send(const proto::Message& message) override;
+  void send(const proto::Message& message) override
+      HLOCK_EXCLUDES(channels_mutex_);
   /// Ships a burst; same-channel runs travel as single batch frames when
   /// options.batching is set.
-  void send_batch(std::vector<proto::Message> messages) override;
+  void send_batch(std::vector<proto::Message> messages) override
+      HLOCK_EXCLUDES(channels_mutex_);
   std::optional<proto::Message> recv(proto::NodeId node) override;
   /// Drains every already-delivered message for `node` in one mailbox lock
   /// acquisition (empty once shut down and drained).
   std::vector<proto::Message> recv_ready(proto::NodeId node) override;
   std::optional<proto::Message> recv_for(
       proto::NodeId node, std::chrono::milliseconds timeout) override;
-  void shutdown() override;
+  void shutdown() override HLOCK_EXCLUDES(channels_mutex_);
   std::uint64_t messages_sent() const override { return sent_.load(); }
   /// Frame bytes written (length prefixes included).
   std::uint64_t bytes_sent() const override { return bytes_.load(); }
@@ -83,14 +84,17 @@ class TcpTransport final : public Transport {
   /// socket level without telling the sender, so the next send on the
   /// channel fails and exercises the retry/reconnect path. Returns false
   /// if the channel has no live connection yet.
-  bool sever_channel(proto::NodeId from, proto::NodeId to);
+  bool sever_channel(proto::NodeId from, proto::NodeId to)
+      HLOCK_EXCLUDES(channels_mutex_);
 
  private:
   struct NodeEndpoint {
     int listen_fd = -1;
     std::uint16_t port = 0;
     Mailbox inbox;
-    std::thread acceptor;
+    /// sched::Thread so the schedule explorer sees the thread's lifecycle;
+    /// the socket operations themselves run in BlockingRegions.
+    sched::Thread acceptor;
   };
 
   struct Channel {
@@ -122,7 +126,7 @@ class TcpTransport final : public Transport {
   std::map<std::pair<std::uint32_t, std::uint32_t>,
            std::unique_ptr<Channel>>
       channels_ HLOCK_GUARDED_BY(channels_mutex_);
-  std::vector<std::thread> readers_ HLOCK_GUARDED_BY(readers_mutex_);
+  std::vector<sched::Thread> readers_ HLOCK_GUARDED_BY(readers_mutex_);
   Mutex readers_mutex_;
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> bytes_{0};

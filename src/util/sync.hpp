@@ -12,11 +12,19 @@
 // under HLOCK_WERROR). On GCC every annotation degrades to a no-op, so the
 // primary toolchain builds identically. See docs/static-analysis.md for
 // conventions and the escape-hatch policy.
+// Runtime observability: every operation additionally reports to the
+// process-global sched::SyncObserver when one is installed (lockdep
+// lock-order recording, deterministic schedule exploration — src/sched/,
+// docs/sched.md). Uninstalled cost is a single relaxed atomic load per
+// operation, so the hot path (docs/performance.md) is unchanged.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <source_location>
+
+#include "util/sync_observer.hpp"
 
 // ---------------------------------------------------------------------------
 // Attribute macros (Clang Thread Safety Analysis; no-ops elsewhere).
@@ -85,19 +93,55 @@ namespace hlock {
 /// below; bare lock()/unlock() are for the rare staircase pattern only.
 class HLOCK_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  /// `name` (optional) names the lock in lockdep / explorer reports;
+  /// without one the construction site identifies it. The site of a
+  /// default-initialized member resolves to its enclosing class, which is
+  /// exactly the lockdep notion of a lock *class*: all instances of
+  /// Shard::mutex share one identity, so an ordering learned on one shard
+  /// covers them all.
+  explicit Mutex(
+      const char* name = nullptr,
+      std::source_location site = std::source_location::current())
+      : id_{this, site.file_name(), site.line(), name} {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() HLOCK_ACQUIRE() { mu_.lock(); }
-  void unlock() HLOCK_RELEASE() { mu_.unlock(); }
-  bool try_lock() HLOCK_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() HLOCK_ACQUIRE() {
+    sched::SyncObserver* obs = sched::sync_observer();
+    if (obs == nullptr) [[likely]] {
+      mu_.lock();
+      return;
+    }
+    obs->acquiring(id_);
+    if (!obs->acquire(id_, mu_)) mu_.lock();
+    obs->acquired(id_);
+  }
+
+  void unlock() HLOCK_RELEASE() {
+    mu_.unlock();
+    if (sched::SyncObserver* obs = sched::sync_observer();
+        obs != nullptr) [[unlikely]] {
+      obs->released(id_);
+    }
+  }
+
+  bool try_lock() HLOCK_TRY_ACQUIRE(true) {
+    sched::SyncObserver* obs = sched::sync_observer();
+    if (obs == nullptr) [[likely]] return mu_.try_lock();
+    const bool ok = obs->try_acquire(id_, mu_);
+    if (ok) obs->acquired(id_);
+    return ok;
+  }
 
   /// The wrapped mutex, for CondVar's wait plumbing only.
   std::mutex& native() { return mu_; }
 
+  /// This lock's identity in observer reports.
+  const sched::SyncId& id() const { return id_; }
+
  private:
   std::mutex mu_;
+  const sched::SyncId id_;
 };
 
 /// RAII lock: acquires in the constructor, releases in the destructor.
@@ -148,16 +192,36 @@ class HLOCK_SCOPED_CAPABILITY ReleasableMutexLock {
 ///   while (!ready_) cv_.wait(mutex_);
 class CondVar {
  public:
-  CondVar() = default;
+  /// Site/name identity, as for Mutex.
+  explicit CondVar(
+      const char* name = nullptr,
+      std::source_location site = std::source_location::current())
+      : id_{this, site.file_name(), site.line(), name} {}
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
-  void notify_one() { cv_.notify_one(); }
-  void notify_all() { cv_.notify_all(); }
+  void notify_one() {
+    cv_.notify_one();
+    if (sched::SyncObserver* obs = sched::sync_observer();
+        obs != nullptr) [[unlikely]] {
+      obs->notify(id_, /*all=*/false);
+    }
+  }
+  void notify_all() {
+    cv_.notify_all();
+    if (sched::SyncObserver* obs = sched::sync_observer();
+        obs != nullptr) [[unlikely]] {
+      obs->notify(id_, /*all=*/true);
+    }
+  }
 
   /// Blocks until notified (spurious wake-ups possible, loop on the
   /// predicate). Caller holds `mu`.
   void wait(Mutex& mu) HLOCK_REQUIRES(mu) {
+    if (sched::SyncObserver* obs = sched::sync_observer();
+        obs != nullptr) [[unlikely]] {
+      if (obs->wait(id_, mu.id(), mu.native())) return;
+    }
     std::unique_lock<std::mutex> inner(mu.native(), std::adopt_lock);
     cv_.wait(inner);
     inner.release();
@@ -168,6 +232,13 @@ class CondVar {
   std::cv_status wait_until(Mutex& mu,
                             std::chrono::steady_clock::time_point deadline)
       HLOCK_REQUIRES(mu) {
+    if (sched::SyncObserver* obs = sched::sync_observer();
+        obs != nullptr) [[unlikely]] {
+      std::cv_status status = std::cv_status::no_timeout;
+      if (obs->wait_until(id_, mu.id(), mu.native(), deadline, &status)) {
+        return status;
+      }
+    }
     std::unique_lock<std::mutex> inner(mu.native(), std::adopt_lock);
     const std::cv_status status = cv_.wait_until(inner, deadline);
     inner.release();
@@ -182,6 +253,7 @@ class CondVar {
 
  private:
   std::condition_variable cv_;
+  const sched::SyncId id_;
 };
 
 }  // namespace hlock

@@ -1,0 +1,65 @@
+// SchedTest harness: runs a test body under the deterministic schedule
+// explorer across many seeds (tests/CMakeLists.txt gives these binaries
+// the `sched` ctest label).
+//
+// Each seed forks a child (sched/harness.hpp): the explorer must end the
+// process on a proven deadlock, so the parent classifies exit statuses and
+// turns anything but a clean completion into a gtest failure carrying the
+// child's captured output and the replay instructions. Set
+// HLOCK_SCHED_SEED=<seed> to replay exactly one schedule in-process — the
+// debugger-friendly path a failure's message points at. See docs/sched.md.
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "sched/harness.hpp"
+
+namespace hlock::sched_test {
+
+struct ExploreOptions {
+  /// First seed; seeds base_seed .. base_seed + seeds - 1 are explored.
+  std::uint64_t base_seed = 1;
+  int seeds = 16;
+  std::uint32_t change_interval = 12;
+  std::uint64_t max_steps = 2'000'000;
+};
+
+/// Explores `options.seeds` schedules of `body`, failing the test on any
+/// seed that deadlocks, exceeds its budget, crashes, or whose body records
+/// a gtest failure. With HLOCK_SCHED_SEED set, replays that single seed
+/// in-process instead (a deadlock then exits the whole test binary with
+/// the report — that is the point of a replay).
+inline void explore(const std::function<void()>& body,
+                    const ExploreOptions& options = {}) {
+  sched::ExplorerOptions explorer_options;
+  explorer_options.change_interval = options.change_interval;
+  explorer_options.max_steps = options.max_steps;
+
+  if (const char* replay = std::getenv("HLOCK_SCHED_SEED")) {
+    explorer_options.seed = std::strtoull(replay, nullptr, 10);
+    sched::Explorer explorer{explorer_options};
+    explorer.run(body);
+    return;
+  }
+
+  for (int i = 0; i < options.seeds; ++i) {
+    explorer_options.seed = options.base_seed + static_cast<std::uint64_t>(i);
+    const sched::SeedResult result = sched::run_seed(
+        explorer_options, body, [] { return ::testing::Test::HasFailure(); });
+    if (result.verdict == sched::SeedVerdict::kOk) continue;
+    ADD_FAILURE() << "schedule seed " << explorer_options.seed << ": "
+                  << sched::seed_verdict_name(result.verdict)
+                  << " (exit status " << result.status << ")\n"
+                  << result.output
+                  << "replay in-process: HLOCK_SCHED_SEED="
+                  << explorer_options.seed
+                  << " ./<this test binary> "
+                     "--gtest_filter=<this test>";
+    return;  // one report is enough; later seeds would repeat the noise
+  }
+}
+
+}  // namespace hlock::sched_test

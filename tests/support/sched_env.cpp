@@ -1,0 +1,45 @@
+// Default-on lockdep for every test binary.
+//
+// hlock_add_test (tests/CMakeLists.txt) compiles this file into each gtest
+// target, so the lock-order recorder (src/sched/lockdep.hpp) watches every
+// hlock::Mutex / hlock::CondVar operation of every test run. Any lock-order
+// inversion observed anywhere in the binary — even one that never
+// manifests as a deadlock — fails the run at global teardown with the
+// recorded cycle and both acquisition stacks.
+//
+// Tests that deliberately provoke inversions (tests/sched/) install their
+// own local Lockdep via exchange_sync_observer and restore it afterwards,
+// so their doctored cycles never reach this instance.
+#include <string>
+
+#include "gtest/gtest.h"
+#include "sched/lockdep.hpp"
+
+namespace {
+
+class LockdepEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    lockdep_ = hlock::sched::install_global_lockdep();
+  }
+
+  void TearDown() override {
+    if (lockdep_ == nullptr || lockdep_->violation_count() == 0) return;
+    std::string rendered;
+    for (const auto& report : lockdep_->reports()) {
+      rendered += report.render();
+    }
+    FAIL() << "lockdep recorded " << lockdep_->violation_count()
+           << " lock-order inversion(s) during this run:\n"
+           << rendered
+           << "lock hierarchy conventions: docs/static-analysis.md";
+  }
+
+ private:
+  hlock::sched::Lockdep* lockdep_ = nullptr;
+};
+
+const ::testing::Environment* const kLockdepEnv =
+    ::testing::AddGlobalTestEnvironment(new LockdepEnvironment);
+
+}  // namespace

@@ -21,6 +21,13 @@
 // Rules 1-7 / Tables 1(a)-(d). Works on both the simulator and --chaos
 // paths (hierarchical protocol only).
 //
+// --sched-seeds N runs the chaos scenario under the deterministic schedule
+// explorer (src/sched): each seed is one forked child whose thread
+// interleaving is fully controlled by a seeded random-priority scheduler;
+// a proven deadlock prints the blocked threads, their held locks and the
+// replay seed. --sched-seed S replays exactly one schedule in-process (for
+// debuggers). See docs/sched.md.
+//
 // --spans assembles per-request causal spans from the event stream and
 // prints the phase-latency breakdown table; --obs-out=<dir> additionally
 // exports a Chrome trace_event JSON (load in chrome://tracing or Perfetto)
@@ -41,6 +48,8 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/span.hpp"
 #include "runtime/thread_cluster.hpp"
+#include "sched/explorer.hpp"
+#include "sched/harness.hpp"
 #include "stats/histogram.hpp"
 #include "trace/recorder.hpp"
 #include "util/check.hpp"
@@ -226,6 +235,101 @@ int run_chaos(const CliParser& cli) {
   return ok ? 0 : 1;
 }
 
+/// Runs the --sched-seeds / --sched-seed scenario: the chaos exclusive-
+/// counter workload on a live in-process ThreadCluster, with every thread
+/// interleaving driven by the deterministic schedule explorer
+/// (docs/sched.md). TCP stays available but makes replay best-effort
+/// (real sockets add nondeterminism the scheduler cannot seed).
+int run_sched(const CliParser& cli) {
+  runtime::ThreadClusterOptions options;
+  options.node_count = static_cast<std::size_t>(cli.get_int("nodes", 1, 64));
+  options.transport = cli.get_string("chaos-transport") == "tcp"
+                          ? runtime::TransportKind::kTcp
+                          : runtime::TransportKind::kInProc;
+  options.batching = !cli.get_flag("no-batching");
+  options.engine_shards =
+      static_cast<std::size_t>(cli.get_int("engine-shards", 0, 4096));
+  const int ops = static_cast<int>(cli.get_int("ops", 1, 100000));
+  const long expected = static_cast<long>(options.node_count) * ops;
+
+  // One explored schedule: cluster up, N worker threads hammer one W lock,
+  // cluster down. `ok` is written before the body returns so the forked
+  // child's `failed` predicate can read it.
+  bool ok = false;
+  const auto body = [&ok, options, ops, expected] {
+    long counter = 0;  // unprotected on purpose: the lock is the protection
+    {
+      runtime::ThreadCluster cluster{options};
+      std::vector<sched::Thread> workers;
+      workers.reserve(options.node_count);
+      for (std::uint32_t i = 0;
+           i < static_cast<std::uint32_t>(options.node_count); ++i) {
+        const std::string name = "worker-" + std::to_string(i);
+        workers.emplace_back(
+            sched::Thread(name.c_str(), [&cluster, &counter, ops, i] {
+              for (int k = 0; k < ops; ++k) {
+                cluster.lock(proto::NodeId{i}, proto::LockId{0},
+                             proto::LockMode::kW);
+                const long snapshot = counter;
+                sched::yield_point("hlock_sim.cs");
+                counter = snapshot + 1;
+                cluster.unlock(proto::NodeId{i}, proto::LockId{0});
+              }
+            }));
+      }
+      for (sched::Thread& worker : workers) worker.join();
+    }
+    ok = counter == expected;
+  };
+
+  sched::ExplorerOptions explorer_options;
+  explorer_options.change_interval = static_cast<std::uint32_t>(
+      cli.get_int("sched-change-interval", 0, 1 << 20));
+
+  if (cli.was_set("sched-seed")) {
+    // Replay one schedule in-process (debugger-friendly; a deadlock ends
+    // the process with the report and exit code kSchedDeadlockExit).
+    explorer_options.seed = static_cast<std::uint64_t>(cli.get_int(
+        "sched-seed", 1, std::numeric_limits<std::int64_t>::max()));
+    sched::Explorer explorer{explorer_options};
+    explorer.run(body);
+    std::printf(
+        "sched: seed %llu complete after %llu decisions, "
+        "fingerprint %llu, workload %s\n",
+        static_cast<unsigned long long>(explorer_options.seed),
+        static_cast<unsigned long long>(explorer.steps()),
+        static_cast<unsigned long long>(explorer.schedule_fingerprint()),
+        ok ? "OK" : "FAILED");
+    return ok ? 0 : 1;
+  }
+
+  const std::int64_t seeds = cli.get_int("sched-seeds", 1, 100000);
+  const std::uint64_t base = static_cast<std::uint64_t>(cli.get_int(
+      "seed", 0, std::numeric_limits<std::int64_t>::max()));
+  int bad = 0;
+  for (std::int64_t s = 0; s < seeds; ++s) {
+    explorer_options.seed = base + static_cast<std::uint64_t>(s);
+    const bool* ok_view = &ok;
+    const sched::SeedResult result = sched::run_seed(
+        explorer_options, body, [ok_view] { return !*ok_view; });
+    std::printf("sched: seed %llu %s\n",
+                static_cast<unsigned long long>(explorer_options.seed),
+                sched::seed_verdict_name(result.verdict));
+    if (result.verdict != sched::SeedVerdict::kOk) {
+      ++bad;
+      // The child's captured output carries the deadlock report / failure
+      // detail and the replay instructions.
+      std::fputs(result.output.c_str(), stderr);
+      std::fprintf(stderr, "sched: replay with --sched-seed %llu\n",
+                   static_cast<unsigned long long>(explorer_options.seed));
+    }
+  }
+  std::printf("sched: %lld/%lld seeds clean\n",
+              static_cast<long long>(seeds - bad),
+              static_cast<long long>(seeds));
+  return bad == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -285,6 +389,15 @@ int main(int argc, char** argv) {
   cli.add_option("partition-ms", "0",
                  "chaos: partition half the cluster, heal after this many "
                  "milliseconds (0 = no partition)");
+  cli.add_option("sched-seeds", "0",
+                 "explore this many deterministic schedules of the chaos "
+                 "scenario (each seed forks a child; see docs/sched.md)");
+  cli.add_option("sched-seed", "0",
+                 "replay exactly one explored schedule in-process "
+                 "(the seed a failing exploration printed)");
+  cli.add_option("sched-change-interval", "12",
+                 "sched: mean scheduling decisions between priority-change "
+                 "points (0 = none)");
 
   try {
     if (!cli.parse(argc, argv)) {
@@ -292,6 +405,9 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (cli.was_set("sched-seeds") || cli.was_set("sched-seed")) {
+      return run_sched(cli);
+    }
     if (cli.get_flag("chaos")) return run_chaos(cli);
 
     ExperimentConfig config;
