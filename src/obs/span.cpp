@@ -209,15 +209,17 @@ std::vector<PhaseStats> SpanCollector::phase_breakdown() const {
 std::string render_phase_table(const std::vector<PhaseStats>& rows) {
   std::ostringstream os;
   char line[160];
-  std::snprintf(line, sizeof line, "%-28s %8s %10s %10s %10s %10s %10s\n",
-                "phase (ms)", "count", "mean", "p50", "p95", "p99", "max");
+  std::snprintf(line, sizeof line,
+                "%-28s %8s %10s %10s %10s %10s %10s %10s\n", "phase (ms)",
+                "count", "mean", "p50", "p95", "p99", "p999", "max");
   os << line;
   for (const PhaseStats& row : rows) {
     std::snprintf(line, sizeof line,
-                  "%-28s %8zu %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+                  "%-28s %8zu %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f\n",
                   row.interval.c_str(), row.summary_ms.count,
                   row.summary_ms.mean, row.summary_ms.p50, row.summary_ms.p95,
-                  row.summary_ms.p99, row.summary_ms.max);
+                  row.summary_ms.p99, row.summary_ms.p999,
+                  row.summary_ms.max);
     os << line;
   }
   return os.str();

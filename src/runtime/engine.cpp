@@ -52,6 +52,22 @@ bool HierEngine::holds(LockId lock) const {
          it->second.held() != proto::LockMode::kNL;
 }
 
+std::size_t HierEngine::queued_requests() const {
+  std::size_t total = 0;
+  for (const auto& [lock, automaton] : automatons_) {
+    total += automaton.queue().size();
+  }
+  return total;
+}
+
+std::size_t HierEngine::tokens_held() const {
+  std::size_t total = 0;
+  for (const auto& [lock, automaton] : automatons_) {
+    total += automaton.is_token() ? 1u : 0u;
+  }
+  return total;
+}
+
 NaimiEngine::NaimiEngine(NodeId self, NodeId initial_root)
     : self_(self), initial_root_(initial_root) {
   HLOCK_REQUIRE(!initial_root.is_none(), "a cluster needs an initial root");
@@ -84,6 +100,24 @@ Effects NaimiEngine::deliver(const proto::Message& message) {
 bool NaimiEngine::holds(LockId lock) const {
   auto it = automatons_.find(lock);
   return it != automatons_.end() && it->second.in_cs();
+}
+
+std::size_t NaimiEngine::queued_requests() const {
+  // Naimi's waiting list is distributed: each node knows only its own
+  // successor, so "queued here" = a non-none next pointer.
+  std::size_t total = 0;
+  for (const auto& [lock, automaton] : automatons_) {
+    total += automaton.next().is_none() ? 0u : 1u;
+  }
+  return total;
+}
+
+std::size_t NaimiEngine::tokens_held() const {
+  std::size_t total = 0;
+  for (const auto& [lock, automaton] : automatons_) {
+    total += automaton.has_token() ? 1u : 0u;
+  }
+  return total;
 }
 
 RaymondEngine::RaymondEngine(NodeId self, std::size_t node_count)
@@ -121,6 +155,22 @@ Effects RaymondEngine::deliver(const proto::Message& message) {
 bool RaymondEngine::holds(LockId lock) const {
   auto it = automatons_.find(lock);
   return it != automatons_.end() && it->second.in_cs();
+}
+
+std::size_t RaymondEngine::queued_requests() const {
+  std::size_t total = 0;
+  for (const auto& [lock, automaton] : automatons_) {
+    total += automaton.request_queue().size();
+  }
+  return total;
+}
+
+std::size_t RaymondEngine::tokens_held() const {
+  std::size_t total = 0;
+  for (const auto& [lock, automaton] : automatons_) {
+    total += automaton.has_token() ? 1u : 0u;
+  }
+  return total;
 }
 
 }  // namespace hlock::runtime

@@ -61,6 +61,12 @@ class LockEngine {
   virtual Effects deliver(const proto::Message& message) = 0;
   /// True if this node currently holds `lock` (in any mode).
   virtual bool holds(LockId lock) const = 0;
+  /// Requests queued locally at this node across all locks (telemetry;
+  /// waiting lists threaded through remote nodes count at the node that
+  /// queues them).
+  virtual std::size_t queued_requests() const = 0;
+  /// Locks whose token currently rests at this node (telemetry).
+  virtual std::size_t tokens_held() const = 0;
 };
 
 /// Engine running the paper's hierarchical multi-mode protocol.
@@ -74,6 +80,8 @@ class HierEngine final : public LockEngine {
   Effects upgrade(LockId lock) override;
   Effects deliver(const proto::Message& message) override;
   bool holds(LockId lock) const override;
+  std::size_t queued_requests() const override;
+  std::size_t tokens_held() const override;
 
   /// Direct access for invariant checks and tests; creates the automaton
   /// if this node has not touched the lock yet.
@@ -97,6 +105,8 @@ class NaimiEngine final : public LockEngine {
   Effects upgrade(LockId lock) override;
   Effects deliver(const proto::Message& message) override;
   bool holds(LockId lock) const override;
+  std::size_t queued_requests() const override;
+  std::size_t tokens_held() const override;
 
   /// Direct access for invariant checks and tests.
   naimi::NaimiAutomaton& automaton(LockId lock);
@@ -119,6 +129,8 @@ class RaymondEngine final : public LockEngine {
   Effects upgrade(LockId lock) override;
   Effects deliver(const proto::Message& message) override;
   bool holds(LockId lock) const override;
+  std::size_t queued_requests() const override;
+  std::size_t tokens_held() const override;
 
   /// Direct access for invariant checks and tests.
   raymond::RaymondAutomaton& automaton(LockId lock);

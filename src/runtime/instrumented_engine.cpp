@@ -1,0 +1,173 @@
+#include "runtime/instrumented_engine.hpp"
+
+#include <string>
+#include <utility>
+
+namespace hlock::runtime {
+
+namespace {
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+}  // namespace
+
+InstrumentedEngine::InstrumentedEngine(std::unique_ptr<LockEngine> inner,
+                                       telemetry::Registry& registry,
+                                       Protocol protocol, NodeId self)
+    : inner_(std::move(inner)), registry_(registry), self_(self) {
+  const std::string proto_label = to_string(protocol);
+  const std::string node_label = std::to_string(self.value());
+  const auto name = [&](std::string_view base,
+                        std::initializer_list<
+                            std::pair<std::string_view, std::string>>
+                            extra = {}) {
+    std::string full = telemetry::labeled(
+        base, {{"proto", proto_label}, {"node", node_label}});
+    if (extra.size() != 0) {
+      // splice extra labels before the closing brace, preserving order
+      full.pop_back();
+      for (const auto& [key, value] : extra) {
+        full += ',';
+        full += key;
+        full += "=\"";
+        full += value;
+        full += '"';
+      }
+      full += '}';
+    }
+    return full;
+  };
+
+  for (const proto::LockMode mode : proto::kAllModes) {
+    const std::size_t i = proto::mode_index(mode);
+    requests_[i] = &registry.counter(name(
+        "hlock_engine_requests_total", {{"mode", proto::to_string(mode)}}));
+    grants_[i] = &registry.counter(name(
+        "hlock_engine_grants_total", {{"mode", proto::to_string(mode)}}));
+  }
+  for (std::size_t i = 0; i < proto::kMessageKindCount; ++i) {
+    sent_[i] = &registry.counter(name(
+        "hlock_messages_sent_total",
+        {{"kind", proto::to_string(static_cast<proto::MessageKind>(i))}}));
+  }
+  releases_ = &registry.counter(name("hlock_engine_releases_total"));
+  upgrades_ = &registry.counter(name("hlock_engine_upgrades_total"));
+  forwards_ = &registry.counter(name("hlock_engine_forwards_total"));
+  freezes_ = &registry.counter(name("hlock_engine_freezes_total"));
+  wait_ms_ = &registry.histogram(name("hlock_wait_ms"));
+  hold_ms_ = &registry.histogram(name("hlock_hold_ms"));
+}
+
+telemetry::Gauge& InstrumentedEngine::token_gauge(LockId lock) {
+  const auto it = token_gauges_.find(lock);
+  if (it != token_gauges_.end()) {
+    return *it->second;
+  }
+  telemetry::Gauge& gauge = registry_.gauge(telemetry::labeled(
+      "hlock_token_location", {{"lock", std::to_string(lock.value())}}));
+  token_gauges_.emplace(lock, &gauge);
+  return gauge;
+}
+
+void InstrumentedEngine::observe(LockId lock, const Effects& effects) {
+  for (const proto::Message& message : effects.messages) {
+    const proto::MessageKind kind = proto::kind_of(message.payload);
+    sent_[static_cast<std::size_t>(kind)]->inc();
+    switch (kind) {
+      case proto::MessageKind::kHierRequest:
+        if (std::get<proto::HierRequest>(message.payload).requester !=
+            self_) {
+          forwards_->inc();
+        }
+        break;
+      case proto::MessageKind::kNaimiRequest:
+        if (std::get<proto::NaimiRequest>(message.payload).requester !=
+            self_) {
+          forwards_->inc();
+        }
+        break;
+      case proto::MessageKind::kHierFreeze:
+        freezes_->inc();
+        break;
+      case proto::MessageKind::kHierToken:
+      case proto::MessageKind::kNaimiToken:
+        // The token moves to the destination; the sender knows first.
+        token_gauge(message.lock)
+            .set(static_cast<double>(message.to.value()));
+        break;
+      default:
+        break;
+    }
+  }
+  if (effects.entered_cs) {
+    const auto it = pending_.find(lock);
+    if (it != pending_.end()) {
+      grants_[proto::mode_index(it->second.mode)]->inc();
+      wait_ms_->record(ms_since(it->second.since));
+      pending_.erase(it);
+    } else {
+      grants_[proto::mode_index(proto::LockMode::kNL)]->inc();
+    }
+    held_since_[lock] = Clock::now();
+  }
+  if (effects.upgraded) {
+    upgrades_->inc();
+  }
+}
+
+Effects InstrumentedEngine::request(LockId lock, LockMode mode,
+                                    std::uint8_t priority) {
+  requests_[proto::mode_index(mode)]->inc();
+  pending_[lock] = PendingRequest{mode, Clock::now()};
+  Effects effects = inner_->request(lock, mode, priority);
+  observe(lock, effects);
+  return effects;
+}
+
+Effects InstrumentedEngine::release(LockId lock) {
+  releases_->inc();
+  const auto it = held_since_.find(lock);
+  if (it != held_since_.end()) {
+    hold_ms_->record(ms_since(it->second));
+    held_since_.erase(it);
+  }
+  Effects effects = inner_->release(lock);
+  observe(lock, effects);
+  return effects;
+}
+
+Effects InstrumentedEngine::upgrade(LockId lock) {
+  Effects effects = inner_->upgrade(lock);
+  observe(lock, effects);
+  return effects;
+}
+
+Effects InstrumentedEngine::deliver(const proto::Message& message) {
+  Effects effects = inner_->deliver(message);
+  const proto::MessageKind kind = proto::kind_of(message.payload);
+  if (kind == proto::MessageKind::kHierToken ||
+      kind == proto::MessageKind::kNaimiToken) {
+    // The token landed here (overwrites the sender's in-flight value with
+    // the same node id — idempotent, but this side also covers tokens
+    // arriving from uninstrumented peers).
+    token_gauge(message.lock).set(static_cast<double>(self_.value()));
+  }
+  observe(message.lock, effects);
+  return effects;
+}
+
+bool InstrumentedEngine::holds(LockId lock) const {
+  return inner_->holds(lock);
+}
+
+std::size_t InstrumentedEngine::queued_requests() const {
+  return inner_->queued_requests();
+}
+
+std::size_t InstrumentedEngine::tokens_held() const {
+  return inner_->tokens_held();
+}
+
+}  // namespace hlock::runtime

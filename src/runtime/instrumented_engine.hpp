@@ -1,0 +1,92 @@
+// A LockEngine decorator that publishes per-engine telemetry.
+//
+// Wraps any LockEngine and derives metrics purely from the interface
+// traffic — the operation calls and the Effects they return — so one
+// decorator instruments all three protocols (hier/naimi/raymond) without
+// touching automaton code:
+//
+//   hlock_engine_requests_total{proto,node,mode}   request() calls
+//   hlock_engine_grants_total{proto,node,mode}     entered_cs effects
+//   hlock_engine_releases_total{proto,node}        release() calls
+//   hlock_engine_upgrades_total{proto,node}        upgrade completions
+//   hlock_engine_forwards_total{proto,node}        request msgs re-sent for
+//                                                  another node
+//   hlock_engine_freezes_total{proto,node}         outgoing FREEZE msgs
+//   hlock_messages_sent_total{proto,node,kind}     every outgoing message
+//   hlock_wait_ms{proto,node}                      request -> grant
+//   hlock_hold_ms{proto,node}                      grant -> release
+//   hlock_token_location{lock}                     node id the token was
+//                                                  last sent to / landed on
+//
+// Threading: engines live one-per-shard behind the shard mutex
+// (ThreadCluster) or in a single-threaded harness (SimCluster), so the
+// decorator's own bookkeeping maps need no lock. The metric *record* calls
+// are relaxed atomics (telemetry/metric.hpp), so series shared across
+// shards — all shards of a node write the same counters — stay exact.
+// Instrument pointers are resolved once at construction (or first touch of
+// a lock, for token_location); the per-operation cost is the map lookups
+// plus a few relaxed atomic adds, in keeping with the registry's "no mutex
+// on the delivery hot path" contract.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <memory>
+#include <unordered_map>
+
+#include "runtime/engine.hpp"
+#include "telemetry/registry.hpp"
+
+namespace hlock::runtime {
+
+/// See file comment.
+class InstrumentedEngine final : public LockEngine {
+ public:
+  InstrumentedEngine(std::unique_ptr<LockEngine> inner,
+                     telemetry::Registry& registry, Protocol protocol,
+                     NodeId self);
+
+  Effects request(LockId lock, LockMode mode,
+                  std::uint8_t priority = 0) override;
+  Effects release(LockId lock) override;
+  Effects upgrade(LockId lock) override;
+  Effects deliver(const proto::Message& message) override;
+  bool holds(LockId lock) const override;
+  std::size_t queued_requests() const override;
+  std::size_t tokens_held() const override;
+
+  /// The wrapped engine, for tests and invariant checks.
+  LockEngine& inner() { return *inner_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Counts outgoing messages / forwards / freezes, moves the token
+  /// gauge, and resolves grant and upgrade completions.
+  void observe(LockId lock, const Effects& effects);
+  telemetry::Gauge& token_gauge(LockId lock);
+
+  const std::unique_ptr<LockEngine> inner_;
+  telemetry::Registry& registry_;
+  const NodeId self_;
+
+  std::array<telemetry::Counter*, proto::kModeCount> requests_{};
+  std::array<telemetry::Counter*, proto::kModeCount> grants_{};
+  std::array<telemetry::Counter*, proto::kMessageKindCount> sent_{};
+  telemetry::Counter* releases_ = nullptr;
+  telemetry::Counter* upgrades_ = nullptr;
+  telemetry::Counter* forwards_ = nullptr;
+  telemetry::Counter* freezes_ = nullptr;
+  telemetry::Histogram* wait_ms_ = nullptr;
+  telemetry::Histogram* hold_ms_ = nullptr;
+
+  struct PendingRequest {
+    LockMode mode = LockMode::kNL;
+    Clock::time_point since;
+  };
+  std::unordered_map<LockId, PendingRequest> pending_;
+  std::unordered_map<LockId, Clock::time_point> held_since_;
+  std::unordered_map<LockId, telemetry::Gauge*> token_gauges_;
+};
+
+}  // namespace hlock::runtime

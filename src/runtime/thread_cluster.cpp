@@ -1,5 +1,7 @@
 #include "runtime/thread_cluster.hpp"
 
+#include "runtime/instrumented_engine.hpp"
+#include "telemetry/exports.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -9,21 +11,35 @@ namespace {
 
 std::unique_ptr<LockEngine> make_engine(const ThreadClusterOptions& options,
                                         NodeId self) {
+  std::unique_ptr<LockEngine> engine;
   if (options.protocol == Protocol::kHierarchical) {
-    return std::make_unique<HierEngine>(self, options.initial_root,
-                                        options.hier_config);
+    engine = std::make_unique<HierEngine>(self, options.initial_root,
+                                          options.hier_config);
+  } else if (options.protocol == Protocol::kRaymond) {
+    HLOCK_REQUIRE(options.initial_root == NodeId{0},
+                  "the Raymond tree is rooted at node 0");
+    engine = std::make_unique<RaymondEngine>(self, options.node_count);
+  } else {
+    engine = std::make_unique<NaimiEngine>(self, options.initial_root);
   }
-  return std::make_unique<NaimiEngine>(self, options.initial_root);
+  if (options.metrics != nullptr) {
+    engine = std::make_unique<InstrumentedEngine>(
+        std::move(engine), *options.metrics, options.protocol, self);
+  }
+  return engine;
 }
 
 }  // namespace
 
-ThreadCluster::ThreadCluster(const ThreadClusterOptions& options) {
+ThreadCluster::ThreadCluster(const ThreadClusterOptions& options)
+    : metrics_(options.metrics), watchdog_(options.watchdog) {
   if (options.transport == TransportKind::kTcp) {
     transport::TcpOptions tcp_options;
     tcp_options.batching = options.batching;
-    transport_ = std::make_unique<transport::TcpTransport>(
-        options.node_count, tcp_options);
+    auto tcp = std::make_unique<transport::TcpTransport>(options.node_count,
+                                                         tcp_options);
+    tcp_ = tcp.get();
+    transport_ = std::move(tcp);
   } else {
     transport_ = std::make_unique<transport::InProcTransport>(
         transport::InProcOptions{options.node_count, options.message_latency,
@@ -43,13 +59,28 @@ ThreadCluster::ThreadCluster(const ThreadClusterOptions& options) {
                 "the initial root must be one of the cluster's nodes");
   shard_count_ = options.engine_shards == 0 ? kDefaultEngineShards
                                             : options.engine_shards;
+  if (metrics_ != nullptr) register_transport_metrics(options.node_count);
   nodes_.reserve(options.node_count);
   for (std::size_t i = 0; i < options.node_count; ++i) {
     const NodeId self{static_cast<std::uint32_t>(i)};
     auto rt = std::make_unique<NodeRuntime>();
+    if (metrics_ != nullptr) {
+      rt->recv_batch = &metrics_->histogram(
+          telemetry::labeled("hlock_recv_batch_size",
+                             {{"node", std::to_string(i)}}),
+          telemetry::linear_bounds(1.0, 1.0, 16));
+    }
     rt->shards.reserve(shard_count_);
     for (std::size_t s = 0; s < shard_count_; ++s) {
       auto shard = std::make_unique<Shard>();
+      if (metrics_ != nullptr) {
+        shard->queue_depth = &metrics_->gauge(telemetry::labeled(
+            "hlock_engine_queue_depth",
+            {{"node", std::to_string(i)}, {"shard", std::to_string(s)}}));
+        shard->tokens_held = &metrics_->gauge(telemetry::labeled(
+            "hlock_tokens_held",
+            {{"node", std::to_string(i)}, {"shard", std::to_string(s)}}));
+      }
       // No thread can see the node yet, but `engine` is lock-guarded state
       // of a foreign object as far as the analysis is concerned — take the
       // (uncontended, once-per-shard) lock rather than suppress.
@@ -67,7 +98,52 @@ ThreadCluster::ThreadCluster(const ThreadClusterOptions& options) {
   }
 }
 
+void ThreadCluster::register_transport_metrics(std::size_t node_count) {
+  transport::Transport* transport = transport_.get();
+  metrics_->register_counter_fn(
+      "hlock_transport_messages_sent_total",
+      [transport] { return transport->messages_sent(); });
+  metrics_->register_counter_fn("hlock_transport_bytes_sent_total",
+                                [transport] {
+                                  return transport->bytes_sent();
+                                });
+  // Fault/retry counter structs fold in via their X-macro field tables.
+  // With both decorator and TCP present the TCP retry counters get their
+  // own prefix so the two field sets cannot collide.
+  if (faulty_ != nullptr) {
+    telemetry::export_transport_counters(*metrics_, faulty_->counters(),
+                                         "hlock_transport_");
+    if (tcp_ != nullptr) {
+      telemetry::export_transport_counters(*metrics_, tcp_->counters(),
+                                           "hlock_tcp_transport_");
+    }
+  } else if (tcp_ != nullptr) {
+    telemetry::export_transport_counters(*metrics_, tcp_->counters(),
+                                         "hlock_transport_");
+  }
+  // Mailbox depth per node. Safe as a snapshot-time callback: the mailbox
+  // mutex is a leaf — nothing acquired under it — so registry -> mailbox
+  // cannot complete a cycle (unlike shard mutexes; see Shard).
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const NodeId node{static_cast<std::uint32_t>(i)};
+    metrics_->register_gauge_fn(
+        telemetry::labeled("hlock_mailbox_depth",
+                           {{"node", std::to_string(i)}}),
+        [transport, node] {
+          return static_cast<double>(transport->inbox_depth(node));
+        });
+  }
+}
+
 ThreadCluster::~ThreadCluster() {
+  // The callback series read transport_ — stop the polling before the
+  // teardown so a concurrent sampler snapshot never touches a dying
+  // transport.
+  if (metrics_ != nullptr) {
+    metrics_->unregister_callbacks("hlock_transport_");
+    metrics_->unregister_callbacks("hlock_tcp_transport_");
+    metrics_->unregister_callbacks("hlock_mailbox_depth");
+  }
   stopping_.store(true);
   // Notify while holding each shard's mutex: a client thread that already
   // checked its predicate but has not entered the wait yet would otherwise
@@ -114,6 +190,9 @@ void ThreadCluster::receiver_loop(NodeId node) {
     // acquisition for the whole burst); an empty batch means shutdown.
     std::vector<proto::Message> batch = transport_->recv_ready(node);
     if (batch.empty()) return;
+    if (rt.recv_batch != nullptr) {
+      rt.recv_batch->record(static_cast<double>(batch.size()));
+    }
     // Explicit schedule point: under the explorer a client thread may slip
     // in between the drain and the dispatch (shutdown/close races live
     // exactly there).
@@ -189,12 +268,30 @@ void ThreadCluster::apply(NodeRuntime& rt, Shard& shard, LockId lock,
     notify = true;
   }
   if (notify) shard.cv.notify_all();
+  // Refresh the shard's depth gauges after every step, under the shard
+  // mutex we already hold — value gauges rather than snapshot callbacks to
+  // keep the registry mutex out of the shard-lock order (see Shard).
+  if (shard.queue_depth != nullptr) {
+    shard.queue_depth->set(
+        static_cast<double>(shard.engine->queued_requests()));
+    shard.tokens_held->set(static_cast<double>(shard.engine->tokens_held()));
+  }
 }
 
 void ThreadCluster::lock(NodeId node, LockId lock, LockMode mode,
                          std::uint8_t priority) {
   NodeRuntime& rt = runtime_of(node);
   Shard& shard = shard_of(rt, lock);
+  // Watchdog bracket around the whole blocking wait. begin() before the
+  // shard mutex (it takes the watchdog's own); end() under it is fine —
+  // shard -> watchdog is the only order these two ever compose in.
+  std::uint64_t stall_key = 0;
+  if (watchdog_ != nullptr) {
+    stall_key = watchdog_->begin(
+        "node=" + std::to_string(node.value()) +
+        " lock=" + std::to_string(lock.value()) +
+        " mode=" + proto::to_string(mode));
+  }
   sched::yield_point("thread_cluster.lock");
   MutexLock guard(shard.mutex);
   Effects effects = shard.engine->request(lock, mode, priority);
@@ -206,6 +303,7 @@ void ThreadCluster::lock(NodeId node, LockId lock, LockMode mode,
   shard.granted.erase(lock);
   --shard.waiters;
   shard.cv.notify_all();  // a tearing-down destructor may drain waiters
+  if (watchdog_ != nullptr) watchdog_->end(stall_key);
 }
 
 void ThreadCluster::unlock(NodeId node, LockId lock) {
@@ -219,6 +317,12 @@ void ThreadCluster::unlock(NodeId node, LockId lock) {
 void ThreadCluster::upgrade(NodeId node, LockId lock) {
   NodeRuntime& rt = runtime_of(node);
   Shard& shard = shard_of(rt, lock);
+  std::uint64_t stall_key = 0;
+  if (watchdog_ != nullptr) {
+    stall_key = watchdog_->begin("node=" + std::to_string(node.value()) +
+                                 " lock=" + std::to_string(lock.value()) +
+                                 " upgrade");
+  }
   MutexLock guard(shard.mutex);
   Effects effects = shard.engine->upgrade(lock);
   apply(rt, shard, lock, std::move(effects));
@@ -229,6 +333,7 @@ void ThreadCluster::upgrade(NodeId node, LockId lock) {
   shard.upgraded.erase(lock);
   --shard.waiters;
   shard.cv.notify_all();  // a tearing-down destructor may drain waiters
+  if (watchdog_ != nullptr) watchdog_->end(stall_key);
 }
 
 bool ThreadCluster::holds(NodeId node, LockId lock) {

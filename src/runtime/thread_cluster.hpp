@@ -28,6 +28,8 @@
 #include "core/hier_config.hpp"
 #include "obs/lamport.hpp"
 #include "runtime/engine.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/watchdog.hpp"
 #include "trace/event.hpp"
 #include "transport/faulty_transport.hpp"
 #include "transport/inproc_transport.hpp"
@@ -70,6 +72,19 @@ struct ThreadClusterOptions {
   /// still makes progress — see docs/faults.md). A zero plan seed inherits
   /// the cluster seed.
   transport::FaultPlan faults;
+  /// When set, the cluster instruments itself into this registry: every
+  /// engine is wrapped in an InstrumentedEngine, per-shard queue-depth /
+  /// tokens-held gauges and per-node mailbox-depth and receive-batch
+  /// series appear, and the transport counters are exported as callback
+  /// series (docs/telemetry.md lists the catalog). The registry must
+  /// outlive the cluster. nullptr = zero telemetry overhead beyond a
+  /// pointer test per operation.
+  telemetry::Registry* metrics = nullptr;
+  /// When set, every blocking lock()/upgrade() call brackets its wait with
+  /// the stall watchdog, so requests waiting far beyond the observed p99
+  /// are flagged. Must outlive the cluster; independent of `metrics` (the
+  /// watchdog carries its own registry reference).
+  telemetry::StallWatchdog* watchdog = nullptr;
 };
 
 /// Engine shards per node when ThreadClusterOptions::engine_shards is 0.
@@ -154,6 +169,13 @@ class ThreadCluster {
     /// Client calls currently blocked on `cv`; the destructor waits for
     /// this to reach zero so a woken call never touches freed node state.
     int waiters HLOCK_GUARDED_BY(mutex) = 0;
+    /// Telemetry gauges (nullptr without a registry), refreshed after every
+    /// engine step under this shard's mutex. Value gauges, not callbacks:
+    /// a snapshot-time callback would acquire shard mutexes under the
+    /// registry mutex, the reverse of the engine's lazy-registration order
+    /// (InstrumentedEngine::token_gauge) — a lock-order cycle.
+    telemetry::Gauge* queue_depth = nullptr;
+    telemetry::Gauge* tokens_held = nullptr;
   };
 
   struct NodeRuntime {
@@ -166,9 +188,15 @@ class ThreadCluster {
     /// control receiver interleavings (docs/sched.md); identical to
     /// std::thread when no observer is installed.
     sched::Thread receiver;
+    /// Receive-batch-size histogram (nullptr without a registry); set
+    /// before the receiver thread starts, recorded only by it.
+    telemetry::Histogram* recv_batch = nullptr;
   };
 
   void receiver_loop(NodeId node);
+  /// Registers the transport-level callback series (message/byte totals,
+  /// fault/retry counters, per-node mailbox depths) into metrics_.
+  void register_transport_metrics(std::size_t node_count);
   /// Applies effects under the owning shard's mutex (sends after unlocking
   /// would also be correct; sends never block so holding it is safe and
   /// simpler).
@@ -188,6 +216,12 @@ class ThreadCluster {
       std::chrono::steady_clock::now();
   /// Non-owning view of transport_ when the options wrapped it in faults.
   transport::FaultyTransport* faulty_ = nullptr;
+  /// Non-owning view of the TCP transport when one carries the cluster
+  /// (possibly underneath the faulty wrapper) — its retry counters export.
+  transport::TcpTransport* tcp_ = nullptr;
+  /// Telemetry hooks from the options (nullptr = uninstrumented).
+  telemetry::Registry* metrics_ = nullptr;
+  telemetry::StallWatchdog* watchdog_ = nullptr;
   std::size_t shard_count_ = kDefaultEngineShards;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   /// Read by client threads in cv predicates under shard mutexes while

@@ -82,4 +82,52 @@ std::string render_histogram(const std::vector<double>& samples,
   return os.str();
 }
 
+std::string render_bucketed_histogram(const std::vector<double>& bounds,
+                                      const std::vector<std::uint64_t>& counts,
+                                      const HistogramOptions& options) {
+  HLOCK_REQUIRE(options.bar_width >= 1, "bar width must be positive");
+  HLOCK_REQUIRE(counts.size() == bounds.size() + 1,
+                "counts must have one overflow bucket beyond bounds");
+  std::uint64_t total = 0;
+  std::uint64_t peak = 0;
+  for (const std::uint64_t c : counts) {
+    total += c;
+    peak = std::max(peak, c);
+  }
+  if (total == 0) return "(no samples)\n";
+
+  std::ostringstream os;
+  bool elided = false;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    // Elide interior runs of empty buckets (exponential layouts are
+    // mostly empty); a neighbor of a populated bucket stays for context.
+    const bool prev_empty = i == 0 || counts[i - 1] == 0;
+    const bool next_empty = i + 1 >= counts.size() || counts[i + 1] == 0;
+    if (counts[i] == 0 && prev_empty && next_empty) {
+      if (!elided) {
+        os << "  ...\n";
+        elided = true;
+      }
+      continue;
+    }
+    elided = false;
+    char head[80];
+    if (i < bounds.size()) {
+      const double from = i == 0 ? 0.0 : bounds[i - 1];
+      std::snprintf(head, sizeof head, "[%10.3f, %10.3f) %-3s ", from,
+                    bounds[i], options.unit.c_str());
+    } else {
+      std::snprintf(head, sizeof head, "[%10.3f,       +Inf) %-3s ",
+                    bounds.empty() ? 0.0 : bounds.back(),
+                    options.unit.c_str());
+    }
+    const std::size_t bar = static_cast<std::size_t>(
+        counts[i] * options.bar_width / std::max<std::uint64_t>(peak, 1));
+    os << head << std::string(bar, '#')
+       << std::string(options.bar_width - bar, '.') << ' ' << counts[i]
+       << " (" << percent(counts[i], total) << ")\n";
+  }
+  return os.str();
+}
+
 }  // namespace hlock::stats

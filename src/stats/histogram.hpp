@@ -5,6 +5,7 @@
 // tail shape long before it moves the mean.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -27,5 +28,16 @@ struct HistogramOptions {
 /// Returns "(no samples)\n" for empty input. Sample order is irrelevant.
 std::string render_histogram(const std::vector<double>& samples,
                              const HistogramOptions& options = {});
+
+/// Renders an already-bucketed histogram (telemetry snapshots: `bounds`
+/// are ascending bucket upper bounds, `counts` has one extra overflow
+/// bucket) in the same bar style. Buckets with zero counts whose
+/// neighbors are also empty are elided with a "..." line to keep
+/// dashboards short. `options.buckets` and `log_scale` are ignored — the
+/// bucket layout is fixed by the input. Returns "(no samples)\n" when
+/// every count is zero.
+std::string render_bucketed_histogram(const std::vector<double>& bounds,
+                                      const std::vector<std::uint64_t>& counts,
+                                      const HistogramOptions& options = {});
 
 }  // namespace hlock::stats

@@ -21,20 +21,10 @@ std::string to_string(const TransportCounterSnapshot& snapshot) {
 
 TransportCounterSnapshot TransportCounters::snapshot() const {
   TransportCounterSnapshot out;
-  out.drops = drops.load(std::memory_order_relaxed);
-  out.delays = delays.load(std::memory_order_relaxed);
-  out.duplicates = duplicates.load(std::memory_order_relaxed);
-  out.reorders = reorders.load(std::memory_order_relaxed);
-  out.partition_drops = partition_drops.load(std::memory_order_relaxed);
-  out.retransmits = retransmits.load(std::memory_order_relaxed);
-  out.duplicates_discarded =
-      duplicates_discarded.load(std::memory_order_relaxed);
-  out.resequenced = resequenced.load(std::memory_order_relaxed);
-  out.send_retries = send_retries.load(std::memory_order_relaxed);
-  out.reconnects = reconnects.load(std::memory_order_relaxed);
-  out.send_failures = send_failures.load(std::memory_order_relaxed);
-  out.misaddressed_frames =
-      misaddressed_frames.load(std::memory_order_relaxed);
+#define HLOCK_TC_LOAD(name, desc) \
+  out.name = name.load(std::memory_order_relaxed);
+  HLOCK_TRANSPORT_COUNTER_FIELDS(HLOCK_TC_LOAD)
+#undef HLOCK_TC_LOAD
   return out;
 }
 

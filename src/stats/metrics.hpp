@@ -19,27 +19,51 @@
 
 namespace hlock::stats {
 
+/// The single source of truth for transport counter fields. Adding a
+/// counter means adding ONE line here; the snapshot struct, the atomic
+/// struct, snapshot(), for_each() and the telemetry registry fold all
+/// derive from this table (previously a new counter was a three-file
+/// edit, and the telemetry export would have made it four).
+///
+///   X(field_name, "short description")
+///
+/// Grouping (kept for the human-readable to_string): injection-side
+/// faults first, then healing-side recoveries, then TCP send/receive
+/// recovery.
+#define HLOCK_TRANSPORT_COUNTER_FIELDS(X)                                   \
+  /* Injection side (faults put on the wire). */                            \
+  X(drops, "wire losses (later retransmitted)")                             \
+  X(delays, "messages given extra latency")                                 \
+  X(duplicates, "extra wire copies injected")                               \
+  X(reorders, "messages allowed to be overtaken")                           \
+  X(partition_drops, "messages blocked by a partition")                     \
+  /* Healing side (recovery actions that masked a fault). */                \
+  X(retransmits, "lost messages re-sent")                                   \
+  X(duplicates_discarded, "wire copies deduplicated")                       \
+  X(resequenced, "overtaken messages re-ordered")                           \
+  /* TCP send/receive recovery. */                                          \
+  X(send_retries, "failed writes retried with backoff")                     \
+  X(reconnects, "channels re-established after failure")                    \
+  X(send_failures, "frames dropped after retry exhaustion")                 \
+  X(misaddressed_frames, "frames discarded by routing")
+
 /// Plain-value copy of TransportCounters, safe to compare and print.
 struct TransportCounterSnapshot {
-  // Injection side (faults put on the wire).
-  std::uint64_t drops = 0;            ///< wire losses (later retransmitted)
-  std::uint64_t delays = 0;           ///< messages given extra latency
-  std::uint64_t duplicates = 0;       ///< extra wire copies injected
-  std::uint64_t reorders = 0;         ///< messages allowed to be overtaken
-  std::uint64_t partition_drops = 0;  ///< messages blocked by a partition
-  // Healing side (recovery actions that masked a fault).
-  std::uint64_t retransmits = 0;           ///< lost messages re-sent
-  std::uint64_t duplicates_discarded = 0;  ///< wire copies deduplicated
-  std::uint64_t resequenced = 0;           ///< overtaken messages re-ordered
-  // TCP send/receive recovery.
-  std::uint64_t send_retries = 0;  ///< failed writes retried with backoff
-  std::uint64_t reconnects = 0;    ///< channels re-established after failure
-  std::uint64_t send_failures = 0; ///< frames dropped after retry exhaustion
-  std::uint64_t misaddressed_frames = 0;  ///< frames discarded by routing
+#define HLOCK_TC_FIELD(name, desc) std::uint64_t name = 0;  ///< desc
+  HLOCK_TRANSPORT_COUNTER_FIELDS(HLOCK_TC_FIELD)
+#undef HLOCK_TC_FIELD
 
   /// Total faults put on the wire.
   std::uint64_t faults_injected() const {
     return drops + delays + duplicates + reorders + partition_drops;
+  }
+
+  /// Calls `fn(field_name, value)` for every counter, in table order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+#define HLOCK_TC_VISIT(name, desc) fn(#name, name);
+    HLOCK_TRANSPORT_COUNTER_FIELDS(HLOCK_TC_VISIT)
+#undef HLOCK_TC_VISIT
   }
 
   bool operator==(const TransportCounterSnapshot&) const = default;
@@ -56,22 +80,23 @@ std::string to_string(const TransportCounterSnapshot& snapshot);
 /// sufficient — these are statistics, not synchronization.
 class TransportCounters {
  public:
-  std::atomic<std::uint64_t> drops{0};
-  std::atomic<std::uint64_t> delays{0};
-  std::atomic<std::uint64_t> duplicates{0};
-  std::atomic<std::uint64_t> reorders{0};
-  std::atomic<std::uint64_t> partition_drops{0};
-  std::atomic<std::uint64_t> retransmits{0};
-  std::atomic<std::uint64_t> duplicates_discarded{0};
-  std::atomic<std::uint64_t> resequenced{0};
-  std::atomic<std::uint64_t> send_retries{0};
-  std::atomic<std::uint64_t> reconnects{0};
-  std::atomic<std::uint64_t> send_failures{0};
-  std::atomic<std::uint64_t> misaddressed_frames{0};
+#define HLOCK_TC_ATOMIC(name, desc) std::atomic<std::uint64_t> name{0};
+  HLOCK_TRANSPORT_COUNTER_FIELDS(HLOCK_TC_ATOMIC)
+#undef HLOCK_TC_ATOMIC
 
   /// Consistent-enough copy of all counters (each load is atomic; the set
   /// is not a cross-counter snapshot, which statistics do not need).
   TransportCounterSnapshot snapshot() const;
+
+  /// Calls `fn(field_name, atomic_counter&)` for every counter, in table
+  /// order. The telemetry layer uses this to register one callback series
+  /// per field without naming them twice.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+#define HLOCK_TC_VISIT(name, desc) fn(#name, name);
+    HLOCK_TRANSPORT_COUNTER_FIELDS(HLOCK_TC_VISIT)
+#undef HLOCK_TC_VISIT
+  }
 };
 
 /// Message counts broken down by protocol message kind.
@@ -91,6 +116,15 @@ class MessageCounter {
 
   /// All messages. Thread-safe snapshot read.
   std::uint64_t total() const;
+
+  /// Calls `fn(kind, count)` for every message kind, in enum order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < proto::kMessageKindCount; ++i) {
+      fn(static_cast<proto::MessageKind>(i),
+         counts_[i].load(std::memory_order_relaxed));
+    }
+  }
 
  private:
   std::array<std::atomic<std::uint64_t>, proto::kMessageKindCount> counts_{};

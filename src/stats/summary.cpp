@@ -40,6 +40,7 @@ Summary summarize(const std::vector<double>& samples) {
   s.p90 = quantile_sorted(sorted, 0.90);
   s.p95 = quantile_sorted(sorted, 0.95);
   s.p99 = quantile_sorted(sorted, 0.99);
+  s.p999 = quantile_sorted(sorted, 0.999);
   return s;
 }
 
@@ -47,7 +48,7 @@ std::string to_string(const Summary& s) {
   std::ostringstream os;
   os << "n=" << s.count << " mean=" << s.mean << " p50=" << s.p50
      << " p90=" << s.p90 << " p95=" << s.p95 << " p99=" << s.p99
-     << " max=" << s.max;
+     << " p999=" << s.p999 << " max=" << s.max;
   return os.str();
 }
 

@@ -21,6 +21,7 @@ struct Summary {
   double p90 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
   double stddev = 0.0;
 };
 
@@ -32,8 +33,8 @@ Summary summarize(const std::vector<double>& samples);
 /// interpolation between adjacent order statistics.
 double quantile_sorted(const std::vector<double>& sorted, double q);
 
-/// "n=100 mean=1.23 p50=1.10 p90=2.00 p95=2.80 p99=3.50 max=4.00" — for
-/// logs.
+/// "n=100 mean=1.23 p50=1.10 p90=2.00 p95=2.80 p99=3.50 p999=3.95
+/// max=4.00" — for logs.
 std::string to_string(const Summary& s);
 
 }  // namespace hlock::stats

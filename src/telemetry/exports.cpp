@@ -1,0 +1,27 @@
+#include "telemetry/exports.hpp"
+
+namespace hlock::telemetry {
+
+void export_transport_counters(Registry& registry,
+                               const stats::TransportCounters& counters,
+                               const std::string& prefix) {
+  counters.for_each([&](const char* field,
+                        const std::atomic<std::uint64_t>& value) {
+    registry.register_counter_fn(
+        prefix + field + "_total",
+        [&value] { return value.load(std::memory_order_relaxed); });
+  });
+}
+
+void export_message_counter(Registry& registry,
+                            const stats::MessageCounter& counter,
+                            const std::string& prefix) {
+  for (std::size_t i = 0; i < proto::kMessageKindCount; ++i) {
+    const auto kind = static_cast<proto::MessageKind>(i);
+    registry.register_counter_fn(
+        labeled(prefix, {{"kind", proto::to_string(kind)}}),
+        [&counter, kind] { return counter.count(kind); });
+  }
+}
+
+}  // namespace hlock::telemetry

@@ -1,0 +1,38 @@
+// Bridges from the pre-existing hand-maintained counter structs
+// (stats::TransportCounters, stats::MessageCounter) into registry-backed
+// series, using the structs' X-macro/for_each field tables — so a counter
+// added to the table shows up on /metrics with no further edits.
+//
+// Both helpers register *callback* series over the caller's struct: no
+// double bookkeeping, the existing record paths keep writing the same
+// atomics. The caller owns the struct's lifetime and MUST unregister
+// before it dies:
+//
+//     telemetry::export_transport_counters(reg, counters, prefix);
+//     ...
+//     reg.unregister_callbacks(prefix);   // in the owner's destructor
+#pragma once
+
+#include <string>
+
+#include "stats/metrics.hpp"
+#include "telemetry/registry.hpp"
+
+namespace hlock::telemetry {
+
+/// Registers one counter series per TransportCounters field, named
+/// `<prefix><field>_total` (e.g. "hlock_transport_" ->
+/// `hlock_transport_drops_total`). `prefix` doubles as the
+/// unregister_callbacks() key.
+void export_transport_counters(Registry& registry,
+                               const stats::TransportCounters& counters,
+                               const std::string& prefix);
+
+/// Registers `<prefix>{kind="REQUEST"}` etc. — one counter series per
+/// protocol message kind. `prefix` should be a full family name such as
+/// `hlock_messages_sent_total` and doubles as the unregister key.
+void export_message_counter(Registry& registry,
+                            const stats::MessageCounter& counter,
+                            const std::string& prefix);
+
+}  // namespace hlock::telemetry

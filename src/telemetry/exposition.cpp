@@ -1,0 +1,99 @@
+#include "telemetry/exposition.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace hlock::telemetry {
+namespace {
+
+// Shortest round-trip decimal for a metric value; integers print bare
+// (counters are conceptually integral and the checker compares them).
+std::string format_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Splits `name` into base and the "{...}" label block ("" when bare).
+std::pair<std::string_view, std::string_view> split_labels(
+    std::string_view name) {
+  const auto brace = name.find('{');
+  if (brace == std::string_view::npos) {
+    return {name, {}};
+  }
+  return {name.substr(0, brace), name.substr(brace)};
+}
+
+// `base_bucket{existing...,le="0.05"} 12`
+void append_histogram(std::string& out, const Sample& sample) {
+  const auto [base, labels] = split_labels(sample.name);
+  const auto append_series = [&](std::string_view suffix,
+                                 std::string_view le, double value) {
+    out += base;
+    out += suffix;
+    if (!le.empty()) {
+      out += '{';
+      if (!labels.empty()) {
+        // strip "{...}" and re-open with the le label appended
+        out += labels.substr(1, labels.size() - 2);
+        out += ',';
+      }
+      out += "le=\"";
+      out += le;
+      out += "\"}";
+    } else {
+      out += labels;
+    }
+    out += ' ';
+    out += format_value(value);
+    out += '\n';
+  };
+
+  const HistogramSnapshot& h = sample.histogram;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+    cumulative += i < h.counts.size() ? h.counts[i] : 0;
+    char bound[64];
+    std::snprintf(bound, sizeof(bound), "%g", h.bounds[i]);
+    append_series("_bucket", bound, static_cast<double>(cumulative));
+  }
+  append_series("_bucket", "+Inf", static_cast<double>(h.count));
+  append_series("_sum", {}, h.sum);
+  append_series("_count", {}, static_cast<double>(h.count));
+}
+
+}  // namespace
+
+std::string render_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  out.reserve(snapshot.samples.size() * 48);
+  std::string_view current_family;
+  for (const Sample& sample : snapshot.samples) {
+    const std::string_view family = family_of(sample.name);
+    if (family != current_family) {
+      out += "# TYPE ";
+      out += family;
+      out += ' ';
+      out += to_string(sample.type);
+      out += '\n';
+      current_family = family;
+    }
+    if (sample.type == MetricType::kHistogram) {
+      append_histogram(out, sample);
+    } else {
+      out += sample.name;
+      out += ' ';
+      out += format_value(sample.value);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace hlock::telemetry

@@ -1,0 +1,24 @@
+// Prometheus text exposition: render a registry snapshot to the text
+// format scraped by `GET /metrics` and written by `--metrics-out`.
+//
+// Output per family: one `# TYPE family type` line, then every series of
+// the family. Histograms expand the conventional way — cumulative
+// `family_bucket{le="bound"}` series ending in `le="+Inf"`, plus
+// `family_sum` and `family_count`. Samples arrive sorted from
+// Registry::snapshot(), so families are contiguous and output is
+// byte-deterministic for a given snapshot.
+//
+// The inverse direction (parsing and validating scraped text) lives in
+// telemetry/text_parse.hpp.
+#pragma once
+
+#include <string>
+
+#include "telemetry/registry.hpp"
+
+namespace hlock::telemetry {
+
+/// Renders the snapshot as Prometheus text format (version 0.0.4).
+std::string render_prometheus(const Snapshot& snapshot);
+
+}  // namespace hlock::telemetry

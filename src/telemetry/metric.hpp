@@ -1,0 +1,119 @@
+// Live metric instruments: counters, gauges and streaming histograms.
+//
+// These are the write-side primitives of the telemetry registry
+// (telemetry/registry.hpp). The record path is lock-free by construction —
+// every instrument is a handful of relaxed atomics — mirroring the
+// SyncObserver "one relaxed load when idle" discipline (util/
+// sync_observer.hpp): code holding a shard mutex on the delivery hot path
+// may bump counters and record histogram samples without ever taking
+// another lock, and a cluster built without a registry pays nothing but a
+// pointer test. Relaxed ordering is sufficient throughout — these are
+// statistics, not synchronization; readers (the sampler, the /metrics
+// endpoint) take per-value atomic snapshots, not cross-value ones.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hlock::telemetry {
+
+/// A monotonically increasing event count (Prometheus "counter"; name them
+/// `*_total` by convention — the exposition checker flags decreases).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A value that goes up and down (queue depths, token locations).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time copy of a histogram's state (per-value atomic reads; the
+/// set is not a cross-bucket snapshot, which statistics do not need).
+struct HistogramSnapshot {
+  /// Bucket upper bounds, ascending; counts has one extra overflow bucket.
+  std::vector<double> bounds;
+  /// counts[i] = samples with value <= bounds[i] (and > bounds[i-1]);
+  /// counts.back() = samples above every bound (the "+Inf" bucket).
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  /// Approximate q-quantile (0 <= q <= 1) by linear interpolation inside
+  /// the bucket holding the rank; 0 when empty. The overflow bucket
+  /// reports the largest finite bound (a floor for the true value).
+  double quantile(double q) const;
+};
+
+/// A fixed-bucket streaming histogram. Bucket bounds are immutable after
+/// construction, so record() is a binary search over a constant array plus
+/// three relaxed atomic adds — no mutex, ever.
+class Histogram {
+ public:
+  /// `bounds` are the bucket upper bounds (ascending, deduplicated by the
+  /// caller); an implicit overflow bucket catches everything above.
+  explicit Histogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)),
+        buckets_(std::make_unique<std::atomic<std::uint64_t>[]>(
+            bounds_.size() + 1)) {}
+
+  void record(double v) {
+    const auto index = static_cast<std::size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+        bounds_.begin());
+    buckets_[index].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  HistogramSnapshot snapshot() const;
+
+  /// Convenience: quantile over a fresh snapshot.
+  double quantile(double q) const { return snapshot().quantile(q); }
+
+ private:
+  const std::vector<double> bounds_;
+  const std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// `count` exponentially spaced bounds starting at `start` (> 0), each
+/// `factor` (> 1) apart — the stock layout for latency histograms.
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t count);
+
+/// `count` linearly spaced bounds `start, start+step, ...` — for small
+/// integer-valued distributions (queue depths, batch sizes).
+std::vector<double> linear_bounds(double start, double step,
+                                  std::size_t count);
+
+/// Default wait/hold-time layout: 0.05 ms .. ~105 s in x2 steps.
+std::vector<double> default_latency_bounds_ms();
+
+}  // namespace hlock::telemetry

@@ -1,0 +1,281 @@
+#include "telemetry/registry.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace hlock::telemetry {
+
+// --- metric.hpp implementations -------------------------------------------
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based; q=1 lands on the last sample.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (seen + in_bucket >= target) {
+      if (i >= bounds.size()) {
+        // Overflow bucket: no upper bound to interpolate toward; report the
+        // largest finite bound as a floor for the true quantile.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double hi = bounds[i];
+      const double lo = i == 0 ? std::min(0.0, hi) : bounds[i - 1];
+      const double frac = static_cast<double>(target - seen) /
+                          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * frac;
+    }
+    seen += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count();
+  snap.sum = sum();
+  return snap;
+}
+
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t count) {
+  HLOCK_REQUIRE(start > 0.0 && factor > 1.0,
+                "exponential_bounds needs start > 0 and factor > 1");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double v = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> linear_bounds(double start, double step,
+                                  std::size_t count) {
+  HLOCK_REQUIRE(step > 0.0, "linear_bounds needs step > 0");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(start + step * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+std::vector<double> default_latency_bounds_ms() {
+  // 0.05 ms .. ~105 s in x2 steps: covers sub-millisecond in-proc grants
+  // through multi-second chaos stalls in 22 buckets.
+  return exponential_bounds(0.05, 2.0, 22);
+}
+
+// --- registry -------------------------------------------------------------
+
+std::string to_string(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+const Sample* Snapshot::find(std::string_view name) const {
+  for (const Sample& sample : samples) {
+    if (sample.name == name) {
+      return &sample;
+    }
+  }
+  return nullptr;
+}
+
+double Snapshot::family_sum(std::string_view family) const {
+  double total = 0.0;
+  for (const Sample& sample : samples) {
+    if (family_of(sample.name) == family) {
+      total += sample.value;
+    }
+  }
+  return total;
+}
+
+void Registry::require_unclaimed(const std::string& name,
+                                 MetricType type) const {
+  const bool taken =
+      (type != MetricType::kCounter &&
+       (counters_.count(name) != 0 || counter_fns_.count(name) != 0)) ||
+      (type != MetricType::kGauge &&
+       (gauges_.count(name) != 0 || gauge_fns_.count(name) != 0)) ||
+      (type != MetricType::kHistogram && histograms_.count(name) != 0);
+  HLOCK_REQUIRE(!taken, "metric '" + name +
+                            "' already registered with a different type");
+}
+
+Counter& Registry::counter(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    require_unclaimed(name, MetricType::kCounter);
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    require_unclaimed(name, MetricType::kGauge);
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  MutexLock lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    require_unclaimed(name, MetricType::kHistogram);
+    if (bounds.empty()) {
+      bounds = default_latency_bounds_ms();
+    }
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::register_counter_fn(const std::string& name,
+                                   std::function<std::uint64_t()> fn) {
+  MutexLock lock(mutex_);
+  require_unclaimed(name, MetricType::kCounter);
+  counter_fns_[name] = std::move(fn);
+}
+
+void Registry::register_gauge_fn(const std::string& name,
+                                 std::function<double()> fn) {
+  MutexLock lock(mutex_);
+  require_unclaimed(name, MetricType::kGauge);
+  gauge_fns_[name] = std::move(fn);
+}
+
+void Registry::unregister_callbacks(const std::string& prefix) {
+  MutexLock lock(mutex_);
+  const auto drop_prefixed = [&prefix](auto& table) {
+    for (auto it = table.begin(); it != table.end();) {
+      if (it->first.rfind(prefix, 0) == 0) {
+        it = table.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  drop_prefixed(counter_fns_);
+  drop_prefixed(gauge_fns_);
+}
+
+Snapshot Registry::snapshot() const {
+  MutexLock lock(mutex_);
+  Snapshot snap;
+  snap.samples.reserve(counters_.size() + gauges_.size() +
+                       histograms_.size() + counter_fns_.size() +
+                       gauge_fns_.size());
+  // Each table is name-sorted; a merged emit keeps the whole snapshot
+  // sorted so exposition output is deterministic and families contiguous.
+  for (const auto& [name, counter] : counters_) {
+    snap.samples.push_back({name, MetricType::kCounter,
+                            static_cast<double>(counter->value()),
+                            {}});
+  }
+  for (const auto& [name, fn] : counter_fns_) {
+    snap.samples.push_back(
+        {name, MetricType::kCounter, static_cast<double>(fn()), {}});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.samples.push_back({name, MetricType::kGauge, gauge->value(), {}});
+  }
+  for (const auto& [name, fn] : gauge_fns_) {
+    snap.samples.push_back({name, MetricType::kGauge, fn(), {}});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    Sample sample;
+    sample.name = name;
+    sample.type = MetricType::kHistogram;
+    sample.histogram = histogram->snapshot();
+    sample.value = sample.histogram.sum;
+    snap.samples.push_back(std::move(sample));
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return snap;
+}
+
+std::size_t Registry::series_count() const {
+  MutexLock lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size() +
+         counter_fns_.size() + gauge_fns_.size();
+}
+
+std::string labeled(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string>> labels) {
+  if (labels.size() == 0) {
+    return std::string(base);
+  }
+  std::string out(base);
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += key;
+    out += "=\"";
+    for (const char c : value) {
+      switch (c) {
+        case '\\':
+          out += "\\\\";
+          break;
+        case '"':
+          out += "\\\"";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        default:
+          out += c;
+      }
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string_view family_of(std::string_view name) {
+  const auto brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
+}  // namespace hlock::telemetry

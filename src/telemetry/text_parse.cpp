@@ -1,0 +1,288 @@
+#include "telemetry/text_parse.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <set>
+#include <string_view>
+#include <unordered_map>
+
+namespace hlock::telemetry {
+namespace {
+
+// The label block may contain spaces inside quoted values, so the
+// name/value split point is the first space *outside* braces.
+std::size_t value_split(std::string_view line) {
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"' && (i == 0 || line[i - 1] != '\\')) {
+      in_quotes = !in_quotes;
+    } else if (c == ' ' && !in_quotes) {
+      return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Extracts the value of label `key` from a raw `{k="v",...}` block;
+// empty when absent. Good enough for le="..." (values we emit ourselves).
+std::string label_value(const std::string& labels, std::string_view key) {
+  std::string needle(key);
+  needle += "=\"";
+  const auto at = labels.find(needle);
+  if (at == std::string::npos) {
+    return {};
+  }
+  const auto start = at + needle.size();
+  const auto end = labels.find('"', start);
+  if (end == std::string::npos) {
+    return {};
+  }
+  return labels.substr(start, end - start);
+}
+
+// The histogram identity a `_bucket` series belongs to: the base family
+// (suffix stripped) plus its labels minus the `le` pair — the same key the
+// `_count` series of that histogram produces, so the +Inf and
+// count-consistency checks line up.
+std::string without_le(const ParsedSeries& series) {
+  std::string base = series.family.substr(0, series.family.size() - 7);
+  const auto at = series.labels.find("le=\"");
+  if (at == std::string::npos) {
+    return base + series.labels;
+  }
+  std::string labels = series.labels;
+  auto cut_from = at;
+  if (cut_from > 0 && labels[cut_from - 1] == ',') {
+    --cut_from;
+  }
+  const auto close = labels.find('"', at + 4);
+  auto cut_to = close == std::string::npos ? labels.size() : close + 1;
+  labels.erase(cut_from, cut_to - cut_from);
+  if (labels == "{}") {
+    labels.clear();
+  }
+  return base + labels;
+}
+
+}  // namespace
+
+const ParsedSeries* ParsedExposition::find(const std::string& name) const {
+  for (const ParsedSeries& s : series) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+double ParsedExposition::prefixed_sum(const std::string& prefix) const {
+  double total = 0.0;
+  for (const ParsedSeries& s : series) {
+    if (s.name.rfind(prefix, 0) == 0) {
+      total += s.value;
+    }
+  }
+  return total;
+}
+
+ParsedExposition parse_exposition(const std::string& text) {
+  ParsedExposition out;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto eol = text.find('\n', pos);
+    std::string_view line(text.data() + pos, (eol == std::string::npos
+                                                  ? text.size()
+                                                  : eol) -
+                                                 pos);
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    line = trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      // `# TYPE family type`; HELP and other comments pass through.
+      constexpr std::string_view kType = "# TYPE ";
+      if (line.rfind(kType, 0) == 0) {
+        const std::string_view rest = line.substr(kType.size());
+        const auto space = rest.find(' ');
+        if (space == std::string_view::npos) {
+          out.errors.push_back("line " + std::to_string(line_no) +
+                               ": malformed TYPE line");
+          continue;
+        }
+        const std::string family(trim(rest.substr(0, space)));
+        const std::string type(trim(rest.substr(space + 1)));
+        if (out.types.count(family) != 0 && out.types[family] != type) {
+          out.errors.push_back("line " + std::to_string(line_no) +
+                               ": family '" + family +
+                               "' re-declared with type '" + type + "'");
+        }
+        out.types[family] = type;
+      }
+      continue;
+    }
+    const auto split = value_split(line);
+    if (split == std::string_view::npos || split == 0) {
+      out.errors.push_back("line " + std::to_string(line_no) +
+                           ": no value separator");
+      continue;
+    }
+    ParsedSeries series;
+    series.name = std::string(trim(line.substr(0, split)));
+    const std::string value_text(trim(line.substr(split + 1)));
+    char* end = nullptr;
+    series.value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str() || *end != '\0') {
+      out.errors.push_back("line " + std::to_string(line_no) +
+                           ": unparseable value '" + value_text + "'");
+      continue;
+    }
+    const auto brace = series.name.find('{');
+    if (brace == std::string::npos) {
+      series.family = series.name;
+    } else {
+      series.family = series.name.substr(0, brace);
+      series.labels = series.name.substr(brace);
+      if (series.labels.back() != '}') {
+        out.errors.push_back("line " + std::to_string(line_no) +
+                             ": unterminated label block");
+        continue;
+      }
+    }
+    out.series.push_back(std::move(series));
+  }
+  return out;
+}
+
+std::vector<std::string> check_exposition(const ParsedExposition& parsed) {
+  std::vector<std::string> violations = parsed.errors;
+
+  std::set<std::string> seen;
+  for (const ParsedSeries& s : parsed.series) {
+    if (!seen.insert(s.name).second) {
+      violations.push_back("duplicate series: " + s.name);
+    }
+  }
+
+  // Histogram families declare their base name; samples arrive with
+  // _bucket/_sum/_count suffixes. Strip a known suffix before the TYPE
+  // lookup so those resolve to their family.
+  const auto type_of = [&parsed](const ParsedSeries& s) -> std::string {
+    for (const std::string_view suffix :
+         {std::string_view("_bucket"), std::string_view("_sum"),
+          std::string_view("_count")}) {
+      if (s.family.size() > suffix.size() &&
+          s.family.compare(s.family.size() - suffix.size(), suffix.size(),
+                           suffix) == 0) {
+        const std::string base =
+            s.family.substr(0, s.family.size() - suffix.size());
+        const auto it = parsed.types.find(base);
+        if (it != parsed.types.end() && it->second == "histogram") {
+          return it->second;
+        }
+      }
+    }
+    const auto it = parsed.types.find(s.family);
+    return it == parsed.types.end() ? std::string() : it->second;
+  };
+
+  // Per-histogram bucket sequences, in file order, plus their _count.
+  struct BucketRun {
+    std::vector<std::pair<double, double>> le_and_value;
+    double count = -1.0;
+    bool has_inf = false;
+  };
+  std::unordered_map<std::string, BucketRun> histograms;
+
+  for (const ParsedSeries& s : parsed.series) {
+    const std::string type = type_of(s);
+    if (type.empty()) {
+      violations.push_back("series without TYPE line: " + s.name);
+      continue;
+    }
+    if (type == "counter" && s.value < 0.0) {
+      violations.push_back("negative counter: " + s.name);
+    }
+    if (type != "histogram") {
+      continue;
+    }
+    if (s.family.size() > 7 &&
+        s.family.compare(s.family.size() - 7, 7, "_bucket") == 0) {
+      BucketRun& run = histograms[without_le(s)];
+      const std::string le = label_value(s.labels, "le");
+      if (le == "+Inf") {
+        run.has_inf = true;
+        run.le_and_value.emplace_back(
+            std::numeric_limits<double>::infinity(), s.value);
+      } else {
+        run.le_and_value.emplace_back(std::strtod(le.c_str(), nullptr),
+                                      s.value);
+      }
+    } else if (s.family.size() > 6 &&
+               s.family.compare(s.family.size() - 6, 6, "_count") == 0) {
+      histograms[s.family.substr(0, s.family.size() - 6) + s.labels].count =
+          s.value;
+    }
+  }
+
+  for (const auto& [key, run] : histograms) {
+    if (!run.has_inf) {
+      violations.push_back("histogram missing +Inf bucket: " + key);
+    }
+    for (std::size_t i = 1; i < run.le_and_value.size(); ++i) {
+      if (run.le_and_value[i].first < run.le_and_value[i - 1].first) {
+        violations.push_back("histogram buckets out of order: " + key);
+        break;
+      }
+      if (run.le_and_value[i].second < run.le_and_value[i - 1].second) {
+        violations.push_back("histogram buckets not cumulative: " + key);
+        break;
+      }
+    }
+    if (run.has_inf && run.count >= 0.0 &&
+        run.le_and_value.back().second != run.count) {
+      violations.push_back("histogram _count != +Inf bucket: " + key);
+    }
+  }
+
+  return violations;
+}
+
+std::vector<std::string> check_monotone(const ParsedExposition& earlier,
+                                        const ParsedExposition& later) {
+  std::vector<std::string> violations;
+  std::unordered_map<std::string, double> before;
+  for (const ParsedSeries& s : earlier.series) {
+    const auto it = earlier.types.find(s.family);
+    if (it != earlier.types.end() && it->second == "counter") {
+      before[s.name] = s.value;
+    }
+  }
+  for (const ParsedSeries& s : later.series) {
+    const auto it = before.find(s.name);
+    if (it != before.end() && s.value < it->second) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " (%g -> %g)", it->second, s.value);
+      violations.push_back("counter decreased: " + s.name + buf);
+    }
+  }
+  return violations;
+}
+
+}  // namespace hlock::telemetry

@@ -1,0 +1,55 @@
+// Parsing and validation of Prometheus text exposition — the read side of
+// telemetry/exposition.hpp, used by hlock_top (dashboard over scraped
+// text), hlock_metrics_check (the CI format checker) and tests.
+//
+// The parser accepts the subset render_prometheus() emits (plus `# HELP`
+// and blank lines, for tolerance): `# TYPE family type` lines and
+// `name{labels} value` samples. It is strict about everything it does
+// parse — malformed lines land in ParsedExposition::errors rather than
+// being skipped silently, because the CI checker's whole job is to fail
+// on malformed output.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hlock::telemetry {
+
+/// One `name value` sample line, split into family and raw label block.
+struct ParsedSeries {
+  std::string name;    ///< full series name, labels included
+  std::string family;  ///< name up to '{'
+  std::string labels;  ///< raw label block incl. braces; "" when bare
+  double value = 0.0;
+};
+
+struct ParsedExposition {
+  std::vector<ParsedSeries> series;           ///< in file order
+  std::map<std::string, std::string> types;   ///< family -> declared type
+  std::vector<std::string> errors;            ///< malformed-line messages
+
+  /// The first series with exactly this name, or nullptr.
+  const ParsedSeries* find(const std::string& name) const;
+  /// Sum of every series whose name starts with `prefix` (family match or
+  /// full labeled-series match alike).
+  double prefixed_sum(const std::string& prefix) const;
+};
+
+/// Parses exposition text. Never throws; syntax problems are collected in
+/// the result's `errors`.
+ParsedExposition parse_exposition(const std::string& text);
+
+/// Validates one scrape: every sample's family has a TYPE line, no
+/// duplicate series names, histogram buckets cumulative-monotone with
+/// `_count` equal to the `+Inf` bucket, counters non-negative. Returns
+/// human-readable violations (empty = clean). Parser errors are included.
+std::vector<std::string> check_exposition(const ParsedExposition& parsed);
+
+/// Validates counter monotonicity across two scrapes of the same process:
+/// every counter-typed series present in both must not decrease. Returns
+/// violations (empty = clean).
+std::vector<std::string> check_monotone(const ParsedExposition& earlier,
+                                        const ParsedExposition& later);
+
+}  // namespace hlock::telemetry

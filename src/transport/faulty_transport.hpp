@@ -114,6 +114,12 @@ class FaultyTransport final : public Transport {
   /// Encoded bytes shipped by the inner transport (wire copies included).
   std::uint64_t bytes_sent() const override { return inner_->bytes_sent(); }
 
+  /// Inner-transport inbox depth (wire-resident messages are not counted —
+  /// they have not been delivered anywhere yet).
+  std::size_t inbox_depth(proto::NodeId node) const override {
+    return inner_->inbox_depth(node);
+  }
+
   /// Splits the cluster into `side_a` vs everyone else for `heal_after`
   /// (wall time from now). Crossing messages are buffered until the heal.
   /// Callable while traffic flows.

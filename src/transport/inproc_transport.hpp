@@ -90,6 +90,13 @@ class InProcTransport final : public Transport {
 
   std::size_t node_count() const { return mailboxes_.size(); }
 
+  /// Messages waiting in `node`'s mailbox (matured or not).
+  std::size_t inbox_depth(proto::NodeId node) const override {
+    return node.value() < mailboxes_.size()
+               ? mailboxes_[node.value()]->size()
+               : 0;
+  }
+
  private:
   Mailbox& mailbox(proto::NodeId node);
   /// Computes the delivery time of the next message/batch on (from, to),

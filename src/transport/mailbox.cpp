@@ -120,4 +120,9 @@ std::uint64_t Mailbox::pushed() const {
   return pushed_;
 }
 
+std::size_t Mailbox::size() const {
+  MutexLock guard(mutex_);
+  return heap_.size();
+}
+
 }  // namespace hlock::transport

@@ -60,6 +60,9 @@ class Mailbox {
   /// Messages deposited over the mailbox's lifetime.
   std::uint64_t pushed() const HLOCK_EXCLUDES(mutex_);
 
+  /// Messages currently waiting (matured or not). Telemetry read.
+  std::size_t size() const HLOCK_EXCLUDES(mutex_);
+
  private:
   struct Entry {
     Clock::time_point deliver_at;

@@ -80,6 +80,12 @@ class TcpTransport final : public Transport {
   /// Retry, reconnect, and bad-frame counters, live.
   const stats::TransportCounters& counters() const { return counters_; }
 
+  /// Messages decoded into `node`'s inbox but not yet received.
+  std::size_t inbox_depth(proto::NodeId node) const override {
+    return node.value() < nodes_.size() ? nodes_[node.value()]->inbox.size()
+                                        : 0;
+  }
+
   /// Chaos hook: severs the established (from, to) connection at the
   /// socket level without telling the sender, so the next send on the
   /// channel fails and exercises the retry/reconnect path. Returns false

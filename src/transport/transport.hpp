@@ -71,6 +71,13 @@ class Transport {
   /// transport frames). Zero for transports that never encode — the
   /// bytes-per-request metric of bench/throughput_hotpath.cpp.
   virtual std::uint64_t bytes_sent() const { return 0; }
+
+  /// Messages queued toward `node` but not yet received — the telemetry
+  /// mailbox-depth gauge. Zero for transports without visible queues.
+  virtual std::size_t inbox_depth(proto::NodeId node) const {
+    (void)node;
+    return 0;
+  }
 };
 
 }  // namespace hlock::transport

@@ -164,6 +164,7 @@ TEST(SpanCollector, BreakdownListsIntervalsAndAcquireRow) {
 
   const std::string table = render_phase_table(rows);
   EXPECT_NE(table.find("phase (ms)"), std::string::npos);
+  EXPECT_NE(table.find("p999"), std::string::npos);
   EXPECT_NE(table.find("acquire (issued->cs-enter)"), std::string::npos);
 }
 

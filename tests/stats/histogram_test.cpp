@@ -82,6 +82,30 @@ TEST(Histogram, LogScaleSpreadsHeavyTails) {
             nonempty_buckets(render_histogram(samples, linear)));
 }
 
+TEST(Histogram, LogScaleToleratesNonPositiveSamples) {
+  // Regression guard: zeros and negatives have no logarithm; the renderer
+  // clamps them to a positive floor (a fixed dynamic range below the max)
+  // instead of degenerating the bucket bounds into NaN/-inf.
+  HistogramOptions options;
+  options.log_scale = true;
+  options.buckets = 6;
+  const std::string out =
+      render_histogram({0.0, -1.0, 0.5, 100.0}, options);
+  EXPECT_EQ(out.find("nan"), std::string::npos) << out;
+  EXPECT_EQ(out.find("inf"), std::string::npos) << out;
+  // The two non-positive samples collapse into the first bucket.
+  EXPECT_NE(out.find("2 (50.0%)"), std::string::npos) << out;
+}
+
+TEST(Histogram, LogScaleAllZeroSamplesStayInOneBucket) {
+  HistogramOptions options;
+  options.log_scale = true;
+  options.buckets = 4;
+  const std::string out = render_histogram({0.0, 0.0, 0.0}, options);
+  EXPECT_EQ(out.find("nan"), std::string::npos) << out;
+  EXPECT_NE(out.find("3 (100.0%)"), std::string::npos) << out;
+}
+
 TEST(Histogram, Validation) {
   HistogramOptions zero_buckets;
   zero_buckets.buckets = 0;
@@ -89,6 +113,47 @@ TEST(Histogram, Validation) {
   HistogramOptions zero_width;
   zero_width.bar_width = 0;
   EXPECT_THROW(render_histogram({1.0}, zero_width), UsageError);
+}
+
+TEST(BucketedHistogram, ValidatesItsShape) {
+  EXPECT_THROW(render_bucketed_histogram({1.0, 2.0}, {1, 2}), UsageError);
+  HistogramOptions zero_width;
+  zero_width.bar_width = 0;
+  EXPECT_THROW(render_bucketed_histogram({1.0}, {1, 0}, zero_width),
+               UsageError);
+}
+
+TEST(BucketedHistogram, AllZeroCountsRenderNoSamples) {
+  EXPECT_EQ(render_bucketed_histogram({1.0, 2.0}, {0, 0, 0}),
+            "(no samples)\n");
+}
+
+TEST(BucketedHistogram, RendersEveryBucketAndTheOverflowRow) {
+  const std::string out = render_bucketed_histogram({1.0, 2.0}, {1, 2, 3});
+  EXPECT_NE(out.find("+Inf"), std::string::npos) << out;
+  EXPECT_NE(out.find("1 (16.7%)"), std::string::npos) << out;
+  EXPECT_NE(out.find("2 (33.3%)"), std::string::npos) << out;
+  EXPECT_NE(out.find("3 (50.0%)"), std::string::npos) << out;
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(BucketedHistogram, ElidesInteriorEmptyRuns) {
+  // Exponential layouts are mostly empty; interior runs collapse to one
+  // "..." line while the neighbors of populated buckets stay for context.
+  const std::vector<double> bounds{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<std::uint64_t> counts{5, 0, 0, 0, 0, 0, 0, 0, 5};
+  const std::string out = render_bucketed_histogram(bounds, counts);
+  std::size_t ellipses = 0;
+  std::size_t lines = 0;
+  for (std::size_t at = 0; (at = out.find("  ...\n", at)) != std::string::npos;
+       ++at) {
+    ++ellipses;
+  }
+  for (const char c : out) lines += c == '\n' ? 1u : 0u;
+  EXPECT_EQ(ellipses, 1u) << out;
+  // First bucket, its empty neighbor, "...", the overflow's empty
+  // neighbor, and the overflow row itself.
+  EXPECT_EQ(lines, 5u) << out;
 }
 
 }  // namespace

@@ -54,8 +54,21 @@ TEST(Summary, ToStringPrintsEveryReportedQuantile) {
   s.p90 = 2.0;
   s.p95 = 2.5;
   s.p99 = 3.0;
+  s.p999 = 3.5;
   s.max = 4.0;
-  EXPECT_EQ(to_string(s), "n=4 mean=1.5 p50=1 p90=2 p95=2.5 p99=3 max=4");
+  EXPECT_EQ(to_string(s),
+            "n=4 mean=1.5 p50=1 p90=2 p95=2.5 p99=3 p999=3.5 max=4");
+}
+
+TEST(Summary, P999TracksExtremeTail) {
+  // Twenty huge outliers in ten thousand samples: p99 stays small while
+  // p999 lands inside the outlier cluster — the tail story p99 misses.
+  std::vector<double> samples(9980, 1.0);
+  samples.insert(samples.end(), 20, 1000.0);
+  const Summary s = summarize(samples);
+  EXPECT_LT(s.p99, 2.0);
+  EXPECT_GT(s.p999, 900.0);
+  EXPECT_LE(s.p999, 1000.0);
 }
 
 TEST(Quantile, InterpolatesBetweenOrderStatistics) {

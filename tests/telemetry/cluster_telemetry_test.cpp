@@ -1,0 +1,221 @@
+// End-to-end telemetry over a live ThreadCluster: the registry handed in
+// through ThreadClusterOptions must account for every operation the
+// cluster performs, expose cleanly, and stop polling component state once
+// the cluster is gone.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_cluster.hpp"
+#include "telemetry/exposition.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/text_parse.hpp"
+#include "telemetry/watchdog.hpp"
+
+namespace hlock::runtime {
+namespace {
+
+using proto::LockId;
+using proto::LockMode;
+using proto::NodeId;
+using telemetry::Sample;
+using telemetry::Snapshot;
+
+constexpr std::size_t kNodes = 3;
+constexpr int kOpsPerNode = 10;
+constexpr double kTotalOps = static_cast<double>(kNodes) * kOpsPerNode;
+
+ThreadClusterOptions instrumented_options(telemetry::Registry& registry,
+                                          Protocol protocol) {
+  ThreadClusterOptions options;
+  options.node_count = kNodes;
+  options.protocol = protocol;
+  options.seed = 11;
+  options.metrics = &registry;
+  return options;
+}
+
+void run_contended_workload(ThreadCluster& cluster) {
+  std::vector<std::thread> workers;
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    workers.emplace_back([&cluster, i] {
+      for (int k = 0; k < kOpsPerNode; ++k) {
+        cluster.lock(NodeId{i}, LockId{0}, LockMode::kW);
+        cluster.unlock(NodeId{i}, LockId{0});
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+std::uint64_t histogram_family_count(const Snapshot& snap,
+                                     std::string_view family) {
+  std::uint64_t total = 0;
+  for (const Sample& sample : snap.samples) {
+    if (telemetry::family_of(sample.name) == family) {
+      total += sample.histogram.count;
+    }
+  }
+  return total;
+}
+
+TEST(ClusterTelemetry, EveryOperationIsAccountedFor) {
+  telemetry::Registry registry;
+  telemetry::WatchdogOptions watchdog_options;
+  watchdog_options.floor = std::chrono::seconds(60);  // observe, never flag
+  telemetry::StallWatchdog watchdog{registry, watchdog_options};
+
+  ThreadClusterOptions options =
+      instrumented_options(registry, Protocol::kHierarchical);
+  options.watchdog = &watchdog;
+  {
+    ThreadCluster cluster{options};
+    run_contended_workload(cluster);
+
+    const Snapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.family_sum("hlock_engine_requests_total"), kTotalOps);
+    EXPECT_EQ(snap.family_sum("hlock_engine_grants_total"), kTotalOps);
+    EXPECT_EQ(snap.family_sum("hlock_engine_releases_total"), kTotalOps);
+    // Every grant records a wait, every release a hold; the watchdog
+    // brackets each blocking lock() with its own histogram.
+    EXPECT_EQ(histogram_family_count(snap, "hlock_wait_ms"), kTotalOps);
+    EXPECT_EQ(histogram_family_count(snap, "hlock_hold_ms"), kTotalOps);
+    EXPECT_EQ(histogram_family_count(snap, "hlock_request_wait_ms"),
+              kTotalOps);
+    EXPECT_EQ(watchdog.stalled_total(), 0u);
+    EXPECT_EQ(snap.find("hlock_pending_requests")->value, 0.0);
+
+    // Cross-node traffic showed up in the message and transport series.
+    EXPECT_GT(snap.family_sum("hlock_messages_sent_total"), 0.0);
+    EXPECT_EQ(snap.family_sum("hlock_transport_messages_sent_total"),
+              static_cast<double>(cluster.messages_sent()));
+
+    // The token settled somewhere legal after the last grant.
+    const Sample* token = snap.find(
+        telemetry::labeled("hlock_token_location", {{"lock", "0"}}));
+    ASSERT_NE(token, nullptr);
+    EXPECT_GE(token->value, 0.0);
+    EXPECT_LT(token->value, static_cast<double>(kNodes));
+
+    // Per-node / per-shard structural series exist.
+    EXPECT_NE(snap.find(telemetry::labeled("hlock_mailbox_depth",
+                                           {{"node", "0"}})),
+              nullptr);
+    EXPECT_NE(snap.find(telemetry::labeled(
+                  "hlock_engine_queue_depth",
+                  {{"node", "0"}, {"shard", "0"}})),
+              nullptr);
+    // All work done: nothing queued, and the token settled on at least one
+    // node (hierarchical handoffs can leave more than one automaton in a
+    // token-bearing state, so the exact count is protocol detail).
+    EXPECT_EQ(snap.family_sum("hlock_engine_queue_depth"), 0.0);
+    EXPECT_GE(snap.family_sum("hlock_tokens_held"), 1.0);
+    EXPECT_LE(snap.family_sum("hlock_tokens_held"),
+              static_cast<double>(kNodes));
+
+    // The whole catalog renders as clean exposition text.
+    const std::string text =
+        telemetry::render_prometheus(registry.snapshot());
+    const telemetry::ParsedExposition parsed =
+        telemetry::parse_exposition(text);
+    const std::vector<std::string> violations =
+        telemetry::check_exposition(parsed);
+    EXPECT_TRUE(violations.empty()) << violations.front();
+  }
+}
+
+TEST(ClusterTelemetry, TransportCallbacksUnregisterWithTheCluster) {
+  telemetry::Registry registry;
+  {
+    ThreadCluster cluster{
+        instrumented_options(registry, Protocol::kHierarchical)};
+    run_contended_workload(cluster);
+    ASSERT_NE(registry.snapshot().find(telemetry::labeled(
+                  "hlock_mailbox_depth", {{"node", "0"}})),
+              nullptr);
+  }
+  // The cluster is gone; polling its transport would be use-after-free.
+  const Snapshot snap = registry.snapshot();
+  for (const Sample& sample : snap.samples) {
+    EXPECT_NE(telemetry::family_of(sample.name), "hlock_mailbox_depth")
+        << sample.name;
+    EXPECT_NE(telemetry::family_of(sample.name),
+              "hlock_transport_messages_sent_total")
+        << sample.name;
+  }
+  // Owned engine counters survive for post-mortem reads.
+  EXPECT_EQ(snap.family_sum("hlock_engine_grants_total"), kTotalOps);
+  // And the snapshot still renders cleanly.
+  EXPECT_TRUE(telemetry::check_exposition(
+                  telemetry::parse_exposition(
+                      telemetry::render_prometheus(snap)))
+                  .empty());
+}
+
+TEST(ClusterTelemetry, ModeLabelsFollowTheWorkload) {
+  telemetry::Registry registry;
+  ThreadCluster cluster{
+      instrumented_options(registry, Protocol::kHierarchical)};
+  cluster.lock(NodeId{0}, LockId{0}, LockMode::kR);
+  cluster.unlock(NodeId{0}, LockId{0});
+  cluster.lock(NodeId{1}, LockId{0}, LockMode::kW);
+  cluster.unlock(NodeId{1}, LockId{0});
+
+  const Snapshot snap = registry.snapshot();
+  const auto requests_in = [&snap](const std::string& node,
+                                   const std::string& mode) {
+    const Sample* sample = snap.find(
+        "hlock_engine_requests_total{proto=\"hierarchical\",node=\"" + node +
+        "\",mode=\"" + mode + "\"}");
+    return sample == nullptr ? -1.0 : sample->value;
+  };
+  EXPECT_EQ(requests_in("0", "R"), 1.0);
+  EXPECT_EQ(requests_in("1", "W"), 1.0);
+  EXPECT_EQ(requests_in("1", "R"), 0.0);
+}
+
+TEST(ClusterTelemetry, RaymondRunsItsOwnEngineUnderTheDecorator) {
+  // Regression: ThreadCluster used to fall back to Naimi silently for
+  // Protocol::kRaymond; with telemetry the proto label proves which engine
+  // actually ran.
+  telemetry::Registry registry;
+  ThreadCluster cluster{instrumented_options(registry, Protocol::kRaymond)};
+  run_contended_workload(cluster);
+
+  const Snapshot snap = registry.snapshot();
+  double raymond_requests = 0.0;
+  double other_requests = 0.0;
+  for (const Sample& sample : snap.samples) {
+    if (telemetry::family_of(sample.name) != "hlock_engine_requests_total") {
+      continue;
+    }
+    if (sample.name.find("proto=\"raymond\"") != std::string::npos) {
+      raymond_requests += sample.value;
+    } else {
+      other_requests += sample.value;
+    }
+  }
+  EXPECT_EQ(raymond_requests, kTotalOps);
+  EXPECT_EQ(other_requests, 0.0);
+  EXPECT_GT(cluster.messages_sent(), 0u);
+}
+
+TEST(ClusterTelemetry, UninstrumentedClustersTouchNoRegistry) {
+  telemetry::Registry registry;
+  ThreadClusterOptions options;
+  options.node_count = 2;
+  {
+    ThreadCluster cluster{options};
+    cluster.lock(NodeId{0}, LockId{0}, LockMode::kW);
+    cluster.unlock(NodeId{0}, LockId{0});
+  }
+  EXPECT_EQ(registry.series_count(), 0u);
+}
+
+}  // namespace
+}  // namespace hlock::runtime

@@ -1,0 +1,176 @@
+// Unit tests of the telemetry registry: instrument get-or-create, naming,
+// callback series, snapshots, and the histogram/bounds primitives.
+#include "telemetry/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "telemetry/metric.hpp"
+#include "util/check.hpp"
+
+namespace hlock::telemetry {
+namespace {
+
+TEST(Registry, GetOrCreateReturnsTheSameInstrument) {
+  Registry registry;
+  Counter& a = registry.counter("hlock_test_total");
+  Counter& b = registry.counter("hlock_test_total");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  b.inc(2);
+  EXPECT_EQ(a.value(), 5u);
+
+  Gauge& g1 = registry.gauge("hlock_test_depth");
+  Gauge& g2 = registry.gauge("hlock_test_depth");
+  EXPECT_EQ(&g1, &g2);
+
+  Histogram& h1 = registry.histogram("hlock_test_ms");
+  Histogram& h2 = registry.histogram("hlock_test_ms");
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(registry.series_count(), 3u);
+}
+
+TEST(Registry, NameWithADifferentTypeThrows) {
+  Registry registry;
+  registry.counter("hlock_test_total");
+  EXPECT_THROW(registry.gauge("hlock_test_total"), UsageError);
+  EXPECT_THROW(registry.histogram("hlock_test_total"), UsageError);
+  registry.gauge("hlock_test_depth");
+  EXPECT_THROW(registry.counter("hlock_test_depth"), UsageError);
+  // Callback names claim the type too.
+  registry.register_counter_fn("hlock_test_cb_total", [] { return 1u; });
+  EXPECT_THROW(registry.gauge("hlock_test_cb_total"), UsageError);
+}
+
+TEST(Registry, HistogramBoundsApplyOnFirstCreationOnly) {
+  Registry registry;
+  Histogram& h =
+      registry.histogram("hlock_test_ms", linear_bounds(1.0, 1.0, 3));
+  EXPECT_EQ(h.bounds(), (std::vector<double>{1.0, 2.0, 3.0}));
+  // A later call with different bounds returns the existing instrument.
+  Histogram& again =
+      registry.histogram("hlock_test_ms", linear_bounds(10.0, 10.0, 5));
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.bounds().size(), 3u);
+  // Empty bounds pick the stock latency layout.
+  Histogram& stock = registry.histogram("hlock_test_wait_ms");
+  EXPECT_EQ(stock.bounds(), default_latency_bounds_ms());
+}
+
+TEST(Registry, SnapshotIsSortedAndSearchable) {
+  Registry registry;
+  registry.counter("hlock_z_total").inc(7);
+  registry.gauge("hlock_a_depth").set(4.0);
+  registry.counter(labeled("hlock_m_total", {{"node", "1"}})).inc(1);
+  registry.counter(labeled("hlock_m_total", {{"node", "0"}})).inc(2);
+
+  const Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.samples.size(), 4u);
+  for (std::size_t i = 1; i < snap.samples.size(); ++i) {
+    EXPECT_LT(snap.samples[i - 1].name, snap.samples[i].name);
+  }
+  const Sample* z = snap.find("hlock_z_total");
+  ASSERT_NE(z, nullptr);
+  EXPECT_EQ(z->type, MetricType::kCounter);
+  EXPECT_EQ(z->value, 7.0);
+  EXPECT_EQ(snap.find("hlock_missing"), nullptr);
+  EXPECT_EQ(snap.family_sum("hlock_m_total"), 3.0);
+  EXPECT_EQ(snap.family_sum("hlock_absent"), 0.0);
+}
+
+TEST(Registry, CallbackSeriesArePolledAtSnapshotTime) {
+  Registry registry;
+  std::uint64_t sent = 10;
+  double depth = 2.5;
+  registry.register_counter_fn("hlock_sent_total", [&sent] { return sent; });
+  registry.register_gauge_fn("hlock_depth", [&depth] { return depth; });
+
+  EXPECT_EQ(registry.snapshot().find("hlock_sent_total")->value, 10.0);
+  sent = 25;
+  depth = 0.0;
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.find("hlock_sent_total")->value, 25.0);
+  EXPECT_EQ(snap.find("hlock_depth")->value, 0.0);
+
+  // Re-registering a name replaces the callback.
+  registry.register_counter_fn("hlock_sent_total", [] { return 99u; });
+  EXPECT_EQ(registry.snapshot().find("hlock_sent_total")->value, 99.0);
+  EXPECT_EQ(registry.series_count(), 2u);
+}
+
+TEST(Registry, UnregisterCallbacksDropsOnlyThePrefix) {
+  Registry registry;
+  registry.register_counter_fn("hlock_tcp_sent_total", [] { return 1u; });
+  registry.register_gauge_fn("hlock_tcp_depth", [] { return 1.0; });
+  registry.register_gauge_fn("hlock_mailbox_depth", [] { return 1.0; });
+  registry.counter("hlock_tcp_owned_total").inc();
+
+  registry.unregister_callbacks("hlock_tcp_");
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.find("hlock_tcp_sent_total"), nullptr);
+  EXPECT_EQ(snap.find("hlock_tcp_depth"), nullptr);
+  EXPECT_NE(snap.find("hlock_mailbox_depth"), nullptr);
+  // Owned instruments survive — their storage lives in the registry.
+  EXPECT_NE(snap.find("hlock_tcp_owned_total"), nullptr);
+}
+
+TEST(Labeled, BuildsAndEscapesSeriesNames) {
+  EXPECT_EQ(labeled("hlock_total", {}), "hlock_total");
+  EXPECT_EQ(labeled("hlock_total", {{"node", "3"}, {"mode", "W"}}),
+            "hlock_total{node=\"3\",mode=\"W\"}");
+  EXPECT_EQ(labeled("x", {{"k", "a\"b\\c\nd"}}),
+            "x{k=\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(Labeled, FamilyOfStripsTheLabelBlock) {
+  EXPECT_EQ(family_of("hlock_total{node=\"3\"}"), "hlock_total");
+  EXPECT_EQ(family_of("hlock_total"), "hlock_total");
+}
+
+TEST(Bounds, HelpersProduceTheDocumentedLayouts) {
+  EXPECT_EQ(exponential_bounds(1.0, 2.0, 4),
+            (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  EXPECT_EQ(linear_bounds(1.0, 1.0, 3), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_THROW(exponential_bounds(0.0, 2.0, 4), UsageError);
+  EXPECT_THROW(exponential_bounds(1.0, 1.0, 4), UsageError);
+  EXPECT_THROW(linear_bounds(0.0, 0.0, 4), UsageError);
+
+  const std::vector<double> stock = default_latency_bounds_ms();
+  ASSERT_FALSE(stock.empty());
+  EXPECT_DOUBLE_EQ(stock.front(), 0.05);
+  for (std::size_t i = 1; i < stock.size(); ++i) {
+    EXPECT_GT(stock[i], stock[i - 1]);
+  }
+  EXPECT_GT(stock.back(), 100'000.0);  // covers multi-second chaos stalls
+}
+
+TEST(HistogramMetric, RecordsIntoTheRightBuckets) {
+  Histogram h{linear_bounds(1.0, 1.0, 3)};  // bounds 1, 2, 3 + overflow
+  h.record(0.5);   // <= 1
+  h.record(1.0);   // <= 1 (bounds are inclusive upper)
+  h.record(1.5);   // <= 2
+  h.record(100.0); // overflow
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.counts, (std::vector<std::uint64_t>{2, 1, 0, 1}));
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 103.0);
+}
+
+TEST(HistogramMetric, QuantileInterpolatesAndClampsAtOverflow) {
+  Histogram h{linear_bounds(10.0, 10.0, 4)};  // 10, 20, 30, 40
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty
+  for (int i = 0; i < 100; ++i) {
+    h.record(15.0);  // all in (10, 20]
+  }
+  const double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 10.0);
+  EXPECT_LE(p50, 20.0);
+  // Overflow samples clamp the quantile to the largest finite bound.
+  Histogram tail{linear_bounds(10.0, 10.0, 2)};  // 10, 20
+  tail.record(1000.0);
+  EXPECT_EQ(tail.quantile(0.99), 20.0);
+}
+
+}  // namespace
+}  // namespace hlock::telemetry

@@ -1,0 +1,199 @@
+// Tests of the periodic Sampler and the runtime stall watchdog. Sleeps are
+// generous multiples of the configured thresholds so the assertions hold on
+// loaded CI machines.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/exposition.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/text_parse.hpp"
+#include "telemetry/watchdog.hpp"
+
+namespace hlock::telemetry {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(Sampler, DirectTickSnapshotsWithoutAThread) {
+  Registry registry;
+  registry.counter("hlock_test_total").inc(4);
+  Sampler sampler{registry, SamplerOptions{}};
+  EXPECT_EQ(sampler.tick_count(), 0u);
+  EXPECT_TRUE(sampler.latest().samples.empty());
+
+  sampler.tick();
+  EXPECT_EQ(sampler.tick_count(), 1u);
+  const Snapshot snap = sampler.latest();
+  ASSERT_NE(snap.find("hlock_test_total"), nullptr);
+  EXPECT_EQ(snap.find("hlock_test_total")->value, 4.0);
+}
+
+TEST(Sampler, SinksSeeEveryTick) {
+  Registry registry;
+  registry.gauge("hlock_depth").set(2.0);
+  Sampler sampler{registry, SamplerOptions{}};
+  std::vector<double> seen;
+  sampler.add_sink([&seen](const Snapshot& snap) {
+    seen.push_back(snap.find("hlock_depth")->value);
+  });
+  sampler.tick();
+  registry.gauge("hlock_depth").set(9.0);
+  sampler.tick();
+  EXPECT_EQ(seen, (std::vector<double>{2.0, 9.0}));
+}
+
+TEST(Sampler, FileExportWritesParseableExposition) {
+  Registry registry;
+  registry.counter("hlock_test_total").inc(3);
+  SamplerOptions options;
+  options.out_path = "sampler_out.prom";
+  Sampler sampler{registry, options};
+  sampler.tick();
+
+  const ParsedExposition parsed = parse_exposition(slurp(options.out_path));
+  EXPECT_TRUE(check_exposition(parsed).empty());
+  const ParsedSeries* series = parsed.find("hlock_test_total");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->value, 3.0);
+}
+
+TEST(Sampler, StopTakesAFinalTick) {
+  Registry registry;
+  Counter& counter = registry.counter("hlock_test_total");
+  SamplerOptions options;
+  options.interval = std::chrono::hours(1);  // never ticks on its own
+  Sampler sampler{registry, options};
+  sampler.start();
+  counter.inc(42);
+  sampler.stop();
+  // The final tick must have captured the post-start increment.
+  ASSERT_GE(sampler.tick_count(), 1u);
+  ASSERT_NE(sampler.latest().find("hlock_test_total"), nullptr);
+  EXPECT_EQ(sampler.latest().find("hlock_test_total")->value, 42.0);
+  sampler.stop();  // idempotent
+}
+
+TEST(WriteFileAtomic, LeavesNoTornFilesAndReportsFailure) {
+  EXPECT_TRUE(write_file_atomic("atomic_out.prom", "hello\n"));
+  EXPECT_EQ(slurp("atomic_out.prom"), "hello\n");
+  // Overwrite replaces wholesale.
+  EXPECT_TRUE(write_file_atomic("atomic_out.prom", "world\n"));
+  EXPECT_EQ(slurp("atomic_out.prom"), "world\n");
+  EXPECT_FALSE(
+      write_file_atomic("no_such_dir_hlock/atomic_out.prom", "x\n"));
+}
+
+WatchdogOptions fast_watchdog() {
+  WatchdogOptions options;
+  options.multiplier = 2.0;
+  options.floor = milliseconds(5);
+  options.check_interval = milliseconds(10);
+  return options;
+}
+
+TEST(StallWatchdog, EndRecordsTheWaitAndClearsPending) {
+  Registry registry;
+  StallWatchdog watchdog{registry, fast_watchdog()};
+  const std::uint64_t key = watchdog.begin("node=0 lock=0 mode=W");
+  EXPECT_EQ(registry.snapshot().find("hlock_pending_requests")->value, 1.0);
+  std::this_thread::sleep_for(milliseconds(2));
+  watchdog.end(key);
+  watchdog.end(key);     // idempotent
+  watchdog.end(999999);  // unknown keys ignored
+
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.find("hlock_pending_requests")->value, 0.0);
+  const Sample* wait = snap.find("hlock_request_wait_ms");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->histogram.count, 1u);
+  EXPECT_GT(wait->histogram.sum, 0.0);
+  EXPECT_EQ(watchdog.stalled_total(), 0u);
+}
+
+TEST(StallWatchdog, ThresholdFallsBackToTheFloorWhenUnobserved) {
+  Registry registry;
+  StallWatchdog watchdog{registry, fast_watchdog()};
+  // No waits observed yet: p99 is 0, the floor rules.
+  EXPECT_DOUBLE_EQ(watchdog.threshold_ms(), 5.0);
+}
+
+TEST(StallWatchdog, ThresholdTracksTheObservedP99) {
+  Registry registry;
+  StallWatchdog watchdog{registry, fast_watchdog()};
+  // The watchdog's histogram is a registry instrument; feed it directly.
+  Histogram& wait = registry.histogram("hlock_request_wait_ms");
+  for (int i = 0; i < 100; ++i) {
+    wait.record(40.0);  // lands in the (25.6, 51.2] stock bucket
+  }
+  const double threshold = watchdog.threshold_ms();
+  EXPECT_GE(threshold, 2.0 * 25.6);
+  EXPECT_LE(threshold, 2.0 * 51.2);
+}
+
+TEST(StallWatchdog, CheckNowFlagsOnceAndReArmsWedgedRequests) {
+  Registry registry;
+  StallWatchdog watchdog{registry, fast_watchdog()};
+  std::vector<StallReport> reports;
+  watchdog.set_on_stall(
+      [&reports](const StallReport& report) { reports.push_back(report); });
+
+  watchdog.begin("node=1 lock=0 mode=W");
+  EXPECT_EQ(watchdog.check_now(), 0u);  // not past the 5 ms floor yet
+  std::this_thread::sleep_for(milliseconds(20));
+  EXPECT_EQ(watchdog.check_now(), 1u);
+  EXPECT_EQ(watchdog.check_now(), 0u);  // flagged once, now re-armed out
+  EXPECT_EQ(watchdog.stalled_total(), 1u);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].label, "node=1 lock=0 mode=W");
+  EXPECT_GE(reports[0].waited_ms, reports[0].threshold_ms);
+  EXPECT_EQ(reports[0].pending, 1u);
+
+  // Still wedged after 2x the threshold: it reports again.
+  std::this_thread::sleep_for(milliseconds(30));
+  EXPECT_EQ(watchdog.check_now(), 1u);
+  EXPECT_EQ(watchdog.stalled_total(), 2u);
+
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.find("hlock_stalled_requests_total")->value, 2.0);
+}
+
+TEST(StallWatchdog, FinishedRequestsAreNeverFlagged) {
+  Registry registry;
+  StallWatchdog watchdog{registry, fast_watchdog()};
+  const std::uint64_t key = watchdog.begin("node=0 lock=0 mode=R");
+  watchdog.end(key);
+  std::this_thread::sleep_for(milliseconds(20));
+  EXPECT_EQ(watchdog.check_now(), 0u);
+  EXPECT_EQ(watchdog.stalled_total(), 0u);
+}
+
+TEST(StallWatchdog, BackgroundSweepFiresWithoutManualChecks) {
+  Registry registry;
+  StallWatchdog watchdog{registry, fast_watchdog()};
+  watchdog.begin("node=2 lock=1 mode=W");
+  watchdog.start();
+  watchdog.start();  // no-op when running
+  // 5 ms floor + 10 ms sweep interval: 200 ms is ample slack.
+  for (int i = 0; i < 200 && watchdog.stalled_total() == 0; ++i) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  watchdog.stop();
+  EXPECT_GE(watchdog.stalled_total(), 1u);
+}
+
+}  // namespace
+}  // namespace hlock::telemetry

@@ -1,0 +1,88 @@
+// Telemetry under the deterministic schedule explorer: the registry's
+// registration/record/snapshot races and the watchdog's begin/end/check
+// races walked across seeds rather than left to the OS scheduler.
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/watchdog.hpp"
+#include "tests/sched/sched_test.hpp"
+#include "util/sync_observer.hpp"
+
+namespace hlock::telemetry {
+namespace {
+
+TEST(TelemetrySched, RecordersRaceSnapshotsAndCallbackChurn) {
+  sched_test::explore([] {
+    Registry registry;
+    sched::Thread recorder_a("recorder-a", [&registry] {
+      Counter& counter = registry.counter("hlock_sched_total");
+      Histogram& histogram =
+          registry.histogram("hlock_sched_ms", linear_bounds(1.0, 1.0, 4));
+      for (int i = 0; i < 4; ++i) {
+        counter.inc();
+        histogram.record(static_cast<double>(i));
+        sched::yield_point("test.record-a");
+      }
+    });
+    sched::Thread recorder_b("recorder-b", [&registry] {
+      // Get-or-create races recorder-a on the same names.
+      Counter& counter = registry.counter("hlock_sched_total");
+      for (int i = 0; i < 4; ++i) {
+        counter.inc();
+        registry.gauge("hlock_sched_depth").set(static_cast<double>(i));
+        sched::yield_point("test.record-b");
+      }
+    });
+    // Callback churn + snapshots interleave with both recorders.
+    for (int round = 0; round < 3; ++round) {
+      registry.register_gauge_fn("hlock_sched_cb_depth",
+                                 [round] { return static_cast<double>(round); });
+      (void)registry.snapshot();
+      sched::yield_point("test.snapshot");
+      registry.unregister_callbacks("hlock_sched_cb_");
+    }
+    recorder_a.join();
+    recorder_b.join();
+    const Snapshot snap = registry.snapshot();
+    ASSERT_NE(snap.find("hlock_sched_total"), nullptr);
+    EXPECT_EQ(snap.find("hlock_sched_total")->value, 8.0);
+    EXPECT_EQ(snap.find("hlock_sched_ms")->histogram.count, 4u);
+  });
+}
+
+TEST(TelemetrySched, WatchdogBeginEndRaceItsSweep) {
+  sched_test::ExploreOptions options;
+  options.seeds = 8;
+  sched_test::explore(
+      [] {
+        Registry registry;
+        WatchdogOptions watchdog_options;
+        // A huge floor: sweeps race the bookkeeping, never flag.
+        watchdog_options.floor = std::chrono::milliseconds(60000);
+        StallWatchdog watchdog{registry, watchdog_options};
+        sched::Thread client("client", [&watchdog] {
+          for (int i = 0; i < 3; ++i) {
+            const std::uint64_t key =
+                watchdog.begin("node=1 lock=0 mode=W");
+            sched::yield_point("test.waiting");
+            watchdog.end(key);
+          }
+        });
+        for (int i = 0; i < 3; ++i) {
+          (void)watchdog.check_now();
+          sched::yield_point("test.sweep");
+        }
+        client.join();
+        EXPECT_EQ(watchdog.stalled_total(), 0u);
+        const Snapshot snap = registry.snapshot();
+        EXPECT_EQ(snap.find("hlock_request_wait_ms")->histogram.count, 3u);
+        EXPECT_EQ(snap.find("hlock_pending_requests")->value, 0.0);
+      },
+      options);
+}
+
+}  // namespace
+}  // namespace hlock::telemetry

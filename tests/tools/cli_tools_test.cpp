@@ -304,6 +304,97 @@ TEST(HlockTraceCli, ExportChromeWritesTheSpanFile) {
   EXPECT_NE(output.find("chrome trace:"), std::string::npos) << output;
 }
 
+TEST(HlockSimCli, MetricsOutWritesACleanExposition) {
+  const auto [status, output] = run_command(
+      "(" + tool("hlock_sim") + " --nodes 5 --ops 10 --metrics-out"
+      " sim_cli.prom && " + tool("hlock_metrics_check") + " sim_cli.prom)");
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("0 violation(s)"), std::string::npos) << output;
+  EXPECT_NE(output.find("metrics"), std::string::npos);
+}
+
+TEST(HlockSimCli, ChaosMetricsOutSurvivesTheChecker) {
+  const auto [status, output] = run_command(
+      "(" + tool("hlock_sim") + " --chaos --nodes 4 --ops 10 --seed 3"
+      " --metrics-out chaos_cli.prom"
+      " && " + tool("hlock_metrics_check") + " chaos_cli.prom"
+      " --expect-nonzero"
+      " hlock_engine_grants_total,hlock_messages_sent_total)");
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("0 violation(s)"), std::string::npos) << output;
+  EXPECT_NE(output.find("expect-nonzero: hlock_engine_grants_total"),
+            std::string::npos)
+      << output;
+}
+
+TEST(HlockSimCli, DoctoredStallTripsTheWatchdog) {
+  // --doctor-stall-ms parks the first critical section, so the watchdog
+  // must flag at least one stall (the CI telemetry-smoke assertion).
+  // Parenthesized so the watchdog's stderr report is captured too.
+  const auto [status, output] = run_command(
+      "(" + tool("hlock_sim") + " --chaos --nodes 3 --ops 6 --seed 2"
+      " --doctor-stall-ms 400 --watchdog-floor-ms 50"
+      " --metrics-out stall_cli.prom"
+      " && " + tool("hlock_metrics_check") + " stall_cli.prom"
+      " --expect-nonzero hlock_stalled_requests_total)");
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("WATCHDOG:"), std::string::npos) << output;
+  EXPECT_NE(output.find("expect-nonzero: hlock_stalled_requests_total"),
+            std::string::npos)
+      << output;
+}
+
+TEST(HlockMetricsCheckCli, FlagsADoctoredExposition) {
+  const auto [status, output] = run_command(
+      "printf '# TYPE hlock_x_total counter\\nhlock_x_total -1\\n"
+      "hlock_x_total 2\\n' > bad_metrics_cli.prom && " +
+      tool("hlock_metrics_check") + " bad_metrics_cli.prom");
+  EXPECT_EQ(WEXITSTATUS(status), 1) << output;
+  EXPECT_NE(output.find("FAIL"), std::string::npos);
+  EXPECT_NE(output.find("duplicate series"), std::string::npos) << output;
+  EXPECT_NE(output.find("negative counter"), std::string::npos) << output;
+}
+
+TEST(HlockMetricsCheckCli, TwoFilesCheckCounterMonotonicity) {
+  const auto [status, output] = run_command(
+      "printf '# TYPE hlock_x_total counter\\nhlock_x_total 10\\n'"
+      " > earlier_cli.prom && "
+      "printf '# TYPE hlock_x_total counter\\nhlock_x_total 4\\n'"
+      " > later_cli.prom && " +
+      tool("hlock_metrics_check") + " earlier_cli.prom later_cli.prom");
+  EXPECT_EQ(WEXITSTATUS(status), 1) << output;
+  EXPECT_NE(output.find("counter decreased"), std::string::npos) << output;
+}
+
+TEST(HlockMetricsCheckCli, RejectsMissingFilesWithUsage) {
+  const auto [status, output] =
+      run_command(tool("hlock_metrics_check") + " does_not_exist.prom");
+  EXPECT_EQ(WEXITSTATUS(status), 2) << output;
+  EXPECT_NE(output.find("cannot read"), std::string::npos);
+}
+
+TEST(HlockTopCli, RendersAOneShotFrameFromAFile) {
+  const auto [status, output] = run_command(
+      tool("hlock_sim") + " --chaos --nodes 4 --ops 12 --seed 4"
+      " --metrics-out top_cli.prom"
+      " && " + tool("hlock_top") +
+      " --from top_cli.prom --iterations 1 --no-clear");
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("hlock_top —"), std::string::npos) << output;
+  EXPECT_NE(output.find("requests"), std::string::npos);
+  EXPECT_NE(output.find("grants"), std::string::npos);
+  EXPECT_NE(output.find("wait time"), std::string::npos) << output;
+  EXPECT_NE(output.find("tokens:"), std::string::npos) << output;
+}
+
+TEST(HlockTopCli, RequiresExactlyOneSource) {
+  const auto [status, output] = run_command(tool("hlock_top"));
+  EXPECT_EQ(WEXITSTATUS(status), 2) << output;
+  EXPECT_NE(output.find("exactly one of --from or --connect"),
+            std::string::npos)
+      << output;
+}
+
 TEST(HlockLintCli, HelpNamesThePositionalArgument) {
   const auto [status, output] = run_command(tool("hlock_lint") + " --help");
   EXPECT_EQ(status, 0);

@@ -37,8 +37,10 @@
 // paths (hierarchical protocol only). See docs/observability.md.
 #include <cstdio>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -51,6 +53,12 @@
 #include "sched/explorer.hpp"
 #include "sched/harness.hpp"
 #include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "telemetry/exposition.hpp"
+#include "telemetry/http_exporter.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/watchdog.hpp"
 #include "trace/recorder.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
@@ -157,6 +165,72 @@ int run_chaos(const CliParser& cli) {
   obs::SpanCollector collector;
   trace::TraceRecorder ring;
 
+  // Live telemetry (docs/telemetry.md): any of --metrics-out,
+  // --metrics-port, --watchdog or --doctor-stall-ms turns the registry on.
+  // All of these outlive the cluster scope below, so the watchdog's stall
+  // hook and the sampler's final tick stay valid through teardown.
+  const std::string metrics_out = cli.get_string("metrics-out");
+  const bool serve_metrics = cli.was_set("metrics-port");
+  const std::int64_t doctor_stall_ms =
+      cli.get_int("doctor-stall-ms", 0, 600000);
+  const bool watchdog_on = cli.get_flag("watchdog") || doctor_stall_ms > 0;
+  const bool telemetry_on =
+      !metrics_out.empty() || serve_metrics || watchdog_on;
+  telemetry::Registry registry;
+  std::unique_ptr<telemetry::StallWatchdog> watchdog;
+  std::unique_ptr<telemetry::Sampler> sampler;
+  std::unique_ptr<telemetry::HttpExporter> exporter;
+  if (telemetry_on) {
+    options.metrics = &registry;
+    if (watchdog_on) {
+      telemetry::WatchdogOptions watchdog_options;
+      watchdog_options.multiplier =
+          cli.get_double("watchdog-multiplier", 1.0, 1e9);
+      watchdog_options.floor = std::chrono::milliseconds(
+          cli.get_int("watchdog-floor-ms", 1, 600000));
+      watchdog =
+          std::make_unique<telemetry::StallWatchdog>(registry,
+                                                     watchdog_options);
+      watchdog->set_on_stall([&registry, &ring, &collector, &obs_out,
+                              &options](const telemetry::StallReport& r) {
+        std::fprintf(stderr,
+                     "WATCHDOG: %s waited %.1f ms "
+                     "(threshold %.1f ms, p99 %.1f ms, %llu pending)\n",
+                     r.label.c_str(), r.waited_ms, r.threshold_ms, r.p99_ms,
+                     static_cast<unsigned long long>(r.pending));
+        if (!obs_out.empty()) {
+          // Post-mortem bundle: flight record + the metrics state at the
+          // moment the stall was flagged.
+          obs::FlightRecordSources sources;
+          sources.recorder = &ring;
+          sources.spans = &collector;
+          sources.node_count = options.node_count;
+          obs::dump_flight_record(obs_out, "stall watchdog: " + r.label,
+                                  sources);
+          telemetry::write_file_atomic(
+              obs_out + "/stall-metrics.prom",
+              telemetry::render_prometheus(registry.snapshot()));
+        }
+      });
+      watchdog->start();
+      options.watchdog = watchdog.get();
+    }
+    telemetry::SamplerOptions sampler_options;
+    sampler_options.interval = std::chrono::milliseconds(
+        cli.get_int("metrics-interval-ms", 10, 600000));
+    sampler_options.out_path = metrics_out;
+    sampler = std::make_unique<telemetry::Sampler>(registry, sampler_options);
+    sampler->start();
+    if (serve_metrics) {
+      exporter = std::make_unique<telemetry::HttpExporter>(
+          registry,
+          static_cast<std::uint16_t>(cli.get_int("metrics-port", 0, 65535)));
+      std::printf("metrics: serving http://127.0.0.1:%u/metrics\n",
+                  exporter->port());
+      std::fflush(stdout);
+    }
+  }
+
   const int ops = static_cast<int>(cli.get_int("ops", 1, 100000));
   long counter = 0;  // unprotected on purpose: the lock is the protection
   std::uint64_t messages_sent = 0;
@@ -174,10 +248,17 @@ int run_chaos(const CliParser& cli) {
     }
     std::vector<std::thread> workers;
     for (std::uint32_t i = 0; i < options.node_count; ++i) {
-      workers.emplace_back([&cluster, &counter, ops, i] {
+      workers.emplace_back([&cluster, &counter, ops, i, doctor_stall_ms] {
         for (int k = 0; k < ops; ++k) {
           cluster.lock(proto::NodeId{i}, proto::LockId{0},
                        proto::LockMode::kW);
+          if (doctor_stall_ms > 0 && i == 0 && k == 0) {
+            // Doctored starvation: hold the exclusive lock long enough
+            // that every other node's wait blows past the watchdog
+            // threshold (CI proves the watchdog actually fires).
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(doctor_stall_ms));
+          }
           const long snapshot = counter;
           std::this_thread::yield();
           counter = snapshot + 1;
@@ -204,6 +285,25 @@ int run_chaos(const CliParser& cli) {
               static_cast<unsigned long long>(messages_sent));
   if (!fault_counters.empty()) {
     std::printf("  %s\n", fault_counters.c_str());
+  }
+  if (telemetry_on) {
+    // Final tick: the exposition file ends at the run's true end state
+    // (the cluster is down, so its callback series are already gone).
+    sampler->stop();
+    std::printf("  metrics       : %zu series", registry.series_count());
+    if (!metrics_out.empty()) std::printf(" -> %s", metrics_out.c_str());
+    if (exporter != nullptr) {
+      std::printf(", %llu scrapes served",
+                  static_cast<unsigned long long>(
+                      exporter->scrapes_served()));
+    }
+    std::printf("\n");
+    if (watchdog != nullptr) {
+      watchdog->stop();
+      std::printf("  stalls flagged: %llu (threshold %.1f ms)\n",
+                  static_cast<unsigned long long>(watchdog->stalled_total()),
+                  watchdog->threshold_ms());
+    }
   }
   if (lint) {
     const lint::LintReport report = checker.finish();
@@ -398,6 +498,26 @@ int main(int argc, char** argv) {
   cli.add_option("sched-change-interval", "12",
                  "sched: mean scheduling decisions between priority-change "
                  "points (0 = none)");
+  cli.add_option("metrics-out", "",
+                 "write Prometheus text exposition to this file (chaos: "
+                 "rewritten atomically every --metrics-interval-ms; "
+                 "simulator: final state)");
+  cli.add_option("metrics-interval-ms", "500",
+                 "chaos: sampler tick interval, milliseconds");
+  cli.add_option("metrics-port", "0",
+                 "chaos: serve GET /metrics on this loopback port "
+                 "(0 = ephemeral; the bound port is printed)");
+  cli.add_flag("watchdog",
+               "chaos: flag requests waiting beyond "
+               "max(multiplier x p99 wait, floor) — docs/telemetry.md");
+  cli.add_option("watchdog-multiplier", "8",
+                 "chaos: stall threshold multiplier over the observed p99");
+  cli.add_option("watchdog-floor-ms", "100",
+                 "chaos: minimum stall threshold, milliseconds");
+  cli.add_option("doctor-stall-ms", "0",
+                 "chaos: worker 0 holds the lock this long on its first "
+                 "acquisition (implies --watchdog; proves the watchdog "
+                 "fires)");
 
   try {
     if (!cli.parse(argc, argv)) {
@@ -526,6 +646,37 @@ int main(int argc, char** argv) {
                     result.lint_report.c_str());
         failed = true;
       }
+    }
+    const std::string metrics_out = cli.get_string("metrics-out");
+    if (!metrics_out.empty()) {
+      // The simulator runs under modelled time, so a live sampler has
+      // nothing meaningful to tick against — export the final state once.
+      telemetry::Registry registry;
+      registry.gauge("hlock_sim_ops")
+          .set(static_cast<double>(result.ops));
+      registry.gauge("hlock_sim_lock_requests")
+          .set(static_cast<double>(result.acquisitions));
+      registry.gauge("hlock_sim_messages")
+          .set(static_cast<double>(result.messages));
+      registry.gauge("hlock_sim_msgs_per_request").set(result.msgs_per_acq);
+      const stats::Summary latency =
+          stats::summarize(result.request_latency_samples_ms);
+      registry.gauge("hlock_sim_request_latency_ms{q=\"mean\"}")
+          .set(latency.mean);
+      registry.gauge("hlock_sim_request_latency_ms{q=\"p50\"}")
+          .set(latency.p50);
+      registry.gauge("hlock_sim_request_latency_ms{q=\"p99\"}")
+          .set(latency.p99);
+      registry.gauge("hlock_sim_request_latency_ms{q=\"p999\"}")
+          .set(latency.p999);
+      registry.gauge("hlock_sim_request_latency_ms{q=\"max\"}")
+          .set(latency.max);
+      if (!telemetry::write_file_atomic(
+              metrics_out,
+              telemetry::render_prometheus(registry.snapshot()))) {
+        throw UsageError("cannot write metrics file: " + metrics_out);
+      }
+      std::printf("  metrics          : %s\n", metrics_out.c_str());
     }
     if (spans) print_span_report(collector);
     if (!obs_out.empty()) {
