@@ -24,6 +24,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   cluster_options.message_latency = config.net_latency;
   cluster_options.seed = config.seed;
   cluster_options.hier_config = config.hier_config;
+  cluster_options.recovery = config.recovery;
+  cluster_options.recovery_horizon = config.recovery_horizon;
+  HLOCK_REQUIRE(config.kills.empty() || config.recovery.enabled,
+                "a kill schedule requires ExperimentConfig::recovery");
   const bool wants_events = config.lint || config.capture_events != nullptr ||
                             config.collect_spans != nullptr ||
                             config.record_events != nullptr;
@@ -65,6 +69,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   spec.idle_time = config.idle_time;
   spec.mix = config.mix;
   spec.seed = config.seed * 7919 + 13;  // decorrelated from network stream
+  spec.kills = config.kills;
 
   SimWorkloadDriver driver{cluster, spec};
   ExperimentResult result;
@@ -102,6 +107,30 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           .summarize();
   result.w_latency_ms = w_latency.mean;
   result.request_latency_samples_ms = driver.stats().acq_latency.samples_ms();
+  if (config.recovery.enabled) {
+    double sum_ms = 0;
+    std::size_t samples = 0;
+    for (std::size_t i = 0; i < config.nodes; ++i) {
+      const proto::NodeId node{static_cast<std::uint32_t>(i)};
+      if (!cluster.alive(node)) {
+        ++result.nodes_killed;
+        continue;
+      }
+      recovery::Manager& manager = cluster.manager(node);
+      result.recovery_epoch =
+          std::max(result.recovery_epoch, manager.current_epoch());
+      result.recoveries =
+          std::max(result.recoveries, manager.counters().recoveries);
+      for (const double ms : manager.recovery_durations_ms()) {
+        sum_ms += ms;
+        ++samples;
+      }
+    }
+    result.stale_drops = cluster.total_stale_drops();
+    if (samples > 0) {
+      result.mean_recovery_ms = sum_ms / static_cast<double>(samples);
+    }
+  }
   if (checker) {
     const lint::LintReport report = checker->finish();
     result.lint_events_checked = report.events_checked;
@@ -133,6 +162,11 @@ ExperimentResult run_averaged(ExperimentConfig config, int seeds) {
     total.lint_events_checked += one.lint_events_checked;
     total.lint_violation_count += one.lint_violation_count;
     total.lint_report += one.lint_report;
+    total.recovery_epoch = std::max(total.recovery_epoch, one.recovery_epoch);
+    total.recoveries += one.recoveries;
+    total.stale_drops += one.stale_drops;
+    total.mean_recovery_ms += one.mean_recovery_ms;
+    total.nodes_killed += one.nodes_killed;
     if (one.aborted) {
       // Later seeds would only repeat the failure (or mask it by averaging
       // over fewer samples); stop and surface the partial aggregate.
@@ -148,6 +182,7 @@ ExperimentResult run_averaged(ExperimentConfig config, int seeds) {
   total.mean_latency_ms /= k;
   total.p90_latency_ms /= k;
   total.w_latency_ms /= k;
+  total.mean_recovery_ms /= k;
   return total;
 }
 

@@ -13,6 +13,7 @@
 #include "core/hier_config.hpp"
 #include "lint/checker.hpp"
 #include "obs/span.hpp"
+#include "recovery/manager.hpp"
 #include "trace/recorder.hpp"
 #include "util/distributions.hpp"
 #include "workload/op_plan.hpp"
@@ -52,6 +53,17 @@ struct ExperimentConfig {
   /// enables event emission like `lint`). Unlike capture_events this caps
   /// memory, making it the flight-recorder source for long runs.
   trace::TraceRecorder* record_events = nullptr;
+  /// Crash-recovery configuration forwarded to the simulated cluster
+  /// (docs/recovery.md). Must be enabled for `kills` to be legal.
+  recovery::Options recovery = {};
+  /// Heartbeat horizon forwarded to SimClusterOptions::recovery_horizon;
+  /// shorter than the cluster default so a recovery experiment does not
+  /// spend most of its events on post-workload heartbeats.
+  SimTime recovery_horizon = SimTime::ms(120'000);
+  /// Crash-stop schedule forwarded to the workload driver: each entry
+  /// kills one node at the given simulated time (its unfinished operations
+  /// are forgiven; survivors must still drain).
+  std::vector<workload::WorkloadSpec::Kill> kills;
 };
 
 /// Aggregated outcome of one run (or of several seeds averaged).
@@ -82,6 +94,16 @@ struct ExperimentResult {
   std::size_t lint_events_checked = 0;
   std::size_t lint_violation_count = 0;
   std::string lint_report;
+  /// With ExperimentConfig::recovery enabled: the highest fenced epoch any
+  /// survivor reached, completed recoveries (max over survivors; summed
+  /// across seeds by run_averaged), stale-epoch messages dropped cluster-
+  /// wide, mean suspicion-to-unhalt latency (ms) over all observed
+  /// recoveries, and how many nodes the kill schedule actually crashed.
+  std::uint32_t recovery_epoch = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t stale_drops = 0;
+  double mean_recovery_ms = 0;
+  std::size_t nodes_killed = 0;
   /// True when the run died early (an invariant fired or the driver hit its
   /// stall detector). The metrics above then cover the partial run up to
   /// the abort — still invaluable for diagnosis, which is why the runner

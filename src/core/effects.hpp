@@ -33,6 +33,11 @@ struct Effects {
 
   /// A Rule 7 upgrade completed during this step; held() is now kW.
   bool upgraded = false;
+
+  /// The delivered message carried a recovery epoch older than the
+  /// automaton's and was dropped unprocessed (docs/recovery.md); runtimes
+  /// count these into their stale-drop telemetry.
+  bool stale_drop = false;
 };
 
 }  // namespace hlock::core

@@ -40,9 +40,10 @@ bool adds_modes(ModeSet extra, ModeSet base) {
 }  // namespace
 
 HierAutomaton::HierAutomaton(NodeId self, LockId lock, bool initially_token,
-                             NodeId initial_parent, HierConfig config)
+                             NodeId initial_parent, HierConfig config,
+                             std::uint32_t initial_epoch)
     : self_(self), lock_(lock), config_(config), token_(initially_token),
-      parent_(initial_parent) {
+      parent_(initial_parent), recovery_epoch_(initial_epoch) {
   if (token_) {
     HLOCK_REQUIRE(initial_parent.is_none(),
                   "the initial token node must have no parent");
@@ -86,6 +87,7 @@ void HierAutomaton::enqueue(const QueuedRequest& entry) {
 Effects HierAutomaton::step_request(LockMode mode, std::uint8_t priority) {
   Effects fx;
   const std::uint64_t seq = next_seq_++;
+  pending_priority_ = priority;
   const LockMode owned_mode = owned();
   if (config_.trace_events) {
     auto event = make_event(trace::EventKind::kRequest);
@@ -179,6 +181,7 @@ Effects HierAutomaton::upgrade() {
   Effects fx;
   upgrading_ = true;
   pending_ = LockMode::kW;
+  pending_priority_ = 0;
   if (config_.trace_events) {
     auto event = make_event(trace::EventKind::kUpgradeBegin);
     event.mode = LockMode::kW;
@@ -201,6 +204,14 @@ Effects HierAutomaton::on_message(const Message& message) {
   HLOCK_REQUIRE(message.lock == lock_,
                 "message delivered to the wrong lock instance");
   Effects fx;
+  if (message.epoch != recovery_epoch_) {
+    // Stale-drop rule (docs/recovery.md): the message was minted under
+    // protocol state a crash fence has regenerated. Acting on it could
+    // resurrect a pre-crash grant or token; dropping is always safe because
+    // the fence reconstructed every surviving hold and waiter from reports.
+    fx.stale_drop = true;
+    return fx;
+  }
   if (const auto* request = std::get_if<HierRequest>(&message.payload)) {
     handle_request(*request, fx);
   } else if (const auto* grant = std::get_if<HierGrant>(&message.payload)) {
@@ -213,7 +224,84 @@ Effects HierAutomaton::on_message(const Message& message) {
   } else if (const auto* freeze = std::get_if<HierFreeze>(&message.payload)) {
     handle_freeze(*freeze, fx);
   } else {
-    HLOCK_INVARIANT(false, "Naimi payload delivered to a HierAutomaton");
+    HLOCK_INVARIANT(false,
+                    "non-hierarchical payload delivered to a HierAutomaton");
+  }
+  return fx;
+}
+
+Effects HierAutomaton::install_fence(const proto::EpochFence& fence) {
+  Effects fx;
+  if (fence.epoch <= recovery_epoch_) return fx;  // duplicate/stale fence
+  recovery_epoch_ = fence.epoch;
+
+  // Pre-crash routing hints, freezes and re-issue budgets are meaningless
+  // under the regenerated tree; the new root recomputes freeze sets from
+  // its rebuilt queue below.
+  hint_ = NodeId::none();
+  reissue_count_ = 0;
+  const ModeSet was_frozen = frozen_;
+  frozen_.clear();
+  emit_frozen_change(fx, was_frozen);
+  // Every copyset relationship is re-established by the fence (the star
+  // topology below); queued requests are dropped everywhere because every
+  // surviving waiter reported its own request and reappears in the new
+  // root's queue.
+  copyset_.clear();
+  queue_.clear();
+
+  if (config_.trace_events) {
+    auto event = make_event(trace::EventKind::kFence);
+    event.peer = fence.new_root;
+    event.token = self_ == fence.new_root;
+    emit(fx, std::move(event));
+  }
+
+  if (self_ == fence.new_root) {
+    token_ = true;
+    parent_ = NodeId::none();
+    reported_owned_ = LockMode::kNL;
+    parent_epoch_ = 0;
+    // Rebuilt copyset entries and their children's parent_epoch_ mirrors
+    // are all stamped with the fence epoch, so post-fence releases match;
+    // future grants must mint strictly larger grant epochs.
+    for (const proto::FenceHolder& holder : fence.holders) {
+      if (holder.node == self_) continue;
+      copyset_add(holder.node, holder.mode, fence.epoch);
+      if (config_.trace_events) {
+        auto join = make_event(trace::EventKind::kCopysetJoin);
+        join.peer = holder.node;
+        join.mode = holder.mode;
+        emit(fx, std::move(join));
+      }
+    }
+    epoch_counter_ = std::max(epoch_counter_, fence.epoch);
+    for (const proto::QueuedRequest& entry : fence.queue) enqueue(entry);
+    // An in-flight Rule 7 upgrade survives at the root (a U holder is
+    // always the token node, and a live token holder is always re-elected
+    // root); its conflicting children may all have died, completing it.
+    maybe_complete_upgrade(fx);
+    service_token_queue(fx);
+    return fx;
+  }
+
+  // Survivor under the new star: re-parent to the root, mirroring the
+  // root's rebuilt entry for us (fence epoch, our held mode) when we hold.
+  // A held mode and a pending request survive untouched — the pending
+  // request reappears in the root's queue via our own report. Demoting
+  // token_ here only happens when this node was fenced out while believing
+  // it held the token (a false suspicion of a live node, or a doctored
+  // double fence); it must stop arbitrating either way.
+  token_ = false;
+  if (upgrading_) {
+    upgrading_ = false;
+    pending_ = LockMode::kNL;
+  }
+  parent_ = fence.new_root;
+  parent_epoch_ = fence.epoch;
+  reported_owned_ = LockMode::kNL;
+  for (const proto::FenceHolder& holder : fence.holders) {
+    if (holder.node == self_) reported_owned_ = holder.mode;
   }
   return fx;
 }
@@ -710,6 +798,7 @@ void HierAutomaton::send(NodeId to, Payload payload, Effects& fx,
   HLOCK_INVARIANT(!to.is_none(), "attempted to send to the null node");
   Message message{self_, to, lock_, std::move(payload)};
   message.request = request;
+  message.epoch = recovery_epoch_;
   fx.messages.push_back(std::move(message));
 }
 
@@ -723,6 +812,7 @@ trace::TraceEvent HierAutomaton::make_event(trace::EventKind kind) const {
   event.node = self_;
   event.lock = lock_;
   event.token = token_;
+  event.epoch = recovery_epoch_;
   return event;
 }
 
@@ -762,9 +852,11 @@ std::string HierAutomaton::fingerprint() const {
   std::ostringstream os;
   os << (token_ ? 'T' : 't') << parent_.value() << '/' << hint_.value()
      << '/' << mode_index(held_) << mode_index(pending_)
+     << 'p' << static_cast<int>(pending_priority_)
      << (upgrading_ ? 'U' : 'u') << static_cast<int>(frozen_.bits());
   os << 'r' << mode_index(reported_owned_) << 'e' << parent_epoch_ << 'c'
-     << epoch_counter_ << 's' << next_seq_ << 'i' << reissue_count_;
+     << epoch_counter_ << 's' << next_seq_ << 'i' << reissue_count_ << 'E'
+     << recovery_epoch_;
   os << "|cs";
   for (const CopysetEntry& entry : copyset_) {
     os << '(' << entry.node.value() << ',' << mode_index(entry.mode) << ','
@@ -789,9 +881,11 @@ std::string HierAutomaton::fingerprint(
   std::ostringstream os;
   os << (token_ ? 'T' : 't') << mapped(parent_) << '/' << mapped(hint_)
      << '/' << mode_index(held_) << mode_index(pending_)
+     << 'p' << static_cast<int>(pending_priority_)
      << (upgrading_ ? 'U' : 'u') << static_cast<int>(frozen_.bits());
   os << 'r' << mode_index(reported_owned_) << 'e' << parent_epoch_ << 'c'
-     << epoch_counter_ << 's' << next_seq_ << 'i' << reissue_count_;
+     << epoch_counter_ << 's' << next_seq_ << 'i' << reissue_count_ << 'E'
+     << recovery_epoch_;
   // Copyset entries sorted by mapped id: the set, not its insertion order,
   // is what matters behaviorally (see header), and sorting makes renderings
   // of permuted-but-equivalent states compare equal.
@@ -823,7 +917,7 @@ std::string HierAutomaton::describe() const {
      << " parent=" << to_string(parent_) << " held=" << to_string(held_)
      << " owned=" << to_string(owned()) << " pend=" << to_string(pending_)
      << (upgrading_ ? "(upg)" : "") << " frozen=" << to_string(frozen_)
-     << " q=" << queue_.size() << " cs={";
+     << " epoch=" << recovery_epoch_ << " q=" << queue_.size() << " cs={";
   for (std::size_t i = 0; i < copyset_.size(); ++i) {
     if (i > 0) os << ',';
     os << to_string(copyset_[i].node) << ':' << to_string(copyset_[i].mode);

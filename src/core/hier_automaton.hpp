@@ -56,8 +56,12 @@ class HierAutomaton {
   /// Constructs the automaton for `self` on `lock`. Exactly one node in the
   /// system must be created with `initially_token == true`; every other
   /// node's `initial_parent` chain must (transitively) reach it.
+  /// `initial_epoch` is the recovery epoch the automaton starts in: 0 for a
+  /// pristine cluster, the current campaign epoch when a lock is first
+  /// touched after a crash recovery (runtime::HierEngine::set_default_origin).
   HierAutomaton(NodeId self, LockId lock, bool initially_token,
-                NodeId initial_parent, HierConfig config = {});
+                NodeId initial_parent, HierConfig config = {},
+                std::uint32_t initial_epoch = 0);
 
   // ---- Application API ----
 
@@ -81,14 +85,29 @@ class HierAutomaton {
   /// reported via Effects::upgraded, possibly in a later step.
   Effects upgrade();
 
-  /// Delivers one protocol message addressed to this node.
+  /// Delivers one protocol message addressed to this node. Messages whose
+  /// envelope epoch differs from recovery_epoch() are dropped unprocessed
+  /// (Effects::stale_drop) — they were minted under protocol state a crash
+  /// fence has since regenerated. Runtimes buffer newer-epoch messages
+  /// until the local fence arrives, so only genuinely stale ones reach
+  /// this gate (docs/recovery.md).
   Effects on_message(const proto::Message& message);
+
+  /// Applies one crash-recovery fence (docs/recovery.md): enters `epoch`,
+  /// re-roots the lock's tree as a star at `new_root`, installs `holders`
+  /// as the new root's copyset and `queue` as its waiting queue, and clears
+  /// every pre-crash routing hint, freeze and queue elsewhere. Holds,
+  /// pending requests and an in-flight upgrade survive. No-op when `epoch`
+  /// is not newer than recovery_epoch() (duplicate/stale fences).
+  Effects install_fence(const proto::EpochFence& fence);
 
   // ---- Introspection (tests, invariant checks, tracing) ----
 
   NodeId self() const { return self_; }
   LockId lock() const { return lock_; }
   bool is_token() const { return token_; }
+  /// Recovery epoch this automaton operates in (0 before any recovery).
+  std::uint32_t recovery_epoch() const { return recovery_epoch_; }
   /// Parent (granter) link: the node whose copyset this node belongs to
   /// (or last belonged to); carries releases and freeze propagation.
   /// none iff this node is the token node.
@@ -103,6 +122,11 @@ class HierAutomaton {
   /// Mode of the node's own outstanding request (kNL if none); kW while a
   /// Rule 7 upgrade is in flight.
   LockMode pending() const { return pending_; }
+  /// Sequence number of the outstanding request (valid while pending() is
+  /// not kNL; requests never overlap, so it is the last issued seq).
+  std::uint64_t pending_seq() const { return next_seq_ - 1; }
+  /// Priority of the outstanding request (valid while pending() is not kNL).
+  std::uint8_t pending_priority() const { return pending_priority_; }
   /// Strongest mode held/owned in the subtree rooted here — Definition 3.
   LockMode owned() const;
   /// True while a Rule 7 upgrade is waiting for children to release.
@@ -227,6 +251,9 @@ class HierAutomaton {
   NodeId hint_;             // probable-owner routing hint (may be none)
   LockMode held_ = LockMode::kNL;
   LockMode pending_ = LockMode::kNL;
+  /// Priority of the outstanding request; crash-recovery reports carry it
+  /// so the rebuilt root queue preserves priority order (docs/recovery.md).
+  std::uint8_t pending_priority_ = 0;
   bool upgrading_ = false;
   /// Sequence numbers start at 1: seq 0 is the "unset" value in trace
   /// events and RequestIds, so every real request must have a nonzero seq.
@@ -246,6 +273,10 @@ class HierAutomaton {
   /// Source of grant epochs handed to children; 0 is reserved for entries
   /// created by token transfer.
   std::uint32_t epoch_counter_ = 0;
+  /// Recovery epoch (docs/recovery.md): stamped onto every outgoing
+  /// message; mismatched incoming messages are dropped. Advanced only by
+  /// install_fence().
+  std::uint32_t recovery_epoch_ = 0;
 };
 
 }  // namespace hlock::core

@@ -175,6 +175,7 @@ void Checker::check_fifo(LockState& ls, const TraceEvent& event,
                          std::size_t index, std::uint64_t grant_order,
                          std::uint8_t priority) {
   if (!options_.freezing) return;  // fairness is waived without Rule 6
+  if (ls.fifo_suspended) return;   // post-fence order is reconstructed
   for (const Waiting& waiting : ls.waiting) {
     if (!waiting.at_token || waiting.order >= grant_order) continue;
     if (waiting.priority < priority) continue;  // priority overtake is legal
@@ -388,6 +389,24 @@ void Checker::add(const TraceEvent& event) {
   }
 
   LockState& ls = state(event.lock);
+  if (event.epoch > ls.epoch && event.kind != EventKind::kFence) {
+    // A non-fence event from a newer epoch passed the runtime's epoch gate,
+    // which only admits post-fence traffic — proof a fence landed even when
+    // the campaign took the lockless-placeholder path for this lock (no
+    // per-lock fence broadcast; survivors learn the root via
+    // set_default_origin, docs/recovery.md). Open the epoch implicitly and
+    // reseat the token at the first node acting as its holder; conservation
+    // keeps being judged within the new epoch. Unfenced regenerations are
+    // still caught: a node reviving a token without a fence keeps emitting
+    // at its OLD epoch, which this branch never launders.
+    ls.epoch = event.epoch;
+    ls.fence_root = proto::NodeId::none();
+    ls.token = event.token ? event.node : proto::NodeId::none();
+    ls.token_in_flight = false;
+    ls.waiting.clear();
+    ls.pending_freeze.clear();
+    ls.fifo_suspended = true;
+  }
   if (ls.token_in_flight && event.token && event.node == ls.token) {
     ls.token_in_flight = false;  // delivery observed: the destination acts
   }
@@ -447,12 +466,70 @@ void Checker::add(const TraceEvent& event) {
     case EventKind::kCopysetLeave:
       ls.copyset[event.node.value()].erase(event.peer.value());
       break;
+    case EventKind::kNodeDead:
+      // `peer` crashed (crash-stop): its holds, freezes, copyset
+      // relationships and queued requests are gone on every lock. The
+      // token is NOT reseated here — only a kFence may do that, so any
+      // node acting as token holder between a crash and its fence is
+      // flagged as an unfenced regeneration.
+      on_node_dead(event.peer);
+      break;
+    case EventKind::kFence:
+      on_fence(ls, event, index);
+      break;
     case EventKind::kMessage:
     case EventKind::kRequest:
     case EventKind::kNote:
       break;
   }
   check_starvation(index);
+}
+
+void Checker::on_node_dead(proto::NodeId dead) {
+  for (auto& [lock, ls] : locks_) {
+    ls.held.erase(dead.value());
+    ls.frozen.erase(dead.value());
+    ls.copyset.erase(dead.value());
+    for (auto& [granter, children] : ls.copyset) children.erase(dead.value());
+    std::erase_if(ls.waiting, [&](const Waiting& waiting) {
+      return waiting.requester == dead;
+    });
+  }
+}
+
+void Checker::on_fence(LockState& ls, const TraceEvent& event,
+                       std::size_t index) {
+  // Every survivor emits one kFence per lock per campaign, all carrying the
+  // campaign epoch and the elected root. The first one reseats the token;
+  // the rest must agree — two same-epoch fences appointing different roots
+  // is the double-regeneration bug (two "live" tokens in one epoch).
+  if (event.epoch > ls.epoch) {
+    ls.epoch = event.epoch;
+    ls.fence_root = event.peer;
+    ls.token = event.peer;
+    ls.token_in_flight = false;
+    // Queues are rebuilt at the new root from the survivors' reports; the
+    // pre-crash waiting picture is void (re-granted entries never re-emit
+    // kQueue, so FIFO/starvation tracking restarts from the fence).
+    ls.waiting.clear();
+    ls.pending_freeze.clear();
+    ls.fifo_suspended = true;
+  } else if (event.epoch == ls.epoch && ls.fence_root.is_none()) {
+    // The epoch was opened implicitly (add()'s newer-epoch branch) before
+    // this straggler fence arrived; adopt its root rather than comparing
+    // against a root nobody recorded.
+    ls.fence_root = event.peer;
+  } else if (event.epoch == ls.epoch && event.peer != ls.fence_root) {
+    std::ostringstream os;
+    os << "fence of epoch " << event.epoch << " appointed "
+       << to_string(event.peer) << " as root but " << to_string(ls.fence_root)
+       << " was already fenced in as the epoch's root";
+    report(ViolationKind::kTokenConservation, event, index, os.str());
+  }
+  // The fencing node rebuilds its own relationships from the fence; its
+  // pre-crash copyset row is void (the root's new entries re-arrive as
+  // kCopysetJoin events right after the fence event).
+  ls.copyset.erase(event.node.value());
 }
 
 LintReport Checker::finish() {

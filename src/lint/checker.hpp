@@ -130,6 +130,19 @@ class Checker {
     std::vector<Waiting> waiting;
     std::uint64_t next_order = 0;
     bool upgrading = false;
+    /// Highest recovery-fence epoch observed (docs/recovery.md); token
+    /// conservation is judged per epoch.
+    std::uint32_t epoch = 0;
+    /// Root appointed by the fence that opened `epoch`. Later same-epoch
+    /// fences must agree on it even after the token has legitimately moved
+    /// on from the fenced root.
+    proto::NodeId fence_root;
+    /// FIFO-inversion reporting stops once the lock has been fenced: the
+    /// reconstructed queue's admissions are invisible to the trace (no
+    /// kQueue re-emission) and late re-requests carry pre-crash seqs, so
+    /// arrival-order fairness judgments are unsound from then on. Safety,
+    /// token-conservation and starvation checks keep running.
+    bool fifo_suspended = false;
     /// Freezes owed since the last token queue admission, checked at the
     /// token's next grant (Table 1(d) may be satisfied by an existing
     /// frozen set, in which case no kFreeze event is ever emitted).
@@ -171,6 +184,12 @@ class Checker {
                                 std::uint64_t seq);
   void check_token_flag(LockState& ls, const trace::TraceEvent& event,
                         std::size_t index);
+  /// Crash-recovery events (docs/recovery.md): a kNodeDead erases the dead
+  /// node from every lock's tracked state; a kFence reseats the token for
+  /// its epoch and flags same-epoch fences that disagree on the root.
+  void on_node_dead(proto::NodeId dead);
+  void on_fence(LockState& ls, const trace::TraceEvent& event,
+                std::size_t index);
   void check_pending_freeze(LockState& ls, const trace::TraceEvent& event,
                             std::size_t index);
   void check_starvation(std::size_t index);

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <deque>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <sstream>
 #include <unordered_map>
@@ -17,6 +18,7 @@
 #include "modelcheck/symmetry.hpp"
 #include "naimi/naimi_automaton.hpp"
 #include "raymond/raymond_automaton.hpp"
+#include "recovery/host.hpp"
 #include "util/check.hpp"
 
 namespace hlock::modelcheck {
@@ -40,7 +42,8 @@ enum class Status : std::uint8_t {
   kDone,        ///< script exhausted
 };
 
-/// One complete system state. Copyable; branching copies it.
+/// One complete system state. Copyable (not assignable — the managers
+/// carry const identity members); branching copy-constructs it.
 struct State {
   std::vector<HierAutomaton> nodes;
   /// FIFO channels keyed by (from, to); only nonempty ones are stored.
@@ -48,18 +51,28 @@ struct State {
       channels;
   std::vector<std::size_t> pc;       // next script index per node
   std::vector<Status> status;
+  // Crash exploration only (CrashSpec::active()); empty otherwise. The
+  // managers' Host pointers route through the explorer's per-node
+  // adapters, which dereference whatever state the explorer is currently
+  // operating on — copies of a State therefore stay self-contained.
+  std::vector<recovery::Manager> managers;
+  std::uint32_t alive = ~0u;  ///< bit i: node i has not crashed
+  std::vector<std::deque<Message>> halted;  ///< buffered while halted
+  std::vector<std::deque<Message>> parked;  ///< newer-epoch, await fence
 };
 
 /// One transition of the scripted system: deliver the head of channel
-/// (from, node), or node issues its next script op. Together with the
-/// source state this determines the successor (automatons are
-/// deterministic, channels FIFO) — which is what makes parent-link replay
-/// of counterexample paths exact.
+/// (from, node), node issues its next script op, a crash victim stops, or
+/// a live node suspects a crashed one. Together with the source state this
+/// determines the successor (automatons and managers are deterministic,
+/// channels FIFO) — which is what makes parent-link replay of
+/// counterexample paths exact.
 struct Action {
-  enum class Type : std::uint8_t { kDeliver, kStep };
+  enum class Type : std::uint8_t { kDeliver, kStep, kCrash, kSuspect };
   Type type = Type::kStep;
-  std::uint32_t from = 0;  ///< kDeliver: channel source
-  std::uint32_t node = 0;  ///< acting node: receiver (kDeliver) / issuer
+  std::uint32_t from = 0;  ///< kDeliver: channel source; kSuspect: victim
+  std::uint32_t node = 0;  ///< acting node: receiver / issuer / suspector;
+                           ///< kCrash: the victim itself
 };
 
 /// Per-visited-state bookkeeping: the exploration-forest parent link (for
@@ -93,11 +106,84 @@ struct SafetyIssue {
   std::string descriptor;
 };
 
+/// Host adapter handed to every recovery::Manager under crash exploration.
+/// Managers are copied with their States, but all copies of node i share
+/// this one adapter, which routes to the state the explorer is currently
+/// applying an action to (`*active`) — mirroring HierEngine's Host
+/// implementation on that state's automaton.
+class CrashHost : public recovery::Host {
+ public:
+  CrashHost(State* const* active, std::uint32_t node)
+      : active_(active), node_(node) {}
+
+  std::vector<LockId> recovery_locks() override { return {kLock}; }
+
+  recovery::LockReport report(LockId /*lock*/) override {
+    const HierAutomaton& a = automaton();
+    recovery::LockReport r;
+    r.epoch = a.recovery_epoch();
+    r.has_token = a.is_token();
+    r.held = a.held();
+    r.upgrading = a.upgrading();
+    // As in HierEngine::report: an upgrader's pending W is preserved as an
+    // in-flight Rule 7 upgrade at the new root, not re-queued.
+    r.waiting = !a.upgrading() && a.pending() != LockMode::kNL;
+    if (r.waiting) {
+      r.wait_mode = a.pending();
+      r.wait_seq = a.pending_seq();
+      r.wait_priority = a.pending_priority();
+    }
+    return r;
+  }
+
+  Effects install_fence(LockId /*lock*/,
+                        const proto::EpochFence& fence) override {
+    return automaton().install_fence(fence);
+  }
+
+  std::uint32_t recovery_epoch(LockId /*lock*/) override {
+    return automaton().recovery_epoch();
+  }
+
+  void set_default_origin(NodeId /*root*/, std::uint32_t /*epoch*/) override {
+    // The explorer pre-builds every node's single-lock automaton, so no
+    // lazily created automaton can ever use the default origin.
+  }
+
+ private:
+  HierAutomaton& automaton() {
+    HLOCK_INVARIANT(*active_ != nullptr,
+                    "recovery host used outside an explorer transition");
+    return (*active_)->nodes[node_];
+  }
+
+  State* const* active_;
+  const std::uint32_t node_;
+};
+
 class Explorer {
  public:
   Explorer(const std::vector<Script>& scripts, const ExploreOptions& options)
       : scripts_(scripts), options_(options), n_(scripts.size()),
-        search_config_(options.config), replay_config_(options.config) {
+        search_config_(options.config), replay_config_(options.config),
+        crash_on_(options.crash.active()) {
+    if (crash_on_) {
+      HLOCK_REQUIRE(!options_.liveness,
+                    "crash exploration does not support liveness lassos");
+      HLOCK_REQUIRE(options_.doctor.bounce.is_none(),
+                    "crash exploration does not support the bounce doctor");
+      rec_options_ = options_.crash.recovery;
+      rec_options_.enabled = true;
+      for (const NodeId victim : options_.crash.victims) {
+        HLOCK_REQUIRE(victim.value() < n_,
+                      "crash victim outside the configuration");
+        victims_mask_ |= 1u << victim.value();
+      }
+      hosts_.reserve(n_);
+      for (std::uint32_t i = 0; i < n_; ++i) {
+        hosts_.push_back(std::make_unique<CrashHost>(&active_, i));
+      }
+    }
     // The search never records events (they would have to ride every
     // frontier state); counterexample events come from deterministic
     // replay instead, which forces tracing on. Event emission is the ONLY
@@ -108,7 +194,9 @@ class Explorer {
     // the quotient graph need not lift to a concrete cycle (the witness
     // could spiral through the orbit), so liveness forces it off. A
     // doctored bounce target also breaks node interchangeability.
-    if (options_.symmetry && !options_.liveness &&
+    // Crash mode also forces symmetry off: the victim set and the
+    // managers' id-keyed campaign state break node interchangeability.
+    if (options_.symmetry && !options_.liveness && !crash_on_ &&
         options_.doctor.bounce.is_none()) {
       std::vector<std::size_t> classes(n_, 0);
       for (std::size_t i = 0; i < n_; ++i) {
@@ -182,7 +270,20 @@ class Explorer {
     for (std::size_t i = 0; i < n_; ++i) {
       if (scripts_[i].empty()) state.status[i] = Status::kDone;
     }
+    if (crash_on_) {
+      state.managers.reserve(n_);
+      for (std::size_t i = 0; i < n_; ++i) {
+        state.managers.emplace_back(NodeId{static_cast<std::uint32_t>(i)},
+                                    n_, rec_options_, hosts_[i].get());
+      }
+      state.halted.resize(n_);
+      state.parked.resize(n_);
+    }
     return state;
+  }
+
+  bool alive(const State& state, std::uint32_t node) const {
+    return ((state.alive >> node) & 1) != 0;
   }
 
   std::string state_limit_message() const {
@@ -201,8 +302,29 @@ class Explorer {
     for (std::size_t i = 0; i < n_; ++i) {
       if (state.status[i] != Status::kIdle) continue;
       if (state.pc[i] >= scripts_[i].size()) continue;
+      // A halted node buffers application operations; the replay on unhalt
+      // reissues them, so not enabling the step here loses no behavior.
+      if (crash_on_ && state.managers[i].halted()) continue;
       actions.push_back(
           Action{Action::Type::kStep, 0, static_cast<std::uint32_t>(i)});
+    }
+    if (crash_on_) {
+      for (std::uint32_t v = 0; v < n_; ++v) {
+        if (((victims_mask_ >> v) & 1) == 0 || !alive(state, v)) continue;
+        actions.push_back(Action{Action::Type::kCrash, 0, v});
+      }
+      // Suspicion is explored only for genuinely crashed nodes, from every
+      // live node that does not yet believe the victim dead (gossip and
+      // report/fence dead-sets converge the rest).
+      for (std::uint32_t s = 0; s < n_; ++s) {
+        if (!alive(state, s)) continue;
+        for (std::uint32_t v = 0; v < n_; ++v) {
+          if (alive(state, v) || state.managers[s].is_dead(NodeId{v})) {
+            continue;
+          }
+          actions.push_back(Action{Action::Type::kSuspect, v, s});
+        }
+      }
     }
     return actions;
   }
@@ -235,12 +357,122 @@ class Explorer {
     return true;
   }
 
+  /// Stamps freshly produced events with a logical clock (there is no
+  /// simulated one) so counterexample dumps order and replay
+  /// deterministically; no-op when not tracing.
+  void sink_events(std::vector<trace::TraceEvent>&& fresh,
+                   std::vector<trace::TraceEvent>* events) const {
+    if (!events) return;
+    for (trace::TraceEvent& event : fresh) {
+      event.at = SimTime::ns(static_cast<std::int64_t>(events->size()) + 1);
+      events->push_back(std::move(event));
+    }
+  }
+
+  /// Applies one automaton step's effects exactly as the runtimes do:
+  /// sink events, fan out messages (sends to a crashed node are lost, as
+  /// over a real network) and fold grants into the actor's script status.
+  void apply_effects(State& state, std::size_t actor, Effects&& fx,
+                     std::vector<trace::TraceEvent>* events) const {
+    sink_events(std::move(fx.events), events);
+    for (Message& message : fx.messages) {
+      if (crash_on_ && !alive(state, message.to.value())) continue;
+      state.channels[{message.from.value(), message.to.value()}].push_back(
+          std::move(message));
+    }
+    if (fx.entered_cs) {
+      HLOCK_INVARIANT(state.status[actor] == Status::kWaiting ||
+                          state.status[actor] == Status::kIdle,
+                      "grant delivered to a node that was not waiting");
+      state.status[actor] = Status::kIdle;
+    }
+    if (fx.upgraded) state.status[actor] = Status::kIdle;
+    if (state.status[actor] == Status::kIdle &&
+        state.pc[actor] >= scripts_[actor].size()) {
+      state.status[actor] = Status::kDone;
+    }
+  }
+
+  /// Applies one Manager step's outcome, mirroring the runtimes'
+  /// apply_outcome + replay_buffers: messages fan out (sends to crashed
+  /// nodes are lost), fence effects apply like protocol steps, and an
+  /// unhalt replays the node's parked-then-halted backlog synchronously.
+  void apply_outcome(State& state, std::size_t actor,
+                     recovery::Outcome&& out,
+                     std::vector<trace::TraceEvent>* events) const {
+    sink_events(std::move(out.events), events);
+    for (Message& message : out.messages) {
+      if (!alive(state, message.to.value())) continue;
+      state.channels[{message.from.value(), message.to.value()}].push_back(
+          std::move(message));
+    }
+    for (auto& [lock, fx] : out.fence_effects) {
+      (void)lock;  // single-lock configuration
+      apply_effects(state, actor, std::move(fx), events);
+    }
+    if (out.unhalted) {
+      std::deque<Message> parked = std::move(state.parked[actor]);
+      state.parked[actor].clear();
+      std::deque<Message> backlog = std::move(state.halted[actor]);
+      state.halted[actor].clear();
+      for (const Message& message : parked) {
+        route_message(state, actor, message, events);
+      }
+      for (const Message& message : backlog) {
+        route_message(state, actor, message, events);
+      }
+    }
+  }
+
+  /// Routes one delivered (or replayed) message at node `to`, mirroring
+  /// SimCluster::deliver: recovery kinds go to the manager, protocol
+  /// messages buffer while halted, park while from a newer epoch, and
+  /// otherwise hit the automaton (which stale-drops older epochs itself).
+  void route_message(State& state, std::size_t to, const Message& message,
+                     std::vector<trace::TraceEvent>* events) const {
+    if (crash_on_) {
+      recovery::Manager& manager = state.managers[to];
+      if (proto::is_recovery_kind(proto::kind_of(message.payload))) {
+        apply_outcome(state, to, manager.on_message(message, SimTime{}),
+                      events);
+        return;
+      }
+      if (manager.halted()) {
+        state.halted[to].push_back(message);
+        return;
+      }
+      if (message.epoch > state.nodes[to].recovery_epoch()) {
+        state.parked[to].push_back(message);
+        return;
+      }
+    }
+    if (bounced(state, message)) return;
+    apply_effects(state, to, state.nodes[to].on_message(message), events);
+  }
+
+  /// Crash-stop: the victim loses its volatile state, messages in flight
+  /// TOWARD it are lost with it (in-flight messages FROM it still
+  /// deliver, exactly as over a real network), and its unfinished script
+  /// is forgiven — the terminal no-lost-waiter check covers survivors.
+  void do_crash(State& state, std::size_t victim) const {
+    state.alive &= ~(1u << victim);
+    for (auto it = state.channels.begin(); it != state.channels.end();) {
+      it = it->first.second == victim ? state.channels.erase(it)
+                                      : std::next(it);
+    }
+    state.halted[victim].clear();
+    state.parked[victim].clear();
+    state.status[victim] = Status::kDone;
+  }
+
   /// Applies `action` in place, optionally recording the trace line and
   /// the stamped structured events; returns the post-state safety check.
   SafetyIssue apply(State& state, const Action& action,
                     std::vector<std::string>* trace,
                     std::vector<trace::TraceEvent>* events) const {
-    Effects fx;
+    // The managers' Host adapters resolve against the state being acted
+    // on; scoped so stray use outside a transition trips the invariant.
+    if (crash_on_) active_ = &state;
     const std::size_t actor = action.node;
     if (action.type == Action::Type::kDeliver) {
       auto it = state.channels.find({action.from, action.node});
@@ -250,11 +482,25 @@ class Explorer {
       it->second.pop_front();
       if (it->second.empty()) state.channels.erase(it);
       if (trace) trace->push_back("deliver " + to_string(message));
-      if (bounced(state, message)) return check_safety(state);
-      fx = state.nodes[actor].on_message(message);
+      route_message(state, actor, message, events);
+    } else if (action.type == Action::Type::kCrash) {
+      if (trace) {
+        trace->push_back("node" + std::to_string(actor) + " crashes");
+      }
+      do_crash(state, actor);
+    } else if (action.type == Action::Type::kSuspect) {
+      if (trace) {
+        trace->push_back("node" + std::to_string(actor) + " suspects node" +
+                         std::to_string(action.from));
+      }
+      apply_outcome(state, actor,
+                    state.managers[actor].suspect(NodeId{action.from},
+                                                  SimTime{}),
+                    events);
     } else {
       const ScriptOp op = scripts_[actor][state.pc[actor]];
       ++state.pc[actor];
+      Effects fx;
       switch (op.kind) {
         case ScriptOp::Kind::kAcquire:
           if (trace) {
@@ -279,32 +525,11 @@ class Explorer {
           fx = state.nodes[actor].upgrade();
           break;
       }
+      apply_effects(state, actor, std::move(fx), events);
     }
-    if (events) {
-      for (trace::TraceEvent& event : fx.events) {
-        // There is no simulated clock here; stamp events with a logical
-        // one so counterexample dumps order and replay deterministically.
-        event.at =
-            SimTime::ns(static_cast<std::int64_t>(events->size()) + 1);
-        events->push_back(std::move(event));
-      }
-    }
-    for (Message& message : fx.messages) {
-      state.channels[{message.from.value(), message.to.value()}].push_back(
-          std::move(message));
-    }
-    if (fx.entered_cs) {
-      HLOCK_INVARIANT(state.status[actor] == Status::kWaiting ||
-                          state.status[actor] == Status::kIdle,
-                      "grant delivered to a node that was not waiting");
-      state.status[actor] = Status::kIdle;
-    }
-    if (fx.upgraded) state.status[actor] = Status::kIdle;
-    if (state.status[actor] == Status::kIdle &&
-        state.pc[actor] >= scripts_[actor].size()) {
-      state.status[actor] = Status::kDone;
-    }
-    return check_safety(state);
+    const SafetyIssue issue = check_safety(state);
+    if (crash_on_) active_ = nullptr;
+    return issue;
   }
 
   bool modes_conflict(LockMode a, LockMode b) const {
@@ -328,14 +553,58 @@ class Explorer {
   }
 
   SafetyIssue check_safety(const State& state) const {
-    const std::size_t tokens = token_count(state);
-    if (tokens != 1) {
-      return {"token conservation violated: " + std::to_string(tokens) +
-                  " tokens",
-              "tokens:" + std::to_string(tokens)};
+    if (!crash_on_) {
+      const std::size_t tokens = token_count(state);
+      if (tokens != 1) {
+        return {"token conservation violated: " + std::to_string(tokens) +
+                    " tokens",
+                "tokens:" + std::to_string(tokens)};
+      }
+    } else {
+      // Per-epoch token conservation — the crash-recovery safety claim:
+      // at most one token per recovery epoch, counting live at-rest
+      // tokens under the holder's epoch and every in-flight or buffered
+      // TOKEN message under its envelope epoch. A crash may destroy the
+      // current epoch's token (count 0) until a fence mints the next
+      // epoch's; a double regeneration (doctor_double_fence) puts two in
+      // one epoch and fails here.
+      std::map<std::uint32_t, std::size_t> tokens;
+      for (std::size_t i = 0; i < state.nodes.size(); ++i) {
+        if (!alive(state, static_cast<std::uint32_t>(i))) continue;
+        if (state.nodes[i].is_token()) {
+          ++tokens[state.nodes[i].recovery_epoch()];
+        }
+      }
+      const auto count = [&tokens](const Message& message) {
+        if (std::holds_alternative<proto::HierToken>(message.payload)) {
+          ++tokens[message.epoch];
+        }
+      };
+      for (const auto& [key, queue] : state.channels) {
+        for (const Message& message : queue) count(message);
+      }
+      for (std::size_t i = 0; i < n_; ++i) {
+        for (const Message& message : state.halted[i]) count(message);
+        for (const Message& message : state.parked[i]) count(message);
+      }
+      for (const auto& [epoch, cnt] : tokens) {
+        if (cnt > 1) {
+          return {"token conservation violated in epoch " +
+                      std::to_string(epoch) + ": " + std::to_string(cnt) +
+                      " tokens",
+                  "tokens:" + std::to_string(cnt) + "@e" +
+                      std::to_string(epoch)};
+        }
+      }
     }
     for (std::size_t a = 0; a < state.nodes.size(); ++a) {
+      if (crash_on_ && !alive(state, static_cast<std::uint32_t>(a))) {
+        continue;  // a crashed holder's stale state is unreachable
+      }
       for (std::size_t b = a + 1; b < state.nodes.size(); ++b) {
+        if (crash_on_ && !alive(state, static_cast<std::uint32_t>(b))) {
+          continue;
+        }
         const LockMode ma = state.nodes[a].held();
         const LockMode mb = state.nodes[b].held();
         if (ma != LockMode::kNL && mb != LockMode::kNL &&
@@ -369,8 +638,23 @@ class Explorer {
   std::string plain_fingerprint(const State& state) const {
     std::ostringstream os;
     for (std::size_t i = 0; i < n_; ++i) {
+      if (crash_on_ && !alive(state, static_cast<std::uint32_t>(i))) {
+        // A dead node's frozen automaton and manager are unreachable;
+        // canonicalizing them merges states that differ only in what the
+        // victim happened to be doing when it crashed.
+        os << 'N' << i << "[dead]";
+        continue;
+      }
       os << 'N' << i << '[' << state.nodes[i].fingerprint() << ']'
          << state.pc[i] << static_cast<int>(state.status[i]);
+      if (crash_on_) {
+        os << 'M' << '{' << state.managers[i].fingerprint() << '}' << 'H'
+           << '{';
+        for (const Message& m : state.halted[i]) os << to_string(m) << ';';
+        os << '}' << 'P' << '{';
+        for (const Message& m : state.parked[i]) os << to_string(m) << ';';
+        os << '}';
+      }
     }
     for (const auto& [key, queue] : state.channels) {
       os << 'C' << key.first << '>' << key.second << '{';
@@ -550,10 +834,53 @@ class Explorer {
 
   std::size_t token_count(const State& state) const {
     std::size_t tokens = tokens_in_flight(state);
-    for (const HierAutomaton& node : state.nodes) {
-      if (node.is_token()) ++tokens;
+    for (std::size_t i = 0; i < state.nodes.size(); ++i) {
+      if (crash_on_ && !alive(state, static_cast<std::uint32_t>(i))) {
+        continue;  // a crashed node's token died with it
+      }
+      if (state.nodes[i].is_token()) ++tokens;
     }
     return tokens;
+  }
+
+  /// Crash mode: the only states POR may reduce are those with recovery
+  /// completely quiescent — every victim crashed and adopted by every
+  /// survivor (no kCrash/kSuspect enabled), nobody halted, no backlog, no
+  /// recovery message in flight, no zombie traffic from a dead sender
+  /// still draining, and every live node plus every in-flight message on
+  /// one common epoch. Such a state behaves exactly like the crash-free
+  /// protocol restricted to the survivors, so the persistent-set argument
+  /// applies unchanged; every state with any recovery activity is fully
+  /// expanded.
+  bool pure_protocol_phase(const State& state) const {
+    if ((state.alive & victims_mask_) != 0) return false;
+    std::uint32_t epoch = UINT32_MAX;
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      if (!alive(state, i)) continue;
+      const recovery::Manager& manager = state.managers[i];
+      if (manager.halted()) return false;
+      for (std::uint32_t v = 0; v < n_; ++v) {
+        if (!alive(state, v) && !manager.is_dead(NodeId{v})) return false;
+      }
+      if (!state.halted[i].empty() || !state.parked[i].empty()) {
+        return false;
+      }
+      if (epoch == UINT32_MAX) {
+        epoch = state.nodes[i].recovery_epoch();
+      } else if (epoch != state.nodes[i].recovery_epoch()) {
+        return false;
+      }
+    }
+    for (const auto& [key, queue] : state.channels) {
+      if (!alive(state, key.first)) return false;
+      for (const Message& message : queue) {
+        if (proto::is_recovery_kind(proto::kind_of(message.payload))) {
+          return false;
+        }
+        if (message.epoch != epoch) return false;
+      }
+    }
+    return true;
   }
 
   /// Persistent-set reduction (docs/modelcheck.md sketches the proof).
@@ -591,6 +918,9 @@ class Explorer {
     std::uint64_t base_active = 0;  // nodes with an action enabled right now
     const proto::ModeSet freezable = freezable_modes(state);
     for (std::size_t u = 0; u < n_; ++u) {
+      if (crash_on_ && !alive(state, static_cast<std::uint32_t>(u))) {
+        continue;  // dead: inert — no refs, no actions, forwards nothing
+      }
       reach0[u] = automaton_refs(state.nodes[u], freezable);
       if (state.status[u] == Status::kWaiting ||
           state.status[u] == Status::kUpgrading) {
@@ -705,7 +1035,8 @@ class Explorer {
     }
     std::vector<std::size_t> chosen(enabled.size());
     std::iota(chosen.begin(), chosen.end(), std::size_t{0});
-    if (!force_full && options_.por && enabled.size() > 1) {
+    if (!force_full && options_.por && enabled.size() > 1 &&
+        (!crash_on_ || pure_protocol_phase(state))) {
       std::vector<std::size_t> reduced = try_reduce(state, enabled);
       if (!reduced.empty()) {
         ++result_.stats.por_reduced_states;
@@ -921,6 +1252,9 @@ class Explorer {
     ++result_.terminal_states;
     for (std::size_t i = 0; i < n_; ++i) {
       if (state.status[i] != Status::kDone) {
+        // Crash forgives the victim's script by marking it kDone, so an
+        // unfinished script here always belongs to a SURVIVOR — the
+        // no-lost-waiter property under crashes.
         fail("terminal state with unfinished script at node" +
                  std::to_string(i) + " (deadlock or lost request): " +
                  state.nodes[i].describe(),
@@ -928,10 +1262,61 @@ class Explorer {
         return;
       }
     }
+    if (crash_on_) {
+      // Recovery convergence: every survivor unhalted with an empty
+      // backlog, all on one epoch, holding exactly one token among them.
+      std::size_t tokens = 0;
+      std::uint32_t epoch = UINT32_MAX;
+      for (std::uint32_t i = 0; i < n_; ++i) {
+        if (!alive(state, i)) continue;
+        if (state.managers[i].halted()) {
+          fail("terminal state with node" + std::to_string(i) +
+                   " still halted (recovery campaign never completed)",
+               "quiescence:halted", Verdict::kSafety,
+               path_actions(idx, nullptr));
+          return;
+        }
+        if (!state.halted[i].empty() || !state.parked[i].empty()) {
+          fail("terminal state with undelivered backlog at node" +
+                   std::to_string(i),
+               "quiescence:backlog", Verdict::kSafety,
+               path_actions(idx, nullptr));
+          return;
+        }
+        if (state.nodes[i].is_token()) ++tokens;
+        if (epoch == UINT32_MAX) {
+          epoch = state.nodes[i].recovery_epoch();
+        } else if (epoch != state.nodes[i].recovery_epoch()) {
+          fail("terminal state with survivors in different epochs",
+               "quiescence:epoch-skew", Verdict::kSafety,
+               path_actions(idx, nullptr));
+          return;
+        }
+      }
+      if (tokens != 1) {
+        fail("terminal state with " + std::to_string(tokens) +
+                 " live tokens",
+             "quiescence:tokens:" + std::to_string(tokens),
+             Verdict::kSafety, path_actions(idx, nullptr));
+        return;
+      }
+    }
     if (options_.lint && !lint_terminal(idx)) return;
-    // Quiescent structure: copysets mutual and accurate.
+    // Quiescent structure: copysets mutual and accurate (live nodes only
+    // under crashes, where they must also not reference the dead).
     for (std::size_t i = 0; i < n_; ++i) {
+      if (crash_on_ && !alive(state, static_cast<std::uint32_t>(i))) {
+        continue;
+      }
       for (const core::CopysetEntry& entry : state.nodes[i].copyset()) {
+        if (crash_on_ && !alive(state, entry.node.value())) {
+          fail("terminal state with a copyset entry for crashed node" +
+                   std::to_string(entry.node.value()) + " at node" +
+                   std::to_string(i),
+               "quiescence:dead-ref", Verdict::kSafety,
+               path_actions(idx, nullptr));
+          return;
+        }
         const HierAutomaton& child = state.nodes[entry.node.value()];
         if (child.parent().value() != i) {
           fail("terminal state with non-mutual copyset at node" +
@@ -1028,6 +1413,14 @@ class Explorer {
   /// options_.config with trace_events forced off (search) / on (replay).
   core::HierConfig search_config_;
   core::HierConfig replay_config_;
+  // Crash exploration (ExploreOptions::crash). The hosts are the stable
+  // per-node adapters every Manager copy points at; active_ is the state
+  // currently inside apply(), which the adapters dereference.
+  const bool crash_on_;
+  recovery::Options rec_options_;
+  std::uint32_t victims_mask_ = 0;
+  std::vector<std::unique_ptr<CrashHost>> hosts_;
+  mutable State* active_ = nullptr;
   SymmetryGroup group_;
   ExploreResult result_;
   std::unordered_map<std::string, std::uint32_t> visited_;

@@ -34,6 +34,7 @@
 #include "core/hier_config.hpp"
 #include "proto/ids.hpp"
 #include "proto/lock_mode.hpp"
+#include "recovery/manager.hpp"
 #include "trace/event.hpp"
 
 namespace hlock::modelcheck {
@@ -82,6 +83,36 @@ struct DoctoredSpec {
   bool active() const { return !conflicts.empty() || !bounce.is_none(); }
 };
 
+/// Crash-stop exploration (docs/recovery.md): every listed victim may
+/// crash at ANY reachable state, and every live node may suspect a crashed
+/// victim at any point after the crash — the explorer branches over crash
+/// timing, suspicion order and the full interleaving of the recovery
+/// campaign (gossip, reports, fences) with in-flight protocol traffic.
+/// Each node runs a recovery::Manager exactly as the runtimes do: halting
+/// buffers protocol messages, newer-epoch messages park until the local
+/// fence lands, unhalting replays the backlog. Checked properties change
+/// accordingly: token conservation becomes per-epoch (at most one token
+/// per recovery epoch, at rest on a live node or in flight), pairwise
+/// hold compatibility and all terminal checks consider live nodes only,
+/// and a victim's unfinished script is forgiven — but every SURVIVOR's
+/// script must still complete (no lost waiter). Suspicions are only
+/// explored for genuinely crashed nodes (the false-suspicion regime is
+/// covered by the randomized harnesses, not the explorer). Incompatible
+/// with liveness, symmetry and the bounce doctor; POR stays sound by
+/// reducing only pure-protocol phases (all victims crashed and adopted,
+/// nobody halted, no recovery traffic or buffered backlog in flight).
+struct CrashSpec {
+  /// Nodes that may crash-stop during exploration (each at most once).
+  std::vector<proto::NodeId> victims;
+  /// Manager tuning forwarded to every node; `enabled` is implied. The
+  /// interesting knob is doctor_double_fence: the seeded
+  /// double-regeneration bug the per-epoch token check must catch
+  /// (hlock_check --crash-doctored, an expect-violation run).
+  recovery::Options recovery;
+
+  bool active() const { return !victims.empty(); }
+};
+
 /// Exploration limits, protocol configuration and analysis toggles.
 struct ExploreOptions {
   core::HierConfig config = {};
@@ -116,6 +147,8 @@ struct ExploreOptions {
   bool minimize = false;
   /// Seeded spec corruption (tests of the checker itself).
   DoctoredSpec doctor;
+  /// Crash-stop failure exploration (hierarchical explore() only).
+  CrashSpec crash;
 };
 
 /// How an exploration concluded; refines ExploreResult::ok.

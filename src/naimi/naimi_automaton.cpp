@@ -12,9 +12,11 @@ using proto::NaimiToken;
 using proto::Payload;
 
 NaimiAutomaton::NaimiAutomaton(NodeId self, LockId lock, bool initially_token,
-                               NodeId initial_owner)
+                               NodeId initial_owner,
+                               std::uint32_t initial_epoch)
     : self_(self), lock_(lock), owner_(initial_owner),
-      next_(NodeId::none()), has_token_(initially_token) {
+      next_(NodeId::none()), has_token_(initially_token),
+      recovery_epoch_(initial_epoch) {
   if (initially_token) {
     HLOCK_REQUIRE(initial_owner.is_none(),
                   "the initial token node must be the tree root");
@@ -62,13 +64,88 @@ Effects NaimiAutomaton::on_message(const Message& message) {
   HLOCK_REQUIRE(message.lock == lock_,
                 "message delivered to the wrong lock instance");
   Effects fx;
+  if (message.epoch != recovery_epoch_) {
+    // Stale-drop rule (docs/recovery.md): see HierAutomaton::on_message.
+    fx.stale_drop = true;
+    return fx;
+  }
   if (const auto* request = std::get_if<NaimiRequest>(&message.payload)) {
     handle_request(*request, fx);
   } else if (std::get_if<NaimiToken>(&message.payload)) {
     handle_token(fx);
   } else {
     HLOCK_INVARIANT(false,
-                    "hierarchical payload delivered to a NaimiAutomaton");
+                    "non-Naimi payload delivered to a NaimiAutomaton");
+  }
+  return fx;
+}
+
+Effects NaimiAutomaton::install_fence(const proto::EpochFence& fence) {
+  Effects fx;
+  if (fence.epoch <= recovery_epoch_) return fx;  // duplicate/stale fence
+  recovery_epoch_ = fence.epoch;
+
+  // The coordinator includes the new root's own waiting entry in the queue
+  // (the hierarchical protocol serves it through its mode-aware queue);
+  // here the root is served by seating the token directly, so every node
+  // drops root entries before threading the FIFO list. All nodes filter
+  // identically, so the resulting chain is consistent cluster-wide.
+  std::vector<proto::QueuedRequest> queue;
+  queue.reserve(fence.queue.size());
+  for (const proto::QueuedRequest& entry : fence.queue) {
+    if (entry.requester != fence.new_root) queue.push_back(entry);
+  }
+
+  // Rebuild the two distributed structures from scratch: the FIFO list
+  // becomes new_root -> queue[0] -> ... -> queue[k-1], and the probable-
+  // owner tree becomes a star around the list's tail (the logical "last
+  // requester"). Pre-crash next pointers and owner links are discarded —
+  // every surviving waiter reported its request and appears in the queue.
+  next_ = NodeId::none();
+  next_req_seq_ = 0;
+  const NodeId tail =
+      queue.empty() ? fence.new_root : queue.back().requester;
+  owner_ = tail == self_ ? NodeId::none() : tail;
+
+  if (self_ == fence.new_root) {
+    has_token_ = true;
+    if (requesting_) {
+      // We were waiting when the holder crashed; the regenerated token
+      // seats here first, so our own request is served on the spot.
+      requesting_ = false;
+      in_cs_ = true;
+      fx.entered_cs = true;
+    }
+    if (!queue.empty()) {
+      const proto::QueuedRequest& first = queue.front();
+      if (in_cs_) {
+        next_ = first.requester;
+        next_req_seq_ = first.seq;
+      } else {
+        // Idle root: hand the regenerated token straight to the first
+        // surviving waiter.
+        has_token_ = false;
+        send(first.requester, NaimiToken{}, fx,
+             proto::RequestId{first.requester, first.seq});
+      }
+    }
+    return fx;
+  }
+
+  // Demoting has_token_ below only happens when this node was fenced out
+  // while believing it held the token (false suspicion or a doctored double
+  // fence); it must stop arbitrating either way.
+  has_token_ = false;
+  in_cs_ = false;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (queue[i].requester != self_) continue;
+    HLOCK_INVARIANT(requesting_,
+                    "fence queued this node without an outstanding request");
+    if (i + 1 < queue.size()) {
+      next_ = queue[i + 1].requester;
+      next_req_seq_ = queue[i + 1].seq;
+    }
+    break;
   }
   return fx;
 }
@@ -113,6 +190,7 @@ void NaimiAutomaton::send(NodeId to, Payload payload, Effects& fx,
   HLOCK_INVARIANT(!to.is_none(), "attempted to send to the null node");
   Message message{self_, to, lock_, std::move(payload)};
   message.request = request;
+  message.epoch = recovery_epoch_;
   fx.messages.push_back(std::move(message));
 }
 
@@ -120,7 +198,8 @@ std::string NaimiAutomaton::fingerprint() const {
   std::ostringstream os;
   os << owner_.value() << '/' << next_.value() << '/'
      << (has_token_ ? 'T' : 't') << (in_cs_ ? 'C' : 'c')
-     << (requesting_ ? 'R' : 'r') << next_seq_ << 'n' << next_req_seq_;
+     << (requesting_ ? 'R' : 'r') << next_seq_ << 'n' << next_req_seq_
+     << 'E' << recovery_epoch_;
   return os.str();
 }
 
@@ -128,7 +207,8 @@ std::string NaimiAutomaton::describe() const {
   std::ostringstream os;
   os << to_string(self_) << " owner=" << to_string(owner_)
      << " next=" << to_string(next_) << " token=" << (has_token_ ? 1 : 0)
-     << " cs=" << (in_cs_ ? 1 : 0) << " req=" << (requesting_ ? 1 : 0);
+     << " cs=" << (in_cs_ ? 1 : 0) << " req=" << (requesting_ ? 1 : 0)
+     << " epoch=" << recovery_epoch_;
   return os.str();
 }
 

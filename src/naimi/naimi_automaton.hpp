@@ -34,8 +34,10 @@ class NaimiAutomaton {
   /// Constructs the automaton for `self` on `lock`. Exactly one node is
   /// created with the token (`initially_token`); the probable-owner links of
   /// all other nodes must transitively reach it.
+  /// `initial_epoch` is the recovery epoch the automaton starts in (see
+  /// HierAutomaton; nonzero when a lock is first touched post-recovery).
   NaimiAutomaton(NodeId self, LockId lock, bool initially_token,
-                 NodeId initial_owner);
+                 NodeId initial_owner, std::uint32_t initial_epoch = 0);
 
   // ---- Application API ----
 
@@ -46,18 +48,35 @@ class NaimiAutomaton {
   /// Releases the lock; passes the token to `next` if somebody waits.
   Effects release();
 
-  /// Delivers one protocol message addressed to this node.
+  /// Delivers one protocol message addressed to this node. Messages whose
+  /// envelope epoch differs from recovery_epoch() are dropped unprocessed
+  /// (Effects::stale_drop) — see HierAutomaton::on_message.
   Effects on_message(const proto::Message& message);
+
+  /// Applies one crash-recovery fence (docs/recovery.md): enters
+  /// fence.epoch, seats the token at fence.new_root and rebuilds the
+  /// distributed FIFO waiting list from fence.queue (the surviving
+  /// requesters, in grant order). The pre-crash probable-owner tree and
+  /// next pointers are discarded. Note the runtime must transmit the
+  /// resulting messages: an idle re-elected root immediately passes the
+  /// regenerated token to the first waiter. No-op when fence.epoch is not
+  /// newer than recovery_epoch().
+  Effects install_fence(const proto::EpochFence& fence);
 
   // ---- Introspection ----
 
   NodeId self() const { return self_; }
+  /// Recovery epoch this automaton operates in (0 before any recovery).
+  std::uint32_t recovery_epoch() const { return recovery_epoch_; }
   /// True if the token currently rests at this node.
   bool has_token() const { return has_token_; }
   /// True while inside the critical section.
   bool in_cs() const { return in_cs_; }
   /// True while waiting for the token.
   bool requesting() const { return requesting_; }
+  /// Sequence number of the outstanding request (valid while requesting();
+  /// requests never overlap, so it is the last issued seq).
+  std::uint64_t pending_seq() const { return next_seq_ - 1; }
   /// Probable owner link; none when this node believes itself the root
   /// (i.e. it was the last requester it knows of).
   NodeId probable_owner() const { return owner_; }
@@ -91,6 +110,10 @@ class NaimiAutomaton {
   /// Starts at 1: seq 0 is the "unset" value in RequestIds (mirrors
   /// HierAutomaton's convention).
   std::uint64_t next_seq_ = 1;
+  /// Recovery epoch (docs/recovery.md): stamped onto every outgoing
+  /// message; mismatched incoming messages are dropped. Advanced only by
+  /// install_fence().
+  std::uint32_t recovery_epoch_ = 0;
 };
 
 }  // namespace hlock::naimi

@@ -129,7 +129,74 @@ struct PayloadEncoder {
     w.u64(p.seq);
   }
   void operator()(const NaimiToken&) const {}
+  void operator()(const Heartbeat&) const {}
+  void operator()(const Suspect& p) const { w.node(p.dead); }
+  void operator()(const ElectToken& p) const {
+    HLOCK_REQUIRE(p.dead.size() <= kMaxFenceNodes,
+                  "ElectToken dead set exceeds the wire format cap");
+    w.u32(static_cast<std::uint32_t>(p.dead.size()));
+    for (NodeId n : p.dead) w.node(n);
+    w.u32(p.lock_count);
+    w.u32(p.lock_index);
+    w.u32(p.epoch);
+    w.u8(p.has_token ? 1 : 0);
+    w.mode(p.held);
+    w.u8(p.waiting ? 1 : 0);
+    w.mode(p.wait_mode);
+    w.u64(p.wait_seq);
+    w.u8(p.wait_priority);
+    w.u8(p.upgrading ? 1 : 0);
+  }
+  void operator()(const EpochFence& p) const {
+    HLOCK_REQUIRE(p.dead.size() <= kMaxFenceNodes &&
+                      p.holders.size() <= kMaxFenceNodes,
+                  "EpochFence node lists exceed the wire format cap");
+    HLOCK_REQUIRE(p.queue.size() <= kMaxTokenQueueEntries,
+                  "EpochFence queue exceeds the wire format cap");
+    w.u32(static_cast<std::uint32_t>(p.dead.size()));
+    for (NodeId n : p.dead) w.node(n);
+    w.u32(p.epoch);
+    w.node(p.new_root);
+    w.u32(static_cast<std::uint32_t>(p.holders.size()));
+    for (const FenceHolder& h : p.holders) {
+      w.node(h.node);
+      w.mode(h.mode);
+    }
+    w.u32(static_cast<std::uint32_t>(p.queue.size()));
+    for (const QueuedRequest& q : p.queue) {
+      w.node(q.requester);
+      w.mode(q.mode);
+      w.u64(q.seq);
+      w.u8(q.priority);
+    }
+    w.u32(p.fence_index);
+    w.u32(p.fence_count);
+  }
 };
+
+/// Reads a u8 0/1 as bool; nullopt for anything else (hostile frames must
+/// not smuggle wider values into a bool).
+std::optional<bool> read_bool(WireReader& r) {
+  auto v = r.u8();
+  if (!v || *v > 1) return std::nullopt;
+  return *v != 0;
+}
+
+/// Reads a length-prefixed node list bounded by kMaxFenceNodes and the
+/// remaining buffer (4 bytes per entry).
+std::optional<std::vector<NodeId>> read_node_list(WireReader& r) {
+  auto count = r.u32();
+  if (!count || *count > kMaxFenceNodes) return std::nullopt;
+  if (*count > r.remaining() / 4) return std::nullopt;
+  std::vector<NodeId> out;
+  out.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto n = r.node();
+    if (!n) return std::nullopt;
+    out.push_back(*n);
+  }
+  return out;
+}
 
 std::optional<Payload> decode_payload(MessageKind kind, WireReader& r) {
   switch (kind) {
@@ -190,6 +257,76 @@ std::optional<Payload> decode_payload(MessageKind kind, WireReader& r) {
     }
     case MessageKind::kNaimiToken:
       return Payload{NaimiToken{}};
+    case MessageKind::kHeartbeat:
+      return Payload{Heartbeat{}};
+    case MessageKind::kSuspect: {
+      auto dead = r.node();
+      if (!dead) return std::nullopt;
+      return Payload{Suspect{*dead}};
+    }
+    case MessageKind::kElectToken: {
+      auto dead = read_node_list(r);
+      auto lock_count = r.u32();
+      auto lock_index = r.u32();
+      auto epoch = r.u32();
+      auto has_token = read_bool(r);
+      auto held = r.mode();
+      auto waiting = read_bool(r);
+      auto wait_mode = r.mode();
+      auto wait_seq = r.u64();
+      auto wait_priority = r.u8();
+      auto upgrading = read_bool(r);
+      if (!dead || !lock_count || !lock_index || !epoch || !has_token ||
+          !held || !waiting || !wait_mode || !wait_seq || !wait_priority ||
+          !upgrading) {
+        return std::nullopt;
+      }
+      return Payload{ElectToken{std::move(*dead), *lock_count, *lock_index,
+                                *epoch, *has_token, *held, *waiting,
+                                *wait_mode, *wait_seq, *wait_priority,
+                                *upgrading}};
+    }
+    case MessageKind::kEpochFence: {
+      auto dead = read_node_list(r);
+      auto epoch = r.u32();
+      auto new_root = r.node();
+      if (!dead || !epoch || !new_root) return std::nullopt;
+      auto holder_count = r.u32();
+      if (!holder_count || *holder_count > kMaxFenceNodes) {
+        return std::nullopt;
+      }
+      // A holder occupies 5 bytes; reject counts the buffer cannot hold.
+      if (*holder_count > r.remaining() / 5) return std::nullopt;
+      EpochFence fence{std::move(*dead), *epoch, *new_root, {}, {}, 0, 0};
+      fence.holders.reserve(*holder_count);
+      for (std::uint32_t i = 0; i < *holder_count; ++i) {
+        auto node = r.node();
+        auto mode = r.mode();
+        if (!node || !mode) return std::nullopt;
+        fence.holders.push_back(FenceHolder{*node, *mode});
+      }
+      auto queue_count = r.u32();
+      if (!queue_count || *queue_count > kMaxTokenQueueEntries) {
+        return std::nullopt;
+      }
+      if (*queue_count > r.remaining() / 14) return std::nullopt;
+      fence.queue.reserve(*queue_count);
+      for (std::uint32_t i = 0; i < *queue_count; ++i) {
+        auto requester = r.node();
+        auto mode = r.mode();
+        auto seq = r.u64();
+        auto priority = r.u8();
+        if (!requester || !mode || !seq || !priority) return std::nullopt;
+        fence.queue.push_back(QueuedRequest{*requester, *mode, *seq,
+                                            *priority});
+      }
+      auto fence_index = r.u32();
+      auto fence_count = r.u32();
+      if (!fence_index || !fence_count) return std::nullopt;
+      fence.fence_index = *fence_index;
+      fence.fence_count = *fence_count;
+      return Payload{std::move(fence)};
+    }
   }
   return std::nullopt;
 }
@@ -205,6 +342,7 @@ void encode_into(const Message& m, std::vector<std::byte>& out) {
   w.node(m.request.origin);
   w.u64(m.request.seq);
   w.u64(m.lamport);
+  w.u32(m.epoch);
   w.u8(static_cast<std::uint8_t>(kind_of(m.payload)));
   std::visit(PayloadEncoder{w}, m.payload);
 }
@@ -226,9 +364,10 @@ std::optional<Message> decode(std::span<const std::byte> bytes) {
   auto request_origin = r.node();
   auto request_seq = r.u64();
   auto lamport = r.u64();
+  auto epoch = r.u32();
   auto kind_raw = r.u8();
   if (!from || !to || !lock || !request_origin || !request_seq || !lamport ||
-      !kind_raw) {
+      !epoch || !kind_raw) {
     return std::nullopt;
   }
   if (*kind_raw >= kMessageKindCount) return std::nullopt;
@@ -239,7 +378,8 @@ std::optional<Message> decode(std::span<const std::byte> bytes) {
                  *lock,
                  std::move(*payload),
                  RequestId{*request_origin, *request_seq},
-                 *lamport};
+                 *lamport,
+                 *epoch};
 }
 
 void encode_batch_into(std::span<const Message> messages,

@@ -28,9 +28,10 @@
 namespace hlock::proto {
 
 /// Wire format version, the first byte of every encoded message. Bumped to
-/// 2 when the envelope grew the RequestId and Lamport fields; decode()
-/// rejects every other version.
-inline constexpr std::uint8_t kWireFormatVersion = 2;
+/// 2 when the envelope grew the RequestId and Lamport fields; bumped to 3
+/// when it grew the recovery epoch (and the recovery message kinds —
+/// docs/recovery.md). decode() rejects every other version.
+inline constexpr std::uint8_t kWireFormatVersion = 3;
 
 /// First byte of a batch envelope (encode_batch_into). Deliberately far
 /// from any plausible version byte so a receiver can tell a batch frame
@@ -48,10 +49,14 @@ inline constexpr std::size_t kMaxTokenQueueEntries = 1u << 16;
 /// kMaxTokenQueueEntries for the batch count field.
 inline constexpr std::size_t kMaxBatchMessages = 1u << 16;
 
+/// Hard cap on node-list entries (ElectToken/EpochFence dead sets, fence
+/// holder lists), decode-side companion of kMaxTokenQueueEntries.
+inline constexpr std::size_t kMaxFenceNodes = 1u << 16;
+
 /// Smallest possible single-message encoding (a NaimiToken: version byte,
 /// envelope, empty payload); used to reject impossible batch counts before
 /// allocating.
-inline constexpr std::size_t kMinEncodedMessageBytes = 34;
+inline constexpr std::size_t kMinEncodedMessageBytes = 38;
 
 /// Appends little-endian primitives to a byte buffer.
 class WireWriter {

@@ -24,6 +24,14 @@ std::string to_string(MessageKind kind) {
       return "NREQUEST";
     case MessageKind::kNaimiToken:
       return "NTOKEN";
+    case MessageKind::kHeartbeat:
+      return "HEARTBEAT";
+    case MessageKind::kSuspect:
+      return "SUSPECT";
+    case MessageKind::kElectToken:
+      return "ELECT";
+    case MessageKind::kEpochFence:
+      return "FENCE";
   }
   return "?";
 }
@@ -58,6 +66,23 @@ struct PayloadPrinter {
     os << "NREQUEST(" << to_string(p.requester) << ", seq=" << p.seq << ")";
   }
   void operator()(const NaimiToken&) const { os << "NTOKEN"; }
+  void operator()(const Heartbeat&) const { os << "HEARTBEAT"; }
+  void operator()(const Suspect& p) const {
+    os << "SUSPECT(" << to_string(p.dead) << ")";
+  }
+  void operator()(const ElectToken& p) const {
+    os << "ELECT(dead=" << p.dead.size() << ", " << p.lock_index + 1 << "/"
+       << p.lock_count << ", epoch=" << p.epoch
+       << ", token=" << (p.has_token ? 1 : 0) << ", held=" << to_string(p.held)
+       << (p.waiting ? ", waiting" : "") << (p.upgrading ? ", upgrading" : "")
+       << ")";
+  }
+  void operator()(const EpochFence& p) const {
+    os << "FENCE(epoch=" << p.epoch << ", root=" << to_string(p.new_root)
+       << ", dead=" << p.dead.size() << ", holders=" << p.holders.size()
+       << ", queued=" << p.queue.size() << ", " << p.fence_index + 1 << "/"
+       << p.fence_count << ")";
+  }
 };
 }  // namespace
 

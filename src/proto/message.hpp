@@ -107,6 +107,85 @@ struct HierFreeze {
   bool operator==(const HierFreeze&) const = default;
 };
 
+// ---- Crash-recovery payloads (src/recovery, docs/recovery.md) ----
+//
+// These four kinds never reach a protocol automaton: runtimes route them to
+// the node's recovery::Manager. They are protocol-agnostic — the same
+// report/fence exchange recovers the hierarchical protocol and the Naimi
+// baseline.
+
+/// Failure-detector liveness probe, broadcast periodically to every peer a
+/// node believes alive. Any received message refreshes the sender's
+/// last-heard time; heartbeats exist so an idle cluster still detects
+/// crashes.
+struct Heartbeat {
+  bool operator==(const Heartbeat&) const = default;
+};
+
+/// Gossip that `dead` is believed crashed. A receiver that did not already
+/// suspect `dead` adopts the suspicion (and re-gossips), so one node's
+/// timeout converges the whole cluster onto the same dead set.
+struct Suspect {
+  NodeId dead;
+
+  bool operator==(const Suspect&) const = default;
+};
+
+/// One node's per-lock state report to the recovery coordinator (the lowest
+/// live node id). A campaign is identified by its sorted `dead` set; the
+/// coordinator gathers complete reports from every live node before minting
+/// fences. The reporter has halted protocol processing for the duration, so
+/// the report reflects every message it will ever act on in the old epoch.
+///
+/// `lock_count` reports span one message per lock the reporter has touched;
+/// `lock_count == 0` is the report of a node with no per-lock state (the
+/// envelope's lock id is then a placeholder).
+struct ElectToken {
+  std::vector<NodeId> dead;     ///< campaign id: sorted suspected-dead set
+  std::uint32_t lock_count = 0;  ///< per-lock reports this node sends
+  std::uint32_t lock_index = 0;  ///< position of this report in [0, count)
+  std::uint32_t epoch = 0;       ///< reporter's current recovery epoch
+  bool has_token = false;
+  LockMode held = LockMode::kNL;  ///< Naimi reports kW while inside its CS
+  bool waiting = false;           ///< a request is pending at the reporter
+  LockMode wait_mode = LockMode::kNL;
+  std::uint64_t wait_seq = 0;
+  std::uint8_t wait_priority = 0;
+  bool upgrading = false;  ///< a Rule 7 upgrade is in flight (hier only)
+
+  bool operator==(const ElectToken&) const = default;
+};
+
+/// One surviving holder recorded in an EpochFence: the node and the mode it
+/// holds (its copyset entry at the new root).
+struct FenceHolder {
+  NodeId node;
+  LockMode mode = LockMode::kNL;
+
+  bool operator==(const FenceHolder&) const = default;
+};
+
+/// The coordinator's per-lock recovery verdict, broadcast to every live
+/// node: enter `epoch`, re-root the lock's tree as a star at `new_root`
+/// (which mints/keeps the token), install `holders` as the root's copyset
+/// and `queue` as the root's waiting queue. Applied only when `epoch`
+/// exceeds the local epoch, so duplicated or reordered fences are no-ops.
+///
+/// `fence_index`/`fence_count` let receivers know when a campaign's fence
+/// set is complete (unhalt point); `fence_count == 0` is the fence of a
+/// campaign with no per-lock state anywhere (unhalt only, placeholder lock).
+struct EpochFence {
+  std::vector<NodeId> dead;  ///< campaign id: sorted suspected-dead set
+  std::uint32_t epoch = 0;
+  NodeId new_root;
+  std::vector<FenceHolder> holders;
+  std::vector<QueuedRequest> queue;
+  std::uint32_t fence_index = 0;
+  std::uint32_t fence_count = 0;
+
+  bool operator==(const EpochFence&) const = default;
+};
+
 // ---- Naimi-Tréhel baseline payloads (paper §2) ----
 
 /// A mutual-exclusion request routed along probable-owner links with path
@@ -123,9 +202,10 @@ struct NaimiToken {
   bool operator==(const NaimiToken&) const = default;
 };
 
-/// All payloads a Message can carry.
+/// All payloads a Message can carry. Variant order must match MessageKind.
 using Payload = std::variant<HierRequest, HierGrant, HierToken, HierRelease,
-                             HierFreeze, NaimiRequest, NaimiToken>;
+                             HierFreeze, NaimiRequest, NaimiToken, Heartbeat,
+                             Suspect, ElectToken, EpochFence>;
 
 /// Payload discriminator, used by stats counters and the codec. Values are
 /// wire-stable.
@@ -137,10 +217,20 @@ enum class MessageKind : std::uint8_t {
   kHierFreeze = 4,
   kNaimiRequest = 5,
   kNaimiToken = 6,
+  kHeartbeat = 7,
+  kSuspect = 8,
+  kElectToken = 9,
+  kEpochFence = 10,
 };
 
 /// Number of distinct MessageKind values.
-inline constexpr std::size_t kMessageKindCount = 7;
+inline constexpr std::size_t kMessageKindCount = 11;
+
+/// True for the payload kinds routed to the recovery manager instead of a
+/// protocol automaton (and exempt from the envelope epoch gate).
+inline bool is_recovery_kind(MessageKind kind) {
+  return kind >= MessageKind::kHeartbeat;
+}
 
 /// Returns the discriminator of a payload.
 MessageKind kind_of(const Payload& payload);
@@ -158,6 +248,13 @@ std::string to_string(MessageKind kind);
 /// stamped by the runtime at send time and merged at receive time so span
 /// events from different nodes order causally even under reordering
 /// transports. Automatons fill `request`; runtimes own `lamport`.
+/// The recovery epoch (`epoch` below) versions the whole per-lock protocol
+/// state across crash recoveries (docs/recovery.md): automatons stamp every
+/// outgoing protocol message with their current epoch and drop mismatched
+/// ones, so a message minted before a crash fence can never corrupt the
+/// regenerated state. Distinct from HierGrant::epoch, which versions one
+/// parent-child copyset relationship between consecutive grants. Recovery
+/// kinds (is_recovery_kind) leave it 0 — they carry their own campaign ids.
 struct Message {
   NodeId from;
   NodeId to;
@@ -165,6 +262,7 @@ struct Message {
   Payload payload;
   RequestId request = RequestId::none();
   std::uint64_t lamport = 0;
+  std::uint32_t epoch = 0;
 
   bool operator==(const Message&) const = default;
 };

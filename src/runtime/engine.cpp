@@ -1,8 +1,31 @@
 #include "runtime/engine.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace hlock::runtime {
+
+std::vector<LockId> LockEngine::recovery_locks() {
+  throw UsageError("this protocol has no crash-recovery support");
+}
+
+recovery::LockReport LockEngine::report(LockId /*lock*/) {
+  throw UsageError("this protocol has no crash-recovery support");
+}
+
+Effects LockEngine::install_fence(LockId /*lock*/,
+                                  const proto::EpochFence& /*fence*/) {
+  throw UsageError("this protocol has no crash-recovery support");
+}
+
+std::uint32_t LockEngine::recovery_epoch(LockId /*lock*/) {
+  throw UsageError("this protocol has no crash-recovery support");
+}
+
+void LockEngine::set_default_origin(NodeId /*root*/, std::uint32_t /*epoch*/) {
+  throw UsageError("this protocol has no crash-recovery support");
+}
 
 std::string to_string(Protocol protocol) {
   switch (protocol) {
@@ -29,7 +52,8 @@ core::HierAutomaton& HierEngine::automaton(LockId lock) {
   const bool is_root = self_ == initial_root_;
   return automatons_
       .try_emplace(lock, self_, lock, is_root,
-                   is_root ? NodeId::none() : initial_root_, config_)
+                   is_root ? NodeId::none() : initial_root_, config_,
+                   initial_epoch_)
       .first->second;
 }
 
@@ -68,6 +92,47 @@ std::size_t HierEngine::tokens_held() const {
   return total;
 }
 
+std::vector<LockId> HierEngine::recovery_locks() {
+  std::vector<LockId> locks;
+  locks.reserve(automatons_.size());
+  for (const auto& [lock, automaton] : automatons_) locks.push_back(lock);
+  std::sort(locks.begin(), locks.end());
+  return locks;
+}
+
+recovery::LockReport HierEngine::report(LockId lock) {
+  const core::HierAutomaton& a = automaton(lock);
+  recovery::LockReport r;
+  r.epoch = a.recovery_epoch();
+  r.has_token = a.is_token();
+  r.held = a.held();
+  r.upgrading = a.upgrading();
+  // An upgrader does not report as waiting: its pending W is preserved as
+  // an in-flight Rule 7 upgrade at the root, not re-queued.
+  r.waiting = !a.upgrading() && a.pending() != proto::LockMode::kNL;
+  if (r.waiting) {
+    r.wait_mode = a.pending();
+    r.wait_seq = a.pending_seq();
+    r.wait_priority = a.pending_priority();
+  }
+  return r;
+}
+
+Effects HierEngine::install_fence(LockId lock,
+                                  const proto::EpochFence& fence) {
+  return automaton(lock).install_fence(fence);
+}
+
+std::uint32_t HierEngine::recovery_epoch(LockId lock) {
+  auto it = automatons_.find(lock);
+  return it == automatons_.end() ? 0 : it->second.recovery_epoch();
+}
+
+void HierEngine::set_default_origin(NodeId root, std::uint32_t epoch) {
+  initial_root_ = root;
+  initial_epoch_ = epoch;
+}
+
 NaimiEngine::NaimiEngine(NodeId self, NodeId initial_root)
     : self_(self), initial_root_(initial_root) {
   HLOCK_REQUIRE(!initial_root.is_none(), "a cluster needs an initial root");
@@ -78,7 +143,7 @@ naimi::NaimiAutomaton& NaimiEngine::automaton(LockId lock) {
   const bool is_root = self_ == initial_root_;
   return automatons_
       .try_emplace(lock, self_, lock, is_root,
-                   is_root ? NodeId::none() : initial_root_)
+                   is_root ? NodeId::none() : initial_root_, initial_epoch_)
       .first->second;
 }
 
@@ -118,6 +183,45 @@ std::size_t NaimiEngine::tokens_held() const {
     total += automaton.has_token() ? 1u : 0u;
   }
   return total;
+}
+
+std::vector<LockId> NaimiEngine::recovery_locks() {
+  std::vector<LockId> locks;
+  locks.reserve(automatons_.size());
+  for (const auto& [lock, automaton] : automatons_) locks.push_back(lock);
+  std::sort(locks.begin(), locks.end());
+  return locks;
+}
+
+recovery::LockReport NaimiEngine::report(LockId lock) {
+  const naimi::NaimiAutomaton& a = automaton(lock);
+  recovery::LockReport r;
+  r.epoch = a.recovery_epoch();
+  r.has_token = a.has_token();
+  // Naimi's single exclusive mode maps onto kW for the fence's holder
+  // bookkeeping (only "inside the CS" counts as holding).
+  r.held = a.in_cs() ? proto::LockMode::kW : proto::LockMode::kNL;
+  r.waiting = a.requesting();
+  if (r.waiting) {
+    r.wait_mode = proto::LockMode::kW;
+    r.wait_seq = a.pending_seq();
+  }
+  return r;
+}
+
+Effects NaimiEngine::install_fence(LockId lock,
+                                   const proto::EpochFence& fence) {
+  return automaton(lock).install_fence(fence);
+}
+
+std::uint32_t NaimiEngine::recovery_epoch(LockId lock) {
+  auto it = automatons_.find(lock);
+  return it == automatons_.end() ? 0 : it->second.recovery_epoch();
+}
+
+void NaimiEngine::set_default_origin(NodeId root, std::uint32_t epoch) {
+  initial_root_ = root;
+  initial_epoch_ = epoch;
 }
 
 RaymondEngine::RaymondEngine(NodeId self, std::size_t node_count)

@@ -18,6 +18,7 @@
 #include "proto/ids.hpp"
 #include "proto/message.hpp"
 #include "raymond/raymond_automaton.hpp"
+#include "recovery/host.hpp"
 
 namespace hlock::runtime {
 
@@ -44,9 +45,15 @@ inline bool is_mode_less(Protocol protocol) {
 
 /// Protocol-agnostic face of one node: issue requests, releases, upgrades
 /// and deliver incoming messages; every call returns the effects to apply.
-class LockEngine {
+///
+/// Engines double as the recovery::Host of the node's recovery::Manager
+/// (docs/recovery.md). The base implementations reject — a protocol
+/// supports crash recovery only by overriding them (the hierarchical
+/// protocol and the Naimi baseline do; Raymond's static tree cannot
+/// re-root and does not).
+class LockEngine : public recovery::Host {
  public:
-  virtual ~LockEngine() = default;
+  ~LockEngine() override = default;
 
   /// Requests `lock` in `mode` (mode and priority are ignored by mode-less
   /// protocols).
@@ -67,6 +74,14 @@ class LockEngine {
   virtual std::size_t queued_requests() const = 0;
   /// Locks whose token currently rests at this node (telemetry).
   virtual std::size_t tokens_held() const = 0;
+
+  // ---- recovery::Host (overridden by recovery-capable protocols) ----
+  std::vector<LockId> recovery_locks() override;
+  recovery::LockReport report(LockId lock) override;
+  Effects install_fence(LockId lock,
+                        const proto::EpochFence& fence) override;
+  std::uint32_t recovery_epoch(LockId lock) override;
+  void set_default_origin(NodeId root, std::uint32_t epoch) override;
 };
 
 /// Engine running the paper's hierarchical multi-mode protocol.
@@ -83,13 +98,23 @@ class HierEngine final : public LockEngine {
   std::size_t queued_requests() const override;
   std::size_t tokens_held() const override;
 
+  std::vector<LockId> recovery_locks() override;
+  recovery::LockReport report(LockId lock) override;
+  Effects install_fence(LockId lock,
+                        const proto::EpochFence& fence) override;
+  std::uint32_t recovery_epoch(LockId lock) override;
+  void set_default_origin(NodeId root, std::uint32_t epoch) override;
+
   /// Direct access for invariant checks and tests; creates the automaton
   /// if this node has not touched the lock yet.
   core::HierAutomaton& automaton(LockId lock);
 
  private:
   const NodeId self_;
-  const NodeId initial_root_;
+  /// Root/epoch of lazily created automatons; rebased by
+  /// set_default_origin() after a crash recovery.
+  NodeId initial_root_;
+  std::uint32_t initial_epoch_ = 0;
   const core::HierConfig config_;
   std::unordered_map<LockId, core::HierAutomaton> automatons_;
 };
@@ -108,12 +133,22 @@ class NaimiEngine final : public LockEngine {
   std::size_t queued_requests() const override;
   std::size_t tokens_held() const override;
 
+  std::vector<LockId> recovery_locks() override;
+  recovery::LockReport report(LockId lock) override;
+  Effects install_fence(LockId lock,
+                        const proto::EpochFence& fence) override;
+  std::uint32_t recovery_epoch(LockId lock) override;
+  void set_default_origin(NodeId root, std::uint32_t epoch) override;
+
   /// Direct access for invariant checks and tests.
   naimi::NaimiAutomaton& automaton(LockId lock);
 
  private:
   const NodeId self_;
-  const NodeId initial_root_;
+  /// Root/epoch of lazily created automatons; rebased by
+  /// set_default_origin() after a crash recovery.
+  NodeId initial_root_;
+  std::uint32_t initial_epoch_ = 0;
   std::unordered_map<LockId, naimi::NaimiAutomaton> automatons_;
 };
 

@@ -170,4 +170,27 @@ std::size_t InstrumentedEngine::tokens_held() const {
   return inner_->tokens_held();
 }
 
+std::vector<LockId> InstrumentedEngine::recovery_locks() {
+  return inner_->recovery_locks();
+}
+
+recovery::LockReport InstrumentedEngine::report(LockId lock) {
+  return inner_->report(lock);
+}
+
+Effects InstrumentedEngine::install_fence(LockId lock,
+                                          const proto::EpochFence& fence) {
+  Effects effects = inner_->install_fence(lock, fence);
+  observe(lock, effects);
+  return effects;
+}
+
+std::uint32_t InstrumentedEngine::recovery_epoch(LockId lock) {
+  return inner_->recovery_epoch(lock);
+}
+
+void InstrumentedEngine::set_default_origin(NodeId root, std::uint32_t epoch) {
+  inner_->set_default_origin(root, epoch);
+}
+
 }  // namespace hlock::runtime

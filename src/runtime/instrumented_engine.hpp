@@ -55,6 +55,16 @@ class InstrumentedEngine final : public LockEngine {
   std::size_t queued_requests() const override;
   std::size_t tokens_held() const override;
 
+  // recovery::Host forwards to the wrapped engine; fence effects flow
+  // through observe() like any protocol step so recovery messages and
+  // re-grants are counted too.
+  std::vector<LockId> recovery_locks() override;
+  recovery::LockReport report(LockId lock) override;
+  Effects install_fence(LockId lock,
+                        const proto::EpochFence& fence) override;
+  std::uint32_t recovery_epoch(LockId lock) override;
+  void set_default_origin(NodeId root, std::uint32_t epoch) override;
+
   /// The wrapped engine, for tests and invariant checks.
   LockEngine& inner() { return *inner_; }
 

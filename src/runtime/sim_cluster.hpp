@@ -16,6 +16,7 @@
 
 #include "core/hier_config.hpp"
 #include "obs/lamport.hpp"
+#include "recovery/manager.hpp"
 #include "runtime/engine.hpp"
 #include "sim/network_model.hpp"
 #include "sim/simulator.hpp"
@@ -43,6 +44,16 @@ struct SimClusterOptions {
   /// deadlock/livelock detectors must catch it, and the chaos tests verify
   /// they do. Dropped messages still count in the metrics (they were sent).
   double message_loss_probability = 0.0;
+  /// Crash-recovery configuration (docs/recovery.md). When enabled, every
+  /// node runs a recovery::Manager next to its engine: heartbeats tick on
+  /// the simulator, kill_at() schedules crash-stops, and detected deaths
+  /// trigger epoch-fenced token regeneration. Not supported for the
+  /// Raymond baseline (its engine has no crash-recovery hooks).
+  recovery::Options recovery = {};
+  /// Heartbeat ticks stop being scheduled past this simulated-time horizon
+  /// so run_to_completion() still terminates with recovery enabled. Raise
+  /// it for long chaos runs (or drive the simulator with run_until).
+  SimTime recovery_horizon = SimTime::ms(600'000);
 };
 
 /// See file comment.
@@ -80,6 +91,28 @@ class SimCluster {
   void release(NodeId node, LockId lock);
   void upgrade(NodeId node, LockId lock);
 
+  // ---- Crash-stop failure injection (docs/recovery.md) ----
+
+  /// Schedules `node` to crash-stop at simulated time `at`: from then on it
+  /// receives nothing, sends nothing and ignores application calls.
+  /// Messages it sent before the crash still deliver (they were in flight).
+  /// Requires recovery to be enabled so the survivors can regenerate the
+  /// token; `at` must not be in the simulator's past.
+  void kill_at(NodeId node, SimTime at);
+
+  /// False once the node's scheduled crash has executed.
+  bool alive(NodeId node) const;
+
+  /// The node's recovery manager (counters, epoch, halt state).
+  /// Precondition: recovery is enabled.
+  recovery::Manager& manager(NodeId node);
+
+  /// Protocol messages `node` dropped because they carried a pre-fence
+  /// recovery epoch.
+  std::uint64_t stale_drops(NodeId node) const;
+  /// Sum of stale_drops(node) over the cluster.
+  std::uint64_t total_stale_drops() const;
+
   // ---- Accessors ----
 
   sim::Simulator& simulator() { return simulator_; }
@@ -106,8 +139,29 @@ class SimCluster {
   }
 
  private:
+  /// One application operation buffered while its node was halted.
+  struct PendingOp {
+    enum class Kind : std::uint8_t { kRequest, kRelease, kUpgrade };
+    Kind kind = Kind::kRequest;
+    LockId lock{};
+    LockMode mode = LockMode::kNL;
+    std::uint8_t priority = 0;
+  };
+
+  bool recovery_on() const { return !managers_.empty(); }
   void apply(NodeId node, LockId lock, Effects&& effects);
   void transmit(const proto::Message& message);
+  /// Receive-side routing: dead-node drop, failure-detector refresh,
+  /// recovery-kind dispatch, halt/epoch buffering, then engine delivery.
+  void deliver(const proto::Message& message);
+  /// Applies one Manager step: sinks its events, transmits its messages,
+  /// applies its fence effects and replays buffers on unhalt.
+  void apply_outcome(NodeId node, recovery::Outcome&& outcome);
+  /// Re-runs parked and halted-backlog messages plus buffered application
+  /// operations through the normal paths (stale ones drop in the engine).
+  void replay_buffers(NodeId node);
+  void crash(NodeId node);
+  void schedule_recovery_tick();
 
   SimClusterOptions options_;
   sim::Simulator simulator_;
@@ -116,6 +170,18 @@ class SimCluster {
   stats::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<LockEngine>> engines_;
   std::vector<obs::LamportClock> clocks_;
+  /// Empty unless options_.recovery.enabled; one manager per node.
+  std::vector<std::unique_ptr<recovery::Manager>> managers_;
+  std::vector<char> alive_;
+  /// Protocol messages received while halted, replayed on unhalt.
+  std::vector<std::vector<proto::Message>> halted_msgs_;
+  /// Messages from a newer recovery epoch than the local automaton's,
+  /// parked until the matching fence lands (delivering early would make
+  /// the automaton stale-drop a post-fence message).
+  std::vector<std::vector<proto::Message>> parked_msgs_;
+  /// Application operations issued while halted, replayed on unhalt.
+  std::vector<std::vector<PendingOp>> halted_ops_;
+  std::vector<std::uint64_t> stale_drops_;
   GrantHandler grant_handler_;
   MessageObserver message_observer_;
   EventObserver event_observer_;

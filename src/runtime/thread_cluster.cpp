@@ -32,7 +32,8 @@ std::unique_ptr<LockEngine> make_engine(const ThreadClusterOptions& options,
 }  // namespace
 
 ThreadCluster::ThreadCluster(const ThreadClusterOptions& options)
-    : metrics_(options.metrics), watchdog_(options.watchdog) {
+    : metrics_(options.metrics), watchdog_(options.watchdog),
+      recovery_(options.recovery) {
   if (options.transport == TransportKind::kTcp) {
     transport::TcpOptions tcp_options;
     tcp_options.batching = options.batching;
@@ -57,8 +58,15 @@ ThreadCluster::ThreadCluster(const ThreadClusterOptions& options)
   HLOCK_REQUIRE(options.node_count >= 1, "a cluster needs at least one node");
   HLOCK_REQUIRE(options.initial_root.value() < options.node_count,
                 "the initial root must be one of the cluster's nodes");
+  HLOCK_REQUIRE(
+      !(options.recovery.enabled && options.protocol == Protocol::kRaymond),
+      "crash recovery is not supported for the Raymond baseline");
+  HLOCK_REQUIRE(!(options.recovery.enabled && options.engine_shards > 1),
+                "crash recovery requires engine_shards <= 1: the manager "
+                "reports over the node's whole lock space");
   shard_count_ = options.engine_shards == 0 ? kDefaultEngineShards
                                             : options.engine_shards;
+  if (options.recovery.enabled) shard_count_ = 1;
   if (metrics_ != nullptr) register_transport_metrics(options.node_count);
   nodes_.reserve(options.node_count);
   for (std::size_t i = 0; i < options.node_count; ++i) {
@@ -86,7 +94,24 @@ ThreadCluster::ThreadCluster(const ThreadClusterOptions& options)
       // (uncontended, once-per-shard) lock rather than suppress.
       MutexLock guard(shard->mutex);
       shard->engine = make_engine(options, self);
+      if (options.recovery.enabled && s == 0) {
+        rt->manager = std::make_unique<recovery::Manager>(
+            self, options.node_count, options.recovery,
+            shard->engine.get());
+      }
       rt->shards.push_back(std::move(shard));
+    }
+    if (options.recovery.enabled && metrics_ != nullptr) {
+      const auto name = [&](std::string_view base) {
+        return telemetry::labeled(base, {{"node", std::to_string(i)}});
+      };
+      rt->epoch_gauge = &metrics_->gauge(name("hlock_epoch"));
+      rt->suspicions = &metrics_->counter(name("hlock_suspicions_total"));
+      rt->fences = &metrics_->counter(name("hlock_fences_total"));
+      rt->recoveries = &metrics_->counter(name("hlock_recoveries_total"));
+      rt->stale_drops_metric =
+          &metrics_->counter(name("hlock_stale_drops_total"));
+      rt->recovery_ms = &metrics_->histogram(name("hlock_recovery_ms"));
     }
     nodes_.push_back(std::move(rt));
   }
@@ -95,6 +120,9 @@ ThreadCluster::ThreadCluster(const ThreadClusterOptions& options)
     const std::string name = "recv-" + std::to_string(i);
     nodes_[i]->receiver =
         sched::Thread(name.c_str(), [this, self] { receiver_loop(self); });
+  }
+  if (options.recovery.enabled) {
+    ticker_ = sched::Thread("recovery-ticker", [this] { ticker_loop(); });
   }
 }
 
@@ -155,6 +183,14 @@ ThreadCluster::~ThreadCluster() {
       shard->cv.notify_all();
     }
   }
+  // Stop the recovery ticker before the transport dies under its sends.
+  if (ticker_.joinable()) {
+    {
+      MutexLock guard(ticker_mutex_);
+      ticker_cv_.notify_all();
+    }
+    ticker_.join();
+  }
   transport_->shutdown();
   for (auto& rt : nodes_) {
     if (rt->receiver.joinable()) rt->receiver.join();
@@ -190,6 +226,9 @@ void ThreadCluster::receiver_loop(NodeId node) {
     // acquisition for the whole burst); an empty batch means shutdown.
     std::vector<proto::Message> batch = transport_->recv_ready(node);
     if (batch.empty()) return;
+    // Crash-stop: the receiver discards the batch unread and exits — the
+    // node consumes nothing ever again (docs/recovery.md).
+    if (!rt.alive.load(std::memory_order_acquire)) return;
     if (rt.recv_batch != nullptr) {
       rt.recv_batch->record(static_cast<double>(batch.size()));
     }
@@ -211,8 +250,18 @@ void ThreadCluster::receiver_loop(NodeId node) {
         // and keeps draining its mailbox.
         try {
           rt.clock.observe(message.lamport);
-          Effects effects = shard.engine->deliver(message);
-          apply(rt, shard, message.lock, std::move(effects));
+          if (recovery_.enabled) {
+            rt.manager->note_alive(message.from, wall_now());
+            if (proto::is_recovery_kind(proto::kind_of(message.payload))) {
+              apply_outcome(rt, shard,
+                            rt.manager->on_message(message, wall_now()));
+            } else {
+              deliver_protocol(rt, shard, message);
+            }
+          } else {
+            Effects effects = shard.engine->deliver(message);
+            apply(rt, shard, message.lock, std::move(effects));
+          }
         } catch (const std::exception& error) {
           receiver_errors_.fetch_add(1, std::memory_order_relaxed);
           HLOCK_LOG(kError, "node " << node.value()
@@ -224,6 +273,160 @@ void ThreadCluster::receiver_loop(NodeId node) {
                &shard_of(rt, batch[i].lock) == &shard);
     }
   }
+}
+
+SimTime ThreadCluster::wall_now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - started_;
+  return SimTime::ns(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+void ThreadCluster::ticker_loop() {
+  const auto interval =
+      std::chrono::nanoseconds(recovery_.heartbeat_interval.count_ns());
+  for (;;) {
+    {
+      MutexLock guard(ticker_mutex_);
+      if (stopping_.load()) return;
+      ticker_cv_.wait_for(ticker_mutex_, interval);
+    }
+    if (stopping_.load()) return;
+    for (auto& rt_ptr : nodes_) {
+      NodeRuntime& rt = *rt_ptr;
+      if (!rt.alive.load(std::memory_order_acquire)) continue;
+      Shard& shard = *rt.shards[0];
+      MutexLock guard(shard.mutex);
+      apply_outcome(rt, shard, rt.manager->on_tick(wall_now()));
+    }
+  }
+}
+
+void ThreadCluster::deliver_protocol(NodeRuntime& rt, Shard& shard,
+                                     const proto::Message& message) {
+  if (rt.manager->halted()) {
+    rt.halted_msgs.push_back(message);
+    return;
+  }
+  if (message.epoch > shard.engine->recovery_epoch(message.lock)) {
+    // The sender is fenced into a newer epoch; our fence is still in
+    // flight. Park the message — delivering it now would make the
+    // automaton drop a perfectly valid post-fence message.
+    rt.parked_msgs.push_back(message);
+    return;
+  }
+  Effects effects = shard.engine->deliver(message);
+  if (effects.stale_drop) ++rt.stale_drops;
+  apply(rt, shard, message.lock, std::move(effects));
+}
+
+void ThreadCluster::apply_outcome(NodeRuntime& rt, Shard& shard,
+                                  recovery::Outcome&& outcome) {
+  const std::uint64_t step_time = rt.clock.tick();
+  if (!outcome.events.empty()) {
+    const SimTime at = wall_now();
+    MutexLock sink_guard(event_mutex_);
+    if (event_sink_) {
+      for (trace::TraceEvent& event : outcome.events) {
+        event.at = at;
+        event.lamport = step_time;
+        event_sink_(std::move(event));
+      }
+    }
+  }
+  if (!outcome.messages.empty()) {
+    for (proto::Message& message : outcome.messages) {
+      message.lamport = rt.clock.tick();
+    }
+    transport_->send_batch(std::move(outcome.messages));
+  }
+  for (auto& [lock, effects] : outcome.fence_effects) {
+    apply(rt, shard, lock, std::move(effects));
+  }
+  if (outcome.unhalted) {
+    // Replay through the same routing (a message can re-park or re-buffer
+    // if another campaign began meanwhile), then wake the client calls
+    // blocked in wait_unhalted().
+    std::vector<proto::Message> parked = std::move(rt.parked_msgs);
+    rt.parked_msgs.clear();
+    std::vector<proto::Message> backlog = std::move(rt.halted_msgs);
+    rt.halted_msgs.clear();
+    for (const proto::Message& message : parked) {
+      deliver_protocol(rt, shard, message);
+    }
+    for (const proto::Message& message : backlog) {
+      deliver_protocol(rt, shard, message);
+    }
+    shard.cv.notify_all();
+  }
+  publish_recovery_metrics(rt);
+}
+
+void ThreadCluster::wait_unhalted(NodeRuntime& rt, Shard& shard) {
+  if (!recovery_.enabled) return;
+  ++shard.waiters;
+  while (!stopping_ && rt.alive.load(std::memory_order_acquire) &&
+         rt.manager->halted()) {
+    shard.cv.wait(shard.mutex);
+  }
+  --shard.waiters;
+  shard.cv.notify_all();  // a tearing-down destructor may drain waiters
+}
+
+void ThreadCluster::publish_recovery_metrics(NodeRuntime& rt) {
+  if (rt.epoch_gauge == nullptr) return;
+  const recovery::RecoveryCounters& counters = rt.manager->counters();
+  rt.epoch_gauge->set(static_cast<double>(rt.manager->current_epoch()));
+  rt.suspicions->inc(counters.suspicions - rt.published.suspicions);
+  rt.fences->inc(counters.fences_installed - rt.published.fences_installed);
+  rt.recoveries->inc(counters.recoveries - rt.published.recoveries);
+  rt.stale_drops_metric->inc(rt.stale_drops - rt.published_stale);
+  rt.published = counters;
+  rt.published_stale = rt.stale_drops;
+  const std::vector<double>& samples = rt.manager->recovery_durations_ms();
+  for (; rt.published_samples < samples.size(); ++rt.published_samples) {
+    rt.recovery_ms->record(samples[rt.published_samples]);
+  }
+}
+
+void ThreadCluster::crash_stop(NodeId node) {
+  HLOCK_REQUIRE(recovery_.enabled,
+                "crash_stop() requires recovery to be enabled — without it "
+                "the survivors could never regenerate the token");
+  NodeRuntime& rt = runtime_of(node);
+  Shard& shard = *rt.shards[0];
+  MutexLock guard(shard.mutex);
+  rt.alive.store(false, std::memory_order_release);
+  // A crash-stop loses all volatile state; wake any of the node's blocked
+  // client calls (they observe !alive and throw).
+  rt.halted_msgs.clear();
+  rt.parked_msgs.clear();
+  shard.cv.notify_all();
+}
+
+bool ThreadCluster::alive(NodeId node) const {
+  HLOCK_REQUIRE(node.value() < nodes_.size(), "unknown node id");
+  return nodes_[node.value()]->alive.load(std::memory_order_acquire);
+}
+
+std::uint32_t ThreadCluster::recovery_epoch_of(NodeId node) {
+  NodeRuntime& rt = runtime_of(node);
+  HLOCK_REQUIRE(recovery_.enabled, "recovery is not enabled on this cluster");
+  MutexLock guard(rt.shards[0]->mutex);
+  return rt.manager->current_epoch();
+}
+
+recovery::RecoveryCounters ThreadCluster::recovery_counters(NodeId node) {
+  NodeRuntime& rt = runtime_of(node);
+  HLOCK_REQUIRE(recovery_.enabled, "recovery is not enabled on this cluster");
+  MutexLock guard(rt.shards[0]->mutex);
+  return rt.manager->counters();
+}
+
+std::uint64_t ThreadCluster::stale_drops(NodeId node) {
+  NodeRuntime& rt = runtime_of(node);
+  HLOCK_REQUIRE(recovery_.enabled, "recovery is not enabled on this cluster");
+  MutexLock guard(rt.shards[0]->mutex);
+  return rt.stale_drops;
 }
 
 void ThreadCluster::apply(NodeRuntime& rt, Shard& shard, LockId lock,
@@ -294,10 +497,21 @@ void ThreadCluster::lock(NodeId node, LockId lock, LockMode mode,
   }
   sched::yield_point("thread_cluster.lock");
   MutexLock guard(shard.mutex);
+  HLOCK_REQUIRE(rt.alive.load(std::memory_order_acquire),
+                "node has crash-stopped");
+  // Halted nodes (suspicion raised, fences pending) block application
+  // progress until recovery completes; a crash or teardown while waiting
+  // returns spuriously, same as the destructor contract.
+  wait_unhalted(rt, shard);
+  if (stopping_ || !rt.alive.load(std::memory_order_acquire)) {
+    if (watchdog_ != nullptr) watchdog_->end(stall_key);
+    return;
+  }
   Effects effects = shard.engine->request(lock, mode, priority);
   apply(rt, shard, lock, std::move(effects));
   ++shard.waiters;
-  while (!stopping_ && shard.granted.count(lock) == 0) {
+  while (!stopping_ && rt.alive.load(std::memory_order_acquire) &&
+         shard.granted.count(lock) == 0) {
     shard.cv.wait(shard.mutex);
   }
   shard.granted.erase(lock);
@@ -310,6 +524,10 @@ void ThreadCluster::unlock(NodeId node, LockId lock) {
   NodeRuntime& rt = runtime_of(node);
   Shard& shard = shard_of(rt, lock);
   MutexLock guard(shard.mutex);
+  HLOCK_REQUIRE(rt.alive.load(std::memory_order_acquire),
+                "node has crash-stopped");
+  wait_unhalted(rt, shard);
+  if (stopping_ || !rt.alive.load(std::memory_order_acquire)) return;
   Effects effects = shard.engine->release(lock);
   apply(rt, shard, lock, std::move(effects));
 }
@@ -324,10 +542,18 @@ void ThreadCluster::upgrade(NodeId node, LockId lock) {
                                  " upgrade");
   }
   MutexLock guard(shard.mutex);
+  HLOCK_REQUIRE(rt.alive.load(std::memory_order_acquire),
+                "node has crash-stopped");
+  wait_unhalted(rt, shard);
+  if (stopping_ || !rt.alive.load(std::memory_order_acquire)) {
+    if (watchdog_ != nullptr) watchdog_->end(stall_key);
+    return;
+  }
   Effects effects = shard.engine->upgrade(lock);
   apply(rt, shard, lock, std::move(effects));
   ++shard.waiters;
-  while (!stopping_ && shard.upgraded.count(lock) == 0) {
+  while (!stopping_ && rt.alive.load(std::memory_order_acquire) &&
+         shard.upgraded.count(lock) == 0) {
     shard.cv.wait(shard.mutex);
   }
   shard.upgraded.erase(lock);

@@ -27,6 +27,7 @@
 
 #include "core/hier_config.hpp"
 #include "obs/lamport.hpp"
+#include "recovery/manager.hpp"
 #include "runtime/engine.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/watchdog.hpp"
@@ -85,6 +86,14 @@ struct ThreadClusterOptions {
   /// are flagged. Must outlive the cluster; independent of `metrics` (the
   /// watchdog carries its own registry reference).
   telemetry::StallWatchdog* watchdog = nullptr;
+  /// Crash-recovery configuration (docs/recovery.md). When enabled, every
+  /// node runs a recovery::Manager driven by a cluster ticker thread,
+  /// crash_stop() becomes available, and (with `metrics` set) the
+  /// hlock_epoch / hlock_recovery_ms / hlock_stale_drops_total series
+  /// export. Requires engine_shards <= 1 — the manager reports over the
+  /// node's whole lock space, which must live in one engine — and is not
+  /// supported for the Raymond baseline.
+  recovery::Options recovery;
 };
 
 /// Engine shards per node when ThreadClusterOptions::engine_shards is 0.
@@ -153,6 +162,24 @@ class ThreadCluster {
   using EventSink = std::function<void(trace::TraceEvent event)>;
   void set_event_sink(EventSink sink) HLOCK_EXCLUDES(event_mutex_);
 
+  // ---- Crash-stop failure injection (docs/recovery.md; requires the
+  //      recovery option to be enabled) ----
+
+  /// Crash-stops `node`: its receiver thread exits on its next wake-up,
+  /// pending and future messages to it are discarded unread, its manager
+  /// stops ticking, and application calls on it throw UsageError. The
+  /// survivors detect the silence and run an epoch-fenced recovery.
+  void crash_stop(NodeId node);
+
+  /// False once crash_stop(node) has been called.
+  bool alive(NodeId node) const;
+
+  /// Snapshot of `node`'s recovery state (taken under its shard mutex).
+  std::uint32_t recovery_epoch_of(NodeId node);
+  recovery::RecoveryCounters recovery_counters(NodeId node);
+  /// Protocol messages `node` dropped for carrying a pre-fence epoch.
+  std::uint64_t stale_drops(NodeId node);
+
  private:
   /// One lock-id shard of a node: its own engine (and per-lock automaton
   /// map), grant bookkeeping and mutex, preserving the automatons'
@@ -191,6 +218,32 @@ class ThreadCluster {
     /// Receive-batch-size histogram (nullptr without a registry); set
     /// before the receiver thread starts, recorded only by it.
     telemetry::Histogram* recv_batch = nullptr;
+
+    // ---- Crash recovery (null/unused unless the option is enabled).
+    //      All mutable recovery state below is guarded by the node's
+    //      single shard mutex (recovery forces engine_shards == 1). ----
+
+    /// False after crash_stop(); read by receiver, ticker and clients.
+    std::atomic<bool> alive{true};
+    std::unique_ptr<recovery::Manager> manager;
+    /// Protocol messages received while halted, replayed on unhalt.
+    std::vector<proto::Message> halted_msgs;
+    /// Messages from a newer recovery epoch than the local automaton's,
+    /// parked until the matching fence lands.
+    std::vector<proto::Message> parked_msgs;
+    std::uint64_t stale_drops = 0;
+
+    /// Telemetry series (nullptr without a registry) and the cumulative
+    /// values already published to them (manager counters only grow).
+    telemetry::Gauge* epoch_gauge = nullptr;
+    telemetry::Counter* suspicions = nullptr;
+    telemetry::Counter* fences = nullptr;
+    telemetry::Counter* recoveries = nullptr;
+    telemetry::Counter* stale_drops_metric = nullptr;
+    telemetry::Histogram* recovery_ms = nullptr;
+    recovery::RecoveryCounters published;
+    std::size_t published_samples = 0;
+    std::uint64_t published_stale = 0;
   };
 
   void receiver_loop(NodeId node);
@@ -202,6 +255,27 @@ class ThreadCluster {
   /// simpler).
   void apply(NodeRuntime& rt, Shard& shard, LockId lock, Effects&& effects)
       HLOCK_REQUIRES(shard.mutex) HLOCK_EXCLUDES(event_mutex_);
+  /// Wall-clock time since cluster start as a SimTime (the recovery
+  /// manager's clock domain in this runtime).
+  SimTime wall_now() const;
+  /// Drives every live node's failure detector roughly each heartbeat
+  /// interval; exits when the destructor raises stopping_.
+  void ticker_loop();
+  /// Receive-side protocol routing with recovery on: halt buffering,
+  /// newer-epoch parking, stale-drop counting, then normal delivery.
+  void deliver_protocol(NodeRuntime& rt, Shard& shard,
+                        const proto::Message& message)
+      HLOCK_REQUIRES(shard.mutex) HLOCK_EXCLUDES(event_mutex_);
+  /// Applies one Manager step: events, sends, fence effects, buffer
+  /// replay on unhalt, cv wake-ups and telemetry refresh.
+  void apply_outcome(NodeRuntime& rt, Shard& shard,
+                     recovery::Outcome&& outcome)
+      HLOCK_REQUIRES(shard.mutex) HLOCK_EXCLUDES(event_mutex_);
+  /// Blocks while the node is halted (no-op with recovery off).
+  void wait_unhalted(NodeRuntime& rt, Shard& shard)
+      HLOCK_REQUIRES(shard.mutex);
+  void publish_recovery_metrics(NodeRuntime& rt)
+      HLOCK_NO_THREAD_SAFETY_ANALYSIS;
   NodeRuntime& runtime_of(NodeId node);
   Shard& shard_of(NodeRuntime& rt, LockId lock) {
     return *rt.shards[lock.value() % shard_count_];
@@ -223,6 +297,13 @@ class ThreadCluster {
   telemetry::Registry* metrics_ = nullptr;
   telemetry::StallWatchdog* watchdog_ = nullptr;
   std::size_t shard_count_ = kDefaultEngineShards;
+  /// Recovery configuration; recovery_.enabled gates every recovery path.
+  recovery::Options recovery_;
+  /// Heartbeat ticker (joinable only when recovery is enabled); its cv
+  /// exists so the destructor can cut a sleep short.
+  sched::Thread ticker_;
+  Mutex ticker_mutex_;
+  CondVar ticker_cv_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   /// Read by client threads in cv predicates under shard mutexes while
   /// the destructor writes it: atomic, not mutex-protected.

@@ -19,6 +19,7 @@ constexpr std::array<const char*, kEventKindCount> kKindNames = {
     "queue",         "forward",      "freeze",        "unfreeze",
     "token-transfer", "copyset-join", "copyset-leave", "enter-cs",
     "exit-cs",       "upgrade-begin", "upgraded",      "note",
+    "node-dead",     "fence",
 };
 
 LockMode parse_mode(const std::string& token, bool& ok) {
@@ -121,6 +122,7 @@ std::string to_string(const TraceEvent& event) {
   if (event.token) os << ", token";
   if (event.seq != 0) os << ", seq=" << event.seq;
   if (event.priority != 0) os << ", p" << static_cast<int>(event.priority);
+  if (event.epoch != 0) os << ", epoch=" << event.epoch;
   os << ')';
   if (!event.detail.empty()) os << "  " << event.detail;
   return os.str();
@@ -134,21 +136,21 @@ std::string format_event(const TraceEvent& event) {
      << to_string(event.ctx) << ' '
      << static_cast<unsigned>(event.modes.bits()) << ' '
      << (event.token ? 'T' : '.') << ' ' << event.seq << ' '
-     << static_cast<unsigned>(event.priority) << ' ' << event.lamport
-     << " |" << escape_detail(event.detail);
+     << static_cast<unsigned>(event.priority) << ' ' << event.lamport << ' '
+     << event.epoch << " |" << escape_detail(event.detail);
   return os.str();
 }
 
 std::optional<TraceEvent> parse_event(const std::string& line) {
-  // Split the 12 space-separated fields (11 in pre-Lamport dumps);
-  // everything after " |" is detail.
+  // Split the 13 space-separated fields (12 in pre-epoch dumps, 11 in
+  // pre-Lamport dumps); everything after " |" is detail.
   const std::size_t detail_mark = line.find(" |");
   if (detail_mark == std::string::npos) return std::nullopt;
   std::istringstream head{line.substr(0, detail_mark)};
   std::vector<std::string> fields;
   std::string field;
   while (head >> field) fields.push_back(field);
-  if (fields.size() != 11 && fields.size() != 12) return std::nullopt;
+  if (fields.size() < 11 || fields.size() > 13) return std::nullopt;
 
   bool ok = true;
   TraceEvent event;
@@ -167,8 +169,11 @@ std::optional<TraceEvent> parse_event(const std::string& line) {
   event.token = fields[8] == "T";
   event.seq = decode_int<std::uint64_t>(fields[9], ok);
   event.priority = decode_int<std::uint8_t>(fields[10], ok);
-  if (fields.size() == 12) {
+  if (fields.size() >= 12) {
     event.lamport = decode_int<std::uint64_t>(fields[11], ok);
+  }
+  if (fields.size() >= 13) {
+    event.epoch = decode_int<std::uint32_t>(fields[12], ok);
   }
   if (!ok) return std::nullopt;
   event.detail = unescape_detail(line.substr(detail_mark + 2));

@@ -40,10 +40,13 @@ enum class EventKind : std::uint8_t {
   kUpgradeBegin,    ///< a Rule 7 upgrade was initiated (U held, W pending)
   kUpgraded,        ///< a Rule 7 upgrade completed; the node now holds W
   kNote,            ///< free-form annotation from the application
+  kNodeDead,        ///< `node` now considers `peer` crashed (recovery)
+  kFence,           ///< `node` entered recovery epoch `epoch`, re-rooted at
+                    ///< `peer` (docs/recovery.md)
 };
 
 /// Number of distinct EventKind values.
-inline constexpr std::size_t kEventKindCount = 16;
+inline constexpr std::size_t kEventKindCount = 18;
 
 /// Returns "message", "grant", "enter-cs", ...
 std::string to_string(EventKind kind);
@@ -84,6 +87,9 @@ struct TraceEvent {
   /// Request sequence number, where the action concerns a request.
   std::uint64_t seq = 0;
   std::uint8_t priority = 0;
+  /// Recovery epoch of the acting node when the event fired (0 before any
+  /// crash recovery). The token-conservation lint is per-epoch.
+  std::uint32_t epoch = 0;
   /// Rendered message (kMessage), forward target (kForward), or free text.
   std::string detail;
 

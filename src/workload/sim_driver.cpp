@@ -48,16 +48,44 @@ void SimWorkloadDriver::run() {
       nodes_[i].phase = Phase::kDone;
     }
   }
+  const runtime::SimClusterOptions& cluster_options = cluster_.options();
+  for (const WorkloadSpec::Kill& kill : spec_.kills) {
+    HLOCK_REQUIRE(kill.node.value() < spec_.node_count,
+                  "kill schedule names a node outside the cluster");
+    HLOCK_REQUIRE(cluster_options.recovery.enabled,
+                  "kill schedule requires SimClusterOptions::recovery");
+    cluster_.kill_at(kill.node, kill.at);
+    // The driver-side obituary: forgive the victim's unfinished operations
+    // and ignore its still-scheduled timers from this moment on.
+    cluster_.simulator().schedule_at(kill.at, [this, node = kill.node] {
+      NodeState& st = state(node);
+      st.dead = true;
+      st.remaining = 0;
+      st.phase = Phase::kDone;
+    });
+  }
 
   // Generous livelock bound: every operation needs a handful of timer
   // events plus O(locks * nodes) protocol messages in the worst case.
   const std::uint64_t total_ops = static_cast<std::uint64_t>(
       spec_.ops_per_node > 0 ? spec_.ops_per_node : 0) * spec_.node_count;
-  const std::uint64_t budget =
+  std::uint64_t budget =
       spec_.max_events != 0
           ? spec_.max_events
           : 1'000'000 + total_ops * (spec_.table_entries + 4) *
                             (spec_.node_count + 16);
+  if (spec_.max_events == 0 && cluster_options.recovery.enabled) {
+    // The failure detector keeps heartbeating until the recovery horizon:
+    // one tick event plus a full fan-out of heartbeats per node per
+    // interval, all of which count against the simulator's event budget.
+    const std::int64_t interval_ns =
+        std::max<std::int64_t>(1,
+                               cluster_options.recovery.heartbeat_interval
+                                   .count_ns());
+    const std::uint64_t ticks = static_cast<std::uint64_t>(
+        cluster_options.recovery_horizon.count_ns() / interval_ns) + 2;
+    budget += ticks * spec_.node_count * (spec_.node_count + 4);
+  }
 
   sim::Simulator& sim = cluster_.simulator();
   const std::uint64_t chunk =
@@ -70,6 +98,7 @@ void SimWorkloadDriver::run() {
   }
 
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].dead) continue;  // crash-stopped mid-run; ops forgiven
     HLOCK_INVARIANT(nodes_[i].phase == Phase::kDone,
                     "simulation drained but node" + std::to_string(i) +
                         " has unfinished operations (lost request?)");
@@ -85,6 +114,7 @@ void SimWorkloadDriver::schedule_idle(NodeId node) {
 
 void SimWorkloadDriver::begin_op(NodeId node) {
   NodeState& st = state(node);
+  if (st.dead) return;
   HLOCK_INVARIANT(st.phase == Phase::kIdle, "begin_op outside idle phase");
   const LockMode drawn = spec_.mix.sample(st.rng);
   st.kind = op_for_mode(drawn);
@@ -110,6 +140,7 @@ void SimWorkloadDriver::issue_next_step(NodeId node) {
 void SimWorkloadDriver::on_grant(NodeId node, proto::LockId lock,
                                  bool upgraded) {
   NodeState& st = state(node);
+  if (st.dead) return;
   if (upgraded) {
     HLOCK_INVARIANT(st.phase == Phase::kWaitUpgrade,
                     "upgrade completion outside an upgrade wait");
@@ -158,6 +189,7 @@ void SimWorkloadDriver::enter_cs(NodeId node) {
 
 void SimWorkloadDriver::start_upgrade(NodeId node) {
   NodeState& st = state(node);
+  if (st.dead) return;
   HLOCK_INVARIANT(st.phase == Phase::kInCs, "upgrade outside the CS");
   st.phase = Phase::kWaitUpgrade;
   st.upgrade_start = cluster_.simulator().now();
@@ -172,6 +204,7 @@ void SimWorkloadDriver::start_upgrade(NodeId node) {
 
 void SimWorkloadDriver::finish_cs(NodeId node) {
   NodeState& st = state(node);
+  if (st.dead) return;
   HLOCK_INVARIANT(st.phase == Phase::kInCs, "finish_cs outside the CS");
   for (std::size_t i = st.steps.size(); i-- > 0;) {
     cluster_.release(node, st.steps[i].lock);

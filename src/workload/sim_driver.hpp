@@ -48,6 +48,15 @@ struct WorkloadSpec {
   /// Abort threshold for simulator events; 0 derives a generous bound from
   /// the workload size. Exceeding it indicates protocol livelock.
   std::uint64_t max_events = 0;
+  /// Crash-stop schedule (docs/recovery.md): each entry kills one node at
+  /// the given simulated time. Requires the cluster to run with
+  /// SimClusterOptions::recovery.enabled; the killed node's unfinished
+  /// operations are forgiven — run() only demands that survivors drain.
+  struct Kill {
+    NodeId node;
+    SimTime at;
+  };
+  std::vector<Kill> kills;
 };
 
 /// Per-run results beyond what the cluster's MetricsRegistry collects.
@@ -97,6 +106,7 @@ class SimWorkloadDriver {
   struct NodeState {
     Rng rng;
     int remaining = 0;
+    bool dead = false;
     Phase phase = Phase::kIdle;
     OpKind kind = OpKind::kEntryRead;
     std::vector<LockStep> steps;

@@ -19,7 +19,7 @@ Message sample_message(Rng& rng) {
   const auto mode = [&] {
     return static_cast<LockMode>(1 + rng.below(5));
   };
-  switch (rng.below(7)) {
+  switch (rng.below(11)) {
     case 0:
       return Message{from, to, lock,
                      HierRequest{NodeId{static_cast<std::uint32_t>(
@@ -52,8 +52,57 @@ Message sample_message(Rng& rng) {
                      NaimiRequest{NodeId{static_cast<std::uint32_t>(
                                       rng.below(64))},
                                   rng()}};
-    default:
+    case 6:
       return Message{from, to, lock, NaimiToken{}};
+    case 7:
+      return Message{from, to, lock, Heartbeat{}};
+    case 8:
+      return Message{from, to, lock,
+                     Suspect{NodeId{static_cast<std::uint32_t>(
+                         rng.below(64))}}};
+    case 9: {
+      ElectToken report;
+      const std::uint64_t dead = rng.below(4);
+      for (std::uint64_t i = 0; i < dead; ++i) {
+        report.dead.push_back(
+            NodeId{static_cast<std::uint32_t>(rng.below(64))});
+      }
+      report.lock_count = static_cast<std::uint32_t>(rng.below(8));
+      report.lock_index = static_cast<std::uint32_t>(rng.below(8));
+      report.epoch = static_cast<std::uint32_t>(rng.below(1000));
+      report.has_token = rng.chance(0.5);
+      report.held = static_cast<LockMode>(rng.below(6));
+      report.waiting = rng.chance(0.5);
+      report.wait_mode = static_cast<LockMode>(rng.below(6));
+      report.wait_seq = rng();
+      report.wait_priority = static_cast<std::uint8_t>(rng.below(256));
+      report.upgrading = rng.chance(0.5);
+      return Message{from, to, lock, std::move(report)};
+    }
+    default: {
+      EpochFence fence;
+      const std::uint64_t dead = rng.below(4);
+      for (std::uint64_t i = 0; i < dead; ++i) {
+        fence.dead.push_back(
+            NodeId{static_cast<std::uint32_t>(rng.below(64))});
+      }
+      fence.epoch = static_cast<std::uint32_t>(rng.below(1000));
+      fence.new_root = NodeId{static_cast<std::uint32_t>(rng.below(64))};
+      const std::uint64_t holders = rng.below(4);
+      for (std::uint64_t i = 0; i < holders; ++i) {
+        fence.holders.push_back(
+            {NodeId{static_cast<std::uint32_t>(rng.below(64))}, mode()});
+      }
+      const std::uint64_t queued = rng.below(4);
+      for (std::uint64_t i = 0; i < queued; ++i) {
+        fence.queue.push_back(QueuedRequest{
+            NodeId{static_cast<std::uint32_t>(rng.below(64))}, mode(),
+            rng(), static_cast<std::uint8_t>(rng.below(256))});
+      }
+      fence.fence_index = static_cast<std::uint32_t>(rng.below(8));
+      fence.fence_count = static_cast<std::uint32_t>(rng.below(8));
+      return Message{from, to, lock, std::move(fence)};
+    }
   }
 }
 

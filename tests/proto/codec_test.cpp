@@ -91,17 +91,17 @@ TEST(Codec, TrailingGarbageRejected) {
 
 TEST(Codec, UnknownMessageKindRejected) {
   std::vector<std::byte> wire = encode(envelope(Payload{NaimiToken{}}));
-  // Byte 33 is the payload discriminator (version byte, 4 x u32 ids and
-  // two u64 observability fields precede it).
-  wire[33] = std::byte{0x7F};
+  // Byte 37 is the payload discriminator (version byte, 4 x u32 ids, two
+  // u64 observability fields and the u32 recovery epoch precede it).
+  wire[37] = std::byte{0x7F};
   EXPECT_FALSE(decode(wire).has_value());
 }
 
 TEST(Codec, InvalidModeRejected) {
   std::vector<std::byte> wire =
       encode(envelope(Payload{HierGrant{LockMode::kR, LockMode::kR, 1}}));
-  // Byte 34 is the granted mode (33-byte envelope + 1 kind byte).
-  wire[34] = std::byte{17};  // mode byte out of range
+  // Byte 38 is the granted mode (37-byte envelope + 1 kind byte).
+  wire[38] = std::byte{17};  // mode byte out of range
   EXPECT_FALSE(decode(wire).has_value());
 }
 
@@ -305,14 +305,15 @@ TEST(BatchCodec, CorruptedInnerLengthRejected) {
 }
 
 TEST(Codec, EncodingIsCompact) {
-  // Envelope (33 bytes: version, 4 ids, request seq, lamport) + kind (1) +
-  // payload; a grant carries two mode bytes and a 4-byte epoch.
+  // Envelope (37 bytes: version, 4 ids, request seq, lamport, recovery
+  // epoch) + kind (1) + payload; a grant carries two mode bytes and a
+  // 4-byte grant epoch.
   EXPECT_EQ(encode(envelope(Payload{HierGrant{LockMode::kR, LockMode::kR,
                                               1}})).size(),
-            40u);
+            44u);
   EXPECT_EQ(encode(envelope(Payload{HierRelease{LockMode::kNL, 2}})).size(),
-            39u);
-  EXPECT_EQ(encode(envelope(Payload{NaimiToken{}})).size(), 34u);
+            43u);
+  EXPECT_EQ(encode(envelope(Payload{NaimiToken{}})).size(), 38u);
 }
 
 }  // namespace

@@ -1,0 +1,224 @@
+// Randomized differential crash-recovery harness (docs/recovery.md): each
+// seed derives a random workload and a random kill schedule, runs the SAME
+// scenario on the hierarchical protocol and the Naimi baseline, and checks
+// the engine-independent recovery contract on both:
+//   * safety  — never two same-epoch (unfenced) grants of incompatible
+//               modes on one lock among live nodes, checked mid-flight;
+//   * liveness — every surviving requester drains within the driver's
+//               deadline (SimWorkloadDriver::run throws otherwise);
+//   * agreement — all survivors converge on one post-kill epoch;
+//   * lint    — the hierarchical trace passes the epoch-aware conformance
+//               checker.
+// Runs kSeedCount seeds; set HLOCK_RECOVERY_SEED=<seed> to replay exactly
+// one scenario (the failure message names the seed), mirroring the sched
+// harness's HLOCK_SCHED_SEED workflow.
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mode_tables.hpp"
+#include "lint/checker.hpp"
+#include "runtime/sim_cluster.hpp"
+#include "trace/event.hpp"
+#include "util/rng.hpp"
+#include "workload/op_plan.hpp"
+#include "workload/sim_driver.hpp"
+
+namespace hlock {
+namespace {
+
+using proto::LockId;
+using proto::LockMode;
+using proto::NodeId;
+using runtime::Protocol;
+using runtime::SimCluster;
+using runtime::SimClusterOptions;
+using workload::AppVariant;
+using workload::WorkloadSpec;
+
+constexpr std::uint64_t kSeedCount = 64;
+
+/// The seed-derived part of a run: cluster size, contention surface and
+/// the kill schedule (shared verbatim by both engines).
+struct Scenario {
+  std::size_t nodes = 3;
+  std::size_t entries = 2;
+  int ops_per_node = 6;
+  std::vector<WorkloadSpec::Kill> kills;
+
+  std::string describe() const {
+    std::string out = std::to_string(nodes) + " nodes, " +
+                      std::to_string(entries) + " entries, " +
+                      std::to_string(ops_per_node) + " ops/node, kills:";
+    for (const auto& kill : kills) {
+      out += " node" + std::to_string(kill.node.value()) + "@" +
+             std::to_string(kill.at.to_ms()) + "ms";
+    }
+    return out;
+  }
+};
+
+Scenario draw_scenario(std::uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  Scenario s;
+  s.nodes = 3 + static_cast<std::size_t>(rng.below(4));  // 3..6
+  s.entries = 2 + static_cast<std::size_t>(rng.below(2));
+  s.ops_per_node = 5 + static_cast<int>(rng.below(4));
+  // One kill always; a second on the larger clusters — at least two
+  // survivors remain so a quorumless wedge is never the expected outcome.
+  const std::size_t kills = (s.nodes >= 5 && rng.chance(0.5)) ? 2 : 1;
+  std::vector<std::uint32_t> victims;
+  while (victims.size() < kills) {
+    const auto victim = static_cast<std::uint32_t>(rng.below(s.nodes));
+    if (std::find(victims.begin(), victims.end(), victim) == victims.end()) {
+      victims.push_back(victim);
+    }
+  }
+  for (const std::uint32_t victim : victims) {
+    // Anywhere from early contention to the tail of the workload, so kills
+    // land before, during and after the victim's holds across the seeds.
+    const auto at =
+        SimTime::ms(500 + static_cast<std::int64_t>(rng.below(9'500)));
+    s.kills.push_back({NodeId{victim}, at});
+  }
+  return s;
+}
+
+bool is_killed(const Scenario& s, std::uint32_t node) {
+  for (const auto& kill : s.kills) {
+    if (kill.node.value() == node) return true;
+  }
+  return false;
+}
+
+/// Mid-flight safety sweep: among LIVE nodes, two same-epoch holds of one
+/// lock must be mode-compatible (hierarchical) / mutually exclusive
+/// (Naimi). Cross-epoch overlap is the fence doing its job, not a bug.
+void check_no_unfenced_conflict(SimCluster& cluster, const Scenario& s) {
+  const auto locks = workload::all_locks(s.entries);
+  const bool hier = cluster.options().protocol == Protocol::kHierarchical;
+  for (const LockId lock : locks) {
+    struct Hold {
+      std::uint32_t node;
+      LockMode mode;
+      std::uint32_t epoch;
+    };
+    std::vector<Hold> holds;
+    for (std::uint32_t n = 0; n < s.nodes; ++n) {
+      if (!cluster.alive(NodeId{n})) continue;
+      if (hier) {
+        const auto& automaton = cluster.hier_automaton(NodeId{n}, lock);
+        if (automaton.held() != LockMode::kNL) {
+          holds.push_back({n, automaton.held(), automaton.recovery_epoch()});
+        }
+      } else {
+        const auto& automaton = cluster.naimi_automaton(NodeId{n}, lock);
+        if (automaton.in_cs()) {
+          holds.push_back({n, LockMode::kW, automaton.recovery_epoch()});
+        }
+      }
+    }
+    for (std::size_t a = 0; a < holds.size(); ++a) {
+      for (std::size_t b = a + 1; b < holds.size(); ++b) {
+        if (holds[a].epoch != holds[b].epoch) continue;
+        EXPECT_TRUE(core::compatible(holds[a].mode, holds[b].mode))
+            << "unfenced conflicting grants on lock " << lock.value()
+            << ": node" << holds[a].node << " holds "
+            << proto::to_string(holds[a].mode) << ", node" << holds[b].node
+            << " holds " << proto::to_string(holds[b].mode) << " in epoch "
+            << holds[a].epoch;
+      }
+    }
+  }
+}
+
+/// Runs one engine over the scenario and checks the whole contract.
+void run_engine(Protocol protocol, const Scenario& s, std::uint64_t seed) {
+  SimClusterOptions options;
+  options.node_count = s.nodes;
+  options.protocol = protocol;
+  options.seed = seed;
+  options.recovery.enabled = true;
+  options.recovery.heartbeat_interval = SimTime::ms(100);
+  options.recovery.suspect_after = SimTime::ms(600);
+  options.recovery_horizon = SimTime::ms(60'000);
+  const bool hier = protocol == Protocol::kHierarchical;
+  options.hier_config.trace_events = hier;
+  SimCluster cluster(options);
+
+  std::vector<trace::TraceEvent> events;
+  if (hier) {
+    cluster.set_event_observer(
+        [&](trace::TraceEvent event) { events.push_back(std::move(event)); });
+  }
+
+  WorkloadSpec spec;
+  spec.variant = hier ? AppVariant::kHierarchical : AppVariant::kNaimiPure;
+  spec.node_count = s.nodes;
+  spec.table_entries = s.entries;
+  spec.ops_per_node = s.ops_per_node;
+  spec.seed = seed;
+  spec.kills = s.kills;
+  workload::SimWorkloadDriver driver(cluster, spec);
+  driver.set_periodic_check(
+      64, [&] { check_no_unfenced_conflict(cluster, s); });
+
+  // Liveness: run() throws if the survivors fail to drain every operation
+  // (deadlock / lost waiter) or the event budget explodes (livelock).
+  ASSERT_NO_THROW(driver.run()) << "survivors failed to drain";
+
+  // Epoch agreement: every survivor adopted the same post-kill epoch, the
+  // campaign counters fired, and nobody is left halted.
+  std::uint32_t epoch = 0;
+  bool first = true;
+  for (std::uint32_t n = 0; n < s.nodes; ++n) {
+    if (is_killed(s, n)) {
+      EXPECT_FALSE(cluster.alive(NodeId{n}));
+      continue;
+    }
+    auto& manager = cluster.manager(NodeId{n});
+    EXPECT_FALSE(manager.halted()) << "node" << n << " stuck halted";
+    EXPECT_GT(manager.current_epoch(), 0u) << "node" << n << " never fenced";
+    EXPECT_GE(manager.counters().recoveries, 1u);
+    if (first) {
+      epoch = manager.current_epoch();
+      first = false;
+    } else {
+      EXPECT_EQ(manager.current_epoch(), epoch)
+          << "node" << n << " disagrees on the final epoch";
+    }
+  }
+
+  if (hier) {
+    lint::LintOptions lint_options;
+    lint_options.initial_token = NodeId{0};
+    const lint::LintReport report = lint::check(events, lint_options);
+    EXPECT_TRUE(report.ok()) << report.render();
+  }
+}
+
+/// One seed, both engines, with a replay hint on any failure.
+void run_seed(std::uint64_t seed) {
+  const Scenario s = draw_scenario(seed);
+  SCOPED_TRACE("seed " + std::to_string(seed) + " (" + s.describe() +
+               ") — replay just this one with HLOCK_RECOVERY_SEED=" +
+               std::to_string(seed));
+  run_engine(Protocol::kHierarchical, s, seed);
+  run_engine(Protocol::kNaimi, s, seed);
+}
+
+TEST(RecoveryDifferential, RandomKillSchedulesHoldOnBothEngines) {
+  if (const char* replay = std::getenv("HLOCK_RECOVERY_SEED")) {
+    run_seed(std::strtoull(replay, nullptr, 10));
+    return;
+  }
+  for (std::uint64_t seed = 1; seed <= kSeedCount; ++seed) {
+    run_seed(seed);
+    if (::testing::Test::HasFailure()) return;  // one report is enough
+  }
+}
+
+}  // namespace
+}  // namespace hlock

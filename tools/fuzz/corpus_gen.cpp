@@ -1,0 +1,101 @@
+// Writes the committed fuzz corpus seeds (tools/fuzz/corpus/*.bin).
+//
+// Each seed is one canonically-encoded frame covering a payload kind or an
+// envelope edge case, so the libFuzzer run starts from every branch of the
+// decoder and the replay driver regression-checks them on every build.
+// Run after extending the wire format (ROADMAP: every new message kind
+// must gain seeds):
+//
+//   cmake --build build --target fuzz_corpus_gen
+//   build/tools/fuzz/fuzz_corpus_gen tools/fuzz/corpus
+//
+// Only the recovery-era seeds are generated here; the original protocol
+// seeds predate the generator and are kept as committed bytes (their
+// stability IS the regression being checked).
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "proto/codec.hpp"
+#include "proto/message.hpp"
+
+namespace {
+
+using namespace hlock::proto;
+
+void write(const std::string& dir, const std::string& name,
+           const std::vector<std::byte>& bytes) {
+  const std::string path = dir + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "corpus_gen: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), bytes.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: fuzz_corpus_gen <corpus-dir>\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+
+  // ---- Recovery message kinds (docs/recovery.md) ----
+  write(dir, "single_heartbeat.bin",
+        encode(Message{NodeId{1}, NodeId{2}, LockId{0}, Heartbeat{}}));
+
+  write(dir, "single_suspect.bin",
+        encode(Message{NodeId{4}, NodeId{0}, LockId{0}, Suspect{NodeId{3}}}));
+
+  ElectToken report;
+  report.dead = {NodeId{0}, NodeId{3}};
+  report.lock_count = 2;
+  report.lock_index = 1;
+  report.epoch = 7;
+  report.has_token = true;
+  report.held = LockMode::kW;
+  report.waiting = true;
+  report.wait_mode = LockMode::kR;
+  report.wait_seq = 42;
+  report.wait_priority = 3;
+  report.upgrading = true;
+  write(dir, "single_elect_token.bin",
+        encode(Message{NodeId{2}, NodeId{1}, LockId{5}, report}));
+
+  EpochFence fence;
+  fence.dead = {NodeId{1}};
+  fence.epoch = 12;
+  fence.new_root = NodeId{2};
+  fence.holders = {{NodeId{2}, LockMode::kW}, {NodeId{4}, LockMode::kIR}};
+  fence.queue = {QueuedRequest{NodeId{3}, LockMode::kR, 9, 0},
+                 QueuedRequest{NodeId{4}, LockMode::kW, 4, 5}};
+  fence.fence_index = 1;
+  fence.fence_count = 3;
+  write(dir, "single_epoch_fence.bin",
+        encode(Message{NodeId{2}, NodeId{3}, LockId{5}, fence}));
+
+  // ---- Stale-epoch batch envelope ----
+  // One coalesced flush mixing post-fence traffic (envelope epoch 7), a
+  // pre-crash straggler (stale epoch 3 — the receive-side epoch gate's
+  // food) and an epoch-less recovery kind, so the batch decoder's
+  // per-message epoch field is exercised with divergent values.
+  Message fresh{NodeId{2}, NodeId{4}, LockId{5},
+                HierRequest{NodeId{2}, LockMode::kR, 17, 0}};
+  fresh.epoch = 7;
+  Message stale{NodeId{1}, NodeId{4}, LockId{5},
+                HierToken{LockMode::kW, LockMode::kNL,
+                          {QueuedRequest{NodeId{0}, LockMode::kIW, 2, 0}}}};
+  stale.epoch = 3;
+  Message gossip{NodeId{2}, NodeId{4}, LockId{0}, Suspect{NodeId{1}}};
+  std::vector<std::byte> batch;
+  encode_batch_into(std::vector<Message>{fresh, stale, gossip}, batch);
+  write(dir, "batch_stale_epoch.bin", batch);
+
+  return 0;
+}

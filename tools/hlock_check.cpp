@@ -19,10 +19,20 @@
 // Exit codes: 0 ok, 1 violation found, 2 usage error, 3 state budget
 // exhausted, 4 internal error or cross-validation mismatch.
 //
+// Crash-stop exploration (docs/recovery.md): --crash lists victims that
+// may crash at ANY reachable state; the explorer then interleaves failure
+// detection, the epoch-fence campaign and protocol traffic exhaustively,
+// checking per-epoch token conservation and that every SURVIVOR's script
+// completes (no lost waiter). --crash-doctored seeds the double-
+// regeneration bug (two same-epoch roots) that the per-epoch check must
+// catch — an expect-violation run, like --doctor.
+//
 //   hlock_check --protocol hier --scenario mixed --nodes 3
 //   hlock_check --protocol raymond --scenario exclusive --nodes 5
 //   hlock_check --scenario contend --nodes 3 --por --symmetry --stats
 //   hlock_check --scenario exclusive --doctor starve --liveness
+//   hlock_check --scenario hold --nodes 3 --crash 0 --por --cross-validate
+//   hlock_check --scenario hold --nodes 3 --crash 0 --crash-doctored
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -81,6 +91,16 @@ std::vector<Script> build_scripts(const std::string& scenario,
         nodes, {ScriptOp::acquire(LockMode::kR), ScriptOp::release(),
                 ScriptOp::acquire(LockMode::kW), ScriptOp::release()});
   }
+  if (scenario == "hold") {
+    // Crash-during-hold: node 0 takes W and NEVER releases — pair with
+    // --crash 0. Every other node contends for W, so the token must be
+    // regenerated (epoch fence) for the survivors' scripts to complete;
+    // without --crash the waiters never resolve and the run reports the
+    // (expected) deadlock.
+    std::vector<Script> scripts(nodes, exclusive);
+    scripts[0] = {ScriptOp::acquire(LockMode::kW)};
+    return scripts;
+  }
   if (scenario == "contend") {
     // Re-acquisition under contention: every node requests twice, so the
     // token keeps circulating. The docs/modelcheck.md reference
@@ -90,7 +110,36 @@ std::vector<Script> build_scripts(const std::string& scenario,
                 ScriptOp::acquire(LockMode::kIR)});
   }
   throw UsageError("unknown scenario: " + scenario +
-                   " (exclusive | mixed | upgrade | repeat | contend)");
+                   " (exclusive | mixed | upgrade | repeat | contend | "
+                   "hold)");
+}
+
+std::vector<proto::NodeId> parse_victims(const std::string& spec,
+                                         std::size_t nodes) {
+  std::vector<proto::NodeId> victims;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    std::size_t used = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(item, &used);
+    } catch (const std::exception&) {
+      throw UsageError("malformed --crash entry: '" + item + "'");
+    }
+    if (used != item.size() || value >= nodes) {
+      throw UsageError("--crash victim out of range: '" + item + "'");
+    }
+    victims.push_back(proto::NodeId{static_cast<std::uint32_t>(value)});
+    pos = comma + 1;
+  }
+  if (victims.empty()) throw UsageError("--crash lists no victims");
+  if (victims.size() > nodes - 1) {
+    throw UsageError("--crash must leave at least one survivor");
+  }
+  return victims;
 }
 
 modelcheck::DoctoredSpec build_doctor(const std::string& kind,
@@ -206,6 +255,14 @@ int main(int argc, char** argv) {
   cli.add_option("doctor", "none",
                  "seed a spec corruption: none | starve | conflict "
                  "(hier only; the run should FIND the seeded violation)");
+  cli.add_option("crash", "",
+                 "comma-separated node ids that may crash-stop at any "
+                 "point; explores epoch-fenced recovery exhaustively "
+                 "(hier only)");
+  cli.add_flag("crash-doctored",
+               "with --crash: seed the double-regeneration bug (two "
+               "same-epoch fence roots); the run should FIND the "
+               "violation");
   cli.add_option("obs-out", "",
                  "on a violation, export the counterexample's event trace "
                  "as a flight record (plus Chrome trace JSON) under this "
@@ -232,15 +289,24 @@ int main(int argc, char** argv) {
     options.liveness = cli.get_flag("liveness");
     options.minimize = cli.get_flag("minimize");
     options.doctor = build_doctor(cli.get_string("doctor"), nodes);
+    const std::string crash_spec = cli.get_string("crash");
+    if (!crash_spec.empty()) {
+      options.crash.victims = parse_victims(crash_spec, nodes);
+      options.crash.recovery.doctor_double_fence =
+          cli.get_flag("crash-doctored");
+    } else if (cli.get_flag("crash-doctored")) {
+      throw UsageError("--crash-doctored requires --crash");
+    }
     const bool hier_only_features = lint || options.por ||
                                     options.symmetry || options.liveness ||
                                     options.minimize ||
                                     options.doctor.active() ||
+                                    options.crash.active() ||
                                     cross_validate;
     if (hier_only_features && protocol != "hier") {
       throw UsageError(
           "--lint/--por/--symmetry/--liveness/--minimize/--doctor/"
-          "--cross-validate apply to --protocol hier only");
+          "--crash/--cross-validate apply to --protocol hier only");
     }
 
     ExploreResult result;

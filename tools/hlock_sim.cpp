@@ -37,10 +37,12 @@
 // paths (hierarchical protocol only). See docs/observability.md.
 #include <cstdio>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -62,6 +64,7 @@
 #include "trace/recorder.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
 
 using namespace hlock;
 using bench::AppVariant;
@@ -69,6 +72,43 @@ using bench::ExperimentConfig;
 using bench::ExperimentResult;
 
 namespace {
+
+/// Parses a `--kill` schedule: "node@ms[,node@ms...]" (simulated
+/// milliseconds). Example: --kill 1@3000,4@4500.
+std::vector<workload::WorkloadSpec::Kill> parse_kills(
+    const std::string& spec, std::size_t node_count) {
+  std::vector<workload::WorkloadSpec::Kill> kills;
+  std::size_t begin = 0;
+  while (begin < spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(begin, end - begin);
+    const std::size_t at = entry.find('@');
+    if (at == std::string::npos || at == 0 || at + 1 >= entry.size()) {
+      throw UsageError("--kill entries must look like node@ms: " + entry);
+    }
+    std::size_t parsed = 0;
+    unsigned long node = 0;
+    unsigned long long ms = 0;
+    try {
+      node = std::stoul(entry.substr(0, at), &parsed);
+      if (parsed != at) throw std::invalid_argument(entry);
+      ms = std::stoull(entry.substr(at + 1), &parsed);
+      if (parsed != entry.size() - at - 1) throw std::invalid_argument(entry);
+    } catch (const std::exception&) {
+      throw UsageError("--kill entries must look like node@ms: " + entry);
+    }
+    if (node >= node_count) {
+      throw UsageError("--kill names node " + std::to_string(node) +
+                       " but the cluster has " + std::to_string(node_count) +
+                       " nodes");
+    }
+    kills.push_back({proto::NodeId{static_cast<std::uint32_t>(node)},
+                     SimTime::ms(static_cast<std::int64_t>(ms))});
+    begin = end + 1;
+  }
+  return kills;
+}
 
 AppVariant parse_variant(const std::string& name) {
   if (name == "hier" || name == "hierarchical") {
@@ -127,6 +167,29 @@ int run_chaos(const CliParser& cli) {
   options.engine_shards = static_cast<std::size_t>(
       cli.get_int("engine-shards", 0, 4096));
 
+  // Crash-stop injection (docs/recovery.md): --kill-rate random crash-stops
+  // per second. The exact-counter mutual-exclusion check does not survive
+  // kills (a zombie holder's last increment is legitimately lost), so this
+  // mode verifies with an epoch-keyed overlap detector instead: overlapping
+  // with an older-epoch occupant means the crash was fenced (OK); a same-
+  // or newer-epoch occupant is a real violation.
+  const double kill_rate = cli.get_double("kill-rate", 0.0, 100.0);
+  const bool kills_on = kill_rate > 0.0;
+  if (kills_on) {
+    if (options.node_count < 3) {
+      throw UsageError("--kill-rate needs at least 3 nodes");
+    }
+    options.recovery.enabled = true;
+    options.recovery.heartbeat_interval =
+        SimTime::ms(cli.get_int("heartbeat-ms", 1, 60000));
+    options.recovery.suspect_after =
+        SimTime::ms(cli.get_int("suspect-ms", 1, 600000));
+  }
+  std::size_t max_kills =
+      static_cast<std::size_t>(cli.get_int("max-kills", 0, 4096));
+  if (max_kills == 0) max_kills = options.node_count / 2;
+  max_kills = std::min(max_kills, options.node_count - 2);
+
   transport::FaultPlan plan;
   plan.seed = options.seed;
   plan.drop_probability = cli.get_double("fault-drop", 0.0, 1.0);
@@ -136,6 +199,12 @@ int run_chaos(const CliParser& cli) {
   plan.duplicate_probability = cli.get_double("fault-dup", 0.0, 1.0);
   plan.reorder_probability = cli.get_double("fault-reorder", 0.0, 1.0);
   const std::int64_t partition_ms = cli.get_int("partition-ms", 0, 600000);
+  if (partition_ms > 0 && kills_on) {
+    // Suspicions are never retracted: a partition would permanently fence
+    // out half the cluster, and the fenced-out (but live) half could never
+    // drain its operations.
+    throw UsageError("--kill-rate cannot be combined with --partition-ms");
+  }
   if (partition_ms > 0) {
     // Cut the cluster in half; the halves reunite after the heal time.
     transport::FaultPlan::Partition partition;
@@ -236,6 +305,22 @@ int run_chaos(const CliParser& cli) {
   std::uint64_t messages_sent = 0;
   std::uint64_t receiver_errors = 0;
   std::string fault_counters;
+  // --kill-rate verification state: the epoch-keyed critical-section
+  // occupancy probe, per-worker completion counts and the cluster's end
+  // state (captured before teardown).
+  struct CsProbe {
+    std::mutex mutex;
+    bool occupied = false;
+    std::uint32_t node = 0;
+    std::uint32_t epoch = 0;
+    std::uint64_t fenced_overlaps = 0;
+    std::uint64_t violations = 0;
+  } probe;
+  std::vector<long> completed(options.node_count, 0);
+  std::vector<char> live_at_end(options.node_count, 1);
+  std::size_t kills_done = 0;
+  std::uint32_t max_epoch = 0;
+  std::uint64_t recoveries = 0;
   {
     runtime::ThreadCluster cluster{options};
     if (observe) {
@@ -247,26 +332,109 @@ int run_chaos(const CliParser& cli) {
       });
     }
     std::vector<std::thread> workers;
+    // Kill mode holds the lock for --cs-ms per op (the exact-counter mode
+    // keeps its instant yield-only section): crash-stops need a window in
+    // which the victim actually owns something worth recovering.
+    const std::int64_t cs_ms = cli.get_int("cs-ms", 0, 1000000);
     for (std::uint32_t i = 0; i < options.node_count; ++i) {
-      workers.emplace_back([&cluster, &counter, ops, i, doctor_stall_ms] {
-        for (int k = 0; k < ops; ++k) {
-          cluster.lock(proto::NodeId{i}, proto::LockId{0},
-                       proto::LockMode::kW);
-          if (doctor_stall_ms > 0 && i == 0 && k == 0) {
-            // Doctored starvation: hold the exclusive lock long enough
-            // that every other node's wait blows past the watchdog
-            // threshold (CI proves the watchdog actually fires).
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(doctor_stall_ms));
+      if (kills_on) {
+        workers.emplace_back([&cluster, &probe, &completed, ops, cs_ms, i] {
+          const proto::NodeId node{i};
+          for (int k = 0; k < ops; ++k) {
+            try {
+              cluster.lock(node, proto::LockId{0}, proto::LockMode::kW);
+              if (!cluster.alive(node)) break;  // crash-stop wake-up
+              const std::uint32_t epoch = cluster.recovery_epoch_of(node);
+              {
+                std::lock_guard<std::mutex> guard{probe.mutex};
+                if (probe.occupied) {
+                  if (probe.epoch < epoch) {
+                    ++probe.fenced_overlaps;  // stale holder, fenced out
+                  } else {
+                    ++probe.violations;
+                  }
+                }
+                probe.occupied = true;
+                probe.node = i;
+                probe.epoch = epoch;
+              }
+              if (cs_ms > 0) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(cs_ms));
+              } else {
+                std::this_thread::yield();
+              }
+              {
+                std::lock_guard<std::mutex> guard{probe.mutex};
+                if (probe.occupied && probe.node == i &&
+                    probe.epoch == epoch) {
+                  probe.occupied = false;
+                }
+                // A newer-epoch entrant may have overwritten the record
+                // after our node was fenced out; leave theirs in place.
+              }
+              cluster.unlock(node, proto::LockId{0});
+              ++completed[i];
+            } catch (const UsageError&) {
+              break;  // this node crash-stopped mid-operation
+            }
           }
-          const long snapshot = counter;
-          std::this_thread::yield();
-          counter = snapshot + 1;
-          cluster.unlock(proto::NodeId{i}, proto::LockId{0});
+        });
+      } else {
+        workers.emplace_back([&cluster, &counter, ops, i, doctor_stall_ms] {
+          for (int k = 0; k < ops; ++k) {
+            cluster.lock(proto::NodeId{i}, proto::LockId{0},
+                         proto::LockMode::kW);
+            if (doctor_stall_ms > 0 && i == 0 && k == 0) {
+              // Doctored starvation: hold the exclusive lock long enough
+              // that every other node's wait blows past the watchdog
+              // threshold (CI proves the watchdog actually fires).
+              std::this_thread::sleep_for(
+                  std::chrono::milliseconds(doctor_stall_ms));
+            }
+            const long snapshot = counter;
+            std::this_thread::yield();
+            counter = snapshot + 1;
+            cluster.unlock(proto::NodeId{i}, proto::LockId{0});
+          }
+        });
+      }
+    }
+    std::atomic<bool> workers_done{false};
+    std::thread killer;
+    if (kills_on) {
+      // Dice roll every 20 ms: P(kill) = rate x 0.02 per step, victims
+      // drawn uniformly from the live set, never below two survivors.
+      killer = std::thread([&cluster, &workers_done, &kills_done, kill_rate,
+                            max_kills, seed = options.seed] {
+        Rng rng{seed * 0x9e3779b97f4a7c15ULL + 1};
+        while (!workers_done.load(std::memory_order_acquire) &&
+               kills_done < max_kills) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          if (!rng.chance(std::min(1.0, kill_rate * 0.02))) continue;
+          std::vector<std::uint32_t> live;
+          for (std::uint32_t n = 0;
+               n < static_cast<std::uint32_t>(cluster.node_count()); ++n) {
+            if (cluster.alive(proto::NodeId{n})) live.push_back(n);
+          }
+          if (live.size() <= 2) break;
+          cluster.crash_stop(proto::NodeId{live[rng.below(live.size())]});
+          ++kills_done;
         }
       });
     }
     for (std::thread& worker : workers) worker.join();
+    workers_done.store(true, std::memory_order_release);
+    if (killer.joinable()) killer.join();
+    if (kills_on) {
+      for (std::uint32_t i = 0; i < options.node_count; ++i) {
+        const proto::NodeId node{i};
+        live_at_end[i] = cluster.alive(node) ? 1 : 0;
+        if (live_at_end[i] == 0) continue;
+        max_epoch = std::max(max_epoch, cluster.recovery_epoch_of(node));
+        recoveries =
+            std::max(recoveries, cluster.recovery_counters(node).recoveries);
+      }
+    }
     messages_sent = cluster.messages_sent();
     receiver_errors = cluster.receiver_errors();
     if (const stats::TransportCounters* counters = cluster.fault_counters()) {
@@ -277,10 +445,35 @@ int run_chaos(const CliParser& cli) {
   }
 
   const long expected = static_cast<long>(options.node_count) * ops;
-  bool ok = counter == expected && receiver_errors == 0;
-  std::printf("chaos: %zu nodes (%s), %ld/%ld ops, mutual exclusion %s\n",
-              options.node_count, transport.c_str(), counter, expected,
-              ok ? "OK" : "VIOLATED");
+  bool ok;
+  if (kills_on) {
+    long done = 0;
+    bool survivors_drained = true;
+    for (std::uint32_t i = 0; i < options.node_count; ++i) {
+      done += completed[i];
+      if (live_at_end[i] != 0 && completed[i] != ops) {
+        survivors_drained = false;
+      }
+    }
+    ok = probe.violations == 0 && survivors_drained && receiver_errors == 0;
+    std::printf("chaos: %zu nodes (%s), %zu killed, %ld/%ld ops, "
+                "mutual exclusion %s\n",
+                options.node_count, transport.c_str(), kills_done, done,
+                expected, ok ? "OK" : "VIOLATED");
+    std::printf("  recovery      : epoch %u, %llu recoveries, survivors "
+                "%sdrained\n",
+                max_epoch, static_cast<unsigned long long>(recoveries),
+                survivors_drained ? "" : "NOT ");
+    std::printf("  overlaps      : %llu fenced (stale holders), %llu "
+                "same-epoch (real violations)\n",
+                static_cast<unsigned long long>(probe.fenced_overlaps),
+                static_cast<unsigned long long>(probe.violations));
+  } else {
+    ok = counter == expected && receiver_errors == 0;
+    std::printf("chaos: %zu nodes (%s), %ld/%ld ops, mutual exclusion %s\n",
+                options.node_count, transport.c_str(), counter, expected,
+                ok ? "OK" : "VIOLATED");
+  }
   std::printf("  messages sent : %llu\n",
               static_cast<unsigned long long>(messages_sent));
   if (!fault_counters.empty()) {
@@ -489,6 +682,27 @@ int main(int argc, char** argv) {
   cli.add_option("partition-ms", "0",
                  "chaos: partition half the cluster, heal after this many "
                  "milliseconds (0 = no partition)");
+  cli.add_option("kill", "",
+                 "simulator crash-stop schedule: node@ms[,node@ms...] — "
+                 "kills each node at the given simulated time and lets the "
+                 "survivors recover (docs/recovery.md; implies --recovery)");
+  cli.add_flag("recovery",
+               "enable the heartbeat failure detector and epoch-fenced "
+               "recovery layer without scheduling any kill (overhead runs)");
+  cli.add_option("kill-rate", "0",
+                 "chaos: expected crash-stops per second; survivors must "
+                 "recover, mutual exclusion is checked with an epoch-keyed "
+                 "overlap detector (docs/recovery.md)");
+  cli.add_option("max-kills", "0",
+                 "chaos: cap on --kill-rate crash-stops (0 = half the "
+                 "cluster; at least two nodes always stay alive)");
+  cli.add_option("heartbeat-ms", "100",
+                 "recovery: failure-detector heartbeat interval, ms");
+  cli.add_option("suspect-ms", "1000",
+                 "recovery: declare a silent node dead after this long, ms");
+  cli.add_option("recovery-horizon-ms", "120000",
+                 "simulator: stop scheduling heartbeat ticks past this "
+                 "simulated time (keeps runs finite)");
   cli.add_option("sched-seeds", "0",
                  "explore this many deterministic schedules of the chaos "
                  "scenario (each seed forks a child; see docs/sched.md)");
@@ -549,6 +763,17 @@ int main(int argc, char** argv) {
     config.hier_config.child_grants = !cli.get_flag("no-child-grants");
     config.hier_config.path_compression = !cli.get_flag("no-compression");
     config.hier_config.freezing = !cli.get_flag("no-freezing");
+    const std::string kill_spec = cli.get_string("kill");
+    if (!kill_spec.empty() || cli.get_flag("recovery")) {
+      config.recovery.enabled = true;
+      config.recovery.heartbeat_interval =
+          SimTime::ms(cli.get_int("heartbeat-ms", 1, 60000));
+      config.recovery.suspect_after =
+          SimTime::ms(cli.get_int("suspect-ms", 1, 600000));
+      config.recovery_horizon =
+          SimTime::ms(cli.get_int("recovery-horizon-ms", 1000, 3600000));
+      config.kills = parse_kills(kill_spec, config.nodes);
+    }
     config.lint = cli.get_flag("lint");
     const std::string dump_path = cli.get_string("trace-dump");
     std::vector<trace::TraceEvent> captured;
@@ -610,6 +835,15 @@ int main(int argc, char** argv) {
                   "%.3f ms\n",
                   result.mean_latency_ms, result.p90_latency_ms,
                   result.max_latency_ms);
+      if (config.recovery.enabled) {
+        std::printf("  recovery         : epoch %u, %llu recoveries "
+                    "(mean %.3f ms), %llu stale drops, %zu nodes killed\n",
+                    result.recovery_epoch,
+                    static_cast<unsigned long long>(result.recoveries),
+                    result.mean_recovery_ms,
+                    static_cast<unsigned long long>(result.stale_drops),
+                    result.nodes_killed);
+      }
     }
     const auto buckets =
         static_cast<std::size_t>(cli.get_int("histogram", 0, 64));
