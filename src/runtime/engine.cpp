@@ -124,8 +124,14 @@ Effects HierEngine::install_fence(LockId lock,
 }
 
 std::uint32_t HierEngine::recovery_epoch(LockId lock) {
+  // A lock this node has not touched would be lazily created at
+  // initial_epoch_, so that is its effective epoch: reporting 0 here would
+  // make the cluster's newer-epoch gate park the first post-recovery
+  // message for the lock forever (the node is not halted, so parked
+  // messages are never replayed).
   auto it = automatons_.find(lock);
-  return it == automatons_.end() ? 0 : it->second.recovery_epoch();
+  return it == automatons_.end() ? initial_epoch_
+                                 : it->second.recovery_epoch();
 }
 
 void HierEngine::set_default_origin(NodeId root, std::uint32_t epoch) {
@@ -215,8 +221,11 @@ Effects NaimiEngine::install_fence(LockId lock,
 }
 
 std::uint32_t NaimiEngine::recovery_epoch(LockId lock) {
+  // See HierEngine::recovery_epoch: an untouched lock's effective epoch is
+  // the one it would be lazily created in.
   auto it = automatons_.find(lock);
-  return it == automatons_.end() ? 0 : it->second.recovery_epoch();
+  return it == automatons_.end() ? initial_epoch_
+                                 : it->second.recovery_epoch();
 }
 
 void NaimiEngine::set_default_origin(NodeId root, std::uint32_t epoch) {

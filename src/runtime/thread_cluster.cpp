@@ -244,6 +244,10 @@ void ThreadCluster::receiver_loop(NodeId node) {
       Shard& shard = shard_of(rt, batch[i].lock);
       MutexLock guard(shard.mutex);
       do {
+        // Crash-stop taken mid-batch: stop dispatching immediately so the
+        // crashed node cannot keep replying (and emitting old-epoch
+        // traffic) for the rest of the batch.
+        if (!rt.alive.load(std::memory_order_acquire)) return;
         proto::Message& message = batch[i];
         // An exception escaping a std::thread calls std::terminate, so a
         // receiver converts failures into a counted, logged error effect

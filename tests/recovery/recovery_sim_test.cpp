@@ -131,6 +131,50 @@ TEST(RecoverySim, HierRecoveryTraceIsLintClean) {
   EXPECT_TRUE(report.ok()) << report.render();
 }
 
+TEST(RecoverySim, HierFreshLockFirstTouchedAfterRecoveryIsGranted) {
+  // Regression: recovery_epoch() used to report 0 for locks with no
+  // automaton yet, while lazily created automatons start in the
+  // post-recovery epoch. The newer-epoch park gate then parked the very
+  // first message of any lock first touched after a recovery — forever,
+  // because the receiver is not halted and parked messages are only
+  // replayed on unhalt.
+  SimCluster cluster(recovery_options(Protocol::kHierarchical, 3));
+  run_holder_crash(cluster);
+  ASSERT_GT(cluster.manager(NodeId{0}).current_epoch(), 0u);
+
+  std::vector<Grant> grants;
+  cluster.set_grant_handler([&](NodeId node, LockId lock, bool upgraded) {
+    grants.push_back({node, lock, upgraded});
+  });
+  // Node 2's request for a brand-new lock travels to the post-recovery
+  // default root (node 0), which has never touched the lock either.
+  const LockId fresh{99};
+  cluster.request(NodeId{2}, fresh, LockMode::kW);
+  cluster.simulator().run_to_completion();
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].node, NodeId{2});
+  EXPECT_TRUE(cluster.engine(NodeId{2}).holds(fresh));
+}
+
+TEST(RecoverySim, NaimiFreshLockFirstTouchedAfterRecoveryIsGranted) {
+  // Same regression on the Naimi baseline (NaimiEngine::recovery_epoch had
+  // the identical automaton-miss bug).
+  SimCluster cluster(recovery_options(Protocol::kNaimi, 3));
+  run_holder_crash(cluster);
+  ASSERT_GT(cluster.manager(NodeId{0}).current_epoch(), 0u);
+
+  std::vector<Grant> grants;
+  cluster.set_grant_handler([&](NodeId node, LockId lock, bool upgraded) {
+    grants.push_back({node, lock, upgraded});
+  });
+  const LockId fresh{99};
+  cluster.request(NodeId{2}, fresh, LockMode::kW);
+  cluster.simulator().run_to_completion();
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].node, NodeId{2});
+  EXPECT_TRUE(cluster.engine(NodeId{2}).holds(fresh));
+}
+
 TEST(RecoverySim, StaleMessagesAreDroppedAndCounted) {
   // Killing the holder of a contended lock leaves pre-crash traffic in
   // flight; after the fence it must be dropped by the epoch gate, not
